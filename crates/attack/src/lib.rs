@@ -1,0 +1,339 @@
+#![warn(missing_docs)]
+
+//! # dike-attack
+//!
+//! DDoS attack scenarios for the simulator.
+//!
+//! The paper emulates DDoS by "dropping some fraction or all incoming DNS
+//! queries to each authoritative ... randomly with Linux iptables" (§5.1).
+//! [`Attack`] is exactly that: a scheduled random-drop filter at the
+//! targets' ingress, installed at `start` and removed `duration` later.
+//!
+//! Table 4's scenarios are all expressible as one `Attack`:
+//!
+//! | Experiment | loss | scope |
+//! |---|---|---|
+//! | A, B, C | 1.0 | both name servers |
+//! | D | 0.5 | one name server |
+//! | E | 0.5 | both |
+//! | F, G | 0.75 | both |
+//! | H, I | 0.9 | both |
+
+use dike_netsim::{Addr, SimDuration, SimTime, Simulator};
+use serde::{Deserialize, Serialize};
+
+/// One scheduled attack: `loss`-fraction random drop at each target's
+/// ingress from `start` for `duration`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Attack {
+    /// The victim addresses (authoritative servers).
+    pub targets: Vec<Addr>,
+    /// Drop probability in `[0, 1]`; 1.0 is complete failure.
+    pub loss: f64,
+    /// When the attack begins.
+    pub start: SimTime,
+    /// How long it lasts.
+    pub duration: SimDuration,
+}
+
+impl Attack {
+    /// A complete failure of every target (Experiments A–C).
+    pub fn complete_failure(targets: Vec<Addr>, start: SimTime, duration: SimDuration) -> Self {
+        Attack {
+            targets,
+            loss: 1.0,
+            start,
+            duration,
+        }
+    }
+
+    /// A partial attack dropping `loss` of incoming packets
+    /// (Experiments D–I).
+    pub fn partial(targets: Vec<Addr>, loss: f64, start: SimTime, duration: SimDuration) -> Self {
+        Attack {
+            targets,
+            loss,
+            start,
+            duration,
+        }
+    }
+
+    /// When the attack ends.
+    pub fn end(&self) -> SimTime {
+        self.start + self.duration
+    }
+
+    /// Installs the attack into the simulator: a control event sets the
+    /// ingress filters at `start`; another clears them at `end`.
+    pub fn schedule(&self, sim: &mut Simulator) {
+        let targets_on = self.targets.clone();
+        let loss = self.loss;
+        sim.schedule_control(self.start, move |w| {
+            for t in &targets_on {
+                w.links_mut().set_ingress_loss(*t, loss);
+            }
+        });
+        let targets_off = self.targets.clone();
+        sim.schedule_control(self.end(), move |w| {
+            for t in &targets_off {
+                w.links_mut().clear_ingress_loss(*t);
+            }
+        });
+    }
+}
+
+/// Time-varying attack intensity.
+///
+/// Real volumetric attacks are rarely flat: booter-driven floods pulse
+/// on and off, and build-ups ramp. A waveform turns one [`Attack`] into
+/// the corresponding schedule of ingress-loss changes.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum Waveform {
+    /// Constant loss for the whole duration (the paper's emulation).
+    Constant,
+    /// On/off pulsing: `period` per cycle, the first `duty` fraction at
+    /// full intensity, the rest clean.
+    Pulsed {
+        /// Cycle length.
+        period: SimDuration,
+        /// Fraction of each cycle spent attacking, in `(0, 1]`.
+        duty: f64,
+    },
+    /// Linear ramp from `from × loss` to `loss` across the duration, in
+    /// `steps` equal stairs.
+    Ramp {
+        /// Starting fraction of the peak loss.
+        from: f64,
+        /// Stair count (≥1).
+        steps: u32,
+    },
+}
+
+impl Attack {
+    /// Schedules this attack shaped by `waveform`.
+    pub fn schedule_with_waveform(&self, sim: &mut Simulator, waveform: Waveform) {
+        match waveform {
+            Waveform::Constant => self.schedule(sim),
+            Waveform::Pulsed { period, duty } => {
+                let duty = duty.clamp(0.01, 1.0);
+                let on_len = period.mul_f64(duty);
+                let mut t = self.start;
+                while t < self.end() {
+                    let targets_on = self.targets.clone();
+                    let loss = self.loss;
+                    sim.schedule_control(t, move |w| {
+                        for tgt in &targets_on {
+                            w.links_mut().set_ingress_loss(*tgt, loss);
+                        }
+                    });
+                    let off_at = (t + on_len).min(self.end());
+                    let targets_off = self.targets.clone();
+                    sim.schedule_control(off_at, move |w| {
+                        for tgt in &targets_off {
+                            w.links_mut().clear_ingress_loss(*tgt);
+                        }
+                    });
+                    t = t + period;
+                }
+            }
+            Waveform::Ramp { from, steps } => {
+                let steps = steps.max(1);
+                let from = from.clamp(0.0, 1.0);
+                let stair = SimDuration::from_nanos(self.duration.as_nanos() / steps as u64);
+                for k in 0..steps {
+                    let frac = from + (1.0 - from) * (k as f64 + 1.0) / steps as f64;
+                    let loss = (self.loss * frac).clamp(0.0, 1.0);
+                    let targets = self.targets.clone();
+                    let at = self.start + SimDuration::from_nanos(stair.as_nanos() * k as u64);
+                    sim.schedule_control(at, move |w| {
+                        for tgt in &targets {
+                            w.links_mut().set_ingress_loss(*tgt, loss);
+                        }
+                    });
+                }
+                let targets = self.targets.clone();
+                sim.schedule_control(self.end(), move |w| {
+                    for tgt in &targets {
+                        w.links_mut().clear_ingress_loss(*tgt);
+                    }
+                });
+            }
+        }
+    }
+}
+
+/// A sequence of attacks (e.g. ramping intensity for ablations). Each is
+/// scheduled independently; overlapping attacks on the same target let
+/// the later filter overwrite the earlier one.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct AttackSchedule {
+    /// The attacks, in any order.
+    pub attacks: Vec<Attack>,
+}
+
+impl AttackSchedule {
+    /// An empty schedule.
+    pub fn new() -> Self {
+        AttackSchedule::default()
+    }
+
+    /// Adds an attack.
+    pub fn push(&mut self, attack: Attack) -> &mut Self {
+        self.attacks.push(attack);
+        self
+    }
+
+    /// Schedules every attack.
+    pub fn schedule(&self, sim: &mut Simulator) {
+        for a in &self.attacks {
+            a.schedule(sim);
+        }
+    }
+
+    /// The instant the last attack ends, if any.
+    pub fn last_end(&self) -> Option<SimTime> {
+        self.attacks.iter().map(|a| a.end()).max()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Mutex;
+
+    #[test]
+    fn attack_sets_and_clears_filters_on_schedule() {
+        let mut sim = Simulator::new(1);
+        let target = Addr(42);
+        let attack = Attack::partial(
+            vec![target],
+            0.9,
+            SimDuration::from_secs(10).after_zero(),
+            SimDuration::from_secs(20),
+        );
+        attack.schedule(&mut sim);
+
+        let seen = std::sync::Arc::new(Mutex::new(Vec::new()));
+        for t in [5u64, 15, 25, 35] {
+            let seen = seen.clone();
+            sim.schedule_control(SimDuration::from_secs(t).after_zero(), move |w| {
+                seen.lock().unwrap().push((t, w.links().ingress_loss(target)));
+            });
+        }
+        sim.run_until_idle();
+        let seen = seen.lock().unwrap();
+        assert_eq!(seen.as_slice(), &[(5, 0.0), (15, 0.9), (25, 0.9), (35, 0.0)]);
+    }
+
+    #[test]
+    fn complete_failure_is_loss_one() {
+        let a = Attack::complete_failure(
+            vec![Addr(1), Addr(2)],
+            SimTime::ZERO,
+            SimDuration::from_mins(60),
+        );
+        assert_eq!(a.loss, 1.0);
+        assert_eq!(a.end(), SimDuration::from_mins(60).after_zero());
+    }
+
+    #[test]
+    fn schedule_tracks_last_end() {
+        let mut s = AttackSchedule::new();
+        assert_eq!(s.last_end(), None);
+        s.push(Attack::partial(
+            vec![Addr(1)],
+            0.5,
+            SimDuration::from_mins(10).after_zero(),
+            SimDuration::from_mins(30),
+        ));
+        s.push(Attack::partial(
+            vec![Addr(2)],
+            0.75,
+            SimDuration::from_mins(20).after_zero(),
+            SimDuration::from_mins(60),
+        ));
+        assert_eq!(s.last_end(), Some(SimDuration::from_mins(80).after_zero()));
+    }
+
+    #[test]
+    fn pulsed_waveform_toggles_the_filter() {
+        let mut sim = Simulator::new(3);
+        let target = Addr(5);
+        Attack::partial(
+            vec![target],
+            0.8,
+            SimDuration::from_secs(0).after_zero(),
+            SimDuration::from_secs(100),
+        )
+        .schedule_with_waveform(
+            &mut sim,
+            Waveform::Pulsed {
+                period: SimDuration::from_secs(20),
+                duty: 0.5,
+            },
+        );
+        let seen = std::sync::Arc::new(Mutex::new(Vec::new()));
+        for t in [5u64, 15, 25, 35, 45, 105] {
+            let seen = seen.clone();
+            sim.schedule_control(SimDuration::from_secs(t).after_zero(), move |w| {
+                seen.lock().unwrap().push((t, w.links().ingress_loss(target)));
+            });
+        }
+        sim.run_until_idle();
+        let seen = seen.lock().unwrap();
+        assert_eq!(
+            seen.as_slice(),
+            &[(5, 0.8), (15, 0.0), (25, 0.8), (35, 0.0), (45, 0.8), (105, 0.0)]
+        );
+    }
+
+    #[test]
+    fn ramp_waveform_climbs_in_stairs() {
+        let mut sim = Simulator::new(4);
+        let target = Addr(6);
+        Attack::partial(
+            vec![target],
+            0.9,
+            SimDuration::from_secs(0).after_zero(),
+            SimDuration::from_secs(90),
+        )
+        .schedule_with_waveform(&mut sim, Waveform::Ramp { from: 0.0, steps: 3 });
+        let seen = std::sync::Arc::new(Mutex::new(Vec::new()));
+        for t in [10u64, 40, 70, 95] {
+            let seen = seen.clone();
+            sim.schedule_control(SimDuration::from_secs(t).after_zero(), move |w| {
+                seen.lock().unwrap().push(w.links().ingress_loss(target));
+            });
+        }
+        sim.run_until_idle();
+        let seen = seen.lock().unwrap();
+        assert!((seen[0] - 0.3).abs() < 1e-9, "{seen:?}");
+        assert!((seen[1] - 0.6).abs() < 1e-9, "{seen:?}");
+        assert!((seen[2] - 0.9).abs() < 1e-9, "{seen:?}");
+        assert_eq!(seen[3], 0.0, "{seen:?}");
+    }
+
+    #[test]
+    fn scoped_attack_leaves_other_targets_alone() {
+        let mut sim = Simulator::new(2);
+        let victim = Addr(1);
+        let bystander = Addr(2);
+        Attack::partial(
+            vec![victim],
+            0.5,
+            SimTime::ZERO,
+            SimDuration::from_secs(100),
+        )
+        .schedule(&mut sim);
+        let seen = std::sync::Arc::new(Mutex::new((0.0f64, 0.0f64)));
+        {
+            let seen = seen.clone();
+            sim.schedule_control(SimDuration::from_secs(50).after_zero(), move |w| {
+                *seen.lock().unwrap() =
+                    (w.links().ingress_loss(victim), w.links().ingress_loss(bystander));
+            });
+        }
+        sim.run_until_idle();
+        assert_eq!(*seen.lock().unwrap(), (0.5, 0.0));
+    }
+}

@@ -1,0 +1,114 @@
+//! `zoneq` — a dig-style query tool for zone files.
+//!
+//! ```text
+//! zoneq <zonefile> <name> [type]
+//! zoneq --check <zonefile>
+//! ```
+//!
+//! Loads a master file and answers the query exactly as the simulated
+//! authoritative server would (authoritative answers, referrals,
+//! NXDOMAIN/NODATA with the SOA), printing a dig-like summary. With
+//! `--check`, parses the zone and prints its canonical form instead —
+//! a quick lint for hand-written zones.
+
+use dike_auth::{zonefile, AuthServer};
+use dike_netsim::SimTime;
+use dike_wire::{Message, Name, RecordType};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.as_slice() {
+        [flag, path] if flag == "--check" => check(path),
+        [path, name] => query(path, name, "A"),
+        [path, name, qtype] => query(path, name, qtype),
+        _ => {
+            eprintln!("usage: zoneq <zonefile> <name> [type] | zoneq --check <zonefile>");
+            std::process::exit(2);
+        }
+    }
+}
+
+fn load(path: &str) -> dike_auth::Zone {
+    let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
+        eprintln!("zoneq: reading {path}: {e}");
+        std::process::exit(2);
+    });
+    zonefile::parse(&text, None).unwrap_or_else(|e| {
+        eprintln!("zoneq: {e}");
+        std::process::exit(1);
+    })
+}
+
+fn check(path: &str) {
+    let zone = load(path);
+    println!(
+        "; zone {} ok: serial {}, {} records",
+        zone.origin(),
+        zone.serial(),
+        zone.record_count()
+    );
+    print!("{}", zone.to_zonefile());
+}
+
+fn query(path: &str, name: &str, qtype: &str) {
+    let zone = load(path);
+    let qname = Name::parse(name).unwrap_or_else(|e| {
+        eprintln!("zoneq: bad name {name}: {e}");
+        std::process::exit(2);
+    });
+    let qtype = match qtype.to_ascii_uppercase().as_str() {
+        "A" => RecordType::A,
+        "AAAA" => RecordType::AAAA,
+        "NS" => RecordType::NS,
+        "CNAME" => RecordType::CNAME,
+        "SOA" => RecordType::SOA,
+        "MX" => RecordType::MX,
+        "TXT" => RecordType::TXT,
+        "PTR" => RecordType::PTR,
+        "SRV" => RecordType::SRV,
+        "DS" => RecordType::DS,
+        other => {
+            eprintln!("zoneq: unsupported type {other}");
+            std::process::exit(2);
+        }
+    };
+
+    let mut server = AuthServer::new().with_zone(Box::new(zone));
+    let q = Message::iterative_query(0x5a51, qname.clone(), qtype).with_edns(4096);
+    let resp = server.handle_query(SimTime::ZERO, &q);
+
+    println!(
+        ";; ->>HEADER<<- opcode: QUERY, status: {}, id: {}",
+        resp.rcode, resp.id
+    );
+    let mut flags = vec!["qr"];
+    if resp.authoritative {
+        flags.push("aa");
+    }
+    if resp.truncated {
+        flags.push("tc");
+    }
+    println!(
+        ";; flags: {}; QUERY: 1, ANSWER: {}, AUTHORITY: {}, ADDITIONAL: {}",
+        flags.join(" "),
+        resp.answers.len(),
+        resp.authorities.len(),
+        resp.additionals.len()
+    );
+    println!("\n;; QUESTION SECTION:\n;{qname}.\t\tIN\t{qtype}");
+    for (label, records) in [
+        ("ANSWER", &resp.answers),
+        ("AUTHORITY", &resp.authorities),
+        ("ADDITIONAL", &resp.additionals),
+    ] {
+        if records.is_empty() {
+            continue;
+        }
+        println!("\n;; {label} SECTION:");
+        for r in records {
+            println!("{r}");
+        }
+    }
+    let size = dike_wire::codec::encoded_len(&resp).unwrap_or(0);
+    println!("\n;; MSG SIZE  rcvd: {size}");
+}

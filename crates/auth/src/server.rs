@@ -1,0 +1,354 @@
+//! The authoritative server node.
+
+use dike_netsim::{Addr, Context, Node, SimDuration, SimTime, TimerToken};
+use dike_wire::{Message, MessageBuilder, Opcode, Question, Rcode};
+
+use crate::zone::{Zone, ZoneAnswer};
+
+/// Something that can answer questions for a zone. [`Zone`] implements it
+/// for static content; [`crate::CacheTestZone`] adds synthesis and serial
+/// rotation.
+pub trait ZoneProvider: Send {
+    /// The zone origin this provider serves.
+    fn origin(&self) -> &dike_wire::Name;
+
+    /// Answers one question at virtual time `now`.
+    fn answer(&mut self, now: SimTime, q: &Question) -> ZoneAnswer;
+
+    /// If `Some`, the server calls [`ZoneProvider::rotate`] at this
+    /// interval (the paper reloads its zone every 10 minutes).
+    fn rotation_interval(&self) -> Option<SimDuration> {
+        None
+    }
+
+    /// Performs a zone rotation / reload.
+    fn rotate(&mut self, now: SimTime) {
+        let _ = now;
+    }
+}
+
+impl ZoneProvider for Zone {
+    fn origin(&self) -> &dike_wire::Name {
+        Zone::origin(self)
+    }
+
+    fn answer(&mut self, _now: SimTime, q: &Question) -> ZoneAnswer {
+        Zone::answer(self, q)
+    }
+}
+
+/// An authoritative DNS server hosting one or more zones.
+///
+/// For each query the deepest zone whose origin contains the query name
+/// answers; questions matching no zone get `REFUSED`, like a correctly
+/// configured BIND. Responses echo the query id and question and set `AA`
+/// for authoritative data (clear on referrals — the distinction the
+/// paper's Appendix A measures).
+pub struct AuthServer {
+    zones: Vec<Box<dyn ZoneProvider>>,
+    queries_handled: u64,
+}
+
+/// Timer tokens: rotation timer per zone index.
+const ROTATE_BASE: u64 = 1_000;
+
+impl AuthServer {
+    /// A server with no zones; add some with [`AuthServer::add_zone`].
+    pub fn new() -> Self {
+        AuthServer {
+            zones: Vec::new(),
+            queries_handled: 0,
+        }
+    }
+
+    /// Adds a zone to serve.
+    pub fn add_zone(&mut self, zone: Box<dyn ZoneProvider>) -> &mut Self {
+        self.zones.push(zone);
+        self
+    }
+
+    /// Builder-style zone addition.
+    pub fn with_zone(mut self, zone: Box<dyn ZoneProvider>) -> Self {
+        self.zones.push(zone);
+        self
+    }
+
+    /// Queries answered so far.
+    pub fn queries_handled(&self) -> u64 {
+        self.queries_handled
+    }
+
+    /// Index of the deepest zone containing `name`.
+    fn zone_for(&self, name: &dike_wire::Name) -> Option<usize> {
+        self.zones
+            .iter()
+            .enumerate()
+            .filter(|(_, z)| name.is_subdomain_of(z.origin()))
+            .max_by_key(|(_, z)| z.origin().label_count())
+            .map(|(i, _)| i)
+    }
+
+    /// Answers `query`, producing the full response message. Responses
+    /// larger than the transport allows (the client's EDNS0 advertised
+    /// size, or RFC 1035's 512 octets without EDNS) are truncated: the
+    /// record sections are emptied and the `TC` bit set, telling the
+    /// client to retry elsewhere (or over TCP, which the paper's
+    /// UDP-only measurements — and this simulator — do not model).
+    pub fn handle_query(&mut self, now: SimTime, query: &Message) -> Message {
+        let mut resp = self.answer_query(now, query);
+        let limit = query
+            .edns_payload_size()
+            .map(|s| s as usize)
+            .unwrap_or(dike_wire::MAX_UDP_PAYLOAD);
+        match dike_wire::codec::encoded_len(&resp) {
+            Ok(len) if len > limit => {
+                resp.truncated = true;
+                resp.answers.clear();
+                resp.authorities.clear();
+                resp.additionals.clear();
+            }
+            _ => {}
+        }
+        resp
+    }
+
+    fn answer_query(&mut self, now: SimTime, query: &Message) -> Message {
+        self.queries_handled += 1;
+        if query.opcode != Opcode::Query {
+            return Message::error_response(query, Rcode::NotImp);
+        }
+        let Some(q) = query.question() else {
+            return Message::error_response(query, Rcode::FormErr);
+        };
+        let Some(zi) = self.zone_for(&q.name) else {
+            return Message::error_response(query, Rcode::Refused);
+        };
+        let q = q.clone();
+        match self.zones[zi].answer(now, &q) {
+            ZoneAnswer::Authoritative {
+                answers,
+                additionals,
+            } => {
+                let mut b = MessageBuilder::respond_to(query).authoritative();
+                for r in answers {
+                    b = b.answer(r);
+                }
+                for r in additionals {
+                    b = b.additional(r);
+                }
+                b.build()
+            }
+            ZoneAnswer::NoData { soa } => MessageBuilder::respond_to(query)
+                .authoritative()
+                .authority(soa)
+                .build(),
+            ZoneAnswer::NxDomain { soa } => MessageBuilder::respond_to(query)
+                .authoritative()
+                .rcode(Rcode::NxDomain)
+                .authority(soa)
+                .build(),
+            ZoneAnswer::Referral { ns, glue } => {
+                // Referrals are not authoritative (AA clear) — this is what
+                // lets resolvers rank the child's own answer above the
+                // parent's glue (Appendix A / RFC 2181 §5.4.1).
+                let mut b = MessageBuilder::respond_to(query);
+                for r in ns {
+                    b = b.authority(r);
+                }
+                for r in glue {
+                    b = b.additional(r);
+                }
+                b.build()
+            }
+            ZoneAnswer::NotInZone => Message::error_response(query, Rcode::Refused),
+        }
+    }
+}
+
+impl Default for AuthServer {
+    fn default() -> Self {
+        AuthServer::new()
+    }
+}
+
+impl Node for AuthServer {
+    fn on_start(&mut self, ctx: &mut Context<'_>) {
+        for (i, zone) in self.zones.iter().enumerate() {
+            if let Some(interval) = zone.rotation_interval() {
+                ctx.set_timer(interval, TimerToken(ROTATE_BASE + i as u64));
+            }
+        }
+    }
+
+    fn on_datagram(&mut self, ctx: &mut Context<'_>, src: Addr, msg: &Message, _wire_len: usize) {
+        if msg.is_response {
+            return; // authoritatives only answer queries
+        }
+        let now = ctx.now();
+        let resp = self.handle_query(now, msg);
+        ctx.send(src, &resp);
+    }
+
+    fn on_timer(&mut self, ctx: &mut Context<'_>, token: TimerToken) {
+        let idx = (token.0 - ROTATE_BASE) as usize;
+        if let Some(zone) = self.zones.get_mut(idx) {
+            let now = ctx.now();
+            zone.rotate(now);
+            if let Some(interval) = zone.rotation_interval() {
+                ctx.set_timer(interval, token);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cachetest::{decode_probe_aaaa, CacheTestZone};
+    use crate::zone::default_soa;
+    use dike_wire::{Name, RData, Record, RecordType};
+    use std::net::Ipv4Addr;
+
+    fn name(s: &str) -> Name {
+        Name::parse(s).unwrap()
+    }
+
+    fn server() -> AuthServer {
+        AuthServer::new().with_zone(Box::new(CacheTestZone::new(
+            60,
+            &[Ipv4Addr::new(198, 51, 100, 1)],
+        )))
+    }
+
+    #[test]
+    fn answers_probe_query_with_aa() {
+        let mut s = server();
+        let q = Message::iterative_query(5, name("1414.cachetest.nl"), RecordType::AAAA);
+        let resp = s.handle_query(SimTime::ZERO, &q);
+        assert!(resp.authoritative);
+        assert_eq!(resp.rcode, Rcode::NoError);
+        assert_eq!(resp.id, 5);
+        let RData::Aaaa(addr) = resp.answers[0].rdata else {
+            panic!("expected AAAA")
+        };
+        assert_eq!(decode_probe_aaaa(addr).unwrap().probe_id, 1414);
+        assert_eq!(s.queries_handled(), 1);
+    }
+
+    #[test]
+    fn out_of_zone_query_refused() {
+        let mut s = server();
+        let q = Message::iterative_query(6, name("example.com"), RecordType::A);
+        let resp = s.handle_query(SimTime::ZERO, &q);
+        assert_eq!(resp.rcode, Rcode::Refused);
+    }
+
+    #[test]
+    fn deepest_zone_wins() {
+        // A server hosting both "nl" and "cachetest.nl": queries under
+        // cachetest.nl must be answered from the child zone, not referred
+        // by the parent.
+        let nl_origin = name("nl");
+        let mut nl = Zone::new(nl_origin.clone(), 3600, default_soa(&nl_origin));
+        nl.add(Record::new(
+            name("cachetest.nl"),
+            3600,
+            RData::Ns(name("ns1.cachetest.nl")),
+        ));
+        nl.add(Record::new(
+            name("ns1.cachetest.nl"),
+            3600,
+            RData::A(Ipv4Addr::new(198, 51, 100, 1)),
+        ));
+        let mut s = AuthServer::new()
+            .with_zone(Box::new(nl))
+            .with_zone(Box::new(CacheTestZone::new(
+                60,
+                &[Ipv4Addr::new(198, 51, 100, 1)],
+            )));
+        let q = Message::iterative_query(7, name("9.cachetest.nl"), RecordType::AAAA);
+        let resp = s.handle_query(SimTime::ZERO, &q);
+        assert!(resp.authoritative, "child zone answers, parent would refer");
+        assert_eq!(resp.answers.len(), 1);
+
+        // But a query for something else under nl refers or NXDOMAINs from
+        // the parent.
+        let q2 = Message::iterative_query(8, name("other.nl"), RecordType::A);
+        let resp2 = s.handle_query(SimTime::ZERO, &q2);
+        assert_eq!(resp2.rcode, Rcode::NxDomain);
+    }
+
+    #[test]
+    fn parent_returns_referral_for_delegated_child() {
+        let nl_origin = name("nl");
+        let mut nl = Zone::new(nl_origin.clone(), 3600, default_soa(&nl_origin));
+        nl.add(Record::new(
+            name("cachetest.nl"),
+            3600,
+            RData::Ns(name("ns1.cachetest.nl")),
+        ));
+        nl.add(Record::new(
+            name("ns1.cachetest.nl"),
+            3600,
+            RData::A(Ipv4Addr::new(198, 51, 100, 1)),
+        ));
+        let mut s = AuthServer::new().with_zone(Box::new(nl));
+        let q = Message::iterative_query(9, name("1414.cachetest.nl"), RecordType::AAAA);
+        let resp = s.handle_query(SimTime::ZERO, &q);
+        assert!(resp.is_referral());
+        assert!(!resp.authoritative);
+        assert_eq!(resp.authorities[0].rtype(), RecordType::NS);
+        assert_eq!(resp.additionals.len(), 1, "glue A record");
+    }
+
+    #[test]
+    fn nodata_negative_has_soa_for_negative_ttl() {
+        let mut s = server();
+        let q = Message::iterative_query(10, name("ns1.cachetest.nl"), RecordType::AAAA);
+        let resp = s.handle_query(SimTime::ZERO, &q);
+        assert!(resp.is_negative());
+        // SOA minimum is 60 in the default SOA.
+        assert_eq!(resp.negative_ttl(), Some(60));
+    }
+
+    #[test]
+    fn oversized_response_is_truncated_without_edns() {
+        // A zone with enough TXT data at one name to blow past 512 octets.
+        let origin = name("big.test");
+        let mut z = Zone::new(origin.clone(), 3600, default_soa(&origin));
+        for i in 0..4 {
+            z.add(Record::new(
+                name("fat.big.test"),
+                60,
+                RData::Txt(vec![vec![b'a' + i as u8; 200]]),
+            ));
+        }
+        let mut s = AuthServer::new().with_zone(Box::new(z));
+
+        // Plain 512-octet client: truncated, empty sections.
+        let q = Message::iterative_query(21, name("fat.big.test"), RecordType::TXT);
+        let resp = s.handle_query(SimTime::ZERO, &q);
+        assert!(resp.truncated, "TC set");
+        assert!(resp.answers.is_empty());
+        assert!(
+            dike_wire::codec::encoded_len(&resp).unwrap() <= dike_wire::MAX_UDP_PAYLOAD,
+            "the truncated response itself fits"
+        );
+
+        // An EDNS client advertising 1232 gets the full answer.
+        let q = Message::iterative_query(22, name("fat.big.test"), RecordType::TXT)
+            .with_edns(1232);
+        let resp = s.handle_query(SimTime::ZERO, &q);
+        assert!(!resp.truncated);
+        assert_eq!(resp.answers.len(), 4);
+    }
+
+    #[test]
+    fn non_query_opcode_is_notimp() {
+        let mut s = server();
+        let mut q = Message::iterative_query(11, name("1.cachetest.nl"), RecordType::AAAA);
+        q.opcode = Opcode::Update;
+        let resp = s.handle_query(SimTime::ZERO, &q);
+        assert_eq!(resp.rcode, Rcode::NotImp);
+    }
+}

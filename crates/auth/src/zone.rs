@@ -1,0 +1,497 @@
+//! The zone model and its lookup semantics.
+
+use std::collections::BTreeMap;
+
+use dike_wire::{Name, Question, RData, Record, RecordType, SoaData};
+
+/// What the zone says about a question. The server turns this into a wire
+/// message; keeping it structural makes the semantics unit-testable.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ZoneAnswer {
+    /// Authoritative data: answer records (possibly a CNAME chain) plus
+    /// additional-section records (e.g. addresses for in-zone NS answers).
+    Authoritative {
+        /// Answer-section records.
+        answers: Vec<Record>,
+        /// Additional-section records.
+        additionals: Vec<Record>,
+    },
+    /// The name exists but has no data of this type (RFC 2308 NODATA).
+    NoData {
+        /// The zone SOA, for the authority section.
+        soa: Record,
+    },
+    /// The name does not exist (NXDOMAIN).
+    NxDomain {
+        /// The zone SOA, for the authority section.
+        soa: Record,
+    },
+    /// The question falls under a delegated child zone: a referral.
+    Referral {
+        /// The child's NS RRset, for the authority section.
+        ns: Vec<Record>,
+        /// Glue addresses, for the additional section.
+        glue: Vec<Record>,
+    },
+    /// The question is outside this zone entirely.
+    NotInZone,
+}
+
+/// An in-memory DNS zone.
+///
+/// Records are stored per `(name, type)`. Any NS RRset owned by a name
+/// *below* the origin marks a zone cut: queries at or below it produce
+/// referrals, and address records stored below the cut serve as glue.
+#[derive(Debug, Clone)]
+pub struct Zone {
+    origin: Name,
+    soa: Record,
+    records: BTreeMap<Name, BTreeMap<RecordType, Vec<Record>>>,
+}
+
+impl Zone {
+    /// Creates a zone with the given origin and SOA data.
+    pub fn new(origin: Name, soa_ttl: u32, soa: SoaData) -> Self {
+        let soa_record = Record::new(origin.clone(), soa_ttl, RData::Soa(soa));
+        let mut records = BTreeMap::new();
+        records.insert(origin.clone(), {
+            let mut m = BTreeMap::new();
+            m.insert(RecordType::SOA, vec![soa_record.clone()]);
+            m
+        });
+        Zone {
+            origin,
+            soa: soa_record,
+            records,
+        }
+    }
+
+    /// The zone origin.
+    pub fn origin(&self) -> &Name {
+        &self.origin
+    }
+
+    /// The SOA record.
+    pub fn soa(&self) -> &Record {
+        &self.soa
+    }
+
+    /// The SOA serial.
+    pub fn serial(&self) -> u32 {
+        match &self.soa.rdata {
+            RData::Soa(s) => s.serial,
+            _ => unreachable!("soa record always holds SOA data"),
+        }
+    }
+
+    /// Bumps the SOA serial — a zone reload.
+    pub fn bump_serial(&mut self) {
+        if let RData::Soa(s) = &mut self.soa.rdata {
+            s.serial = s.serial.wrapping_add(1);
+        }
+        if let Some(types) = self.records.get_mut(&self.origin) {
+            types.insert(RecordType::SOA, vec![self.soa.clone()]);
+        }
+    }
+
+    /// Adds a record. Records outside the origin are rejected.
+    ///
+    /// # Panics
+    /// Panics if `record.name` is not at or below the zone origin —
+    /// building a zone with out-of-bailiwick data is a programming error.
+    pub fn add(&mut self, record: Record) {
+        assert!(
+            record.name.is_subdomain_of(&self.origin),
+            "record {} outside zone {}",
+            record.name,
+            self.origin
+        );
+        self.records
+            .entry(record.name.clone())
+            .or_default()
+            .entry(record.rtype())
+            .or_default()
+            .push(record);
+    }
+
+    /// Total number of records (handy for zone-file tests).
+    pub fn record_count(&self) -> usize {
+        self.records
+            .values()
+            .flat_map(|m| m.values())
+            .map(|v| v.len())
+            .sum()
+    }
+
+    /// Iterates every record in canonical order (SOA first at the apex,
+    /// then names in canonical DNS order).
+    pub fn iter_records(&self) -> impl Iterator<Item = &Record> {
+        self.records.values().flat_map(|types| types.values().flatten())
+    }
+
+    /// Serializes the zone to master-file text that
+    /// [`crate::zonefile::parse`] reads back into an equal zone.
+    pub fn to_zonefile(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let _ = writeln!(out, "$ORIGIN {}.", self.origin);
+        // The SOA must come first; emit it explicitly, then everything
+        // else except the apex SOA slot.
+        let _ = writeln!(out, "{}.\t{}\tIN\tSOA\t{}", self.soa.name, self.soa.ttl, {
+            let RData::Soa(s) = &self.soa.rdata else {
+                unreachable!("soa record holds SOA data")
+            };
+            format!(
+                "{}. {}. {} {} {} {} {}",
+                s.mname, s.rname, s.serial, s.refresh, s.retry, s.expire, s.minimum
+            )
+        });
+        for r in self.iter_records() {
+            if r.rtype() == RecordType::SOA {
+                continue;
+            }
+            let rdata = match &r.rdata {
+                // Names inside RDATA need trailing dots to stay absolute
+                // through a parse round trip.
+                RData::Ns(n) => format!("{n}."),
+                RData::Cname(n) => format!("{n}."),
+                RData::Ptr(n) => format!("{n}."),
+                RData::Mx {
+                    preference,
+                    exchange,
+                } => format!("{preference} {exchange}."),
+                RData::Srv {
+                    priority,
+                    weight,
+                    port,
+                    target,
+                } => format!("{priority} {weight} {port} {target}."),
+                other => other.to_string(),
+            };
+            let _ = writeln!(out, "{}.\t{}\tIN\t{}\t{}", r.name, r.ttl, r.rtype(), rdata);
+        }
+        out
+    }
+
+    /// All records of a type at a name, if any.
+    pub fn rrset(&self, name: &Name, rtype: RecordType) -> Option<&[Record]> {
+        self.records
+            .get(name)
+            .and_then(|m| m.get(&rtype))
+            .map(|v| v.as_slice())
+    }
+
+    /// Finds the deepest zone cut strictly below the origin covering
+    /// `name`, if any.
+    fn covering_cut(&self, name: &Name) -> Option<&Name> {
+        // Walk from `name` up toward (but excluding) the origin looking
+        // for an NS RRset owner.
+        let mut best: Option<&Name> = None;
+        for candidate in name.self_and_ancestors() {
+            if candidate == self.origin {
+                break;
+            }
+            if let Some((key, types)) = self.records.get_key_value(&candidate) {
+                if types.contains_key(&RecordType::NS) {
+                    // Keep walking up: if several nested cuts exist, the
+                    // shallowest one (closest to the origin) owns the
+                    // referral — everything deeper belongs to the child.
+                    best = Some(key);
+                }
+            }
+        }
+        best
+    }
+
+    /// Whether any name exists at or below `name` (an existing node or an
+    /// empty non-terminal).
+    fn name_exists(&self, name: &Name) -> bool {
+        if self.records.contains_key(name) {
+            return true;
+        }
+        // Canonical ordering groups descendants after the name; scan the
+        // range starting at `name` for a subdomain.
+        self.records
+            .range(name.clone()..)
+            .take_while(|(k, _)| k.is_subdomain_of(name))
+            .next()
+            .is_some()
+    }
+
+    /// Answers a question per authoritative-server semantics.
+    pub fn answer(&self, q: &Question) -> ZoneAnswer {
+        if !q.name.is_subdomain_of(&self.origin) {
+            return ZoneAnswer::NotInZone;
+        }
+
+        // Delegations take precedence over everything except data at the
+        // origin itself — but an NS query *at the cut* is still a referral
+        // (the child is authoritative for its own apex).
+        if let Some(cut) = self.covering_cut(&q.name) {
+            let ns = self
+                .rrset(cut, RecordType::NS)
+                .expect("cut implies NS rrset")
+                .to_vec();
+            let mut glue = Vec::new();
+            for r in &ns {
+                if let RData::Ns(target) = &r.rdata {
+                    for t in [RecordType::A, RecordType::AAAA] {
+                        if let Some(addrs) = self.rrset(target, t) {
+                            glue.extend(addrs.iter().cloned());
+                        }
+                    }
+                }
+            }
+            return ZoneAnswer::Referral { ns, glue };
+        }
+
+        let Some(types) = self.records.get(&q.name) else {
+            return if self.name_exists(&q.name) {
+                ZoneAnswer::NoData {
+                    soa: self.soa.clone(),
+                }
+            } else {
+                ZoneAnswer::NxDomain {
+                    soa: self.soa.clone(),
+                }
+            };
+        };
+
+        // Exact type match.
+        if let Some(rrset) = types.get(&q.qtype) {
+            let answers = rrset.clone();
+            let mut additionals = Vec::new();
+            // For NS answers, include in-zone addresses of the servers.
+            if q.qtype == RecordType::NS {
+                for r in &answers {
+                    if let RData::Ns(target) = &r.rdata {
+                        for t in [RecordType::A, RecordType::AAAA] {
+                            if let Some(addrs) = self.rrset(target, t) {
+                                additionals.extend(addrs.iter().cloned());
+                            }
+                        }
+                    }
+                }
+            }
+            return ZoneAnswer::Authoritative {
+                answers,
+                additionals,
+            };
+        }
+
+        // CNAME at the name answers any other type, chased in-zone.
+        if let Some(cnames) = types.get(&RecordType::CNAME) {
+            let mut answers = cnames.clone();
+            if let Some(RData::Cname(target)) = cnames.first().map(|r| &r.rdata) {
+                if let Some(rrset) = self.rrset(target, q.qtype) {
+                    answers.extend(rrset.iter().cloned());
+                }
+            }
+            return ZoneAnswer::Authoritative {
+                answers,
+                additionals: Vec::new(),
+            };
+        }
+
+        ZoneAnswer::NoData {
+            soa: self.soa.clone(),
+        }
+    }
+}
+
+/// A conventional SOA for test and experiment zones.
+pub(crate) fn default_soa(origin: &Name) -> SoaData {
+    SoaData {
+        mname: origin.child("ns1").expect("valid label"),
+        rname: origin.child("hostmaster").expect("valid label"),
+        serial: 1,
+        refresh: 14_400,
+        retry: 3_600,
+        expire: 1_209_600,
+        minimum: 60,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::net::Ipv4Addr;
+
+    fn name(s: &str) -> Name {
+        Name::parse(s).unwrap()
+    }
+
+    fn test_zone() -> Zone {
+        let origin = name("cachetest.nl");
+        let mut z = Zone::new(origin.clone(), 3600, default_soa(&origin));
+        z.add(Record::new(
+            origin.clone(),
+            3600,
+            RData::Ns(name("ns1.cachetest.nl")),
+        ));
+        z.add(Record::new(
+            origin.clone(),
+            3600,
+            RData::Ns(name("ns2.cachetest.nl")),
+        ));
+        z.add(Record::new(
+            name("ns1.cachetest.nl"),
+            3600,
+            RData::A(Ipv4Addr::new(198, 51, 100, 1)),
+        ));
+        z.add(Record::new(
+            name("ns2.cachetest.nl"),
+            3600,
+            RData::A(Ipv4Addr::new(198, 51, 100, 2)),
+        ));
+        z.add(Record::new(
+            name("www.cachetest.nl"),
+            60,
+            RData::A(Ipv4Addr::new(203, 0, 113, 1)),
+        ));
+        z.add(Record::new(
+            name("alias.cachetest.nl"),
+            60,
+            RData::Cname(name("www.cachetest.nl")),
+        ));
+        // A delegated child zone with glue.
+        z.add(Record::new(
+            name("sub.cachetest.nl"),
+            3600,
+            RData::Ns(name("ns1.sub.cachetest.nl")),
+        ));
+        z.add(Record::new(
+            name("ns1.sub.cachetest.nl"),
+            3600,
+            RData::A(Ipv4Addr::new(198, 51, 100, 53)),
+        ));
+        z
+    }
+
+    #[test]
+    fn exact_match_is_authoritative() {
+        let z = test_zone();
+        match z.answer(&Question::new(name("www.cachetest.nl"), RecordType::A)) {
+            ZoneAnswer::Authoritative { answers, .. } => {
+                assert_eq!(answers.len(), 1);
+                assert_eq!(answers[0].ttl, 60);
+            }
+            other => panic!("expected authoritative, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn ns_answer_includes_glue_addresses() {
+        let z = test_zone();
+        match z.answer(&Question::new(name("cachetest.nl"), RecordType::NS)) {
+            ZoneAnswer::Authoritative {
+                answers,
+                additionals,
+            } => {
+                assert_eq!(answers.len(), 2);
+                assert_eq!(additionals.len(), 2);
+            }
+            other => panic!("expected authoritative, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn missing_type_is_nodata_with_soa() {
+        let z = test_zone();
+        match z.answer(&Question::new(name("www.cachetest.nl"), RecordType::AAAA)) {
+            ZoneAnswer::NoData { soa } => assert_eq!(soa.rtype(), RecordType::SOA),
+            other => panic!("expected nodata, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn missing_name_is_nxdomain() {
+        let z = test_zone();
+        assert!(matches!(
+            z.answer(&Question::new(name("nope.cachetest.nl"), RecordType::A)),
+            ZoneAnswer::NxDomain { .. }
+        ));
+    }
+
+    #[test]
+    fn empty_non_terminal_is_nodata_not_nxdomain() {
+        let origin = name("cachetest.nl");
+        let mut z = Zone::new(origin.clone(), 3600, default_soa(&origin));
+        z.add(Record::new(
+            name("a.b.cachetest.nl"),
+            60,
+            RData::A(Ipv4Addr::new(203, 0, 113, 9)),
+        ));
+        // "b.cachetest.nl" has no records but exists as a non-terminal.
+        assert!(matches!(
+            z.answer(&Question::new(name("b.cachetest.nl"), RecordType::A)),
+            ZoneAnswer::NoData { .. }
+        ));
+    }
+
+    #[test]
+    fn delegation_produces_referral_with_glue() {
+        let z = test_zone();
+        match z.answer(&Question::new(name("x.sub.cachetest.nl"), RecordType::A)) {
+            ZoneAnswer::Referral { ns, glue } => {
+                assert_eq!(ns.len(), 1);
+                assert_eq!(glue.len(), 1);
+                assert_eq!(ns[0].name, name("sub.cachetest.nl"));
+            }
+            other => panic!("expected referral, got {other:?}"),
+        }
+        // A query exactly at the cut also refers.
+        assert!(matches!(
+            z.answer(&Question::new(name("sub.cachetest.nl"), RecordType::NS)),
+            ZoneAnswer::Referral { .. }
+        ));
+    }
+
+    #[test]
+    fn cname_is_followed_in_zone() {
+        let z = test_zone();
+        match z.answer(&Question::new(name("alias.cachetest.nl"), RecordType::A)) {
+            ZoneAnswer::Authoritative { answers, .. } => {
+                assert_eq!(answers.len(), 2);
+                assert_eq!(answers[0].rtype(), RecordType::CNAME);
+                assert_eq!(answers[1].rtype(), RecordType::A);
+            }
+            other => panic!("expected authoritative, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn out_of_zone_is_not_in_zone() {
+        let z = test_zone();
+        assert_eq!(
+            z.answer(&Question::new(name("example.com"), RecordType::A)),
+            ZoneAnswer::NotInZone
+        );
+    }
+
+    #[test]
+    fn bump_serial_updates_soa_everywhere() {
+        let mut z = test_zone();
+        let before = z.serial();
+        z.bump_serial();
+        assert_eq!(z.serial(), before + 1);
+        match z.answer(&Question::new(name("cachetest.nl"), RecordType::SOA)) {
+            ZoneAnswer::Authoritative { answers, .. } => match &answers[0].rdata {
+                RData::Soa(s) => assert_eq!(s.serial, before + 1),
+                _ => panic!("expected SOA rdata"),
+            },
+            other => panic!("expected authoritative, got {other:?}"),
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "outside zone")]
+    fn adding_out_of_zone_record_panics() {
+        let mut z = test_zone();
+        z.add(Record::new(
+            name("example.com"),
+            60,
+            RData::A(Ipv4Addr::new(1, 2, 3, 4)),
+        ));
+    }
+}

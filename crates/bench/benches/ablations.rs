@@ -1,0 +1,163 @@
+//! Ablations for DESIGN.md §5's design decisions, run as benchmarks so
+//! every result is timed *and* its effect quantified in the output:
+//!
+//! * retries on/off — retries are the paper's second defense; without
+//!   them, success under 90% loss with no cache collapses toward the
+//!   per-packet delivery rate.
+//! * serve-stale on/off — the extra successes after TTL expiry during a
+//!   complete outage.
+//! * fragmentation 1 vs 6 backends — the cache-miss rate a farm inflicts
+//!   on its clients.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use dike_bench::fixed_latency_sim;
+use dike_cache::{CacheAnswer, CacheConfig, FragmentedCache};
+use dike_experiments::topology::add_hierarchy;
+use dike_netsim::SimDuration;
+use dike_resolver::{profiles, RecursiveResolver, RetryPolicy};
+use dike_stub::{new_shared_log, StubConfig, StubProbe};
+use dike_wire::{Name, RData, Record, RecordType};
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+/// One resolver, N probes with unique names, 90% loss, 60 s TTL: the
+/// caches-can't-help scenario. Returns the fraction of queries answered.
+fn run_retry_scenario(max_attempts: u32, seed: u64) -> f64 {
+    let mut sim = fixed_latency_sim(seed, 10);
+    let (root, _, ns) = add_hierarchy(&mut sim, 60);
+    let mut cfg = profiles::unbound_like(vec![root]);
+    cfg.retry = RetryPolicy {
+        max_attempts,
+        ..cfg.retry
+    };
+    let (_, resolver) = sim.add_node(Box::new(RecursiveResolver::new(cfg)));
+    let log = new_shared_log();
+    for pid in 1..=30u16 {
+        let stub = StubConfig::new(
+            pid,
+            vec![resolver],
+            SimDuration::from_secs(60 + pid as u64),
+            SimDuration::from_mins(10),
+            4,
+        );
+        sim.add_node(Box::new(StubProbe::new(stub, log.clone())));
+    }
+    let (a, b) = (ns[0], ns[1]);
+    sim.schedule_control(SimDuration::from_secs(30).after_zero(), move |w| {
+        w.links_mut().set_ingress_loss(a, 0.9);
+        w.links_mut().set_ingress_loss(b, 0.9);
+    });
+    sim.run_until(SimDuration::from_mins(50).after_zero());
+    drop(sim);
+    let log = log.lock();
+    log.ok_count() as f64 / log.records.len().max(1) as f64
+}
+
+/// Serve-stale scenario: complete outage after caches expire.
+fn run_stale_scenario(serve_stale: bool, seed: u64) -> f64 {
+    let mut sim = fixed_latency_sim(seed, 10);
+    let (root, _, ns) = add_hierarchy(&mut sim, 120);
+    let base = profiles::unbound_like(vec![root]);
+    let cfg = if serve_stale {
+        profiles::with_serve_stale(base)
+    } else {
+        base
+    };
+    let (_, resolver) = sim.add_node(Box::new(RecursiveResolver::new(cfg)));
+    let log = new_shared_log();
+    for pid in 1..=20u16 {
+        let stub = StubConfig::new(
+            pid,
+            vec![resolver],
+            SimDuration::from_secs(pid as u64),
+            SimDuration::from_mins(10),
+            4,
+        );
+        sim.add_node(Box::new(StubProbe::new(stub, log.clone())));
+    }
+    let (a, b) = (ns[0], ns[1]);
+    sim.schedule_control(SimDuration::from_mins(2).after_zero(), move |w| {
+        w.links_mut().set_ingress_loss(a, 1.0);
+        w.links_mut().set_ingress_loss(b, 1.0);
+    });
+    sim.run_until(SimDuration::from_mins(40).after_zero());
+    drop(sim);
+    let log = log.lock();
+    // Only rounds after cache expiry matter (TTL 120 s, attack at 2 min).
+    let late: Vec<_> = log
+        .records
+        .iter()
+        .filter(|r| r.sent_at.as_mins() >= 5)
+        .collect();
+    late.iter().filter(|r| r.outcome.is_ok()).count() as f64 / late.len().max(1) as f64
+}
+
+/// Fragmentation: repeated lookups for one name across k backends.
+fn run_fragmentation(backends: usize, seed: u64) -> f64 {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut farm = FragmentedCache::new(backends, CacheConfig::honoring());
+    let name = Name::parse("7.cachetest.nl").unwrap();
+    let mut misses = 0;
+    let total = 200;
+    for i in 0..total {
+        let now = SimDuration::from_secs(i * 30).after_zero();
+        let b = farm.pick_backend(&mut rng);
+        match farm.lookup_on(b, now, &name, RecordType::AAAA) {
+            CacheAnswer::Fresh(_) => {}
+            _ => {
+                misses += 1;
+                farm.insert_on(
+                    b,
+                    now,
+                    vec![Record::new(
+                        name.clone(),
+                        86_400,
+                        RData::Aaaa(std::net::Ipv6Addr::LOCALHOST),
+                    )],
+                );
+            }
+        }
+    }
+    misses as f64 / total as f64
+}
+
+fn bench_ablations(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ablations");
+    g.sample_size(10);
+
+    g.bench_function("retries_on(7_attempts)", |b| {
+        b.iter(|| run_retry_scenario(7, 42))
+    });
+    g.bench_function("retries_off(1_attempt)", |b| {
+        b.iter(|| run_retry_scenario(1, 42))
+    });
+    // The effect itself, asserted once outside the timing loop.
+    let with = run_retry_scenario(7, 42);
+    let without = run_retry_scenario(1, 42);
+    println!("[ablation] retries: ok {with:.2} with vs {without:.2} without");
+    assert!(with > without, "retries must help under loss");
+
+    g.bench_function("serve_stale_on", |b| b.iter(|| run_stale_scenario(true, 42)));
+    g.bench_function("serve_stale_off", |b| b.iter(|| run_stale_scenario(false, 42)));
+    let with = run_stale_scenario(true, 42);
+    let without = run_stale_scenario(false, 42);
+    println!("[ablation] serve-stale: ok {with:.2} with vs {without:.2} without");
+    assert!(with > without, "serve-stale must help during outage");
+
+    g.bench_function("fragmentation_1_backend", |b| {
+        b.iter(|| run_fragmentation(1, 42))
+    });
+    g.bench_function("fragmentation_6_backends", |b| {
+        b.iter(|| run_fragmentation(6, 42))
+    });
+    let one = run_fragmentation(1, 42);
+    let six = run_fragmentation(6, 42);
+    println!("[ablation] fragmentation: miss {one:.2} @1 backend vs {six:.2} @6 backends");
+    assert!(six > one, "fragmentation must inflate misses");
+
+    g.finish();
+}
+
+criterion_group!(benches, bench_ablations);
+criterion_main!(benches);

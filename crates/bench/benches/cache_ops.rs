@@ -1,0 +1,73 @@
+//! Cache operation costs: lookup/insert across capacities, and the
+//! eviction path (DESIGN.md §5.3).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use dike_cache::{CacheConfig, ResolverCache};
+use dike_netsim::{SimDuration, SimTime};
+use dike_wire::{Name, RData, Record, RecordType};
+
+fn rec(i: usize) -> Record {
+    Record::new(
+        Name::parse(&format!("{i}.cachetest.nl")).unwrap(),
+        3600,
+        RData::A(std::net::Ipv4Addr::new(192, 0, 2, (i % 250) as u8 + 1)),
+    )
+}
+
+fn at(secs: u64) -> SimTime {
+    SimDuration::from_secs(secs).after_zero()
+}
+
+fn bench_cache(c: &mut Criterion) {
+    let mut g = c.benchmark_group("cache_ops");
+
+    for &size in &[100usize, 10_000] {
+        // Pre-populated cache of `size` entries.
+        let mut warm = ResolverCache::new(CacheConfig::honoring());
+        for i in 0..size {
+            warm.insert(at(0), vec![rec(i)]);
+        }
+        let names: Vec<Name> = (0..size)
+            .map(|i| Name::parse(&format!("{i}.cachetest.nl")).unwrap())
+            .collect();
+
+        g.bench_with_input(BenchmarkId::new("hit", size), &size, |b, _| {
+            let mut i = 0usize;
+            b.iter(|| {
+                i = (i + 1) % names.len();
+                black_box(warm.lookup(at(1), &names[i], RecordType::A))
+            })
+        });
+        g.bench_with_input(BenchmarkId::new("miss", size), &size, |b, _| {
+            let gone = Name::parse("missing.cachetest.nl").unwrap();
+            b.iter(|| black_box(warm.lookup(at(1), &gone, RecordType::A)))
+        });
+    }
+
+    g.bench_function("insert_with_eviction", |b| {
+        // Capacity 1k, inserting unique names forever: every insert evicts.
+        let mut cache = ResolverCache::new(CacheConfig {
+            capacity: 1_000,
+            ..CacheConfig::honoring()
+        });
+        for i in 0..1_000 {
+            cache.insert(at(0), vec![rec(i)]);
+        }
+        let mut i = 1_000usize;
+        b.iter(|| {
+            i += 1;
+            cache.insert(at(1), vec![rec(i)])
+        })
+    });
+
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(40);
+    targets = bench_cache
+}
+criterion_main!(benches);

@@ -1,0 +1,25 @@
+//! Figure 16: per-software query counts for one cold resolution, normal
+//! and under complete failure.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use dike_experiments::software::{run_software, Software};
+
+fn bench_software(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig16_software");
+    g.sample_size(20);
+    for (label, sw, ddos) in [
+        ("bind_normal", Software::Bind, false),
+        ("bind_ddos", Software::Bind, true),
+        ("unbound_normal", Software::Unbound, false),
+        ("unbound_ddos", Software::Unbound, true),
+    ] {
+        g.bench_with_input(BenchmarkId::new("resolution", label), &(), |b, _| {
+            b.iter(|| run_software(sw, ddos, 42).total())
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_software);
+criterion_main!(benches);

@@ -1,0 +1,35 @@
+//! Figures 4 & 5: the production-zone trace emulations (`.nl` inter-
+//! arrival ECDF and root-DITL queries-per-recursive distribution).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use dike_experiments::production::{run_nl, run_root, NlConfig, RootConfig};
+
+fn bench_production(c: &mut Criterion) {
+    let mut g = c.benchmark_group("production");
+    g.sample_size(10);
+    g.bench_function("fig4_nl_ecdf", |b| {
+        b.iter(|| {
+            let r = run_nl(&NlConfig {
+                n_recursives: 300,
+                ..NlConfig::default()
+            });
+            assert!(r.analyzed > 0);
+            r.frac_at_ttl
+        })
+    });
+    g.bench_function("fig5_root_ditl", |b| {
+        b.iter(|| {
+            let r = run_root(&RootConfig {
+                n_recursives: 5_000,
+                ..RootConfig::default()
+            });
+            assert!(r.frac_single > 0.5);
+            r.max_queries
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_production);
+criterion_main!(benches);

@@ -1,0 +1,29 @@
+//! Figures 6 & 7 / the complete-failure rows of Table 4: Experiments A,
+//! B and C end to end.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use dike_bench::BENCH_SCALE;
+use dike_experiments::ddos::{run_ddos, DdosExperiment};
+
+fn bench_complete_failure(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig6_complete_failure");
+    g.sample_size(10);
+    for exp in [DdosExperiment::A, DdosExperiment::B, DdosExperiment::C] {
+        g.bench_with_input(
+            BenchmarkId::new("experiment", exp.letter()),
+            &exp,
+            |b, &exp| {
+                b.iter(|| {
+                    let r = run_ddos(exp, BENCH_SCALE, 42);
+                    assert!(!r.outcomes.is_empty());
+                    r.outcomes.len()
+                })
+            },
+        );
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_complete_failure);
+criterion_main!(benches);

@@ -1,0 +1,28 @@
+//! The §8 implications sweep (root-vs-Dyn anycast experiment).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use dike_experiments::implications::{run_implications, ImplicationsConfig};
+
+fn bench_implications(c: &mut Criterion) {
+    let mut g = c.benchmark_group("implications");
+    g.sample_size(10);
+    for (label, cfg) in [
+        ("root_like_half_sites", ImplicationsConfig::root_like(40, 42)),
+        (
+            "dyn_like_all_sites",
+            ImplicationsConfig {
+                sites_attacked: 8,
+                ..ImplicationsConfig::dyn_like(40, 42)
+            },
+        ),
+    ] {
+        g.bench_with_input(BenchmarkId::new("scenario", label), &cfg, |b, cfg| {
+            b.iter(|| run_implications(cfg).ok_during_attack)
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_implications);
+criterion_main!(benches);

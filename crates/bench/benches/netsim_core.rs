@@ -1,0 +1,104 @@
+//! Event-loop throughput: how many datagram round trips per second the
+//! simulator core sustains (DESIGN.md §5.1).
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+
+use dike_bench::fixed_latency_sim;
+use dike_netsim::{Addr, Context, Node, SimDuration, TimerToken};
+use dike_wire::{Message, Name, RecordType};
+
+/// Echoes every query.
+struct Echo;
+impl Node for Echo {
+    fn on_datagram(&mut self, ctx: &mut Context<'_>, src: Addr, msg: &Message, _l: usize) {
+        if !msg.is_response {
+            ctx.send(src, &Message::response_to(msg));
+        }
+    }
+    fn on_timer(&mut self, _ctx: &mut Context<'_>, _t: TimerToken) {}
+}
+
+/// Sends `count` queries back-to-back (next query on each response).
+struct Burst {
+    target: Addr,
+    remaining: u32,
+}
+impl Node for Burst {
+    fn on_start(&mut self, ctx: &mut Context<'_>) {
+        ctx.set_timer(SimDuration::from_millis(1), TimerToken(0));
+    }
+    fn on_datagram(&mut self, ctx: &mut Context<'_>, _src: Addr, msg: &Message, _l: usize) {
+        if msg.is_response && self.remaining > 0 {
+            self.remaining -= 1;
+            ctx.send(
+                self.target,
+                &Message::query(self.remaining as u16, Name::parse("x.nl").unwrap(), RecordType::A),
+            );
+        }
+    }
+    fn on_timer(&mut self, ctx: &mut Context<'_>, _t: TimerToken) {
+        ctx.send(
+            self.target,
+            &Message::query(0, Name::parse("x.nl").unwrap(), RecordType::A),
+        );
+    }
+}
+
+fn bench_event_loop(c: &mut Criterion) {
+    const ROUND_TRIPS: u32 = 2_000;
+    let mut g = c.benchmark_group("netsim_core");
+    g.throughput(Throughput::Elements(ROUND_TRIPS as u64));
+    g.bench_function("query_response_round_trips", |b| {
+        b.iter(|| {
+            let mut sim = fixed_latency_sim(1, 1);
+            let (_, echo) = sim.add_node(Box::new(Echo));
+            sim.add_node(Box::new(Burst {
+                target: echo,
+                remaining: ROUND_TRIPS,
+            }));
+            sim.run_until_idle();
+            sim.now()
+        })
+    });
+    g.bench_function("timer_churn", |b| {
+        b.iter(|| {
+            // 1000 nodes each setting and firing 4 timers.
+            struct Ticker {
+                left: u8,
+            }
+            impl Node for Ticker {
+                fn on_start(&mut self, ctx: &mut Context<'_>) {
+                    ctx.set_timer(SimDuration::from_millis(10), TimerToken(0));
+                }
+                fn on_datagram(
+                    &mut self,
+                    _ctx: &mut Context<'_>,
+                    _src: Addr,
+                    _msg: &Message,
+                    _l: usize,
+                ) {
+                }
+                fn on_timer(&mut self, ctx: &mut Context<'_>, _t: TimerToken) {
+                    if self.left > 0 {
+                        self.left -= 1;
+                        ctx.set_timer(SimDuration::from_millis(10), TimerToken(0));
+                    }
+                }
+            }
+            let mut sim = fixed_latency_sim(2, 1);
+            for _ in 0..1000 {
+                sim.add_node(Box::new(Ticker { left: 3 }));
+            }
+            sim.run_until_idle();
+            sim.now()
+        })
+    });
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_event_loop
+}
+criterion_main!(benches);

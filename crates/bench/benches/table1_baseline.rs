@@ -1,0 +1,25 @@
+//! Tables 1–3 / Figures 3 & 13: the caching baseline experiments,
+//! end to end (population build, simulation, classification).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use dike_bench::BENCH_SCALE;
+use dike_experiments::baseline::{run_baseline, BASELINES};
+
+fn bench_baselines(c: &mut Criterion) {
+    let mut g = c.benchmark_group("table1_baseline");
+    g.sample_size(10);
+    for cfg in BASELINES {
+        g.bench_with_input(BenchmarkId::new("experiment", cfg.label), &cfg, |b, cfg| {
+            b.iter(|| {
+                let r = run_baseline(*cfg, BENCH_SCALE, 42);
+                assert!(r.classification.summary.valid_answers > 0);
+                r.classification.summary
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_baselines);
+criterion_main!(benches);

@@ -1,0 +1,25 @@
+//! Tables 5 & 6: the glue/referral TTL-precedence experiment.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use dike_experiments::glue;
+use dike_wire::RecordType;
+
+fn bench_glue(c: &mut Criterion) {
+    let mut g = c.benchmark_group("table5_glue");
+    g.sample_size(10);
+    g.bench_function("ns_ttl_precedence_40_resolvers", |b| {
+        b.iter(|| {
+            let buckets = glue::run_table5(RecordType::NS, 40, 0.05, 42);
+            assert!(buckets.total > 0);
+            buckets.authoritative_fraction()
+        })
+    });
+    g.bench_function("cache_dump", |b| {
+        b.iter(|| glue::run_cache_dump(42))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_glue);
+criterion_main!(benches);

@@ -1,0 +1,59 @@
+//! Wire-codec throughput: every simulated datagram passes through encode
+//! and decode, so codec cost bounds simulation speed (DESIGN.md §5.2).
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use std::hint::black_box;
+
+use dike_wire::{codec, Message, MessageBuilder, Name, RData, Record, RecordType};
+
+fn query() -> Message {
+    Message::query(
+        0x1414,
+        Name::parse("1414.cachetest.nl").unwrap(),
+        RecordType::AAAA,
+    )
+    .with_edns(1232)
+}
+
+fn referral() -> Message {
+    let q = Message::iterative_query(7, Name::parse("1414.cachetest.nl").unwrap(), RecordType::AAAA);
+    let mut b = MessageBuilder::respond_to(&q);
+    for i in 1..=4 {
+        b = b.authority(Record::new(
+            Name::parse("cachetest.nl").unwrap(),
+            3600,
+            RData::Ns(Name::parse(&format!("ns{i}.cachetest.nl")).unwrap()),
+        ));
+        b = b.additional(Record::new(
+            Name::parse(&format!("ns{i}.cachetest.nl")).unwrap(),
+            3600,
+            RData::A(std::net::Ipv4Addr::new(198, 51, 100, i)),
+        ));
+    }
+    b.build()
+}
+
+fn bench_codec(c: &mut Criterion) {
+    let mut g = c.benchmark_group("wire_codec");
+    for (label, msg) in [("query", query()), ("referral", referral())] {
+        let bytes = codec::encode(&msg).unwrap();
+        g.throughput(Throughput::Bytes(bytes.len() as u64));
+        g.bench_function(format!("encode/{label}"), |b| {
+            b.iter(|| codec::encode(black_box(&msg)).unwrap())
+        });
+        g.bench_function(format!("decode/{label}"), |b| {
+            b.iter(|| codec::decode(black_box(&bytes)).unwrap())
+        });
+        g.bench_function(format!("round_trip/{label}"), |b| {
+            b.iter(|| codec::round_trip(black_box(&msg)).unwrap())
+        });
+    }
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(40);
+    targets = bench_codec
+}
+criterion_main!(benches);

@@ -1,0 +1,27 @@
+//! # dike-bench
+//!
+//! Criterion benchmarks for the dike workspace. Each paper table/figure
+//! has a bench that executes the generating experiment at a reduced
+//! scale, so regressions in simulation cost are caught per-result; the
+//! `ablations` bench quantifies the design decisions called out in
+//! DESIGN.md §5 (codec-in-the-loop, retries, serve-stale, fragmentation).
+//!
+//! Shared helpers live here so the benches stay small.
+
+use dike_netsim::{LatencyModel, LinkParams, LinkTable, SimDuration, Simulator};
+
+/// The scale every experiment bench runs at (fraction of the paper's
+/// 9.2k probes). Small enough for Criterion iteration, large enough to
+/// exercise the full machinery.
+pub const BENCH_SCALE: f64 = 0.004;
+
+/// A simulator with a fixed-latency fabric — removes latency-sampling
+/// noise from microbenches that are not about the fabric.
+pub fn fixed_latency_sim(seed: u64, ms: u64) -> Simulator {
+    let mut sim = Simulator::new(seed);
+    *sim.links_mut() = LinkTable::new(LinkParams {
+        latency: LatencyModel::Fixed(SimDuration::from_millis(ms)),
+        loss: 0.0,
+    });
+    sim
+}

@@ -1,0 +1,610 @@
+//! The cache proper: an LRU-bounded TTL cache with negative entries and
+//! optional serve-stale.
+
+use std::collections::{BTreeMap, HashMap};
+
+use dike_netsim::SimTime;
+use dike_wire::{Name, Record, RecordType};
+
+use crate::config::CacheConfig;
+use crate::entry::{CacheKey, Entry, EntryData, NegativeKind, TrustLevel};
+
+/// The result of a cache lookup.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CacheAnswer {
+    /// A live positive entry; records carry the decremented TTL.
+    Fresh(Vec<Record>),
+    /// A live negative entry.
+    Negative(NegativeKind),
+    /// An expired entry served under serve-stale rules; records carry
+    /// TTL 0 per RFC 8767 (and the paper's §5.3 observation).
+    Stale(Vec<Record>),
+    /// Nothing usable.
+    Miss,
+}
+
+impl CacheAnswer {
+    /// True for `Fresh` and `Negative` — answers a resolver may return
+    /// without contacting an authoritative.
+    pub fn is_usable_fresh(&self) -> bool {
+        matches!(self, CacheAnswer::Fresh(_) | CacheAnswer::Negative(_))
+    }
+}
+
+/// Running statistics, cheap to copy out.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Lookups answered from a live entry.
+    pub hits: u64,
+    /// Lookups that found nothing usable.
+    pub misses: u64,
+    /// Lookups that found only an expired entry.
+    pub expired: u64,
+    /// Entries evicted by capacity pressure.
+    pub evictions: u64,
+    /// Entries inserted.
+    pub insertions: u64,
+    /// Stale answers served.
+    pub stale_served: u64,
+}
+
+/// A recursive resolver's cache.
+///
+/// Entries are whole RRsets keyed by `(name, type)`. The LRU order is a
+/// `u64` use-stamp per key plus a `BTreeMap` from stamp to key, giving
+/// `O(log n)` touch and eviction.
+#[derive(Debug)]
+pub struct ResolverCache {
+    config: CacheConfig,
+    map: HashMap<CacheKey, (Entry, u64)>,
+    lru: BTreeMap<u64, CacheKey>,
+    next_stamp: u64,
+    stats: CacheStats,
+}
+
+impl ResolverCache {
+    /// An empty cache with the given configuration.
+    pub fn new(config: CacheConfig) -> Self {
+        ResolverCache {
+            config,
+            map: HashMap::new(),
+            lru: BTreeMap::new(),
+            next_stamp: 0,
+            stats: CacheStats::default(),
+        }
+    }
+
+    /// The configuration in force.
+    pub fn config(&self) -> &CacheConfig {
+        &self.config
+    }
+
+    /// Number of live slots (including expired-but-not-yet-purged ones).
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// True when no slots are occupied.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// Statistics so far.
+    pub fn stats(&self) -> CacheStats {
+        self.stats
+    }
+
+    /// Stores a positive RRset observed at `now` with authoritative trust.
+    /// The effective TTL is the minimum TTL across the set, clamped by
+    /// configuration. Returns the effective TTL actually stored.
+    pub fn insert(&mut self, now: SimTime, records: Vec<Record>) -> u32 {
+        self.insert_ranked(now, records, TrustLevel::Authoritative)
+    }
+
+    /// Stores a positive RRset with an explicit trust level (RFC 2181
+    /// §5.4.1): lower-trust data (glue) never replaces live higher-trust
+    /// data (an authoritative answer). Returns the effective TTL of
+    /// whatever ends up cached.
+    pub fn insert_ranked(
+        &mut self,
+        now: SimTime,
+        records: Vec<Record>,
+        trust: TrustLevel,
+    ) -> u32 {
+        debug_assert!(!records.is_empty(), "cannot cache an empty RRset");
+        let key = CacheKey::new(records[0].name.clone(), records[0].rtype());
+        // Data ranking: keep a live higher-trust entry.
+        if let Some((existing, _)) = self.map.get(&key) {
+            if existing.trust > trust && existing.remaining_ttl(now).is_some() {
+                return existing.remaining_ttl(now).unwrap_or(0);
+            }
+        }
+        let raw_ttl = records.iter().map(|r| r.ttl).min().unwrap_or(0);
+        let ttl = self.config.clamp_ttl(raw_ttl);
+        self.store(
+            now,
+            key,
+            Entry {
+                data: EntryData::Positive(records),
+                stored_at: now,
+                effective_ttl: ttl,
+                trust,
+                hits: 0,
+            },
+        );
+        ttl
+    }
+
+    /// Stores a negative result (RFC 2308) with the given negative TTL.
+    pub fn insert_negative(
+        &mut self,
+        now: SimTime,
+        name: Name,
+        rtype: RecordType,
+        kind: NegativeKind,
+        neg_ttl: u32,
+    ) -> u32 {
+        let ttl = self.config.clamp_ttl(neg_ttl);
+        self.store(
+            now,
+            CacheKey::new(name, rtype),
+            Entry {
+                data: EntryData::Negative(kind),
+                stored_at: now,
+                effective_ttl: ttl,
+                trust: TrustLevel::Authoritative,
+                hits: 0,
+            },
+        );
+        ttl
+    }
+
+    fn store(&mut self, _now: SimTime, key: CacheKey, entry: Entry) {
+        self.stats.insertions += 1;
+        // Replace any existing slot for this key.
+        if let Some((_, old_stamp)) = self.map.remove(&key) {
+            self.lru.remove(&old_stamp);
+        }
+        // Evict the least recently used slot if full.
+        while self.map.len() >= self.config.capacity {
+            let Some((&stamp, _)) = self.lru.iter().next() else {
+                break;
+            };
+            let victim = self.lru.remove(&stamp).expect("lru entry vanished");
+            self.map.remove(&victim);
+            self.stats.evictions += 1;
+        }
+        let stamp = self.bump();
+        self.lru.insert(stamp, key.clone());
+        self.map.insert(key, (entry, stamp));
+    }
+
+    fn bump(&mut self) -> u64 {
+        let s = self.next_stamp;
+        self.next_stamp += 1;
+        s
+    }
+
+    /// Looks up `(name, rtype)` at `now`. Fresh entries are returned with
+    /// decremented TTLs; expired entries report [`CacheAnswer::Miss`]
+    /// (use [`ResolverCache::lookup_stale`] after a failed refresh).
+    pub fn lookup(&mut self, now: SimTime, name: &Name, rtype: RecordType) -> CacheAnswer {
+        self.lookup_min_trust(now, name, rtype, TrustLevel::Glue)
+    }
+
+    /// Like [`ResolverCache::lookup`] but ignores entries below
+    /// `min_trust`. Client-facing resolver answers use
+    /// [`TrustLevel::Authoritative`]: RFC 2181 §5.4.1 says referral data
+    /// may steer resolution but must not be returned as an answer.
+    pub fn lookup_min_trust(
+        &mut self,
+        now: SimTime,
+        name: &Name,
+        rtype: RecordType,
+        min_trust: TrustLevel,
+    ) -> CacheAnswer {
+        let key = CacheKey::new(name.clone(), rtype);
+        if let Some((entry, _)) = self.map.get(&key) {
+            if entry.trust < min_trust {
+                self.stats.misses += 1;
+                return CacheAnswer::Miss;
+            }
+        }
+        let Some((entry, stamp)) = self.map.get(&key) else {
+            self.stats.misses += 1;
+            return CacheAnswer::Miss;
+        };
+        match entry.remaining_ttl(now) {
+            Some(remaining) => {
+                self.stats.hits += 1;
+                let rotation = entry.hits as usize;
+                let answer = match &entry.data {
+                    EntryData::Positive(records) => {
+                        // BIND-style cyclic rotation: successive hits
+                        // start the RRset at successive offsets.
+                        let n = records.len();
+                        let start = if self.config.rotate_rrsets && n > 1 {
+                            rotation % n
+                        } else {
+                            0
+                        };
+                        CacheAnswer::Fresh(
+                            (0..n)
+                                .map(|i| records[(start + i) % n].with_ttl(remaining))
+                                .collect(),
+                        )
+                    }
+                    EntryData::Negative(kind) => CacheAnswer::Negative(*kind),
+                };
+                // Touch for LRU and rotation.
+                let old = *stamp;
+                let new = self.bump();
+                self.lru.remove(&old);
+                self.lru.insert(new, key.clone());
+                let slot = self.map.get_mut(&key).expect("entry vanished");
+                slot.0.hits = slot.0.hits.wrapping_add(1);
+                slot.1 = new;
+                answer
+            }
+            None => {
+                self.stats.expired += 1;
+                CacheAnswer::Miss
+            }
+        }
+    }
+
+    /// After resolution has failed, tries to serve an expired entry under
+    /// serve-stale rules. Records come back with TTL 0.
+    pub fn lookup_stale(&mut self, now: SimTime, name: &Name, rtype: RecordType) -> CacheAnswer {
+        if !self.config.serve_stale {
+            return CacheAnswer::Miss;
+        }
+        let key = CacheKey::new(name.clone(), rtype);
+        let Some((entry, _)) = self.map.get(&key) else {
+            return CacheAnswer::Miss;
+        };
+        if entry.remaining_ttl(now).is_some() {
+            // Still fresh: callers should have used `lookup`.
+            return self.lookup(now, name, rtype);
+        }
+        if !entry.usable_as_stale(now, self.config.stale_window) {
+            return CacheAnswer::Miss;
+        }
+        match &entry.data {
+            EntryData::Positive(records) => {
+                self.stats.stale_served += 1;
+                CacheAnswer::Stale(records.iter().map(|r| r.with_ttl(0)).collect())
+            }
+            EntryData::Negative(_) => CacheAnswer::Miss,
+        }
+    }
+
+    /// Drops everything — an operator flush or a machine reboot.
+    pub fn flush(&mut self) {
+        self.map.clear();
+        self.lru.clear();
+    }
+
+    /// Removes entries that are expired beyond the stale window; returns
+    /// how many were purged. Callers run this periodically to bound memory.
+    pub fn purge_expired(&mut self, now: SimTime) -> usize {
+        let window = self.config.stale_window;
+        let dead: Vec<(CacheKey, u64)> = self
+            .map
+            .iter()
+            .filter(|(_, (e, _))| {
+                e.remaining_ttl(now).is_none() && !e.usable_as_stale(now, window)
+            })
+            .map(|(k, (_, stamp))| (k.clone(), *stamp))
+            .collect();
+        for (k, stamp) in &dead {
+            self.map.remove(k);
+            self.lru.remove(stamp);
+        }
+        dead.len()
+    }
+
+    /// The remaining TTL of a cached entry, for inspection in experiments.
+    pub fn remaining_ttl(&self, now: SimTime, name: &Name, rtype: RecordType) -> Option<u32> {
+        self.map
+            .get(&CacheKey::new(name.clone(), rtype))
+            .and_then(|(e, _)| e.remaining_ttl(now))
+    }
+
+    /// A snapshot of every live slot: `(key, remaining TTL, trust)` — the
+    /// equivalent of `rndc dumpdb` / `unbound-control dump_cache` used in
+    /// the paper's Appendix A.3.
+    pub fn dump(&self, now: SimTime) -> Vec<(CacheKey, u32, TrustLevel)> {
+        let mut out: Vec<(CacheKey, u32, TrustLevel)> = self
+            .map
+            .iter()
+            .filter_map(|(k, (e, _))| {
+                e.remaining_ttl(now).map(|ttl| (k.clone(), ttl, e.trust))
+            })
+            .collect();
+        out.sort_by(|a, b| (&a.0.name, a.0.rtype).cmp(&(&b.0.name, b.0.rtype)));
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dike_netsim::SimDuration;
+    use dike_wire::RData;
+    use std::net::Ipv4Addr;
+
+    fn rec(name: &str, ttl: u32, last_octet: u8) -> Record {
+        Record::new(
+            Name::parse(name).unwrap(),
+            ttl,
+            RData::A(Ipv4Addr::new(192, 0, 2, last_octet)),
+        )
+    }
+
+    fn at(secs: u64) -> SimTime {
+        SimDuration::from_secs(secs).after_zero()
+    }
+
+    #[test]
+    fn hit_returns_decremented_ttl() {
+        let mut c = ResolverCache::new(CacheConfig::honoring());
+        c.insert(at(0), vec![rec("a.nl", 3600, 1)]);
+        match c.lookup(at(1200), &Name::parse("a.nl").unwrap(), RecordType::A) {
+            CacheAnswer::Fresh(rs) => assert_eq!(rs[0].ttl, 2400),
+            other => panic!("expected fresh, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn expired_entry_is_a_miss() {
+        let mut c = ResolverCache::new(CacheConfig::honoring());
+        c.insert(at(0), vec![rec("a.nl", 60, 1)]);
+        assert_eq!(
+            c.lookup(at(60), &Name::parse("a.nl").unwrap(), RecordType::A),
+            CacheAnswer::Miss
+        );
+        assert_eq!(c.stats().expired, 1);
+    }
+
+    #[test]
+    fn ttl_capping_applies_at_insert() {
+        let mut c = ResolverCache::new(CacheConfig::ttl_capper_60s());
+        let stored = c.insert(at(0), vec![rec("a.nl", 3600, 1)]);
+        assert_eq!(stored, 60);
+        // Alive at 59s, gone at 61s.
+        assert!(matches!(
+            c.lookup(at(59), &Name::parse("a.nl").unwrap(), RecordType::A),
+            CacheAnswer::Fresh(_)
+        ));
+        assert_eq!(
+            c.lookup(at(61), &Name::parse("a.nl").unwrap(), RecordType::A),
+            CacheAnswer::Miss
+        );
+    }
+
+    #[test]
+    fn rrset_ttl_is_minimum_of_records() {
+        let mut c = ResolverCache::new(CacheConfig::honoring());
+        let stored = c.insert(at(0), vec![rec("a.nl", 300, 1), rec("a.nl", 100, 2)]);
+        assert_eq!(stored, 100);
+    }
+
+    #[test]
+    fn lru_evicts_least_recently_used() {
+        let mut c = ResolverCache::new(CacheConfig {
+            capacity: 2,
+            ..CacheConfig::honoring()
+        });
+        c.insert(at(0), vec![rec("a.nl", 3600, 1)]);
+        c.insert(at(1), vec![rec("b.nl", 3600, 2)]);
+        // Touch a.nl so b.nl becomes the LRU victim.
+        c.lookup(at(2), &Name::parse("a.nl").unwrap(), RecordType::A);
+        c.insert(at(3), vec![rec("c.nl", 3600, 3)]);
+        assert!(matches!(
+            c.lookup(at(4), &Name::parse("a.nl").unwrap(), RecordType::A),
+            CacheAnswer::Fresh(_)
+        ));
+        assert_eq!(
+            c.lookup(at(4), &Name::parse("b.nl").unwrap(), RecordType::A),
+            CacheAnswer::Miss
+        );
+        assert_eq!(c.stats().evictions, 1);
+    }
+
+    #[test]
+    fn negative_caching_round_trip() {
+        let mut c = ResolverCache::new(CacheConfig::honoring());
+        let n = Name::parse("nope.cachetest.nl").unwrap();
+        c.insert_negative(at(0), n.clone(), RecordType::AAAA, NegativeKind::NxDomain, 60);
+        assert_eq!(
+            c.lookup(at(30), &n, RecordType::AAAA),
+            CacheAnswer::Negative(NegativeKind::NxDomain)
+        );
+        assert_eq!(c.lookup(at(61), &n, RecordType::AAAA), CacheAnswer::Miss);
+    }
+
+    #[test]
+    fn serve_stale_returns_ttl_zero() {
+        let mut c = ResolverCache::new(CacheConfig::honoring().with_serve_stale());
+        let n = Name::parse("a.nl").unwrap();
+        c.insert(at(0), vec![rec("a.nl", 60, 1)]);
+        // Fresh lookup path is unaffected.
+        assert_eq!(c.lookup(at(120), &n, RecordType::A), CacheAnswer::Miss);
+        match c.lookup_stale(at(120), &n, RecordType::A) {
+            CacheAnswer::Stale(rs) => assert_eq!(rs[0].ttl, 0),
+            other => panic!("expected stale, got {other:?}"),
+        }
+        assert_eq!(c.stats().stale_served, 1);
+    }
+
+    #[test]
+    fn serve_stale_disabled_never_serves() {
+        let mut c = ResolverCache::new(CacheConfig::honoring());
+        let n = Name::parse("a.nl").unwrap();
+        c.insert(at(0), vec![rec("a.nl", 60, 1)]);
+        assert_eq!(c.lookup_stale(at(120), &n, RecordType::A), CacheAnswer::Miss);
+    }
+
+    #[test]
+    fn serve_stale_respects_window() {
+        let mut c = ResolverCache::new(CacheConfig {
+            serve_stale: true,
+            stale_window: SimDuration::from_secs(100),
+            ..CacheConfig::honoring()
+        });
+        let n = Name::parse("a.nl").unwrap();
+        c.insert(at(0), vec![rec("a.nl", 60, 1)]);
+        assert!(matches!(
+            c.lookup_stale(at(120), &n, RecordType::A),
+            CacheAnswer::Stale(_)
+        ));
+        assert_eq!(c.lookup_stale(at(161), &n, RecordType::A), CacheAnswer::Miss);
+    }
+
+    #[test]
+    fn flush_empties_cache() {
+        let mut c = ResolverCache::new(CacheConfig::honoring());
+        c.insert(at(0), vec![rec("a.nl", 3600, 1)]);
+        c.flush();
+        assert!(c.is_empty());
+        assert_eq!(
+            c.lookup(at(1), &Name::parse("a.nl").unwrap(), RecordType::A),
+            CacheAnswer::Miss
+        );
+    }
+
+    #[test]
+    fn purge_removes_long_dead_entries() {
+        let mut c = ResolverCache::new(CacheConfig {
+            stale_window: SimDuration::from_secs(10),
+            ..CacheConfig::honoring()
+        });
+        c.insert(at(0), vec![rec("a.nl", 60, 1)]);
+        c.insert(at(0), vec![rec("b.nl", 86_400, 2)]);
+        let purged = c.purge_expired(at(1000));
+        assert_eq!(purged, 1);
+        assert_eq!(c.len(), 1);
+    }
+
+    #[test]
+    fn reinsert_replaces_entry() {
+        let mut c = ResolverCache::new(CacheConfig::honoring());
+        let n = Name::parse("a.nl").unwrap();
+        c.insert(at(0), vec![rec("a.nl", 60, 1)]);
+        c.insert(at(30), vec![rec("a.nl", 60, 2)]);
+        match c.lookup(at(59), &n, RecordType::A) {
+            CacheAnswer::Fresh(rs) => {
+                // Refreshed at t=30, so 31 seconds remain, and the new
+                // rdata is served.
+                assert_eq!(rs[0].ttl, 31);
+                assert_eq!(rs[0].rdata, RData::A(Ipv4Addr::new(192, 0, 2, 2)));
+            }
+            other => panic!("expected fresh, got {other:?}"),
+        }
+        assert_eq!(c.len(), 1);
+    }
+
+    #[test]
+    fn glue_does_not_replace_live_authoritative_data() {
+        // Appendix A / RFC 2181 §5.4.1: the child's authoritative NS TTL
+        // (60 s) must survive a later glue re-insert (3600 s).
+        let mut c = ResolverCache::new(CacheConfig::honoring());
+        let n = Name::parse("cachetest.nl").unwrap();
+        c.insert_ranked(at(0), vec![rec("cachetest.nl", 60, 1)], TrustLevel::Authoritative);
+        c.insert_ranked(at(10), vec![rec("cachetest.nl", 3600, 2)], TrustLevel::Glue);
+        match c.lookup(at(10), &n, RecordType::A) {
+            CacheAnswer::Fresh(rs) => {
+                assert_eq!(rs[0].ttl, 50, "authoritative entry kept (60s aging)");
+                assert_eq!(rs[0].rdata, RData::A(Ipv4Addr::new(192, 0, 2, 1)));
+            }
+            other => panic!("expected fresh, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn glue_replaces_expired_authoritative_data() {
+        let mut c = ResolverCache::new(CacheConfig::honoring());
+        let n = Name::parse("cachetest.nl").unwrap();
+        c.insert_ranked(at(0), vec![rec("cachetest.nl", 60, 1)], TrustLevel::Authoritative);
+        // At t=100 the authoritative entry is expired; glue may land.
+        c.insert_ranked(at(100), vec![rec("cachetest.nl", 3600, 2)], TrustLevel::Glue);
+        match c.lookup(at(100), &n, RecordType::A) {
+            CacheAnswer::Fresh(rs) => assert_eq!(rs[0].ttl, 3600),
+            other => panic!("expected fresh, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn authoritative_replaces_glue() {
+        let mut c = ResolverCache::new(CacheConfig::honoring());
+        let n = Name::parse("cachetest.nl").unwrap();
+        c.insert_ranked(at(0), vec![rec("cachetest.nl", 3600, 1)], TrustLevel::Glue);
+        c.insert_ranked(at(10), vec![rec("cachetest.nl", 60, 2)], TrustLevel::Authoritative);
+        match c.lookup(at(10), &n, RecordType::A) {
+            CacheAnswer::Fresh(rs) => assert_eq!(rs[0].ttl, 60),
+            other => panic!("expected fresh, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn dump_lists_live_entries_with_trust() {
+        let mut c = ResolverCache::new(CacheConfig::honoring());
+        c.insert_ranked(at(0), vec![rec("a.nl", 60, 1)], TrustLevel::Glue);
+        c.insert(at(0), vec![rec("b.nl", 3600, 2)]);
+        let dump = c.dump(at(30));
+        assert_eq!(dump.len(), 2);
+        assert_eq!(dump[0].0.name, Name::parse("a.nl").unwrap());
+        assert_eq!(dump[0].1, 30);
+        assert_eq!(dump[0].2, TrustLevel::Glue);
+        assert_eq!(dump[1].2, TrustLevel::Authoritative);
+        // Expired entries vanish from the dump.
+        assert_eq!(c.dump(at(100)).len(), 1);
+    }
+
+    #[test]
+    fn rrset_rotation_cycles_record_order() {
+        let mut c = ResolverCache::new(CacheConfig::honoring());
+        c.insert(
+            at(0),
+            vec![rec("multi.nl", 3600, 1), rec("multi.nl", 3600, 2), rec("multi.nl", 3600, 3)],
+        );
+        let n = Name::parse("multi.nl").unwrap();
+        let firsts: Vec<_> = (0..4)
+            .map(|_| match c.lookup(at(1), &n, RecordType::A) {
+                CacheAnswer::Fresh(rs) => rs[0].rdata.clone(),
+                other => panic!("expected fresh, got {other:?}"),
+            })
+            .collect();
+        assert_eq!(firsts[0], firsts[3], "rotation cycles with period 3");
+        assert_ne!(firsts[0], firsts[1]);
+        assert_ne!(firsts[1], firsts[2]);
+    }
+
+    #[test]
+    fn rotation_can_be_disabled() {
+        let mut c = ResolverCache::new(CacheConfig {
+            rotate_rrsets: false,
+            ..CacheConfig::honoring()
+        });
+        c.insert(at(0), vec![rec("multi.nl", 3600, 1), rec("multi.nl", 3600, 2)]);
+        let n = Name::parse("multi.nl").unwrap();
+        for _ in 0..3 {
+            match c.lookup(at(1), &n, RecordType::A) {
+                CacheAnswer::Fresh(rs) => {
+                    assert_eq!(rs[0].rdata, RData::A(Ipv4Addr::new(192, 0, 2, 1)))
+                }
+                other => panic!("expected fresh, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn distinct_types_are_distinct_slots() {
+        let mut c = ResolverCache::new(CacheConfig::honoring());
+        let n = Name::parse("a.nl").unwrap();
+        c.insert(at(0), vec![rec("a.nl", 3600, 1)]);
+        assert_eq!(c.lookup(at(1), &n, RecordType::AAAA), CacheAnswer::Miss);
+        assert!(matches!(c.lookup(at(1), &n, RecordType::A), CacheAnswer::Fresh(_)));
+    }
+}

@@ -1,0 +1,122 @@
+//! Cache configuration.
+
+use dike_netsim::SimDuration;
+use serde::{Deserialize, Serialize};
+
+/// Tunable cache behaviour. The defaults model a well-behaved resolver
+/// that honors TTLs; the named constructors model the deviations the
+/// paper attributes the ~30% cache-miss rate to.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CacheConfig {
+    /// Maximum number of RRset entries before LRU eviction.
+    pub capacity: usize,
+    /// Records with smaller TTLs are raised to this floor (0 = honor).
+    pub min_ttl: u32,
+    /// Records with larger TTLs are clamped to this cap.
+    pub max_ttl: u32,
+    /// Whether expired entries may be served when refresh fails
+    /// (RFC 8767). Stale answers carry TTL 0, matching the paper's
+    /// observation that 1031/1048 late successes had TTL 0 (§5.3).
+    pub serve_stale: bool,
+    /// How long past expiry an entry remains usable as stale data.
+    pub stale_window: SimDuration,
+    /// Round-robin rotation of multi-record RRsets on each hit, the way
+    /// BIND's `rrset-order cyclic` spreads load over A records.
+    pub rotate_rrsets: bool,
+}
+
+impl Default for CacheConfig {
+    fn default() -> Self {
+        CacheConfig {
+            capacity: 100_000,
+            min_ttl: 0,
+            // Unbound's default cache-max-ttl: 1 day.
+            max_ttl: 86_400,
+            serve_stale: false,
+            stale_window: SimDuration::from_secs(3 * 86_400),
+            rotate_rrsets: true,
+        }
+    }
+}
+
+impl CacheConfig {
+    /// A resolver that honors TTLs exactly (caps at 7 days, like BIND's
+    /// `max-cache-ttl` default, which is above every TTL we use).
+    pub fn honoring() -> Self {
+        CacheConfig {
+            max_ttl: 7 * 86_400,
+            ..CacheConfig::default()
+        }
+    }
+
+    /// An EC2-style resolver that caps every TTL at 60 s (paper §3.4,
+    /// citing ref.\[36\]).
+    pub fn ttl_capper_60s() -> Self {
+        CacheConfig {
+            max_ttl: 60,
+            ..CacheConfig::default()
+        }
+    }
+
+    /// Unbound-style: cache entries dropped after 1 day.
+    pub fn unbound_like() -> Self {
+        CacheConfig {
+            max_ttl: 86_400,
+            ..CacheConfig::default()
+        }
+    }
+
+    /// A serve-stale adopter (paper §5.3 found OpenDNS and Google already
+    /// experimenting with this).
+    pub fn with_serve_stale(mut self) -> Self {
+        self.serve_stale = true;
+        self
+    }
+
+    /// The effective TTL after clamping.
+    pub fn clamp_ttl(&self, ttl: u32) -> u32 {
+        ttl.max(self.min_ttl).min(self.max_ttl)
+    }
+
+    /// Whether this configuration alters the given TTL.
+    pub fn alters_ttl(&self, ttl: u32) -> bool {
+        self.clamp_ttl(ttl) != ttl
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_honors_short_ttls() {
+        let c = CacheConfig::default();
+        assert_eq!(c.clamp_ttl(60), 60);
+        assert_eq!(c.clamp_ttl(3600), 3600);
+        assert!(!c.alters_ttl(3600));
+    }
+
+    #[test]
+    fn capper_truncates() {
+        let c = CacheConfig::ttl_capper_60s();
+        assert_eq!(c.clamp_ttl(3600), 60);
+        assert!(c.alters_ttl(3600));
+        assert_eq!(c.clamp_ttl(30), 30);
+    }
+
+    #[test]
+    fn unbound_caps_day_long_ttls() {
+        let c = CacheConfig::unbound_like();
+        assert_eq!(c.clamp_ttl(7 * 86_400), 86_400);
+        assert_eq!(c.clamp_ttl(86_400), 86_400);
+    }
+
+    #[test]
+    fn min_ttl_raises() {
+        let c = CacheConfig {
+            min_ttl: 300,
+            ..CacheConfig::default()
+        };
+        assert_eq!(c.clamp_ttl(60), 300);
+    }
+}

@@ -1,0 +1,95 @@
+//! Property tests for the cache's core invariants.
+
+use dike_cache::{CacheAnswer, CacheConfig, ResolverCache};
+use dike_netsim::{SimDuration, SimTime};
+use dike_wire::{Name, RData, Record, RecordType};
+use proptest::prelude::*;
+use std::net::Ipv4Addr;
+
+fn rec(name: &str, ttl: u32) -> Record {
+    Record::new(
+        Name::parse(name).unwrap(),
+        ttl,
+        RData::A(Ipv4Addr::new(192, 0, 2, 1)),
+    )
+}
+
+fn at(secs: u64) -> SimTime {
+    SimDuration::from_secs(secs).after_zero()
+}
+
+proptest! {
+    /// A fresh hit's remaining TTL equals stored TTL minus elapsed time,
+    /// and is never larger than the stored TTL.
+    #[test]
+    fn remaining_ttl_is_exact(ttl in 1u32..1_000_000, elapsed in 0u64..2_000_000) {
+        let mut c = ResolverCache::new(CacheConfig::honoring());
+        let stored = c.insert(at(0), vec![rec("x.nl", ttl)]);
+        let name = Name::parse("x.nl").unwrap();
+        match c.lookup(at(elapsed), &name, RecordType::A) {
+            CacheAnswer::Fresh(rs) => {
+                prop_assert!(elapsed < stored as u64, "hit implies not expired");
+                prop_assert_eq!(rs[0].ttl as u64, stored as u64 - elapsed);
+            }
+            CacheAnswer::Miss => {
+                prop_assert!(elapsed >= stored as u64, "miss implies expired");
+            }
+            other => prop_assert!(false, "unexpected {:?}", other),
+        }
+    }
+
+    /// Clamping is idempotent and bounded.
+    #[test]
+    fn clamp_is_idempotent(ttl in 0u32..10_000_000, min in 0u32..500, max in 500u32..1_000_000) {
+        let cfg = CacheConfig { min_ttl: min, max_ttl: max, ..CacheConfig::default() };
+        let once = cfg.clamp_ttl(ttl);
+        prop_assert_eq!(cfg.clamp_ttl(once), once);
+        prop_assert!(once >= min && once <= max);
+    }
+
+    /// The cache never exceeds its capacity, whatever the insertion order.
+    #[test]
+    fn capacity_is_respected(names in proptest::collection::vec("[a-z]{1,8}", 1..200), cap in 1usize..20) {
+        let mut c = ResolverCache::new(CacheConfig { capacity: cap, ..CacheConfig::honoring() });
+        for (i, n) in names.iter().enumerate() {
+            c.insert(at(i as u64), vec![rec(&format!("{n}.nl"), 3600)]);
+            prop_assert!(c.len() <= cap);
+        }
+    }
+
+    /// Serve-stale never serves a *fresh* answer as stale and never serves
+    /// anything beyond the stale window.
+    #[test]
+    fn stale_respects_window(ttl in 1u32..1000, window in 0u64..5000, probe in 0u64..10_000) {
+        let mut c = ResolverCache::new(CacheConfig {
+            serve_stale: true,
+            stale_window: SimDuration::from_secs(window),
+            ..CacheConfig::honoring()
+        });
+        c.insert(at(0), vec![rec("x.nl", ttl)]);
+        let name = Name::parse("x.nl").unwrap();
+        let ans = c.lookup_stale(at(probe), &name, RecordType::A);
+        match ans {
+            CacheAnswer::Fresh(_) => prop_assert!(probe < ttl as u64),
+            CacheAnswer::Stale(rs) => {
+                prop_assert!(probe >= ttl as u64);
+                prop_assert!(probe < ttl as u64 + window);
+                prop_assert_eq!(rs[0].ttl, 0, "stale answers carry TTL 0");
+            }
+            CacheAnswer::Miss => prop_assert!(probe >= ttl as u64 + window),
+            other => prop_assert!(false, "unexpected {:?}", other),
+        }
+    }
+
+    /// Lookups never mutate what is stored: two consecutive lookups at the
+    /// same instant return identical answers.
+    #[test]
+    fn lookup_is_repeatable(ttl in 1u32..10_000, t in 0u64..20_000) {
+        let mut c = ResolverCache::new(CacheConfig::honoring());
+        c.insert(at(0), vec![rec("x.nl", ttl)]);
+        let name = Name::parse("x.nl").unwrap();
+        let a = c.lookup(at(t), &name, RecordType::A);
+        let b = c.lookup(at(t), &name, RecordType::A);
+        prop_assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,301 @@
+#![warn(missing_docs)]
+
+//! # dike-core
+//!
+//! The high-level entry point to the *When the Dike Breaks* simulator.
+//!
+//! The lower crates expose every moving part (wire codec, event
+//! simulator, caches, resolvers, probes, attacks, analysis); this crate
+//! wraps them in a scenario builder for the common question the paper
+//! asks: *what do clients and authoritatives experience when a DNS zone
+//! comes under DDoS?*
+//!
+//! ```
+//! use dike_core::Scenario;
+//!
+//! let report = Scenario::new()
+//!     .probes(150)
+//!     .ttl(1800)
+//!     .attack(0.9)             // 90% ingress loss at both authoritatives
+//!     .attack_window_min(60, 60)
+//!     .seed(7)
+//!     .run();
+//!
+//! // Half-hour caches plus retries keep most clients alive (paper §5.4).
+//! assert!(report.ok_fraction_during_attack() > 0.4);
+//! assert!(report.traffic_multiplier() > 1.0);
+//! ```
+
+mod sweep;
+
+use dike_experiments::setup::{run_experiment, AttackPlan, AttackScope, ExperimentSetup};
+use dike_netsim::SimDuration;
+use dike_stats::classify::{Classification, Classifier};
+use dike_stats::latency::{latency_timeseries, LatencyBin};
+use dike_stats::timeseries::{outcome_timeseries, OutcomeBin};
+
+// Re-export the building blocks for users who outgrow the builder.
+pub use dike_attack as attack;
+pub use dike_auth as auth;
+pub use dike_cache as cache;
+pub use dike_experiments as experiments;
+pub use dike_netsim as netsim;
+pub use dike_resolver as resolver;
+pub use dike_stats as stats;
+pub use dike_stub as stub;
+pub use dike_wire as wire;
+pub use sweep::{LossSweep, SweepPoint};
+
+/// A declarative scenario: a probe population querying a zone through the
+/// calibrated resolver mix, optionally under attack.
+#[derive(Debug, Clone)]
+pub struct Scenario {
+    setup: ExperimentSetup,
+    attack_loss: Option<f64>,
+    attack_window: (u64, u64),
+    one_ns_only: bool,
+}
+
+impl Scenario {
+    /// A scenario with the paper's defaults: 10-minute rounds, three
+    /// hours, no attack.
+    pub fn new() -> Self {
+        let mut setup = ExperimentSetup::new(200, 1800);
+        setup.round_interval = SimDuration::from_mins(10);
+        setup.rounds = 18;
+        setup.total_duration = SimDuration::from_mins(180);
+        Scenario {
+            setup,
+            attack_loss: None,
+            attack_window: (60, 60),
+            one_ns_only: false,
+        }
+    }
+
+    /// Number of probes (each contributes 1–3 vantage points).
+    pub fn probes(mut self, n: usize) -> Self {
+        self.setup.n_probes = n.max(1);
+        self
+    }
+
+    /// The zone TTL in seconds.
+    pub fn ttl(mut self, ttl: u32) -> Self {
+        self.setup.ttl = ttl;
+        self
+    }
+
+    /// RNG seed for packet-level randomness.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.setup.seed = seed;
+        self
+    }
+
+    /// Population seed (who uses which resolvers).
+    pub fn population_seed(mut self, seed: u64) -> Self {
+        self.setup.population_seed = seed;
+        self
+    }
+
+    /// Probe round interval in minutes.
+    pub fn round_interval_min(mut self, mins: u64) -> Self {
+        self.setup.round_interval = SimDuration::from_mins(mins.max(1));
+        self
+    }
+
+    /// Total duration in minutes; rounds are derived from the interval.
+    pub fn duration_min(mut self, mins: u64) -> Self {
+        self.setup.total_duration = SimDuration::from_mins(mins);
+        let interval = (self.setup.round_interval.as_secs() / 60).max(1);
+        self.setup.rounds = (mins / interval) as u32;
+        self
+    }
+
+    /// Attacks both authoritatives with this ingress loss rate
+    /// (`1.0` = complete failure).
+    pub fn attack(mut self, loss: f64) -> Self {
+        self.attack_loss = Some(loss.clamp(0.0, 1.0));
+        self
+    }
+
+    /// Restricts the attack to one of the two name servers
+    /// (Experiment D's scenario).
+    pub fn attack_one_ns(mut self) -> Self {
+        self.one_ns_only = true;
+        self
+    }
+
+    /// When the attack starts and how long it lasts, in minutes.
+    pub fn attack_window_min(mut self, start: u64, duration: u64) -> Self {
+        self.attack_window = (start, duration);
+        self
+    }
+
+    /// Overrides the population mix.
+    pub fn population(mut self, mix: dike_experiments::PopulationMix) -> Self {
+        self.setup.mix = mix;
+        self
+    }
+
+    /// Runs the scenario and gathers the derived series.
+    pub fn run(mut self) -> Report {
+        if let Some(loss) = self.attack_loss {
+            self.setup.attack = Some(AttackPlan {
+                start_min: self.attack_window.0,
+                duration_min: self.attack_window.1,
+                loss,
+                scope: if self.one_ns_only {
+                    AttackScope::OneNs
+                } else {
+                    AttackScope::BothNs
+                },
+            });
+        }
+        let attack = self.setup.attack;
+        let output = run_experiment(&self.setup);
+        let outcomes = outcome_timeseries(&output.log, SimDuration::from_mins(10));
+        let latencies = latency_timeseries(&output.log, SimDuration::from_mins(10));
+        let classification = Classifier::default().classify(&output.log);
+        Report {
+            output,
+            outcomes,
+            latencies,
+            classification,
+            attack,
+        }
+    }
+}
+
+impl Default for Scenario {
+    fn default() -> Self {
+        Scenario::new()
+    }
+}
+
+/// Everything a scenario run produced, with convenience accessors for the
+/// paper's headline metrics.
+#[derive(Debug)]
+pub struct Report {
+    /// Raw experiment output (client log, server view, population).
+    pub output: dike_experiments::ExperimentOutput,
+    /// OK / SERVFAIL / no-answer per 10-minute round.
+    pub outcomes: Vec<OutcomeBin>,
+    /// Latency quantiles per round.
+    pub latencies: Vec<LatencyBin>,
+    /// The §3.4 answer classification.
+    pub classification: Classification,
+    attack: Option<AttackPlan>,
+}
+
+impl Report {
+    /// Fraction of queries answered OK over the whole run.
+    pub fn ok_fraction(&self) -> f64 {
+        let total = self.output.log.records.len();
+        if total == 0 {
+            return 0.0;
+        }
+        self.output.log.ok_count() as f64 / total as f64
+    }
+
+    /// Mean per-round OK fraction inside the attack window (the whole run
+    /// when there was no attack).
+    pub fn ok_fraction_during_attack(&self) -> f64 {
+        let (start, end) = match self.attack {
+            Some(a) => (a.start_min, a.start_min + a.duration_min),
+            None => (0, u64::MAX),
+        };
+        let bins: Vec<_> = self
+            .outcomes
+            .iter()
+            .filter(|b| b.start_min >= start && b.start_min < end && b.total() > 0)
+            .collect();
+        if bins.is_empty() {
+            return 0.0;
+        }
+        bins.iter().map(|b| b.ok_fraction()).sum::<f64>() / bins.len() as f64
+    }
+
+    /// The §3.4 cache-miss rate.
+    pub fn miss_rate(&self) -> f64 {
+        self.classification.summary.miss_rate()
+    }
+
+    /// Offered-load multiplier at the authoritatives during the attack
+    /// (≈1.0 without an attack).
+    pub fn traffic_multiplier(&self) -> f64 {
+        let Some(a) = self.attack else {
+            return 1.0;
+        };
+        let start = (a.start_min / 10) as usize;
+        let end = ((a.start_min + a.duration_min) / 10) as usize;
+        let bins = self.output.server.bins();
+        let mean = |lo: usize, hi: usize| {
+            let v: Vec<usize> = bins
+                .iter()
+                .enumerate()
+                .filter(|(i, _)| *i >= lo && *i < hi)
+                .map(|(_, b)| b.total())
+                .collect();
+            if v.is_empty() {
+                0.0
+            } else {
+                v.iter().sum::<usize>() as f64 / v.len() as f64
+            }
+        };
+        let before = mean(1, start);
+        if before == 0.0 {
+            0.0
+        } else {
+            mean(start, end) / before
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_composes_setup() {
+        let s = Scenario::new()
+            .probes(50)
+            .ttl(300)
+            .seed(9)
+            .round_interval_min(20)
+            .duration_min(120)
+            .attack(0.75)
+            .attack_window_min(40, 40);
+        assert_eq!(s.setup.n_probes, 50);
+        assert_eq!(s.setup.ttl, 300);
+        assert_eq!(s.setup.rounds, 6);
+        assert_eq!(s.attack_loss, Some(0.75));
+    }
+
+    #[test]
+    fn healthy_scenario_reports_high_ok_fraction() {
+        let report = Scenario::new()
+            .probes(40)
+            .duration_min(60)
+            .seed(3)
+            .run();
+        assert!(report.ok_fraction() > 0.9, "{}", report.ok_fraction());
+        assert_eq!(report.traffic_multiplier(), 1.0);
+        // The population's cache-miss mix shows through the facade too.
+        let miss = report.miss_rate();
+        assert!((0.05..0.6).contains(&miss), "miss rate {miss}");
+    }
+
+    #[test]
+    fn attack_scenario_degrades_and_amplifies() {
+        let report = Scenario::new()
+            .probes(60)
+            .ttl(60) // no cache protection
+            .attack(0.95)
+            .attack_window_min(40, 60)
+            .duration_min(120)
+            .seed(5)
+            .run();
+        let during = report.ok_fraction_during_attack();
+        assert!(during < 0.8, "ok during 95% attack: {during}");
+        assert!(report.traffic_multiplier() > 1.5);
+    }
+}

@@ -1,0 +1,147 @@
+//! Parameter sweeps: run many independent scenarios in parallel.
+//!
+//! Every scenario run is a pure function of its configuration and seed,
+//! so sweeps parallelize perfectly — each arm gets its own simulator on
+//! its own OS thread (crossbeam scoped threads; the simulator itself
+//! stays single-threaded and deterministic).
+
+use crate::{Report, Scenario};
+
+/// A sweep over loss rates — the paper's core experimental axis (§5.4:
+/// "we sweep the space of attack intensities").
+#[derive(Debug, Clone)]
+pub struct LossSweep {
+    /// The scenario template; each arm overrides the attack loss.
+    pub base: Scenario,
+    /// The loss rates to run.
+    pub loss_rates: Vec<f64>,
+    /// Worker threads (0 = one per arm, capped at 8).
+    pub threads: usize,
+}
+
+/// One sweep arm's outcome.
+#[derive(Debug)]
+pub struct SweepPoint {
+    /// The loss rate this arm ran with.
+    pub loss: f64,
+    /// The full report.
+    pub report: Report,
+}
+
+impl LossSweep {
+    /// A sweep of `base` over `loss_rates`.
+    pub fn new(base: Scenario, loss_rates: impl IntoIterator<Item = f64>) -> Self {
+        LossSweep {
+            base,
+            loss_rates: loss_rates.into_iter().collect(),
+            threads: 0,
+        }
+    }
+
+    /// Runs every arm, in parallel, and returns the points in input
+    /// order.
+    pub fn run(self) -> Vec<SweepPoint> {
+        let n = self.loss_rates.len();
+        if n == 0 {
+            return Vec::new();
+        }
+        let workers = if self.threads == 0 {
+            n.min(8)
+        } else {
+            self.threads.min(n)
+        };
+
+        let mut slots: Vec<Option<SweepPoint>> = Vec::with_capacity(n);
+        slots.resize_with(n, || None);
+        let jobs: Vec<(usize, f64)> = self.loss_rates.iter().copied().enumerate().collect();
+        let next = std::sync::atomic::AtomicUsize::new(0);
+        let base = &self.base;
+
+        crossbeam::thread::scope(|scope| {
+            let mut handles = Vec::with_capacity(workers);
+            for _ in 0..workers {
+                let next = &next;
+                let jobs = &jobs;
+                handles.push(scope.spawn(move |_| {
+                    let mut mine = Vec::new();
+                    loop {
+                        let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                        if i >= jobs.len() {
+                            break;
+                        }
+                        let (idx, loss) = jobs[i];
+                        let report = base.clone().attack(loss).run();
+                        mine.push((idx, SweepPoint { loss, report }));
+                    }
+                    mine
+                }));
+            }
+            for h in handles {
+                for (idx, point) in h.join().expect("sweep worker panicked") {
+                    slots[idx] = Some(point);
+                }
+            }
+        })
+        .expect("sweep scope panicked");
+
+        slots
+            .into_iter()
+            .map(|s| s.expect("every arm produced a point"))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_base() -> Scenario {
+        Scenario::new()
+            .probes(40)
+            .ttl(1800)
+            .attack_window_min(40, 40)
+            .duration_min(100)
+            .seed(77)
+    }
+
+    #[test]
+    fn sweep_reproduces_the_intensity_gradient() {
+        let points = LossSweep::new(small_base(), [0.0, 0.5, 0.9, 1.0]).run();
+        assert_eq!(points.len(), 4);
+        let ok: Vec<f64> = points
+            .iter()
+            .map(|p| p.report.ok_fraction_during_attack())
+            .collect();
+        // Monotone (allowing small noise): more loss, fewer answers.
+        assert!(ok[0] > 0.95, "no attack: {ok:?}");
+        assert!(ok[1] >= ok[2] - 0.02, "{ok:?}");
+        assert!(ok[2] >= ok[3] - 0.02, "{ok:?}");
+        assert!(ok[0] > ok[3], "{ok:?}");
+    }
+
+    #[test]
+    fn parallel_and_serial_sweeps_agree() {
+        // Determinism survives the thread pool: the same arms produce the
+        // same results regardless of scheduling.
+        let parallel = LossSweep::new(small_base(), [0.25, 0.75]).run();
+        let mut serial = LossSweep::new(small_base(), [0.25, 0.75]);
+        serial.threads = 1;
+        let serial = serial.run();
+        for (p, s) in parallel.iter().zip(&serial) {
+            assert_eq!(p.loss, s.loss);
+            assert_eq!(
+                p.report.output.log.records.len(),
+                s.report.output.log.records.len()
+            );
+            assert_eq!(
+                p.report.ok_fraction_during_attack(),
+                s.report.ok_fraction_during_attack()
+            );
+        }
+    }
+
+    #[test]
+    fn empty_sweep_is_empty() {
+        assert!(LossSweep::new(small_base(), []).run().is_empty());
+    }
+}

@@ -1,0 +1,871 @@
+//! `repro` — regenerates every table and figure from *When the Dike
+//! Breaks* (IMC 2018).
+//!
+//! ```text
+//! repro <target> [--scale X] [--seed N]
+//!
+//! targets:
+//!   table1 table2 table3 table4 table5 table6 table7
+//!   fig3 fig4 fig5 fig6 fig7 fig8 fig9 fig10 fig11 fig12
+//!   fig13 fig14 fig15 fig16
+//!   all
+//! ```
+//!
+//! `--scale` scales the probe population (1.0 ≈ the paper's 9.2k probes;
+//! the default 0.05 runs every target in a few minutes). Output is the
+//! same rows/series the paper reports; EXPERIMENTS.md records
+//! paper-vs-measured values.
+
+use std::collections::HashMap;
+
+use dike_experiments::baseline::{run_baseline, BaselineResult, BASELINES};
+use dike_experiments::ddos::{
+    ok_fraction_during_attack, run_ddos, run_ddos_with_queueing, traffic_multiplier,
+    DdosExperiment, DdosResult, ALL,
+};
+use dike_experiments::glue;
+use dike_experiments::implications;
+use dike_experiments::production::{run_nl, run_root, NlConfig, RootConfig};
+use dike_experiments::software::{run_software_mean, Software};
+use dike_stats::table::{pct, ratio, TextTable};
+use dike_wire::RecordType;
+
+struct Args {
+    target: String,
+    scale: f64,
+    seed: u64,
+    json: Option<String>,
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        target: String::from("all"),
+        scale: 0.05,
+        seed: 42,
+        json: None,
+    };
+    let mut it = std::env::args().skip(1);
+    let mut positional = Vec::new();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--scale" => {
+                args.scale = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| die("--scale needs a number"));
+            }
+            "--seed" => {
+                args.seed = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| die("--seed needs an integer"));
+            }
+            "--json" => {
+                args.json = Some(it.next().unwrap_or_else(|| die("--json needs a path")));
+            }
+            "--list" => {
+                for t in [
+                    "table1", "table2", "table3", "table4", "table5", "table6", "table7",
+                    "fig3", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9", "fig10",
+                    "fig11", "fig12", "fig13", "fig14", "fig15", "fig16",
+                    "implications", "queueing", "all",
+                ] {
+                    println!("{t}");
+                }
+                std::process::exit(0);
+            }
+            "--help" | "-h" => {
+                println!(
+                    "usage: repro <target> [--scale X] [--seed N] [--json FILE]\n\
+                     targets: table1-7, fig3-16, implications, queueing, all"
+                );
+                std::process::exit(0);
+            }
+            other => positional.push(other.to_string()),
+        }
+    }
+    if let Some(t) = positional.first() {
+        args.target = t.to_lowercase();
+    }
+    args
+}
+
+fn die(msg: &str) -> ! {
+    eprintln!("repro: {msg}");
+    std::process::exit(2);
+}
+
+/// Caches expensive runs so `repro all` shares them across targets.
+struct Ctx {
+    scale: f64,
+    seed: u64,
+    baselines: Option<Vec<BaselineResult>>,
+    ddos: HashMap<char, DdosResult>,
+    json: Vec<serde_json::Value>,
+}
+
+impl Ctx {
+    fn new(scale: f64, seed: u64) -> Self {
+        Ctx {
+            scale,
+            seed,
+            baselines: None,
+            ddos: HashMap::new(),
+            json: Vec::new(),
+        }
+    }
+
+    /// Prints a table and records it for `--json` export.
+    fn emit(&mut self, tbl: &TextTable) {
+        print!("{}", tbl.render());
+        self.json.push(tbl.to_json());
+    }
+
+    fn baselines(&mut self) -> &[BaselineResult] {
+        if self.baselines.is_none() {
+            eprintln!(
+                "[repro] running {} baseline experiments at scale {} ...",
+                BASELINES.len(),
+                self.scale
+            );
+            let seed = self.seed;
+            let scale = self.scale;
+            self.baselines = Some(
+                BASELINES
+                    .iter()
+                    .enumerate()
+                    .map(|(i, cfg)| run_baseline(*cfg, scale, seed + i as u64))
+                    .collect(),
+            );
+        }
+        self.baselines.as_deref().expect("just populated")
+    }
+
+    fn ddos(&mut self, exp: DdosExperiment) -> &DdosResult {
+        let letter = exp.letter();
+        if !self.ddos.contains_key(&letter) {
+            eprintln!(
+                "[repro] running DDoS experiment {letter} at scale {} ...",
+                self.scale
+            );
+            let r = run_ddos(exp, self.scale, self.seed + letter as u64);
+            self.ddos.insert(letter, r);
+        }
+        &self.ddos[&letter]
+    }
+}
+
+fn main() {
+    let args = parse_args();
+    let mut ctx = Ctx::new(args.scale, args.seed);
+    let t = args.target.clone();
+    let all = t == "all";
+    let mut matched = false;
+
+    macro_rules! target {
+        ($name:expr, $body:expr) => {
+            if all || t == $name {
+                matched = true;
+                $body;
+            }
+        };
+    }
+
+    target!("table1", table1(&mut ctx));
+    target!("table2", table2(&mut ctx));
+    target!("fig3", fig3(&mut ctx));
+    target!("table3", table3(&mut ctx));
+    target!("fig4", fig4(&mut ctx));
+    target!("fig5", fig5(&mut ctx));
+    target!("table4", table4(&mut ctx));
+    target!("fig6", fig6(&mut ctx));
+    target!("fig7", fig7(&mut ctx));
+    target!("fig8", fig8(&mut ctx));
+    target!("fig9", fig9(&mut ctx));
+    target!("fig10", fig10(&mut ctx));
+    target!("fig11", fig11(&mut ctx));
+    target!("fig12", fig12(&mut ctx));
+    target!("fig13", fig13(&mut ctx));
+    target!("fig14", fig14(&mut ctx));
+    target!("fig15", fig15(&mut ctx));
+    target!("fig16", fig16(&mut ctx));
+    target!("table5", table5(&mut ctx));
+    target!("table6", table6(&mut ctx));
+    target!("table7", table7(&mut ctx));
+    target!("implications", implications_sweep(&mut ctx));
+    target!("queueing", queueing_extension(&mut ctx));
+
+    if !matched {
+        die(&format!("unknown target '{t}' (try --help)"));
+    }
+
+    if let Some(path) = args.json {
+        let doc = serde_json::json!({
+            "paper": "When the Dike Breaks: Dissecting DNS Defenses During DDoS (IMC 2018)",
+            "scale": ctx.scale,
+            "seed": ctx.seed,
+            "results": ctx.json,
+        });
+        let text = serde_json::to_string_pretty(&doc).expect("results serialize");
+        std::fs::write(&path, text).unwrap_or_else(|e| die(&format!("writing {path}: {e}")));
+        eprintln!("[repro] wrote JSON results to {path}");
+    }
+}
+
+// ---------------------------------------------------------------------
+// §3: caching baselines
+// ---------------------------------------------------------------------
+
+fn table1(ctx: &mut Ctx) {
+    let mut tbl = TextTable::new(
+        "Table 1: caching baseline experiments",
+        &["TTL", "Probes", "VPs", "Queries", "Answers", "Answers(valid)"],
+    );
+    for r in ctx.baselines() {
+        tbl.row(&[
+            r.config.label.to_string(),
+            r.output.n_probes.to_string(),
+            r.output.n_vps.to_string(),
+            r.queries().to_string(),
+            r.answers().to_string(),
+            r.classification.summary.valid_answers.to_string(),
+        ]);
+    }
+    ctx.emit(&tbl);
+}
+
+fn table2(ctx: &mut Ctx) {
+    let mut tbl = TextTable::new(
+        "Table 2: valid DNS answers (expected/observed)",
+        &[
+            "TTL",
+            "1-ans VPs",
+            "Warm-up",
+            "TTL as zone",
+            "TTL altered",
+            "AA",
+            "CC",
+            "CCdec",
+            "AC",
+            "AC as-zone",
+            "AC altered",
+            "CA",
+            "CAdec",
+        ],
+    );
+    for r in ctx.baselines() {
+        let s = r.classification.summary;
+        tbl.row(&[
+            r.config.label.to_string(),
+            s.one_answer_vps.to_string(),
+            s.warmup.to_string(),
+            s.warmup_ttl_as_zone.to_string(),
+            s.warmup_ttl_altered.to_string(),
+            s.aa.to_string(),
+            s.cc.to_string(),
+            s.cc_dec.to_string(),
+            s.ac.to_string(),
+            s.ac_ttl_as_zone.to_string(),
+            s.ac_ttl_altered.to_string(),
+            s.ca.to_string(),
+            s.ca_dec.to_string(),
+        ]);
+    }
+    ctx.emit(&tbl);
+}
+
+fn fig3(ctx: &mut Ctx) {
+    let mut tbl = TextTable::new(
+        "Figure 3: warm-cache answer classes (paper: ~30% miss for TTL >= 1800)",
+        &["TTL", "AA", "CC", "AC", "CA", "Miss"],
+    );
+    for r in ctx.baselines() {
+        let s = r.classification.summary;
+        tbl.row(&[
+            r.config.label.to_string(),
+            s.aa.to_string(),
+            s.cc.to_string(),
+            s.ac.to_string(),
+            s.ca.to_string(),
+            pct(s.miss_rate()),
+        ]);
+    }
+    ctx.emit(&tbl);
+}
+
+fn table3(ctx: &mut Ctx) {
+    let mut tbl = TextTable::new(
+        "Table 3: AC answers by public-resolver use (paper: ~half public R1, 3/4 of those Google)",
+        &[
+            "TTL",
+            "AC",
+            "Public R1",
+            "Google R1",
+            "Other public R1",
+            "Non-public R1",
+            "Google Rn behind non-public",
+        ],
+    );
+    for r in ctx.baselines() {
+        let p = r.public_split;
+        tbl.row(&[
+            r.config.label.to_string(),
+            p.ac_total.to_string(),
+            p.public_r1.to_string(),
+            p.google_r1.to_string(),
+            p.other_public_r1.to_string(),
+            p.non_public_r1.to_string(),
+            p.google_rn_behind_non_public.to_string(),
+        ]);
+    }
+    ctx.emit(&tbl);
+}
+
+fn fig13(ctx: &mut Ctx) {
+    let tables: Vec<TextTable> = ctx
+        .baselines()
+        .iter()
+        .map(|r| {
+            let mut tbl = TextTable::new(
+                format!("Figure 13 ({}s): answer classes over time", r.config.label),
+                &["min", "AA", "CC", "AC", "CA"],
+            );
+            for b in &r.class_bins {
+                tbl.row(&[
+                    b.start_min.to_string(),
+                    b.aa.to_string(),
+                    b.cc.to_string(),
+                    b.ac.to_string(),
+                    b.ca.to_string(),
+                ]);
+            }
+            tbl
+        })
+        .collect();
+    for tbl in &tables {
+        ctx.emit(tbl);
+    }
+}
+
+// ---------------------------------------------------------------------
+// §4: production zones
+// ---------------------------------------------------------------------
+
+fn fig4(ctx: &mut Ctx) {
+    let cfg = NlConfig {
+        n_recursives: ((7_700.0 * ctx.scale.max(0.05)).round() as usize).max(200),
+        seed: ctx.seed,
+        ..NlConfig::default()
+    };
+    eprintln!("[repro] fig4: emulating {} .nl recursives ...", cfg.n_recursives);
+    let r = run_nl(&cfg);
+    let mut tbl = TextTable::new(
+        "Figure 4: ECDF of median inter-arrival dt at .nl authoritatives (TTL 3600)",
+        &["dt (s)", "CDF"],
+    );
+    for (v, f) in r.median_dt_ecdf.downsample(24) {
+        tbl.row(&[format!("{v:.0}"), format!("{f:.3}")]);
+    }
+    ctx.emit(&tbl);
+    println!(
+        "analyzed={} recursives, queries={}, <10s fraction={} (paper ~28%), peak@TTL={} vs peak@TTL/2={}",
+        r.analyzed,
+        r.total_queries,
+        pct(r.frac_under_10s),
+        pct(r.frac_at_ttl),
+        pct(r.frac_at_half_ttl),
+    );
+}
+
+fn fig5(ctx: &mut Ctx) {
+    let cfg = RootConfig {
+        n_recursives: ((70_300.0 * ctx.scale.max(0.05)).round() as usize).max(2_000),
+        seed: ctx.seed,
+        ..RootConfig::default()
+    };
+    eprintln!(
+        "[repro] fig5: emulating {} root-DITL recursives ...",
+        cfg.n_recursives
+    );
+    let r = run_root(&cfg);
+    let mut tbl = TextTable::new(
+        "Figure 5: CDF of queries per recursive for 'DS nl' in 24h",
+        &["n", "all roots", "friendliest", "worst"],
+    );
+    for i in 0..r.all.len() {
+        let n = r.all[i].0;
+        if ![1, 2, 3, 4, 5, 10, 15, 20, 25, 30].contains(&n) {
+            continue;
+        }
+        tbl.row(&[
+            n.to_string(),
+            format!("{:.3}", r.all[i].1),
+            format!("{:.3}", r.friendly_letter[i].1),
+            format!("{:.3}", r.worst_letter[i].1),
+        ]);
+    }
+    ctx.emit(&tbl);
+    println!(
+        "single-query recursives={} (paper ~87%), heaviest recursive={} queries (paper 21.8k)",
+        pct(r.frac_single),
+        r.max_queries
+    );
+}
+
+// ---------------------------------------------------------------------
+// §5–6: DDoS experiments
+// ---------------------------------------------------------------------
+
+fn table4(ctx: &mut Ctx) {
+    let mut tbl = TextTable::new(
+        "Table 4: DDoS emulation experiments",
+        &[
+            "Exp",
+            "TTL",
+            "start",
+            "dur",
+            "interval",
+            "loss",
+            "scope",
+            "Probes",
+            "VPs",
+            "Queries",
+            "Answers",
+            "OK during attack",
+        ],
+    );
+    for exp in ALL {
+        let p = exp.params();
+        let ok = {
+            let r = ctx.ddos(exp);
+            ok_fraction_during_attack(r)
+        };
+        let r = ctx.ddos(exp);
+        let answers = r.output.log.records.len() - r.output.log.timeout_count();
+        tbl.row(&[
+            p.name.to_string(),
+            p.ttl.to_string(),
+            format!("{}m", p.ddos_start_min),
+            format!("{}m", p.ddos_duration_min),
+            format!("{}m", p.interval_min),
+            pct(p.loss),
+            if p.both_ns { "both NS" } else { "one NS" }.to_string(),
+            r.output.n_probes.to_string(),
+            r.output.n_vps.to_string(),
+            r.output.log.records.len().to_string(),
+            answers.to_string(),
+            pct(ok),
+        ]);
+    }
+    ctx.emit(&tbl);
+}
+
+fn outcome_figure(ctx: &mut Ctx, title: &str, exps: &[DdosExperiment]) {
+    for &exp in exps {
+        let r = ctx.ddos(exp);
+        let mut tbl = TextTable::new(
+            format!("{title} — Experiment {}", exp.letter()),
+            &["min", "OK", "SERVFAIL", "no answer", "OK frac"],
+        );
+        for b in &r.outcomes {
+            tbl.row(&[
+                b.start_min.to_string(),
+                b.ok.to_string(),
+                b.servfail.to_string(),
+                b.no_answer.to_string(),
+                pct(b.ok_fraction()),
+            ]);
+        }
+        ctx.emit(&tbl);
+    }
+}
+
+fn fig6(ctx: &mut Ctx) {
+    outcome_figure(
+        ctx,
+        "Figure 6: answers during complete failure",
+        &[DdosExperiment::A, DdosExperiment::B, DdosExperiment::C],
+    );
+}
+
+fn fig7(ctx: &mut Ctx) {
+    let r = ctx.ddos(DdosExperiment::B);
+    let mut tbl = TextTable::new(
+        "Figure 7: answer classes over time (Experiment B)",
+        &["min", "AA", "CC", "AC", "CA"],
+    );
+    for b in &r.classes {
+        tbl.row(&[
+            b.start_min.to_string(),
+            b.aa.to_string(),
+            b.cc.to_string(),
+            b.ac.to_string(),
+            b.ca.to_string(),
+        ]);
+    }
+    ctx.emit(&tbl);
+}
+
+fn fig8(ctx: &mut Ctx) {
+    outcome_figure(
+        ctx,
+        "Figure 8: answers during partial DDoS",
+        &[
+            DdosExperiment::E,
+            DdosExperiment::F,
+            DdosExperiment::H,
+            DdosExperiment::I,
+        ],
+    );
+}
+
+fn latency_figure(ctx: &mut Ctx, title: &str, exps: &[DdosExperiment]) {
+    for &exp in exps {
+        let r = ctx.ddos(exp);
+        let mut tbl = TextTable::new(
+            format!("{title} — Experiment {}", exp.letter()),
+            &["min", "median ms", "mean ms", "p75 ms", "p90 ms", "unanswered"],
+        );
+        for b in &r.latencies {
+            match b.summary {
+                Some(s) => tbl.row(&[
+                    b.start_min.to_string(),
+                    format!("{:.0}", s.median),
+                    format!("{:.0}", s.mean),
+                    format!("{:.0}", s.p75),
+                    format!("{:.0}", s.p90),
+                    b.unanswered.to_string(),
+                ]),
+                None => tbl.row(&[
+                    b.start_min.to_string(),
+                    "-".into(),
+                    "-".into(),
+                    "-".into(),
+                    "-".into(),
+                    b.unanswered.to_string(),
+                ]),
+            };
+        }
+        ctx.emit(&tbl);
+    }
+}
+
+fn fig9(ctx: &mut Ctx) {
+    latency_figure(
+        ctx,
+        "Figure 9: latency during partial DDoS",
+        &[
+            DdosExperiment::E,
+            DdosExperiment::F,
+            DdosExperiment::H,
+            DdosExperiment::I,
+        ],
+    );
+}
+
+fn fig10(ctx: &mut Ctx) {
+    for exp in [DdosExperiment::F, DdosExperiment::H, DdosExperiment::I] {
+        let mult = {
+            let r = ctx.ddos(exp);
+            traffic_multiplier(r)
+        };
+        let r = ctx.ddos(exp);
+        let mut tbl = TextTable::new(
+            format!(
+                "Figure 10: queries at authoritatives — Experiment {} (offered load {} during attack)",
+                exp.letter(),
+                ratio(mult)
+            ),
+            &["min", "NS", "A-for-NS", "AAAA-for-NS", "AAAA-for-PID", "total"],
+        );
+        for b in r.output.server.bins() {
+            tbl.row(&[
+                b.start_min.to_string(),
+                b.ns.to_string(),
+                b.a_for_ns.to_string(),
+                b.aaaa_for_ns.to_string(),
+                b.aaaa_for_pid.to_string(),
+                b.total().to_string(),
+            ]);
+        }
+        ctx.emit(&tbl);
+    }
+}
+
+fn fig11(ctx: &mut Ctx) {
+    let r = ctx.ddos(DdosExperiment::I);
+    let mut tbl = TextTable::new(
+        "Figure 11: Rn recursives and AAAA queries per probe (Experiment I)",
+        &["min", "Rn med", "Rn p90", "Rn max", "q med", "q p90", "q max"],
+    );
+    for b in r.output.server.amplification() {
+        tbl.row(&[
+            b.start_min.to_string(),
+            format!("{:.1}", b.rn_median),
+            format!("{:.1}", b.rn_p90),
+            format!("{:.0}", b.rn_max),
+            format!("{:.1}", b.queries_median),
+            format!("{:.1}", b.queries_p90),
+            format!("{:.0}", b.queries_max),
+        ]);
+    }
+    ctx.emit(&tbl);
+}
+
+fn fig12(ctx: &mut Ctx) {
+    let f: Vec<usize> = ctx
+        .ddos(DdosExperiment::F)
+        .output
+        .server
+        .bins()
+        .iter()
+        .map(|b| b.sources.len())
+        .collect();
+    let h: Vec<usize> = ctx
+        .ddos(DdosExperiment::H)
+        .output
+        .server
+        .bins()
+        .iter()
+        .map(|b| b.sources.len())
+        .collect();
+    let i: Vec<usize> = ctx
+        .ddos(DdosExperiment::I)
+        .output
+        .server
+        .bins()
+        .iter()
+        .map(|b| b.sources.len())
+        .collect();
+    let mut tbl = TextTable::new(
+        "Figure 12: unique Rn addresses at authoritatives per 10 min",
+        &["min", "Exp F", "Exp H", "Exp I"],
+    );
+    let rows = f.len().max(h.len()).max(i.len());
+    for idx in 0..rows {
+        tbl.row(&[
+            (idx * 10).to_string(),
+            f.get(idx).map(|v| v.to_string()).unwrap_or_default(),
+            h.get(idx).map(|v| v.to_string()).unwrap_or_default(),
+            i.get(idx).map(|v| v.to_string()).unwrap_or_default(),
+        ]);
+    }
+    ctx.emit(&tbl);
+}
+
+fn fig14(ctx: &mut Ctx) {
+    outcome_figure(
+        ctx,
+        "Figure 14: answers (appendix experiments)",
+        &[DdosExperiment::D, DdosExperiment::G],
+    );
+}
+
+fn fig15(ctx: &mut Ctx) {
+    latency_figure(
+        ctx,
+        "Figure 15: latency (appendix experiments)",
+        &[DdosExperiment::D, DdosExperiment::G],
+    );
+}
+
+fn fig16(ctx: &mut Ctx) {
+    let mut tbl = TextTable::new(
+        "Figure 16: queries per cold resolution (paper: BIND 3 -> 12, Unbound 5-6 -> 46)",
+        &["software", "state", "root", "TLD", "target", "total"],
+    );
+    for (sw, ddos) in [
+        (Software::Bind, false),
+        (Software::Unbound, false),
+        (Software::Bind, true),
+        (Software::Unbound, true),
+    ] {
+        let b = run_software_mean(sw, ddos, 20);
+        tbl.row(&[
+            sw.name().to_string(),
+            if ddos { "DDoS" } else { "normal" }.to_string(),
+            b.to_root.to_string(),
+            b.to_tld.to_string(),
+            b.to_target.to_string(),
+            b.total().to_string(),
+        ]);
+    }
+    ctx.emit(&tbl);
+}
+
+// ---------------------------------------------------------------------
+// Appendix A: glue records
+// ---------------------------------------------------------------------
+
+fn table5(ctx: &mut Ctx) {
+    let n = ((200.0 * ctx.scale.max(0.25)) as usize).max(40);
+    for (label, qtype) in [("NS record", RecordType::NS), ("A record", RecordType::A)] {
+        let b = glue::run_table5(qtype, n, 0.05, ctx.seed);
+        let mut tbl = TextTable::new(
+            format!(
+                "Table 5: client-observed TTLs for {label} (referral 3600 vs authoritative 60)"
+            ),
+            &["bucket", "answers", "source"],
+        );
+        tbl.row(&["TTL>3600".into(), b.above_parent.to_string(), "unclear".into()]);
+        tbl.row(&["TTL=3600".into(), b.parent.to_string(), "parent".into()]);
+        tbl.row(&[
+            "60<TTL<3600".into(),
+            b.between.to_string(),
+            "parent (aged)".into(),
+        ]);
+        tbl.row(&[
+            "TTL=60".into(),
+            b.authoritative.to_string(),
+            "authoritative".into(),
+        ]);
+        tbl.row(&[
+            "TTL<60".into(),
+            b.below_auth.to_string(),
+            "authoritative (aged)".into(),
+        ]);
+        ctx.emit(&tbl);
+        println!(
+            "authoritative fraction: {} (paper: ~95%)",
+            pct(b.authoritative_fraction())
+        );
+    }
+}
+
+fn table6(ctx: &mut Ctx) {
+    match glue::run_cache_dump(ctx.seed) {
+        Some((ttl, trust)) => {
+            println!("== Table 6 / Appendix A.3: resolver cache after one NS query ==");
+            println!(
+                "cachetest fixture: cached NS RRset TTL {ttl}s, trust {trust:?} \
+                 (child=60s beats parent=3600s)"
+            );
+        }
+        None => println!("Table 6: no NS RRset cached (unexpected)"),
+    }
+    match glue::run_amazon_fixture(ctx.seed) {
+        Some((ttl, trust)) => println!(
+            "amazon.com fixture (paper's exact TTLs): cached NS RRset TTL {ttl}s, \
+             trust {trust:?} (child=3600s beats parent=172800s; the paper's \
+             Listings 3-4 show ~3595s in BIND and Unbound)"
+        ),
+        None => println!("amazon.com fixture: no NS RRset cached (unexpected)"),
+    }
+}
+
+fn table7(ctx: &mut Ctx) {
+    let (pid, rows) = {
+        let r = ctx.ddos(DdosExperiment::I);
+        let pid = (r.output.n_probes as u16 / 2).max(1);
+        (pid, r.output.server.probe_rows(pid))
+    };
+    let mut tbl = TextTable::new(
+        format!("Table 7: authoritative view of probe {pid} (Experiment I)"),
+        &["min", "queries", "delivered", "unique Rn"],
+    );
+    for (min, q, d, rn) in rows {
+        tbl.row(&[min.to_string(), q.to_string(), d.to_string(), rn.to_string()]);
+    }
+    ctx.emit(&tbl);
+
+    // Client side of the same probe.
+    let r = ctx.ddos(DdosExperiment::I);
+    let mut client = TextTable::new(
+        format!("Table 7 (client view of probe {pid})"),
+        &["round", "sent", "answered"],
+    );
+    let mut per_round: std::collections::BTreeMap<u32, (usize, usize)> = Default::default();
+    for rec in &r.output.log.records {
+        if rec.vp.probe == pid {
+            let e = per_round.entry(rec.round).or_default();
+            e.0 += 1;
+            if rec.outcome.is_ok() {
+                e.1 += 1;
+            }
+        }
+    }
+    for (round, (sent, ok)) in per_round {
+        client.row(&[round.to_string(), sent.to_string(), ok.to_string()]);
+    }
+    ctx.emit(&client);
+
+    // Appendix F / Figure 17: the probe's resolver wiring and the Rn
+    // fan-out it produced at the authoritatives.
+    let (wiring, rn_count) = {
+        let r = ctx.ddos(DdosExperiment::I);
+        let wiring: Vec<String> = r
+            .output
+            .vps
+            .iter()
+            .filter(|m| m.vp.probe == pid)
+            .map(|m| format!("R1 #{} = {} ({:?})", m.vp.recursive, m.r1, m.kind))
+            .collect();
+        (wiring, r.output.server.probe_sources(pid).len())
+    };
+    println!(
+        "probe {pid} wiring (Fig. 17 analogue): {}; {rn_count} distinct Rn reached the authoritatives over the run",
+        wiring.join(", ")
+    );
+}
+
+// ---------------------------------------------------------------------
+// §8: implications (beyond the paper's tables — a controlled sweep of
+// the root-vs-Dyn argument)
+// ---------------------------------------------------------------------
+
+fn implications_sweep(ctx: &mut Ctx) {
+    let n_probes = ((600.0 * ctx.scale.max(0.1)) as usize).max(60);
+    eprintln!("[repro] implications: anycast sweep with {n_probes} probes ...");
+    let results = implications::sweep(n_probes, ctx.seed);
+    let mut tbl = TextTable::new(
+        "Implications (paper §8): 2 NS x 4 anycast sites, 60-min total-site failures",
+        &["TTL", "sites attacked (of 8)", "OK before", "OK during attack"],
+    );
+    for r in results {
+        tbl.row(&[
+            r.config.ttl.to_string(),
+            r.config.sites_attacked.to_string(),
+            pct(r.ok_before_attack),
+            pct(r.ok_during_attack),
+        ]);
+    }
+    ctx.emit(&tbl);
+    println!(
+        "the paper's contrast: long TTLs + surviving sites ride out the attack\n\
+         (the Nov 2015 root event); short CDN TTLs + all sites hit collapse\n\
+         (the Oct 2016 Dyn event)."
+    );
+}
+
+// ---------------------------------------------------------------------
+// Future work (paper §5.1): the queueing extension
+// ---------------------------------------------------------------------
+
+fn queueing_extension(ctx: &mut Ctx) {
+    eprintln!("[repro] queueing extension: Experiment H with and without ingress queues ...");
+    let queue = dike_netsim::QueueConfig {
+        rate_pps: 2_000.0,
+        capacity: 2_000,
+    };
+    let plain = run_ddos(DdosExperiment::H, ctx.scale, ctx.seed);
+    let queued = run_ddos_with_queueing(DdosExperiment::H, ctx.scale, ctx.seed, Some(queue));
+    let mut tbl = TextTable::new(
+        "Queueing extension (paper 5.1 future work): Experiment H latency, loss-only vs loss+queueing",
+        &["min", "median (loss)", "p90 (loss)", "median (+queue)", "p90 (+queue)"],
+    );
+    for (a, b) in plain.latencies.iter().zip(&queued.latencies) {
+        let fmt = |s: Option<dike_stats::quantile::LatencySummary>| match s {
+            Some(s) => (format!("{:.0}", s.median), format!("{:.0}", s.p90)),
+            None => ("-".into(), "-".into()),
+        };
+        let (am, ap) = fmt(a.summary);
+        let (bm, bp) = fmt(b.summary);
+        tbl.row(&[a.start_min.to_string(), am, ap, bm, bp]);
+    }
+    ctx.emit(&tbl);
+    println!(
+        "during the attack the flood also consumes service capacity, so the\n\
+         queries that survive the random loss additionally wait in the victim's\n\
+         queue - the effect the paper explicitly left to future work."
+    );
+}

@@ -1,0 +1,356 @@
+//! Paper §8 ("Implications") as a controlled experiment.
+//!
+//! The paper *explains* the different outcomes of the Nov 2015 root DDoS
+//! (no visible user impact) and the Oct 2016 Dyn attack (prominent sites
+//! down) by three factors: cache lifetimes vs. attack duration,
+//! nameserver replication, and IP anycast — but could only argue from
+//! natural-experiment evidence. Here we turn the argument into a
+//! controlled sweep:
+//!
+//! * a zone served by `ns_count` nameservers, each an **anycast VIP**
+//!   over `sites_per_ns` sites;
+//! * a DDoS takes out a chosen number of sites completely;
+//! * clients (probes behind recursive resolvers) keep querying.
+//!
+//! Sweeping TTL × attacked-sites reproduces both stories: the root
+//! (long TTLs, many sites, some always alive) sails through; a Dyn-like
+//! setup (CDN-style 120 s TTLs, every site under fire) collapses.
+
+use std::sync::Arc;
+
+use dike_netsim::{Addr, NodeId, SimDuration, Simulator};
+use dike_resolver::{profiles, RecursiveResolver};
+use dike_stats::timeseries::outcome_timeseries;
+use dike_stub::{new_shared_log, StubConfig, StubProbe};
+use dike_wire::{Name, RData, Record, SoaData};
+use serde::{Deserialize, Serialize};
+
+use dike_auth::{AuthServer, CacheTestZone, Zone};
+
+/// One point in the sweep.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ImplicationsConfig {
+    /// Nameservers for the zone (NS records), each its own anycast VIP.
+    pub ns_count: usize,
+    /// Anycast sites behind each nameserver.
+    pub sites_per_ns: usize,
+    /// Sites hit by the attack (spread round-robin across nameservers,
+    /// so `ns_count * sites_per_ns` means total service failure).
+    pub sites_attacked: usize,
+    /// Zone TTL in seconds.
+    pub ttl: u32,
+    /// Attack concentration: `true` fills whole nameservers first (all
+    /// of NS1's sites before touching NS2 — the "strongest authoritative
+    /// survives" case); `false` spreads victims round-robin across
+    /// nameservers.
+    pub concentrated: bool,
+    /// Probes.
+    pub n_probes: usize,
+    /// Seed.
+    pub seed: u64,
+}
+
+impl ImplicationsConfig {
+    /// A root-like service: 2 NS × 4 sites, day-scale TTL (root-zone
+    /// records carry TTLs of 1–6 days, §8).
+    pub fn root_like(n_probes: usize, seed: u64) -> Self {
+        ImplicationsConfig {
+            ns_count: 2,
+            sites_per_ns: 4,
+            sites_attacked: 4,
+            ttl: 86_400,
+            concentrated: false,
+            n_probes,
+            seed,
+        }
+    }
+
+    /// A Dyn-customer-like service: CDN-style 120 s TTLs.
+    pub fn dyn_like(n_probes: usize, seed: u64) -> Self {
+        ImplicationsConfig {
+            ttl: 120,
+            ..ImplicationsConfig::root_like(n_probes, seed)
+        }
+    }
+}
+
+/// One sweep point's outcome.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ImplicationsResult {
+    /// The configuration.
+    pub config: ImplicationsConfig,
+    /// Mean per-round answered fraction during the attack window.
+    pub ok_during_attack: f64,
+    /// Answered fraction before the attack (sanity baseline).
+    pub ok_before_attack: f64,
+}
+
+/// Attack timing: warm for 60 minutes, attack for 60, observe 30 more.
+const ATTACK_START_MIN: u64 = 60;
+const ATTACK_DURATION_MIN: u64 = 60;
+const TOTAL_MIN: u64 = 150;
+
+fn soa(origin: &Name) -> SoaData {
+    SoaData {
+        mname: origin.child("ns1").unwrap_or_else(|_| origin.clone()),
+        rname: origin.child("hostmaster").unwrap_or_else(|_| origin.clone()),
+        serial: 1,
+        refresh: 14_400,
+        retry: 3_600,
+        expire: 1_209_600,
+        minimum: 60,
+    }
+}
+
+/// Runs one sweep point.
+pub fn run_implications(cfg: &ImplicationsConfig) -> ImplicationsResult {
+    let mut sim = Simulator::new(cfg.seed);
+
+    // --- Build the anycast service: sites first, then the VIPs. ---
+    // VIP addresses are deterministic (198.18.0.1, .2, ...), so the
+    // parent zones can reference them as glue before the groups exist.
+    let vip_base: u32 = 0xc612_0001;
+    let vips: Vec<Addr> = (0..cfg.ns_count)
+        .map(|i| Addr(vip_base + i as u32))
+        .collect();
+
+    // Root and nl zones (unicast, never attacked here).
+    let root_addr = sim.next_addr();
+    let nl_addr = Addr(root_addr.0 + 1);
+    let v4 = |a: Addr| std::net::Ipv4Addr::from(a.0);
+
+    let origin = Name::root();
+    let mut root_zone = Zone::new(origin.clone(), 86_400, soa(&origin));
+    let nl = Name::parse("nl").expect("static");
+    root_zone.add(Record::new(
+        nl.clone(),
+        86_400,
+        RData::Ns(Name::parse("ns1.dns.nl").expect("static")),
+    ));
+    root_zone.add(Record::new(
+        Name::parse("ns1.dns.nl").expect("static"),
+        86_400,
+        RData::A(v4(nl_addr)),
+    ));
+
+    let mut nl_zone = Zone::new(nl.clone(), 3_600, soa(&nl));
+    nl_zone.add(Record::new(
+        nl.clone(),
+        3_600,
+        RData::Ns(Name::parse("ns1.dns.nl").expect("static")),
+    ));
+    nl_zone.add(Record::new(
+        Name::parse("ns1.dns.nl").expect("static"),
+        3_600,
+        RData::A(v4(nl_addr)),
+    ));
+    let ct = Name::parse("cachetest.nl").expect("static");
+    let ns_v4: Vec<std::net::Ipv4Addr> = vips.iter().map(|a| v4(*a)).collect();
+    for (i, vip) in vips.iter().enumerate() {
+        let ns_name = ct.child(&format!("ns{}", i + 1)).expect("static");
+        nl_zone.add(Record::new(ct.clone(), 3_600, RData::Ns(ns_name.clone())));
+        nl_zone.add(Record::new(ns_name, 3_600, RData::A(v4(*vip))));
+    }
+
+    sim.add_node(Box::new(AuthServer::new().with_zone(Box::new(root_zone))));
+    sim.add_node(Box::new(AuthServer::new().with_zone(Box::new(nl_zone))));
+
+    // Site nodes: `sites_per_ns` AuthServers per nameserver, grouped
+    // into one anycast VIP each.
+    let mut all_sites: Vec<Addr> = Vec::new();
+    for (i, expected_vip) in vips.iter().enumerate() {
+        let mut members: Vec<NodeId> = Vec::new();
+        for _ in 0..cfg.sites_per_ns {
+            let (id, addr) = sim.add_node(Box::new(AuthServer::new().with_zone(Box::new(
+                CacheTestZone::new(cfg.ttl, &ns_v4),
+            ))));
+            members.push(id);
+            all_sites.push(addr);
+        }
+        let vip = sim.add_anycast_group(&members);
+        assert_eq!(vip, *expected_vip, "VIP allocation is deterministic");
+        let _ = i;
+    }
+
+    // --- Resolver population: plain iterative resolvers shared by a few
+    // probes each (anycast effects, not cache-miss mix, are under test).
+    let n_resolvers = (cfg.n_probes / 3).max(1);
+    let mut resolvers = Vec::with_capacity(n_resolvers);
+    for i in 0..n_resolvers {
+        let rc = if i % 2 == 0 {
+            profiles::bind_like(vec![root_addr])
+        } else {
+            profiles::unbound_like(vec![root_addr])
+        };
+        let (_, addr) = sim.add_node(Box::new(RecursiveResolver::new(rc)));
+        resolvers.push(addr);
+    }
+
+    let log = new_shared_log();
+    for p in 0..cfg.n_probes {
+        let pid = (p + 1) as u16;
+        let r = resolvers[p % resolvers.len()];
+        let mut stub = StubConfig::new(
+            pid,
+            vec![r],
+            SimDuration::from_secs((p as u64 * 37) % 480),
+            SimDuration::from_mins(10),
+            (TOTAL_MIN / 10) as u32,
+        );
+        stub.round_jitter = SimDuration::from_mins(3);
+        sim.add_node(Box::new(StubProbe::new(stub, log.clone())));
+    }
+
+    // --- The attack: kill `sites_attacked` sites. A concentrated attack
+    // fills whole nameservers first; a spread attack takes one site per
+    // nameserver round-robin (a volumetric attack hitting the weakest
+    // site of every letter).
+    let pick_victims = |cfg: &ImplicationsConfig, all_sites: &[Addr]| -> Vec<Addr> {
+        let k = cfg.sites_attacked.min(all_sites.len());
+        if cfg.concentrated {
+            all_sites[..k].to_vec()
+        } else {
+            (0..k)
+                .map(|j| {
+                    let ns = j % cfg.ns_count;
+                    let slot = j / cfg.ns_count;
+                    all_sites[ns * cfg.sites_per_ns + slot]
+                })
+                .collect()
+        }
+    };
+    let victims = pick_victims(cfg, &all_sites);
+    let victims2 = victims.clone();
+    sim.schedule_control(
+        SimDuration::from_mins(ATTACK_START_MIN).after_zero(),
+        move |w| {
+            for v in &victims {
+                w.links_mut().set_ingress_loss(*v, 1.0);
+            }
+        },
+    );
+    sim.schedule_control(
+        SimDuration::from_mins(ATTACK_START_MIN + ATTACK_DURATION_MIN).after_zero(),
+        move |w| {
+            for v in &victims2 {
+                w.links_mut().clear_ingress_loss(*v);
+            }
+        },
+    );
+
+    sim.run_until(SimDuration::from_mins(TOTAL_MIN).after_zero());
+    drop(sim);
+    let log = Arc::try_unwrap(log).expect("single owner").into_inner();
+
+    let bins = outcome_timeseries(&log, SimDuration::from_mins(10));
+    let window = |lo: u64, hi: u64| {
+        let sel: Vec<_> = bins
+            .iter()
+            .filter(|b| b.start_min >= lo && b.start_min < hi && b.total() > 0)
+            .collect();
+        if sel.is_empty() {
+            0.0
+        } else {
+            sel.iter().map(|b| b.ok_fraction()).sum::<f64>() / sel.len() as f64
+        }
+    };
+    ImplicationsResult {
+        config: *cfg,
+        ok_during_attack: window(ATTACK_START_MIN, ATTACK_START_MIN + ATTACK_DURATION_MIN),
+        ok_before_attack: window(10, ATTACK_START_MIN),
+    }
+}
+
+/// The sweep the `repro implications` target prints: TTLs × attacked
+/// site counts for a 2-NS × 4-sites service.
+pub fn sweep(n_probes: usize, seed: u64) -> Vec<ImplicationsResult> {
+    let mut out = Vec::new();
+    for &ttl in &[120u32, 1800, 86_400] {
+        for &attacked in &[2usize, 4, 6, 8] {
+            out.push(run_implications(&ImplicationsConfig {
+                ns_count: 2,
+                sites_per_ns: 4,
+                sites_attacked: attacked,
+                ttl,
+                concentrated: false,
+                n_probes,
+                seed,
+            }));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// §8's core claim, controlled: the same partial-site attack that a
+    /// long-TTL, multi-site service rides out takes down a short-TTL
+    /// service once every site is hit.
+    #[test]
+    fn root_rides_it_out_dyn_does_not() {
+        // Root-like: half the sites die; caches + surviving catchments
+        // keep nearly everyone served.
+        let root = run_implications(&ImplicationsConfig {
+            sites_attacked: 4,
+            ..ImplicationsConfig::root_like(60, 11)
+        });
+        assert!(root.ok_before_attack > 0.95, "{root:?}");
+        assert!(
+            root.ok_during_attack > 0.85,
+            "root-like service barely notices: {root:?}"
+        );
+
+        // Dyn-like: every site of every NS under fire, 120 s TTLs.
+        let dyn_ = run_implications(&ImplicationsConfig {
+            sites_attacked: 8,
+            ..ImplicationsConfig::dyn_like(60, 11)
+        });
+        assert!(
+            dyn_.ok_during_attack < 0.35,
+            "dyn-like service collapses: {dyn_:?}"
+        );
+        assert!(
+            root.ok_during_attack > dyn_.ok_during_attack + 0.4,
+            "the paper's contrast: {} vs {}",
+            root.ok_during_attack,
+            dyn_.ok_during_attack
+        );
+    }
+
+    /// "A DNS service composed of multiple authoritatives using IP
+    /// anycast tends to be as resilient as the strongest individual
+    /// authoritative" (§8): with a short TTL (caching can't help), a
+    /// *concentrated* attack that kills every site of one nameserver
+    /// barely matters — resolvers retry across to the surviving NS —
+    /// while the same number of victims *spread* over both nameservers
+    /// strands the resolvers whose catchments died on both.
+    #[test]
+    fn strongest_nameserver_carries_the_service() {
+        let base = ImplicationsConfig {
+            ns_count: 2,
+            sites_per_ns: 2,
+            sites_attacked: 2,
+            ttl: 300, // short TTL: caching barely helps, diversity must
+            concentrated: true,
+            n_probes: 60,
+            seed: 12,
+        };
+        let concentrated = run_implications(&base);
+        assert!(concentrated.ok_before_attack > 0.95);
+        assert!(
+            concentrated.ok_during_attack > 0.9,
+            "one whole NS dead, the other carries everyone: {concentrated:?}"
+        );
+
+        let spread = run_implications(&ImplicationsConfig {
+            concentrated: false,
+            ..base
+        });
+        assert!(
+            spread.ok_during_attack < concentrated.ok_during_attack - 0.1,
+            "spread victims strand double-dead catchments: {spread:?} vs {concentrated:?}"
+        );
+    }
+}

@@ -1,0 +1,39 @@
+#![warn(missing_docs)]
+
+//! # dike-experiments
+//!
+//! The paper's experiments as code. Each module owns one family of
+//! results and knows how to regenerate its tables and figures:
+//!
+//! | module | paper results |
+//! |---|---|
+//! | [`baseline`] | Table 1–3, Fig. 3, Fig. 13 (caching in controlled experiments) |
+//! | [`ddos`] | Table 4, Fig. 6–12, Fig. 14–15, Table 7 (DDoS scenarios A–I) |
+//! | [`software`] | Fig. 16 (BIND vs Unbound retry behaviour) |
+//! | [`glue`] | Table 5, Table 6 (referral vs authoritative TTL precedence) |
+//! | [`production`] | Fig. 4, Fig. 5 (`.nl` and root-DITL trace emulation) |
+//! | [`implications`] | §8's root-vs-Dyn contrast as a controlled anycast sweep |
+//!
+//! [`population`] holds the calibrated resolver-population mix and
+//! [`topology`] assembles the simulated world (hierarchy + resolvers +
+//! probes). The `repro` binary prints any table or figure:
+//!
+//! ```text
+//! repro table2 --scale 0.05
+//! repro fig8 --experiment H
+//! repro all
+//! ```
+
+pub mod baseline;
+pub mod ddos;
+pub mod glue;
+pub mod implications;
+pub mod population;
+pub mod production;
+pub mod public_resolvers;
+pub mod software;
+pub mod setup;
+pub mod topology;
+
+pub use population::PopulationMix;
+pub use setup::{AttackPlan, AttackScope, ExperimentOutput, ExperimentSetup};

@@ -1,0 +1,259 @@
+//! Experiment orchestration: one [`ExperimentSetup`] describes a run in
+//! the shape of the paper's Table 4; [`run_experiment`] executes it and
+//! returns the client log, the authoritative-side view, and the
+//! population metadata.
+
+use std::sync::Arc;
+
+use dike_attack::Attack;
+use dike_netsim::{trace, QueueConfig, SimDuration, Simulator};
+use dike_stats::server_view::ServerView;
+use dike_stub::ProbeLog;
+
+use crate::population::PopulationMix;
+use crate::topology::{self, BuildConfig, VpMeta};
+
+/// Which authoritatives the attack hits.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AttackScope {
+    /// Only `ns1` (Experiment D).
+    OneNs,
+    /// Both name servers (everything else).
+    BothNs,
+}
+
+/// An attack in Table 4 terms.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AttackPlan {
+    /// Minutes after start when the attack begins.
+    pub start_min: u64,
+    /// Attack duration in minutes.
+    pub duration_min: u64,
+    /// Packet loss at the victims (1.0 = complete failure).
+    pub loss: f64,
+    /// One or both name servers.
+    pub scope: AttackScope,
+}
+
+/// A full experiment description.
+#[derive(Debug, Clone)]
+pub struct ExperimentSetup {
+    /// Simulator seed (packet-level randomness).
+    pub seed: u64,
+    /// Population seed (who talks to whom).
+    pub population_seed: u64,
+    /// Probe count.
+    pub n_probes: usize,
+    /// Zone answer TTL.
+    pub ttl: u32,
+    /// Round pacing.
+    pub round_interval: SimDuration,
+    /// Rounds per probe.
+    pub rounds: u32,
+    /// Total simulated duration.
+    pub total_duration: SimDuration,
+    /// The attack, if any.
+    pub attack: Option<AttackPlan>,
+    /// Population mix.
+    pub mix: PopulationMix,
+    /// First-round spread window.
+    pub first_round_spread: SimDuration,
+    /// Per-round jitter.
+    pub round_jitter: SimDuration,
+    /// Record full server-side drill-down for this probe id (Table 7).
+    pub track_probe: Option<u16>,
+    /// Model regional last-mile latencies (see
+    /// [`crate::topology::BuildConfig::regional_latency`]).
+    pub regional_latency: bool,
+    /// The paper's future-work extension: install ingress service queues
+    /// at the authoritatives; during the attack the flood consumes a
+    /// `loss`-fraction of their capacity, so surviving queries pay
+    /// queueing delay on top of the random loss (paper §5.1).
+    pub queueing: Option<QueueConfig>,
+}
+
+impl ExperimentSetup {
+    /// A setup with sensible defaults: no attack, 20-minute rounds.
+    pub fn new(n_probes: usize, ttl: u32) -> Self {
+        ExperimentSetup {
+            seed: 42,
+            population_seed: 7,
+            n_probes,
+            ttl,
+            round_interval: SimDuration::from_mins(20),
+            rounds: 6,
+            total_duration: SimDuration::from_mins(130),
+            attack: None,
+            mix: PopulationMix::default(),
+            first_round_spread: SimDuration::from_mins(5),
+            round_jitter: SimDuration::from_mins(4),
+            track_probe: None,
+            regional_latency: true,
+            queueing: None,
+        }
+    }
+}
+
+/// Everything a run produces.
+#[derive(Debug)]
+pub struct ExperimentOutput {
+    /// The client-side answer log.
+    pub log: ProbeLog,
+    /// The authoritative-side traffic view.
+    pub server: ServerView,
+    /// Per-VP wiring metadata.
+    pub vps: Vec<VpMeta>,
+    /// Addresses of the Google-like farm backends.
+    pub google_backends: Vec<dike_netsim::Addr>,
+    /// All public frontend (R1) addresses.
+    pub public_r1s: std::collections::HashSet<dike_netsim::Addr>,
+    /// Probes in the run.
+    pub n_probes: usize,
+    /// Vantage points in the run.
+    pub n_vps: usize,
+}
+
+/// Runs one experiment to completion.
+pub fn run_experiment(setup: &ExperimentSetup) -> ExperimentOutput {
+    let mut sim = Simulator::new(setup.seed);
+    let build = BuildConfig {
+        n_probes: setup.n_probes,
+        ttl: setup.ttl,
+        mix: setup.mix,
+        first_round_spread: setup.first_round_spread,
+        round_interval: setup.round_interval,
+        round_jitter: setup.round_jitter,
+        rounds: setup.rounds,
+        population_seed: setup.population_seed,
+        regional_latency: setup.regional_latency,
+    };
+    let topo = topology::build(&mut sim, &build);
+
+    // Server-side accounting at the two cachetest.nl authoritatives.
+    let mut view = ServerView::new(topo.ns, SimDuration::from_mins(10));
+    if let Some(pid) = setup.track_probe {
+        view.track_probe(pid);
+    }
+    let (view_handle, sink) = trace::shared(view);
+    sim.add_sink(sink);
+
+    if let Some(queue_cfg) = setup.queueing {
+        for ns in topo.ns {
+            sim.set_ingress_queue(ns, queue_cfg);
+        }
+    }
+
+    if let Some(plan) = setup.attack {
+        let targets = match plan.scope {
+            AttackScope::OneNs => vec![topo.ns[0]],
+            AttackScope::BothNs => topo.ns.to_vec(),
+        };
+        Attack::partial(
+            targets.clone(),
+            plan.loss,
+            SimDuration::from_mins(plan.start_min).after_zero(),
+            SimDuration::from_mins(plan.duration_min),
+        )
+        .schedule(&mut sim);
+        // With queueing enabled, the flood also eats service capacity
+        // for the attack's duration.
+        if setup.queueing.is_some() {
+            let on_targets = targets.clone();
+            let load = plan.loss;
+            sim.schedule_control(
+                SimDuration::from_mins(plan.start_min).after_zero(),
+                move |w| {
+                    for t in &on_targets {
+                        if let Some(q) = w.queue_mut(*t) {
+                            q.inject_background_load(load);
+                        }
+                    }
+                },
+            );
+            let off_targets = targets;
+            sim.schedule_control(
+                SimDuration::from_mins(plan.start_min + plan.duration_min).after_zero(),
+                move |w| {
+                    for t in &off_targets {
+                        if let Some(q) = w.queue_mut(*t) {
+                            q.inject_background_load(0.0);
+                        }
+                    }
+                },
+            );
+        }
+    }
+
+    sim.run_until(setup.total_duration.after_zero());
+    drop(sim); // release the Arc clones the simulator holds
+
+    let log = Arc::try_unwrap(topo.log)
+        .expect("simulator dropped, log has one owner")
+        .into_inner();
+    let server = Arc::try_unwrap(view_handle)
+        .expect("simulator dropped, view has one owner")
+        .into_inner();
+    let n_vps = topo.vps.len();
+    ExperimentOutput {
+        log,
+        server,
+        vps: topo.vps,
+        google_backends: topo.google_backends,
+        public_r1s: topo.public_r1s,
+        n_probes: topo.n_probes,
+        n_vps,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn healthy_run_produces_rounds_times_vps_queries() {
+        let mut setup = ExperimentSetup::new(40, 3600);
+        setup.rounds = 3;
+        setup.total_duration = SimDuration::from_mins(70);
+        let out = run_experiment(&setup);
+        // Every VP fires every round (jitter may push the tail past the
+        // horizon, so allow slack).
+        let expected = out.n_vps * 3;
+        assert!(
+            out.log.records.len() as f64 > expected as f64 * 0.8,
+            "{} records for {} expected",
+            out.log.records.len(),
+            expected
+        );
+        assert!(out.server.total_queries > 0);
+    }
+
+    #[test]
+    fn complete_attack_starves_clients_after_ttl() {
+        let mut setup = ExperimentSetup::new(40, 1800);
+        setup.round_interval = SimDuration::from_mins(10);
+        setup.rounds = 12;
+        setup.total_duration = SimDuration::from_mins(125);
+        setup.attack = Some(AttackPlan {
+            start_min: 60,
+            duration_min: 65,
+            loss: 1.0,
+            scope: AttackScope::BothNs,
+        });
+        let out = run_experiment(&setup);
+        let bins = dike_stats::timeseries::outcome_timeseries(
+            &out.log,
+            SimDuration::from_mins(10),
+        );
+        // Before the attack: nearly everything OK.
+        let pre: f64 = bins[..5].iter().map(|b| b.ok_fraction()).sum::<f64>() / 5.0;
+        assert!(pre > 0.9, "pre-attack ok fraction {pre}");
+        // Well after the attack started and caches (30 min) expired:
+        // mostly failures.
+        let late = &bins[10.min(bins.len() - 1)];
+        assert!(
+            late.ok_fraction() < 0.35,
+            "late ok fraction {} should collapse",
+            late.ok_fraction()
+        );
+    }
+}

@@ -1,0 +1,401 @@
+//! Builds the simulated world: the DNS hierarchy (root → `nl` →
+//! `cachetest.nl`), the calibrated resolver population, and the probe
+//! fleet.
+
+use std::collections::HashSet;
+use std::net::Ipv4Addr;
+
+use dike_auth::{AuthServer, CacheTestZone, Zone};
+use dike_cache::CacheConfig;
+use dike_netsim::{Addr, LatencyModel, LinkParams, SimDuration, Simulator};
+use dike_resolver::{profiles, RecursiveResolver};
+use dike_stub::{new_shared_log, SharedProbeLog, StubConfig, StubProbe, VpKey};
+use dike_wire::{Name, RData, Record, SoaData};
+use rand::rngs::SmallRng;
+use rand::{RngExt, SeedableRng};
+
+use crate::population::{PopulationMix, R1Kind};
+
+/// Per-vantage-point wiring, kept for the analysis (Table 3 needs to know
+/// which VPs sit behind public resolvers).
+#[derive(Debug, Clone, Copy)]
+pub struct VpMeta {
+    /// The vantage point.
+    pub vp: VpKey,
+    /// What kind of R1 it queries.
+    pub kind: R1Kind,
+    /// The R1's address.
+    pub r1: Addr,
+}
+
+/// Everything the analysis needs to know about the built world.
+#[derive(Debug)]
+pub struct Topology {
+    /// Root server address.
+    pub root: Addr,
+    /// `nl` TLD server address.
+    pub nl: Addr,
+    /// The two `cachetest.nl` authoritatives.
+    pub ns: [Addr; 2],
+    /// The shared probe answer log.
+    pub log: SharedProbeLog,
+    /// Per-VP wiring.
+    pub vps: Vec<VpMeta>,
+    /// Backend addresses of the Google-like farm (farm 0).
+    pub google_backends: Vec<Addr>,
+    /// Backend addresses of the other public farms.
+    pub other_public_backends: Vec<Addr>,
+    /// All public frontend addresses (the public R1s).
+    pub public_r1s: HashSet<Addr>,
+    /// Probes actually created.
+    pub n_probes: usize,
+}
+
+/// Topology build parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct BuildConfig {
+    /// Number of probes (the paper uses ~9.2k).
+    pub n_probes: usize,
+    /// The experiment zone's answer TTL.
+    pub ttl: u32,
+    /// Population mix.
+    pub mix: PopulationMix,
+    /// Probes' first rounds are spread uniformly over this window.
+    pub first_round_spread: SimDuration,
+    /// Round pacing (10 or 20 minutes in the paper).
+    pub round_interval: SimDuration,
+    /// Extra per-round jitter (Atlas spreads a round over ~5 minutes).
+    pub round_jitter: SimDuration,
+    /// Rounds per probe.
+    pub rounds: u32,
+    /// Seed for population sampling (distinct from the simulator seed so
+    /// the same population can face different packet-level randomness).
+    pub population_seed: u64,
+    /// Model regional access latency: probes get a per-probe last-mile
+    /// RTT class (close / medium / far, mirroring Atlas's geographic
+    /// spread, paper §3.2), installed as per-pair link overrides between
+    /// the probe and its recursives.
+    pub regional_latency: bool,
+}
+
+fn v4(addr: Addr) -> Ipv4Addr {
+    Ipv4Addr::from(addr.0)
+}
+
+fn soa_for(origin: &Name) -> SoaData {
+    SoaData {
+        mname: origin.child("ns1").unwrap_or_else(|_| origin.clone()),
+        rname: origin.child("hostmaster").unwrap_or_else(|_| origin.clone()),
+        serial: 1,
+        refresh: 14_400,
+        retry: 3_600,
+        expire: 1_209_600,
+        minimum: 60,
+    }
+}
+
+/// Adds the three-level hierarchy (root, `nl`, two `cachetest.nl`
+/// servers) as the first four nodes. Returns `(root, nl, [ns1, ns2])`.
+pub fn add_hierarchy(sim: &mut Simulator, ttl: u32) -> (Addr, Addr, [Addr; 2]) {
+    let base = sim.next_addr().0;
+    let root_addr = Addr(base);
+    let nl_addr = Addr(base + 1);
+    let ns1_addr = Addr(base + 2);
+    let ns2_addr = Addr(base + 3);
+
+    let origin = Name::root();
+    let mut root_zone = Zone::new(origin.clone(), 86_400, soa_for(&origin));
+    let nl = Name::parse("nl").expect("static");
+    root_zone.add(Record::new(
+        nl.clone(),
+        86_400,
+        RData::Ns(Name::parse("ns1.dns.nl").expect("static")),
+    ));
+    root_zone.add(Record::new(
+        Name::parse("ns1.dns.nl").expect("static"),
+        86_400,
+        RData::A(v4(nl_addr)),
+    ));
+
+    let mut nl_zone = Zone::new(nl.clone(), 3_600, soa_for(&nl));
+    nl_zone.add(Record::new(
+        nl.clone(),
+        3_600,
+        RData::Ns(Name::parse("ns1.dns.nl").expect("static")),
+    ));
+    nl_zone.add(Record::new(
+        Name::parse("ns1.dns.nl").expect("static"),
+        3_600,
+        RData::A(v4(nl_addr)),
+    ));
+    let ct = Name::parse("cachetest.nl").expect("static");
+    for (i, a) in [ns1_addr, ns2_addr].iter().enumerate() {
+        let ns = ct.child(&format!("ns{}", i + 1)).expect("static");
+        nl_zone.add(Record::new(ct.clone(), 3_600, RData::Ns(ns.clone())));
+        nl_zone.add(Record::new(ns, 3_600, RData::A(v4(*a))));
+    }
+
+    let (_, root) = sim.add_node(Box::new(AuthServer::new().with_zone(Box::new(root_zone))));
+    let (_, nl_a) = sim.add_node(Box::new(AuthServer::new().with_zone(Box::new(nl_zone))));
+    let (_, ns1) = sim.add_node(Box::new(AuthServer::new().with_zone(Box::new(
+        CacheTestZone::new(ttl, &[v4(ns1_addr), v4(ns2_addr)]),
+    ))));
+    let (_, ns2) = sim.add_node(Box::new(AuthServer::new().with_zone(Box::new(
+        CacheTestZone::new(ttl, &[v4(ns1_addr), v4(ns2_addr)]),
+    ))));
+    debug_assert_eq!((root, nl_a, ns1, ns2), (root_addr, nl_addr, ns1_addr, ns2_addr));
+    (root, nl_a, [ns1, ns2])
+}
+
+/// Builds the whole measurement world into `sim`.
+pub fn build(sim: &mut Simulator, cfg: &BuildConfig) -> Topology {
+    let mut rng = SmallRng::seed_from_u64(cfg.population_seed);
+    let (root, nl, ns) = add_hierarchy(sim, cfg.ttl);
+    let roots = vec![root];
+
+    // --- Public farms: backends first (iterative), then frontends. ---
+    let mut google_backends = Vec::new();
+    let mut other_public_backends = Vec::new();
+    let mut farm_frontends: Vec<Vec<Addr>> = Vec::new();
+    for farm in 0..cfg.mix.farm_count {
+        let mut backends = Vec::new();
+        for b in 0..cfg.mix.farm_backends {
+            let serve_stale =
+                (b as f64 + 0.5) / cfg.mix.farm_backends as f64 <= cfg.mix.farm_serve_stale_share;
+            let mut rc = profiles::unbound_like(roots.clone());
+            rc.is_public = true;
+            if serve_stale {
+                rc = profiles::with_serve_stale(rc);
+            }
+            let (_, addr) = sim.add_node(Box::new(RecursiveResolver::new(rc)));
+            backends.push(addr);
+        }
+        let mut frontends = Vec::new();
+        for _ in 0..cfg.mix.farm_frontends {
+            let (_, addr) = sim.add_node(Box::new(RecursiveResolver::new(
+                profiles::farm_frontend(backends.clone()),
+            )));
+            frontends.push(addr);
+        }
+        if farm == 0 {
+            google_backends = backends;
+        } else {
+            other_public_backends.extend(backends);
+        }
+        farm_frontends.push(frontends);
+    }
+    let public_r1s: HashSet<Addr> = farm_frontends.iter().flatten().copied().collect();
+
+    // --- Shared ISP iterative resolvers. ---
+    let mean_vps = cfg.mix.mean_vps_per_probe();
+    let isp_count = ((cfg.n_probes as f64 * cfg.mix.frac_isp * mean_vps)
+        / cfg.mix.probes_per_isp as f64)
+        .ceil()
+        .max(1.0) as usize;
+    let mut isp_addrs = Vec::with_capacity(isp_count);
+    for i in 0..isp_count {
+        let mut rc = if (i as f64 + 0.5) / isp_count as f64 <= cfg.mix.isp_bind_share {
+            profiles::bind_like(roots.clone())
+        } else {
+            profiles::unbound_like(roots.clone())
+        };
+        // A slice of ISP resolvers caps cached TTLs at six hours — the
+        // day-long-TTL truncators of Table 2.
+        if rng.random_range(0.0..1.0) < cfg.mix.isp_sixhour_cap_share {
+            rc.cache = CacheConfig {
+                max_ttl: 21_600,
+                ..rc.cache
+            };
+        }
+        // Another slice flushes periodically (operator flushes and
+        // restarts) — the paper's remaining source of early cache loss.
+        if rng.random_range(0.0..1.0) < cfg.mix.isp_flush_share {
+            rc.flush_interval = Some(SimDuration::from_secs(rng.random_range(1_800..3_600)));
+        }
+        let (_, addr) = sim.add_node(Box::new(RecursiveResolver::new(rc)));
+        isp_addrs.push(addr);
+    }
+
+    // --- Shared EC2-style TTL cappers. ---
+    let capper_count = ((cfg.n_probes as f64 * cfg.mix.frac_capper * mean_vps)
+        / cfg.mix.probes_per_isp as f64)
+        .ceil()
+        .max(1.0) as usize;
+    let mut capper_addrs = Vec::with_capacity(capper_count);
+    for _ in 0..capper_count {
+        let (_, addr) = sim.add_node(Box::new(RecursiveResolver::new(profiles::ttl_capper(
+            roots.clone(),
+        ))));
+        capper_addrs.push(addr);
+    }
+
+    // --- Probes (and their dedicated home routers). ---
+    let mut vps = Vec::new();
+    let mut log_owner = Some(new_shared_log());
+    let log = log_owner.take().expect("just created");
+    for probe_idx in 0..cfg.n_probes {
+        let probe_id = (probe_idx + 1) as u16;
+        let n_rec = cfg.mix.sample_recursive_count(&mut rng);
+        let mut recursives = Vec::with_capacity(n_rec);
+        for rec_idx in 0..n_rec {
+            let kind = cfg.mix.sample_r1_kind(&mut rng);
+            let r1 = match kind {
+                R1Kind::PublicGoogle => {
+                    let f = &farm_frontends[0];
+                    f[rng.random_range(0..f.len())]
+                }
+                R1Kind::PublicOther => {
+                    if cfg.mix.farm_count > 1 {
+                        let farm = rng.random_range(1..cfg.mix.farm_count);
+                        let f = &farm_frontends[farm];
+                        f[rng.random_range(0..f.len())]
+                    } else {
+                        let f = &farm_frontends[0];
+                        f[rng.random_range(0..f.len())]
+                    }
+                }
+                R1Kind::IspDirect => isp_addrs[rng.random_range(0..isp_addrs.len())],
+                R1Kind::TtlCapper => capper_addrs[rng.random_range(0..capper_addrs.len())],
+                R1Kind::HomeRouter => {
+                    // A dedicated forwarder in front of 2 upstreams.
+                    let mut upstreams = Vec::with_capacity(2);
+                    for _ in 0..2 {
+                        let up = if rng.random_range(0.0..1.0)
+                            < cfg.mix.home_router_public_upstream_share
+                        {
+                            // Forward into a public farm (frontend).
+                            let farm = rng.random_range(0..cfg.mix.farm_count);
+                            let f = &farm_frontends[farm];
+                            f[rng.random_range(0..f.len())]
+                        } else {
+                            isp_addrs[rng.random_range(0..isp_addrs.len())]
+                        };
+                        upstreams.push(up);
+                    }
+                    upstreams.dedup();
+                    let (_, addr) = sim.add_node(Box::new(RecursiveResolver::new(
+                        profiles::home_router(upstreams),
+                    )));
+                    addr
+                }
+            };
+            recursives.push(r1);
+            vps.push(VpMeta {
+                vp: VpKey {
+                    probe: probe_id,
+                    recursive: rec_idx as u8,
+                },
+                kind,
+                r1,
+            });
+        }
+
+        let phase = SimDuration::from_nanos(
+            rng.random_range(0..cfg.first_round_spread.as_nanos().max(1)),
+        );
+        let mut stub_cfg = StubConfig::new(
+            probe_id,
+            recursives.clone(),
+            phase,
+            cfg.round_interval,
+            cfg.rounds,
+        );
+        stub_cfg.round_jitter = cfg.round_jitter;
+        let probe_addr = sim.next_addr();
+        sim.add_node(Box::new(StubProbe::new(stub_cfg, log.clone())));
+
+        if cfg.regional_latency {
+            // Last-mile one-way delay class for this probe: most clients
+            // sit near their recursive, a tail does not (Atlas spans
+            // homes, campuses and far-flung networks).
+            let class: f64 = rng.random_range(0.0..1.0);
+            let median_ms = if class < 0.60 {
+                rng.random_range(2..12)
+            } else if class < 0.90 {
+                rng.random_range(12..45)
+            } else {
+                rng.random_range(45..150)
+            };
+            let params = LinkParams {
+                latency: LatencyModel::LogNormal {
+                    median: SimDuration::from_millis(median_ms),
+                    sigma: 0.25,
+                },
+                loss: 0.0,
+            };
+            for r1 in &recursives {
+                sim.links_mut().set_path(probe_addr, *r1, params);
+                sim.links_mut().set_path(*r1, probe_addr, params);
+            }
+        }
+    }
+
+    Topology {
+        root,
+        nl,
+        ns,
+        log,
+        vps,
+        google_backends,
+        other_public_backends,
+        public_r1s,
+        n_probes: cfg.n_probes,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_cfg(n_probes: usize) -> BuildConfig {
+        BuildConfig {
+            n_probes,
+            ttl: 3600,
+            mix: PopulationMix::default(),
+            first_round_spread: SimDuration::from_mins(5),
+            round_interval: SimDuration::from_mins(20),
+            round_jitter: SimDuration::from_mins(2),
+            rounds: 3,
+            population_seed: 7,
+            regional_latency: true,
+        }
+    }
+
+    #[test]
+    fn builds_expected_vp_population() {
+        let mut sim = Simulator::new(1);
+        let topo = build(&mut sim, &small_cfg(200));
+        assert_eq!(topo.n_probes, 200);
+        // Mean ≈ 1.6 VPs per probe.
+        let vps = topo.vps.len() as f64;
+        assert!((280.0..380.0).contains(&vps), "vps {vps}");
+        assert!(!topo.google_backends.is_empty());
+        assert!(!topo.public_r1s.is_empty());
+    }
+
+    #[test]
+    fn population_is_deterministic_per_seed() {
+        let mut sim1 = Simulator::new(1);
+        let t1 = build(&mut sim1, &small_cfg(100));
+        let mut sim2 = Simulator::new(99); // different sim seed
+        let t2 = build(&mut sim2, &small_cfg(100));
+        let k1: Vec<_> = t1.vps.iter().map(|v| (v.vp, v.kind)).collect();
+        let k2: Vec<_> = t2.vps.iter().map(|v| (v.vp, v.kind)).collect();
+        assert_eq!(k1, k2, "population depends only on population_seed");
+    }
+
+    #[test]
+    fn end_to_end_small_run_answers_most_queries() {
+        let mut sim = Simulator::new(2);
+        let topo = build(&mut sim, &small_cfg(50));
+        sim.run_until(SimDuration::from_mins(70).after_zero());
+        let log = topo.log.lock();
+        assert!(
+            !log.records.is_empty(),
+            "probes produced queries: {}",
+            log.records.len()
+        );
+        let ok = log.ok_count() as f64 / log.records.len() as f64;
+        assert!(ok > 0.95, "healthy network answers nearly all: {ok}");
+    }
+}

@@ -1,0 +1,51 @@
+//! Datagrams: what moves across links.
+
+use dike_wire::Message;
+
+use crate::addr::Addr;
+
+/// A UDP-style datagram carrying one DNS message.
+///
+/// The payload is stored in *wire form*: the sender's message is encoded at
+/// send time and decoded at delivery, so nothing a node observes can bypass
+/// the codec ("codec in the loop", DESIGN.md §5.2).
+#[derive(Debug, Clone)]
+pub struct Datagram {
+    /// Source address.
+    pub src: Addr,
+    /// Destination address.
+    pub dst: Addr,
+    /// Encoded DNS payload.
+    pub payload: Vec<u8>,
+}
+
+impl Datagram {
+    /// Size of the DNS payload in octets (traffic accounting uses this;
+    /// the simulator does not model IP/UDP header overhead).
+    pub fn wire_len(&self) -> usize {
+        self.payload.len()
+    }
+
+    /// Decodes the payload back into a [`Message`].
+    pub fn message(&self) -> Result<Message, dike_wire::codec::CodecError> {
+        dike_wire::codec::decode(&self.payload)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dike_wire::{codec, Message, Name, RecordType};
+
+    #[test]
+    fn datagram_round_trips_message() {
+        let msg = Message::query(9, Name::parse("cachetest.nl").unwrap(), RecordType::AAAA);
+        let d = Datagram {
+            src: Addr(1),
+            dst: Addr(2),
+            payload: codec::encode(&msg).unwrap(),
+        };
+        assert_eq!(d.message().unwrap(), msg);
+        assert_eq!(d.wire_len(), d.payload.len());
+    }
+}

@@ -1,0 +1,130 @@
+//! The event queue: a binary heap ordered by `(time, sequence)`.
+//!
+//! The sequence number makes ordering total and FIFO among simultaneous
+//! events, which is what makes runs reproducible.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+use crate::addr::NodeId;
+use crate::datagram::Datagram;
+use crate::node::TimerToken;
+use crate::sim::World;
+use crate::time::SimTime;
+
+/// Things that can happen.
+pub enum Event {
+    /// A datagram reaches its destination's ingress (loss filters are
+    /// evaluated here, at arrival, like a filter in front of the target).
+    Deliver(Datagram),
+    /// A datagram that already passed the ingress queue is handed to its
+    /// node after the queueing delay (no filters re-applied).
+    DeliverQueued {
+        /// The datagram.
+        dgram: Datagram,
+        /// The resolved destination node.
+        node: NodeId,
+        /// The address the node answers from (the VIP for anycast).
+        local: crate::addr::Addr,
+    },
+    /// A node's timer fires.
+    Timer {
+        /// The node that set the timer.
+        node: NodeId,
+        /// The opaque payload the node attached.
+        token: TimerToken,
+        /// Timer id, for cancellation.
+        id: u64,
+    },
+    /// Scheduled world mutation — how attack scenarios flip loss filters
+    /// mid-run without a node.
+    Control(Box<dyn FnOnce(&mut World) + Send>),
+}
+
+impl std::fmt::Debug for Event {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Event::Deliver(d) => write!(f, "Deliver({} -> {})", d.src, d.dst),
+            Event::DeliverQueued { dgram, node, .. } => {
+                write!(f, "DeliverQueued({} -> {} via {node})", dgram.src, dgram.dst)
+            }
+            Event::Timer { node, token, id } => {
+                write!(f, "Timer(node={node}, token={}, id={id})", token.0)
+            }
+            Event::Control(_) => write!(f, "Control(..)"),
+        }
+    }
+}
+
+/// A queue entry. Ordering is reversed so the `BinaryHeap` pops the
+/// earliest `(time, seq)` first.
+pub struct HeapEntry {
+    /// When the event occurs.
+    pub at: SimTime,
+    /// Tie-break: insertion order.
+    pub seq: u64,
+    /// The event itself.
+    pub event: Event,
+}
+
+impl PartialEq for HeapEntry {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+
+impl Eq for HeapEntry {}
+
+impl PartialOrd for HeapEntry {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for HeapEntry {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Reversed: the smallest (time, seq) is the "greatest" heap entry.
+        (other.at, other.seq).cmp(&(self.at, self.seq))
+    }
+}
+
+/// The queue type used by the simulator.
+pub type EventQueue = BinaryHeap<HeapEntry>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::time::SimDuration;
+
+    fn entry(secs: u64, seq: u64) -> HeapEntry {
+        HeapEntry {
+            at: SimDuration::from_secs(secs).after_zero(),
+            seq,
+            event: Event::Timer {
+                node: NodeId(0),
+                token: TimerToken(seq),
+                id: seq,
+            },
+        }
+    }
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q = EventQueue::new();
+        q.push(entry(30, 0));
+        q.push(entry(10, 1));
+        q.push(entry(20, 2));
+        let order: Vec<u64> = std::iter::from_fn(|| q.pop()).map(|e| e.at.as_secs()).collect();
+        assert_eq!(order, vec![10, 20, 30]);
+    }
+
+    #[test]
+    fn simultaneous_events_pop_fifo() {
+        let mut q = EventQueue::new();
+        for seq in [5u64, 1, 3, 2, 4] {
+            q.push(entry(10, seq));
+        }
+        let order: Vec<u64> = std::iter::from_fn(|| q.pop()).map(|e| e.seq).collect();
+        assert_eq!(order, vec![1, 2, 3, 4, 5]);
+    }
+}

@@ -1,0 +1,55 @@
+#![warn(missing_docs)]
+
+//! # dike-netsim
+//!
+//! A deterministic discrete-event network simulator, purpose-built for the
+//! *When the Dike Breaks* DNS experiments but generic over the nodes it
+//! hosts.
+//!
+//! Design follows the event-driven, poll-free philosophy of embedded
+//! network stacks: a single virtual clock, a binary-heap event queue keyed
+//! by `(time, sequence)`, and nodes that react to exactly two stimuli —
+//! datagram delivery and timer expiry. All randomness (latency jitter,
+//! packet loss) flows from one seeded [`rand::rngs::SmallRng`], so a run is
+//! a pure function of its configuration and seed.
+//!
+//! * [`SimTime`] / [`SimDuration`] — the virtual clock.
+//! * [`Addr`], [`NodeId`] — addressing; one simulated IPv4-style address
+//!   per node.
+//! * [`Node`] + [`Context`] — the node programming model.
+//! * [`LinkTable`], [`LatencyModel`], ingress-loss filters — the network
+//!   fabric, including the paper's iptables-style DDoS emulation
+//!   (random drop at the target's ingress, §5.1).
+//! * [`Simulator`] — the event loop.
+//! * [`trace`] — pluggable observation: every delivered or dropped
+//!   datagram can be fed to a [`trace::TraceSink`] for server-side traffic
+//!   accounting (paper §6).
+//!
+//! ```
+//! use dike_netsim::{Simulator, SimDuration};
+//!
+//! let mut sim = Simulator::new(42);
+//! // ... add nodes, then:
+//! sim.run_until(SimDuration::from_secs(3600).after_zero());
+//! ```
+
+mod addr;
+pub mod anycast;
+mod datagram;
+mod event;
+mod link;
+mod node;
+pub mod queueing;
+mod sim;
+mod time;
+pub mod trace;
+pub mod trace_io;
+
+pub use addr::{Addr, NodeId};
+pub use anycast::AnycastTable;
+pub use datagram::Datagram;
+pub use link::{LatencyModel, LinkParams, LinkTable};
+pub use node::{Context, Node, TimerId, TimerToken};
+pub use queueing::{QueueConfig, ServiceQueue};
+pub use sim::Simulator;
+pub use time::{SimDuration, SimTime};

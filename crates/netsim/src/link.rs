@@ -1,0 +1,281 @@
+//! The network fabric: latency models, static loss, and dynamic
+//! ingress-loss filters (the DDoS emulation mechanism).
+
+use std::collections::HashMap;
+
+use rand::rngs::SmallRng;
+use rand::RngExt;
+use serde::{Deserialize, Serialize};
+
+use crate::addr::Addr;
+use crate::time::SimDuration;
+
+/// How long a datagram takes to cross a link.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum LatencyModel {
+    /// A constant delay.
+    Fixed(SimDuration),
+    /// Uniformly distributed between `min` and `max`.
+    Uniform {
+        /// Lower bound.
+        min: SimDuration,
+        /// Upper bound (inclusive enough for our purposes).
+        max: SimDuration,
+    },
+    /// Log-normal around a median — the classic shape of Internet RTT
+    /// distributions; `sigma` is the log-space standard deviation.
+    LogNormal {
+        /// Median one-way delay.
+        median: SimDuration,
+        /// Log-space sigma; 0.3–0.6 resembles wide-area paths.
+        sigma: f64,
+    },
+}
+
+impl LatencyModel {
+    /// Samples a one-way delay.
+    pub fn sample(&self, rng: &mut SmallRng) -> SimDuration {
+        match *self {
+            LatencyModel::Fixed(d) => d,
+            LatencyModel::Uniform { min, max } => {
+                let lo = min.as_nanos();
+                let hi = max.as_nanos().max(lo + 1);
+                SimDuration::from_nanos(rng.random_range(lo..hi))
+            }
+            LatencyModel::LogNormal { median, sigma } => {
+                // Box–Muller from two uniforms; exp(sigma * z) scales the
+                // median multiplicatively.
+                let u1: f64 = rng.random_range(f64::EPSILON..1.0);
+                let u2: f64 = rng.random_range(0.0..1.0);
+                let z = (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos();
+                median.mul_f64((sigma * z).exp())
+            }
+        }
+    }
+}
+
+/// Per-path parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct LinkParams {
+    /// One-way delay model.
+    pub latency: LatencyModel,
+    /// Baseline random loss probability in `[0, 1]` — ambient packet loss,
+    /// independent of any attack.
+    pub loss: f64,
+}
+
+impl Default for LinkParams {
+    fn default() -> Self {
+        LinkParams {
+            latency: LatencyModel::LogNormal {
+                median: SimDuration::from_millis(20),
+                sigma: 0.4,
+            },
+            loss: 0.0,
+        }
+    }
+}
+
+/// The routing fabric: a default path model, optional per-pair overrides,
+/// and dynamic per-destination ingress loss used to emulate DDoS.
+///
+/// Ingress loss models the paper's emulation exactly: "we simulate a DDoS
+/// attack by dropping some fraction or all incoming DNS queries to each
+/// authoritative ... randomly with Linux iptables" (§5.1). Loss applies to
+/// datagrams *arriving at* the filtered address, so replies from the
+/// target are unaffected (a query must get in before an answer exists).
+#[derive(Debug, Clone)]
+pub struct LinkTable {
+    default: LinkParams,
+    overrides: HashMap<(Addr, Addr), LinkParams>,
+    per_dst: HashMap<Addr, LinkParams>,
+    ingress_loss: HashMap<Addr, f64>,
+}
+
+impl LinkTable {
+    /// A fabric where every path uses `default`.
+    pub fn new(default: LinkParams) -> Self {
+        LinkTable {
+            default,
+            overrides: HashMap::new(),
+            per_dst: HashMap::new(),
+            ingress_loss: HashMap::new(),
+        }
+    }
+
+    /// Sets parameters for one directed `src → dst` path.
+    pub fn set_path(&mut self, src: Addr, dst: Addr, params: LinkParams) {
+        self.overrides.insert((src, dst), params);
+    }
+
+    /// Sets parameters for every path *toward* `dst` (unless a more
+    /// specific pair override exists).
+    pub fn set_paths_to(&mut self, dst: Addr, params: LinkParams) {
+        self.per_dst.insert(dst, params);
+    }
+
+    /// The parameters governing `src → dst`.
+    pub fn params(&self, src: Addr, dst: Addr) -> LinkParams {
+        if let Some(p) = self.overrides.get(&(src, dst)) {
+            *p
+        } else if let Some(p) = self.per_dst.get(&dst) {
+            *p
+        } else {
+            self.default
+        }
+    }
+
+    /// Installs (or updates) an ingress drop filter: datagrams destined to
+    /// `dst` are dropped with probability `rate`. `rate = 1.0` is the
+    /// complete-failure scenario (Experiments A–C).
+    pub fn set_ingress_loss(&mut self, dst: Addr, rate: f64) {
+        self.ingress_loss.insert(dst, rate.clamp(0.0, 1.0));
+    }
+
+    /// Removes the ingress filter on `dst` (attack over).
+    pub fn clear_ingress_loss(&mut self, dst: Addr) {
+        self.ingress_loss.remove(&dst);
+    }
+
+    /// Current ingress loss rate toward `dst` (0 when unfiltered).
+    pub fn ingress_loss(&self, dst: Addr) -> f64 {
+        self.ingress_loss.get(&dst).copied().unwrap_or(0.0)
+    }
+
+    /// Decides the fate of one datagram: `None` if dropped, or
+    /// `Some(delay)` if it will be delivered after `delay`.
+    pub fn transmit(&self, src: Addr, dst: Addr, rng: &mut SmallRng) -> Option<SimDuration> {
+        let params = self.params(src, dst);
+        // Ambient loss and attack loss are independent Bernoulli trials.
+        if params.loss > 0.0 && rng.random_bool(params.loss.clamp(0.0, 1.0)) {
+            return None;
+        }
+        let attack = self.ingress_loss(dst);
+        if attack > 0.0 && rng.random_bool(attack) {
+            return None;
+        }
+        Some(params.latency.sample(rng))
+    }
+}
+
+impl Default for LinkTable {
+    fn default() -> Self {
+        LinkTable::new(LinkParams::default())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn rng() -> SmallRng {
+        SmallRng::seed_from_u64(7)
+    }
+
+    #[test]
+    fn fixed_latency_is_fixed() {
+        let m = LatencyModel::Fixed(SimDuration::from_millis(10));
+        let mut r = rng();
+        for _ in 0..10 {
+            assert_eq!(m.sample(&mut r), SimDuration::from_millis(10));
+        }
+    }
+
+    #[test]
+    fn uniform_latency_within_bounds() {
+        let m = LatencyModel::Uniform {
+            min: SimDuration::from_millis(5),
+            max: SimDuration::from_millis(15),
+        };
+        let mut r = rng();
+        for _ in 0..1000 {
+            let d = m.sample(&mut r);
+            assert!(d >= SimDuration::from_millis(5) && d <= SimDuration::from_millis(15));
+        }
+    }
+
+    #[test]
+    fn lognormal_median_is_roughly_centered() {
+        let m = LatencyModel::LogNormal {
+            median: SimDuration::from_millis(20),
+            sigma: 0.4,
+        };
+        let mut r = rng();
+        let mut below = 0;
+        let n = 4000;
+        for _ in 0..n {
+            if m.sample(&mut r) < SimDuration::from_millis(20) {
+                below += 1;
+            }
+        }
+        let frac = below as f64 / n as f64;
+        assert!((0.45..0.55).contains(&frac), "median fraction {frac}");
+    }
+
+    #[test]
+    fn override_precedence_pair_then_dst_then_default() {
+        let mut t = LinkTable::default();
+        let a = Addr(1);
+        let b = Addr(2);
+        let c = Addr(3);
+        let fast = LinkParams {
+            latency: LatencyModel::Fixed(SimDuration::from_millis(1)),
+            loss: 0.0,
+        };
+        let slow = LinkParams {
+            latency: LatencyModel::Fixed(SimDuration::from_millis(100)),
+            loss: 0.0,
+        };
+        t.set_paths_to(b, slow);
+        t.set_path(a, b, fast);
+        assert_eq!(t.params(a, b), fast, "pair override wins");
+        assert_eq!(t.params(c, b), slow, "dst override for other sources");
+        assert_eq!(t.params(a, c), LinkParams::default(), "default elsewhere");
+    }
+
+    #[test]
+    fn full_ingress_loss_drops_everything() {
+        let mut t = LinkTable::default();
+        t.set_ingress_loss(Addr(9), 1.0);
+        let mut r = rng();
+        for _ in 0..100 {
+            assert!(t.transmit(Addr(1), Addr(9), &mut r).is_none());
+        }
+        // Other destinations unaffected.
+        assert!(t.transmit(Addr(1), Addr(8), &mut r).is_some());
+    }
+
+    #[test]
+    fn partial_ingress_loss_matches_rate() {
+        let mut t = LinkTable::default();
+        t.set_ingress_loss(Addr(9), 0.9);
+        let mut r = rng();
+        let n = 20_000;
+        let delivered = (0..n)
+            .filter(|_| t.transmit(Addr(1), Addr(9), &mut r).is_some())
+            .count();
+        let rate = delivered as f64 / n as f64;
+        assert!(
+            (rate - 0.1).abs() < 0.02,
+            "expected ~10% delivery, got {rate}"
+        );
+    }
+
+    #[test]
+    fn clearing_filter_restores_delivery() {
+        let mut t = LinkTable::default();
+        t.set_ingress_loss(Addr(9), 1.0);
+        t.clear_ingress_loss(Addr(9));
+        assert_eq!(t.ingress_loss(Addr(9)), 0.0);
+        let mut r = rng();
+        assert!(t.transmit(Addr(1), Addr(9), &mut r).is_some());
+    }
+
+    #[test]
+    fn loss_rate_is_clamped() {
+        let mut t = LinkTable::default();
+        t.set_ingress_loss(Addr(9), 7.5);
+        assert_eq!(t.ingress_loss(Addr(9)), 1.0);
+    }
+}

@@ -1,0 +1,95 @@
+//! The node programming model: the [`Node`] trait and the [`Context`]
+//! handed to nodes while they run.
+
+use dike_wire::Message;
+use rand::rngs::SmallRng;
+
+use crate::addr::{Addr, NodeId};
+use crate::sim::World;
+use crate::time::{SimDuration, SimTime};
+
+/// Opaque payload a node attaches to its timers so it can tell them apart
+/// when they fire (e.g. "retry query #17" vs "expire cache sweep").
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct TimerToken(pub u64);
+
+/// Handle for cancelling a pending timer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct TimerId(pub(crate) u64);
+
+/// A simulated host. Nodes are single-threaded state machines driven by
+/// datagram arrivals and timer expirations — nothing else.
+pub trait Node {
+    /// Optional downcast hook so experiments can inspect concrete node
+    /// state (cache dumps, statistics) after a run. Nodes that want to be
+    /// inspectable return `Some(self)`.
+    fn as_any(&self) -> Option<&dyn std::any::Any> {
+        None
+    }
+
+    /// Called once when the simulation starts, before any other event;
+    /// schedule initial timers here.
+    fn on_start(&mut self, ctx: &mut Context<'_>) {
+        let _ = ctx;
+    }
+
+    /// A datagram arrived. `wire_len` is the encoded payload size.
+    fn on_datagram(&mut self, ctx: &mut Context<'_>, src: Addr, msg: &Message, wire_len: usize);
+
+    /// A previously set (and not cancelled) timer fired.
+    fn on_timer(&mut self, ctx: &mut Context<'_>, token: TimerToken);
+}
+
+/// The node's window onto the simulator while it handles an event.
+pub struct Context<'a> {
+    pub(crate) world: &'a mut World,
+    pub(crate) node: NodeId,
+    pub(crate) addr: Addr,
+}
+
+impl<'a> Context<'a> {
+    /// Current virtual time.
+    pub fn now(&self) -> SimTime {
+        self.world.now()
+    }
+
+    /// This node's id.
+    pub fn node_id(&self) -> NodeId {
+        self.node
+    }
+
+    /// This node's address.
+    pub fn self_addr(&self) -> Addr {
+        self.addr
+    }
+
+    /// Sends `msg` to `dst`. The message is encoded immediately; delivery
+    /// (or loss) happens at the destination's ingress after the sampled
+    /// path delay.
+    ///
+    /// # Panics
+    /// Panics if the message fails to encode — a node producing an
+    /// unencodable message is a bug, not a runtime condition.
+    pub fn send(&mut self, dst: Addr, msg: &Message) {
+        let payload = dike_wire::codec::encode(msg)
+            .expect("node produced an unencodable DNS message");
+        self.world.send_datagram(self.addr, dst, payload);
+    }
+
+    /// Schedules a timer `delay` from now carrying `token`.
+    pub fn set_timer(&mut self, delay: SimDuration, token: TimerToken) -> TimerId {
+        self.world.set_timer(self.node, delay, token)
+    }
+
+    /// Cancels a pending timer. Cancelling an already-fired timer is a
+    /// no-op.
+    pub fn cancel_timer(&mut self, id: TimerId) {
+        self.world.cancel_timer(id);
+    }
+
+    /// The simulation's RNG. All node randomness must come from here to
+    /// keep runs reproducible.
+    pub fn rng(&mut self) -> &mut SmallRng {
+        self.world.rng()
+    }
+}

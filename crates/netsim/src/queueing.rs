@@ -1,0 +1,216 @@
+//! Ingress queueing — the paper's named future work.
+//!
+//! §5.1: "DDoS attacks are also accompanied by queueing delay, since
+//! buffers at and near the target are full. We do not model queueing
+//! delay ... a study that adds queueing latency to the attack model is
+//! interesting future work."
+//!
+//! [`ServiceQueue`] is that model: a single-server deterministic queue
+//! (M/D/1-style virtual queue) in front of a node's ingress. Each
+//! arriving datagram occupies the server for `1/rate`; arrivals finding
+//! the queue longer than `capacity` are tail-dropped. Because the
+//! simulator is event-driven, the queue is tracked *virtually* — one
+//! `busy_until` instant per queue — with O(1) work per arrival.
+//!
+//! Attach queues per destination address via
+//! [`crate::Simulator::set_ingress_queue`]; attack traffic is modeled by
+//! [`ServiceQueue::inject_background_load`], which consumes a fraction of
+//! the service capacity exactly the way a volumetric flood does.
+
+use serde::{Deserialize, Serialize};
+
+use crate::time::{SimDuration, SimTime};
+
+/// Configuration of one ingress queue.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct QueueConfig {
+    /// Service rate in datagrams per second.
+    pub rate_pps: f64,
+    /// Maximum queue length (datagrams waiting); arrivals beyond it are
+    /// dropped.
+    pub capacity: u32,
+}
+
+impl QueueConfig {
+    /// A queue sized for a small authoritative: 10k q/s, 100 ms of
+    /// buffer.
+    pub fn small_authoritative() -> Self {
+        QueueConfig {
+            rate_pps: 10_000.0,
+            capacity: 1_000,
+        }
+    }
+}
+
+/// The outcome of offering one datagram to a queue.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum QueueOutcome {
+    /// Accepted; deliver after this additional queueing delay.
+    Enqueued(SimDuration),
+    /// Tail-dropped: the buffer was full.
+    Dropped,
+}
+
+/// A virtual single-server queue.
+#[derive(Debug, Clone, Copy)]
+pub struct ServiceQueue {
+    config: QueueConfig,
+    /// When the server frees up for work already accepted.
+    busy_until: SimTime,
+    /// Fraction of the service rate consumed by background (attack)
+    /// traffic; effective rate = rate × (1 − load).
+    background_load: f64,
+    /// Statistics.
+    accepted: u64,
+    dropped: u64,
+}
+
+impl ServiceQueue {
+    /// An empty queue.
+    pub fn new(config: QueueConfig) -> Self {
+        ServiceQueue {
+            config,
+            busy_until: SimTime::ZERO,
+            background_load: 0.0,
+            accepted: 0,
+            dropped: 0,
+        }
+    }
+
+    /// Sets the fraction of capacity eaten by a volumetric flood
+    /// (0 = none, 0.9 = only 10% of the rate serves real queries).
+    pub fn inject_background_load(&mut self, load: f64) {
+        self.background_load = load.clamp(0.0, 0.999);
+    }
+
+    /// The effective per-datagram service time.
+    fn service_time(&self) -> SimDuration {
+        let effective = self.config.rate_pps * (1.0 - self.background_load);
+        SimDuration::from_secs_f64(1.0 / effective.max(1.0))
+    }
+
+    /// Current backlog, in datagrams, at `now`.
+    pub fn backlog(&self, now: SimTime) -> u32 {
+        let waiting = self.busy_until.since(now);
+        let per = self.service_time().as_secs_f64();
+        if per <= 0.0 {
+            0
+        } else {
+            (waiting.as_secs_f64() / per).floor() as u32
+        }
+    }
+
+    /// Offers one datagram at `now`.
+    pub fn offer(&mut self, now: SimTime) -> QueueOutcome {
+        if self.backlog(now) >= self.config.capacity {
+            self.dropped += 1;
+            return QueueOutcome::Dropped;
+        }
+        let start = self.busy_until.max(now);
+        let done = start + self.service_time();
+        self.busy_until = done;
+        self.accepted += 1;
+        QueueOutcome::Enqueued(done.since(now))
+    }
+
+    /// Datagrams accepted so far.
+    pub fn accepted(&self) -> u64 {
+        self.accepted
+    }
+
+    /// Datagrams tail-dropped so far.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn at(ms: u64) -> SimTime {
+        SimDuration::from_millis(ms).after_zero()
+    }
+
+    #[test]
+    fn idle_queue_adds_one_service_time() {
+        let mut q = ServiceQueue::new(QueueConfig {
+            rate_pps: 1_000.0,
+            capacity: 10,
+        });
+        match q.offer(at(0)) {
+            QueueOutcome::Enqueued(d) => assert_eq!(d.as_millis(), 1),
+            QueueOutcome::Dropped => panic!("idle queue must accept"),
+        }
+    }
+
+    #[test]
+    fn backlog_grows_with_burst_arrivals() {
+        let mut q = ServiceQueue::new(QueueConfig {
+            rate_pps: 1_000.0,
+            capacity: 100,
+        });
+        let mut last = SimDuration::ZERO;
+        for _ in 0..50 {
+            match q.offer(at(0)) {
+                QueueOutcome::Enqueued(d) => {
+                    assert!(d >= last, "delays are monotone within a burst");
+                    last = d;
+                }
+                QueueOutcome::Dropped => panic!("capacity not reached"),
+            }
+        }
+        // 50th datagram waits ~50 service times.
+        assert_eq!(last.as_millis(), 50);
+        assert_eq!(q.backlog(at(0)), 50);
+    }
+
+    #[test]
+    fn full_queue_tail_drops() {
+        let mut q = ServiceQueue::new(QueueConfig {
+            rate_pps: 1_000.0,
+            capacity: 5,
+        });
+        let mut drops = 0;
+        for _ in 0..10 {
+            if q.offer(at(0)) == QueueOutcome::Dropped {
+                drops += 1;
+            }
+        }
+        assert!(drops >= 4, "beyond capacity 5, arrivals drop: {drops}");
+        assert_eq!(q.dropped(), drops);
+    }
+
+    #[test]
+    fn queue_drains_over_time() {
+        let mut q = ServiceQueue::new(QueueConfig {
+            rate_pps: 1_000.0,
+            capacity: 100,
+        });
+        for _ in 0..50 {
+            let _ = q.offer(at(0));
+        }
+        assert_eq!(q.backlog(at(0)), 50);
+        assert_eq!(q.backlog(at(25)), 25);
+        assert_eq!(q.backlog(at(60)), 0);
+        // A fresh arrival after the drain sees only its own service time.
+        match q.offer(at(60)) {
+            QueueOutcome::Enqueued(d) => assert_eq!(d.as_millis(), 1),
+            QueueOutcome::Dropped => panic!("drained queue accepts"),
+        }
+    }
+
+    #[test]
+    fn background_load_slows_service() {
+        let mut q = ServiceQueue::new(QueueConfig {
+            rate_pps: 1_000.0,
+            capacity: 1_000,
+        });
+        q.inject_background_load(0.9);
+        match q.offer(at(0)) {
+            // Effective rate 100/s → 10 ms per datagram.
+            QueueOutcome::Enqueued(d) => assert_eq!(d.as_millis(), 10),
+            QueueOutcome::Dropped => panic!("accepts"),
+        }
+    }
+}

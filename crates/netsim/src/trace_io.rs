@@ -1,0 +1,229 @@
+//! Trace persistence: capture simulated traffic to JSON-lines files and
+//! read it back — the simulator's stand-in for the paper's ENTRADA
+//! warehouse (ref.\[55\]), which stored the `.nl` authoritative traffic the §4
+//! analysis mined.
+//!
+//! One line per datagram event, self-describing, stream-appendable:
+//!
+//! ```json
+//! {"at_ns":1000000,"src":"10.0.0.7","dst":"10.0.0.1","disposition":"delivered","msg":{...}}
+//! ```
+
+use std::io::{BufRead, Write};
+
+use dike_wire::Message;
+use serde::{Deserialize, Serialize};
+
+use crate::addr::Addr;
+use crate::time::SimTime;
+use crate::trace::{Disposition, TraceSink};
+
+/// A serializable trace row.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct TraceRow {
+    /// Arrival time, nanoseconds since run start.
+    pub at_ns: u64,
+    /// Source address (numeric form).
+    pub src: u32,
+    /// Destination address (numeric form).
+    pub dst: u32,
+    /// `delivered`, `dropped` or `no_route`.
+    pub disposition: String,
+    /// Payload size, octets.
+    pub wire_len: usize,
+    /// The decoded message.
+    pub msg: Message,
+}
+
+impl TraceRow {
+    /// The disposition as the enum.
+    pub fn disposition(&self) -> Disposition {
+        match self.disposition.as_str() {
+            "delivered" => Disposition::Delivered,
+            "dropped" => Disposition::Dropped,
+            _ => Disposition::NoRoute,
+        }
+    }
+}
+
+fn disposition_str(d: Disposition) -> &'static str {
+    match d {
+        Disposition::Delivered => "delivered",
+        Disposition::Dropped => "dropped",
+        Disposition::NoRoute => "no_route",
+    }
+}
+
+/// A sink that appends every observed datagram to a JSONL writer.
+pub struct JsonlTraceWriter<W: Write + Send> {
+    out: W,
+    /// I/O or serialization errors encountered (writing stops reporting
+    /// after the first; the count is queryable).
+    pub errors: u64,
+}
+
+impl<W: Write + Send> JsonlTraceWriter<W> {
+    /// Wraps a writer (use a `BufWriter` for files).
+    pub fn new(out: W) -> Self {
+        JsonlTraceWriter { out, errors: 0 }
+    }
+
+    /// Flushes and returns the inner writer.
+    pub fn into_inner(mut self) -> W {
+        let _ = self.out.flush();
+        self.out
+    }
+}
+
+impl<W: Write + Send> TraceSink for JsonlTraceWriter<W> {
+    fn observe(
+        &mut self,
+        now: SimTime,
+        src: Addr,
+        dst: Addr,
+        msg: &Message,
+        wire_len: usize,
+        disposition: Disposition,
+    ) {
+        let row = TraceRow {
+            at_ns: now.as_nanos(),
+            src: src.0,
+            dst: dst.0,
+            disposition: disposition_str(disposition).to_string(),
+            wire_len,
+            msg: msg.clone(),
+        };
+        let ok = serde_json::to_writer(&mut self.out, &row)
+            .and_then(|()| {
+                self.out
+                    .write_all(b"\n")
+                    .map_err(serde_json::Error::io)
+            })
+            .is_ok();
+        if !ok {
+            self.errors += 1;
+        }
+    }
+}
+
+/// Reads a JSONL trace back; malformed lines are skipped and counted in
+/// the second return value.
+pub fn read_jsonl<R: BufRead>(reader: R) -> (Vec<TraceRow>, usize) {
+    let mut rows = Vec::new();
+    let mut bad = 0usize;
+    for line in reader.lines() {
+        let Ok(line) = line else {
+            bad += 1;
+            continue;
+        };
+        if line.trim().is_empty() {
+            continue;
+        }
+        match serde_json::from_str::<TraceRow>(&line) {
+            Ok(row) => rows.push(row),
+            Err(_) => bad += 1,
+        }
+    }
+    (rows, bad)
+}
+
+/// Replays a recorded trace into any [`TraceSink`] — run the offline
+/// analyses (e.g. [`dike-stats`'s passive analyzer]) over stored traffic.
+pub fn replay(rows: &[TraceRow], sink: &mut dyn TraceSink) {
+    for r in rows {
+        sink.observe(
+            SimTime::from_nanos(r.at_ns),
+            Addr(r.src),
+            Addr(r.dst),
+            &r.msg,
+            r.wire_len,
+            r.disposition(),
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dike_wire::{Name, RecordType};
+
+    fn msg(id: u16) -> Message {
+        Message::query(id, Name::parse("7.cachetest.nl").unwrap(), RecordType::AAAA)
+    }
+
+    #[test]
+    fn write_read_round_trip() {
+        let mut w = JsonlTraceWriter::new(Vec::new());
+        for i in 0..5u16 {
+            w.observe(
+                SimTime::from_nanos(i as u64 * 1_000),
+                Addr(100 + i as u32),
+                Addr(1),
+                &msg(i),
+                40,
+                if i % 2 == 0 {
+                    Disposition::Delivered
+                } else {
+                    Disposition::Dropped
+                },
+            );
+        }
+        assert_eq!(w.errors, 0);
+        let bytes = w.into_inner();
+        let (rows, bad) = read_jsonl(std::io::Cursor::new(bytes));
+        assert_eq!(bad, 0);
+        assert_eq!(rows.len(), 5);
+        assert_eq!(rows[0].msg, msg(0));
+        assert_eq!(rows[1].disposition(), Disposition::Dropped);
+        assert_eq!(rows[4].at_ns, 4_000);
+    }
+
+    #[test]
+    fn malformed_lines_are_skipped() {
+        let text = format!(
+            "{}\nnot json\n{}\n",
+            serde_json::to_string(&TraceRow {
+                at_ns: 1,
+                src: 2,
+                dst: 3,
+                disposition: "delivered".into(),
+                wire_len: 10,
+                msg: msg(1),
+            })
+            .unwrap(),
+            serde_json::to_string(&TraceRow {
+                at_ns: 2,
+                src: 2,
+                dst: 3,
+                disposition: "no_route".into(),
+                wire_len: 10,
+                msg: msg(2),
+            })
+            .unwrap()
+        );
+        let (rows, bad) = read_jsonl(std::io::Cursor::new(text));
+        assert_eq!(rows.len(), 2);
+        assert_eq!(bad, 1);
+        assert_eq!(rows[1].disposition(), Disposition::NoRoute);
+    }
+
+    #[test]
+    fn replay_feeds_a_sink() {
+        let mut w = JsonlTraceWriter::new(Vec::new());
+        for i in 0..3u16 {
+            w.observe(
+                SimTime::from_nanos(i as u64),
+                Addr(9),
+                Addr(1),
+                &msg(i),
+                40,
+                Disposition::Delivered,
+            );
+        }
+        let (rows, _) = read_jsonl(std::io::Cursor::new(w.into_inner()));
+        let mut counter = crate::trace::CountingTrace::default();
+        replay(&rows, &mut counter);
+        assert_eq!(counter.delivered, 3);
+        assert_eq!(counter.octets, 120);
+    }
+}

@@ -1,0 +1,157 @@
+//! Property tests for the simulator core: determinism under arbitrary
+//! workloads, causality (no event before its cause), and loss-rate
+//! statistics.
+
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+use proptest::prelude::*;
+
+use dike_netsim::{
+    Addr, Context, LatencyModel, LinkParams, LinkTable, Node, SimDuration, Simulator,
+    TimerToken,
+};
+use dike_wire::{Message, Name, RecordType};
+
+/// A node that queries a target at scripted delays and logs every event
+/// it sees (send times and receive times).
+struct Chatter {
+    target: Addr,
+    delays_ms: Vec<u64>,
+    log: Arc<Mutex<Vec<(u64, &'static str)>>>,
+    next_id: u16,
+}
+
+impl Node for Chatter {
+    fn on_start(&mut self, ctx: &mut Context<'_>) {
+        for (i, &d) in self.delays_ms.iter().enumerate() {
+            ctx.set_timer(SimDuration::from_millis(d), TimerToken(i as u64));
+        }
+    }
+    fn on_datagram(&mut self, ctx: &mut Context<'_>, _src: Addr, msg: &Message, _l: usize) {
+        if msg.is_response {
+            self.log.lock().push((ctx.now().as_nanos(), "recv"));
+        }
+    }
+    fn on_timer(&mut self, ctx: &mut Context<'_>, _t: TimerToken) {
+        self.next_id += 1;
+        self.log.lock().push((ctx.now().as_nanos(), "send"));
+        ctx.send(
+            self.target,
+            &Message::query(self.next_id, Name::parse("x.nl").unwrap(), RecordType::A),
+        );
+    }
+}
+
+struct Echo;
+impl Node for Echo {
+    fn on_datagram(&mut self, ctx: &mut Context<'_>, src: Addr, msg: &Message, _l: usize) {
+        if !msg.is_response {
+            ctx.send(src, &Message::response_to(msg));
+        }
+    }
+    fn on_timer(&mut self, _ctx: &mut Context<'_>, _t: TimerToken) {}
+}
+
+fn run_world(
+    seed: u64,
+    latency_ms: u64,
+    loss: f64,
+    scripts: &[Vec<u64>],
+) -> Vec<(u64, &'static str)> {
+    let mut sim = Simulator::new(seed);
+    *sim.links_mut() = LinkTable::new(LinkParams {
+        latency: LatencyModel::LogNormal {
+            median: SimDuration::from_millis(latency_ms.max(1)),
+            sigma: 0.3,
+        },
+        loss,
+    });
+    let (_, echo) = sim.add_node(Box::new(Echo));
+    let log = Arc::new(Mutex::new(Vec::new()));
+    for delays in scripts {
+        sim.add_node(Box::new(Chatter {
+            target: echo,
+            delays_ms: delays.clone(),
+            log: log.clone(),
+            next_id: 0,
+        }));
+    }
+    sim.run_until_idle();
+    drop(sim);
+    Arc::try_unwrap(log).expect("single owner").into_inner()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Identical inputs produce bit-identical event logs; a different
+    /// seed (with jittered latency) produces a different log.
+    #[test]
+    fn runs_are_deterministic(
+        seed in 0u64..1000,
+        scripts in proptest::collection::vec(
+            proptest::collection::vec(1u64..5_000, 1..6), 1..6),
+    ) {
+        let a = run_world(seed, 10, 0.0, &scripts);
+        let b = run_world(seed, 10, 0.0, &scripts);
+        prop_assert_eq!(&a, &b);
+        prop_assert!(!a.is_empty());
+    }
+
+    /// Virtual time never goes backwards in any node's observed order.
+    #[test]
+    fn observed_time_is_monotone(
+        seed in 0u64..1000,
+        scripts in proptest::collection::vec(
+            proptest::collection::vec(1u64..5_000, 1..5), 1..5),
+    ) {
+        let log = run_world(seed, 7, 0.1, &scripts);
+        for w in log.windows(2) {
+            prop_assert!(w[0].0 <= w[1].0, "time went backwards: {:?}", w);
+        }
+    }
+
+    /// With zero loss every query is eventually answered; with full
+    /// ingress loss at the echo none are.
+    #[test]
+    fn loss_extremes(
+        seed in 0u64..1000,
+        delays in proptest::collection::vec(1u64..2_000, 1..8),
+    ) {
+        let clean = run_world(seed, 5, 0.0, std::slice::from_ref(&delays));
+        let sends = clean.iter().filter(|(_, k)| *k == "send").count();
+        let recvs = clean.iter().filter(|(_, k)| *k == "recv").count();
+        prop_assert_eq!(sends, delays.len());
+        prop_assert_eq!(recvs, sends, "lossless world answers everything");
+
+        let lossy = run_world(seed, 5, 1.0, std::slice::from_ref(&delays));
+        let recvs = lossy.iter().filter(|(_, k)| *k == "recv").count();
+        prop_assert_eq!(recvs, 0, "full-loss world answers nothing");
+    }
+
+    /// A response can never arrive before its query was sent plus two
+    /// minimum path delays... loosely: every recv follows at least one
+    /// send strictly earlier.
+    #[test]
+    fn causality(
+        seed in 0u64..1000,
+        delays in proptest::collection::vec(1u64..2_000, 1..6),
+    ) {
+        let log = run_world(seed, 5, 0.3, &[delays]);
+        let mut sends_seen = 0usize;
+        let mut recvs_seen = 0usize;
+        for (_, kind) in &log {
+            match *kind {
+                "send" => sends_seen += 1,
+                _ => {
+                    recvs_seen += 1;
+                    prop_assert!(
+                        recvs_seen <= sends_seen,
+                        "a response arrived before any unanswered query existed"
+                    );
+                }
+            }
+        }
+    }
+}

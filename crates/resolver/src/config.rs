@@ -1,0 +1,202 @@
+//! Resolver configuration.
+
+use dike_cache::CacheConfig;
+use dike_netsim::{Addr, SimDuration};
+
+/// How unanswered upstream queries are retried.
+///
+/// Both BIND and Unbound pace retries with exponential backoff (paper
+/// §6.2: "Such retries are appropriate, provided they are paced (both use
+/// exponential backoff)").
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RetryPolicy {
+    /// Timeout before the first retry.
+    pub initial_timeout: SimDuration,
+    /// Multiplier applied to the timeout after each retry.
+    pub backoff_factor: f64,
+    /// Ceiling on the per-try timeout.
+    pub max_timeout: SimDuration,
+    /// Total upstream sends per resolution task (first try included).
+    /// The paper observes 6–7 tries per request when authoritatives are
+    /// unreachable (§6.2).
+    pub max_attempts: u32,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            initial_timeout: SimDuration::from_millis(750),
+            backoff_factor: 2.0,
+            max_timeout: SimDuration::from_secs(6),
+            max_attempts: 7,
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// The timeout for attempt number `attempt` (0-based).
+    pub fn timeout_for(&self, attempt: u32) -> SimDuration {
+        let scaled = self
+            .initial_timeout
+            .mul_f64(self.backoff_factor.powi(attempt as i32));
+        scaled.min(self.max_timeout)
+    }
+
+    /// Whether another attempt is allowed after `attempts` sends.
+    pub fn allows_retry(&self, attempts: u32) -> bool {
+        attempts < self.max_attempts
+    }
+}
+
+/// How the next upstream/authoritative server is chosen per attempt.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum SelectionPolicy {
+    /// Prefer the lowest smoothed-RTT server (BIND-style).
+    #[default]
+    SrttBased,
+    /// Uniform random per attempt — how load-balanced farm frontends
+    /// spray queries over their backends (the fragmentation driver of
+    /// paper §3.5).
+    Random,
+}
+
+/// Where the resolver sends the queries it cannot answer from cache.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ResolverMode {
+    /// Full iterative resolution starting from these root server
+    /// addresses.
+    Iterative {
+        /// Root hints.
+        roots: Vec<Addr>,
+    },
+    /// Forward every miss to one of these upstream recursive resolvers.
+    Forwarding {
+        /// Upstream resolvers (Rn), tried in selector order.
+        upstreams: Vec<Addr>,
+    },
+}
+
+/// Full resolver configuration.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ResolverConfig {
+    /// Iterative or forwarding.
+    pub mode: ResolverMode,
+    /// Retry pacing.
+    pub retry: RetryPolicy,
+    /// Cache behaviour (per backend).
+    pub cache: CacheConfig,
+    /// Number of independent cache backends (1 = a single shared cache;
+    /// >1 models a load-balanced farm with fragmented caches, §3.5).
+    pub cache_backends: usize,
+    /// Whether to resolve A records for NS names learned from referrals
+    /// (infrastructure queries).
+    pub infra_a: bool,
+    /// Whether to also probe AAAA for NS names. The experiment zone is
+    /// IPv4-only, so these draw negative answers — the `AAAA-for-NS`
+    /// series in paper Fig. 10. Unbound does this, BIND is lazier.
+    pub infra_aaaa: bool,
+    /// Whether this resolver is a *public* resolver (used for the paper's
+    /// Table 3 public/non-public split).
+    pub is_public: bool,
+    /// Upstream selection policy.
+    pub selection: SelectionPolicy,
+    /// Whether client answers may be served from referral (glue) data.
+    /// RFC 2181 forbids it; a small share of real-world resolvers do it
+    /// anyway (the ~5% "parent TTL" rows of the paper's Table 5).
+    pub answer_from_glue: bool,
+    /// Cap on concurrently pending resolution tasks (BIND's
+    /// `recursive-clients`, Unbound's `num-queries-per-thread`). When the
+    /// table is full, new client questions are refused with SERVFAIL —
+    /// load shedding under retry storms. Zero disables the cap.
+    pub max_pending: usize,
+    /// Periodic full cache flush (operator flushes, machine restarts —
+    /// the paper's §3.1 lists these among the causes of early cache
+    /// loss). `None` disables.
+    pub flush_interval: Option<SimDuration>,
+    /// How long a resolution failure is remembered (RFC 2308 §7 allows
+    /// caching SERVFAIL up to 5 minutes; BIND/Unbound use a few
+    /// seconds). While a failure is cached, client queries for the same
+    /// question get an immediate SERVFAIL instead of triggering a new
+    /// resolution — damping the retry storm of paper §6. Zero disables.
+    pub servfail_ttl: SimDuration,
+}
+
+impl ResolverConfig {
+    /// An iterative resolver with default behaviour.
+    pub fn iterative(roots: Vec<Addr>) -> Self {
+        ResolverConfig {
+            mode: ResolverMode::Iterative { roots },
+            retry: RetryPolicy::default(),
+            cache: CacheConfig::honoring(),
+            cache_backends: 1,
+            infra_a: true,
+            infra_aaaa: true,
+            is_public: false,
+            selection: SelectionPolicy::SrttBased,
+            answer_from_glue: false,
+            max_pending: 10_000,
+            flush_interval: None,
+            servfail_ttl: SimDuration::from_secs(5),
+        }
+    }
+
+    /// A forwarding resolver with default behaviour.
+    pub fn forwarding(upstreams: Vec<Addr>) -> Self {
+        ResolverConfig {
+            mode: ResolverMode::Forwarding { upstreams },
+            retry: RetryPolicy::default(),
+            cache: CacheConfig::honoring(),
+            cache_backends: 1,
+            infra_a: false,
+            infra_aaaa: false,
+            is_public: false,
+            selection: SelectionPolicy::SrttBased,
+            answer_from_glue: false,
+            max_pending: 10_000,
+            flush_interval: None,
+            servfail_ttl: SimDuration::from_secs(5),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn backoff_grows_exponentially_and_caps() {
+        let p = RetryPolicy {
+            initial_timeout: SimDuration::from_millis(500),
+            backoff_factor: 2.0,
+            max_timeout: SimDuration::from_secs(3),
+            max_attempts: 7,
+        };
+        assert_eq!(p.timeout_for(0), SimDuration::from_millis(500));
+        assert_eq!(p.timeout_for(1), SimDuration::from_millis(1000));
+        assert_eq!(p.timeout_for(2), SimDuration::from_millis(2000));
+        // Capped at 3 s from attempt 3 on.
+        assert_eq!(p.timeout_for(3), SimDuration::from_secs(3));
+        assert_eq!(p.timeout_for(6), SimDuration::from_secs(3));
+    }
+
+    #[test]
+    fn allows_retry_respects_max_attempts() {
+        let p = RetryPolicy {
+            max_attempts: 3,
+            ..RetryPolicy::default()
+        };
+        assert!(p.allows_retry(0));
+        assert!(p.allows_retry(2));
+        assert!(!p.allows_retry(3));
+    }
+
+    #[test]
+    fn constructors_pick_sane_modes() {
+        let it = ResolverConfig::iterative(vec![Addr(1)]);
+        assert!(matches!(it.mode, ResolverMode::Iterative { .. }));
+        assert!(it.infra_a && it.infra_aaaa);
+        let fw = ResolverConfig::forwarding(vec![Addr(2), Addr(3)]);
+        assert!(matches!(fw.mode, ResolverMode::Forwarding { .. }));
+        assert!(!fw.infra_a);
+    }
+}

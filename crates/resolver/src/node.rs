@@ -1,0 +1,968 @@
+//! The recursive resolver node.
+
+use std::collections::HashMap;
+
+use dike_cache::{CacheAnswer, CacheKey, FragmentedCache, NegativeKind, TrustLevel};
+use dike_netsim::{Addr, Context, Node, SimTime, TimerToken};
+use dike_wire::{Message, Name, Question, RData, Rcode, Record, RecordType};
+
+use crate::config::{ResolverConfig, ResolverMode};
+use crate::selector::ServerSelector;
+use crate::task::{Outstanding, Task, Waiter};
+
+/// Running counters, readable after a run through a shared stats handle
+/// or by borrowing the node back from the simulator.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ResolverStats {
+    /// Queries received from clients/downstreams.
+    pub client_queries: u64,
+    /// Client queries answered from a fresh cache entry.
+    pub cache_hits: u64,
+    /// Client queries answered from the negative cache.
+    pub negative_hits: u64,
+    /// Resolutions started (cache misses, deduplicated).
+    pub resolutions: u64,
+    /// Queries sent upstream (to authoritatives or forwarders).
+    pub upstream_queries: u64,
+    /// Upstream retries (sends beyond the first per task).
+    pub retries: u64,
+    /// Referrals followed.
+    pub referrals: u64,
+    /// Tasks that exhausted their retry budget.
+    pub failures: u64,
+    /// Answers served stale after a failed resolution.
+    pub stale_served: u64,
+    /// Client queries answered SERVFAIL from the failure cache
+    /// (RFC 2308 §7) without starting a resolution.
+    pub servfail_cache_hits: u64,
+    /// Infrastructure (NS-address) tasks spawned.
+    pub infra_tasks: u64,
+    /// Full cache flushes performed (operator flush / restart model).
+    pub flushes: u64,
+    /// Client questions refused because the pending-task table was full
+    /// (load shedding).
+    pub shed: u64,
+}
+
+/// A recursive DNS resolver node (iterative or forwarding — see
+/// [`ResolverMode`]).
+pub struct RecursiveResolver {
+    config: ResolverConfig,
+    cache: FragmentedCache,
+    selector: ServerSelector,
+    tasks: HashMap<u64, Task>,
+    task_by_key: HashMap<CacheKey, u64>,
+    /// RFC 2308 §7 failure cache: question → do-not-retry-before.
+    failed_until: HashMap<CacheKey, SimTime>,
+    by_msg_id: HashMap<u16, u64>,
+    next_task_id: u64,
+    next_msg_id: u16,
+    stats: ResolverStats,
+}
+
+impl RecursiveResolver {
+    /// A resolver with the given configuration.
+    pub fn new(config: ResolverConfig) -> Self {
+        let cache = FragmentedCache::new(config.cache_backends, config.cache);
+        RecursiveResolver {
+            config,
+            cache,
+            selector: ServerSelector::new(),
+            tasks: HashMap::new(),
+            task_by_key: HashMap::new(),
+            failed_until: HashMap::new(),
+            by_msg_id: HashMap::new(),
+            next_task_id: 0,
+            next_msg_id: 1,
+            stats: ResolverStats::default(),
+        }
+    }
+
+    /// Statistics so far.
+    pub fn stats(&self) -> ResolverStats {
+        self.stats
+    }
+
+    /// The configuration in force.
+    pub fn config(&self) -> &ResolverConfig {
+        &self.config
+    }
+
+    /// Cache statistics aggregated over backends.
+    pub fn cache_stats(&self) -> dike_cache::CacheStats {
+        self.cache.stats()
+    }
+
+    /// Walks cached CNAMEs from `name`: returns the chain of cached
+    /// alias records, the final (non-alias) name, and the cached records
+    /// of the requested type at that name if they are fresh.
+    #[allow(clippy::type_complexity)]
+    fn follow_cached_cnames(
+        &mut self,
+        backend: usize,
+        now: SimTime,
+        name: &Name,
+        qtype: RecordType,
+        min_trust: TrustLevel,
+    ) -> (Vec<Record>, Name, Option<Vec<Record>>) {
+        const MAX_CHASE: u8 = 8;
+        let mut chain = Vec::new();
+        let mut current = name.clone();
+        for _ in 0..MAX_CHASE {
+            if qtype != RecordType::CNAME {
+                if let CacheAnswer::Fresh(records) =
+                    self.cache
+                        .lookup_on_min_trust(backend, now, &current, qtype, min_trust)
+                {
+                    return (chain, current, Some(records));
+                }
+                if let CacheAnswer::Fresh(cnames) = self.cache.lookup_on_min_trust(
+                    backend,
+                    now,
+                    &current,
+                    RecordType::CNAME,
+                    min_trust,
+                ) {
+                    if let Some(RData::Cname(target)) =
+                        cnames.first().map(|r| r.rdata.clone())
+                    {
+                        chain.extend(cnames);
+                        current = target;
+                        continue;
+                    }
+                }
+            }
+            break;
+        }
+        let records = match self
+            .cache
+            .lookup_on_min_trust(backend, now, &current, qtype, min_trust)
+        {
+            CacheAnswer::Fresh(records) => Some(records),
+            _ => None,
+        };
+        (chain, current, records)
+    }
+
+    fn alloc_msg_id(&mut self) -> u16 {
+        // Skip ids currently in flight so responses map unambiguously.
+        loop {
+            let id = self.next_msg_id;
+            self.next_msg_id = self.next_msg_id.wrapping_add(1).max(1);
+            if !self.by_msg_id.contains_key(&id) {
+                return id;
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Client side
+    // ------------------------------------------------------------------
+
+    fn handle_client_query(&mut self, ctx: &mut Context<'_>, src: Addr, msg: &Message) {
+        self.stats.client_queries += 1;
+        let Some(q) = msg.question().cloned() else {
+            ctx.send(src, &Message::error_response(msg, Rcode::FormErr));
+            return;
+        };
+        let now = ctx.now();
+        // RFC 2308 §7: a recently failed question gets an immediate
+        // SERVFAIL instead of another futile round of upstream retries.
+        let fkey = CacheKey::new(q.name.clone(), q.qtype);
+        if let Some(&until) = self.failed_until.get(&fkey) {
+            if now < until {
+                self.stats.servfail_cache_hits += 1;
+                ctx.send(src, &Message::error_response(msg, Rcode::ServFail));
+                return;
+            }
+            self.failed_until.remove(&fkey);
+        }
+        let backend = self.cache.pick_backend(ctx.rng());
+        // RFC 2181 data ranking: referral (glue) data steers resolution
+        // but is not returned to clients — unless this resolver is one of
+        // the sloppy minority that does (Table 5's "parent" rows).
+        let min_trust = if self.config.answer_from_glue {
+            TrustLevel::Glue
+        } else {
+            TrustLevel::Authoritative
+        };
+        // Follow cached aliases first, so a hit on `www -> web -> A` is
+        // served entirely from cache with the chain in the answer.
+        let (chain, final_name, final_records) =
+            self.follow_cached_cnames(backend, now, &q.name, q.qtype, min_trust);
+        if let Some(records) = final_records {
+            self.stats.cache_hits += 1;
+            let mut answers = chain;
+            answers.extend(records);
+            let resp = client_response(msg, Rcode::NoError, answers);
+            ctx.send(src, &resp);
+            return;
+        }
+        match self
+            .cache
+            .lookup_on_min_trust(backend, now, &final_name, q.qtype, min_trust)
+        {
+            CacheAnswer::Negative(kind) => {
+                self.stats.negative_hits += 1;
+                let rcode = match kind {
+                    NegativeKind::NxDomain => Rcode::NxDomain,
+                    NegativeKind::NoData => Rcode::NoError,
+                };
+                let mut resp = client_response(msg, rcode, Vec::new());
+                resp.answers = chain;
+                ctx.send(src, &resp);
+            }
+            _ => {
+                // Load shedding: a full pending table answers SERVFAIL
+                // immediately instead of joining the retry storm
+                // (BIND's recursive-clients behaviour).
+                let key = CacheKey::new(q.name.clone(), q.qtype);
+                let would_join = self.task_by_key.contains_key(&key);
+                if !would_join
+                    && self.config.max_pending > 0
+                    && self.tasks.len() >= self.config.max_pending
+                {
+                    self.stats.shed += 1;
+                    ctx.send(src, &Message::error_response(msg, Rcode::ServFail));
+                    return;
+                }
+                // Start (or join) a resolution; any cached chain prefix
+                // is carried into the task so the final answer includes
+                // it and iteration starts at the chain's end.
+                let waiter = Waiter {
+                    client: src,
+                    msg_id: msg.id,
+                    backend,
+                };
+                self.start_or_join_chained(ctx, q, final_name, chain, backend, Some(waiter), 0);
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Task lifecycle
+    // ------------------------------------------------------------------
+
+    fn start_or_join(
+        &mut self,
+        ctx: &mut Context<'_>,
+        q: Question,
+        backend: usize,
+        waiter: Option<Waiter>,
+        depth: u8,
+    ) {
+        let name = q.name.clone();
+        self.start_or_join_chained(ctx, q, name, Vec::new(), backend, waiter, depth);
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn start_or_join_chained(
+        &mut self,
+        ctx: &mut Context<'_>,
+        q: Question,
+        current_name: Name,
+        chain: Vec<Record>,
+        backend: usize,
+        waiter: Option<Waiter>,
+        depth: u8,
+    ) {
+        let key = CacheKey::new(q.name.clone(), q.qtype);
+        if let Some(&tid) = self.task_by_key.get(&key) {
+            if let Some(task) = self.tasks.get_mut(&tid) {
+                if let Some(w) = waiter {
+                    task.waiters.push(w);
+                }
+                return; // join the in-flight resolution
+            }
+        }
+        self.stats.resolutions += 1;
+        if depth > 0 {
+            self.stats.infra_tasks += 1;
+        }
+        let id = self.next_task_id;
+        self.next_task_id += 1;
+        let (servers, zone_depth) = self.initial_servers(ctx.now(), backend, &current_name);
+        let chase_depth = chain.len() as u8;
+        let task = Task {
+            key: key.clone(),
+            current_name,
+            cname_chain: chain,
+            chase_depth,
+            backend,
+            waiters: waiter.into_iter().collect(),
+            depth,
+            attempts: 0,
+            tried: Vec::new(),
+            servers,
+            zone_depth,
+            outstanding: None,
+            awaiting_glue: false,
+        };
+        self.tasks.insert(id, task);
+        self.task_by_key.insert(key, id);
+        self.send_next(ctx, id);
+    }
+
+    /// Candidate servers for a fresh task: for forwarding mode, the
+    /// configured upstreams; for iterative mode, the deepest cached
+    /// delegation covering `name` (falling back to the root hints).
+    fn initial_servers(&mut self, now: SimTime, backend: usize, name: &Name) -> (Vec<Addr>, usize) {
+        match &self.config.mode {
+            ResolverMode::Forwarding { upstreams } => (upstreams.clone(), 0),
+            ResolverMode::Iterative { roots } => {
+                for zone in name.self_and_ancestors() {
+                    if zone.is_root() {
+                        break;
+                    }
+                    let CacheAnswer::Fresh(ns_records) =
+                        self.cache.lookup_on(backend, now, &zone, RecordType::NS)
+                    else {
+                        continue;
+                    };
+                    let mut addrs = Vec::new();
+                    for ns in &ns_records {
+                        let Some(target) = ns.rdata.target_name() else {
+                            continue;
+                        };
+                        if let CacheAnswer::Fresh(a_records) =
+                            self.cache.lookup_on(backend, now, target, RecordType::A)
+                        {
+                            addrs.extend(a_records.iter().filter_map(record_addr));
+                        }
+                    }
+                    if !addrs.is_empty() {
+                        addrs.sort();
+                        addrs.dedup();
+                        return (addrs, zone.label_count());
+                    }
+                }
+                (roots.clone(), 0)
+            }
+        }
+    }
+
+    fn send_next(&mut self, ctx: &mut Context<'_>, tid: u64) {
+        let Some(task) = self.tasks.get_mut(&tid) else {
+            return;
+        };
+        if !self.config.retry.allows_retry(task.attempts) {
+            self.fail_task(ctx, tid);
+            return;
+        }
+        // Glueless-referral recovery: a deeper delegation may have become
+        // usable since the last attempt (an infrastructure query filled
+        // in the missing NS address). Adopt it if it is strictly deeper.
+        {
+            let now = ctx.now();
+            let (backend, current_name, old_depth) = {
+                let task = self.tasks.get(&tid).expect("task exists");
+                (task.backend, task.current_name.clone(), task.zone_depth)
+            };
+            let (servers, zone_depth) = self.initial_servers(now, backend, &current_name);
+            if zone_depth > old_depth && !servers.is_empty() {
+                let task = self.tasks.get_mut(&tid).expect("task exists");
+                task.servers = servers;
+                task.zone_depth = zone_depth;
+                task.tried.clear();
+            }
+        }
+        let task = self.tasks.get_mut(&tid).expect("task exists");
+        let picked = match self.config.selection {
+            crate::config::SelectionPolicy::SrttBased => {
+                self.selector.pick(&task.servers, &task.tried, ctx.rng())
+            }
+            crate::config::SelectionPolicy::Random => {
+                ServerSelector::pick_uniform(&task.servers, &task.tried, ctx.rng())
+            }
+        };
+        let Some(server) = picked else {
+            self.fail_task(ctx, tid);
+            return;
+        };
+        let attempt = task.attempts;
+        task.attempts += 1;
+        task.tried.push(server);
+        if task.tried.len() >= task.servers.len() {
+            // Everyone has been tried this round; allow re-tries.
+            task.tried.clear();
+        }
+        let q = Question::new(task.current_name.clone(), task.key.rtype);
+
+        let recursion_desired = matches!(self.config.mode, ResolverMode::Forwarding { .. });
+        let msg_id = self.alloc_msg_id();
+        let query = if recursion_desired {
+            Message::query(msg_id, q.name.clone(), q.qtype)
+        } else {
+            Message::iterative_query(msg_id, q.name.clone(), q.qtype)
+        }
+        .with_edns(dike_wire::EDNS_UDP_PAYLOAD);
+
+        let task = self.tasks.get_mut(&tid).expect("task vanished");
+
+        self.stats.upstream_queries += 1;
+        if attempt > 0 {
+            self.stats.retries += 1;
+        }
+        let timeout = self.config.retry.timeout_for(attempt);
+        let timer = ctx.set_timer(timeout, TimerToken(tid));
+        task.outstanding = Some(Outstanding {
+            msg_id,
+            server,
+            sent_at: ctx.now(),
+            timer,
+        });
+        self.by_msg_id.insert(msg_id, tid);
+        ctx.send(server, &query);
+    }
+
+    fn fail_task(&mut self, ctx: &mut Context<'_>, tid: u64) {
+        let Some(task) = self.remove_task(tid) else {
+            return;
+        };
+        self.stats.failures += 1;
+        let now = ctx.now();
+        if self.config.servfail_ttl > dike_netsim::SimDuration::ZERO {
+            self.failed_until
+                .insert(task.key.clone(), now + self.config.servfail_ttl);
+        }
+        for w in &task.waiters {
+            // Serve-stale: a failed refresh may still be answered from an
+            // expired entry (RFC 8767; paper §5.3).
+            let stale =
+                self.cache
+                    .lookup_stale_on(w.backend, now, &task.key.name, task.key.rtype);
+            let resp = match stale {
+                CacheAnswer::Stale(records) | CacheAnswer::Fresh(records) => {
+                    self.stats.stale_served += 1;
+                    waiter_response(w, &task.key, Rcode::NoError, records)
+                }
+                _ => waiter_response(w, &task.key, Rcode::ServFail, Vec::new()),
+            };
+            ctx.send(w.client, &resp);
+        }
+    }
+
+    fn complete_task(
+        &mut self,
+        ctx: &mut Context<'_>,
+        tid: u64,
+        rcode: Rcode,
+        extra_cnames: Vec<Record>,
+        records: Vec<Record>,
+    ) {
+        let Some(task) = self.remove_task(tid) else {
+            return;
+        };
+        let now = ctx.now();
+        // Insert into the owning backend and every waiter's backend. Each
+        // (name, type) group is its own RRset.
+        let mut backends: Vec<usize> = std::iter::once(task.backend)
+            .chain(task.waiters.iter().map(|w| w.backend))
+            .collect();
+        backends.sort_unstable();
+        backends.dedup();
+        let mut grouped: HashMap<(Name, RecordType), Vec<Record>> = HashMap::new();
+        for r in task
+            .cname_chain
+            .iter()
+            .chain(&extra_cnames)
+            .chain(&records)
+        {
+            grouped
+                .entry((r.name.clone(), r.rtype()))
+                .or_default()
+                .push(r.clone());
+        }
+        for (_, rrset) in grouped {
+            for &b in &backends {
+                self.cache.insert_on(b, now, rrset.clone());
+            }
+        }
+        // The client's answer section: the CNAME chain in order, then the
+        // final records. A TTL-rewriting resolver rewrites what it
+        // *returns*, too: the client sees the clamped TTL (how the paper
+        // detects EC2-style cappers in Table 2's "TTL altered" rows).
+        let client_records: Vec<Record> = task
+            .cname_chain
+            .iter()
+            .chain(&extra_cnames)
+            .chain(&records)
+            .map(|r| r.with_ttl(self.config.cache.clamp_ttl(r.ttl)))
+            .collect();
+        for w in &task.waiters {
+            let resp = waiter_response(w, &task.key, rcode, client_records.clone());
+            ctx.send(w.client, &resp);
+        }
+    }
+
+    fn complete_negative(
+        &mut self,
+        ctx: &mut Context<'_>,
+        tid: u64,
+        kind: NegativeKind,
+        neg_ttl: u32,
+    ) {
+        let Some(task) = self.remove_task(tid) else {
+            return;
+        };
+        let now = ctx.now();
+        let mut backends: Vec<usize> = std::iter::once(task.backend)
+            .chain(task.waiters.iter().map(|w| w.backend))
+            .collect();
+        backends.sort_unstable();
+        backends.dedup();
+        for &b in &backends {
+            self.cache.insert_negative_on(
+                b,
+                now,
+                task.key.name.clone(),
+                task.key.rtype,
+                kind,
+                neg_ttl,
+            );
+        }
+        let rcode = match kind {
+            NegativeKind::NxDomain => Rcode::NxDomain,
+            NegativeKind::NoData => Rcode::NoError,
+        };
+        for w in &task.waiters {
+            let resp = waiter_response(w, &task.key, rcode, Vec::new());
+            ctx.send(w.client, &resp);
+        }
+    }
+
+    /// RFC 8767's client-response behaviour: once the first upstream
+    /// attempt has timed out, clients waiting on this task are answered
+    /// from stale data where available, while resolution continues in
+    /// the background. Waiters without stale data keep waiting.
+    fn serve_stale_to_waiters(&mut self, ctx: &mut Context<'_>, tid: u64) {
+        let Some(task) = self.tasks.get_mut(&tid) else {
+            return;
+        };
+        if task.waiters.is_empty() {
+            return;
+        }
+        let key = task.key.clone();
+        let waiters = std::mem::take(&mut task.waiters);
+        let now = ctx.now();
+        let mut kept = Vec::new();
+        let mut served = Vec::new();
+        for w in waiters {
+            match self
+                .cache
+                .lookup_stale_on(w.backend, now, &key.name, key.rtype)
+            {
+                CacheAnswer::Stale(records) => served.push((w, records)),
+                _ => kept.push(w),
+            }
+        }
+        if let Some(task) = self.tasks.get_mut(&tid) {
+            task.waiters = kept;
+        }
+        for (w, records) in served {
+            self.stats.stale_served += 1;
+            let resp = waiter_response(&w, &key, Rcode::NoError, records);
+            ctx.send(w.client, &resp);
+        }
+    }
+
+    fn remove_task(&mut self, tid: u64) -> Option<Task> {
+        let task = self.tasks.remove(&tid)?;
+        self.task_by_key.remove(&task.key);
+        if let Some(out) = &task.outstanding {
+            self.by_msg_id.remove(&out.msg_id);
+        }
+        Some(task)
+    }
+
+    // ------------------------------------------------------------------
+    // Upstream responses
+    // ------------------------------------------------------------------
+
+    fn handle_upstream_response(&mut self, ctx: &mut Context<'_>, src: Addr, msg: &Message) {
+        let Some(&tid) = self.by_msg_id.get(&msg.id) else {
+            return; // late or unsolicited; drop
+        };
+        let Some(task) = self.tasks.get_mut(&tid) else {
+            return;
+        };
+        let Some(out) = task.outstanding else {
+            return;
+        };
+        if out.msg_id != msg.id || out.server != src {
+            return; // mismatched source: ignore (anti-spoofing)
+        }
+        // The question must echo what we asked.
+        if msg
+            .question()
+            .map(|q| q.name != task.current_name || q.qtype != task.key.rtype)
+            .unwrap_or(true)
+        {
+            return;
+        }
+        // Accept: clear outstanding state and the retry timer.
+        ctx.cancel_timer(out.timer);
+        self.by_msg_id.remove(&msg.id);
+        let rtt = ctx.now() - out.sent_at;
+        self.selector.record_success(src, rtt);
+        let task = self.tasks.get_mut(&tid).expect("task vanished");
+        task.outstanding = None;
+
+        if !msg.rcode.is_conclusive() {
+            // SERVFAIL/REFUSED: treat like a dead server and move on.
+            self.send_next(ctx, tid);
+            return;
+        }
+
+        if msg.truncated {
+            // TC without TCP fallback (the paper measures UDP only):
+            // retry another server and hope for a smaller answer path.
+            self.send_next(ctx, tid);
+            return;
+        }
+
+        if msg.is_referral() {
+            self.handle_referral(ctx, tid, src, msg);
+            return;
+        }
+
+        // Negative answer?
+        if msg.answers.is_empty() {
+            if msg.rcode == Rcode::NxDomain || msg.authoritative || msg.recursion_available {
+                let kind = if msg.rcode == Rcode::NxDomain {
+                    NegativeKind::NxDomain
+                } else {
+                    NegativeKind::NoData
+                };
+                let neg_ttl = msg.negative_ttl().unwrap_or(60);
+                self.complete_negative(ctx, tid, kind, neg_ttl);
+            } else {
+                // An empty, non-authoritative, non-referral answer is
+                // lame delegation; try elsewhere.
+                self.send_next(ctx, tid);
+            }
+            return;
+        }
+
+        // Positive answer. Three cases: records of the queried type
+        // (done), a CNAME at the current name (chase it, possibly across
+        // zones), or junk (try another server).
+        let task = self.tasks.get(&tid).expect("task vanished");
+        let final_records: Vec<Record> = msg
+            .answers
+            .iter()
+            .filter(|r| r.rtype() == task.key.rtype)
+            .cloned()
+            .collect();
+        if !final_records.is_empty() {
+            // The responder may have chased CNAMEs in-zone; keep any it
+            // included so the client sees the full chain.
+            let in_answer_cnames: Vec<Record> = msg
+                .answers
+                .iter()
+                .filter(|r| r.rtype() == RecordType::CNAME)
+                .cloned()
+                .collect();
+            self.complete_task(ctx, tid, Rcode::NoError, in_answer_cnames, final_records);
+            return;
+        }
+
+        let cname = msg
+            .answers
+            .iter()
+            .find(|r| r.rtype() == RecordType::CNAME && r.name == task.current_name)
+            .cloned();
+        if let Some(cname_rec) = cname {
+            self.chase_cname(ctx, tid, cname_rec);
+            return;
+        }
+        self.send_next(ctx, tid);
+    }
+
+    /// Follows a CNAME, possibly into a different zone: caches the alias,
+    /// moves the task's current name to the target, and restarts server
+    /// selection from the deepest cached delegation for the new name.
+    fn chase_cname(&mut self, ctx: &mut Context<'_>, tid: u64, cname_rec: Record) {
+        /// RFC 1034 recommends limiting alias chains; 8 matches common
+        /// resolver defaults and stops loops.
+        const MAX_CHASE: u8 = 8;
+        let now = ctx.now();
+        let Some(task) = self.tasks.get_mut(&tid) else {
+            return;
+        };
+        let RData::Cname(target) = cname_rec.rdata.clone() else {
+            self.send_next(ctx, tid);
+            return;
+        };
+        if task.chase_depth >= MAX_CHASE {
+            self.fail_task(ctx, tid);
+            return;
+        }
+        task.chase_depth += 1;
+        task.cname_chain.push(cname_rec.clone());
+        task.current_name = target.clone();
+        task.tried.clear();
+        let backend = task.backend;
+        let qtype = task.key.rtype;
+        // Cache the alias itself so later queries skip the hop.
+        self.cache.insert_on(backend, now, vec![cname_rec]);
+        // The target (or a further alias chain ending in the target) may
+        // already be cached.
+        let (more_chain, final_name, final_records) =
+            self.follow_cached_cnames(backend, now, &target, qtype, TrustLevel::Authoritative);
+        let task = self.tasks.get_mut(&tid).expect("task vanished");
+        task.cname_chain.extend(more_chain);
+        task.current_name = final_name.clone();
+        if let Some(records) = final_records {
+            self.complete_task(ctx, tid, Rcode::NoError, Vec::new(), records);
+            return;
+        }
+        let (servers, zone_depth) = self.initial_servers(now, backend, &final_name);
+        let task = self.tasks.get_mut(&tid).expect("task vanished");
+        task.servers = servers;
+        task.zone_depth = zone_depth;
+        self.send_next(ctx, tid);
+    }
+
+    /// Parks a glueless-referral task until its glue fetch has had a
+    /// moment to complete, then resumes via the task's timer token.
+    fn park_for_glue(&mut self, ctx: &mut Context<'_>, tid: u64) {
+        if let Some(task) = self.tasks.get_mut(&tid) {
+            task.awaiting_glue = true;
+            ctx.set_timer(
+                dike_netsim::SimDuration::from_millis(250),
+                TimerToken(tid),
+            );
+        }
+    }
+
+    fn handle_referral(&mut self, ctx: &mut Context<'_>, tid: u64, _src: Addr, msg: &Message) {
+        let now = ctx.now();
+        let (ns_owner, ns_records): (Name, Vec<Record>) = {
+            let Some(first_ns) = msg
+                .authorities
+                .iter()
+                .find(|r| r.rtype() == RecordType::NS)
+            else {
+                self.send_next(ctx, tid);
+                return;
+            };
+            let owner = first_ns.name.clone();
+            let records = msg
+                .authorities
+                .iter()
+                .filter(|r| r.rtype() == RecordType::NS && r.name == owner)
+                .cloned()
+                .collect();
+            (owner, records)
+        };
+
+        let Some(task) = self.tasks.get_mut(&tid) else {
+            return;
+        };
+        // Bailiwick / progress check: the referred zone must contain the
+        // query name and be strictly deeper than where we already are.
+        if !task.current_name.is_subdomain_of(&ns_owner)
+            || ns_owner.label_count() <= task.zone_depth
+        {
+            self.send_next(ctx, tid);
+            return;
+        }
+        self.stats.referrals += 1;
+
+        // Glue must sit inside the referred zone to be believed.
+        let glue: Vec<Record> = msg
+            .additionals
+            .iter()
+            .filter(|r| {
+                matches!(r.rdata, RData::A(_) | RData::Aaaa(_))
+                    && r.name.is_subdomain_of(&ns_owner)
+            })
+            .cloned()
+            .collect();
+
+        let backend = task.backend;
+        let depth = task.depth;
+        let ns_names: Vec<Name> = ns_records
+            .iter()
+            .filter_map(|r| r.rdata.target_name().cloned())
+            .collect();
+
+        // Cache the delegation and its glue with referral (glue) trust,
+        // so authoritative data the resolver already holds wins
+        // (RFC 2181 §5.4.1, paper Appendix A).
+        self.cache
+            .insert_ranked_on(backend, now, ns_records, TrustLevel::Glue);
+        // Group glue per (owner, type) so each RRset caches coherently.
+        let mut grouped: HashMap<(Name, RecordType), Vec<Record>> = HashMap::new();
+        for g in &glue {
+            grouped
+                .entry((g.name.clone(), g.rtype()))
+                .or_default()
+                .push(g.clone());
+        }
+        for (_, rrset) in grouped {
+            self.cache
+                .insert_ranked_on(backend, now, rrset, TrustLevel::Glue);
+        }
+
+        // New candidate set from the glue.
+        let mut addrs: Vec<Addr> = glue.iter().filter_map(record_addr).collect();
+        addrs.sort();
+        addrs.dedup();
+        let glueless = addrs.is_empty();
+        let task = self.tasks.get_mut(&tid).expect("task vanished");
+        if !glueless {
+            task.servers = addrs;
+            task.zone_depth = ns_owner.label_count();
+            task.tried.clear();
+        }
+        // else: glueless referral — the mandatory infra queries below
+        // fetch the missing NS addresses; the task parks briefly instead
+        // of burning its retry budget re-asking the parent.
+
+        // Infrastructure queries for the NS names. Names the referral
+        // provided no usable glue for MUST be resolved (glueless
+        // referral, e.g. NS names hosted in another zone); names with
+        // glue are re-validated per the software profile (A always when
+        // enabled; AAAA probing is what generates the negative-answer
+        // traffic of Fig. 10). Depth-limited to avoid infra-of-infra
+        // recursion.
+        if depth == 0 {
+            let glued: std::collections::HashSet<&Name> =
+                glue.iter().map(|g| &g.name).collect();
+            let infra: Vec<(Name, RecordType)> = ns_names
+                .iter()
+                .flat_map(|n| {
+                    let mut v = Vec::new();
+                    if self.config.infra_a || !glued.contains(n) {
+                        v.push((n.clone(), RecordType::A));
+                    }
+                    if self.config.infra_aaaa {
+                        v.push((n.clone(), RecordType::AAAA));
+                    }
+                    v
+                })
+                .collect();
+            for (name, rtype) in infra {
+                // Glue-trust data steers resolution but does not satisfy
+                // the infrastructure lookup: real resolvers re-validate
+                // glue against the child zone (hardened glue), which is
+                // what puts A-for-NS / AAAA-for-NS queries on the wire
+                // (Fig. 10).
+                let fresh = self
+                    .cache
+                    .lookup_on_min_trust(backend, now, &name, rtype, TrustLevel::Authoritative)
+                    .is_usable_fresh();
+                if !fresh {
+                    self.start_or_join(ctx, Question::new(name, rtype), backend, None, 1);
+                }
+            }
+        }
+
+        if glueless {
+            self.park_for_glue(ctx, tid);
+        } else {
+            self.send_next(ctx, tid);
+        }
+    }
+}
+
+/// Builds a response to a client query message.
+fn client_response(query: &Message, rcode: Rcode, answers: Vec<Record>) -> Message {
+    let mut resp = Message::response_to(query);
+    resp.recursion_available = true;
+    resp.rcode = rcode;
+    resp.answers = answers;
+    resp
+}
+
+/// Builds a response for a waiter recorded on a task.
+fn waiter_response(
+    w: &Waiter,
+    key: &CacheKey,
+    rcode: Rcode,
+    answers: Vec<Record>,
+) -> Message {
+    let mut resp = Message::query(w.msg_id, key.name.clone(), key.rtype);
+    resp.is_response = true;
+    resp.recursion_available = true;
+    resp.rcode = rcode;
+    resp.answers = answers;
+    resp
+}
+
+fn record_addr(r: &Record) -> Option<Addr> {
+    match &r.rdata {
+        RData::A(v4) => Some(Addr(u32::from(*v4))),
+        _ => None,
+    }
+}
+
+impl RecursiveResolver {
+    /// Dumps backend 0's cache (Appendix A.3's `rndc dumpdb` analogue).
+    pub fn dump_cache(
+        &self,
+        now: SimTime,
+    ) -> Vec<(CacheKey, u32, TrustLevel)> {
+        self.cache.dump_backend(0, now)
+    }
+}
+
+/// Timer token reserved for the periodic cache flush; resolution-task
+/// timers use the task id, which starts at 0 and can never reach this.
+const FLUSH_TOKEN: u64 = u64::MAX;
+
+impl Node for RecursiveResolver {
+    fn as_any(&self) -> Option<&dyn std::any::Any> {
+        Some(self)
+    }
+
+    fn on_start(&mut self, ctx: &mut Context<'_>) {
+        if let Some(interval) = self.config.flush_interval {
+            ctx.set_timer(interval, TimerToken(FLUSH_TOKEN));
+        }
+    }
+
+    fn on_datagram(&mut self, ctx: &mut Context<'_>, src: Addr, msg: &Message, _wire_len: usize) {
+        if msg.is_response {
+            self.handle_upstream_response(ctx, src, msg);
+        } else {
+            self.handle_client_query(ctx, src, msg);
+        }
+    }
+
+    fn on_timer(&mut self, ctx: &mut Context<'_>, token: TimerToken) {
+        if token.0 == FLUSH_TOKEN {
+            self.cache.flush_all();
+            self.failed_until.clear();
+            self.stats.flushes += 1;
+            if let Some(interval) = self.config.flush_interval {
+                ctx.set_timer(interval, TimerToken(FLUSH_TOKEN));
+            }
+            return;
+        }
+        let tid = token.0;
+        let Some(task) = self.tasks.get_mut(&tid) else {
+            return; // task already finished
+        };
+        if task.awaiting_glue {
+            // Resume after a glue-fetch pause; the deeper-delegation
+            // check in send_next picks up any addresses the infra
+            // queries cached meanwhile.
+            task.awaiting_glue = false;
+            self.send_next(ctx, tid);
+            return;
+        }
+        let Some(out) = task.outstanding.take() else {
+            return; // stale timer from a superseded attempt
+        };
+        self.by_msg_id.remove(&out.msg_id);
+        self.selector.record_timeout(out.server);
+        // The first timeout doubles as RFC 8767's client-response timer:
+        // answer waiting clients from stale data if the cache allows it,
+        // then keep resolving in the background.
+        self.serve_stale_to_waiters(ctx, tid);
+        self.send_next(ctx, tid);
+    }
+}

@@ -1,0 +1,68 @@
+//! Resolution task bookkeeping.
+
+use dike_cache::CacheKey;
+use dike_netsim::{Addr, SimTime};
+
+/// A client (or downstream resolver) waiting on a resolution.
+#[derive(Debug, Clone)]
+pub(crate) struct Waiter {
+    /// Where to send the final response.
+    pub client: Addr,
+    /// The message id the client used.
+    pub msg_id: u16,
+    /// The cache backend that handled this client's lookup; the final
+    /// answer is inserted here.
+    pub backend: usize,
+}
+
+/// The upstream query currently in flight for a task.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct Outstanding {
+    /// Our message id on the upstream query.
+    pub msg_id: u16,
+    /// The server we asked.
+    pub server: Addr,
+    /// When we asked (for SRTT samples).
+    pub sent_at: SimTime,
+    /// The retry timer armed for this attempt.
+    pub timer: dike_netsim::TimerId,
+}
+
+/// One in-flight resolution: a question being resolved on behalf of zero
+/// or more waiters (zero for infrastructure queries).
+#[derive(Debug)]
+pub(crate) struct Task {
+    /// The question under resolution (the client's original question;
+    /// CNAME chasing may move the *current* name past it).
+    pub key: CacheKey,
+    /// The name currently being resolved (differs from `key.name` once a
+    /// CNAME has been followed).
+    pub current_name: dike_wire::Name,
+    /// CNAME records followed so far, in order (prefixed to the final
+    /// answer, like real resolvers do).
+    pub cname_chain: Vec<dike_wire::Record>,
+    /// CNAMEs followed; bounded to stop loops.
+    pub chase_depth: u8,
+    /// The backend that owns the resolution (infra answers land here).
+    pub backend: usize,
+    /// Clients waiting for the answer.
+    pub waiters: Vec<Waiter>,
+    /// 0 = client-driven, 1 = infrastructure (NS address) query.
+    /// Infrastructure tasks do not spawn further infrastructure tasks.
+    pub depth: u8,
+    /// Upstream sends so far.
+    pub attempts: u32,
+    /// Servers tried in the current round (reset when the candidate set
+    /// changes after a referral).
+    pub tried: Vec<Addr>,
+    /// Current candidate servers.
+    pub servers: Vec<Addr>,
+    /// Label count of the zone the candidates serve — referral progress
+    /// is "strictly deeper than this".
+    pub zone_depth: usize,
+    /// The in-flight upstream query, if any.
+    pub outstanding: Option<Outstanding>,
+    /// Set while the task is parked waiting for a mandatory glue fetch
+    /// (a glueless referral); a timer resumes it.
+    pub awaiting_glue: bool,
+}

@@ -1,0 +1,235 @@
+//! Hostile-input tests: the resolver must ignore spoofed, mismatched and
+//! out-of-bailiwick responses, and survive garbage without panicking.
+
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+use dike_netsim::{
+    Addr, Context, LatencyModel, LinkParams, LinkTable, Node, SimDuration, Simulator, TimerToken,
+};
+use dike_resolver::{profiles, RecursiveResolver};
+use dike_wire::{Message, MessageBuilder, Name, RData, Rcode, Record, RecordType};
+
+fn name(s: &str) -> Name {
+    Name::parse(s).unwrap()
+}
+
+/// A spoofing attacker: it watches nothing (off-path), it just floods
+/// the resolver with forged responses claiming to answer the victim
+/// name from a *wrong* source address and with guessed ids.
+struct OffPathSpoofer {
+    resolver: Addr,
+    victim: Name,
+}
+
+impl Node for OffPathSpoofer {
+    fn on_start(&mut self, ctx: &mut Context<'_>) {
+        ctx.set_timer(SimDuration::from_millis(500), TimerToken(0));
+    }
+    fn on_datagram(&mut self, _ctx: &mut Context<'_>, _src: Addr, _msg: &Message, _l: usize) {}
+    fn on_timer(&mut self, ctx: &mut Context<'_>, _t: TimerToken) {
+        // Forge a burst of responses with sweeping ids.
+        for id in 0..64u16 {
+            let q = Message::iterative_query(id, self.victim.clone(), RecordType::AAAA);
+            let forged = MessageBuilder::respond_to(&q)
+                .authoritative()
+                .answer(Record::new(
+                    self.victim.clone(),
+                    86_400,
+                    RData::Aaaa(std::net::Ipv6Addr::new(0xdead, 0, 0, 0, 0, 0, 0, 0xbeef)),
+                ))
+                .build();
+            ctx.send(self.resolver, &forged);
+        }
+        ctx.set_timer(SimDuration::from_millis(100), TimerToken(0));
+    }
+}
+
+/// The client under test.
+struct Client {
+    resolver: Addr,
+    victim: Name,
+    answer: Arc<Mutex<Option<RData>>>,
+}
+
+impl Node for Client {
+    fn on_start(&mut self, ctx: &mut Context<'_>) {
+        ctx.set_timer(SimDuration::from_secs(2), TimerToken(0));
+    }
+    fn on_datagram(&mut self, _ctx: &mut Context<'_>, _src: Addr, msg: &Message, _l: usize) {
+        if msg.is_response && msg.rcode == Rcode::NoError {
+            if let Some(r) = msg.answers.first() {
+                *self.answer.lock() = Some(r.rdata.clone());
+            }
+        }
+    }
+    fn on_timer(&mut self, ctx: &mut Context<'_>, _t: TimerToken) {
+        ctx.send(
+            self.resolver,
+            &Message::query(9, self.victim.clone(), RecordType::AAAA),
+        );
+    }
+}
+
+#[test]
+fn off_path_spoofing_is_ignored() {
+    let mut sim = Simulator::new(66);
+    *sim.links_mut() = LinkTable::new(LinkParams {
+        latency: LatencyModel::Fixed(SimDuration::from_millis(8)),
+        loss: 0.0,
+    });
+    let (root, _, _) = dike_experiments::topology::add_hierarchy(&mut sim, 3600);
+    let (_, resolver) = sim.add_node(Box::new(RecursiveResolver::new(
+        profiles::unbound_like(vec![root]),
+    )));
+    let victim = name("77.cachetest.nl");
+    sim.add_node(Box::new(OffPathSpoofer {
+        resolver,
+        victim: victim.clone(),
+    }));
+    let answer = Arc::new(Mutex::new(None));
+    sim.add_node(Box::new(Client {
+        resolver,
+        victim,
+        answer: answer.clone(),
+    }));
+    sim.run_until(SimDuration::from_secs(30).after_zero());
+
+    // The client got the *real* answer (the cachetest payload prefix),
+    // not the attacker's dead:beef record, despite thousands of forgeries.
+    let got = answer.lock().clone().expect("client answered");
+    match got {
+        RData::Aaaa(a) => {
+            assert_eq!(
+                a.segments()[0], 0xfd0f,
+                "answer must carry the genuine zone payload, got {a}"
+            );
+        }
+        other => panic!("expected AAAA, got {other:?}"),
+    }
+}
+
+/// A poisoning authoritative: answers correctly but stuffs an
+/// out-of-bailiwick "extra" NS + glue for a zone it does not own.
+struct PoisoningAuth {
+    victim_zone: Name,
+}
+
+impl Node for PoisoningAuth {
+    fn on_datagram(&mut self, ctx: &mut Context<'_>, src: Addr, msg: &Message, _l: usize) {
+        if msg.is_response {
+            return;
+        }
+        // Answer whatever was asked with a referral that tries to claim
+        // authority over an unrelated zone (classic Kashpureff-style
+        // poisoning).
+        let mut b = MessageBuilder::respond_to(msg);
+        b = b.authority(Record::new(
+            self.victim_zone.clone(),
+            86_400,
+            RData::Ns(name("evil.attacker.example")),
+        ));
+        b = b.additional(Record::new(
+            name("evil.attacker.example"),
+            86_400,
+            RData::A(std::net::Ipv4Addr::new(6, 6, 6, 6)),
+        ));
+        ctx.send(src, &b.build());
+    }
+    fn on_timer(&mut self, _ctx: &mut Context<'_>, _t: TimerToken) {}
+}
+
+#[test]
+fn out_of_bailiwick_referrals_are_rejected() {
+    // The resolver asks the poisoner (configured as its only root) about
+    // a name under cachetest.nl; the poisoner's referral claims authority
+    // over a zone that does NOT contain the query name. The resolver must
+    // not follow it (and must not cache it as a delegation).
+    let mut sim = Simulator::new(67);
+    *sim.links_mut() = LinkTable::new(LinkParams {
+        latency: LatencyModel::Fixed(SimDuration::from_millis(5)),
+        loss: 0.0,
+    });
+    let (_, poisoner) = sim.add_node(Box::new(PoisoningAuth {
+        victim_zone: name("com"), // unrelated to cachetest.nl
+    }));
+    let (resolver_id, resolver) = sim.add_node(Box::new(RecursiveResolver::new(
+        profiles::bind_like(vec![poisoner]),
+    )));
+    let answer = Arc::new(Mutex::new(None));
+    sim.add_node(Box::new(Client {
+        resolver,
+        victim: name("77.cachetest.nl"),
+        answer: answer.clone(),
+    }));
+    sim.run_until(SimDuration::from_secs(60).after_zero());
+
+    // No answer can exist (the poisoner never answers properly), and the
+    // poisoned delegation must not have been followed.
+    assert!(answer.lock().is_none(), "no forged answer accepted");
+    let node = sim.node(resolver_id).unwrap();
+    let r = node
+        .as_any()
+        .unwrap()
+        .downcast_ref::<RecursiveResolver>()
+        .unwrap();
+    assert_eq!(r.stats().referrals, 0, "poisoned referral never followed");
+    // The resolution failed cleanly instead of looping.
+    assert!(r.stats().failures >= 1);
+}
+
+/// Responses whose question section does not match the outstanding query
+/// are dropped even when they come from the right server with the right
+/// id (a confused or malicious server).
+struct WrongQuestionAuth;
+
+impl Node for WrongQuestionAuth {
+    fn on_datagram(&mut self, ctx: &mut Context<'_>, src: Addr, msg: &Message, _l: usize) {
+        if msg.is_response {
+            return;
+        }
+        // Echo the id but answer a *different* question.
+        let mut resp = Message::query(msg.id, name("other.example"), RecordType::A);
+        resp.is_response = true;
+        resp.authoritative = true;
+        resp.answers.push(Record::new(
+            name("other.example"),
+            60,
+            RData::A(std::net::Ipv4Addr::new(6, 6, 6, 6)),
+        ));
+        ctx.send(src, &resp);
+    }
+    fn on_timer(&mut self, _ctx: &mut Context<'_>, _t: TimerToken) {}
+}
+
+#[test]
+fn mismatched_question_is_dropped() {
+    let mut sim = Simulator::new(68);
+    *sim.links_mut() = LinkTable::new(LinkParams {
+        latency: LatencyModel::Fixed(SimDuration::from_millis(5)),
+        loss: 0.0,
+    });
+    let (_, bad_auth) = sim.add_node(Box::new(WrongQuestionAuth));
+    let (resolver_id, resolver) = sim.add_node(Box::new(RecursiveResolver::new(
+        profiles::bind_like(vec![bad_auth]),
+    )));
+    let answer = Arc::new(Mutex::new(None));
+    sim.add_node(Box::new(Client {
+        resolver,
+        victim: name("77.cachetest.nl"),
+        answer: answer.clone(),
+    }));
+    sim.run_until(SimDuration::from_secs(60).after_zero());
+
+    assert!(answer.lock().is_none(), "mismatched answers never accepted");
+    let node = sim.node(resolver_id).unwrap();
+    let r = node
+        .as_any()
+        .unwrap()
+        .downcast_ref::<RecursiveResolver>()
+        .unwrap();
+    // Every attempt timed out (the "response" was discarded), so the
+    // task burned its full retry budget.
+    assert!(r.stats().retries >= 2, "{:?}", r.stats());
+}

@@ -1,0 +1,347 @@
+//! The probe node.
+
+use std::collections::HashMap;
+
+use dike_netsim::{Addr, Context, Node, SimDuration, TimerId, TimerToken};
+use dike_wire::{Message, Name, RecordType};
+use rand::RngExt;
+
+use crate::log::{QueryOutcome, QueryRecord, SharedProbeLog, VpKey};
+
+/// Atlas's DNS query timeout (paper §3.2).
+pub const DEFAULT_TIMEOUT: SimDuration = SimDuration::from_secs(5);
+
+/// Probe configuration.
+#[derive(Debug, Clone)]
+pub struct StubConfig {
+    /// This probe's id; also the first label of the queried name.
+    pub probe_id: u16,
+    /// The local recursive resolvers; each contributes one VP.
+    pub recursives: Vec<Addr>,
+    /// Name to query; defaults to `{probe_id}.cachetest.nl`.
+    pub qname: Name,
+    /// Query type; AAAA in every experiment.
+    pub qtype: RecordType,
+    /// Time of the first round (phase within the experiment).
+    pub first_round_at: SimDuration,
+    /// Spacing between rounds (10 or 20 minutes in the paper).
+    pub round_interval: SimDuration,
+    /// Extra per-round jitter, uniform in `[0, round_jitter)` — Atlas
+    /// spreads each round's queries over several minutes.
+    pub round_jitter: SimDuration,
+    /// Number of rounds to run.
+    pub rounds: u32,
+    /// Per-query timeout.
+    pub timeout: SimDuration,
+}
+
+impl StubConfig {
+    /// A probe with the paper's defaults (AAAA for its unique name, 5 s
+    /// timeout), querying `recursives` every `round_interval` starting at
+    /// `first_round_at`.
+    pub fn new(
+        probe_id: u16,
+        recursives: Vec<Addr>,
+        first_round_at: SimDuration,
+        round_interval: SimDuration,
+        rounds: u32,
+    ) -> Self {
+        let qname = Name::parse(&format!("{probe_id}.cachetest.nl")).expect("probe name");
+        StubConfig {
+            probe_id,
+            recursives,
+            qname,
+            qtype: RecordType::AAAA,
+            first_round_at,
+            round_interval,
+            round_jitter: SimDuration::ZERO,
+            rounds,
+            timeout: DEFAULT_TIMEOUT,
+        }
+    }
+}
+
+/// Timer-token tags (upper bits distinguish round timers from query
+/// timeouts; lower bits carry the payload).
+const TOKEN_ROUND: u64 = 1 << 63;
+
+struct Pending {
+    vp: VpKey,
+    recursive: Addr,
+    round: u32,
+    sent_at: dike_netsim::SimTime,
+    timer: TimerId,
+}
+
+/// The probe node. Sends one query per recursive per round and logs every
+/// outcome into the shared [`crate::ProbeLog`].
+pub struct StubProbe {
+    config: StubConfig,
+    log: SharedProbeLog,
+    pending: HashMap<u16, Pending>,
+    next_id: u16,
+    round: u32,
+}
+
+impl StubProbe {
+    /// A probe writing into `log`.
+    pub fn new(config: StubConfig, log: SharedProbeLog) -> Self {
+        StubProbe {
+            config,
+            log,
+            pending: HashMap::new(),
+            next_id: 1,
+            round: 0,
+        }
+    }
+
+    fn fire_round(&mut self, ctx: &mut Context<'_>) {
+        let round = self.round;
+        self.round += 1;
+        for (i, &recursive) in self.config.recursives.clone().iter().enumerate() {
+            let id = self.next_id;
+            self.next_id = self.next_id.wrapping_add(1).max(1);
+            let msg = Message::query(id, self.config.qname.clone(), self.config.qtype);
+            let timer = ctx.set_timer(self.config.timeout, TimerToken(id as u64));
+            self.pending.insert(
+                id,
+                Pending {
+                    vp: VpKey {
+                        probe: self.config.probe_id,
+                        recursive: i as u8,
+                    },
+                    recursive,
+                    round,
+                    sent_at: ctx.now(),
+                    timer,
+                },
+            );
+            ctx.send(recursive, &msg);
+        }
+        // Schedule the next round.
+        if self.round < self.config.rounds {
+            let jitter = if self.config.round_jitter > SimDuration::ZERO {
+                SimDuration::from_nanos(
+                    ctx.rng()
+                        .random_range(0..self.config.round_jitter.as_nanos().max(1)),
+                )
+            } else {
+                SimDuration::ZERO
+            };
+            ctx.set_timer(self.config.round_interval + jitter, TimerToken(TOKEN_ROUND));
+        }
+    }
+}
+
+impl Node for StubProbe {
+    fn on_start(&mut self, ctx: &mut Context<'_>) {
+        if self.config.rounds == 0 || self.config.recursives.is_empty() {
+            return;
+        }
+        ctx.set_timer(self.config.first_round_at, TimerToken(TOKEN_ROUND));
+    }
+
+    fn on_datagram(&mut self, ctx: &mut Context<'_>, src: Addr, msg: &Message, _wire_len: usize) {
+        if !msg.is_response {
+            return;
+        }
+        let Some(pending) = self.pending.remove(&msg.id) else {
+            return; // late answer after timeout: Atlas reports no answer
+        };
+        if pending.recursive != src {
+            // Answer from the wrong resolver: put it back and ignore.
+            self.pending.insert(msg.id, pending);
+            return;
+        }
+        ctx.cancel_timer(pending.timer);
+        let aaaa = msg.answers.iter().find_map(|r| match &r.rdata {
+            dike_wire::RData::Aaaa(a) => Some((*a, r.ttl)),
+            _ => None,
+        });
+        let outcome = QueryOutcome::Answer {
+            rcode: msg.rcode,
+            aaaa: aaaa.map(|(a, _)| a),
+            ttl: aaaa.map(|(_, t)| t),
+        };
+        self.log.lock().records.push(QueryRecord {
+            vp: pending.vp,
+            recursive: pending.recursive,
+            round: pending.round,
+            sent_at: pending.sent_at,
+            outcome,
+            rtt: Some(ctx.now() - pending.sent_at),
+        });
+    }
+
+    fn on_timer(&mut self, ctx: &mut Context<'_>, token: TimerToken) {
+        if token.0 & TOKEN_ROUND != 0 {
+            self.fire_round(ctx);
+            return;
+        }
+        let id = token.0 as u16;
+        let Some(pending) = self.pending.remove(&id) else {
+            return; // answered already
+        };
+        self.log.lock().records.push(QueryRecord {
+            vp: pending.vp,
+            recursive: pending.recursive,
+            round: pending.round,
+            sent_at: pending.sent_at,
+            outcome: QueryOutcome::Timeout,
+            rtt: None,
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::log::new_shared_log;
+    use dike_netsim::{LatencyModel, LinkParams, LinkTable, Simulator};
+    use dike_wire::Rcode;
+
+    /// An answering resolver stand-in: replies NOERROR with a AAAA.
+    struct FakeResolver;
+
+    impl Node for FakeResolver {
+        fn on_datagram(
+            &mut self,
+            ctx: &mut Context<'_>,
+            src: Addr,
+            msg: &Message,
+            _wire_len: usize,
+        ) {
+            let mut resp = Message::response_to(msg);
+            resp.recursion_available = true;
+            resp.answers.push(dike_wire::Record::new(
+                msg.question().unwrap().name.clone(),
+                60,
+                dike_wire::RData::Aaaa(std::net::Ipv6Addr::LOCALHOST),
+            ));
+            ctx.send(src, &resp);
+        }
+        fn on_timer(&mut self, _ctx: &mut Context<'_>, _token: TimerToken) {}
+    }
+
+    fn fixed(sim: &mut Simulator, ms: u64) {
+        *sim.links_mut() = LinkTable::new(LinkParams {
+            latency: LatencyModel::Fixed(SimDuration::from_millis(ms)),
+            loss: 0.0,
+        });
+    }
+
+    #[test]
+    fn probe_queries_each_recursive_each_round() {
+        let mut sim = Simulator::new(1);
+        fixed(&mut sim, 5);
+        let (_, r1) = sim.add_node(Box::new(FakeResolver));
+        let (_, r2) = sim.add_node(Box::new(FakeResolver));
+        let log = new_shared_log();
+        let cfg = StubConfig::new(
+            1414,
+            vec![r1, r2],
+            SimDuration::from_secs(1),
+            SimDuration::from_secs(60),
+            3,
+        );
+        sim.add_node(Box::new(StubProbe::new(cfg, log.clone())));
+        sim.run_until(SimDuration::from_secs(300).after_zero());
+
+        let log = log.lock();
+        // 2 recursives × 3 rounds.
+        assert_eq!(log.records.len(), 6);
+        assert_eq!(log.ok_count(), 6);
+        assert_eq!(log.vp_count(), 2);
+        // Rounds are numbered and every record has an RTT of ~10 ms.
+        for r in &log.records {
+            assert!(r.round < 3);
+            let rtt = r.rtt.unwrap();
+            assert_eq!(rtt.as_millis(), 10);
+        }
+    }
+
+    #[test]
+    fn unanswered_queries_time_out_after_5s() {
+        let mut sim = Simulator::new(2);
+        fixed(&mut sim, 5);
+        let (_, r1) = sim.add_node(Box::new(FakeResolver));
+        sim.links_mut().set_ingress_loss(r1, 1.0); // blackhole the resolver
+        let log = new_shared_log();
+        let cfg = StubConfig::new(
+            7,
+            vec![r1],
+            SimDuration::from_secs(1),
+            SimDuration::from_secs(60),
+            2,
+        );
+        sim.add_node(Box::new(StubProbe::new(cfg, log.clone())));
+        sim.run_until(SimDuration::from_secs(200).after_zero());
+
+        let log = log.lock();
+        assert_eq!(log.records.len(), 2);
+        assert_eq!(log.timeout_count(), 2);
+        // Timeout records carry the round's send time but no RTT.
+        assert!(log.records.iter().all(|r| r.rtt.is_none()));
+    }
+
+    #[test]
+    fn servfail_answers_are_logged_as_servfail() {
+        struct FailingResolver;
+        impl Node for FailingResolver {
+            fn on_datagram(
+                &mut self,
+                ctx: &mut Context<'_>,
+                src: Addr,
+                msg: &Message,
+                _wire_len: usize,
+            ) {
+                ctx.send(src, &Message::error_response(msg, Rcode::ServFail));
+            }
+            fn on_timer(&mut self, _ctx: &mut Context<'_>, _token: TimerToken) {}
+        }
+        let mut sim = Simulator::new(3);
+        fixed(&mut sim, 5);
+        let (_, r1) = sim.add_node(Box::new(FailingResolver));
+        let log = new_shared_log();
+        let cfg = StubConfig::new(
+            9,
+            vec![r1],
+            SimDuration::from_secs(1),
+            SimDuration::from_secs(60),
+            1,
+        );
+        sim.add_node(Box::new(StubProbe::new(cfg, log.clone())));
+        sim.run_until(SimDuration::from_secs(60).after_zero());
+        assert_eq!(log.lock().servfail_count(), 1);
+    }
+
+    #[test]
+    fn jitter_spreads_round_times() {
+        let mut sim = Simulator::new(4);
+        fixed(&mut sim, 5);
+        let (_, r1) = sim.add_node(Box::new(FakeResolver));
+        let log = new_shared_log();
+        let mut cfg = StubConfig::new(
+            11,
+            vec![r1],
+            SimDuration::from_secs(1),
+            SimDuration::from_mins(10),
+            5,
+        );
+        cfg.round_jitter = SimDuration::from_mins(5);
+        sim.add_node(Box::new(StubProbe::new(cfg, log.clone())));
+        sim.run_until(SimDuration::from_mins(90).after_zero());
+
+        let log = log.lock();
+        assert_eq!(log.records.len(), 5);
+        // With jitter, inter-round gaps differ from the base interval.
+        let mut gaps = Vec::new();
+        for w in log.records.windows(2) {
+            gaps.push(w[1].sent_at.as_nanos() - w[0].sent_at.as_nanos());
+        }
+        assert!(
+            gaps.iter().any(|&g| g != gaps[0]),
+            "jittered gaps should not all be identical: {gaps:?}"
+        );
+    }
+}

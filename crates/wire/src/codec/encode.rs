@@ -1,0 +1,282 @@
+//! Message encoder with RFC 1035 §4.1.4 name compression.
+
+use std::collections::HashMap;
+
+use bytes::{BufMut, BytesMut};
+
+use super::error::CodecError;
+use crate::message::{Message, Question};
+use crate::name::Name;
+use crate::rdata::RData;
+use crate::record::Record;
+
+/// Offsets above this cannot be expressed in a 14-bit compression pointer.
+const MAX_POINTER_TARGET: usize = 0x3fff;
+
+/// Encodes a message into wire format.
+pub fn encode(msg: &Message) -> Result<Vec<u8>, CodecError> {
+    let mut enc = Encoder::new();
+    enc.message(msg)?;
+    let out = enc.buf.to_vec();
+    if out.len() > u16::MAX as usize {
+        return Err(CodecError::MessageTooLong(out.len()));
+    }
+    Ok(out)
+}
+
+/// The encoded size of `msg`, computed by encoding it. Exposed so traffic
+/// accounting can size datagrams without holding onto the buffer.
+pub fn encoded_len(msg: &Message) -> Result<usize, CodecError> {
+    encode(msg).map(|b| b.len())
+}
+
+struct Encoder {
+    buf: BytesMut,
+    /// Maps a name suffix (as its label sequence, lowercase) to the offset
+    /// where it was first written.
+    offsets: HashMap<Vec<u8>, usize>,
+}
+
+impl Encoder {
+    fn new() -> Self {
+        Encoder {
+            buf: BytesMut::with_capacity(512),
+            offsets: HashMap::new(),
+        }
+    }
+
+    fn message(&mut self, msg: &Message) -> Result<(), CodecError> {
+        self.header(msg);
+        for q in &msg.questions {
+            self.question(q)?;
+        }
+        for r in &msg.answers {
+            self.record(r)?;
+        }
+        for r in &msg.authorities {
+            self.record(r)?;
+        }
+        for r in &msg.additionals {
+            self.record(r)?;
+        }
+        Ok(())
+    }
+
+    fn header(&mut self, msg: &Message) {
+        self.buf.put_u16(msg.id);
+        let mut flags: u16 = 0;
+        if msg.is_response {
+            flags |= 1 << 15;
+        }
+        flags |= (msg.opcode.to_u8() as u16) << 11;
+        if msg.authoritative {
+            flags |= 1 << 10;
+        }
+        if msg.truncated {
+            flags |= 1 << 9;
+        }
+        if msg.recursion_desired {
+            flags |= 1 << 8;
+        }
+        if msg.recursion_available {
+            flags |= 1 << 7;
+        }
+        if msg.authentic_data {
+            flags |= 1 << 5;
+        }
+        if msg.checking_disabled {
+            flags |= 1 << 4;
+        }
+        flags |= msg.rcode.to_u8() as u16;
+        self.buf.put_u16(flags);
+        self.buf.put_u16(msg.questions.len() as u16);
+        self.buf.put_u16(msg.answers.len() as u16);
+        self.buf.put_u16(msg.authorities.len() as u16);
+        self.buf.put_u16(msg.additionals.len() as u16);
+    }
+
+    fn question(&mut self, q: &Question) -> Result<(), CodecError> {
+        self.name(&q.name)?;
+        self.buf.put_u16(q.qtype.to_u16());
+        self.buf.put_u16(q.qclass.to_u16());
+        Ok(())
+    }
+
+    fn record(&mut self, r: &Record) -> Result<(), CodecError> {
+        self.name(&r.name)?;
+        self.buf.put_u16(r.rdata.record_type().to_u16());
+        self.buf.put_u16(r.class.to_u16());
+        self.buf.put_u32(r.ttl);
+        // Reserve RDLENGTH, encode RDATA, then patch the length in.
+        let len_pos = self.buf.len();
+        self.buf.put_u16(0);
+        let start = self.buf.len();
+        self.rdata(&r.rdata)?;
+        let rdlen = self.buf.len() - start;
+        if rdlen > u16::MAX as usize {
+            return Err(CodecError::MessageTooLong(rdlen));
+        }
+        self.buf[len_pos..len_pos + 2].copy_from_slice(&(rdlen as u16).to_be_bytes());
+        Ok(())
+    }
+
+    fn rdata(&mut self, rdata: &RData) -> Result<(), CodecError> {
+        match rdata {
+            RData::A(a) => self.buf.put_slice(&a.octets()),
+            RData::Aaaa(a) => self.buf.put_slice(&a.octets()),
+            // Names inside RDATA are compressible for the types RFC 1035
+            // defines as using compressed names (NS, CNAME, PTR, SOA, MX).
+            RData::Ns(n) | RData::Cname(n) | RData::Ptr(n) => self.name(n)?,
+            RData::Soa(soa) => {
+                self.name(&soa.mname)?;
+                self.name(&soa.rname)?;
+                self.buf.put_u32(soa.serial);
+                self.buf.put_u32(soa.refresh);
+                self.buf.put_u32(soa.retry);
+                self.buf.put_u32(soa.expire);
+                self.buf.put_u32(soa.minimum);
+            }
+            RData::Mx {
+                preference,
+                exchange,
+            } => {
+                self.buf.put_u16(*preference);
+                self.name(exchange)?;
+            }
+            RData::Txt(strings) => {
+                for s in strings {
+                    if s.len() > 255 {
+                        return Err(CodecError::CharStringTooLong(s.len()));
+                    }
+                    self.buf.put_u8(s.len() as u8);
+                    self.buf.put_slice(s);
+                }
+            }
+            RData::Srv {
+                priority,
+                weight,
+                port,
+                target,
+            } => {
+                self.buf.put_u16(*priority);
+                self.buf.put_u16(*weight);
+                self.buf.put_u16(*port);
+                // RFC 2782: the target is NOT compressed.
+                self.name_uncompressed(target);
+            }
+            RData::Dnskey {
+                flags,
+                protocol,
+                algorithm,
+                key,
+            } => {
+                self.buf.put_u16(*flags);
+                self.buf.put_u8(*protocol);
+                self.buf.put_u8(*algorithm);
+                self.buf.put_slice(key);
+            }
+            RData::Ds {
+                key_tag,
+                algorithm,
+                digest_type,
+                digest,
+            } => {
+                self.buf.put_u16(*key_tag);
+                self.buf.put_u8(*algorithm);
+                self.buf.put_u8(*digest_type);
+                self.buf.put_slice(digest);
+            }
+            RData::Opt(bytes) => self.buf.put_slice(bytes),
+            RData::Unknown { data, .. } => self.buf.put_slice(data),
+        }
+        Ok(())
+    }
+
+    /// Writes `name` without compression (types whose RDATA names must
+    /// not be compressed, per RFC 3597's reading of RFC 2782 et al.).
+    fn name_uncompressed(&mut self, name: &Name) {
+        for label in name.labels() {
+            self.buf.put_u8(label.len() as u8);
+            self.buf.put_slice(label.as_bytes());
+        }
+        self.buf.put_u8(0);
+    }
+
+    /// Writes `name`, compressing against previously written suffixes: the
+    /// longest already-seen suffix is replaced by a pointer, and every new
+    /// suffix written here is registered for later reuse.
+    fn name(&mut self, name: &Name) -> Result<(), CodecError> {
+        let labels = name.labels();
+        for (skip, label) in labels.iter().enumerate() {
+            let key = suffix_key(name, skip);
+            if let Some(&off) = self.offsets.get(&key) {
+                self.buf.put_u16(0xc000 | off as u16);
+                return Ok(());
+            }
+            // Register this suffix at the current position (only if the
+            // offset is still pointer-expressible).
+            let here = self.buf.len();
+            if here <= MAX_POINTER_TARGET {
+                self.offsets.insert(key, here);
+            }
+            self.buf.put_u8(label.len() as u8);
+            self.buf.put_slice(label.as_bytes());
+        }
+        self.buf.put_u8(0);
+        Ok(())
+    }
+}
+
+/// Canonical key for the suffix of `name` starting at label `skip`:
+/// length-prefixed lowercase labels, matching wire form.
+fn suffix_key(name: &Name, skip: usize) -> Vec<u8> {
+    let mut key = Vec::new();
+    for label in &name.labels()[skip..] {
+        key.push(label.len() as u8);
+        key.extend_from_slice(label.as_bytes());
+    }
+    key
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Name, RecordType};
+
+    #[test]
+    fn header_layout_is_exact() {
+        let m = Message::query(0xabcd, Name::root(), RecordType::A);
+        let bytes = encode(&m).unwrap();
+        assert_eq!(&bytes[0..2], &[0xab, 0xcd]);
+        // RD bit set, everything else clear: flags = 0x0100.
+        assert_eq!(&bytes[2..4], &[0x01, 0x00]);
+        // QDCOUNT=1, others 0.
+        assert_eq!(&bytes[4..12], &[0, 1, 0, 0, 0, 0, 0, 0]);
+        // Root name is a single zero octet, then qtype/qclass.
+        assert_eq!(&bytes[12..], &[0, 0, 1, 0, 1]);
+    }
+
+    #[test]
+    fn second_occurrence_becomes_pointer() {
+        let mut enc = Encoder::new();
+        enc.buf.put_slice(&[0u8; 12]); // fake header so offsets are realistic
+        let n = Name::parse("cachetest.nl").unwrap();
+        enc.name(&n).unwrap();
+        let first_len = enc.buf.len();
+        enc.name(&n).unwrap();
+        // The second write must be exactly one 2-octet pointer.
+        assert_eq!(enc.buf.len(), first_len + 2);
+        assert_eq!(enc.buf[first_len] & 0xc0, 0xc0);
+    }
+
+    #[test]
+    fn partial_suffix_is_reused() {
+        let mut enc = Encoder::new();
+        enc.buf.put_slice(&[0u8; 12]);
+        enc.name(&Name::parse("ns1.cachetest.nl").unwrap()).unwrap();
+        let before = enc.buf.len();
+        enc.name(&Name::parse("ns2.cachetest.nl").unwrap()).unwrap();
+        // "ns2" label (4 octets) + pointer (2) = 6.
+        assert_eq!(enc.buf.len(), before + 6);
+    }
+}

@@ -1,0 +1,58 @@
+//! Codec error type.
+
+use std::fmt;
+
+use crate::name::NameError;
+
+/// Errors raised while encoding or decoding a message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CodecError {
+    /// Input ended before the structure it was parsing did.
+    Truncated,
+    /// A compression pointer pointed at or past its own position.
+    BadPointer(usize),
+    /// Compression pointers formed a loop (or exceeded the pointer budget).
+    CompressionLoop,
+    /// A name embedded in the message violated name limits.
+    Name(NameError),
+    /// An RDATA section's declared length disagreed with its content.
+    RdataLength {
+        /// Declared RDLENGTH.
+        declared: usize,
+        /// Octets actually consumed.
+        consumed: usize,
+    },
+    /// A TXT character-string exceeded 255 octets.
+    CharStringTooLong(usize),
+    /// The message would exceed the 64 KiB DNS message limit.
+    MessageTooLong(usize),
+}
+
+impl fmt::Display for CodecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CodecError::Truncated => write!(f, "message truncated"),
+            CodecError::BadPointer(off) => write!(f, "bad compression pointer to offset {off}"),
+            CodecError::CompressionLoop => write!(f, "compression pointer loop"),
+            CodecError::Name(e) => write!(f, "bad name: {e}"),
+            CodecError::RdataLength { declared, consumed } => write!(
+                f,
+                "rdata length mismatch: declared {declared}, consumed {consumed}"
+            ),
+            CodecError::CharStringTooLong(n) => {
+                write!(f, "character-string of {n} octets exceeds 255")
+            }
+            CodecError::MessageTooLong(n) => {
+                write!(f, "message of {n} octets exceeds 65535")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CodecError {}
+
+impl From<NameError> for CodecError {
+    fn from(e: NameError) -> Self {
+        CodecError::Name(e)
+    }
+}

@@ -1,0 +1,366 @@
+//! Domain names.
+//!
+//! A [`Name`] is a sequence of labels stored in canonical lowercase. DNS
+//! names compare case-insensitively (RFC 1035 §2.3.3); normalizing at
+//! construction keeps comparison, hashing and cache lookups cheap.
+
+use std::fmt;
+use std::str::FromStr;
+
+use serde::{Deserialize, Serialize};
+
+/// Maximum length of a single label, per RFC 1035 §2.3.4.
+pub const MAX_LABEL_LEN: usize = 63;
+/// Maximum length of a whole name on the wire (including length octets and
+/// the root's zero octet), per RFC 1035 §2.3.4.
+pub const MAX_NAME_LEN: usize = 255;
+
+/// Errors produced when constructing a [`Name`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum NameError {
+    /// A label was empty (e.g. `a..b`) somewhere other than the root.
+    EmptyLabel,
+    /// A label exceeded [`MAX_LABEL_LEN`] octets.
+    LabelTooLong(usize),
+    /// The whole name exceeded [`MAX_NAME_LEN`] octets in wire form.
+    NameTooLong(usize),
+    /// A label contained a byte we refuse to carry (control characters).
+    InvalidByte(u8),
+}
+
+impl fmt::Display for NameError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NameError::EmptyLabel => write!(f, "empty label"),
+            NameError::LabelTooLong(n) => write!(f, "label of {n} octets exceeds 63"),
+            NameError::NameTooLong(n) => write!(f, "name of {n} octets exceeds 255"),
+            NameError::InvalidByte(b) => write!(f, "invalid byte {b:#04x} in label"),
+        }
+    }
+}
+
+impl std::error::Error for NameError {}
+
+/// One label of a domain name, stored lowercase.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct Label(Vec<u8>);
+
+impl Label {
+    /// Creates a label from raw bytes, lowercasing ASCII letters.
+    pub fn new(bytes: &[u8]) -> Result<Self, NameError> {
+        if bytes.is_empty() {
+            return Err(NameError::EmptyLabel);
+        }
+        if bytes.len() > MAX_LABEL_LEN {
+            return Err(NameError::LabelTooLong(bytes.len()));
+        }
+        for &b in bytes {
+            if b < 0x21 || b == 0x7f {
+                return Err(NameError::InvalidByte(b));
+            }
+        }
+        Ok(Label(bytes.iter().map(|b| b.to_ascii_lowercase()).collect()))
+    }
+
+    /// The label's bytes (canonical lowercase).
+    pub fn as_bytes(&self) -> &[u8] {
+        &self.0
+    }
+
+    /// The label's length in octets, excluding the wire length octet.
+    pub fn len(&self) -> usize {
+        self.0.len()
+    }
+
+    /// Labels are never empty; this exists for clippy's sake.
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+}
+
+impl fmt::Display for Label {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for &b in &self.0 {
+            match b {
+                b'.' | b'\\' => write!(f, "\\{}", b as char)?,
+                0x21..=0x7e => write!(f, "{}", b as char)?,
+                _ => write!(f, "\\{b:03}")?,
+            }
+        }
+        Ok(())
+    }
+}
+
+/// A fully-qualified domain name.
+///
+/// The root is the empty sequence of labels. `Name` is ordered in canonical
+/// DNS order (reversed label sequence), so `a.example.nl < b.example.nl`
+/// and both sort under `example.nl`.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Name {
+    labels: Vec<Label>,
+}
+
+impl Name {
+    /// The root name (`.`).
+    pub fn root() -> Self {
+        Name { labels: Vec::new() }
+    }
+
+    /// Parses a name from presentation format. A trailing dot is allowed
+    /// and ignored; `.` and the empty string denote the root.
+    pub fn parse(s: &str) -> Result<Self, NameError> {
+        if s.is_empty() || s == "." {
+            return Ok(Name::root());
+        }
+        let s = s.strip_suffix('.').unwrap_or(s);
+        let mut labels = Vec::new();
+        for part in s.split('.') {
+            labels.push(Label::new(part.as_bytes())?);
+        }
+        let name = Name { labels };
+        let wire = name.wire_len();
+        if wire > MAX_NAME_LEN {
+            return Err(NameError::NameTooLong(wire));
+        }
+        Ok(name)
+    }
+
+    /// Builds a name from pre-validated labels (used by the decoder).
+    pub fn from_labels(labels: Vec<Label>) -> Result<Self, NameError> {
+        let name = Name { labels };
+        let wire = name.wire_len();
+        if wire > MAX_NAME_LEN {
+            return Err(NameError::NameTooLong(wire));
+        }
+        Ok(name)
+    }
+
+    /// The labels, leftmost (most specific) first.
+    pub fn labels(&self) -> &[Label] {
+        &self.labels
+    }
+
+    /// Number of labels. The root has zero.
+    pub fn label_count(&self) -> usize {
+        self.labels.len()
+    }
+
+    /// True for the root name.
+    pub fn is_root(&self) -> bool {
+        self.labels.is_empty()
+    }
+
+    /// The name's length in wire format: one length octet per label plus
+    /// its bytes, plus the terminating zero octet.
+    pub fn wire_len(&self) -> usize {
+        self.labels.iter().map(|l| l.len() + 1).sum::<usize>() + 1
+    }
+
+    /// Prepends a label: `child("www")` on `example.nl` gives
+    /// `www.example.nl`.
+    pub fn child(&self, label: &str) -> Result<Self, NameError> {
+        let mut labels = Vec::with_capacity(self.labels.len() + 1);
+        labels.push(Label::new(label.as_bytes())?);
+        labels.extend(self.labels.iter().cloned());
+        Name::from_labels(labels)
+    }
+
+    /// The parent zone cut: `www.example.nl` → `example.nl`; the root has
+    /// no parent.
+    pub fn parent(&self) -> Option<Self> {
+        if self.labels.is_empty() {
+            None
+        } else {
+            Some(Name {
+                labels: self.labels[1..].to_vec(),
+            })
+        }
+    }
+
+    /// True if `self` equals `ancestor` or sits below it in the tree.
+    /// Every name is below the root.
+    pub fn is_subdomain_of(&self, ancestor: &Name) -> bool {
+        let n = ancestor.labels.len();
+        if self.labels.len() < n {
+            return false;
+        }
+        self.labels[self.labels.len() - n..] == ancestor.labels[..]
+    }
+
+    /// Number of labels shared with `other`, counted from the root.
+    pub fn common_suffix_len(&self, other: &Name) -> usize {
+        self.labels
+            .iter()
+            .rev()
+            .zip(other.labels.iter().rev())
+            .take_while(|(a, b)| a == b)
+            .count()
+    }
+
+    /// Iterator over `self` and each successive parent, ending at the root.
+    /// `www.example.nl` yields `www.example.nl`, `example.nl`, `nl`, `.`.
+    pub fn self_and_ancestors(&self) -> impl Iterator<Item = Name> + '_ {
+        (0..=self.labels.len()).map(move |skip| Name {
+            labels: self.labels[skip..].to_vec(),
+        })
+    }
+}
+
+impl fmt::Display for Name {
+    /// The root prints as `.`, everything else as dotted labels without a
+    /// trailing dot.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.labels.is_empty() {
+            return write!(f, ".");
+        }
+        for (i, label) in self.labels.iter().enumerate() {
+            if i > 0 {
+                write!(f, ".")?;
+            }
+            write!(f, "{label}")?;
+        }
+        Ok(())
+    }
+}
+
+impl FromStr for Name {
+    type Err = NameError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        Name::parse(s)
+    }
+}
+
+impl PartialOrd for Name {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Name {
+    /// Canonical DNS ordering (RFC 4034 §6.1): compare label sequences
+    /// right-to-left.
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.labels.iter().rev().cmp(other.labels.iter().rev())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_and_display_round_trip() {
+        for s in ["cachetest.nl", "ns1.dns.nl", "a.b.c.d.e", "nl"] {
+            let n = Name::parse(s).unwrap();
+            assert_eq!(n.to_string(), s);
+        }
+    }
+
+    #[test]
+    fn root_parses_from_dot_and_empty() {
+        assert!(Name::parse(".").unwrap().is_root());
+        assert!(Name::parse("").unwrap().is_root());
+        assert_eq!(Name::root().to_string(), ".");
+    }
+
+    #[test]
+    fn trailing_dot_is_ignored() {
+        assert_eq!(
+            Name::parse("example.nl.").unwrap(),
+            Name::parse("example.nl").unwrap()
+        );
+    }
+
+    #[test]
+    fn names_compare_case_insensitively() {
+        let a = Name::parse("WWW.Example.NL").unwrap();
+        let b = Name::parse("www.example.nl").unwrap();
+        assert_eq!(a, b);
+        assert_eq!(a.to_string(), "www.example.nl");
+    }
+
+    #[test]
+    fn empty_label_rejected() {
+        assert_eq!(Name::parse("a..b"), Err(NameError::EmptyLabel));
+    }
+
+    #[test]
+    fn long_label_rejected() {
+        let label = "x".repeat(64);
+        assert_eq!(
+            Name::parse(&label),
+            Err(NameError::LabelTooLong(64)),
+            "64-octet label must be rejected"
+        );
+        assert!(Name::parse(&"x".repeat(63)).is_ok());
+    }
+
+    #[test]
+    fn long_name_rejected() {
+        // Four 63-octet labels: wire length 4*(63+1)+1 = 257 > 255.
+        let name = [
+            "a".repeat(63),
+            "b".repeat(63),
+            "c".repeat(63),
+            "d".repeat(63),
+        ]
+        .join(".");
+        assert!(matches!(Name::parse(&name), Err(NameError::NameTooLong(_))));
+    }
+
+    #[test]
+    fn subdomain_relations() {
+        let zone = Name::parse("cachetest.nl").unwrap();
+        let host = Name::parse("1414.cachetest.nl").unwrap();
+        let other = Name::parse("cachetest.net").unwrap();
+        assert!(host.is_subdomain_of(&zone));
+        assert!(zone.is_subdomain_of(&zone));
+        assert!(!zone.is_subdomain_of(&host));
+        assert!(!other.is_subdomain_of(&zone));
+        assert!(host.is_subdomain_of(&Name::root()));
+    }
+
+    #[test]
+    fn parent_and_child() {
+        let zone = Name::parse("example.nl").unwrap();
+        assert_eq!(zone.child("www").unwrap().to_string(), "www.example.nl");
+        assert_eq!(zone.parent().unwrap().to_string(), "nl");
+        assert_eq!(Name::root().parent(), None);
+    }
+
+    #[test]
+    fn ancestors_walk_to_root() {
+        let n = Name::parse("a.b.nl").unwrap();
+        let chain: Vec<String> = n.self_and_ancestors().map(|x| x.to_string()).collect();
+        assert_eq!(chain, vec!["a.b.nl", "b.nl", "nl", "."]);
+    }
+
+    #[test]
+    fn canonical_ordering_groups_by_suffix() {
+        let mut names = [Name::parse("b.nl").unwrap(),
+            Name::parse("a.net").unwrap(),
+            Name::parse("a.nl").unwrap(),
+            Name::parse("nl").unwrap()];
+        names.sort();
+        let strs: Vec<String> = names.iter().map(|n| n.to_string()).collect();
+        assert_eq!(strs, vec!["a.net", "nl", "a.nl", "b.nl"]);
+    }
+
+    #[test]
+    fn common_suffix_len_counts_shared_labels() {
+        let a = Name::parse("x.example.nl").unwrap();
+        let b = Name::parse("y.example.nl").unwrap();
+        assert_eq!(a.common_suffix_len(&b), 2);
+        assert_eq!(a.common_suffix_len(&a), 3);
+        assert_eq!(a.common_suffix_len(&Name::root()), 0);
+    }
+
+    #[test]
+    fn wire_len_matches_definition() {
+        assert_eq!(Name::root().wire_len(), 1);
+        assert_eq!(Name::parse("nl").unwrap().wire_len(), 4); // 1+2+1
+        assert_eq!(Name::parse("cachetest.nl").unwrap().wire_len(), 14);
+    }
+}

@@ -1,0 +1,168 @@
+//! Property tests: the codec must round-trip every message the generators
+//! can produce, and must never panic on arbitrary input bytes.
+
+use std::net::{Ipv4Addr, Ipv6Addr};
+
+use proptest::prelude::*;
+
+use dike_wire::{
+    codec, Message, Name, Opcode, Question, RData, Rcode, Record, RecordClass, RecordType,
+    SoaData,
+};
+
+fn arb_label() -> impl Strategy<Value = String> {
+    proptest::string::string_regex("[a-z0-9][a-z0-9-]{0,20}").unwrap()
+}
+
+fn arb_name() -> impl Strategy<Value = Name> {
+    proptest::collection::vec(arb_label(), 0..5)
+        .prop_map(|labels| Name::parse(&labels.join(".")).unwrap())
+}
+
+fn arb_rdata() -> impl Strategy<Value = RData> {
+    prop_oneof![
+        any::<[u8; 4]>().prop_map(|o| RData::A(Ipv4Addr::from(o))),
+        any::<[u8; 16]>().prop_map(|o| RData::Aaaa(Ipv6Addr::from(o))),
+        arb_name().prop_map(RData::Ns),
+        arb_name().prop_map(RData::Cname),
+        arb_name().prop_map(RData::Ptr),
+        (arb_name(), arb_name(), any::<u32>(), any::<u32>()).prop_map(
+            |(mname, rname, serial, t)| RData::Soa(SoaData {
+                mname,
+                rname,
+                serial,
+                refresh: t,
+                retry: t / 2,
+                expire: t.saturating_mul(2),
+                minimum: t % 86400,
+            })
+        ),
+        (any::<u16>(), arb_name()).prop_map(|(preference, exchange)| RData::Mx {
+            preference,
+            exchange
+        }),
+        proptest::collection::vec(proptest::collection::vec(any::<u8>(), 0..40), 0..4)
+            .prop_map(RData::Txt),
+        (any::<u16>(), any::<u8>(), any::<u8>(), proptest::collection::vec(any::<u8>(), 0..40))
+            .prop_map(|(key_tag, algorithm, digest_type, digest)| RData::Ds {
+                key_tag,
+                algorithm,
+                digest_type,
+                digest
+            }),
+        (any::<u16>(), any::<u16>(), any::<u16>(), arb_name()).prop_map(
+            |(priority, weight, port, target)| RData::Srv {
+                priority,
+                weight,
+                port,
+                target
+            }
+        ),
+        (any::<u16>(), any::<u8>(), proptest::collection::vec(any::<u8>(), 0..48)).prop_map(
+            |(flags, algorithm, key)| RData::Dnskey {
+                flags,
+                protocol: 3,
+                algorithm,
+                key
+            }
+        ),
+        (600u16..9000u16, proptest::collection::vec(any::<u8>(), 0..30)).prop_map(
+            |(rtype, data)| RData::Unknown { rtype, data }
+        ),
+    ]
+}
+
+fn arb_record() -> impl Strategy<Value = Record> {
+    (arb_name(), any::<u32>(), arb_rdata()).prop_map(|(name, ttl, rdata)| Record {
+        name,
+        class: RecordClass::IN,
+        ttl,
+        rdata,
+    })
+}
+
+fn arb_message() -> impl Strategy<Value = Message> {
+    (
+        any::<u16>(),
+        any::<bool>(),
+        0u8..3,
+        any::<bool>(),
+        proptest::collection::vec(arb_name(), 0..2),
+        proptest::collection::vec(arb_record(), 0..4),
+        proptest::collection::vec(arb_record(), 0..3),
+        proptest::collection::vec(arb_record(), 0..3),
+    )
+        .prop_map(
+            |(id, is_response, rcode, aa, qnames, answers, authorities, additionals)| Message {
+                id,
+                is_response,
+                opcode: Opcode::Query,
+                authoritative: aa,
+                truncated: false,
+                recursion_desired: !is_response,
+                recursion_available: is_response,
+                authentic_data: false,
+                checking_disabled: false,
+                rcode: Rcode::from_u8(rcode),
+                questions: qnames
+                    .into_iter()
+                    .map(|n| Question::new(n, RecordType::AAAA))
+                    .collect(),
+                answers,
+                authorities,
+                additionals,
+            },
+        )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    #[test]
+    fn encode_decode_round_trip(msg in arb_message()) {
+        let bytes = codec::encode(&msg).unwrap();
+        let back = codec::decode(&bytes).unwrap();
+        prop_assert_eq!(back, msg);
+    }
+
+    #[test]
+    fn decode_never_panics_on_noise(bytes in proptest::collection::vec(any::<u8>(), 0..256)) {
+        let _ = codec::decode(&bytes);
+    }
+
+    #[test]
+    fn decode_never_panics_on_mutated_valid_message(
+        msg in arb_message(),
+        flip in 0usize..4096,
+        val in any::<u8>(),
+    ) {
+        let mut bytes = codec::encode(&msg).unwrap();
+        if !bytes.is_empty() {
+            let idx = flip % bytes.len();
+            bytes[idx] = val;
+            let _ = codec::decode(&bytes);
+        }
+    }
+
+    #[test]
+    fn compression_never_grows_message(msg in arb_message()) {
+        // The encoder only emits a pointer when it is at least as small as
+        // the labels it replaces, so encoding with compression can never
+        // exceed the naive uncompressed size.
+        let bytes = codec::encode(&msg).unwrap();
+        let naive: usize = 12
+            + msg.questions.iter().map(|q| q.name.wire_len() + 4).sum::<usize>()
+            + msg.answers.iter().chain(&msg.authorities).chain(&msg.additionals)
+                .map(|r| r.name.wire_len() + 10 + 512)
+                .sum::<usize>();
+        prop_assert!(bytes.len() <= naive);
+    }
+
+    #[test]
+    fn name_parse_display_round_trip(labels in proptest::collection::vec(arb_label(), 0..5)) {
+        let s = labels.join(".");
+        let name = Name::parse(&s).unwrap();
+        let back = Name::parse(&name.to_string()).unwrap();
+        prop_assert_eq!(name, back);
+    }
+}

@@ -1,0 +1,48 @@
+//! Sweep attack intensity in parallel — the paper's §5.4 experiment
+//! design ("we sweep the space of attack intensities") as four lines of
+//! code on the high-level API.
+//!
+//! ```text
+//! cargo run --release --example attack_sweep
+//! ```
+
+use dike::core::{LossSweep, Scenario};
+
+fn main() {
+    let base = Scenario::new()
+        .probes(200)
+        .ttl(1800)
+        .attack_window_min(60, 60)
+        .duration_min(150)
+        .seed(42);
+
+    let rates = [0.0, 0.25, 0.5, 0.75, 0.9, 0.95, 1.0];
+    println!("running {} scenario arms in parallel ...\n", rates.len());
+    let points = LossSweep::new(base, rates).run();
+
+    println!(
+        "{:>6} {:>18} {:>18} {:>14}",
+        "loss", "OK during attack", "server load mult", "p90 latency"
+    );
+    for p in &points {
+        let p90 = p
+            .report
+            .latencies
+            .iter()
+            .filter(|b| b.start_min >= 60 && b.start_min < 120)
+            .filter_map(|b| b.summary.map(|s| s.p90))
+            .fold(0.0f64, f64::max);
+        println!(
+            "{:>5.0}% {:>17.1}% {:>17.1}x {:>11.0}ms",
+            p.loss * 100.0,
+            p.report.ok_fraction_during_attack() * 100.0,
+            p.report.traffic_multiplier(),
+            p90
+        );
+    }
+    println!(
+        "\nthe paper's two defenses in one table: caches keep the answered\n\
+         fraction high until loss nears 100%, while retries pay for it with\n\
+         tail latency and multiplied load at the authoritatives."
+    );
+}

@@ -1,0 +1,17 @@
+//! `dike` — umbrella crate for the reproduction of *"When the Dike Breaks:
+//! Dissecting DNS Defenses During DDoS"* (Moura et al., ACM IMC 2018).
+//!
+//! This crate re-exports the full workspace public API. Start with
+//! [`dike_core`] for the high-level experiment builder, or see the
+//! `examples/` directory for runnable scenarios.
+
+pub use dike_attack as attack;
+pub use dike_auth as auth;
+pub use dike_cache as cache;
+pub use dike_core as core;
+pub use dike_experiments as experiments;
+pub use dike_netsim as netsim;
+pub use dike_resolver as resolver;
+pub use dike_stats as stats;
+pub use dike_stub as stub;
+pub use dike_wire as wire;
