@@ -133,7 +133,7 @@ impl Attack {
                             w.links_mut().clear_ingress_loss(*tgt);
                         }
                     });
-                    t = t + period;
+                    t += period;
                 }
             }
             Waveform::Ramp { from, steps } => {
@@ -217,12 +217,17 @@ mod tests {
         for t in [5u64, 15, 25, 35] {
             let seen = seen.clone();
             sim.schedule_control(SimDuration::from_secs(t).after_zero(), move |w| {
-                seen.lock().unwrap().push((t, w.links().ingress_loss(target)));
+                seen.lock()
+                    .unwrap()
+                    .push((t, w.links().ingress_loss(target)));
             });
         }
         sim.run_until_idle();
         let seen = seen.lock().unwrap();
-        assert_eq!(seen.as_slice(), &[(5, 0.0), (15, 0.9), (25, 0.9), (35, 0.0)]);
+        assert_eq!(
+            seen.as_slice(),
+            &[(5, 0.0), (15, 0.9), (25, 0.9), (35, 0.0)]
+        );
     }
 
     #[test]
@@ -276,14 +281,23 @@ mod tests {
         for t in [5u64, 15, 25, 35, 45, 105] {
             let seen = seen.clone();
             sim.schedule_control(SimDuration::from_secs(t).after_zero(), move |w| {
-                seen.lock().unwrap().push((t, w.links().ingress_loss(target)));
+                seen.lock()
+                    .unwrap()
+                    .push((t, w.links().ingress_loss(target)));
             });
         }
         sim.run_until_idle();
         let seen = seen.lock().unwrap();
         assert_eq!(
             seen.as_slice(),
-            &[(5, 0.8), (15, 0.0), (25, 0.8), (35, 0.0), (45, 0.8), (105, 0.0)]
+            &[
+                (5, 0.8),
+                (15, 0.0),
+                (25, 0.8),
+                (35, 0.0),
+                (45, 0.8),
+                (105, 0.0)
+            ]
         );
     }
 
@@ -297,7 +311,13 @@ mod tests {
             SimDuration::from_secs(0).after_zero(),
             SimDuration::from_secs(90),
         )
-        .schedule_with_waveform(&mut sim, Waveform::Ramp { from: 0.0, steps: 3 });
+        .schedule_with_waveform(
+            &mut sim,
+            Waveform::Ramp {
+                from: 0.0,
+                steps: 3,
+            },
+        );
         let seen = std::sync::Arc::new(Mutex::new(Vec::new()));
         for t in [10u64, 40, 70, 95] {
             let seen = seen.clone();
@@ -329,8 +349,10 @@ mod tests {
         {
             let seen = seen.clone();
             sim.schedule_control(SimDuration::from_secs(50).after_zero(), move |w| {
-                *seen.lock().unwrap() =
-                    (w.links().ingress_loss(victim), w.links().ingress_loss(bystander));
+                *seen.lock().unwrap() = (
+                    w.links().ingress_loss(victim),
+                    w.links().ingress_loss(bystander),
+                );
             });
         }
         sim.run_until_idle();

@@ -90,7 +90,11 @@ impl CacheTestZone {
             let ns_name = origin
                 .child(&format!("ns{}", i + 1))
                 .expect("valid ns label");
-            zone.add(Record::new(origin.clone(), 3600, RData::Ns(ns_name.clone())));
+            zone.add(Record::new(
+                origin.clone(),
+                3600,
+                RData::Ns(ns_name.clone()),
+            ));
             zone.add(Record::new(ns_name, 3600, RData::A(*addr)));
         }
         CacheTestZone {
@@ -171,7 +175,10 @@ mod tests {
     fn zone() -> CacheTestZone {
         CacheTestZone::new(
             60,
-            &[Ipv4Addr::new(198, 51, 100, 1), Ipv4Addr::new(198, 51, 100, 2)],
+            &[
+                Ipv4Addr::new(198, 51, 100, 1),
+                Ipv4Addr::new(198, 51, 100, 2),
+            ],
         )
     }
 
@@ -238,7 +245,10 @@ mod tests {
         // negative answers; probe names behave the same for non-AAAA.
         let mut z = zone();
         let q = Question::new(Name::parse("1414.cachetest.nl").unwrap(), RecordType::A);
-        assert!(matches!(z.answer(SimTime::ZERO, &q), ZoneAnswer::NoData { .. }));
+        assert!(matches!(
+            z.answer(SimTime::ZERO, &q),
+            ZoneAnswer::NoData { .. }
+        ));
     }
 
     #[test]
@@ -252,13 +262,19 @@ mod tests {
         // AAAA for the NS name: NODATA (the authoritatives are v4-only,
         // which drives the negative-caching traffic in Fig. 10).
         let q6 = Question::new(Name::parse("ns1.cachetest.nl").unwrap(), RecordType::AAAA);
-        assert!(matches!(z.answer(SimTime::ZERO, &q6), ZoneAnswer::NoData { .. }));
+        assert!(matches!(
+            z.answer(SimTime::ZERO, &q6),
+            ZoneAnswer::NoData { .. }
+        ));
     }
 
     #[test]
     fn non_numeric_label_is_not_a_probe() {
         let mut z = zone();
         let q = Question::new(Name::parse("www.cachetest.nl").unwrap(), RecordType::AAAA);
-        assert!(matches!(z.answer(SimTime::ZERO, &q), ZoneAnswer::NxDomain { .. }));
+        assert!(matches!(
+            z.answer(SimTime::ZERO, &q),
+            ZoneAnswer::NxDomain { .. }
+        ));
     }
 }

@@ -22,5 +22,5 @@ mod zone;
 pub mod zonefile;
 
 pub use cachetest::{decode_probe_aaaa, probe_aaaa, CacheTestZone, ProbePayload, AAAA_PREFIX};
-pub use server::{AuthServer, ZoneProvider};
+pub use server::{AuthServer, AuthStats, ZoneProvider};
 pub use zone::{Zone, ZoneAnswer};

@@ -37,6 +37,36 @@ impl ZoneProvider for Zone {
     }
 }
 
+/// Counters kept by an [`AuthServer`], broken down the way the paper's
+/// server-side analysis slices traffic (queries by type, answers vs
+/// referrals vs negatives). All values are cumulative since construction.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct AuthStats {
+    /// Queries handled (every call to [`AuthServer::handle_query`]).
+    pub queries: u64,
+    /// Queries asking for an A record.
+    pub queries_a: u64,
+    /// Queries asking for a AAAA record.
+    pub queries_aaaa: u64,
+    /// Queries asking for an NS record.
+    pub queries_ns: u64,
+    /// Queries for any other record type (or malformed/no question).
+    pub queries_other: u64,
+    /// Authoritative answers with records (`AA` set, answer section
+    /// non-empty before any truncation).
+    pub answers: u64,
+    /// Delegations to a child zone (`AA` clear, NS in authority).
+    pub referrals: u64,
+    /// Negative answers: NODATA plus NXDOMAIN.
+    pub negatives: u64,
+    /// The NXDOMAIN subset of `negatives`.
+    pub nxdomain: u64,
+    /// Errors: REFUSED, FORMERR, NOTIMP.
+    pub errors: u64,
+    /// Responses truncated to fit the client's advertised payload size.
+    pub truncated: u64,
+}
+
 /// An authoritative DNS server hosting one or more zones.
 ///
 /// For each query the deepest zone whose origin contains the query name
@@ -47,6 +77,7 @@ impl ZoneProvider for Zone {
 pub struct AuthServer {
     zones: Vec<Box<dyn ZoneProvider>>,
     queries_handled: u64,
+    stats: AuthStats,
 }
 
 /// Timer tokens: rotation timer per zone index.
@@ -58,6 +89,7 @@ impl AuthServer {
         AuthServer {
             zones: Vec::new(),
             queries_handled: 0,
+            stats: AuthStats::default(),
         }
     }
 
@@ -76,6 +108,11 @@ impl AuthServer {
     /// Queries answered so far.
     pub fn queries_handled(&self) -> u64 {
         self.queries_handled
+    }
+
+    /// Cumulative counters (queries by type, response dispositions).
+    pub fn stats(&self) -> &AuthStats {
+        &self.stats
     }
 
     /// Index of the deepest zone containing `name`.
@@ -106,6 +143,7 @@ impl AuthServer {
                 resp.answers.clear();
                 resp.authorities.clear();
                 resp.additionals.clear();
+                self.stats.truncated += 1;
             }
             _ => {}
         }
@@ -114,13 +152,23 @@ impl AuthServer {
 
     fn answer_query(&mut self, now: SimTime, query: &Message) -> Message {
         self.queries_handled += 1;
+        self.stats.queries += 1;
+        match query.question().map(|q| q.qtype) {
+            Some(dike_wire::RecordType::A) => self.stats.queries_a += 1,
+            Some(dike_wire::RecordType::AAAA) => self.stats.queries_aaaa += 1,
+            Some(dike_wire::RecordType::NS) => self.stats.queries_ns += 1,
+            _ => self.stats.queries_other += 1,
+        }
         if query.opcode != Opcode::Query {
+            self.stats.errors += 1;
             return Message::error_response(query, Rcode::NotImp);
         }
         let Some(q) = query.question() else {
+            self.stats.errors += 1;
             return Message::error_response(query, Rcode::FormErr);
         };
         let Some(zi) = self.zone_for(&q.name) else {
+            self.stats.errors += 1;
             return Message::error_response(query, Rcode::Refused);
         };
         let q = q.clone();
@@ -129,6 +177,7 @@ impl AuthServer {
                 answers,
                 additionals,
             } => {
+                self.stats.answers += 1;
                 let mut b = MessageBuilder::respond_to(query).authoritative();
                 for r in answers {
                     b = b.answer(r);
@@ -138,19 +187,27 @@ impl AuthServer {
                 }
                 b.build()
             }
-            ZoneAnswer::NoData { soa } => MessageBuilder::respond_to(query)
-                .authoritative()
-                .authority(soa)
-                .build(),
-            ZoneAnswer::NxDomain { soa } => MessageBuilder::respond_to(query)
-                .authoritative()
-                .rcode(Rcode::NxDomain)
-                .authority(soa)
-                .build(),
+            ZoneAnswer::NoData { soa } => {
+                self.stats.negatives += 1;
+                MessageBuilder::respond_to(query)
+                    .authoritative()
+                    .authority(soa)
+                    .build()
+            }
+            ZoneAnswer::NxDomain { soa } => {
+                self.stats.negatives += 1;
+                self.stats.nxdomain += 1;
+                MessageBuilder::respond_to(query)
+                    .authoritative()
+                    .rcode(Rcode::NxDomain)
+                    .authority(soa)
+                    .build()
+            }
             ZoneAnswer::Referral { ns, glue } => {
                 // Referrals are not authoritative (AA clear) — this is what
                 // lets resolvers rank the child's own answer above the
                 // parent's glue (Appendix A / RFC 2181 §5.4.1).
+                self.stats.referrals += 1;
                 let mut b = MessageBuilder::respond_to(query);
                 for r in ns {
                     b = b.authority(r);
@@ -160,7 +217,10 @@ impl AuthServer {
                 }
                 b.build()
             }
-            ZoneAnswer::NotInZone => Message::error_response(query, Rcode::Refused),
+            ZoneAnswer::NotInZone => {
+                self.stats.errors += 1;
+                Message::error_response(query, Rcode::Refused)
+            }
         }
     }
 }
@@ -198,6 +258,21 @@ impl Node for AuthServer {
                 ctx.set_timer(interval, token);
             }
         }
+    }
+
+    fn publish_metrics(&self, out: &mut dike_telemetry::NodePublisher<'_>) {
+        let s = &self.stats;
+        out.counter("auth", "queries", s.queries);
+        out.counter("auth", "queries_a", s.queries_a);
+        out.counter("auth", "queries_aaaa", s.queries_aaaa);
+        out.counter("auth", "queries_ns", s.queries_ns);
+        out.counter("auth", "queries_other", s.queries_other);
+        out.counter("auth", "answers", s.answers);
+        out.counter("auth", "referrals", s.referrals);
+        out.counter("auth", "negatives", s.negatives);
+        out.counter("auth", "nxdomain", s.nxdomain);
+        out.counter("auth", "errors", s.errors);
+        out.counter("auth", "truncated", s.truncated);
     }
 }
 
@@ -336,11 +411,58 @@ mod tests {
         );
 
         // An EDNS client advertising 1232 gets the full answer.
-        let q = Message::iterative_query(22, name("fat.big.test"), RecordType::TXT)
-            .with_edns(1232);
+        let q = Message::iterative_query(22, name("fat.big.test"), RecordType::TXT).with_edns(1232);
         let resp = s.handle_query(SimTime::ZERO, &q);
         assert!(!resp.truncated);
         assert_eq!(resp.answers.len(), 4);
+    }
+
+    #[test]
+    fn stats_count_dispositions_and_qtypes() {
+        let nl_origin = name("nl");
+        let mut nl = Zone::new(nl_origin.clone(), 3600, default_soa(&nl_origin));
+        nl.add(Record::new(
+            name("cachetest.nl"),
+            3600,
+            RData::Ns(name("ns1.cachetest.nl")),
+        ));
+        nl.add(Record::new(
+            name("ns1.cachetest.nl"),
+            3600,
+            RData::A(Ipv4Addr::new(198, 51, 100, 1)),
+        ));
+        // In-zone data above the delegation cut: answered authoritatively.
+        nl.add(Record::new(
+            name("www.nl"),
+            3600,
+            RData::A(Ipv4Addr::new(198, 51, 100, 2)),
+        ));
+        let mut s = AuthServer::new().with_zone(Box::new(nl));
+
+        // Referral (AAAA): below the cachetest.nl delegation cut.
+        let q = Message::iterative_query(1, name("7.cachetest.nl"), RecordType::AAAA);
+        s.handle_query(SimTime::ZERO, &q);
+        // Authoritative answer (A).
+        let q = Message::iterative_query(2, name("www.nl"), RecordType::A);
+        s.handle_query(SimTime::ZERO, &q);
+        // NXDOMAIN (NS).
+        let q = Message::iterative_query(3, name("missing.nl"), RecordType::NS);
+        s.handle_query(SimTime::ZERO, &q);
+        // Refused: out of zone.
+        let q = Message::iterative_query(4, name("example.com"), RecordType::A);
+        s.handle_query(SimTime::ZERO, &q);
+
+        let st = *s.stats();
+        assert_eq!(st.queries, 4);
+        assert_eq!(st.queries_a, 2);
+        assert_eq!(st.queries_aaaa, 1);
+        assert_eq!(st.queries_ns, 1);
+        assert_eq!(st.answers, 1);
+        assert_eq!(st.referrals, 1);
+        assert_eq!(st.negatives, 1);
+        assert_eq!(st.nxdomain, 1);
+        assert_eq!(st.errors, 1);
+        assert_eq!(st.truncated, 0);
     }
 
     #[test]

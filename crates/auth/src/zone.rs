@@ -126,7 +126,9 @@ impl Zone {
     /// Iterates every record in canonical order (SOA first at the apex,
     /// then names in canonical DNS order).
     pub fn iter_records(&self) -> impl Iterator<Item = &Record> {
-        self.records.values().flat_map(|types| types.values().flatten())
+        self.records
+            .values()
+            .flat_map(|types| types.values().flatten())
     }
 
     /// Serializes the zone to master-file text that

@@ -67,9 +67,7 @@ pub fn parse(text: &str, default_origin: Option<&Name>) -> Result<Zone, ParseErr
         // Directives.
         if let Some(rest) = line.trim().strip_prefix("$ORIGIN") {
             let name = rest.trim();
-            origin = Some(
-                Name::parse(name).map_err(|e| err(lineno, format!("bad $ORIGIN: {e}")))?,
-            );
+            origin = Some(Name::parse(name).map_err(|e| err(lineno, format!("bad $ORIGIN: {e}")))?);
             continue;
         }
         if let Some(rest) = line.trim().strip_prefix("$TTL") {
@@ -248,7 +246,9 @@ fn parse_rdata(
         }
         "DS" => {
             need(4)?;
-            let key_tag = tokens[0].parse().map_err(|_| err(lineno, "bad DS key tag"))?;
+            let key_tag = tokens[0]
+                .parse()
+                .map_err(|_| err(lineno, "bad DS key tag"))?;
             let algorithm = tokens[1]
                 .parse()
                 .map_err(|_| err(lineno, "bad DS algorithm"))?;
@@ -400,9 +400,13 @@ v6             IN AAAA  2001:db8::1
     fn ds_record_parses_hex() {
         let text = "$ORIGIN nl.\n$TTL 86400\n@ IN SOA ns h 1 2 3 4 5\n@ IN DS 34112 8 2 deadbeef\n";
         let z = parse(text, None).unwrap();
-        let ds = z.rrset(&Name::parse("nl").unwrap(), RecordType::DS).unwrap();
+        let ds = z
+            .rrset(&Name::parse("nl").unwrap(), RecordType::DS)
+            .unwrap();
         match &ds[0].rdata {
-            RData::Ds { key_tag, digest, .. } => {
+            RData::Ds {
+                key_tag, digest, ..
+            } => {
                 assert_eq!(*key_tag, 34112);
                 assert_eq!(digest, &vec![0xde, 0xad, 0xbe, 0xef]);
             }
@@ -412,7 +416,8 @@ v6             IN AAAA  2001:db8::1
 
     #[test]
     fn continuation_lines_reuse_owner() {
-        let text = "$ORIGIN x.nl.\n$TTL 60\n@ IN SOA ns h 1 2 3 4 5\nwww IN A 1.2.3.4\n    IN A 1.2.3.5\n";
+        let text =
+            "$ORIGIN x.nl.\n$TTL 60\n@ IN SOA ns h 1 2 3 4 5\nwww IN A 1.2.3.4\n    IN A 1.2.3.5\n";
         let z = parse(text, None).unwrap();
         let rs = z
             .rrset(&Name::parse("www.x.nl").unwrap(), RecordType::A)

@@ -6,6 +6,8 @@
 //!   per-packet delivery rate.
 //! * serve-stale on/off — the extra successes after TTL expiry during a
 //!   complete outage.
+//! * telemetry on/off — minute-cadence metric snapshots must cost less
+//!   than 5% wall-clock and change no simulation outcome.
 //! * fragmentation 1 vs 6 backends — the cache-miss rate a farm inflicts
 //!   on its clients.
 
@@ -24,7 +26,18 @@ use rand::SeedableRng;
 /// One resolver, N probes with unique names, 90% loss, 60 s TTL: the
 /// caches-can't-help scenario. Returns the fraction of queries answered.
 fn run_retry_scenario(max_attempts: u32, seed: u64) -> f64 {
+    run_retry_scenario_with(max_attempts, seed, false)
+}
+
+/// [`run_retry_scenario`] with optional telemetry: minute-cadence metric
+/// snapshots with per-node network rows — the most expensive config.
+/// Benchmarked on/off below to hold the <5% overhead budget.
+fn run_retry_scenario_with(max_attempts: u32, seed: u64, telemetry: bool) -> f64 {
     let mut sim = fixed_latency_sim(seed, 10);
+    if telemetry {
+        let reg = dike_netsim::telemetry::shared_registry();
+        sim.attach_telemetry(reg, dike_netsim::telemetry::TelemetryConfig::every_mins(1));
+    }
     let (root, _, ns) = add_hierarchy(&mut sim, 60);
     let mut cfg = profiles::unbound_like(vec![root]);
     cfg.retry = RetryPolicy {
@@ -138,12 +151,28 @@ fn bench_ablations(c: &mut Criterion) {
     println!("[ablation] retries: ok {with:.2} with vs {without:.2} without");
     assert!(with > without, "retries must help under loss");
 
-    g.bench_function("serve_stale_on", |b| b.iter(|| run_stale_scenario(true, 42)));
-    g.bench_function("serve_stale_off", |b| b.iter(|| run_stale_scenario(false, 42)));
+    g.bench_function("serve_stale_on", |b| {
+        b.iter(|| run_stale_scenario(true, 42))
+    });
+    g.bench_function("serve_stale_off", |b| {
+        b.iter(|| run_stale_scenario(false, 42))
+    });
     let with = run_stale_scenario(true, 42);
     let without = run_stale_scenario(false, 42);
     println!("[ablation] serve-stale: ok {with:.2} with vs {without:.2} without");
     assert!(with > without, "serve-stale must help during outage");
+
+    g.bench_function("telemetry_off", |b| {
+        b.iter(|| run_retry_scenario_with(7, 42, false))
+    });
+    g.bench_function("telemetry_on(1min_snapshots)", |b| {
+        b.iter(|| run_retry_scenario_with(7, 42, true))
+    });
+    // Telemetry is pull-only; it must not perturb the simulation.
+    let off = run_retry_scenario_with(7, 42, false);
+    let on = run_retry_scenario_with(7, 42, true);
+    println!("[ablation] telemetry: ok {off:.4} off vs {on:.4} on (must be identical)");
+    assert_eq!(off, on, "telemetry must not change simulation outcomes");
 
     g.bench_function("fragmentation_1_backend", |b| {
         b.iter(|| run_fragmentation(1, 42))

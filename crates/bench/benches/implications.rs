@@ -8,7 +8,10 @@ fn bench_implications(c: &mut Criterion) {
     let mut g = c.benchmark_group("implications");
     g.sample_size(10);
     for (label, cfg) in [
-        ("root_like_half_sites", ImplicationsConfig::root_like(40, 42)),
+        (
+            "root_like_half_sites",
+            ImplicationsConfig::root_like(40, 42),
+        ),
         (
             "dyn_like_all_sites",
             ImplicationsConfig {

@@ -32,7 +32,11 @@ impl Node for Burst {
             self.remaining -= 1;
             ctx.send(
                 self.target,
-                &Message::query(self.remaining as u16, Name::parse("x.nl").unwrap(), RecordType::A),
+                &Message::query(
+                    self.remaining as u16,
+                    Name::parse("x.nl").unwrap(),
+                    RecordType::A,
+                ),
             );
         }
     }

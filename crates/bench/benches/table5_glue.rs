@@ -15,9 +15,7 @@ fn bench_glue(c: &mut Criterion) {
             buckets.authoritative_fraction()
         })
     });
-    g.bench_function("cache_dump", |b| {
-        b.iter(|| glue::run_cache_dump(42))
-    });
+    g.bench_function("cache_dump", |b| b.iter(|| glue::run_cache_dump(42)));
     g.finish();
 }
 

@@ -16,7 +16,11 @@ fn query() -> Message {
 }
 
 fn referral() -> Message {
-    let q = Message::iterative_query(7, Name::parse("1414.cachetest.nl").unwrap(), RecordType::AAAA);
+    let q = Message::iterative_query(
+        7,
+        Name::parse("1414.cachetest.nl").unwrap(),
+        RecordType::AAAA,
+    );
     let mut b = MessageBuilder::respond_to(&q);
     for i in 1..=4 {
         b = b.authority(Record::new(

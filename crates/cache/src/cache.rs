@@ -46,6 +46,9 @@ pub struct CacheStats {
     pub insertions: u64,
     /// Stale answers served.
     pub stale_served: u64,
+    /// Whole-cache flushes (operator wipes, paper §5.3's cold-cache
+    /// restarts).
+    pub flushes: u64,
 }
 
 /// A recursive resolver's cache.
@@ -105,12 +108,7 @@ impl ResolverCache {
     /// §5.4.1): lower-trust data (glue) never replaces live higher-trust
     /// data (an authoritative answer). Returns the effective TTL of
     /// whatever ends up cached.
-    pub fn insert_ranked(
-        &mut self,
-        now: SimTime,
-        records: Vec<Record>,
-        trust: TrustLevel,
-    ) -> u32 {
+    pub fn insert_ranked(&mut self, now: SimTime, records: Vec<Record>, trust: TrustLevel) -> u32 {
         debug_assert!(!records.is_empty(), "cannot cache an empty RRset");
         let key = CacheKey::new(records[0].name.clone(), records[0].rtype());
         // Data ranking: keep a live higher-trust entry.
@@ -283,6 +281,7 @@ impl ResolverCache {
     pub fn flush(&mut self) {
         self.map.clear();
         self.lru.clear();
+        self.stats.flushes += 1;
     }
 
     /// Removes entries that are expired beyond the stale window; returns
@@ -292,9 +291,7 @@ impl ResolverCache {
         let dead: Vec<(CacheKey, u64)> = self
             .map
             .iter()
-            .filter(|(_, (e, _))| {
-                e.remaining_ttl(now).is_none() && !e.usable_as_stale(now, window)
-            })
+            .filter(|(_, (e, _))| e.remaining_ttl(now).is_none() && !e.usable_as_stale(now, window))
             .map(|(k, (_, stamp))| (k.clone(), *stamp))
             .collect();
         for (k, stamp) in &dead {
@@ -318,9 +315,7 @@ impl ResolverCache {
         let mut out: Vec<(CacheKey, u32, TrustLevel)> = self
             .map
             .iter()
-            .filter_map(|(k, (e, _))| {
-                e.remaining_ttl(now).map(|ttl| (k.clone(), ttl, e.trust))
-            })
+            .filter_map(|(k, (e, _))| e.remaining_ttl(now).map(|ttl| (k.clone(), ttl, e.trust)))
             .collect();
         out.sort_by(|a, b| (&a.0.name, a.0.rtype).cmp(&(&b.0.name, b.0.rtype)));
         out
@@ -416,7 +411,13 @@ mod tests {
     fn negative_caching_round_trip() {
         let mut c = ResolverCache::new(CacheConfig::honoring());
         let n = Name::parse("nope.cachetest.nl").unwrap();
-        c.insert_negative(at(0), n.clone(), RecordType::AAAA, NegativeKind::NxDomain, 60);
+        c.insert_negative(
+            at(0),
+            n.clone(),
+            RecordType::AAAA,
+            NegativeKind::NxDomain,
+            60,
+        );
         assert_eq!(
             c.lookup(at(30), &n, RecordType::AAAA),
             CacheAnswer::Negative(NegativeKind::NxDomain)
@@ -443,7 +444,10 @@ mod tests {
         let mut c = ResolverCache::new(CacheConfig::honoring());
         let n = Name::parse("a.nl").unwrap();
         c.insert(at(0), vec![rec("a.nl", 60, 1)]);
-        assert_eq!(c.lookup_stale(at(120), &n, RecordType::A), CacheAnswer::Miss);
+        assert_eq!(
+            c.lookup_stale(at(120), &n, RecordType::A),
+            CacheAnswer::Miss
+        );
     }
 
     #[test]
@@ -459,7 +463,10 @@ mod tests {
             c.lookup_stale(at(120), &n, RecordType::A),
             CacheAnswer::Stale(_)
         ));
-        assert_eq!(c.lookup_stale(at(161), &n, RecordType::A), CacheAnswer::Miss);
+        assert_eq!(
+            c.lookup_stale(at(161), &n, RecordType::A),
+            CacheAnswer::Miss
+        );
     }
 
     #[test]
@@ -511,7 +518,11 @@ mod tests {
         // (60 s) must survive a later glue re-insert (3600 s).
         let mut c = ResolverCache::new(CacheConfig::honoring());
         let n = Name::parse("cachetest.nl").unwrap();
-        c.insert_ranked(at(0), vec![rec("cachetest.nl", 60, 1)], TrustLevel::Authoritative);
+        c.insert_ranked(
+            at(0),
+            vec![rec("cachetest.nl", 60, 1)],
+            TrustLevel::Authoritative,
+        );
         c.insert_ranked(at(10), vec![rec("cachetest.nl", 3600, 2)], TrustLevel::Glue);
         match c.lookup(at(10), &n, RecordType::A) {
             CacheAnswer::Fresh(rs) => {
@@ -526,9 +537,17 @@ mod tests {
     fn glue_replaces_expired_authoritative_data() {
         let mut c = ResolverCache::new(CacheConfig::honoring());
         let n = Name::parse("cachetest.nl").unwrap();
-        c.insert_ranked(at(0), vec![rec("cachetest.nl", 60, 1)], TrustLevel::Authoritative);
+        c.insert_ranked(
+            at(0),
+            vec![rec("cachetest.nl", 60, 1)],
+            TrustLevel::Authoritative,
+        );
         // At t=100 the authoritative entry is expired; glue may land.
-        c.insert_ranked(at(100), vec![rec("cachetest.nl", 3600, 2)], TrustLevel::Glue);
+        c.insert_ranked(
+            at(100),
+            vec![rec("cachetest.nl", 3600, 2)],
+            TrustLevel::Glue,
+        );
         match c.lookup(at(100), &n, RecordType::A) {
             CacheAnswer::Fresh(rs) => assert_eq!(rs[0].ttl, 3600),
             other => panic!("expected fresh, got {other:?}"),
@@ -540,7 +559,11 @@ mod tests {
         let mut c = ResolverCache::new(CacheConfig::honoring());
         let n = Name::parse("cachetest.nl").unwrap();
         c.insert_ranked(at(0), vec![rec("cachetest.nl", 3600, 1)], TrustLevel::Glue);
-        c.insert_ranked(at(10), vec![rec("cachetest.nl", 60, 2)], TrustLevel::Authoritative);
+        c.insert_ranked(
+            at(10),
+            vec![rec("cachetest.nl", 60, 2)],
+            TrustLevel::Authoritative,
+        );
         match c.lookup(at(10), &n, RecordType::A) {
             CacheAnswer::Fresh(rs) => assert_eq!(rs[0].ttl, 60),
             other => panic!("expected fresh, got {other:?}"),
@@ -567,7 +590,11 @@ mod tests {
         let mut c = ResolverCache::new(CacheConfig::honoring());
         c.insert(
             at(0),
-            vec![rec("multi.nl", 3600, 1), rec("multi.nl", 3600, 2), rec("multi.nl", 3600, 3)],
+            vec![
+                rec("multi.nl", 3600, 1),
+                rec("multi.nl", 3600, 2),
+                rec("multi.nl", 3600, 3),
+            ],
         );
         let n = Name::parse("multi.nl").unwrap();
         let firsts: Vec<_> = (0..4)
@@ -587,7 +614,10 @@ mod tests {
             rotate_rrsets: false,
             ..CacheConfig::honoring()
         });
-        c.insert(at(0), vec![rec("multi.nl", 3600, 1), rec("multi.nl", 3600, 2)]);
+        c.insert(
+            at(0),
+            vec![rec("multi.nl", 3600, 1), rec("multi.nl", 3600, 2)],
+        );
         let n = Name::parse("multi.nl").unwrap();
         for _ in 0..3 {
             match c.lookup(at(1), &n, RecordType::A) {
@@ -605,6 +635,9 @@ mod tests {
         let n = Name::parse("a.nl").unwrap();
         c.insert(at(0), vec![rec("a.nl", 3600, 1)]);
         assert_eq!(c.lookup(at(1), &n, RecordType::AAAA), CacheAnswer::Miss);
-        assert!(matches!(c.lookup(at(1), &n, RecordType::A), CacheAnswer::Fresh(_)));
+        assert!(matches!(
+            c.lookup(at(1), &n, RecordType::A),
+            CacheAnswer::Fresh(_)
+        ));
     }
 }

@@ -23,9 +23,7 @@ impl CacheKey {
 /// RFC 2181 §5.4.1 data ranking: where a record came from decides whether
 /// it may replace what is already cached. Authoritative answers outrank
 /// referral (glue) data; equal or higher trust always replaces.
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Serialize, Deserialize)]
 pub enum TrustLevel {
     /// Data from a referral's authority/additional sections (glue).
     Glue,

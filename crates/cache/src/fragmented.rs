@@ -140,6 +140,7 @@ impl FragmentedCache {
             total.evictions += s.evictions;
             total.insertions += s.insertions;
             total.stale_served += s.stale_served;
+            total.flushes += s.flushes;
         }
         total
     }
@@ -171,7 +172,12 @@ mod tests {
         assert_eq!(b, 0);
         f.insert_on(b, at(0), vec![aaaa("p1.cachetest.nl", 3600, 1)]);
         assert!(matches!(
-            f.lookup_on(0, at(10), &Name::parse("p1.cachetest.nl").unwrap(), RecordType::AAAA),
+            f.lookup_on(
+                0,
+                at(10),
+                &Name::parse("p1.cachetest.nl").unwrap(),
+                RecordType::AAAA
+            ),
             CacheAnswer::Fresh(_)
         ));
     }
@@ -187,7 +193,10 @@ mod tests {
             CacheAnswer::Fresh(_)
         ));
         for b in 1..4 {
-            assert_eq!(f.lookup_on(b, at(10), &name, RecordType::AAAA), CacheAnswer::Miss);
+            assert_eq!(
+                f.lookup_on(b, at(10), &name, RecordType::AAAA),
+                CacheAnswer::Miss
+            );
         }
     }
 
@@ -237,7 +246,12 @@ mod tests {
         f.flush_all();
         for b in 0..3 {
             assert_eq!(
-                f.lookup_on(b, at(1), &Name::parse("p1.cachetest.nl").unwrap(), RecordType::AAAA),
+                f.lookup_on(
+                    b,
+                    at(1),
+                    &Name::parse("p1.cachetest.nl").unwrap(),
+                    RecordType::AAAA
+                ),
                 CacheAnswer::Miss
             );
         }

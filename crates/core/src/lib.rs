@@ -11,24 +11,24 @@
 //! comes under DDoS?*
 //!
 //! ```
-//! use dike_core::Scenario;
+//! use dike_core::{Attack, Scenario};
 //!
 //! let report = Scenario::new()
 //!     .probes(150)
 //!     .ttl(1800)
-//!     .attack(0.9)             // 90% ingress loss at both authoritatives
-//!     .attack_window_min(60, 60)
+//!     // 90% ingress loss at both authoritatives, minutes 60–120.
+//!     .with_attack(Attack::loss(0.9).window_min(60, 60))
 //!     .seed(7)
 //!     .run();
 //!
 //! // Half-hour caches plus retries keep most clients alive (paper §5.4).
-//! assert!(report.ok_fraction_during_attack() > 0.4);
-//! assert!(report.traffic_multiplier() > 1.0);
+//! assert!(report.ok_fraction_during_attack().unwrap() > 0.4);
+//! assert!(report.traffic_multiplier().unwrap() > 1.0);
 //! ```
 
 mod sweep;
 
-use dike_experiments::setup::{run_experiment, AttackPlan, AttackScope, ExperimentSetup};
+use dike_experiments::setup::{run_experiment, AttackPlan, ExperimentSetup};
 use dike_netsim::SimDuration;
 use dike_stats::classify::{Classification, Classifier};
 use dike_stats::latency::{latency_timeseries, LatencyBin};
@@ -39,36 +39,111 @@ pub use dike_attack as attack;
 pub use dike_auth as auth;
 pub use dike_cache as cache;
 pub use dike_experiments as experiments;
+pub use dike_experiments::setup::AttackScope;
 pub use dike_netsim as netsim;
 pub use dike_resolver as resolver;
 pub use dike_stats as stats;
 pub use dike_stub as stub;
+pub use dike_telemetry as telemetry;
+pub use dike_telemetry::{MetricsRegistry, TelemetryConfig};
 pub use dike_wire as wire;
 pub use sweep::{LossSweep, SweepPoint};
+
+/// A typed attack description for [`Scenario::with_attack`]: loss rate,
+/// scope, and window, in the vocabulary of the paper's Table 4.
+///
+/// ```
+/// use dike_core::{Attack, AttackScope};
+///
+/// // Experiment D: 50% loss at one name server, minutes 60–120.
+/// let d = Attack::loss(0.5)
+///     .scope(AttackScope::OneNs)
+///     .window_min(60, 60);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Attack {
+    loss: f64,
+    scope: AttackScope,
+    start_min: u64,
+    duration_min: u64,
+}
+
+impl Attack {
+    /// An attack dropping this fraction of ingress at the victims
+    /// (`1.0` = complete failure). Defaults: both name servers, minutes
+    /// 60–120 (Table 4's common window). Loss is clamped to `[0, 1]`.
+    pub fn loss(loss: f64) -> Self {
+        Attack {
+            loss: loss.clamp(0.0, 1.0),
+            scope: AttackScope::BothNs,
+            start_min: 60,
+            duration_min: 60,
+        }
+    }
+
+    /// A complete outage (loss `1.0`), the paper's experiments A–C.
+    pub fn complete() -> Self {
+        Attack::loss(1.0)
+    }
+
+    /// Which authoritatives the attack hits.
+    pub fn scope(mut self, scope: AttackScope) -> Self {
+        self.scope = scope;
+        self
+    }
+
+    /// When the attack starts and how long it lasts, in minutes.
+    pub fn window_min(mut self, start: u64, duration: u64) -> Self {
+        self.start_min = start;
+        self.duration_min = duration;
+        self
+    }
+
+    /// The configured loss rate.
+    pub fn loss_rate(&self) -> f64 {
+        self.loss
+    }
+
+    /// The configured `(start, duration)` window in minutes.
+    pub fn window(&self) -> (u64, u64) {
+        (self.start_min, self.duration_min)
+    }
+
+    fn plan(&self) -> AttackPlan {
+        AttackPlan {
+            start_min: self.start_min,
+            duration_min: self.duration_min,
+            loss: self.loss,
+            scope: self.scope,
+        }
+    }
+}
 
 /// A declarative scenario: a probe population querying a zone through the
 /// calibrated resolver mix, optionally under attack.
 #[derive(Debug, Clone)]
 pub struct Scenario {
     setup: ExperimentSetup,
-    attack_loss: Option<f64>,
-    attack_window: (u64, u64),
-    one_ns_only: bool,
+    // Duration and pacing are stored as intent and reconciled in `run()`,
+    // so `.duration_min(120).round_interval_min(20)` and the reverse
+    // order mean the same thing.
+    duration_min: u64,
+    interval_min: u64,
+    attack: Attack,
+    attack_armed: bool,
 }
 
 impl Scenario {
     /// A scenario with the paper's defaults: 10-minute rounds, three
     /// hours, no attack.
     pub fn new() -> Self {
-        let mut setup = ExperimentSetup::new(200, 1800);
-        setup.round_interval = SimDuration::from_mins(10);
-        setup.rounds = 18;
-        setup.total_duration = SimDuration::from_mins(180);
+        let setup = ExperimentSetup::new(200, 1800);
         Scenario {
             setup,
-            attack_loss: None,
-            attack_window: (60, 60),
-            one_ns_only: false,
+            duration_min: 180,
+            interval_min: 10,
+            attack: Attack::loss(1.0),
+            attack_armed: false,
         }
     }
 
@@ -96,37 +171,56 @@ impl Scenario {
         self
     }
 
-    /// Probe round interval in minutes.
+    /// Probe round interval in minutes. Order-independent with
+    /// [`Scenario::duration_min`]; rounds are derived when the scenario
+    /// runs.
     pub fn round_interval_min(mut self, mins: u64) -> Self {
-        self.setup.round_interval = SimDuration::from_mins(mins.max(1));
+        self.interval_min = mins.max(1);
         self
     }
 
-    /// Total duration in minutes; rounds are derived from the interval.
+    /// Total duration in minutes. Order-independent with
+    /// [`Scenario::round_interval_min`]; rounds are derived when the
+    /// scenario runs.
     pub fn duration_min(mut self, mins: u64) -> Self {
-        self.setup.total_duration = SimDuration::from_mins(mins);
-        let interval = (self.setup.round_interval.as_secs() / 60).max(1);
-        self.setup.rounds = (mins / interval) as u32;
+        self.duration_min = mins;
+        self
+    }
+
+    /// Schedules `attack` for this run, replacing any earlier attack.
+    pub fn with_attack(mut self, attack: Attack) -> Self {
+        self.attack = attack;
+        self.attack_armed = true;
         self
     }
 
     /// Attacks both authoritatives with this ingress loss rate
     /// (`1.0` = complete failure).
+    #[deprecated(since = "0.1.0", note = "use `with_attack(Attack::loss(..))`")]
     pub fn attack(mut self, loss: f64) -> Self {
-        self.attack_loss = Some(loss.clamp(0.0, 1.0));
+        self.attack.loss = loss.clamp(0.0, 1.0);
+        self.attack_armed = true;
         self
     }
 
     /// Restricts the attack to one of the two name servers
     /// (Experiment D's scenario).
+    #[deprecated(
+        since = "0.1.0",
+        note = "use `with_attack(Attack::loss(..).scope(AttackScope::OneNs))`"
+    )]
     pub fn attack_one_ns(mut self) -> Self {
-        self.one_ns_only = true;
+        self.attack.scope = AttackScope::OneNs;
         self
     }
 
     /// When the attack starts and how long it lasts, in minutes.
+    #[deprecated(
+        since = "0.1.0",
+        note = "use `with_attack(Attack::loss(..).window_min(start, duration))`"
+    )]
     pub fn attack_window_min(mut self, start: u64, duration: u64) -> Self {
-        self.attack_window = (start, duration);
+        self.attack = self.attack.window_min(start, duration);
         self
     }
 
@@ -136,20 +230,28 @@ impl Scenario {
         self
     }
 
+    /// Collects sim-time metric snapshots during the run (counters and
+    /// histograms from the network, caches, resolvers, authoritatives and
+    /// probes). The registry comes back via [`Report::metrics`].
+    pub fn telemetry(mut self, config: TelemetryConfig) -> Self {
+        self.setup.telemetry = Some(config);
+        self
+    }
+
+    /// Reconciles stored intent (duration, pacing, attack) into the
+    /// underlying [`ExperimentSetup`]. Called once by [`Scenario::run`].
+    fn resolve(&mut self) {
+        self.setup.round_interval = SimDuration::from_mins(self.interval_min);
+        self.setup.total_duration = SimDuration::from_mins(self.duration_min);
+        self.setup.rounds = (self.duration_min / self.interval_min) as u32;
+        if self.attack_armed {
+            self.setup.attack = Some(self.attack.plan());
+        }
+    }
+
     /// Runs the scenario and gathers the derived series.
     pub fn run(mut self) -> Report {
-        if let Some(loss) = self.attack_loss {
-            self.setup.attack = Some(AttackPlan {
-                start_min: self.attack_window.0,
-                duration_min: self.attack_window.1,
-                loss,
-                scope: if self.one_ns_only {
-                    AttackScope::OneNs
-                } else {
-                    AttackScope::BothNs
-                },
-            });
-        }
+        self.resolve();
         let attack = self.setup.attack;
         let output = run_experiment(&self.setup);
         let outcomes = outcome_timeseries(&output.log, SimDuration::from_mins(10));
@@ -197,10 +299,12 @@ impl Report {
     }
 
     /// Mean per-round OK fraction inside the attack window (the whole run
-    /// when there was no attack).
-    pub fn ok_fraction_during_attack(&self) -> f64 {
+    /// when there was no attack). `None` when no round with traffic
+    /// overlaps the window — an attack scheduled past the end of the run,
+    /// or a run that produced no queries at all.
+    pub fn ok_fraction_during_attack(&self) -> Option<f64> {
         let (start, end) = match self.attack {
-            Some(a) => (a.start_min, a.start_min + a.duration_min),
+            Some(a) => (a.start_min, a.start_min.saturating_add(a.duration_min)),
             None => (0, u64::MAX),
         };
         let bins: Vec<_> = self
@@ -209,9 +313,9 @@ impl Report {
             .filter(|b| b.start_min >= start && b.start_min < end && b.total() > 0)
             .collect();
         if bins.is_empty() {
-            return 0.0;
+            return None;
         }
-        bins.iter().map(|b| b.ok_fraction()).sum::<f64>() / bins.len() as f64
+        Some(bins.iter().map(|b| b.ok_fraction()).sum::<f64>() / bins.len() as f64)
     }
 
     /// The §3.4 cache-miss rate.
@@ -219,14 +323,18 @@ impl Report {
         self.classification.summary.miss_rate()
     }
 
-    /// Offered-load multiplier at the authoritatives during the attack
-    /// (≈1.0 without an attack).
-    pub fn traffic_multiplier(&self) -> f64 {
+    /// Offered-load multiplier at the authoritatives during the attack:
+    /// mean queries per round inside the window over the mean before it
+    /// (Fig. 10's headline 3.5×/8.2× factors). `Some(1.0)` without an
+    /// attack. `None` when there is no usable baseline: an attack
+    /// starting in the first round (nothing before it but the cold-start
+    /// bin, which is excluded) or a run with no pre-attack traffic.
+    pub fn traffic_multiplier(&self) -> Option<f64> {
         let Some(a) = self.attack else {
-            return 1.0;
+            return Some(1.0);
         };
         let start = (a.start_min / 10) as usize;
-        let end = ((a.start_min + a.duration_min) / 10) as usize;
+        let end = ((a.start_min.saturating_add(a.duration_min)) / 10) as usize;
         let bins = self.output.server.bins();
         let mean = |lo: usize, hi: usize| {
             let v: Vec<usize> = bins
@@ -236,17 +344,24 @@ impl Report {
                 .map(|(_, b)| b.total())
                 .collect();
             if v.is_empty() {
-                0.0
+                None
             } else {
-                v.iter().sum::<usize>() as f64 / v.len() as f64
+                Some(v.iter().sum::<usize>() as f64 / v.len() as f64)
             }
         };
-        let before = mean(1, start);
+        // Skip the cold-start bin: every cache is empty in round 0, so its
+        // load is not a representative baseline.
+        let before = mean(1, start)?;
         if before == 0.0 {
-            0.0
-        } else {
-            mean(start, end) / before
+            return None;
         }
+        Some(mean(start, end).unwrap_or(0.0) / before)
+    }
+
+    /// The metric registry collected during the run, when the scenario
+    /// asked for [`Scenario::telemetry`].
+    pub fn metrics(&self) -> Option<&MetricsRegistry> {
+        self.output.metrics.as_ref()
     }
 }
 
@@ -256,29 +371,59 @@ mod tests {
 
     #[test]
     fn builder_composes_setup() {
-        let s = Scenario::new()
+        let mut s = Scenario::new()
             .probes(50)
             .ttl(300)
             .seed(9)
             .round_interval_min(20)
             .duration_min(120)
-            .attack(0.75)
-            .attack_window_min(40, 40);
+            .with_attack(Attack::loss(0.75).window_min(40, 40));
+        s.resolve();
         assert_eq!(s.setup.n_probes, 50);
         assert_eq!(s.setup.ttl, 300);
         assert_eq!(s.setup.rounds, 6);
-        assert_eq!(s.attack_loss, Some(0.75));
+        let plan = s.setup.attack.expect("attack armed");
+        assert_eq!(plan.loss, 0.75);
+        assert_eq!((plan.start_min, plan.duration_min), (40, 40));
+    }
+
+    #[test]
+    fn duration_and_interval_compose_in_either_order() {
+        // Regression: deriving rounds inside `duration_min()` made the
+        // result depend on whether the interval was set before or after.
+        let mut a = Scenario::new().duration_min(120).round_interval_min(20);
+        let mut b = Scenario::new().round_interval_min(20).duration_min(120);
+        a.resolve();
+        b.resolve();
+        assert_eq!(a.setup.rounds, 6);
+        assert_eq!(b.setup.rounds, 6);
+        assert_eq!(a.setup.round_interval, b.setup.round_interval);
+        assert_eq!(a.setup.total_duration, b.setup.total_duration);
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_shims_match_typed_attack() {
+        let mut old = Scenario::new()
+            .seed(4)
+            .attack_one_ns()
+            .attack(0.5)
+            .attack_window_min(30, 20);
+        let mut new = Scenario::new().seed(4).with_attack(
+            Attack::loss(0.5)
+                .scope(AttackScope::OneNs)
+                .window_min(30, 20),
+        );
+        old.resolve();
+        new.resolve();
+        assert_eq!(old.setup.attack, new.setup.attack);
     }
 
     #[test]
     fn healthy_scenario_reports_high_ok_fraction() {
-        let report = Scenario::new()
-            .probes(40)
-            .duration_min(60)
-            .seed(3)
-            .run();
+        let report = Scenario::new().probes(40).duration_min(60).seed(3).run();
         assert!(report.ok_fraction() > 0.9, "{}", report.ok_fraction());
-        assert_eq!(report.traffic_multiplier(), 1.0);
+        assert_eq!(report.traffic_multiplier(), Some(1.0));
         // The population's cache-miss mix shows through the facade too.
         let miss = report.miss_rate();
         assert!((0.05..0.6).contains(&miss), "miss rate {miss}");
@@ -289,13 +434,75 @@ mod tests {
         let report = Scenario::new()
             .probes(60)
             .ttl(60) // no cache protection
-            .attack(0.95)
-            .attack_window_min(40, 60)
+            .with_attack(Attack::loss(0.95).window_min(40, 60))
             .duration_min(120)
             .seed(5)
             .run();
-        let during = report.ok_fraction_during_attack();
+        let during = report
+            .ok_fraction_during_attack()
+            .expect("rounds in window");
         assert!(during < 0.8, "ok during 95% attack: {during}");
-        assert!(report.traffic_multiplier() > 1.5);
+        assert!(report.traffic_multiplier().expect("baseline exists") > 1.5);
+    }
+
+    #[test]
+    fn attack_window_past_end_of_run_yields_none() {
+        let report = Scenario::new()
+            .probes(10)
+            .duration_min(30)
+            .with_attack(Attack::complete().window_min(500, 60))
+            .seed(11)
+            .run();
+        // No round overlaps the window, so there is no "during" fraction —
+        // previously this reported a misleading 0.0.
+        assert_eq!(report.ok_fraction_during_attack(), None);
+        // The multiplier exists (quiet window over a real baseline) and
+        // shows no amplification.
+        let mult = report.traffic_multiplier().expect("baseline exists");
+        assert!(mult < 0.5, "empty attack window amplifies nothing: {mult}");
+    }
+
+    #[test]
+    fn attack_from_minute_zero_has_no_baseline() {
+        let report = Scenario::new()
+            .probes(10)
+            .duration_min(40)
+            .with_attack(Attack::loss(0.5).window_min(0, 40))
+            .seed(12)
+            .run();
+        // Everything is under attack: no pre-attack rounds to compare
+        // against — previously this reported a misleading 0.0.
+        assert_eq!(report.traffic_multiplier(), None);
+        // The OK fraction during the attack is still well-defined.
+        assert!(report.ok_fraction_during_attack().is_some());
+    }
+
+    #[test]
+    fn zero_round_scenario_yields_none_not_zero() {
+        let report = Scenario::new().probes(10).duration_min(0).seed(13).run();
+        assert!(report.output.log.records.is_empty());
+        assert_eq!(report.ok_fraction_during_attack(), None);
+    }
+
+    #[test]
+    fn metric_snapshots_are_deterministic_per_seed() {
+        let run = || {
+            Scenario::new()
+                .probes(15)
+                .duration_min(40)
+                .with_attack(Attack::loss(0.9).window_min(20, 20))
+                .seed(21)
+                .telemetry(TelemetryConfig::every_mins(10))
+                .run()
+        };
+        let (a, b) = (run(), run());
+        let (ra, rb) = (a.metrics().unwrap(), b.metrics().unwrap());
+        assert!(!ra.is_empty());
+        assert_eq!(ra.snapshot_times(), rb.snapshot_times());
+        assert_eq!(
+            ra.to_json(),
+            rb.to_json(),
+            "identical seeds, identical series"
+        );
     }
 }

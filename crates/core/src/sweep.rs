@@ -70,7 +70,12 @@ impl LossSweep {
                             break;
                         }
                         let (idx, loss) = jobs[i];
-                        let report = base.clone().attack(loss).run();
+                        // Override only the loss; the base's window and
+                        // scope apply to every arm.
+                        let mut arm = base.clone();
+                        arm.attack.loss = loss.clamp(0.0, 1.0);
+                        arm.attack_armed = true;
+                        let report = arm.run();
                         mine.push((idx, SweepPoint { loss, report }));
                     }
                     mine
@@ -94,12 +99,13 @@ impl LossSweep {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::Attack;
 
     fn small_base() -> Scenario {
         Scenario::new()
             .probes(40)
             .ttl(1800)
-            .attack_window_min(40, 40)
+            .with_attack(Attack::complete().window_min(40, 40))
             .duration_min(100)
             .seed(77)
     }
@@ -110,7 +116,11 @@ mod tests {
         assert_eq!(points.len(), 4);
         let ok: Vec<f64> = points
             .iter()
-            .map(|p| p.report.ok_fraction_during_attack())
+            .map(|p| {
+                p.report
+                    .ok_fraction_during_attack()
+                    .expect("window has rounds")
+            })
             .collect();
         // Monotone (allowing small noise): more loss, fewer answers.
         assert!(ok[0] > 0.95, "no attack: {ok:?}");

@@ -115,8 +115,7 @@ pub fn run_baseline(config: BaselineConfig, scale: f64, seed: u64) -> BaselineRe
     setup.seed = seed;
     setup.round_interval = SimDuration::from_mins(config.interval_min);
     setup.rounds = config.rounds;
-    setup.total_duration =
-        SimDuration::from_mins(config.interval_min * config.rounds as u64 + 15);
+    setup.total_duration = SimDuration::from_mins(config.interval_min * config.rounds as u64 + 15);
     let output = run_experiment(&setup);
 
     let classification = Classifier::default().classify(&output.log);
@@ -186,8 +185,7 @@ mod tests {
             "miss rate {miss} should be near the paper's ~30%"
         );
         // Misses are dominated by public resolvers (Table 3).
-        let frac_public =
-            r.public_split.public_r1 as f64 / r.public_split.ac_total.max(1) as f64;
+        let frac_public = r.public_split.public_r1 as f64 / r.public_split.ac_total.max(1) as f64;
         assert!(
             frac_public > 0.3,
             "public share of misses {frac_public} (paper: about half)"

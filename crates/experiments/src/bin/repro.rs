@@ -20,8 +20,8 @@ use std::collections::HashMap;
 
 use dike_experiments::baseline::{run_baseline, BaselineResult, BASELINES};
 use dike_experiments::ddos::{
-    ok_fraction_during_attack, run_ddos, run_ddos_with_queueing, traffic_multiplier,
-    DdosExperiment, DdosResult, ALL,
+    ok_fraction_during_attack, run_ddos_with_options, run_ddos_with_queueing, traffic_multiplier,
+    DdosExperiment, DdosOptions, DdosResult, ALL,
 };
 use dike_experiments::glue;
 use dike_experiments::implications;
@@ -35,6 +35,7 @@ struct Args {
     scale: f64,
     seed: u64,
     json: Option<String>,
+    metrics: Option<String>,
 }
 
 fn parse_args() -> Args {
@@ -43,6 +44,7 @@ fn parse_args() -> Args {
         scale: 0.05,
         seed: 42,
         json: None,
+        metrics: None,
     };
     let mut it = std::env::args().skip(1);
     let mut positional = Vec::new();
@@ -63,12 +65,35 @@ fn parse_args() -> Args {
             "--json" => {
                 args.json = Some(it.next().unwrap_or_else(|| die("--json needs a path")));
             }
+            "--metrics" => {
+                args.metrics = Some(it.next().unwrap_or_else(|| die("--metrics needs a path")));
+            }
             "--list" => {
                 for t in [
-                    "table1", "table2", "table3", "table4", "table5", "table6", "table7",
-                    "fig3", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9", "fig10",
-                    "fig11", "fig12", "fig13", "fig14", "fig15", "fig16",
-                    "implications", "queueing", "all",
+                    "table1",
+                    "table2",
+                    "table3",
+                    "table4",
+                    "table5",
+                    "table6",
+                    "table7",
+                    "fig3",
+                    "fig4",
+                    "fig5",
+                    "fig6",
+                    "fig7",
+                    "fig8",
+                    "fig9",
+                    "fig10",
+                    "fig11",
+                    "fig12",
+                    "fig13",
+                    "fig14",
+                    "fig15",
+                    "fig16",
+                    "implications",
+                    "queueing",
+                    "all",
                 ] {
                     println!("{t}");
                 }
@@ -76,8 +101,11 @@ fn parse_args() -> Args {
             }
             "--help" | "-h" => {
                 println!(
-                    "usage: repro <target> [--scale X] [--seed N] [--json FILE]\n\
-                     targets: table1-7, fig3-16, implications, queueing, all"
+                    "usage: repro <target> [--scale X] [--seed N] [--json FILE] [--metrics FILE]\n\
+                     targets: table1-7, fig3-16, implications, queueing, all\n\
+                     --metrics collects sim-time telemetry during the DDoS runs and\n\
+                     writes the full metric registry (per-node counters, gauges,\n\
+                     retry histograms) as JSON, keyed by experiment letter"
                 );
                 std::process::exit(0);
             }
@@ -99,16 +127,19 @@ fn die(msg: &str) -> ! {
 struct Ctx {
     scale: f64,
     seed: u64,
+    /// When set, DDoS runs collect sim-time telemetry for `--metrics`.
+    collect_metrics: bool,
     baselines: Option<Vec<BaselineResult>>,
     ddos: HashMap<char, DdosResult>,
     json: Vec<serde_json::Value>,
 }
 
 impl Ctx {
-    fn new(scale: f64, seed: u64) -> Self {
+    fn new(scale: f64, seed: u64, collect_metrics: bool) -> Self {
         Ctx {
             scale,
             seed,
+            collect_metrics,
             baselines: None,
             ddos: HashMap::new(),
             json: Vec::new(),
@@ -148,7 +179,14 @@ impl Ctx {
                 "[repro] running DDoS experiment {letter} at scale {} ...",
                 self.scale
             );
-            let r = run_ddos(exp, self.scale, self.seed + letter as u64);
+            // Snapshot on the same 10-minute grid the paper's figures use.
+            let opts = DdosOptions {
+                telemetry: self
+                    .collect_metrics
+                    .then(|| dike_telemetry::TelemetryConfig::every_mins(10)),
+                ..DdosOptions::default()
+            };
+            let r = run_ddos_with_options(exp, self.scale, self.seed + letter as u64, opts);
             self.ddos.insert(letter, r);
         }
         &self.ddos[&letter]
@@ -157,7 +195,7 @@ impl Ctx {
 
 fn main() {
     let args = parse_args();
-    let mut ctx = Ctx::new(args.scale, args.seed);
+    let mut ctx = Ctx::new(args.scale, args.seed, args.metrics.is_some());
     let t = args.target.clone();
     let all = t == "all";
     let mut matched = false;
@@ -210,6 +248,31 @@ fn main() {
         std::fs::write(&path, text).unwrap_or_else(|e| die(&format!("writing {path}: {e}")));
         eprintln!("[repro] wrote JSON results to {path}");
     }
+
+    if let Some(path) = args.metrics {
+        let mut entries: Vec<(char, String)> = ctx
+            .ddos
+            .iter()
+            .filter_map(|(l, r)| r.output.metrics.as_ref().map(|m| (*l, m.to_json())))
+            .collect();
+        entries.sort_by_key(|&(l, _)| l);
+        if entries.is_empty() {
+            eprintln!("[repro] --metrics: target '{t}' ran no DDoS experiments, nothing to write");
+        } else {
+            // Each registry already serializes itself; wrap them in one
+            // document keyed by experiment letter.
+            let body: Vec<String> = entries
+                .iter()
+                .map(|(l, json)| format!("\"{l}\": {json}"))
+                .collect();
+            let text = format!("{{{}}}\n", body.join(", "));
+            std::fs::write(&path, text).unwrap_or_else(|e| die(&format!("writing {path}: {e}")));
+            eprintln!(
+                "[repro] wrote metric registries for {} experiment(s) to {path}",
+                entries.len()
+            );
+        }
+    }
 }
 
 // ---------------------------------------------------------------------
@@ -219,7 +282,14 @@ fn main() {
 fn table1(ctx: &mut Ctx) {
     let mut tbl = TextTable::new(
         "Table 1: caching baseline experiments",
-        &["TTL", "Probes", "VPs", "Queries", "Answers", "Answers(valid)"],
+        &[
+            "TTL",
+            "Probes",
+            "VPs",
+            "Queries",
+            "Answers",
+            "Answers(valid)",
+        ],
     );
     for r in ctx.baselines() {
         tbl.row(&[
@@ -357,7 +427,10 @@ fn fig4(ctx: &mut Ctx) {
         seed: ctx.seed,
         ..NlConfig::default()
     };
-    eprintln!("[repro] fig4: emulating {} .nl recursives ...", cfg.n_recursives);
+    eprintln!(
+        "[repro] fig4: emulating {} .nl recursives ...",
+        cfg.n_recursives
+    );
     let r = run_nl(&cfg);
     let mut tbl = TextTable::new(
         "Figure 4: ECDF of median inter-arrival dt at .nl authoritatives (TTL 3600)",
@@ -454,7 +527,7 @@ fn table4(ctx: &mut Ctx) {
             r.output.n_vps.to_string(),
             r.output.log.records.len().to_string(),
             answers.to_string(),
-            pct(ok),
+            ok.map(pct).unwrap_or_else(|| "-".into()),
         ]);
     }
     ctx.emit(&tbl);
@@ -524,7 +597,14 @@ fn latency_figure(ctx: &mut Ctx, title: &str, exps: &[DdosExperiment]) {
         let r = ctx.ddos(exp);
         let mut tbl = TextTable::new(
             format!("{title} — Experiment {}", exp.letter()),
-            &["min", "median ms", "mean ms", "p75 ms", "p90 ms", "unanswered"],
+            &[
+                "min",
+                "median ms",
+                "mean ms",
+                "p75 ms",
+                "p90 ms",
+                "unanswered",
+            ],
         );
         for b in &r.latencies {
             match b.summary {
@@ -574,7 +654,7 @@ fn fig10(ctx: &mut Ctx) {
             format!(
                 "Figure 10: queries at authoritatives — Experiment {} (offered load {} during attack)",
                 exp.letter(),
-                ratio(mult)
+                mult.map(ratio).unwrap_or_else(|| "-".into())
             ),
             &["min", "NS", "A-for-NS", "AAAA-for-NS", "AAAA-for-PID", "total"],
         );
@@ -596,7 +676,9 @@ fn fig11(ctx: &mut Ctx) {
     let r = ctx.ddos(DdosExperiment::I);
     let mut tbl = TextTable::new(
         "Figure 11: Rn recursives and AAAA queries per probe (Experiment I)",
-        &["min", "Rn med", "Rn p90", "Rn max", "q med", "q p90", "q max"],
+        &[
+            "min", "Rn med", "Rn p90", "Rn max", "q med", "q p90", "q max",
+        ],
     );
     for b in r.output.server.amplification() {
         tbl.row(&[
@@ -707,7 +789,11 @@ fn table5(ctx: &mut Ctx) {
             ),
             &["bucket", "answers", "source"],
         );
-        tbl.row(&["TTL>3600".into(), b.above_parent.to_string(), "unclear".into()]);
+        tbl.row(&[
+            "TTL>3600".into(),
+            b.above_parent.to_string(),
+            "unclear".into(),
+        ]);
         tbl.row(&["TTL=3600".into(), b.parent.to_string(), "parent".into()]);
         tbl.row(&[
             "60<TTL<3600".into(),
@@ -764,7 +850,12 @@ fn table7(ctx: &mut Ctx) {
         &["min", "queries", "delivered", "unique Rn"],
     );
     for (min, q, d, rn) in rows {
-        tbl.row(&[min.to_string(), q.to_string(), d.to_string(), rn.to_string()]);
+        tbl.row(&[
+            min.to_string(),
+            q.to_string(),
+            d.to_string(),
+            rn.to_string(),
+        ]);
     }
     ctx.emit(&tbl);
 
@@ -819,7 +910,12 @@ fn implications_sweep(ctx: &mut Ctx) {
     let results = implications::sweep(n_probes, ctx.seed);
     let mut tbl = TextTable::new(
         "Implications (paper §8): 2 NS x 4 anycast sites, 60-min total-site failures",
-        &["TTL", "sites attacked (of 8)", "OK before", "OK during attack"],
+        &[
+            "TTL",
+            "sites attacked (of 8)",
+            "OK before",
+            "OK during attack",
+        ],
     );
     for r in results {
         tbl.row(&[
@@ -847,7 +943,12 @@ fn queueing_extension(ctx: &mut Ctx) {
         rate_pps: 2_000.0,
         capacity: 2_000,
     };
-    let plain = run_ddos(DdosExperiment::H, ctx.scale, ctx.seed);
+    let plain = run_ddos_with_options(
+        DdosExperiment::H,
+        ctx.scale,
+        ctx.seed,
+        DdosOptions::default(),
+    );
     let queued = run_ddos_with_queueing(DdosExperiment::H, ctx.scale, ctx.seed, Some(queue));
     let mut tbl = TextTable::new(
         "Queueing extension (paper 5.1 future work): Experiment H latency, loss-only vs loss+queueing",

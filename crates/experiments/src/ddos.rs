@@ -147,20 +147,49 @@ pub struct DdosResult {
     pub classes: Vec<ClassBin>,
 }
 
+/// Optional knobs for a DDoS run beyond the Table 4 parameters.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct DdosOptions {
+    /// The paper's future-work queueing model at the authoritatives: the
+    /// attack then also consumes service capacity, so surviving queries
+    /// see queueing delay (§5.1).
+    pub queueing: Option<dike_netsim::QueueConfig>,
+    /// Collect sim-time metric snapshots; the registry comes back in
+    /// [`ExperimentOutput::metrics`].
+    pub telemetry: Option<dike_telemetry::TelemetryConfig>,
+}
+
 /// Runs one of Table 4's experiments. `scale` scales the probe count
 /// (1.0 ≈ 9.2k probes).
 pub fn run_ddos(exp: DdosExperiment, scale: f64, seed: u64) -> DdosResult {
-    run_ddos_with_queueing(exp, scale, seed, None)
+    run_ddos_with_options(exp, scale, seed, DdosOptions::default())
 }
 
-/// Like [`run_ddos`] but optionally with the paper's future-work
-/// queueing model at the authoritatives: the attack then also consumes
-/// service capacity, so surviving queries see queueing delay.
+/// Like [`run_ddos`] but optionally with the queueing model at the
+/// authoritatives. Kept for callers predating [`DdosOptions`].
 pub fn run_ddos_with_queueing(
     exp: DdosExperiment,
     scale: f64,
     seed: u64,
     queueing: Option<dike_netsim::QueueConfig>,
+) -> DdosResult {
+    run_ddos_with_options(
+        exp,
+        scale,
+        seed,
+        DdosOptions {
+            queueing,
+            ..DdosOptions::default()
+        },
+    )
+}
+
+/// Runs one of Table 4's experiments with every optional knob.
+pub fn run_ddos_with_options(
+    exp: DdosExperiment,
+    scale: f64,
+    seed: u64,
+    opts: DdosOptions,
 ) -> DdosResult {
     let p = exp.params();
     let n_probes = ((9_200.0 * scale).round() as usize).max(10);
@@ -185,7 +214,8 @@ pub fn run_ddos_with_queueing(
     });
     // Table 7 drills into one probe; track a mid-range id.
     setup.track_probe = Some((n_probes as u16 / 2).max(1));
-    setup.queueing = queueing;
+    setup.queueing = opts.queueing;
+    setup.telemetry = opts.telemetry;
 
     let output = run_experiment(&setup);
     let outcomes = outcome_timeseries(&output.log, SimDuration::from_mins(10));
@@ -204,8 +234,9 @@ pub fn run_ddos_with_queueing(
     }
 }
 
-/// Mean OK fraction over the attack window's rounds.
-pub fn ok_fraction_during_attack(r: &DdosResult) -> f64 {
+/// Mean OK fraction over the attack window's rounds. `None` when no
+/// round with traffic overlaps the window.
+pub fn ok_fraction_during_attack(r: &DdosResult) -> Option<f64> {
     let start = (r.params.ddos_start_min / 10) as usize;
     let end = ((r.params.ddos_start_min + r.params.ddos_duration_min) / 10) as usize;
     let bins: Vec<_> = r
@@ -217,15 +248,17 @@ pub fn ok_fraction_during_attack(r: &DdosResult) -> f64 {
         })
         .collect();
     if bins.is_empty() {
-        return 0.0;
+        return None;
     }
-    bins.iter().map(|b| b.ok_fraction()).sum::<f64>() / bins.len() as f64
+    Some(bins.iter().map(|b| b.ok_fraction()).sum::<f64>() / bins.len() as f64)
 }
 
 /// The server-side traffic multiplier: mean offered queries per round
 /// during the attack over the mean before it (Fig. 10's headline 3.5× /
-/// 8.2× factors).
-pub fn traffic_multiplier(r: &DdosResult) -> f64 {
+/// 8.2× factors). `None` when there is no usable baseline — an attack
+/// starting in the first round (the excluded cold-start bin is all that
+/// precedes it) or no pre-attack traffic.
+pub fn traffic_multiplier(r: &DdosResult) -> Option<f64> {
     let start = (r.params.ddos_start_min / 10) as usize;
     let end = ((r.params.ddos_start_min + r.params.ddos_duration_min) / 10) as usize;
     let bins = r.output.server.bins();
@@ -243,17 +276,16 @@ pub fn traffic_multiplier(r: &DdosResult) -> f64 {
         .collect();
     let mean = |v: &[usize]| {
         if v.is_empty() {
-            0.0
+            None
         } else {
-            v.iter().sum::<usize>() as f64 / v.len() as f64
+            Some(v.iter().sum::<usize>() as f64 / v.len() as f64)
         }
     };
-    let b = mean(&before);
+    let b = mean(&before)?;
     if b == 0.0 {
-        0.0
-    } else {
-        mean(&during) / b
+        return None;
     }
+    Some(mean(&during).unwrap_or(0.0) / b)
 }
 
 #[cfg(test)]
@@ -263,7 +295,10 @@ mod tests {
     #[test]
     fn params_match_table_4() {
         let a = DdosExperiment::A.params();
-        assert_eq!((a.ttl, a.ddos_start_min, a.ddos_duration_min, a.loss), (3600, 10, 110, 1.0));
+        assert_eq!(
+            (a.ttl, a.ddos_start_min, a.ddos_duration_min, a.loss),
+            (3600, 10, 110, 1.0)
+        );
         let d = DdosExperiment::D.params();
         assert!(!d.both_ns);
         let i = DdosExperiment::I.params();
@@ -278,7 +313,7 @@ mod tests {
     #[test]
     fn experiment_e_clients_mostly_survive() {
         let r = run_ddos(DdosExperiment::E, 0.012, 21);
-        let ok = ok_fraction_during_attack(&r);
+        let ok = ok_fraction_during_attack(&r).expect("attack window has rounds");
         assert!(ok > 0.85, "ok fraction during 50% attack: {ok}");
     }
 
@@ -337,13 +372,13 @@ mod tests {
     #[test]
     fn experiment_i_retries_save_a_minority() {
         let r = run_ddos(DdosExperiment::I, 0.012, 22);
-        let ok = ok_fraction_during_attack(&r);
+        let ok = ok_fraction_during_attack(&r).expect("attack window has rounds");
         assert!(
             (0.10..0.75).contains(&ok),
             "ok fraction during 90% attack with no cache: {ok}"
         );
         // And the offered load on the server grows several-fold.
-        let mult = traffic_multiplier(&r);
+        let mult = traffic_multiplier(&r).expect("pre-attack baseline exists");
         assert!(mult > 2.0, "traffic multiplier {mult}");
     }
 }

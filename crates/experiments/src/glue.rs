@@ -70,7 +70,9 @@ fn build_glue_world(sim: &mut Simulator) -> (Addr, Addr) {
 
     let soa = |origin: &Name| SoaData {
         mname: origin.child("ns1").unwrap_or_else(|_| origin.clone()),
-        rname: origin.child("hostmaster").unwrap_or_else(|_| origin.clone()),
+        rname: origin
+            .child("hostmaster")
+            .unwrap_or_else(|_| origin.clone()),
         serial: 1,
         refresh: 14_400,
         retry: 3_600,
@@ -167,7 +169,12 @@ impl Node for TtlProbe {
 /// Runs Table 5: `n_resolvers` recursives (a `sloppy_fraction` of which
 /// answer from referral data), each queried once for the NS (or A)
 /// record of the test zone.
-pub fn run_table5(qtype: RecordType, n_resolvers: usize, sloppy_fraction: f64, seed: u64) -> TtlBuckets {
+pub fn run_table5(
+    qtype: RecordType,
+    n_resolvers: usize,
+    sloppy_fraction: f64,
+    seed: u64,
+) -> TtlBuckets {
     let mut sim = Simulator::new(seed);
     let (root, _ns) = build_glue_world(&mut sim);
     let observed = Arc::new(Mutex::new(Vec::new()));
@@ -208,9 +215,10 @@ pub fn run_table5(qtype: RecordType, n_resolvers: usize, sloppy_fraction: f64, s
 pub fn run_cache_dump(seed: u64) -> Option<(u32, TrustLevel)> {
     let mut sim = Simulator::new(seed);
     let (root, _) = build_glue_world(&mut sim);
-    let (resolver_id, resolver) = sim.add_node(Box::new(RecursiveResolver::new(
-        profiles::bind_like(vec![root]),
-    )));
+    let (resolver_id, resolver) =
+        sim.add_node(Box::new(RecursiveResolver::new(profiles::bind_like(vec![
+            root,
+        ]))));
     let observed = Arc::new(Mutex::new(Vec::new()));
     sim.add_node(Box::new(TtlProbe {
         resolver,
@@ -248,7 +256,9 @@ pub fn run_amazon_fixture(seed: u64) -> Option<(u32, TrustLevel)> {
 
     let soa = |origin: &Name| SoaData {
         mname: origin.child("ns1").unwrap_or_else(|_| origin.clone()),
-        rname: origin.child("hostmaster").unwrap_or_else(|_| origin.clone()),
+        rname: origin
+            .child("hostmaster")
+            .unwrap_or_else(|_| origin.clone()),
         serial: 1,
         refresh: 14_400,
         retry: 3_600,
@@ -281,20 +291,33 @@ pub fn run_amazon_fixture(seed: u64) -> Option<(u32, TrustLevel)> {
     // measured record.
     let amazon = Name::parse("amazon.com").expect("static");
     let dynect = Name::parse("ns1.amazon.com").expect("static");
-    com_zone.add(Record::new(amazon.clone(), 172_800, RData::Ns(dynect.clone())));
-    com_zone.add(Record::new(dynect.clone(), 172_800, RData::A(v4(amazon_addr))));
+    com_zone.add(Record::new(
+        amazon.clone(),
+        172_800,
+        RData::Ns(dynect.clone()),
+    ));
+    com_zone.add(Record::new(
+        dynect.clone(),
+        172_800,
+        RData::A(v4(amazon_addr)),
+    ));
 
     let mut amazon_zone = dike_auth::Zone::new(amazon.clone(), 3_600, soa(&amazon));
-    amazon_zone.add(Record::new(amazon.clone(), 3_600, RData::Ns(dynect.clone())));
+    amazon_zone.add(Record::new(
+        amazon.clone(),
+        3_600,
+        RData::Ns(dynect.clone()),
+    ));
     amazon_zone.add(Record::new(dynect, 86_400, RData::A(v4(amazon_addr))));
 
     sim.add_node(Box::new(AuthServer::new().with_zone(Box::new(root_zone))));
     sim.add_node(Box::new(AuthServer::new().with_zone(Box::new(com_zone))));
     sim.add_node(Box::new(AuthServer::new().with_zone(Box::new(amazon_zone))));
 
-    let (resolver_id, resolver) = sim.add_node(Box::new(RecursiveResolver::new(
-        profiles::bind_like(vec![root_addr]),
-    )));
+    let (resolver_id, resolver) =
+        sim.add_node(Box::new(RecursiveResolver::new(profiles::bind_like(vec![
+            root_addr,
+        ]))));
     let observed = Arc::new(Mutex::new(Vec::new()));
     sim.add_node(Box::new(TtlProbe {
         resolver,

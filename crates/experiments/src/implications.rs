@@ -93,7 +93,9 @@ const TOTAL_MIN: u64 = 150;
 fn soa(origin: &Name) -> SoaData {
     SoaData {
         mname: origin.child("ns1").unwrap_or_else(|_| origin.clone()),
-        rname: origin.child("hostmaster").unwrap_or_else(|_| origin.clone()),
+        rname: origin
+            .child("hostmaster")
+            .unwrap_or_else(|_| origin.clone()),
         serial: 1,
         refresh: 14_400,
         retry: 3_600,
@@ -161,9 +163,9 @@ pub fn run_implications(cfg: &ImplicationsConfig) -> ImplicationsResult {
     for (i, expected_vip) in vips.iter().enumerate() {
         let mut members: Vec<NodeId> = Vec::new();
         for _ in 0..cfg.sites_per_ns {
-            let (id, addr) = sim.add_node(Box::new(AuthServer::new().with_zone(Box::new(
-                CacheTestZone::new(cfg.ttl, &ns_v4),
-            ))));
+            let (id, addr) = sim.add_node(Box::new(
+                AuthServer::new().with_zone(Box::new(CacheTestZone::new(cfg.ttl, &ns_v4))),
+            ));
             members.push(id);
             all_sites.push(addr);
         }

@@ -31,8 +31,8 @@ pub mod implications;
 pub mod population;
 pub mod production;
 pub mod public_resolvers;
-pub mod software;
 pub mod setup;
+pub mod software;
 pub mod topology;
 
 pub use population::PopulationMix;

@@ -181,7 +181,10 @@ mod tests {
         let frac_public = public as f64 / n as f64;
         assert!((frac_public - m.frac_public).abs() < 0.02, "{frac_public}");
         let google_share = google as f64 / public as f64;
-        assert!((google_share - m.google_share).abs() < 0.03, "{google_share}");
+        assert!(
+            (google_share - m.google_share).abs() < 0.03,
+            "{google_share}"
+        );
     }
 
     #[test]

@@ -452,10 +452,7 @@ mod tests {
         let at_ttl = r.frac_at(3600.0);
         assert!(at_ttl > 0.3, "peak at TTL: {at_ttl} {r:?}");
         // ...and cappers/fragmented farms create early (AC) refetches.
-        assert!(
-            r.ac_intervals > 0,
-            "early refetches exist: {r:?}"
-        );
+        assert!(r.ac_intervals > 0, "early refetches exist: {r:?}");
         let ac_frac = r.ac_intervals as f64 / (r.ac_intervals + r.aa_intervals) as f64;
         assert!((0.05..0.8).contains(&ac_frac), "AC fraction {ac_frac}");
     }
@@ -475,7 +472,12 @@ mod tests {
         // Long tail into the thousands.
         assert!(r.max_queries > 1_000, "max {}", r.max_queries);
         // The friendly letter's CDF dominates the worst letter's at n=4.
-        let f4 = r.friendly_letter.iter().find(|(n, _)| *n == 4).expect("n=4").1;
+        let f4 = r
+            .friendly_letter
+            .iter()
+            .find(|(n, _)| *n == 4)
+            .expect("n=4")
+            .1;
         let h4 = r.worst_letter.iter().find(|(n, _)| *n == 4).expect("n=4").1;
         assert!(
             f4 > h4,
@@ -570,11 +572,8 @@ pub fn run_nl_full_sim(cfg: &NlSimConfig) -> PassiveReport {
     let zone = zonefile::parse(&zone_text, None).expect("valid zone text");
     let (_, auth) = sim.add_node(Box::new(AuthServer::new().with_zone(Box::new(zone))));
 
-    let (analyzer, sink) = dike_netsim::trace::shared(PassiveAnalyzer::new(
-        [auth],
-        names.clone(),
-        RecordType::A,
-    ));
+    let (analyzer, sink) =
+        dike_netsim::trace::shared(PassiveAnalyzer::new([auth], names.clone(), RecordType::A));
     sim.add_sink(sink);
 
     let mut rng = SmallRng::seed_from_u64(cfg.seed ^ 0x9e37);

@@ -9,6 +9,7 @@ use dike_attack::Attack;
 use dike_netsim::{trace, QueueConfig, SimDuration, Simulator};
 use dike_stats::server_view::ServerView;
 use dike_stub::ProbeLog;
+use dike_telemetry::{MetricsRegistry, TelemetryConfig};
 
 use crate::population::PopulationMix;
 use crate::topology::{self, BuildConfig, VpMeta};
@@ -70,6 +71,10 @@ pub struct ExperimentSetup {
     /// `loss`-fraction of their capacity, so surviving queries pay
     /// queueing delay on top of the random loss (paper §5.1).
     pub queueing: Option<QueueConfig>,
+    /// Collect sim-time metric snapshots during the run. The registry
+    /// comes back in [`ExperimentOutput::metrics`]; auth servers and the
+    /// public-farm resolvers get human-readable node labels.
+    pub telemetry: Option<TelemetryConfig>,
 }
 
 impl ExperimentSetup {
@@ -90,6 +95,7 @@ impl ExperimentSetup {
             track_probe: None,
             regional_latency: true,
             queueing: None,
+            telemetry: None,
         }
     }
 }
@@ -111,6 +117,10 @@ pub struct ExperimentOutput {
     pub n_probes: usize,
     /// Vantage points in the run.
     pub n_vps: usize,
+    /// Metric snapshots, present when [`ExperimentSetup::telemetry`] was
+    /// set. Query counters for `auth:ns1`/`auth:ns2` here agree with
+    /// [`ExperimentOutput::server`]'s totals — two views of one run.
+    pub metrics: Option<MetricsRegistry>,
 }
 
 /// Runs one experiment to completion.
@@ -128,6 +138,24 @@ pub fn run_experiment(setup: &ExperimentSetup) -> ExperimentOutput {
         regional_latency: setup.regional_latency,
     };
     let topo = topology::build(&mut sim, &build);
+
+    // Optional telemetry: snapshot every node's counters on sim-time
+    // boundaries; label the servers the analysis will look up by name.
+    let registry = setup.telemetry.map(|tcfg| {
+        let reg = dike_telemetry::shared_registry();
+        sim.attach_telemetry(reg.clone(), tcfg);
+        sim.label_addr(topo.root, "auth:root");
+        sim.label_addr(topo.nl, "auth:nl-tld");
+        sim.label_addr(topo.ns[0], "auth:ns1");
+        sim.label_addr(topo.ns[1], "auth:ns2");
+        for (i, b) in topo.google_backends.iter().enumerate() {
+            sim.label_addr(*b, &format!("resolver:google-backend{i}"));
+        }
+        for r1 in &topo.public_r1s {
+            sim.label_addr(*r1, "resolver:public-frontend");
+        }
+        reg
+    });
 
     // Server-side accounting at the two cachetest.nl authoritatives.
     let mut view = ServerView::new(topo.ns, SimDuration::from_mins(10));
@@ -193,6 +221,12 @@ pub fn run_experiment(setup: &ExperimentSetup) -> ExperimentOutput {
     let server = Arc::try_unwrap(view_handle)
         .expect("simulator dropped, view has one owner")
         .into_inner();
+    let metrics = registry.map(|reg| {
+        Arc::try_unwrap(reg)
+            .expect("simulator dropped, registry has one owner")
+            .into_inner()
+            .expect("telemetry registry poisoned")
+    });
     let n_vps = topo.vps.len();
     ExperimentOutput {
         log,
@@ -202,6 +236,7 @@ pub fn run_experiment(setup: &ExperimentSetup) -> ExperimentOutput {
         public_r1s: topo.public_r1s,
         n_probes: topo.n_probes,
         n_vps,
+        metrics,
     }
 }
 
@@ -228,6 +263,44 @@ mod tests {
     }
 
     #[test]
+    fn telemetry_auth_counters_agree_with_server_view() {
+        let mut setup = ExperimentSetup::new(30, 3600);
+        setup.rounds = 2;
+        setup.total_duration = SimDuration::from_mins(50);
+        setup.telemetry = Some(TelemetryConfig::every_mins(10));
+        let out = run_experiment(&setup);
+        let reg = out.metrics.expect("telemetry requested");
+
+        // The two cachetest.nl authoritatives, found by label.
+        let ns_ids: Vec<u32> = reg
+            .node_labels()
+            .filter(|(_, l)| *l == "auth:ns1" || *l == "auth:ns2")
+            .map(|(id, _)| id)
+            .collect();
+        assert_eq!(ns_ids.len(), 2);
+
+        // The registry's query counters and the trace-sink ServerView are
+        // two independent accountings of the same run; they must agree.
+        let telemetry_total: u64 = ns_ids
+            .iter()
+            .map(|&id| reg.counter_total("auth", Some(id), "queries").unwrap_or(0))
+            .sum();
+        assert!(telemetry_total > 0);
+        assert_eq!(telemetry_total, out.server.total_queries);
+
+        // Offered-datagram counters at the same nodes use the same
+        // accounting point (before loss filters), so they agree too.
+        let offered: u64 = ns_ids
+            .iter()
+            .map(|&id| {
+                reg.counter_total("netsim", Some(id), "datagrams_offered")
+                    .unwrap_or(0)
+            })
+            .sum();
+        assert_eq!(offered, out.server.total_queries);
+    }
+
+    #[test]
     fn complete_attack_starves_clients_after_ttl() {
         let mut setup = ExperimentSetup::new(40, 1800);
         setup.round_interval = SimDuration::from_mins(10);
@@ -240,10 +313,7 @@ mod tests {
             scope: AttackScope::BothNs,
         });
         let out = run_experiment(&setup);
-        let bins = dike_stats::timeseries::outcome_timeseries(
-            &out.log,
-            SimDuration::from_mins(10),
-        );
+        let bins = dike_stats::timeseries::outcome_timeseries(&out.log, SimDuration::from_mins(10));
         // Before the attack: nearly everything OK.
         let pre: f64 = bins[..5].iter().map(|b| b.ok_fraction()).sum::<f64>() / 5.0;
         assert!(pre > 0.9, "pre-attack ok fraction {pre}");

@@ -122,7 +122,10 @@ pub fn run_software(software: Software, ddos: bool, seed: u64) -> QueryBreakdown
     }
     sim.run_until(SimDuration::from_mins(5).after_zero());
     drop(sim);
-    let counts = Arc::try_unwrap(counter).expect("one owner").into_inner().counts;
+    let counts = Arc::try_unwrap(counter)
+        .expect("one owner")
+        .into_inner()
+        .counts;
     QueryBreakdown {
         to_root: counts.get(&root).copied().unwrap_or(0),
         to_tld: counts.get(&nl).copied().unwrap_or(0),

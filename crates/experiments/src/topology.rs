@@ -85,7 +85,9 @@ fn v4(addr: Addr) -> Ipv4Addr {
 fn soa_for(origin: &Name) -> SoaData {
     SoaData {
         mname: origin.child("ns1").unwrap_or_else(|_| origin.clone()),
-        rname: origin.child("hostmaster").unwrap_or_else(|_| origin.clone()),
+        rname: origin
+            .child("hostmaster")
+            .unwrap_or_else(|_| origin.clone()),
         serial: 1,
         refresh: 14_400,
         retry: 3_600,
@@ -143,7 +145,10 @@ pub fn add_hierarchy(sim: &mut Simulator, ttl: u32) -> (Addr, Addr, [Addr; 2]) {
     let (_, ns2) = sim.add_node(Box::new(AuthServer::new().with_zone(Box::new(
         CacheTestZone::new(ttl, &[v4(ns1_addr), v4(ns2_addr)]),
     ))));
-    debug_assert_eq!((root, nl_a, ns1, ns2), (root_addr, nl_addr, ns1_addr, ns2_addr));
+    debug_assert_eq!(
+        (root, nl_a, ns1, ns2),
+        (root_addr, nl_addr, ns1_addr, ns2_addr)
+    );
     (root, nl_a, [ns1, ns2])
 }
 
@@ -290,9 +295,8 @@ pub fn build(sim: &mut Simulator, cfg: &BuildConfig) -> Topology {
             });
         }
 
-        let phase = SimDuration::from_nanos(
-            rng.random_range(0..cfg.first_round_spread.as_nanos().max(1)),
-        );
+        let phase =
+            SimDuration::from_nanos(rng.random_range(0..cfg.first_round_spread.as_nanos().max(1)));
         let mut stub_cfg = StubConfig::new(
             probe_id,
             recursives.clone(),

@@ -46,7 +46,11 @@ impl std::fmt::Debug for Event {
         match self {
             Event::Deliver(d) => write!(f, "Deliver({} -> {})", d.src, d.dst),
             Event::DeliverQueued { dgram, node, .. } => {
-                write!(f, "DeliverQueued({} -> {} via {node})", dgram.src, dgram.dst)
+                write!(
+                    f,
+                    "DeliverQueued({} -> {} via {node})",
+                    dgram.src, dgram.dst
+                )
             }
             Event::Timer { node, token, id } => {
                 write!(f, "Timer(node={node}, token={}, id={id})", token.0)
@@ -114,7 +118,9 @@ mod tests {
         q.push(entry(30, 0));
         q.push(entry(10, 1));
         q.push(entry(20, 2));
-        let order: Vec<u64> = std::iter::from_fn(|| q.pop()).map(|e| e.at.as_secs()).collect();
+        let order: Vec<u64> = std::iter::from_fn(|| q.pop())
+            .map(|e| e.at.as_secs())
+            .collect();
         assert_eq!(order, vec![10, 20, 30]);
     }
 

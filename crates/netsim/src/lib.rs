@@ -24,6 +24,11 @@
 //! * [`trace`] — pluggable observation: every delivered or dropped
 //!   datagram can be fed to a [`trace::TraceSink`] for server-side traffic
 //!   accounting (paper §6).
+//! * Telemetry — attach a [`dike_telemetry::MetricsRegistry`] with
+//!   [`Simulator::attach_telemetry`] and the simulator publishes its
+//!   event/datagram counters plus every node's
+//!   [`Node::publish_metrics`] output at each sim-time snapshot
+//!   boundary.
 //!
 //! ```
 //! use dike_netsim::{Simulator, SimDuration};
@@ -48,6 +53,7 @@ pub mod trace_io;
 pub use addr::{Addr, NodeId};
 pub use anycast::AnycastTable;
 pub use datagram::Datagram;
+pub use dike_telemetry as telemetry;
 pub use link::{LatencyModel, LinkParams, LinkTable};
 pub use node::{Context, Node, TimerId, TimerToken};
 pub use queueing::{QueueConfig, ServiceQueue};

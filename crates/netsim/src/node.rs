@@ -38,6 +38,16 @@ pub trait Node {
 
     /// A previously set (and not cancelled) timer fired.
     fn on_timer(&mut self, ctx: &mut Context<'_>, token: TimerToken);
+
+    /// Publishes the node's current metric values into the attached
+    /// telemetry registry. Called by the simulator at every sim-time
+    /// snapshot boundary (never between events, never from wall clock).
+    /// The default publishes nothing; nodes with interesting state
+    /// override it and report *cumulative* values — the registry handles
+    /// the time series.
+    fn publish_metrics(&self, out: &mut dike_telemetry::NodePublisher<'_>) {
+        let _ = out;
+    }
 }
 
 /// The node's window onto the simulator while it handles an event.
@@ -71,8 +81,8 @@ impl<'a> Context<'a> {
     /// Panics if the message fails to encode — a node producing an
     /// unencodable message is a bug, not a runtime condition.
     pub fn send(&mut self, dst: Addr, msg: &Message) {
-        let payload = dike_wire::codec::encode(msg)
-            .expect("node produced an unencodable DNS message");
+        let payload =
+            dike_wire::codec::encode(msg).expect("node produced an unencodable DNS message");
         self.world.send_datagram(self.addr, dst, payload);
     }
 

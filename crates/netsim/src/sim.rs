@@ -3,6 +3,7 @@
 
 use std::collections::{HashMap, HashSet};
 
+use dike_telemetry::{NodePublisher, SharedRegistry, TelemetryConfig};
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
 
@@ -23,6 +24,35 @@ const FIRST_ADDR: u32 = 0x0a00_0001;
 /// `198.18.0.1` (benchmarking range, far from the unicast pool).
 const FIRST_VIP: u32 = 0xc612_0001;
 
+/// Simulator-level counters, always maintained (plain integer adds, so
+/// the hot path carries no telemetry branch) and published into the
+/// attached [`dike_telemetry::MetricsRegistry`] at snapshot boundaries.
+#[derive(Debug, Clone, Copy, Default)]
+struct NetStats {
+    events_popped: u64,
+    timers_fired: u64,
+    timers_cancelled: u64,
+    control_events: u64,
+    datagrams_sent: u64,
+    datagrams_delivered: u64,
+    datagrams_dropped: u64,
+    datagrams_no_route: u64,
+    queue_drops: u64,
+    /// High-water mark of the event-queue depth.
+    queue_depth_high_water: u64,
+}
+
+/// Per-destination-node traffic counters. `offered` counts every
+/// datagram whose destination resolves to the node — *before* loss
+/// filters — matching the server-view accounting the paper uses for
+/// Fig. 10 (traffic offered to an authoritative under attack).
+#[derive(Debug, Clone, Copy, Default)]
+struct NodeNetStats {
+    offered: u64,
+    delivered: u64,
+    dropped: u64,
+}
+
 /// Everything in the simulation except the nodes themselves. Split out so
 /// a node can be taken off the registry and run against `&mut World`
 /// without borrow gymnastics.
@@ -40,6 +70,8 @@ pub struct World {
     queues: HashMap<Addr, ServiceQueue>,
     next_timer: u64,
     cancelled: HashSet<u64>,
+    net: NetStats,
+    node_net: Vec<NodeNetStats>,
 }
 
 impl World {
@@ -101,11 +133,16 @@ impl World {
         let seq = self.seq;
         self.seq += 1;
         self.queue.push(HeapEntry { at, seq, event });
+        let depth = self.queue.len() as u64;
+        if depth > self.net.queue_depth_high_water {
+            self.net.queue_depth_high_water = depth;
+        }
     }
 
     /// Queues a datagram: samples the path delay now, evaluates loss at
     /// arrival (see [`Simulator::step`]).
     pub(crate) fn send_datagram(&mut self, src: Addr, dst: Addr, payload: Vec<u8>) {
+        self.net.datagrams_sent += 1;
         let delay = self.links.params(src, dst).latency.sample(&mut self.rng);
         let at = self.now + delay;
         self.push(at, Event::Deliver(Datagram { src, dst, payload }));
@@ -138,9 +175,19 @@ impl World {
     ) {
         let now = self.now;
         for sink in &self.sinks {
-            sink.lock().observe(now, src, dst, msg, wire_len, disposition);
+            sink.lock()
+                .observe(now, src, dst, msg, wire_len, disposition);
         }
     }
+}
+
+/// Telemetry attachment: the shared registry plus the next sim-time
+/// boundary at which a snapshot is due.
+struct Telemetry {
+    registry: SharedRegistry,
+    interval: SimDuration,
+    per_node_net: bool,
+    next_at: SimTime,
 }
 
 /// The deterministic discrete-event simulator.
@@ -152,6 +199,7 @@ pub struct Simulator {
     nodes: Vec<Option<Box<dyn Node>>>,
     started: Vec<bool>,
     world: World,
+    telemetry: Option<Telemetry>,
 }
 
 impl Simulator {
@@ -174,8 +222,110 @@ impl Simulator {
                 queues: HashMap::new(),
                 next_timer: 0,
                 cancelled: HashSet::new(),
+                net: NetStats::default(),
+                node_net: Vec::new(),
             },
+            telemetry: None,
         }
+    }
+
+    /// Attaches a metrics registry. From now on the simulator cuts a
+    /// snapshot of every registered metric each `config` interval of
+    /// *simulated* time (plus one final snapshot when a run method
+    /// returns), publishing its own event/datagram counters and calling
+    /// [`Node::publish_metrics`] on every node. Never driven by wall
+    /// clock, so metric series are as deterministic as the run itself.
+    pub fn attach_telemetry(&mut self, registry: SharedRegistry, config: TelemetryConfig) {
+        let interval = SimDuration::from_nanos(config.snapshot_interval_nanos.max(1));
+        self.telemetry = Some(Telemetry {
+            registry,
+            interval,
+            per_node_net: config.per_node_net,
+            next_at: self.world.now + interval,
+        });
+    }
+
+    /// The attached registry, if any.
+    pub fn telemetry_registry(&self) -> Option<&SharedRegistry> {
+        self.telemetry.as_ref().map(|t| &t.registry)
+    }
+
+    /// Attaches a human-readable label (e.g. `auth:ns1`) to a node in
+    /// the telemetry registry. No-op unless telemetry is attached.
+    pub fn label_node(&mut self, id: NodeId, label: &str) {
+        if let Some(tel) = &self.telemetry {
+            tel.registry
+                .lock()
+                .expect("telemetry registry poisoned")
+                .set_node_label(id.0, label);
+        }
+    }
+
+    /// [`Simulator::label_node`] keyed by address instead of node id.
+    /// Ignores anycast VIPs and unknown addresses.
+    pub fn label_addr(&mut self, addr: Addr, label: &str) {
+        if let Some(&id) = self.world.node_of.get(&addr) {
+            self.label_node(id, label);
+        }
+    }
+
+    /// Cuts snapshots at every due boundary `<= upto`.
+    fn cut_due_snapshots(&mut self, upto: SimTime) {
+        loop {
+            let Some(tel) = &self.telemetry else { return };
+            let at = tel.next_at;
+            if at > upto {
+                return;
+            }
+            self.cut_snapshot(at);
+            let tel = self.telemetry.as_mut().expect("telemetry still attached");
+            tel.next_at = at + tel.interval;
+        }
+    }
+
+    /// Publishes all counters and node metrics and cuts one snapshot
+    /// labeled `at`. Duplicate boundaries collapse in the registry.
+    fn cut_snapshot(&mut self, at: SimTime) {
+        let Some(tel) = &self.telemetry else { return };
+        let mut reg = tel.registry.lock().expect("telemetry registry poisoned");
+        let net = &self.world.net;
+        reg.record_counter("netsim", None, "events_popped", net.events_popped);
+        reg.record_counter("netsim", None, "timers_fired", net.timers_fired);
+        reg.record_counter("netsim", None, "timers_cancelled", net.timers_cancelled);
+        reg.record_counter("netsim", None, "control_events", net.control_events);
+        reg.record_counter("netsim", None, "datagrams_sent", net.datagrams_sent);
+        reg.record_counter(
+            "netsim",
+            None,
+            "datagrams_delivered",
+            net.datagrams_delivered,
+        );
+        reg.record_counter("netsim", None, "datagrams_dropped", net.datagrams_dropped);
+        reg.record_counter("netsim", None, "datagrams_no_route", net.datagrams_no_route);
+        reg.record_counter("netsim", None, "queue_drops", net.queue_drops);
+        reg.record_high_water(
+            "netsim",
+            None,
+            "event_queue_depth_high_water",
+            net.queue_depth_high_water as f64,
+        );
+        if tel.per_node_net {
+            for (idx, n) in self.world.node_net.iter().enumerate() {
+                if n.offered == 0 {
+                    continue;
+                }
+                let id = Some(idx as u32);
+                reg.record_counter("netsim", id, "datagrams_offered", n.offered);
+                reg.record_counter("netsim", id, "datagrams_delivered", n.delivered);
+                reg.record_counter("netsim", id, "datagrams_dropped", n.dropped);
+            }
+        }
+        for (idx, slot) in self.nodes.iter().enumerate() {
+            if let Some(node) = slot {
+                node.publish_metrics(&mut NodePublisher::new(&mut reg, idx as u32));
+            }
+        }
+        reg.snapshot(at.as_nanos());
     }
 
     /// The address the *next* call to [`Simulator::add_node`] will assign.
@@ -199,6 +349,7 @@ impl Simulator {
         self.started.push(false);
         self.world.addr_of.push(addr);
         self.world.node_of.insert(addr, id);
+        self.world.node_net.push(NodeNetStats::default());
         (id, addr)
     }
 
@@ -249,11 +400,7 @@ impl Simulator {
 
     /// Schedules `f` to mutate the world at time `at` — the hook attack
     /// scenarios use to start and stop loss filters.
-    pub fn schedule_control(
-        &mut self,
-        at: SimTime,
-        f: impl FnOnce(&mut World) + Send + 'static,
-    ) {
+    pub fn schedule_control(&mut self, at: SimTime, f: impl FnOnce(&mut World) + Send + 'static) {
         self.world.push(at, Event::Control(Box::new(f)));
     }
 
@@ -296,19 +443,31 @@ impl Simulator {
             return false;
         };
         debug_assert!(entry.at >= self.world.now, "time went backwards");
+        // Snapshot boundaries are cut *before* the first event at or past
+        // them is applied: a snapshot at t covers exactly the events with
+        // time < t, independent of how events cluster around boundaries.
+        if let Some(tel) = &self.telemetry {
+            if entry.at >= tel.next_at {
+                self.cut_due_snapshots(entry.at);
+            }
+        }
         self.world.now = entry.at;
+        self.world.net.events_popped += 1;
         match entry.event {
             Event::Deliver(dgram) => self.deliver(dgram),
-            Event::DeliverQueued { dgram, node, local } => {
-                self.deliver_to_node(dgram, node, local)
-            }
+            Event::DeliverQueued { dgram, node, local } => self.deliver_to_node(dgram, node, local),
             Event::Timer { node, token, id } => {
                 if self.world.cancelled.remove(&id) {
+                    self.world.net.timers_cancelled += 1;
                     return true;
                 }
+                self.world.net.timers_fired += 1;
                 self.dispatch_timer(node, token);
             }
-            Event::Control(f) => f(&mut self.world),
+            Event::Control(f) => {
+                self.world.net.control_events += 1;
+                f(&mut self.world)
+            }
         }
         true
     }
@@ -333,8 +492,8 @@ impl Simulator {
         // matches filtering in front of the target and lets filters that
         // start mid-flight affect packets already "in the air".
         let params = self.world.links.params(dgram.src, dgram.dst);
-        let ambient_drop =
-            params.loss > 0.0 && rand::RngExt::random_bool(&mut self.world.rng, params.loss.clamp(0.0, 1.0));
+        let ambient_drop = params.loss > 0.0
+            && rand::RngExt::random_bool(&mut self.world.rng, params.loss.clamp(0.0, 1.0));
         let mut attack = self.world.links.ingress_loss(dgram.dst);
         if let Some(site) = site_filter_addr {
             attack = attack.max(self.world.links.ingress_loss(site));
@@ -350,6 +509,21 @@ impl Simulator {
         };
         self.world
             .observe(dgram.src, dgram.dst, &msg, wire_len, disposition);
+        if let Some(id) = dest {
+            // Offered counts before the loss filters — the same ingress
+            // accounting the trace sinks use for the paper's server view.
+            self.world.node_net[id.0 as usize].offered += 1;
+        }
+        match disposition {
+            Disposition::NoRoute => self.world.net.datagrams_no_route += 1,
+            Disposition::Dropped => {
+                self.world.net.datagrams_dropped += 1;
+                if let Some(id) = dest {
+                    self.world.node_net[id.0 as usize].dropped += 1;
+                }
+            }
+            Disposition::Delivered => self.world.net.datagrams_delivered += 1,
+        }
 
         if disposition != Disposition::Delivered {
             return;
@@ -376,6 +550,8 @@ impl Simulator {
                     // random-loss filters); report the queue drop too so
                     // sinks can distinguish. Simplest faithful model:
                     // count it as a drop at the ingress.
+                    self.world.net.queue_drops += 1;
+                    self.world.node_net[id.0 as usize].dropped += 1;
                     return;
                 }
                 QueueOutcome::Enqueued(delay) if delay > SimDuration::ZERO => {
@@ -397,6 +573,7 @@ impl Simulator {
 
     /// Hands a datagram that has cleared every ingress stage to its node.
     fn deliver_to_node(&mut self, dgram: Datagram, id: NodeId, local: Addr) {
+        self.world.node_net[id.0 as usize].delivered += 1;
         let Ok(msg) = dgram.message() else {
             return;
         };
@@ -435,14 +612,20 @@ impl Simulator {
         self.nodes[idx] = Some(node);
     }
 
-    /// Runs until the queue is empty.
+    /// Runs until the queue is empty. With telemetry attached, a final
+    /// snapshot is cut at the time of the last event.
     pub fn run_until_idle(&mut self) {
         self.start_pending();
         while self.step() {}
+        let now = self.world.now;
+        self.cut_due_snapshots(now);
+        self.cut_snapshot(now);
     }
 
     /// Runs until the clock reaches `deadline` (events at exactly
-    /// `deadline` are processed) or the queue empties.
+    /// `deadline` are processed) or the queue empties. With telemetry
+    /// attached, all due boundaries plus a final snapshot are cut at
+    /// `deadline`.
     pub fn run_until(&mut self, deadline: SimTime) {
         self.start_pending();
         while let Some(entry) = self.world.queue.peek() {
@@ -454,6 +637,8 @@ impl Simulator {
         if self.world.now < deadline {
             self.world.now = deadline;
         }
+        self.cut_due_snapshots(deadline);
+        self.cut_snapshot(deadline);
     }
 }
 
@@ -700,5 +885,59 @@ mod tests {
         let mut sim = Simulator::new(6);
         sim.run_until(SimDuration::from_secs(100).after_zero());
         assert_eq!(sim.now().as_secs(), 100);
+    }
+
+    fn telemetry_run(seed: u64) -> dike_telemetry::MetricsRegistry {
+        let mut sim = Simulator::new(seed);
+        fixed_fabric(&mut sim, 10);
+        let (echo_id, echo_addr) = sim.add_node(Box::new(Echo));
+        sim.add_node(Box::new(Pinger {
+            target: echo_addr,
+            sent_at: None,
+            rtt: None,
+        }));
+        let reg = dike_telemetry::shared_registry();
+        sim.attach_telemetry(reg.clone(), dike_telemetry::TelemetryConfig::every_secs(1));
+        sim.label_node(echo_id, "echo");
+        sim.run_until(SimDuration::from_secs(5).after_zero());
+        drop(sim);
+        std::sync::Arc::try_unwrap(reg)
+            .expect("simulator dropped its registry handle")
+            .into_inner()
+            .expect("registry not poisoned")
+    }
+
+    #[test]
+    fn telemetry_counts_events_and_per_node_traffic() {
+        let reg = telemetry_run(7);
+        // One query + one response.
+        assert_eq!(reg.counter_total("netsim", None, "datagrams_sent"), Some(2));
+        assert_eq!(
+            reg.counter_total("netsim", None, "datagrams_delivered"),
+            Some(2)
+        );
+        assert_eq!(
+            reg.counter_total("netsim", None, "datagrams_dropped"),
+            Some(0)
+        );
+        // The echo node (node 0) was offered exactly the query.
+        assert_eq!(
+            reg.counter_total("netsim", Some(0), "datagrams_offered"),
+            Some(1)
+        );
+        assert_eq!(
+            reg.counter_total("netsim", Some(0), "datagrams_delivered"),
+            Some(1)
+        );
+        assert_eq!(reg.node_label(0), Some("echo"));
+        // Boundaries at 1..=5 s, cut on sim time.
+        assert_eq!(reg.snapshot_times().len(), 5);
+        assert_eq!(reg.snapshot_times()[0], 1_000_000_000);
+        assert_eq!(reg.snapshot_times()[4], 5_000_000_000);
+    }
+
+    #[test]
+    fn telemetry_snapshots_are_deterministic_across_runs() {
+        assert_eq!(telemetry_run(9).to_json(), telemetry_run(9).to_json());
     }
 }

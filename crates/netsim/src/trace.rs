@@ -139,9 +139,30 @@ mod tests {
     fn counting_trace_tallies_by_disposition() {
         let msg = Message::query(1, Name::parse("nl").unwrap(), RecordType::A);
         let mut c = CountingTrace::default();
-        c.observe(SimTime::ZERO, Addr(1), Addr(2), &msg, 30, Disposition::Delivered);
-        c.observe(SimTime::ZERO, Addr(1), Addr(2), &msg, 30, Disposition::Dropped);
-        c.observe(SimTime::ZERO, Addr(1), Addr(3), &msg, 30, Disposition::NoRoute);
+        c.observe(
+            SimTime::ZERO,
+            Addr(1),
+            Addr(2),
+            &msg,
+            30,
+            Disposition::Delivered,
+        );
+        c.observe(
+            SimTime::ZERO,
+            Addr(1),
+            Addr(2),
+            &msg,
+            30,
+            Disposition::Dropped,
+        );
+        c.observe(
+            SimTime::ZERO,
+            Addr(1),
+            Addr(3),
+            &msg,
+            30,
+            Disposition::NoRoute,
+        );
         assert_eq!((c.delivered, c.dropped, c.no_route), (1, 1, 1));
         assert_eq!(c.octets, 90);
     }
@@ -150,9 +171,14 @@ mod tests {
     fn shared_handle_reads_after_erasure() {
         let (typed, erased) = shared(CountingTrace::default());
         let msg = Message::query(1, Name::parse("nl").unwrap(), RecordType::A);
-        erased
-            .lock()
-            .observe(SimTime::ZERO, Addr(1), Addr(2), &msg, 10, Disposition::Delivered);
+        erased.lock().observe(
+            SimTime::ZERO,
+            Addr(1),
+            Addr(2),
+            &msg,
+            10,
+            Disposition::Delivered,
+        );
         assert_eq!(typed.lock().delivered, 1);
     }
 }

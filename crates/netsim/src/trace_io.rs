@@ -94,11 +94,7 @@ impl<W: Write + Send> TraceSink for JsonlTraceWriter<W> {
             msg: msg.clone(),
         };
         let ok = serde_json::to_writer(&mut self.out, &row)
-            .and_then(|()| {
-                self.out
-                    .write_all(b"\n")
-                    .map_err(serde_json::Error::io)
-            })
+            .and_then(|()| self.out.write_all(b"\n").map_err(serde_json::Error::io))
             .is_ok();
         if !ok {
             self.errors += 1;

@@ -8,8 +8,7 @@ use parking_lot::Mutex;
 use proptest::prelude::*;
 
 use dike_netsim::{
-    Addr, Context, LatencyModel, LinkParams, LinkTable, Node, SimDuration, Simulator,
-    TimerToken,
+    Addr, Context, LatencyModel, LinkParams, LinkTable, Node, SimDuration, Simulator, TimerToken,
 };
 use dike_wire::{Message, Name, RecordType};
 

@@ -42,6 +42,13 @@ pub struct ResolverStats {
     /// Client questions refused because the pending-task table was full
     /// (load shedding).
     pub shed: u64,
+    /// Retries that went to a different server than the previous attempt
+    /// (server-selection switches).
+    pub server_switches: u64,
+    /// Server-selection rounds restarted after forward progress (a
+    /// referral adopted, a CNAME chased, a deeper delegation found) —
+    /// the per-round backoff state resets and selection starts over.
+    pub backoff_resets: u64,
 }
 
 /// A recursive DNS resolver node (iterative or forwarding — see
@@ -58,6 +65,9 @@ pub struct RecursiveResolver {
     next_task_id: u64,
     next_msg_id: u16,
     stats: ResolverStats,
+    /// Upstream retries (attempts beyond the first) per finished task —
+    /// the paper's retry-amplification distribution (Fig. 10).
+    retry_histogram: dike_telemetry::Histogram,
 }
 
 impl RecursiveResolver {
@@ -75,6 +85,7 @@ impl RecursiveResolver {
             next_task_id: 0,
             next_msg_id: 1,
             stats: ResolverStats::default(),
+            retry_histogram: dike_telemetry::Histogram::new(),
         }
     }
 
@@ -91,6 +102,17 @@ impl RecursiveResolver {
     /// Cache statistics aggregated over backends.
     pub fn cache_stats(&self) -> dike_cache::CacheStats {
         self.cache.stats()
+    }
+
+    /// The distribution of upstream retries (sends beyond the first)
+    /// per finished task.
+    pub fn retry_histogram(&self) -> &dike_telemetry::Histogram {
+        &self.retry_histogram
+    }
+
+    /// Resolutions currently in flight.
+    pub fn in_flight(&self) -> usize {
+        self.tasks.len()
     }
 
     /// Walks cached CNAMEs from `name`: returns the chain of cached
@@ -110,9 +132,9 @@ impl RecursiveResolver {
         let mut current = name.clone();
         for _ in 0..MAX_CHASE {
             if qtype != RecordType::CNAME {
-                if let CacheAnswer::Fresh(records) =
-                    self.cache
-                        .lookup_on_min_trust(backend, now, &current, qtype, min_trust)
+                if let CacheAnswer::Fresh(records) = self
+                    .cache
+                    .lookup_on_min_trust(backend, now, &current, qtype, min_trust)
                 {
                     return (chain, current, Some(records));
                 }
@@ -123,9 +145,7 @@ impl RecursiveResolver {
                     RecordType::CNAME,
                     min_trust,
                 ) {
-                    if let Some(RData::Cname(target)) =
-                        cnames.first().map(|r| r.rdata.clone())
-                    {
+                    if let Some(RData::Cname(target)) = cnames.first().map(|r| r.rdata.clone()) {
                         chain.extend(cnames);
                         current = target;
                         continue;
@@ -295,6 +315,7 @@ impl RecursiveResolver {
             tried: Vec::new(),
             servers,
             zone_depth,
+            last_server: None,
             outstanding: None,
             awaiting_glue: false,
         };
@@ -364,6 +385,7 @@ impl RecursiveResolver {
                 task.servers = servers;
                 task.zone_depth = zone_depth;
                 task.tried.clear();
+                self.stats.backoff_resets += 1;
             }
         }
         let task = self.tasks.get_mut(&tid).expect("task exists");
@@ -379,6 +401,10 @@ impl RecursiveResolver {
             self.fail_task(ctx, tid);
             return;
         };
+        if task.last_server.is_some_and(|prev| prev != server) {
+            self.stats.server_switches += 1;
+        }
+        task.last_server = Some(server);
         let attempt = task.attempts;
         task.attempts += 1;
         task.tried.push(server);
@@ -428,9 +454,9 @@ impl RecursiveResolver {
         for w in &task.waiters {
             // Serve-stale: a failed refresh may still be answered from an
             // expired entry (RFC 8767; paper §5.3).
-            let stale =
-                self.cache
-                    .lookup_stale_on(w.backend, now, &task.key.name, task.key.rtype);
+            let stale = self
+                .cache
+                .lookup_stale_on(w.backend, now, &task.key.name, task.key.rtype);
             let resp = match stale {
                 CacheAnswer::Stale(records) | CacheAnswer::Fresh(records) => {
                     self.stats.stale_served += 1;
@@ -462,12 +488,7 @@ impl RecursiveResolver {
         backends.sort_unstable();
         backends.dedup();
         let mut grouped: HashMap<(Name, RecordType), Vec<Record>> = HashMap::new();
-        for r in task
-            .cname_chain
-            .iter()
-            .chain(&extra_cnames)
-            .chain(&records)
-        {
+        for r in task.cname_chain.iter().chain(&extra_cnames).chain(&records) {
             grouped
                 .entry((r.name.clone(), r.rtype()))
                 .or_default()
@@ -572,6 +593,10 @@ impl RecursiveResolver {
         if let Some(out) = &task.outstanding {
             self.by_msg_id.remove(&out.msg_id);
         }
+        // Every finished task contributes its retry count (sends beyond
+        // the first) to the distribution, successes and failures alike.
+        self.retry_histogram
+            .observe(u64::from(task.attempts.saturating_sub(1)));
         Some(task)
     }
 
@@ -702,6 +727,7 @@ impl RecursiveResolver {
         task.cname_chain.push(cname_rec.clone());
         task.current_name = target.clone();
         task.tried.clear();
+        self.stats.backoff_resets += 1;
         let backend = task.backend;
         let qtype = task.key.rtype;
         // Cache the alias itself so later queries skip the hop.
@@ -729,20 +755,14 @@ impl RecursiveResolver {
     fn park_for_glue(&mut self, ctx: &mut Context<'_>, tid: u64) {
         if let Some(task) = self.tasks.get_mut(&tid) {
             task.awaiting_glue = true;
-            ctx.set_timer(
-                dike_netsim::SimDuration::from_millis(250),
-                TimerToken(tid),
-            );
+            ctx.set_timer(dike_netsim::SimDuration::from_millis(250), TimerToken(tid));
         }
     }
 
     fn handle_referral(&mut self, ctx: &mut Context<'_>, tid: u64, _src: Addr, msg: &Message) {
         let now = ctx.now();
         let (ns_owner, ns_records): (Name, Vec<Record>) = {
-            let Some(first_ns) = msg
-                .authorities
-                .iter()
-                .find(|r| r.rtype() == RecordType::NS)
+            let Some(first_ns) = msg.authorities.iter().find(|r| r.rtype() == RecordType::NS)
             else {
                 self.send_next(ctx, tid);
                 return;
@@ -775,8 +795,7 @@ impl RecursiveResolver {
             .additionals
             .iter()
             .filter(|r| {
-                matches!(r.rdata, RData::A(_) | RData::Aaaa(_))
-                    && r.name.is_subdomain_of(&ns_owner)
+                matches!(r.rdata, RData::A(_) | RData::Aaaa(_)) && r.name.is_subdomain_of(&ns_owner)
             })
             .cloned()
             .collect();
@@ -816,6 +835,7 @@ impl RecursiveResolver {
             task.servers = addrs;
             task.zone_depth = ns_owner.label_count();
             task.tried.clear();
+            self.stats.backoff_resets += 1;
         }
         // else: glueless referral — the mandatory infra queries below
         // fetch the missing NS addresses; the task parks briefly instead
@@ -829,8 +849,7 @@ impl RecursiveResolver {
         // traffic of Fig. 10). Depth-limited to avoid infra-of-infra
         // recursion.
         if depth == 0 {
-            let glued: std::collections::HashSet<&Name> =
-                glue.iter().map(|g| &g.name).collect();
+            let glued: std::collections::HashSet<&Name> = glue.iter().map(|g| &g.name).collect();
             let infra: Vec<(Name, RecordType)> = ns_names
                 .iter()
                 .flat_map(|n| {
@@ -878,12 +897,7 @@ fn client_response(query: &Message, rcode: Rcode, answers: Vec<Record>) -> Messa
 }
 
 /// Builds a response for a waiter recorded on a task.
-fn waiter_response(
-    w: &Waiter,
-    key: &CacheKey,
-    rcode: Rcode,
-    answers: Vec<Record>,
-) -> Message {
+fn waiter_response(w: &Waiter, key: &CacheKey, rcode: Rcode, answers: Vec<Record>) -> Message {
     let mut resp = Message::query(w.msg_id, key.name.clone(), key.rtype);
     resp.is_response = true;
     resp.recursion_available = true;
@@ -901,10 +915,7 @@ fn record_addr(r: &Record) -> Option<Addr> {
 
 impl RecursiveResolver {
     /// Dumps backend 0's cache (Appendix A.3's `rndc dumpdb` analogue).
-    pub fn dump_cache(
-        &self,
-        now: SimTime,
-    ) -> Vec<(CacheKey, u32, TrustLevel)> {
+    pub fn dump_cache(&self, now: SimTime) -> Vec<(CacheKey, u32, TrustLevel)> {
         self.cache.dump_backend(0, now)
     }
 }
@@ -964,5 +975,34 @@ impl Node for RecursiveResolver {
         // then keep resolving in the background.
         self.serve_stale_to_waiters(ctx, tid);
         self.send_next(ctx, tid);
+    }
+
+    fn publish_metrics(&self, out: &mut dike_telemetry::NodePublisher<'_>) {
+        let s = &self.stats;
+        out.counter("resolver", "client_queries", s.client_queries);
+        out.counter("resolver", "cache_hits", s.cache_hits);
+        out.counter("resolver", "negative_hits", s.negative_hits);
+        out.counter("resolver", "resolutions", s.resolutions);
+        out.counter("resolver", "upstream_queries", s.upstream_queries);
+        out.counter("resolver", "retries", s.retries);
+        out.counter("resolver", "referrals", s.referrals);
+        out.counter("resolver", "servfails", s.failures);
+        out.counter("resolver", "stale_served", s.stale_served);
+        out.counter("resolver", "servfail_cache_hits", s.servfail_cache_hits);
+        out.counter("resolver", "infra_tasks", s.infra_tasks);
+        out.counter("resolver", "flushes", s.flushes);
+        out.counter("resolver", "shed", s.shed);
+        out.counter("resolver", "server_switches", s.server_switches);
+        out.counter("resolver", "backoff_resets", s.backoff_resets);
+        out.gauge("resolver", "in_flight_tasks", self.tasks.len() as f64);
+        out.histogram("resolver", "retries_per_task", &self.retry_histogram);
+        let c = self.cache.stats();
+        out.counter("cache", "hits", c.hits);
+        out.counter("cache", "misses", c.misses);
+        out.counter("cache", "expired", c.expired);
+        out.counter("cache", "evictions", c.evictions);
+        out.counter("cache", "insertions", c.insertions);
+        out.counter("cache", "stale_served", c.stale_served);
+        out.counter("cache", "flushes", c.flushes);
     }
 }

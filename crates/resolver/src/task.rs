@@ -60,6 +60,9 @@ pub(crate) struct Task {
     /// Label count of the zone the candidates serve — referral progress
     /// is "strictly deeper than this".
     pub zone_depth: usize,
+    /// The server the previous attempt went to, for counting
+    /// server-selection switches across retries.
+    pub last_server: Option<Addr>,
     /// The in-flight upstream query, if any.
     pub outstanding: Option<Outstanding>,
     /// Set while the task is parked waiting for a mandatory glue fetch

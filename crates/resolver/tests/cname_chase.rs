@@ -21,7 +21,9 @@ fn name(s: &str) -> Name {
 fn soa(origin: &Name) -> SoaData {
     SoaData {
         mname: origin.child("ns1").unwrap_or_else(|_| origin.clone()),
-        rname: origin.child("hostmaster").unwrap_or_else(|_| origin.clone()),
+        rname: origin
+            .child("hostmaster")
+            .unwrap_or_else(|_| origin.clone()),
         serial: 1,
         refresh: 1,
         retry: 1,
@@ -103,9 +105,9 @@ fn cross_zone_cname_is_chased_and_chain_returned() {
         loss: 0.0,
     });
     let root = build(&mut sim);
-    let (_, resolver) = sim.add_node(Box::new(RecursiveResolver::new(
-        profiles::bind_like(vec![root]),
-    )));
+    let (_, resolver) = sim.add_node(Box::new(RecursiveResolver::new(profiles::bind_like(vec![
+        root,
+    ]))));
     let answers = Arc::new(Mutex::new(Vec::new()));
     let rcode = Arc::new(Mutex::new(None));
     sim.add_node(Box::new(OneQuery {
@@ -123,10 +125,7 @@ fn cross_zone_cname_is_chased_and_chain_returned() {
     assert_eq!(answers[0].name, name("www.alpha.test"));
     assert_eq!(answers[1].rtype(), RecordType::A);
     assert_eq!(answers[1].name, name("web.beta.test"));
-    assert_eq!(
-        answers[1].rdata,
-        RData::A(Ipv4Addr::new(203, 0, 113, 80))
-    );
+    assert_eq!(answers[1].rdata, RData::A(Ipv4Addr::new(203, 0, 113, 80)));
 }
 
 #[test]
@@ -137,9 +136,10 @@ fn second_lookup_hits_the_cached_chain() {
         loss: 0.0,
     });
     let root = build(&mut sim);
-    let (resolver_id, resolver) = sim.add_node(Box::new(RecursiveResolver::new(
-        profiles::bind_like(vec![root]),
-    )));
+    let (resolver_id, resolver) =
+        sim.add_node(Box::new(RecursiveResolver::new(profiles::bind_like(vec![
+            root,
+        ]))));
     // Two sequential clients for the same alias.
     for delay in [1u64, 10] {
         struct Delayed {
@@ -181,7 +181,11 @@ fn second_lookup_hits_the_cached_chain() {
             // The A record for the CNAME target is served from cache
             // with a decremented TTL.
             let final_a = a.iter().find(|r| r.rtype() == RecordType::A).unwrap();
-            assert!(final_a.ttl < 120, "cached target decremented: {}", final_a.ttl);
+            assert!(
+                final_a.ttl < 120,
+                "cached target decremented: {}",
+                final_a.ttl
+            );
         }
     }
     // The second resolution required no new upstream queries for the
@@ -206,12 +210,20 @@ fn cname_loops_are_bounded() {
     });
     let origin = Name::root();
     let mut z = Zone::new(origin.clone(), 3600, soa(&origin));
-    z.add(Record::new(name("a.loop"), 60, RData::Cname(name("b.loop"))));
-    z.add(Record::new(name("b.loop"), 60, RData::Cname(name("a.loop"))));
+    z.add(Record::new(
+        name("a.loop"),
+        60,
+        RData::Cname(name("b.loop")),
+    ));
+    z.add(Record::new(
+        name("b.loop"),
+        60,
+        RData::Cname(name("a.loop")),
+    ));
     let (_, auth) = sim.add_node(Box::new(AuthServer::new().with_zone(Box::new(z))));
-    let (_, resolver) = sim.add_node(Box::new(RecursiveResolver::new(
-        profiles::bind_like(vec![auth]),
-    )));
+    let (_, resolver) = sim.add_node(Box::new(RecursiveResolver::new(profiles::bind_like(vec![
+        auth,
+    ]))));
     let answers = Arc::new(Mutex::new(Vec::new()));
     let rcode = Arc::new(Mutex::new(None));
     sim.add_node(Box::new(OneQuery {

@@ -80,9 +80,9 @@ fn off_path_spoofing_is_ignored() {
         loss: 0.0,
     });
     let (root, _, _) = dike_experiments::topology::add_hierarchy(&mut sim, 3600);
-    let (_, resolver) = sim.add_node(Box::new(RecursiveResolver::new(
-        profiles::unbound_like(vec![root]),
-    )));
+    let (_, resolver) = sim.add_node(Box::new(RecursiveResolver::new(profiles::unbound_like(
+        vec![root],
+    ))));
     let victim = name("77.cachetest.nl");
     sim.add_node(Box::new(OffPathSpoofer {
         resolver,
@@ -102,7 +102,8 @@ fn off_path_spoofing_is_ignored() {
     match got {
         RData::Aaaa(a) => {
             assert_eq!(
-                a.segments()[0], 0xfd0f,
+                a.segments()[0],
+                0xfd0f,
                 "answer must carry the genuine zone payload, got {a}"
             );
         }
@@ -154,9 +155,10 @@ fn out_of_bailiwick_referrals_are_rejected() {
     let (_, poisoner) = sim.add_node(Box::new(PoisoningAuth {
         victim_zone: name("com"), // unrelated to cachetest.nl
     }));
-    let (resolver_id, resolver) = sim.add_node(Box::new(RecursiveResolver::new(
-        profiles::bind_like(vec![poisoner]),
-    )));
+    let (resolver_id, resolver) =
+        sim.add_node(Box::new(RecursiveResolver::new(profiles::bind_like(vec![
+            poisoner,
+        ]))));
     let answer = Arc::new(Mutex::new(None));
     sim.add_node(Box::new(Client {
         resolver,
@@ -211,9 +213,10 @@ fn mismatched_question_is_dropped() {
         loss: 0.0,
     });
     let (_, bad_auth) = sim.add_node(Box::new(WrongQuestionAuth));
-    let (resolver_id, resolver) = sim.add_node(Box::new(RecursiveResolver::new(
-        profiles::bind_like(vec![bad_auth]),
-    )));
+    let (resolver_id, resolver) =
+        sim.add_node(Box::new(RecursiveResolver::new(profiles::bind_like(vec![
+            bad_auth,
+        ]))));
     let answer = Arc::new(Mutex::new(None));
     sim.add_node(Box::new(Client {
         resolver,

@@ -22,7 +22,9 @@ fn name(s: &str) -> Name {
 fn soa_for(origin: &Name) -> SoaData {
     SoaData {
         mname: origin.child("ns1").unwrap_or_else(|_| origin.clone()),
-        rname: origin.child("hostmaster").unwrap_or_else(|_| origin.clone()),
+        rname: origin
+            .child("hostmaster")
+            .unwrap_or_else(|_| origin.clone()),
         serial: 1,
         refresh: 14_400,
         retry: 3_600,
@@ -55,7 +57,11 @@ fn build_hierarchy(sim: &mut Simulator, answer_ttl: u32) -> Hierarchy {
     // Root zone: delegates nl.
     let origin = Name::root();
     let mut root_zone = Zone::new(origin.clone(), 86_400, soa_for(&origin));
-    root_zone.add(Record::new(name("nl"), 86_400, RData::Ns(name("ns1.dns.nl"))));
+    root_zone.add(Record::new(
+        name("nl"),
+        86_400,
+        RData::Ns(name("ns1.dns.nl")),
+    ));
     root_zone.add(Record::new(
         name("ns1.dns.nl"),
         86_400,
@@ -70,7 +76,11 @@ fn build_hierarchy(sim: &mut Simulator, answer_ttl: u32) -> Hierarchy {
         3_600,
         RData::Ns(name("ns1.dns.nl")),
     ));
-    nl_zone.add(Record::new(name("ns1.dns.nl"), 3_600, RData::A(v4(nl_addr))));
+    nl_zone.add(Record::new(
+        name("ns1.dns.nl"),
+        3_600,
+        RData::A(v4(nl_addr)),
+    ));
     for (i, a) in [ns1_addr, ns2_addr].iter().enumerate() {
         let ns = name(&format!("ns{}.cachetest.nl", i + 1));
         nl_zone.add(Record::new(
@@ -113,7 +123,10 @@ struct TestClient {
 }
 
 impl TestClient {
-    fn new(resolver: Addr, script: Vec<(SimDuration, Name, RecordType)>) -> (Self, Arc<Mutex<Vec<Observed>>>) {
+    fn new(
+        resolver: Addr,
+        script: Vec<(SimDuration, Name, RecordType)>,
+    ) -> (Self, Arc<Mutex<Vec<Observed>>>) {
         let observed = Arc::new(Mutex::new(Vec::new()));
         (
             TestClient {
@@ -176,7 +189,11 @@ fn iterative_resolution_walks_the_hierarchy() {
     )));
     let (client, observed) = TestClient::new(
         resolver_addr,
-        vec![(SimDuration::from_secs(1), name("1414.cachetest.nl"), RecordType::AAAA)],
+        vec![(
+            SimDuration::from_secs(1),
+            name("1414.cachetest.nl"),
+            RecordType::AAAA,
+        )],
     );
     sim.add_node(Box::new(client));
     sim.run_until(SimDuration::from_secs(30).after_zero());
@@ -204,8 +221,16 @@ fn second_query_is_served_from_cache() {
     let (client, observed) = TestClient::new(
         resolver_addr,
         vec![
-            (SimDuration::from_secs(1), name("7.cachetest.nl"), RecordType::AAAA),
-            (SimDuration::from_secs(601), name("7.cachetest.nl"), RecordType::AAAA),
+            (
+                SimDuration::from_secs(1),
+                name("7.cachetest.nl"),
+                RecordType::AAAA,
+            ),
+            (
+                SimDuration::from_secs(601),
+                name("7.cachetest.nl"),
+                RecordType::AAAA,
+            ),
         ],
     );
     sim.add_node(Box::new(client));
@@ -241,9 +266,17 @@ fn expired_ttl_triggers_refetch_with_new_serial() {
     let (client, observed) = TestClient::new(
         resolver_addr,
         vec![
-            (SimDuration::from_secs(1), name("7.cachetest.nl"), RecordType::AAAA),
+            (
+                SimDuration::from_secs(1),
+                name("7.cachetest.nl"),
+                RecordType::AAAA,
+            ),
             // 20 minutes later: TTL 60 long expired, serial rotated twice.
-            (SimDuration::from_secs(1201), name("7.cachetest.nl"), RecordType::AAAA),
+            (
+                SimDuration::from_secs(1201),
+                name("7.cachetest.nl"),
+                RecordType::AAAA,
+            ),
         ],
     );
     sim.add_node(Box::new(client));
@@ -252,7 +285,11 @@ fn expired_ttl_triggers_refetch_with_new_serial() {
     let obs = observed.lock();
     assert_eq!(obs.len(), 2);
     assert_eq!(probe_serial(&obs[0].records), 1);
-    assert_eq!(probe_serial(&obs[1].records), 3, "fresh answer has rotated serial");
+    assert_eq!(
+        probe_serial(&obs[1].records),
+        3,
+        "fresh answer has rotated serial"
+    );
 }
 
 #[test]
@@ -299,12 +336,17 @@ fn complete_outage_yields_servfail_without_cache() {
     let mut sim = Simulator::new(105);
     fast_fabric(&mut sim);
     let h = build_hierarchy(&mut sim, 1800);
-    let (_, resolver_addr) = sim.add_node(Box::new(RecursiveResolver::new(
-        profiles::bind_like(vec![h.root]),
-    )));
+    let (_, resolver_addr) =
+        sim.add_node(Box::new(RecursiveResolver::new(profiles::bind_like(vec![
+            h.root,
+        ]))));
     let (client, observed) = TestClient::new(
         resolver_addr,
-        vec![(SimDuration::from_secs(30), name("5.cachetest.nl"), RecordType::AAAA)],
+        vec![(
+            SimDuration::from_secs(30),
+            name("5.cachetest.nl"),
+            RecordType::AAAA,
+        )],
     );
     sim.add_node(Box::new(client));
     let (ns1, ns2) = (h.ns1, h.ns2);
@@ -326,15 +368,24 @@ fn cached_answer_survives_complete_outage_within_ttl() {
     let mut sim = Simulator::new(106);
     fast_fabric(&mut sim);
     let h = build_hierarchy(&mut sim, 3600);
-    let (_, resolver_addr) = sim.add_node(Box::new(RecursiveResolver::new(
-        profiles::bind_like(vec![h.root]),
-    )));
+    let (_, resolver_addr) =
+        sim.add_node(Box::new(RecursiveResolver::new(profiles::bind_like(vec![
+            h.root,
+        ]))));
     let (client, observed) = TestClient::new(
         resolver_addr,
         vec![
-            (SimDuration::from_secs(1), name("9.cachetest.nl"), RecordType::AAAA),
+            (
+                SimDuration::from_secs(1),
+                name("9.cachetest.nl"),
+                RecordType::AAAA,
+            ),
             // During the outage but within TTL.
-            (SimDuration::from_secs(900), name("9.cachetest.nl"), RecordType::AAAA),
+            (
+                SimDuration::from_secs(900),
+                name("9.cachetest.nl"),
+                RecordType::AAAA,
+            ),
         ],
     );
     sim.add_node(Box::new(client));
@@ -363,9 +414,17 @@ fn serve_stale_answers_after_ttl_expiry_during_outage() {
     let (client, observed) = TestClient::new(
         resolver_addr,
         vec![
-            (SimDuration::from_secs(1), name("9.cachetest.nl"), RecordType::AAAA),
+            (
+                SimDuration::from_secs(1),
+                name("9.cachetest.nl"),
+                RecordType::AAAA,
+            ),
             // Long after the 60 s TTL expired, during a full outage.
-            (SimDuration::from_secs(600), name("9.cachetest.nl"), RecordType::AAAA),
+            (
+                SimDuration::from_secs(600),
+                name("9.cachetest.nl"),
+                RecordType::AAAA,
+            ),
         ],
     );
     sim.add_node(Box::new(client));
@@ -378,7 +437,11 @@ fn serve_stale_answers_after_ttl_expiry_during_outage() {
 
     let obs = observed.lock();
     assert_eq!(obs.len(), 2);
-    assert_eq!(obs[1].rcode, Rcode::NoError, "stale answer instead of SERVFAIL");
+    assert_eq!(
+        obs[1].rcode,
+        Rcode::NoError,
+        "stale answer instead of SERVFAIL"
+    );
     assert_eq!(obs[1].records[0].ttl, 0, "stale answers carry TTL 0");
 }
 
@@ -389,18 +452,22 @@ fn forwarding_farm_retries_across_upstreams() {
     let h = build_hierarchy(&mut sim, 1800);
     // Two upstream iterative resolvers (indices 4, 5), then an R1
     // forwarder (index 6) in front of them.
-    let (_, rn_a) = sim.add_node(Box::new(RecursiveResolver::new(
-        profiles::unbound_like(vec![h.root]),
-    )));
-    let (_, rn_b) = sim.add_node(Box::new(RecursiveResolver::new(
-        profiles::unbound_like(vec![h.root]),
-    )));
+    let (_, rn_a) = sim.add_node(Box::new(RecursiveResolver::new(profiles::unbound_like(
+        vec![h.root],
+    ))));
+    let (_, rn_b) = sim.add_node(Box::new(RecursiveResolver::new(profiles::unbound_like(
+        vec![h.root],
+    ))));
     let (_, r1) = sim.add_node(Box::new(RecursiveResolver::new(profiles::home_router(
         vec![rn_a, rn_b],
     ))));
     let (client, observed) = TestClient::new(
         r1,
-        vec![(SimDuration::from_secs(5), name("3.cachetest.nl"), RecordType::AAAA)],
+        vec![(
+            SimDuration::from_secs(5),
+            name("3.cachetest.nl"),
+            RecordType::AAAA,
+        )],
     );
     sim.add_node(Box::new(client));
     sim.run_until(SimDuration::from_secs(60).after_zero());
@@ -441,6 +508,9 @@ fn fragmented_cache_produces_both_hits_and_misses() {
     // (full 3600). With 4 backends both must occur.
     let fresh = obs.iter().filter(|o| o.records[0].ttl == 3600).count();
     let cached = obs.iter().filter(|o| o.records[0].ttl < 3600).count();
-    assert!(fresh >= 2, "expected multiple cold-backend fetches, got {fresh}");
+    assert!(
+        fresh >= 2,
+        "expected multiple cold-backend fetches, got {fresh}"
+    );
     assert!(cached >= 2, "expected some cache hits, got {cached}");
 }

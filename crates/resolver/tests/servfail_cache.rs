@@ -30,11 +30,9 @@ impl Node for Repeater {
     }
     fn on_datagram(&mut self, ctx: &mut Context<'_>, _src: Addr, msg: &Message, _l: usize) {
         if let Some(sent) = self.sent.remove(&msg.id) {
-            self.observed.lock().push((
-                sent.as_secs(),
-                msg.rcode,
-                (ctx.now() - sent).as_millis(),
-            ));
+            self.observed
+                .lock()
+                .push((sent.as_secs(), msg.rcode, (ctx.now() - sent).as_millis()));
         }
     }
     fn on_timer(&mut self, ctx: &mut Context<'_>, _t: TimerToken) {
@@ -83,7 +81,10 @@ fn failure_cache_short_circuits_repeat_queries() {
 
     let (rc1, rtt1) = by_time[&1];
     assert_eq!(rc1, Rcode::ServFail);
-    assert!(rtt1 > 2_000, "first failure takes the retry budget: {rtt1}ms");
+    assert!(
+        rtt1 > 2_000,
+        "first failure takes the retry budget: {rtt1}ms"
+    );
 
     let (rc2, rtt2) = by_time[&20];
     assert_eq!(rc2, Rcode::ServFail);
@@ -91,7 +92,10 @@ fn failure_cache_short_circuits_repeat_queries() {
 
     let (rc3, rtt3) = by_time[&60];
     assert_eq!(rc3, Rcode::ServFail);
-    assert!(rtt3 > 2_000, "after the failure TTL, retries resume: {rtt3}ms");
+    assert!(
+        rtt3 > 2_000,
+        "after the failure TTL, retries resume: {rtt3}ms"
+    );
 
     // The stats agree.
     let node = sim.node(resolver_id).unwrap();

@@ -288,8 +288,8 @@ fn ttl_altered(payload_ttl: u32, received_ttl: u32) -> bool {
 mod tests {
     use super::*;
     use dike_auth::probe_aaaa;
-    use dike_stub::QueryRecord;
     use dike_netsim::Addr;
+    use dike_stub::QueryRecord;
 
     fn record(
         probe: u16,

@@ -247,7 +247,11 @@ mod tests {
         let mut an = analyzer();
         // Alternating names every 1800 s: per-name Δ is 3600 s.
         for k in 0..6 {
-            let name = if k % 2 == 0 { "ns1.dns.nl" } else { "ns2.dns.nl" };
+            let name = if k % 2 == 0 {
+                "ns1.dns.nl"
+            } else {
+                "ns2.dns.nl"
+            };
             observe_at(&mut an, 4, name, 1800.0 * k as f64);
         }
         let r = an.analyze(3600, 5);
@@ -282,7 +286,14 @@ mod tests {
         // Wrong type.
         let mut aaaa = q("ns1.dns.nl");
         aaaa.questions[0].qtype = RecordType::AAAA;
-        an.observe(SimTime::ZERO, Addr(1), Addr(9), &aaaa, 40, Disposition::Delivered);
+        an.observe(
+            SimTime::ZERO,
+            Addr(1),
+            Addr(9),
+            &aaaa,
+            40,
+            Disposition::Delivered,
+        );
         assert_eq!(an.analyze(3600, 1).total_queries, 0);
     }
 }

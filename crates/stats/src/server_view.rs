@@ -196,7 +196,12 @@ impl ServerView {
             let mut rn: Vec<Addr> = in_bin.iter().map(|(_, a, _)| *a).collect();
             rn.sort();
             rn.dedup();
-            rows.push((bin as u64 * self.bin_width_min, queries, delivered, rn.len()));
+            rows.push((
+                bin as u64 * self.bin_width_min,
+                queries,
+                delivered,
+                rn.len(),
+            ));
         }
         rows
     }
@@ -315,7 +320,14 @@ mod tests {
         let auth = Addr(9);
         let mut view = ServerView::new([auth], SimDuration::from_mins(10));
         let msg = q("7.cachetest.nl", RecordType::AAAA);
-        view.observe(SimTime::ZERO, Addr(1), auth, &msg, 40, Disposition::Delivered);
+        view.observe(
+            SimTime::ZERO,
+            Addr(1),
+            auth,
+            &msg,
+            40,
+            Disposition::Delivered,
+        );
         view.observe(
             SimDuration::from_mins(1).after_zero(),
             Addr(2),
@@ -325,7 +337,14 @@ mod tests {
             Disposition::Dropped,
         );
         // Traffic to some other node is ignored.
-        view.observe(SimTime::ZERO, Addr(1), Addr(8), &msg, 40, Disposition::Delivered);
+        view.observe(
+            SimTime::ZERO,
+            Addr(1),
+            Addr(8),
+            &msg,
+            40,
+            Disposition::Delivered,
+        );
         assert_eq!(view.total_queries, 2);
         assert_eq!(view.bins()[0].aaaa_for_pid, 2);
         assert_eq!(view.bins()[0].sources.len(), 2);
@@ -341,7 +360,14 @@ mod tests {
         for src in [Addr(1), Addr(1), Addr(2)] {
             view.observe(SimTime::ZERO, src, auth, &msg7, 40, Disposition::Delivered);
         }
-        view.observe(SimTime::ZERO, Addr(3), auth, &msg8, 40, Disposition::Delivered);
+        view.observe(
+            SimTime::ZERO,
+            Addr(3),
+            auth,
+            &msg8,
+            40,
+            Disposition::Delivered,
+        );
         let amp = view.amplification();
         assert_eq!(amp.len(), 1);
         assert_eq!(amp[0].rn_max, 2.0);
@@ -356,9 +382,30 @@ mod tests {
         view.track_probe(7);
         let msg7 = q("7.cachetest.nl", RecordType::AAAA);
         let msg8 = q("8.cachetest.nl", RecordType::AAAA);
-        view.observe(SimTime::ZERO, Addr(1), auth, &msg7, 40, Disposition::Delivered);
-        view.observe(SimTime::ZERO, Addr(2), auth, &msg7, 40, Disposition::Dropped);
-        view.observe(SimTime::ZERO, Addr(3), auth, &msg8, 40, Disposition::Delivered);
+        view.observe(
+            SimTime::ZERO,
+            Addr(1),
+            auth,
+            &msg7,
+            40,
+            Disposition::Delivered,
+        );
+        view.observe(
+            SimTime::ZERO,
+            Addr(2),
+            auth,
+            &msg7,
+            40,
+            Disposition::Dropped,
+        );
+        view.observe(
+            SimTime::ZERO,
+            Addr(3),
+            auth,
+            &msg8,
+            40,
+            Disposition::Delivered,
+        );
         let rows = view.probe_rows(7);
         assert_eq!(rows.len(), 1);
         // (start_min, queries, delivered, unique rn)
@@ -371,7 +418,14 @@ mod tests {
         let auth = Addr(9);
         let mut view = ServerView::new([auth], SimDuration::from_mins(10));
         let msg = q("7.cachetest.nl", RecordType::AAAA);
-        view.observe(SimTime::ZERO, Addr(1), auth, &msg, 40, Disposition::Delivered);
+        view.observe(
+            SimTime::ZERO,
+            Addr(1),
+            auth,
+            &msg,
+            40,
+            Disposition::Delivered,
+        );
         view.observe(
             SimDuration::from_mins(15).after_zero(),
             Addr(1),

@@ -22,4 +22,4 @@ mod log;
 mod probe;
 
 pub use log::{new_shared_log, ProbeLog, QueryOutcome, QueryRecord, SharedProbeLog, VpKey};
-pub use probe::{StubConfig, StubProbe};
+pub use probe::{StubConfig, StubProbe, StubStats};

@@ -9,9 +9,7 @@ use parking_lot::Mutex;
 use serde::{Deserialize, Serialize};
 
 /// Identifies a vantage point: one probe querying one recursive.
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
 pub struct VpKey {
     /// Probe id (also the queried label).
     pub probe: u16,

@@ -73,6 +73,18 @@ struct Pending {
     timer: TimerId,
 }
 
+/// Counters a [`StubProbe`] keeps for telemetry (the client's-eye view of
+/// the paper's figures: queries sent, answers back, timeouts).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct StubStats {
+    /// Queries sent (one per recursive per round).
+    pub queries_sent: u64,
+    /// Answers received before the timeout (any rcode).
+    pub answers: u64,
+    /// Queries that hit the 5 s Atlas timeout.
+    pub timeouts: u64,
+}
+
 /// The probe node. Sends one query per recursive per round and logs every
 /// outcome into the shared [`crate::ProbeLog`].
 pub struct StubProbe {
@@ -81,6 +93,7 @@ pub struct StubProbe {
     pending: HashMap<u16, Pending>,
     next_id: u16,
     round: u32,
+    stats: StubStats,
 }
 
 impl StubProbe {
@@ -92,7 +105,13 @@ impl StubProbe {
             pending: HashMap::new(),
             next_id: 1,
             round: 0,
+            stats: StubStats::default(),
         }
+    }
+
+    /// Cumulative telemetry counters.
+    pub fn stats(&self) -> &StubStats {
+        &self.stats
     }
 
     fn fire_round(&mut self, ctx: &mut Context<'_>) {
@@ -117,6 +136,7 @@ impl StubProbe {
                 },
             );
             ctx.send(recursive, &msg);
+            self.stats.queries_sent += 1;
         }
         // Schedule the next round.
         if self.round < self.config.rounds {
@@ -158,6 +178,7 @@ impl Node for StubProbe {
             dike_wire::RData::Aaaa(a) => Some((*a, r.ttl)),
             _ => None,
         });
+        self.stats.answers += 1;
         let outcome = QueryOutcome::Answer {
             rcode: msg.rcode,
             aaaa: aaaa.map(|(a, _)| a),
@@ -182,6 +203,7 @@ impl Node for StubProbe {
         let Some(pending) = self.pending.remove(&id) else {
             return; // answered already
         };
+        self.stats.timeouts += 1;
         self.log.lock().records.push(QueryRecord {
             vp: pending.vp,
             recursive: pending.recursive,
@@ -190,6 +212,13 @@ impl Node for StubProbe {
             outcome: QueryOutcome::Timeout,
             rtt: None,
         });
+    }
+
+    fn publish_metrics(&self, out: &mut dike_telemetry::NodePublisher<'_>) {
+        out.counter("stub", "queries_sent", self.stats.queries_sent);
+        out.counter("stub", "answers", self.stats.answers);
+        out.counter("stub", "timeouts", self.stats.timeouts);
+        out.gauge("stub", "pending_queries", self.pending.len() as f64);
     }
 }
 

@@ -1,0 +1,259 @@
+//! JSON and CSV export.
+//!
+//! Hand-rolled writers: the output shape is small and fixed, and
+//! rolling it by hand keeps this crate zero-dependency (see the crate
+//! docs). JSON carries the full registry including histogram bins; CSV
+//! flattens to one row per series point (histogram bins are summarized
+//! as count/sum/mean — use JSON when you need the distribution).
+
+use std::fmt::Write as _;
+
+use crate::metrics::HistogramSnapshot;
+use crate::registry::{MetricValue, MetricsRegistry};
+
+/// Escapes a string for a JSON string literal (without the quotes).
+fn json_escape(s: &str, out: &mut String) {
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+}
+
+/// Writes an f64 as a JSON number (`null` for non-finite values, which
+/// JSON cannot represent).
+fn json_f64(v: f64, out: &mut String) {
+    if v.is_finite() {
+        // `{}` prints integral floats without a decimal point; keep one
+        // so consumers always see a number with consistent type.
+        if v == v.trunc() && v.abs() < 1e15 {
+            let _ = write!(out, "{v:.1}");
+        } else {
+            let _ = write!(out, "{v}");
+        }
+    } else {
+        out.push_str("null");
+    }
+}
+
+fn json_histogram(h: &HistogramSnapshot, out: &mut String) {
+    let _ = write!(out, "{{\"count\":{},\"sum\":{}", h.count, h.sum);
+    if let Some(min) = h.min {
+        let _ = write!(out, ",\"min\":{min}");
+    }
+    if let Some(max) = h.max {
+        let _ = write!(out, ",\"max\":{max}");
+    }
+    out.push_str(",\"bins\":[");
+    for (i, (lo, c)) in h.bins.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(out, "[{lo},{c}]");
+    }
+    out.push_str("]}");
+}
+
+fn json_value_fields(v: &MetricValue, out: &mut String) {
+    match v {
+        MetricValue::Counter(n) => {
+            let _ = write!(out, "\"type\":\"counter\",\"total\":{n}");
+        }
+        MetricValue::Gauge { value, high_water } => {
+            out.push_str("\"type\":\"gauge\",\"value\":");
+            json_f64(*value, out);
+            out.push_str(",\"high_water\":");
+            json_f64(*high_water, out);
+        }
+        MetricValue::Histogram(h) => {
+            out.push_str("\"type\":\"histogram\",\"histogram\":");
+            json_histogram(h, out);
+        }
+    }
+}
+
+impl MetricsRegistry {
+    /// Serializes the whole registry — snapshot times, node labels, and
+    /// every metric's latest value plus its sparse series — as a JSON
+    /// object.
+    pub fn to_json(&self) -> String {
+        let mut out = String::with_capacity(4096);
+        out.push_str("{\"snapshot_times_nanos\":[");
+        for (i, t) in self.snapshot_times().iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(out, "{t}");
+        }
+        out.push_str("],\"node_labels\":{");
+        for (i, (node, label)) in self.node_labels().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(out, "\"{node}\":\"");
+            json_escape(label, &mut out);
+            out.push('"');
+        }
+        out.push_str("},\"metrics\":[");
+        for (i, (key, series)) in self.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str("{\"component\":\"");
+            json_escape(&key.component, &mut out);
+            out.push_str("\",\"node\":");
+            match key.node {
+                Some(n) => {
+                    let _ = write!(out, "{n}");
+                }
+                None => out.push_str("null"),
+            }
+            out.push_str(",\"metric\":\"");
+            json_escape(&key.metric, &mut out);
+            out.push_str("\",");
+            json_value_fields(&series.current, &mut out);
+            out.push_str(",\"points\":[");
+            for (j, (idx, v)) in series.points.iter().enumerate() {
+                if j > 0 {
+                    out.push(',');
+                }
+                let _ = write!(out, "{{\"snapshot\":{idx},");
+                json_value_fields(v, &mut out);
+                out.push('}');
+            }
+            out.push_str("]}");
+        }
+        out.push_str("]}");
+        out
+    }
+
+    /// Serializes the series as CSV: header row, then one row per
+    /// `(metric, snapshot point)`. Histogram rows carry count/sum/mean;
+    /// the full bins are only in [`MetricsRegistry::to_json`].
+    pub fn to_csv(&self) -> String {
+        let mut out = String::with_capacity(4096);
+        out.push_str(
+            "component,node,node_label,metric,type,snapshot,sim_time_nanos,value,high_water,hist_count,hist_sum\n",
+        );
+        for (key, series) in self.iter() {
+            for (idx, v) in &series.points {
+                let t = self
+                    .snapshot_times()
+                    .get(*idx as usize)
+                    .copied()
+                    .unwrap_or(0);
+                let node = key.node.map(|n| n.to_string()).unwrap_or_default();
+                let label = key
+                    .node
+                    .and_then(|n| self.node_label(n))
+                    .unwrap_or_default();
+                let _ = write!(
+                    out,
+                    "{},{},{},{},",
+                    csv_field(&key.component),
+                    node,
+                    csv_field(label),
+                    csv_field(&key.metric)
+                );
+                match v {
+                    MetricValue::Counter(n) => {
+                        let _ = writeln!(out, "counter,{idx},{t},{n},,,");
+                    }
+                    MetricValue::Gauge { value, high_water } => {
+                        let _ = writeln!(out, "gauge,{idx},{t},{value},{high_water},,");
+                    }
+                    MetricValue::Histogram(h) => {
+                        let mean = if h.count > 0 {
+                            format!("{}", h.sum as f64 / h.count as f64)
+                        } else {
+                            String::new()
+                        };
+                        let _ = writeln!(out, "histogram,{idx},{t},{mean},,{},{}", h.count, h.sum);
+                    }
+                }
+            }
+        }
+        out
+    }
+}
+
+/// Quotes a CSV field when needed.
+fn csv_field(s: &str) -> String {
+    if s.contains([',', '"', '\n']) {
+        format!("\"{}\"", s.replace('"', "\"\""))
+    } else {
+        s.to_owned()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::Histogram;
+
+    fn sample_registry() -> MetricsRegistry {
+        let mut r = MetricsRegistry::new();
+        r.set_node_label(1, "auth:ns1");
+        r.record_counter("auth", Some(1), "queries", 12);
+        r.record_gauge("resolver", Some(2), "in_flight", 3.0);
+        let mut h = Histogram::new();
+        h.observe(1);
+        h.observe(4);
+        r.record_histogram("resolver", Some(2), "retries_per_query", &h);
+        r.snapshot(60_000_000_000);
+        r
+    }
+
+    #[test]
+    fn json_has_all_sections_and_valid_shape() {
+        let json = sample_registry().to_json();
+        assert!(json.starts_with('{') && json.ends_with('}'));
+        assert!(json.contains("\"snapshot_times_nanos\":[60000000000]"));
+        assert!(json.contains("\"node_labels\":{\"1\":\"auth:ns1\"}"));
+        assert!(json.contains("\"component\":\"auth\""));
+        assert!(json.contains("\"type\":\"counter\",\"total\":12"));
+        assert!(json.contains("\"type\":\"gauge\",\"value\":3.0"));
+        assert!(json.contains("\"bins\":[[1,1],[4,1]]"));
+        // Balanced braces/brackets — cheap structural sanity check.
+        let depth = json.chars().fold(0i64, |d, c| match c {
+            '{' | '[' => d + 1,
+            '}' | ']' => d - 1,
+            _ => d,
+        });
+        assert_eq!(depth, 0);
+    }
+
+    #[test]
+    fn json_escapes_strings() {
+        let mut r = MetricsRegistry::new();
+        r.record_counter("we\"ird", None, "a\\b", 1);
+        let json = r.to_json();
+        assert!(json.contains("we\\\"ird"));
+        assert!(json.contains("a\\\\b"));
+    }
+
+    #[test]
+    fn csv_one_row_per_point_plus_header() {
+        let r = sample_registry();
+        let csv = r.to_csv();
+        let lines: Vec<&str> = csv.lines().collect();
+        assert_eq!(lines.len(), 4, "{csv}");
+        assert!(lines[0].starts_with("component,node,node_label,metric"));
+        assert!(lines[1].contains("auth,1,auth:ns1,queries,counter,0,60000000000,12"));
+    }
+
+    #[test]
+    fn csv_quotes_awkward_fields() {
+        assert_eq!(csv_field("plain"), "plain");
+        assert_eq!(csv_field("a,b"), "\"a,b\"");
+        assert_eq!(csv_field("a\"b"), "\"a\"\"b\"");
+    }
+}

@@ -1,0 +1,304 @@
+//! The three instrument kinds: counter, gauge, histogram.
+//!
+//! All three are plain unsynchronized values. The simulator is
+//! single-threaded per run, so hot paths pay one integer add — no
+//! atomics, no locks. Sharing across sweep threads happens at the
+//! registry level (each run owns its registry).
+
+/// A monotonically increasing event count.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Counter {
+    value: u64,
+}
+
+impl Counter {
+    /// A counter at zero.
+    pub const fn new() -> Self {
+        Counter { value: 0 }
+    }
+
+    /// Adds one.
+    #[inline]
+    pub fn inc(&mut self) {
+        self.value += 1;
+    }
+
+    /// Adds `n`.
+    #[inline]
+    pub fn add(&mut self, n: u64) {
+        self.value += n;
+    }
+
+    /// Current total.
+    #[inline]
+    pub fn get(&self) -> u64 {
+        self.value
+    }
+}
+
+/// A value that goes up and down, with a high-water mark.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct Gauge {
+    value: f64,
+    high_water: f64,
+}
+
+impl Gauge {
+    /// A gauge at zero.
+    pub const fn new() -> Self {
+        Gauge {
+            value: 0.0,
+            high_water: 0.0,
+        }
+    }
+
+    /// Sets the current value (updates the high-water mark).
+    #[inline]
+    pub fn set(&mut self, v: f64) {
+        self.value = v;
+        if v > self.high_water {
+            self.high_water = v;
+        }
+    }
+
+    /// Current value.
+    #[inline]
+    pub fn get(&self) -> f64 {
+        self.value
+    }
+
+    /// Highest value ever set.
+    #[inline]
+    pub fn high_water(&self) -> f64 {
+        self.high_water
+    }
+}
+
+/// Number of log-scaled bins: bin 0 holds the value 0, bin `i` (for
+/// `i >= 1`) holds values in `[2^(i-1), 2^i)`. 64 bins cover all of
+/// `u64`.
+pub const HISTOGRAM_BINS: usize = 65;
+
+/// A histogram over `u64` samples with log-scaled (power-of-two) bins.
+///
+/// Log bins keep the structure tiny and allocation-free while covering
+/// the full dynamic range the simulator needs — retry counts (0..16)
+/// and nanosecond latencies (10^6..10^12) share the same shape.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Histogram {
+    bins: [u64; HISTOGRAM_BINS],
+    count: u64,
+    sum: u64,
+    min: u64,
+    max: u64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram::new()
+    }
+}
+
+/// Bin index for a sample: 0 for 0, else `floor(log2(v)) + 1`.
+#[inline]
+fn bin_index(v: u64) -> usize {
+    if v == 0 {
+        0
+    } else {
+        64 - v.leading_zeros() as usize
+    }
+}
+
+/// Inclusive lower bound of bin `i`.
+pub fn bin_lower_bound(i: usize) -> u64 {
+    match i {
+        0 => 0,
+        _ => 1u64 << (i - 1),
+    }
+}
+
+impl Histogram {
+    /// An empty histogram.
+    pub const fn new() -> Self {
+        Histogram {
+            bins: [0; HISTOGRAM_BINS],
+            count: 0,
+            sum: 0,
+            min: u64::MAX,
+            max: 0,
+        }
+    }
+
+    /// Records one sample.
+    #[inline]
+    pub fn observe(&mut self, v: u64) {
+        self.bins[bin_index(v)] += 1;
+        self.count += 1;
+        self.sum = self.sum.saturating_add(v);
+        if v < self.min {
+            self.min = v;
+        }
+        if v > self.max {
+            self.max = v;
+        }
+    }
+
+    /// Number of samples.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sum of samples (saturating).
+    pub fn sum(&self) -> u64 {
+        self.sum
+    }
+
+    /// Mean sample, if any samples were recorded.
+    pub fn mean(&self) -> Option<f64> {
+        if self.count == 0 {
+            None
+        } else {
+            Some(self.sum as f64 / self.count as f64)
+        }
+    }
+
+    /// Smallest sample, if any.
+    pub fn min(&self) -> Option<u64> {
+        if self.count == 0 {
+            None
+        } else {
+            Some(self.min)
+        }
+    }
+
+    /// Largest sample, if any.
+    pub fn max(&self) -> Option<u64> {
+        if self.count == 0 {
+            None
+        } else {
+            Some(self.max)
+        }
+    }
+
+    /// Approximate quantile (`0.0..=1.0`): the lower bound of the bin
+    /// containing the q-th sample. Exact for values that are powers of
+    /// two or zero; otherwise within a factor of two.
+    pub fn quantile(&self, q: f64) -> Option<u64> {
+        if self.count == 0 {
+            return None;
+        }
+        let q = q.clamp(0.0, 1.0);
+        let rank = ((q * self.count as f64).ceil() as u64).max(1);
+        let mut seen = 0;
+        for (i, &c) in self.bins.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                return Some(bin_lower_bound(i));
+            }
+        }
+        Some(bin_lower_bound(HISTOGRAM_BINS - 1))
+    }
+
+    /// Non-empty bins as `(bin_lower_bound, count)` pairs.
+    pub fn nonzero_bins(&self) -> Vec<(u64, u64)> {
+        self.bins
+            .iter()
+            .enumerate()
+            .filter(|(_, &c)| c > 0)
+            .map(|(i, &c)| (bin_lower_bound(i), c))
+            .collect()
+    }
+
+    /// A frozen copy suitable for storing in a snapshot series.
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        HistogramSnapshot {
+            count: self.count,
+            sum: self.sum,
+            min: self.min(),
+            max: self.max(),
+            bins: self.nonzero_bins(),
+        }
+    }
+}
+
+/// A frozen histogram: counts per non-empty log bin plus summary stats.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HistogramSnapshot {
+    /// Number of samples.
+    pub count: u64,
+    /// Sum of samples.
+    pub sum: u64,
+    /// Smallest sample, if any.
+    pub min: Option<u64>,
+    /// Largest sample, if any.
+    pub max: Option<u64>,
+    /// `(bin_lower_bound, count)` for every non-empty bin, ascending.
+    pub bins: Vec<(u64, u64)>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_counts() {
+        let mut c = Counter::new();
+        c.inc();
+        c.add(41);
+        assert_eq!(c.get(), 42);
+    }
+
+    #[test]
+    fn gauge_tracks_high_water() {
+        let mut g = Gauge::new();
+        g.set(3.0);
+        g.set(10.0);
+        g.set(2.0);
+        assert_eq!(g.get(), 2.0);
+        assert_eq!(g.high_water(), 10.0);
+    }
+
+    #[test]
+    fn bin_index_is_log2() {
+        assert_eq!(bin_index(0), 0);
+        assert_eq!(bin_index(1), 1);
+        assert_eq!(bin_index(2), 2);
+        assert_eq!(bin_index(3), 2);
+        assert_eq!(bin_index(4), 3);
+        assert_eq!(bin_index(u64::MAX), 64);
+        for i in 0..HISTOGRAM_BINS {
+            let lo = bin_lower_bound(i);
+            assert_eq!(bin_index(lo), i, "lower bound of bin {i} maps back");
+        }
+    }
+
+    #[test]
+    fn histogram_summary_stats() {
+        let mut h = Histogram::new();
+        assert_eq!(h.mean(), None);
+        assert_eq!(h.quantile(0.5), None);
+        for v in [0, 1, 2, 3, 1000] {
+            h.observe(v);
+        }
+        assert_eq!(h.count(), 5);
+        assert_eq!(h.sum(), 1006);
+        assert_eq!(h.min(), Some(0));
+        assert_eq!(h.max(), Some(1000));
+        assert_eq!(h.mean(), Some(1006.0 / 5.0));
+        // Median sample is 2, which lives in bin [2, 4).
+        assert_eq!(h.quantile(0.5), Some(2));
+        // The largest sample (1000) lives in bin [512, 1024).
+        assert_eq!(h.quantile(1.0), Some(512));
+    }
+
+    #[test]
+    fn histogram_snapshot_round_trips_bins() {
+        let mut h = Histogram::new();
+        h.observe(0);
+        h.observe(5);
+        h.observe(5);
+        let s = h.snapshot();
+        assert_eq!(s.count, 3);
+        assert_eq!(s.bins, vec![(0, 1), (4, 2)]);
+    }
+}

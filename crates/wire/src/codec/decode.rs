@@ -201,8 +201,7 @@ impl<'a> Decoder<'a> {
                     break;
                 }
                 l if l & 0xc0 == 0xc0 => {
-                    let second =
-                        *self.bytes.get(cursor + 1).ok_or(CodecError::Truncated)? as usize;
+                    let second = *self.bytes.get(cursor + 1).ok_or(CodecError::Truncated)? as usize;
                     let target = ((l & 0x3f) << 8) | second;
                     // RFC 1035 pointers reference a *prior* occurrence.
                     if target >= cursor {
@@ -224,10 +223,7 @@ impl<'a> Decoder<'a> {
                 l => {
                     let start = cursor + 1;
                     let end = start + l;
-                    let bytes = self
-                        .bytes
-                        .get(start..end)
-                        .ok_or(CodecError::Truncated)?;
+                    let bytes = self.bytes.get(start..end).ok_or(CodecError::Truncated)?;
                     labels.push(Label::new(bytes)?);
                     cursor = end;
                 }
@@ -303,10 +299,7 @@ mod tests {
         assert_eq!(m.answers.len(), 1);
         assert_eq!(m.answers[0].name.to_string(), "nl");
         assert_eq!(m.answers[0].ttl, 60);
-        assert_eq!(
-            m.answers[0].rdata,
-            RData::A(Ipv4Addr::new(192, 0, 2, 1))
-        );
+        assert_eq!(m.answers[0].rdata, RData::A(Ipv4Addr::new(192, 0, 2, 1)));
     }
 
     #[test]

@@ -108,8 +108,16 @@ mod tests {
     fn round_trip_every_rdata_variant() {
         let q = Message::iterative_query(12, name("x.nl"), RecordType::A);
         let m = MessageBuilder::respond_to(&q)
-            .answer(Record::new(name("x.nl"), 1, RData::A(Ipv4Addr::new(1, 2, 3, 4))))
-            .answer(Record::new(name("x.nl"), 2, RData::Aaaa(Ipv6Addr::LOCALHOST)))
+            .answer(Record::new(
+                name("x.nl"),
+                1,
+                RData::A(Ipv4Addr::new(1, 2, 3, 4)),
+            ))
+            .answer(Record::new(
+                name("x.nl"),
+                2,
+                RData::Aaaa(Ipv6Addr::LOCALHOST),
+            ))
             .answer(Record::new(name("x.nl"), 3, RData::Ns(name("ns.x.nl"))))
             .answer(Record::new(name("x.nl"), 4, RData::Cname(name("y.nl"))))
             .answer(Record::new(name("x.nl"), 5, RData::Ptr(name("p.nl"))))

@@ -143,10 +143,7 @@ impl Message {
             && !self.authoritative
             && self.rcode == Rcode::NoError
             && self.answers.is_empty()
-            && self
-                .authorities
-                .iter()
-                .any(|r| r.rtype() == RecordType::NS)
+            && self.authorities.iter().any(|r| r.rtype() == RecordType::NS)
     }
 
     /// True if this is a negative answer: conclusive rcode, no answers, and
@@ -155,9 +152,7 @@ impl Message {
         self.is_response
             && self.answers.is_empty()
             && (self.rcode == Rcode::NxDomain
-                || (self.rcode == Rcode::NoError
-                    && self.authoritative
-                    && !self.is_referral()))
+                || (self.rcode == Rcode::NoError && self.authoritative && !self.is_referral()))
     }
 
     /// Answer records of the given type.
@@ -251,7 +246,11 @@ mod tests {
     use std::net::Ipv4Addr;
 
     fn q() -> Message {
-        Message::query(1, Name::parse("1414.cachetest.nl").unwrap(), RecordType::AAAA)
+        Message::query(
+            1,
+            Name::parse("1414.cachetest.nl").unwrap(),
+            RecordType::AAAA,
+        )
     }
 
     #[test]
@@ -279,7 +278,8 @@ mod tests {
 
     #[test]
     fn referral_detection() {
-        let query = Message::iterative_query(3, Name::parse("cachetest.nl").unwrap(), RecordType::AAAA);
+        let query =
+            Message::iterative_query(3, Name::parse("cachetest.nl").unwrap(), RecordType::AAAA);
         let referral = MessageBuilder::respond_to(&query)
             .authority(Record::new(
                 Name::parse("nl").unwrap(),
@@ -308,7 +308,11 @@ mod tests {
 
     #[test]
     fn negative_answer_detection_and_ttl() {
-        let query = Message::iterative_query(4, Name::parse("nope.cachetest.nl").unwrap(), RecordType::AAAA);
+        let query = Message::iterative_query(
+            4,
+            Name::parse("nope.cachetest.nl").unwrap(),
+            RecordType::AAAA,
+        );
         let soa = SoaData {
             mname: Name::parse("ns1.cachetest.nl").unwrap(),
             rname: Name::parse("hostmaster.cachetest.nl").unwrap(),
@@ -321,7 +325,11 @@ mod tests {
         let neg = MessageBuilder::respond_to(&query)
             .authoritative()
             .rcode(Rcode::NxDomain)
-            .authority(Record::new(Name::parse("cachetest.nl").unwrap(), 3600, RData::Soa(soa)))
+            .authority(Record::new(
+                Name::parse("cachetest.nl").unwrap(),
+                3600,
+                RData::Soa(soa),
+            ))
             .build();
         assert!(neg.is_negative());
         // RFC 2308: min(SOA record TTL, SOA minimum) = min(3600, 60).

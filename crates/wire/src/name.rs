@@ -59,7 +59,9 @@ impl Label {
                 return Err(NameError::InvalidByte(b));
             }
         }
-        Ok(Label(bytes.iter().map(|b| b.to_ascii_lowercase()).collect()))
+        Ok(Label(
+            bytes.iter().map(|b| b.to_ascii_lowercase()).collect(),
+        ))
     }
 
     /// The label's bytes (canonical lowercase).
@@ -339,10 +341,12 @@ mod tests {
 
     #[test]
     fn canonical_ordering_groups_by_suffix() {
-        let mut names = [Name::parse("b.nl").unwrap(),
+        let mut names = [
+            Name::parse("b.nl").unwrap(),
             Name::parse("a.net").unwrap(),
             Name::parse("a.nl").unwrap(),
-            Name::parse("nl").unwrap()];
+            Name::parse("nl").unwrap(),
+        ];
         names.sort();
         let strs: Vec<String> = names.iter().map(|n| n.to_string()).collect();
         assert_eq!(strs, vec!["a.net", "nl", "a.nl", "b.nl"]);

@@ -214,10 +214,7 @@ mod tests {
 
     #[test]
     fn record_type_of_each_variant() {
-        assert_eq!(
-            RData::A(Ipv4Addr::LOCALHOST).record_type(),
-            RecordType::A
-        );
+        assert_eq!(RData::A(Ipv4Addr::LOCALHOST).record_type(), RecordType::A);
         assert_eq!(
             RData::Aaaa(Ipv6Addr::LOCALHOST).record_type(),
             RecordType::AAAA
@@ -263,7 +260,10 @@ mod tests {
 
     #[test]
     fn display_formats() {
-        assert_eq!(RData::A(Ipv4Addr::new(192, 0, 2, 1)).to_string(), "192.0.2.1");
+        assert_eq!(
+            RData::A(Ipv4Addr::new(192, 0, 2, 1)).to_string(),
+            "192.0.2.1"
+        );
         let soa = RData::Soa(SoaData {
             mname: Name::parse("ns1.dns.nl").unwrap(),
             rname: Name::parse("hostmaster.dns.nl").unwrap(),

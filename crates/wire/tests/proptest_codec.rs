@@ -6,8 +6,7 @@ use std::net::{Ipv4Addr, Ipv6Addr};
 use proptest::prelude::*;
 
 use dike_wire::{
-    codec, Message, Name, Opcode, Question, RData, Rcode, Record, RecordClass, RecordType,
-    SoaData,
+    codec, Message, Name, Opcode, Question, RData, Rcode, Record, RecordClass, RecordType, SoaData,
 };
 
 fn arb_label() -> impl Strategy<Value = String> {
@@ -43,7 +42,12 @@ fn arb_rdata() -> impl Strategy<Value = RData> {
         }),
         proptest::collection::vec(proptest::collection::vec(any::<u8>(), 0..40), 0..4)
             .prop_map(RData::Txt),
-        (any::<u16>(), any::<u8>(), any::<u8>(), proptest::collection::vec(any::<u8>(), 0..40))
+        (
+            any::<u16>(),
+            any::<u8>(),
+            any::<u8>(),
+            proptest::collection::vec(any::<u8>(), 0..40)
+        )
             .prop_map(|(key_tag, algorithm, digest_type, digest)| RData::Ds {
                 key_tag,
                 algorithm,
@@ -58,17 +62,22 @@ fn arb_rdata() -> impl Strategy<Value = RData> {
                 target
             }
         ),
-        (any::<u16>(), any::<u8>(), proptest::collection::vec(any::<u8>(), 0..48)).prop_map(
-            |(flags, algorithm, key)| RData::Dnskey {
+        (
+            any::<u16>(),
+            any::<u8>(),
+            proptest::collection::vec(any::<u8>(), 0..48)
+        )
+            .prop_map(|(flags, algorithm, key)| RData::Dnskey {
                 flags,
                 protocol: 3,
                 algorithm,
                 key
-            }
-        ),
-        (600u16..9000u16, proptest::collection::vec(any::<u8>(), 0..30)).prop_map(
-            |(rtype, data)| RData::Unknown { rtype, data }
-        ),
+            }),
+        (
+            600u16..9000u16,
+            proptest::collection::vec(any::<u8>(), 0..30)
+        )
+            .prop_map(|(rtype, data)| RData::Unknown { rtype, data }),
     ]
 }
 

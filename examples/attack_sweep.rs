@@ -6,13 +6,13 @@
 //! cargo run --release --example attack_sweep
 //! ```
 
-use dike::core::{LossSweep, Scenario};
+use dike::core::{Attack, LossSweep, Scenario};
 
 fn main() {
     let base = Scenario::new()
         .probes(200)
         .ttl(1800)
-        .attack_window_min(60, 60)
+        .with_attack(Attack::complete().window_min(60, 60))
         .duration_min(150)
         .seed(42);
 
@@ -35,8 +35,8 @@ fn main() {
         println!(
             "{:>5.0}% {:>17.1}% {:>17.1}x {:>11.0}ms",
             p.loss * 100.0,
-            p.report.ok_fraction_during_attack() * 100.0,
-            p.report.traffic_multiplier(),
+            p.report.ok_fraction_during_attack().unwrap_or(f64::NAN) * 100.0,
+            p.report.traffic_multiplier().unwrap_or(f64::NAN),
             p90
         );
     }

@@ -40,7 +40,10 @@ fn main() {
     );
 
     println!("client view (Figure 6/8 shape):");
-    println!("{:>5} {:>6} {:>9} {:>10}", "min", "OK", "SERVFAIL", "no answer");
+    println!(
+        "{:>5} {:>6} {:>9} {:>10}",
+        "min", "OK", "SERVFAIL", "no answer"
+    );
     for b in &r.outcomes {
         let marker = if b.start_min >= p.ddos_start_min
             && b.start_min < p.ddos_start_min + p.ddos_duration_min
@@ -69,7 +72,7 @@ fn main() {
 
     println!(
         "\nOK during attack: {:.1}%   offered-load multiplier: {:.1}x",
-        ok_fraction_during_attack(&r) * 100.0,
-        traffic_multiplier(&r)
+        ok_fraction_during_attack(&r).unwrap_or(f64::NAN) * 100.0,
+        traffic_multiplier(&r).unwrap_or(f64::NAN)
     );
 }

@@ -9,14 +9,14 @@
 //! authoritative servers with a 90% packet-loss DDoS for an hour, then
 //! prints what the clients experienced.
 
-use dike::core::Scenario;
+use dike::core::{Attack, Scenario};
 
 fn main() {
     let report = Scenario::new()
         .probes(300) // each probe has 1-3 local recursives (vantage points)
         .ttl(1800) // 30-minute records, like a conservative zone
-        .attack(0.90) // 90% ingress loss at both authoritatives...
-        .attack_window_min(60, 60) // ...from minute 60 to minute 120
+        // 90% ingress loss at both authoritatives, minutes 60-120.
+        .with_attack(Attack::loss(0.90).window_min(60, 60))
         .duration_min(180)
         .seed(42)
         .run();
@@ -29,7 +29,7 @@ fn main() {
     );
     println!(
         "during the 90% attack: {:.1}% of queries still answered (paper: ~60%)",
-        report.ok_fraction_during_attack() * 100.0
+        report.ok_fraction_during_attack().unwrap_or(f64::NAN) * 100.0
     );
     println!(
         "cache miss rate: {:.1}% (paper: ~30%)",
@@ -37,11 +37,14 @@ fn main() {
     );
     println!(
         "authoritative offered load during attack: {:.1}x normal (paper: up to 8x)",
-        report.traffic_multiplier()
+        report.traffic_multiplier().unwrap_or(f64::NAN)
     );
 
     println!("\nper-round client outcomes:");
-    println!("{:>5} {:>6} {:>9} {:>10} {:>8}", "min", "OK", "SERVFAIL", "no answer", "OK frac");
+    println!(
+        "{:>5} {:>6} {:>9} {:>10} {:>8}",
+        "min", "OK", "SERVFAIL", "no answer", "OK frac"
+    );
     for bin in &report.outcomes {
         println!(
             "{:>5} {:>6} {:>9} {:>10} {:>7.1}%",

@@ -35,7 +35,9 @@ impl Node for Poller {
     fn on_datagram(&mut self, ctx: &mut Context<'_>, _src: Addr, msg: &Message, _l: usize) {
         if msg.is_response {
             let ttl = msg.answers.first().map(|r| r.ttl);
-            self.results.lock().push((ctx.now().as_mins(), msg.rcode, ttl));
+            self.results
+                .lock()
+                .push((ctx.now().as_mins(), msg.rcode, ttl));
         }
     }
     fn on_timer(&mut self, ctx: &mut Context<'_>, _token: TimerToken) {
@@ -86,8 +88,14 @@ fn run(serve_stale: bool) -> Vec<Obs> {
 fn main() {
     for serve_stale in [false, true] {
         let results = run(serve_stale);
-        let ok = results.iter().filter(|(_, rc, _)| *rc == Rcode::NoError).count();
-        let servfail = results.iter().filter(|(_, rc, _)| *rc == Rcode::ServFail).count();
+        let ok = results
+            .iter()
+            .filter(|(_, rc, _)| *rc == Rcode::NoError)
+            .count();
+        let servfail = results
+            .iter()
+            .filter(|(_, rc, _)| *rc == Rcode::ServFail)
+            .count();
         let stale = results
             .iter()
             .filter(|(_, rc, ttl)| *rc == Rcode::NoError && *ttl == Some(0))

@@ -52,9 +52,9 @@ fn hand_assembled_stack_resolves() {
     ));
     sim.add_node(Box::new(AuthServer::new().with_zone(Box::new(zone))));
 
-    let (_, resolver) = sim.add_node(Box::new(RecursiveResolver::new(
-        profiles::bind_like(vec![auth_addr]),
-    )));
+    let (_, resolver) = sim.add_node(Box::new(RecursiveResolver::new(profiles::bind_like(vec![
+        auth_addr,
+    ]))));
 
     let observed = Arc::new(Mutex::new(Vec::new()));
     struct Client {
@@ -93,12 +93,12 @@ fn hand_assembled_stack_resolves() {
 /// The stub's log feeds the classifier across crate boundaries.
 #[test]
 fn stub_log_flows_into_classifier() {
-    use dike::experiments::topology::{add_hierarchy};
+    use dike::experiments::topology::add_hierarchy;
     let mut sim = Simulator::new(78);
     let (root, _, _) = add_hierarchy(&mut sim, 3600);
-    let (_, resolver) = sim.add_node(Box::new(RecursiveResolver::new(
-        profiles::unbound_like(vec![root]),
-    )));
+    let (_, resolver) = sim.add_node(Box::new(RecursiveResolver::new(profiles::unbound_like(
+        vec![root],
+    ))));
     let log = new_shared_log();
     for pid in 1..=10u16 {
         let cfg = StubConfig::new(
@@ -129,7 +129,10 @@ fn stub_log_flows_into_classifier() {
 fn auth_responses_survive_the_codec() {
     let mut server = AuthServer::new().with_zone(Box::new(dike::auth::CacheTestZone::new(
         300,
-        &[Ipv4Addr::new(198, 51, 100, 1), Ipv4Addr::new(198, 51, 100, 2)],
+        &[
+            Ipv4Addr::new(198, 51, 100, 1),
+            Ipv4Addr::new(198, 51, 100, 2),
+        ],
     )));
     let queries = [
         ("1414.cachetest.nl", RecordType::AAAA),

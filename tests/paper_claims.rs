@@ -2,7 +2,7 @@
 //! every test runs full simulations through the public API and checks
 //! the *shape* the paper reports.
 
-use dike::core::Scenario;
+use dike::core::{Attack, Scenario};
 use dike::experiments::baseline::{run_baseline, BASELINES};
 use dike::experiments::ddos::{ok_fraction_during_attack, run_ddos, DdosExperiment};
 
@@ -19,7 +19,10 @@ fn claim_thirty_percent_cache_misses() {
     );
 
     let r60 = run_baseline(BASELINES[0], 0.02, 1);
-    assert_eq!(r60.classification.summary.ac, 0, "no misses possible at TTL 60");
+    assert_eq!(
+        r60.classification.summary.ac, 0,
+        "no misses possible at TTL 60"
+    );
 }
 
 /// Table 3: misses concentrate behind public resolvers.
@@ -69,9 +72,9 @@ fn claim_attack_intensity_gradient() {
     let e = run_ddos(DdosExperiment::E, 0.012, 4);
     let h = run_ddos(DdosExperiment::H, 0.012, 4);
     let i = run_ddos(DdosExperiment::I, 0.012, 4);
-    let ok_e = ok_fraction_during_attack(&e);
-    let ok_h = ok_fraction_during_attack(&h);
-    let ok_i = ok_fraction_during_attack(&i);
+    let ok_e = ok_fraction_during_attack(&e).expect("attack rounds");
+    let ok_h = ok_fraction_during_attack(&h).expect("attack rounds");
+    let ok_i = ok_fraction_during_attack(&i).expect("attack rounds");
     assert!(ok_e > 0.85, "E (50% loss): {ok_e} (paper ~91%)");
     assert!(ok_h > 0.45, "H (90% loss, TTL 1800): {ok_h} (paper ~60%)");
     assert!(ok_i > 0.15, "I (90% loss, TTL 60): {ok_i} (paper ~37%)");
@@ -120,10 +123,13 @@ fn claim_caches_ride_out_complete_outage_until_ttl() {
 fn claim_retries_amplify_server_load() {
     let f = run_ddos(DdosExperiment::F, 0.012, 6);
     let h = run_ddos(DdosExperiment::H, 0.012, 6);
-    let mult_f = dike::experiments::ddos::traffic_multiplier(&f);
-    let mult_h = dike::experiments::ddos::traffic_multiplier(&h);
+    let mult_f = dike::experiments::ddos::traffic_multiplier(&f).expect("baseline");
+    let mult_h = dike::experiments::ddos::traffic_multiplier(&h).expect("baseline");
     assert!(mult_f > 1.5, "75% loss multiplier {mult_f} (paper ~3.5x)");
-    assert!(mult_h > mult_f, "90% loss amplifies more: {mult_h} vs {mult_f}");
+    assert!(
+        mult_h > mult_f,
+        "90% loss amplifies more: {mult_h} vs {mult_f}"
+    );
 }
 
 /// §8's Dyn-vs-Root contrast, as a controlled experiment: the same 90%
@@ -134,21 +140,21 @@ fn claim_long_ttls_explain_root_vs_dyn_outcomes() {
     let root_like = Scenario::new()
         .probes(100)
         .ttl(3600)
-        .attack(0.9)
-        .attack_window_min(60, 60)
+        .with_attack(Attack::loss(0.9).window_min(60, 60))
         .duration_min(150)
         .seed(8)
         .run();
     let dyn_like = Scenario::new()
         .probes(100)
         .ttl(120)
-        .attack(0.9)
-        .attack_window_min(60, 60)
+        .with_attack(Attack::loss(0.9).window_min(60, 60))
         .duration_min(150)
         .seed(8)
         .run();
-    let ok_root = root_like.ok_fraction_during_attack();
-    let ok_dyn = dyn_like.ok_fraction_during_attack();
+    let ok_root = root_like
+        .ok_fraction_during_attack()
+        .expect("attack rounds");
+    let ok_dyn = dyn_like.ok_fraction_during_attack().expect("attack rounds");
     assert!(
         ok_root > ok_dyn + 0.1,
         "long TTLs ride out the attack better: {ok_root} vs {ok_dyn}"
@@ -166,6 +172,56 @@ fn claim_runs_are_reproducible() {
     };
     assert_eq!(run(99), run(99));
     assert_ne!(run(99), run(100), "different seeds must differ");
+}
+
+/// The telemetry layer is a second, independent accounting of Fig. 10's
+/// server-side numbers: per-authoritative query counters in the metrics
+/// registry must equal the trace-sink ServerView totals, and resolver
+/// retry histograms must be populated during an attack.
+#[test]
+fn claim_telemetry_agrees_with_server_view() {
+    use dike::core::telemetry::TelemetryConfig;
+    use dike::experiments::ddos::{run_ddos_with_options, DdosOptions};
+    let r = run_ddos_with_options(
+        DdosExperiment::F,
+        0.008,
+        7,
+        DdosOptions {
+            telemetry: Some(TelemetryConfig::every_mins(10)),
+            ..Default::default()
+        },
+    );
+    let reg = r.output.metrics.as_ref().expect("telemetry requested");
+    let ns_ids: Vec<u32> = reg
+        .node_labels()
+        .filter(|(_, l)| *l == "auth:ns1" || *l == "auth:ns2")
+        .map(|(id, _)| id)
+        .collect();
+    assert_eq!(ns_ids.len(), 2);
+    // Offered datagrams use the same pre-loss accounting point as the
+    // server view, so they agree exactly even under the attack.
+    let offered: u64 = ns_ids
+        .iter()
+        .map(|&id| {
+            reg.counter_total("netsim", Some(id), "datagrams_offered")
+                .unwrap_or(0)
+        })
+        .sum();
+    assert!(offered > 0);
+    assert_eq!(offered, r.output.server.total_queries);
+    // The auth servers' own counters see only what the 75% flood let
+    // through — strictly fewer.
+    let handled: u64 = ns_ids
+        .iter()
+        .map(|&id| reg.counter_total("auth", Some(id), "queries").unwrap_or(0))
+        .sum();
+    assert!(
+        handled > 0 && handled < offered,
+        "{handled} of {offered} delivered"
+    );
+    // The attack forces retries; the resolver histograms must see them.
+    let retries = reg.counter_sum("resolver", "retries");
+    assert!(retries > 0, "75% loss forces retries");
 }
 
 /// Figure 7's mechanism: during Experiment B's complete outage, the
@@ -190,14 +246,20 @@ fn claim_fig7_cache_classes_during_outage() {
     let cc: usize = during.iter().map(|c| c.cc).sum();
     let aa: usize = during.iter().map(|c| c.aa).sum();
     assert!(cc > 50, "caches serve during the outage: {cc}");
-    assert!(aa <= cc / 10, "no fresh data during a 100% outage: aa={aa} cc={cc}");
+    assert!(
+        aa <= cc / 10,
+        "no fresh data during a 100% outage: aa={aa} cc={cc}"
+    );
     // After recovery (minute 120+), fresh answers return.
     let aa_after: usize = classes
         .iter()
         .filter(|c| c.start_min >= 120 && c.start_min < 140)
         .map(|c| c.aa)
         .sum();
-    assert!(aa_after > 50, "authoritative answers surge on recovery: {aa_after}");
+    assert!(
+        aa_after > 50,
+        "authoritative answers surge on recovery: {aa_after}"
+    );
 }
 
 /// Figure 12's mechanism: before the attack, the number of distinct
@@ -222,7 +284,11 @@ fn claim_fig12_unique_recursives_shape() {
     let spread = |v: &[usize]| {
         let max = *v.iter().max().unwrap_or(&0) as f64;
         let min = *v.iter().min().unwrap_or(&0) as f64;
-        if max == 0.0 { 0.0 } else { (max - min) / max }
+        if max == 0.0 {
+            0.0
+        } else {
+            (max - min) / max
+        }
     };
     assert!(
         spread(&f_pre) > 0.4,

@@ -77,7 +77,14 @@ fn pulsed_total_outages_are_absorbed_by_caches() {
 
 #[test]
 fn ramping_attacks_degrade_gradually() {
-    let ramp = run(Waveform::Ramp { from: 0.1, steps: 6 }, 1.0, 22);
+    let ramp = run(
+        Waveform::Ramp {
+            from: 0.1,
+            steps: 6,
+        },
+        1.0,
+        22,
+    );
     let flat = run(Waveform::Constant, 1.0, 22);
     assert!(
         ramp > flat + 0.1,
