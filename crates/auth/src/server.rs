@@ -133,21 +133,29 @@ impl AuthServer {
     /// UDP-only measurements — and this simulator — do not model).
     pub fn handle_query(&mut self, now: SimTime, query: &Message) -> Message {
         let mut resp = self.answer_query(now, query);
-        let limit = query
-            .edns_payload_size()
-            .map(|s| s as usize)
-            .unwrap_or(dike_wire::MAX_UDP_PAYLOAD);
         match dike_wire::codec::encoded_len(&resp) {
-            Ok(len) if len > limit => {
-                resp.truncated = true;
-                resp.answers.clear();
-                resp.authorities.clear();
-                resp.additionals.clear();
-                self.stats.truncated += 1;
-            }
+            Ok(len) if len > Self::payload_limit(query) => self.truncate(&mut resp),
             _ => {}
         }
         resp
+    }
+
+    /// The client's advertised maximum response size (EDNS0, or RFC
+    /// 1035's 512 octets without it).
+    fn payload_limit(query: &Message) -> usize {
+        query
+            .edns_payload_size()
+            .map(|s| s as usize)
+            .unwrap_or(dike_wire::MAX_UDP_PAYLOAD)
+    }
+
+    /// Empties the record sections and sets `TC`.
+    fn truncate(&mut self, resp: &mut Message) {
+        resp.truncated = true;
+        resp.answers.clear();
+        resp.authorities.clear();
+        resp.additionals.clear();
+        self.stats.truncated += 1;
     }
 
     fn answer_query(&mut self, now: SimTime, query: &Message) -> Message {
@@ -245,8 +253,18 @@ impl Node for AuthServer {
             return; // authoritatives only answer queries
         }
         let now = ctx.now();
-        let resp = self.handle_query(now, msg);
-        ctx.send(src, &resp);
+        let mut resp = self.answer_query(now, msg);
+        // Encode once through the simulator's pooled buffer and reuse the
+        // bytes for both the size-limit check and the send; only the rare
+        // truncation path re-encodes.
+        let wire = ctx.encode(&resp);
+        if wire.len() > Self::payload_limit(msg) {
+            self.truncate(&mut resp);
+            let wire = ctx.encode(&resp);
+            ctx.send_wire(src, wire);
+        } else {
+            ctx.send_wire(src, wire);
+        }
     }
 
     fn on_timer(&mut self, ctx: &mut Context<'_>, token: TimerToken) {

@@ -45,6 +45,12 @@ fn bench_codec(c: &mut Criterion) {
         g.bench_function(format!("encode/{label}"), |b| {
             b.iter(|| codec::encode(black_box(&msg)).unwrap())
         });
+        g.bench_function(format!("encode_pooled/{label}"), |b| {
+            // The simulator's hot path: one warm buffer reused across
+            // every message, no per-encode allocation.
+            let mut buf = codec::EncodeBuffer::new();
+            b.iter(|| buf.encode(black_box(&msg)).unwrap())
+        });
         g.bench_function(format!("decode/{label}"), |b| {
             b.iter(|| codec::decode(black_box(&bytes)).unwrap())
         });

@@ -363,6 +363,14 @@ impl Report {
     pub fn metrics(&self) -> Option<&MetricsRegistry> {
         self.output.metrics.as_ref()
     }
+
+    /// Hot-path throughput counters for the run: events popped, datagrams
+    /// decoded/delivered, bytes through the codec, and the wall-clock time
+    /// the event loop spent. Observability only — wall-clock fields vary
+    /// across machines while the datagram counters are deterministic.
+    pub fn perf(&self) -> dike_netsim::SimPerf {
+        self.output.perf
+    }
 }
 
 #[cfg(test)]

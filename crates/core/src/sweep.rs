@@ -15,7 +15,8 @@ pub struct LossSweep {
     pub base: Scenario,
     /// The loss rates to run.
     pub loss_rates: Vec<f64>,
-    /// Worker threads (0 = one per arm, capped at 8).
+    /// Worker threads (0 = one per arm, capped at the machine's
+    /// available parallelism).
     pub threads: usize,
 }
 
@@ -46,7 +47,10 @@ impl LossSweep {
             return Vec::new();
         }
         let workers = if self.threads == 0 {
-            n.min(8)
+            let cores = std::thread::available_parallelism()
+                .map(std::num::NonZeroUsize::get)
+                .unwrap_or(8);
+            n.min(cores)
         } else {
             self.threads.min(n)
         };

@@ -121,6 +121,10 @@ pub struct ExperimentOutput {
     /// set. Query counters for `auth:ns1`/`auth:ns2` here agree with
     /// [`ExperimentOutput::server`]'s totals — two views of one run.
     pub metrics: Option<MetricsRegistry>,
+    /// Hot-path throughput counters (events popped, datagrams decoded,
+    /// wall-clock nanoseconds). Observability only — not part of the
+    /// deterministic simulation state.
+    pub perf: dike_netsim::SimPerf,
 }
 
 /// Runs one experiment to completion.
@@ -213,6 +217,7 @@ pub fn run_experiment(setup: &ExperimentSetup) -> ExperimentOutput {
     }
 
     sim.run_until(setup.total_duration.after_zero());
+    let perf = sim.perf();
     drop(sim); // release the Arc clones the simulator holds
 
     let log = Arc::try_unwrap(topo.log)
@@ -237,6 +242,7 @@ pub fn run_experiment(setup: &ExperimentSetup) -> ExperimentOutput {
         n_probes: topo.n_probes,
         n_vps,
         metrics,
+        perf,
     }
 }
 

@@ -70,11 +70,11 @@ impl TraceSink for PerDstCounter {
         _now: SimTime,
         _src: Addr,
         dst: Addr,
-        msg: &Message,
+        msg: Option<&Message>,
         _wire_len: usize,
         _disposition: Disposition,
     ) {
-        if !msg.is_response {
+        if msg.is_some_and(|m| !m.is_response) {
             *self.counts.entry(dst).or_insert(0) += 1;
         }
     }

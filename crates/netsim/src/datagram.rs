@@ -1,5 +1,6 @@
 //! Datagrams: what moves across links.
 
+use bytes::Bytes;
 use dike_wire::Message;
 
 use crate::addr::Addr;
@@ -9,6 +10,10 @@ use crate::addr::Addr;
 /// The payload is stored in *wire form*: the sender's message is encoded at
 /// send time and decoded at delivery, so nothing a node observes can bypass
 /// the codec ("codec in the loop", DESIGN.md §5.2).
+///
+/// The payload is a refcounted [`Bytes`] split off the world's pooled
+/// encoder, so cloning a datagram (retransmits, duplicate delivery) shares
+/// the underlying buffer instead of copying it.
 #[derive(Debug, Clone)]
 pub struct Datagram {
     /// Source address.
@@ -16,7 +21,7 @@ pub struct Datagram {
     /// Destination address.
     pub dst: Addr,
     /// Encoded DNS payload.
-    pub payload: Vec<u8>,
+    pub payload: Bytes,
 }
 
 impl Datagram {
@@ -43,9 +48,21 @@ mod tests {
         let d = Datagram {
             src: Addr(1),
             dst: Addr(2),
-            payload: codec::encode(&msg).unwrap(),
+            payload: codec::encode(&msg).unwrap().into(),
         };
         assert_eq!(d.message().unwrap(), msg);
         assert_eq!(d.wire_len(), d.payload.len());
+    }
+
+    #[test]
+    fn clone_shares_payload_storage() {
+        let msg = Message::query(1, Name::parse("x.nl").unwrap(), RecordType::A);
+        let d = Datagram {
+            src: Addr(1),
+            dst: Addr(2),
+            payload: codec::encode(&msg).unwrap().into(),
+        };
+        let d2 = d.clone();
+        assert_eq!(d.payload, d2.payload);
     }
 }

@@ -18,10 +18,13 @@ pub enum Event {
     /// evaluated here, at arrival, like a filter in front of the target).
     Deliver(Datagram),
     /// A datagram that already passed the ingress queue is handed to its
-    /// node after the queueing delay (no filters re-applied).
+    /// node after the queueing delay (no filters re-applied). Carries the
+    /// message decoded at ingress so the node hand-off never re-decodes.
     DeliverQueued {
         /// The datagram.
         dgram: Datagram,
+        /// The payload, decoded once at ingress (decode-once invariant).
+        msg: Box<dike_wire::Message>,
         /// The resolved destination node.
         node: NodeId,
         /// The address the node answers from (the VIP for anycast).

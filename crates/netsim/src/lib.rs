@@ -57,5 +57,5 @@ pub use dike_telemetry as telemetry;
 pub use link::{LatencyModel, LinkParams, LinkTable};
 pub use node::{Context, Node, TimerId, TimerToken};
 pub use queueing::{QueueConfig, ServiceQueue};
-pub use sim::Simulator;
+pub use sim::{SimPerf, Simulator};
 pub use time::{SimDuration, SimTime};

@@ -73,16 +73,33 @@ impl<'a> Context<'a> {
         self.addr
     }
 
-    /// Sends `msg` to `dst`. The message is encoded immediately; delivery
-    /// (or loss) happens at the destination's ingress after the sampled
-    /// path delay.
+    /// Sends `msg` to `dst`. The message is encoded immediately through
+    /// the run's pooled encoder; delivery (or loss) happens at the
+    /// destination's ingress after the sampled path delay.
     ///
     /// # Panics
     /// Panics if the message fails to encode — a node producing an
     /// unencodable message is a bug, not a runtime condition.
     pub fn send(&mut self, dst: Addr, msg: &Message) {
-        let payload =
-            dike_wire::codec::encode(msg).expect("node produced an unencodable DNS message");
+        let payload = self.world.encode(msg);
+        self.world.send_datagram(self.addr, dst, payload);
+    }
+
+    /// Encodes `msg` through the run's pooled encoder without sending it.
+    /// Use with [`Context::send_wire`] when the encoded form is needed
+    /// anyway (size-limit checks, retransmit reuse) so the payload is
+    /// encoded exactly once.
+    ///
+    /// # Panics
+    /// Panics if the message fails to encode (see [`Context::send`]).
+    pub fn encode(&mut self, msg: &Message) -> bytes::Bytes {
+        self.world.encode(msg)
+    }
+
+    /// Sends an already-encoded payload to `dst`. The payload is
+    /// refcounted, so sending the same bytes to several destinations
+    /// shares one buffer.
+    pub fn send_wire(&mut self, dst: Addr, payload: bytes::Bytes) {
         self.world.send_datagram(self.addr, dst, payload);
     }
 

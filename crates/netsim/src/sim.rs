@@ -1,9 +1,10 @@
 //! The simulator: node registry, event loop, and the [`World`] that nodes
 //! and control events mutate.
 
-use std::collections::{HashMap, HashSet};
-
+use bytes::Bytes;
 use dike_telemetry::{NodePublisher, SharedRegistry, TelemetryConfig};
+use dike_wire::codec::EncodeBuffer;
+use dike_wire::Message;
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
 
@@ -37,6 +38,16 @@ struct NetStats {
     datagrams_delivered: u64,
     datagrams_dropped: u64,
     datagrams_no_route: u64,
+    /// Payloads decoded at ingress (the decode-once invariant means this
+    /// equals arrivals, and equals deliveries in a loss-free run).
+    datagrams_decoded: u64,
+    /// Payloads the codec rejected at ingress; traced as
+    /// [`Disposition::Malformed`] and dropped.
+    datagrams_undecodable: u64,
+    /// Octets produced by the pooled encoder.
+    bytes_encoded: u64,
+    /// Octets consumed by the ingress decoder.
+    bytes_decoded: u64,
     queue_drops: u64,
     /// High-water mark of the event-queue depth.
     queue_depth_high_water: u64,
@@ -64,12 +75,21 @@ pub struct World {
     rng: SmallRng,
     sinks: Vec<SharedSink>,
     addr_of: Vec<Addr>,
-    node_of: HashMap<Addr, NodeId>,
     anycast: AnycastTable,
     next_vip: u32,
-    queues: HashMap<Addr, ServiceQueue>,
-    next_timer: u64,
-    cancelled: HashSet<u64>,
+    /// Ingress queues, dense-indexed like nodes (`addr - FIRST_ADDR`).
+    /// `queue_count` lets the hot path skip the lookup entirely when no
+    /// queues are installed (the common case).
+    queues: Vec<Option<ServiceQueue>>,
+    queue_count: usize,
+    /// Generation stamp per timer slot. A [`TimerId`] packs `(gen, slot)`;
+    /// cancellation bumps the slot's generation so the already-queued event
+    /// is recognized as stale when it pops — O(1), no tombstone set.
+    timer_gens: Vec<u32>,
+    free_timer_slots: Vec<u32>,
+    /// Pooled wire encoder: one per run, so steady-state sends are
+    /// allocation-free and payloads are refcounted slices of pool chunks.
+    encoder: EncodeBuffer,
     net: NetStats,
     node_net: Vec<NodeNetStats>,
 }
@@ -101,9 +121,20 @@ impl World {
     }
 
     /// The node behind `addr`, if any (unicast only; anycast addresses
-    /// resolve per source via [`World::anycast`]).
+    /// resolve per source via [`World::anycast`]). O(1): unicast addresses
+    /// are assigned densely from `FIRST_ADDR`, so this is arithmetic, not
+    /// a map lookup.
     pub fn node_at(&self, addr: Addr) -> Option<NodeId> {
-        self.node_of.get(&addr).copied()
+        let idx = addr.0.wrapping_sub(FIRST_ADDR);
+        ((idx as usize) < self.addr_of.len()).then_some(NodeId(idx))
+    }
+
+    /// Dense index for per-address state (queues): `addr - FIRST_ADDR`
+    /// when `addr` is in the unicast pool.
+    fn unicast_index(addr: Addr) -> Option<usize> {
+        (FIRST_ADDR..FIRST_VIP)
+            .contains(&addr.0)
+            .then_some((addr.0 - FIRST_ADDR) as usize)
     }
 
     /// The anycast registry.
@@ -115,18 +146,36 @@ impl World {
     /// `addr` — the paper's future-work queueing model
     /// (see [`crate::queueing`]).
     pub fn set_ingress_queue(&mut self, addr: Addr, config: QueueConfig) {
-        self.queues.insert(addr, ServiceQueue::new(config));
+        let Some(idx) = Self::unicast_index(addr) else {
+            debug_assert!(false, "ingress queue on non-unicast address {addr}");
+            return;
+        };
+        if idx >= self.queues.len() {
+            self.queues.resize_with(idx + 1, || None);
+        }
+        if self.queues[idx]
+            .replace(ServiceQueue::new(config))
+            .is_none()
+        {
+            self.queue_count += 1;
+        }
     }
 
     /// Removes the ingress queue on `addr`.
     pub fn clear_ingress_queue(&mut self, addr: Addr) {
-        self.queues.remove(&addr);
+        if let Some(slot) = Self::unicast_index(addr).and_then(|i| self.queues.get_mut(i)) {
+            if slot.take().is_some() {
+                self.queue_count -= 1;
+            }
+        }
     }
 
     /// Mutable access to an installed queue (e.g. to inject background
     /// attack load mid-run from a control event).
     pub fn queue_mut(&mut self, addr: Addr) -> Option<&mut ServiceQueue> {
-        self.queues.get_mut(&addr)
+        Self::unicast_index(addr)
+            .and_then(|i| self.queues.get_mut(i))
+            .and_then(|slot| slot.as_mut())
     }
 
     fn push(&mut self, at: SimTime, event: Event) {
@@ -139,9 +188,24 @@ impl World {
         }
     }
 
+    /// Encodes `msg` through the pooled run encoder, returning a refcounted
+    /// payload and updating the encode counters.
+    ///
+    /// # Panics
+    /// Panics if the message fails to encode — a node producing an
+    /// unencodable message is a bug, not a runtime condition.
+    pub(crate) fn encode(&mut self, msg: &Message) -> Bytes {
+        let payload = self
+            .encoder
+            .encode(msg)
+            .expect("node produced an unencodable DNS message");
+        self.net.bytes_encoded += payload.len() as u64;
+        payload
+    }
+
     /// Queues a datagram: samples the path delay now, evaluates loss at
     /// arrival (see [`Simulator::step`]).
-    pub(crate) fn send_datagram(&mut self, src: Addr, dst: Addr, payload: Vec<u8>) {
+    pub(crate) fn send_datagram(&mut self, src: Addr, dst: Addr, payload: Bytes) {
         self.net.datagrams_sent += 1;
         let delay = self.links.params(src, dst).latency.sample(&mut self.rng);
         let at = self.now + delay;
@@ -154,22 +218,33 @@ impl World {
         delay: SimDuration,
         token: TimerToken,
     ) -> TimerId {
-        let id = self.next_timer;
-        self.next_timer += 1;
+        let slot = match self.free_timer_slots.pop() {
+            Some(s) => s,
+            None => {
+                self.timer_gens.push(0);
+                (self.timer_gens.len() - 1) as u32
+            }
+        };
+        let id = ((self.timer_gens[slot as usize] as u64) << 32) | slot as u64;
         let at = self.now + delay;
         self.push(at, Event::Timer { node, token, id });
         TimerId(id)
     }
 
     pub(crate) fn cancel_timer(&mut self, id: TimerId) {
-        self.cancelled.insert(id.0);
+        let (slot, gen) = ((id.0 & 0xffff_ffff) as usize, (id.0 >> 32) as u32);
+        // Bump the generation only if this grant is still current; stale
+        // handles (timer already fired, double cancel) are no-ops.
+        if self.timer_gens.get(slot) == Some(&gen) {
+            self.timer_gens[slot] = gen.wrapping_add(1);
+        }
     }
 
     fn observe(
         &mut self,
         src: Addr,
         dst: Addr,
-        msg: &dike_wire::Message,
+        msg: Option<&Message>,
         wire_len: usize,
         disposition: Disposition,
     ) {
@@ -200,6 +275,53 @@ pub struct Simulator {
     started: Vec<bool>,
     world: World,
     telemetry: Option<Telemetry>,
+    /// Wall-clock nanoseconds spent inside the run methods. Kept out of
+    /// [`NetStats`]/telemetry (those must stay deterministic); surfaced
+    /// through [`Simulator::perf`].
+    wall_nanos: u64,
+}
+
+/// Wall-clock throughput summary of a run, paired with the deterministic
+/// volume counters needed to turn it into rates. This is *observability,
+/// not simulation state*: nothing here feeds back into the run, and none
+/// of it enters the telemetry registry (whose snapshots are asserted
+/// byte-identical across same-seed runs).
+#[derive(Debug, Clone, Copy, Default, serde::Serialize)]
+pub struct SimPerf {
+    /// Events processed by the run loop.
+    pub events_popped: u64,
+    /// Datagrams entering the fabric.
+    pub datagrams_sent: u64,
+    /// Datagrams handed to nodes.
+    pub datagrams_delivered: u64,
+    /// Payloads decoded at ingress (== arrivals under decode-once).
+    pub datagrams_decoded: u64,
+    /// Payloads rejected by the codec at ingress.
+    pub datagrams_undecodable: u64,
+    /// Octets produced by the pooled encoder.
+    pub bytes_encoded: u64,
+    /// Octets consumed by the ingress decoder.
+    pub bytes_decoded: u64,
+    /// Wall-clock nanoseconds spent inside `run_until`/`run_until_idle`.
+    pub wall_nanos: u64,
+}
+
+impl SimPerf {
+    /// Events processed per wall-clock second.
+    pub fn events_per_sec(&self) -> f64 {
+        if self.wall_nanos == 0 {
+            return 0.0;
+        }
+        self.events_popped as f64 / (self.wall_nanos as f64 / 1e9)
+    }
+
+    /// Encoder octets produced per wall-clock second.
+    pub fn encoded_bytes_per_sec(&self) -> f64 {
+        if self.wall_nanos == 0 {
+            return 0.0;
+        }
+        self.bytes_encoded as f64 / (self.wall_nanos as f64 / 1e9)
+    }
 }
 
 impl Simulator {
@@ -216,16 +338,18 @@ impl Simulator {
                 rng: SmallRng::seed_from_u64(seed),
                 sinks: Vec::new(),
                 addr_of: Vec::new(),
-                node_of: HashMap::new(),
                 anycast: AnycastTable::new(),
                 next_vip: FIRST_VIP,
-                queues: HashMap::new(),
-                next_timer: 0,
-                cancelled: HashSet::new(),
+                queues: Vec::new(),
+                queue_count: 0,
+                timer_gens: Vec::new(),
+                free_timer_slots: Vec::new(),
+                encoder: EncodeBuffer::new(),
                 net: NetStats::default(),
                 node_net: Vec::new(),
             },
             telemetry: None,
+            wall_nanos: 0,
         }
     }
 
@@ -264,7 +388,7 @@ impl Simulator {
     /// [`Simulator::label_node`] keyed by address instead of node id.
     /// Ignores anycast VIPs and unknown addresses.
     pub fn label_addr(&mut self, addr: Addr, label: &str) {
-        if let Some(&id) = self.world.node_of.get(&addr) {
+        if let Some(id) = self.world.node_at(addr) {
             self.label_node(id, label);
         }
     }
@@ -302,6 +426,15 @@ impl Simulator {
         );
         reg.record_counter("netsim", None, "datagrams_dropped", net.datagrams_dropped);
         reg.record_counter("netsim", None, "datagrams_no_route", net.datagrams_no_route);
+        reg.record_counter("netsim", None, "datagrams_decoded", net.datagrams_decoded);
+        reg.record_counter(
+            "netsim",
+            None,
+            "datagrams_undecodable",
+            net.datagrams_undecodable,
+        );
+        reg.record_counter("netsim", None, "bytes_encoded", net.bytes_encoded);
+        reg.record_counter("netsim", None, "bytes_decoded", net.bytes_decoded);
         reg.record_counter("netsim", None, "queue_drops", net.queue_drops);
         reg.record_high_water(
             "netsim",
@@ -348,7 +481,6 @@ impl Simulator {
         self.nodes.push(Some(node));
         self.started.push(false);
         self.world.addr_of.push(addr);
-        self.world.node_of.insert(addr, id);
         self.world.node_net.push(NodeNetStats::default());
         (id, addr)
     }
@@ -455,9 +587,23 @@ impl Simulator {
         self.world.net.events_popped += 1;
         match entry.event {
             Event::Deliver(dgram) => self.deliver(dgram),
-            Event::DeliverQueued { dgram, node, local } => self.deliver_to_node(dgram, node, local),
+            Event::DeliverQueued {
+                dgram,
+                msg,
+                node,
+                local,
+            } => {
+                let wire_len = dgram.wire_len();
+                self.deliver_to_node(dgram.src, &msg, wire_len, node, local);
+            }
             Event::Timer { node, token, id } => {
-                if self.world.cancelled.remove(&id) {
+                let (slot, gen) = ((id & 0xffff_ffff) as usize, (id >> 32) as u32);
+                let live = self.world.timer_gens[slot] == gen;
+                // The slot's pending event has left the queue either way:
+                // invalidate the outstanding handle and recycle the slot.
+                self.world.timer_gens[slot] = gen.wrapping_add(1);
+                self.world.free_timer_slots.push(slot as u32);
+                if !live {
                     self.world.net.timers_cancelled += 1;
                     return true;
                 }
@@ -473,11 +619,6 @@ impl Simulator {
     }
 
     fn deliver(&mut self, dgram: Datagram) {
-        // Decode once; both sinks and the destination node get the result.
-        let Ok(msg) = dgram.message() else {
-            // A payload our own codec cannot decode is a node bug.
-            panic!("undecodable datagram from {} to {}", dgram.src, dgram.dst);
-        };
         let wire_len = dgram.wire_len();
 
         // Anycast resolves to a member site first; the attack filter of
@@ -500,7 +641,23 @@ impl Simulator {
         }
         let attack_drop = attack > 0.0 && rand::RngExt::random_bool(&mut self.world.rng, attack);
 
-        let disposition = if dest.is_none() {
+        // Decode once, at ingress; sinks, the queueing stage, and the
+        // destination node all reuse this one Message (decode-once
+        // invariant, DESIGN.md §5.2). A payload our own codec rejects is
+        // counted and dropped rather than aborting the run — one bad
+        // packet must not kill a sweep arm.
+        let msg = match dgram.message() {
+            Ok(m) => {
+                self.world.net.datagrams_decoded += 1;
+                self.world.net.bytes_decoded += wire_len as u64;
+                Some(m)
+            }
+            Err(_) => None,
+        };
+
+        let disposition = if msg.is_none() {
+            Disposition::Malformed
+        } else if dest.is_none() {
             Disposition::NoRoute
         } else if ambient_drop || attack_drop {
             Disposition::Dropped
@@ -508,13 +665,16 @@ impl Simulator {
             Disposition::Delivered
         };
         self.world
-            .observe(dgram.src, dgram.dst, &msg, wire_len, disposition);
+            .observe(dgram.src, dgram.dst, msg.as_ref(), wire_len, disposition);
         if let Some(id) = dest {
-            // Offered counts before the loss filters — the same ingress
-            // accounting the trace sinks use for the paper's server view.
-            self.world.node_net[id.0 as usize].offered += 1;
+            if disposition != Disposition::Malformed {
+                // Offered counts before the loss filters — the same ingress
+                // accounting the trace sinks use for the paper's server view.
+                self.world.node_net[id.0 as usize].offered += 1;
+            }
         }
         match disposition {
+            Disposition::Malformed => self.world.net.datagrams_undecodable += 1,
             Disposition::NoRoute => self.world.net.datagrams_no_route += 1,
             Disposition::Dropped => {
                 self.world.net.datagrams_dropped += 1;
@@ -528,6 +688,7 @@ impl Simulator {
         if disposition != Disposition::Delivered {
             return;
         }
+        let msg = msg.expect("delivered implies decoded");
         let id = dest.expect("delivered implies destination exists");
         // Anycast deliveries run the node with the VIP as its local
         // address, so replies naturally come from the anycast address —
@@ -541,43 +702,51 @@ impl Simulator {
         // Ingress service queue (the paper's future-work queueing model):
         // the queue sits in front of the *site*, so anycast looks up the
         // member's unicast address, unicast the destination itself.
-        let queue_addr = site_filter_addr.unwrap_or(dgram.dst);
-        if let Some(q) = self.world.queues.get_mut(&queue_addr) {
+        // `queue_count` keeps the no-queues common case to one branch.
+        if self.world.queue_count > 0 {
+            let queue_addr = site_filter_addr.unwrap_or(dgram.dst);
             let now = self.world.now;
-            match q.offer(now) {
-                QueueOutcome::Dropped => {
-                    // Already observed as Delivered above (it passed the
-                    // random-loss filters); report the queue drop too so
-                    // sinks can distinguish. Simplest faithful model:
-                    // count it as a drop at the ingress.
-                    self.world.net.queue_drops += 1;
-                    self.world.node_net[id.0 as usize].dropped += 1;
-                    return;
+            if let Some(q) = self.world.queue_mut(queue_addr) {
+                match q.offer(now) {
+                    QueueOutcome::Dropped => {
+                        // Already observed as Delivered above (it passed the
+                        // random-loss filters); report the queue drop too so
+                        // sinks can distinguish. Simplest faithful model:
+                        // count it as a drop at the ingress.
+                        self.world.net.queue_drops += 1;
+                        self.world.node_net[id.0 as usize].dropped += 1;
+                        return;
+                    }
+                    QueueOutcome::Enqueued(delay) if delay > SimDuration::ZERO => {
+                        self.world.push(
+                            now + delay,
+                            Event::DeliverQueued {
+                                dgram,
+                                msg: Box::new(msg),
+                                node: id,
+                                local,
+                            },
+                        );
+                        return;
+                    }
+                    QueueOutcome::Enqueued(_) => {}
                 }
-                QueueOutcome::Enqueued(delay) if delay > SimDuration::ZERO => {
-                    self.world.push(
-                        now + delay,
-                        Event::DeliverQueued {
-                            dgram,
-                            node: id,
-                            local,
-                        },
-                    );
-                    return;
-                }
-                QueueOutcome::Enqueued(_) => {}
             }
         }
-        self.deliver_to_node(dgram, id, local);
+        self.deliver_to_node(dgram.src, &msg, wire_len, id, local);
     }
 
     /// Hands a datagram that has cleared every ingress stage to its node.
-    fn deliver_to_node(&mut self, dgram: Datagram, id: NodeId, local: Addr) {
+    /// Takes the message decoded at ingress — this path never re-decodes.
+    fn deliver_to_node(
+        &mut self,
+        src: Addr,
+        msg: &Message,
+        wire_len: usize,
+        id: NodeId,
+        local: Addr,
+    ) {
         self.world.node_net[id.0 as usize].delivered += 1;
-        let Ok(msg) = dgram.message() else {
-            return;
-        };
-        let wire_len = dgram.wire_len();
         let idx = id.0 as usize;
         let Some(mut node) = self.nodes[idx].take() else {
             return; // node is mid-dispatch; cannot happen single-threaded
@@ -588,8 +757,8 @@ impl Simulator {
                 node: id,
                 addr: local,
             },
-            dgram.src,
-            &msg,
+            src,
+            msg,
             wire_len,
         );
         self.nodes[idx] = Some(node);
@@ -615,11 +784,13 @@ impl Simulator {
     /// Runs until the queue is empty. With telemetry attached, a final
     /// snapshot is cut at the time of the last event.
     pub fn run_until_idle(&mut self) {
+        let t0 = std::time::Instant::now();
         self.start_pending();
         while self.step() {}
         let now = self.world.now;
         self.cut_due_snapshots(now);
         self.cut_snapshot(now);
+        self.wall_nanos += t0.elapsed().as_nanos() as u64;
     }
 
     /// Runs until the clock reaches `deadline` (events at exactly
@@ -627,6 +798,7 @@ impl Simulator {
     /// attached, all due boundaries plus a final snapshot are cut at
     /// `deadline`.
     pub fn run_until(&mut self, deadline: SimTime) {
+        let t0 = std::time::Instant::now();
         self.start_pending();
         while let Some(entry) = self.world.queue.peek() {
             if entry.at > deadline {
@@ -639,6 +811,25 @@ impl Simulator {
         }
         self.cut_due_snapshots(deadline);
         self.cut_snapshot(deadline);
+        self.wall_nanos += t0.elapsed().as_nanos() as u64;
+    }
+
+    /// Wall-clock throughput summary of the run so far: the deterministic
+    /// volume counters plus the wall time spent inside the run methods.
+    /// Deliberately *not* part of the telemetry registry, which must stay
+    /// bit-identical across same-seed runs.
+    pub fn perf(&self) -> SimPerf {
+        let net = &self.world.net;
+        SimPerf {
+            events_popped: net.events_popped,
+            datagrams_sent: net.datagrams_sent,
+            datagrams_delivered: net.datagrams_delivered,
+            datagrams_decoded: net.datagrams_decoded,
+            datagrams_undecodable: net.datagrams_undecodable,
+            bytes_encoded: net.bytes_encoded,
+            bytes_decoded: net.bytes_decoded,
+            wall_nanos: self.wall_nanos,
+        }
     }
 }
 

@@ -23,19 +23,23 @@ pub enum Disposition {
     Dropped,
     /// The destination address has no node (blackholed).
     NoRoute,
+    /// The payload failed to decode; counted and dropped at ingress.
+    Malformed,
 }
 
 /// Receives every datagram event. Implementations aggregate in place;
 /// storing raw events is possible ([`MemoryTrace`]) but expensive at full
 /// experiment scale.
 pub trait TraceSink: Send {
-    /// One datagram reached `dst`'s ingress at `now`.
+    /// One datagram reached `dst`'s ingress at `now`. `msg` is the payload
+    /// decoded once at ingress; it is `None` exactly when `disposition` is
+    /// [`Disposition::Malformed`].
     fn observe(
         &mut self,
         now: SimTime,
         src: Addr,
         dst: Addr,
-        msg: &Message,
+        msg: Option<&Message>,
         wire_len: usize,
         disposition: Disposition,
     );
@@ -62,11 +66,11 @@ pub struct TraceEvent {
     pub src: Addr,
     /// Destination address.
     pub dst: Addr,
-    /// Decoded message (cloned).
-    pub msg: Message,
+    /// Decoded message (cloned); `None` for malformed payloads.
+    pub msg: Option<Message>,
     /// Encoded size in octets.
     pub wire_len: usize,
-    /// Delivered, dropped, or unroutable.
+    /// Delivered, dropped, unroutable, or malformed.
     pub disposition: Disposition,
 }
 
@@ -83,7 +87,7 @@ impl TraceSink for MemoryTrace {
         now: SimTime,
         src: Addr,
         dst: Addr,
-        msg: &Message,
+        msg: Option<&Message>,
         wire_len: usize,
         disposition: Disposition,
     ) {
@@ -91,7 +95,7 @@ impl TraceSink for MemoryTrace {
             at: now,
             src,
             dst,
-            msg: msg.clone(),
+            msg: msg.cloned(),
             wire_len,
             disposition,
         });
@@ -107,6 +111,8 @@ pub struct CountingTrace {
     pub dropped: u64,
     /// Datagrams to addresses without nodes.
     pub no_route: u64,
+    /// Datagrams whose payload failed to decode.
+    pub malformed: u64,
     /// Total payload octets observed (all dispositions).
     pub octets: u64,
 }
@@ -117,7 +123,7 @@ impl TraceSink for CountingTrace {
         _now: SimTime,
         _src: Addr,
         _dst: Addr,
-        _msg: &Message,
+        _msg: Option<&Message>,
         wire_len: usize,
         disposition: Disposition,
     ) {
@@ -125,6 +131,7 @@ impl TraceSink for CountingTrace {
             Disposition::Delivered => self.delivered += 1,
             Disposition::Dropped => self.dropped += 1,
             Disposition::NoRoute => self.no_route += 1,
+            Disposition::Malformed => self.malformed += 1,
         }
         self.octets += wire_len as u64;
     }
@@ -143,7 +150,7 @@ mod tests {
             SimTime::ZERO,
             Addr(1),
             Addr(2),
-            &msg,
+            Some(&msg),
             30,
             Disposition::Delivered,
         );
@@ -151,7 +158,7 @@ mod tests {
             SimTime::ZERO,
             Addr(1),
             Addr(2),
-            &msg,
+            Some(&msg),
             30,
             Disposition::Dropped,
         );
@@ -159,12 +166,23 @@ mod tests {
             SimTime::ZERO,
             Addr(1),
             Addr(3),
-            &msg,
+            Some(&msg),
             30,
             Disposition::NoRoute,
         );
-        assert_eq!((c.delivered, c.dropped, c.no_route), (1, 1, 1));
-        assert_eq!(c.octets, 90);
+        c.observe(
+            SimTime::ZERO,
+            Addr(1),
+            Addr(3),
+            None,
+            30,
+            Disposition::Malformed,
+        );
+        assert_eq!(
+            (c.delivered, c.dropped, c.no_route, c.malformed),
+            (1, 1, 1, 1)
+        );
+        assert_eq!(c.octets, 120);
     }
 
     #[test]
@@ -175,7 +193,7 @@ mod tests {
             SimTime::ZERO,
             Addr(1),
             Addr(2),
-            &msg,
+            Some(&msg),
             10,
             Disposition::Delivered,
         );

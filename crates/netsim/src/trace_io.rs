@@ -27,7 +27,7 @@ pub struct TraceRow {
     pub src: u32,
     /// Destination address (numeric form).
     pub dst: u32,
-    /// `delivered`, `dropped` or `no_route`.
+    /// `delivered`, `dropped`, `no_route` or `malformed`.
     pub disposition: String,
     /// Payload size, octets.
     pub wire_len: usize,
@@ -41,6 +41,7 @@ impl TraceRow {
         match self.disposition.as_str() {
             "delivered" => Disposition::Delivered,
             "dropped" => Disposition::Dropped,
+            "malformed" => Disposition::Malformed,
             _ => Disposition::NoRoute,
         }
     }
@@ -51,6 +52,7 @@ fn disposition_str(d: Disposition) -> &'static str {
         Disposition::Delivered => "delivered",
         Disposition::Dropped => "dropped",
         Disposition::NoRoute => "no_route",
+        Disposition::Malformed => "malformed",
     }
 }
 
@@ -60,12 +62,19 @@ pub struct JsonlTraceWriter<W: Write + Send> {
     /// I/O or serialization errors encountered (writing stops reporting
     /// after the first; the count is queryable).
     pub errors: u64,
+    /// Malformed-payload events skipped (a `TraceRow` stores the decoded
+    /// message, which a malformed payload does not have).
+    pub skipped_malformed: u64,
 }
 
 impl<W: Write + Send> JsonlTraceWriter<W> {
     /// Wraps a writer (use a `BufWriter` for files).
     pub fn new(out: W) -> Self {
-        JsonlTraceWriter { out, errors: 0 }
+        JsonlTraceWriter {
+            out,
+            errors: 0,
+            skipped_malformed: 0,
+        }
     }
 
     /// Flushes and returns the inner writer.
@@ -81,10 +90,14 @@ impl<W: Write + Send> TraceSink for JsonlTraceWriter<W> {
         now: SimTime,
         src: Addr,
         dst: Addr,
-        msg: &Message,
+        msg: Option<&Message>,
         wire_len: usize,
         disposition: Disposition,
     ) {
+        let Some(msg) = msg else {
+            self.skipped_malformed += 1;
+            return;
+        };
         let row = TraceRow {
             at_ns: now.as_nanos(),
             src: src.0,
@@ -131,7 +144,7 @@ pub fn replay(rows: &[TraceRow], sink: &mut dyn TraceSink) {
             SimTime::from_nanos(r.at_ns),
             Addr(r.src),
             Addr(r.dst),
-            &r.msg,
+            Some(&r.msg),
             r.wire_len,
             r.disposition(),
         );
@@ -155,7 +168,7 @@ mod tests {
                 SimTime::from_nanos(i as u64 * 1_000),
                 Addr(100 + i as u32),
                 Addr(1),
-                &msg(i),
+                Some(&msg(i)),
                 40,
                 if i % 2 == 0 {
                     Disposition::Delivered
@@ -211,7 +224,7 @@ mod tests {
                 SimTime::from_nanos(i as u64),
                 Addr(9),
                 Addr(1),
-                &msg(i),
+                Some(&msg(i)),
                 40,
                 Disposition::Delivered,
             );

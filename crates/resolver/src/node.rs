@@ -416,10 +416,11 @@ impl RecursiveResolver {
 
         let recursion_desired = matches!(self.config.mode, ResolverMode::Forwarding { .. });
         let msg_id = self.alloc_msg_id();
+        // `q` is consumed here — one name clone per attempt, not two.
         let query = if recursion_desired {
-            Message::query(msg_id, q.name.clone(), q.qtype)
+            Message::query(msg_id, q.name, q.qtype)
         } else {
-            Message::iterative_query(msg_id, q.name.clone(), q.qtype)
+            Message::iterative_query(msg_id, q.name, q.qtype)
         }
         .with_edns(dike_wire::EDNS_UDP_PAYLOAD);
 

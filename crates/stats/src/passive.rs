@@ -149,10 +149,13 @@ impl TraceSink for PassiveAnalyzer {
         now: SimTime,
         src: Addr,
         dst: Addr,
-        msg: &Message,
+        msg: Option<&Message>,
         _wire_len: usize,
         _disposition: Disposition,
     ) {
+        let Some(msg) = msg else {
+            return;
+        };
         if msg.is_response || !self.servers.contains(&dst) {
             return;
         }
@@ -186,7 +189,7 @@ mod tests {
             SimTime::from_nanos((secs * 1e9) as u64),
             Addr(src),
             Addr(9),
-            &q(name),
+            Some(&q(name)),
             40,
             Disposition::Delivered,
         );
@@ -277,7 +280,7 @@ mod tests {
             SimTime::ZERO,
             Addr(1),
             Addr(8),
-            &q("ns1.dns.nl"),
+            Some(&q("ns1.dns.nl")),
             40,
             Disposition::Delivered,
         );
@@ -290,7 +293,7 @@ mod tests {
             SimTime::ZERO,
             Addr(1),
             Addr(9),
-            &aaaa,
+            Some(&aaaa),
             40,
             Disposition::Delivered,
         );

@@ -233,14 +233,14 @@ impl TraceSink for ServerView {
         now: SimTime,
         src: Addr,
         dst: Addr,
-        msg: &Message,
+        msg: Option<&Message>,
         _wire_len: usize,
         disposition: Disposition,
     ) {
         if !self.auth_addrs.contains(&dst) {
             return;
         }
-        let Some(qtype) = classify_server_query(msg) else {
+        let Some(qtype) = msg.and_then(classify_server_query) else {
             return;
         };
         self.total_queries += 1;
@@ -324,7 +324,7 @@ mod tests {
             SimTime::ZERO,
             Addr(1),
             auth,
-            &msg,
+            Some(&msg),
             40,
             Disposition::Delivered,
         );
@@ -332,7 +332,7 @@ mod tests {
             SimDuration::from_mins(1).after_zero(),
             Addr(2),
             auth,
-            &msg,
+            Some(&msg),
             40,
             Disposition::Dropped,
         );
@@ -341,7 +341,7 @@ mod tests {
             SimTime::ZERO,
             Addr(1),
             Addr(8),
-            &msg,
+            Some(&msg),
             40,
             Disposition::Delivered,
         );
@@ -358,13 +358,20 @@ mod tests {
         let msg8 = q("8.cachetest.nl", RecordType::AAAA);
         // Probe 7: 3 queries from 2 Rn; probe 8: 1 query from 1 Rn.
         for src in [Addr(1), Addr(1), Addr(2)] {
-            view.observe(SimTime::ZERO, src, auth, &msg7, 40, Disposition::Delivered);
+            view.observe(
+                SimTime::ZERO,
+                src,
+                auth,
+                Some(&msg7),
+                40,
+                Disposition::Delivered,
+            );
         }
         view.observe(
             SimTime::ZERO,
             Addr(3),
             auth,
-            &msg8,
+            Some(&msg8),
             40,
             Disposition::Delivered,
         );
@@ -386,7 +393,7 @@ mod tests {
             SimTime::ZERO,
             Addr(1),
             auth,
-            &msg7,
+            Some(&msg7),
             40,
             Disposition::Delivered,
         );
@@ -394,7 +401,7 @@ mod tests {
             SimTime::ZERO,
             Addr(2),
             auth,
-            &msg7,
+            Some(&msg7),
             40,
             Disposition::Dropped,
         );
@@ -402,7 +409,7 @@ mod tests {
             SimTime::ZERO,
             Addr(3),
             auth,
-            &msg8,
+            Some(&msg8),
             40,
             Disposition::Delivered,
         );
@@ -422,7 +429,7 @@ mod tests {
             SimTime::ZERO,
             Addr(1),
             auth,
-            &msg,
+            Some(&msg),
             40,
             Disposition::Delivered,
         );
@@ -430,7 +437,7 @@ mod tests {
             SimDuration::from_mins(15).after_zero(),
             Addr(1),
             auth,
-            &msg,
+            Some(&msg),
             40,
             Disposition::Delivered,
         );
@@ -438,7 +445,7 @@ mod tests {
             SimDuration::from_mins(15).after_zero(),
             Addr(2),
             auth,
-            &msg,
+            Some(&msg),
             40,
             Disposition::Delivered,
         );

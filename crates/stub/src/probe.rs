@@ -117,7 +117,11 @@ impl StubProbe {
     fn fire_round(&mut self, ctx: &mut Context<'_>) {
         let round = self.round;
         self.round += 1;
-        for (i, &recursive) in self.config.recursives.clone().iter().enumerate() {
+        // Index loop: iterating a borrowed `recursives` would pin `self`
+        // immutably while the body mutates it (a per-round Vec clone
+        // otherwise).
+        for i in 0..self.config.recursives.len() {
+            let recursive = self.config.recursives[i];
             let id = self.next_id;
             self.next_id = self.next_id.wrapping_add(1).max(1);
             let msg = Message::query(id, self.config.qname.clone(), self.config.qtype);

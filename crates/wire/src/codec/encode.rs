@@ -1,12 +1,18 @@
 //! Message encoder with RFC 1035 §4.1.4 name compression.
+//!
+//! The encoder is built around [`EncodeBuffer`], a reusable scratch buffer
+//! designed for the simulator's hot path: one `EncodeBuffer` per run amortizes
+//! all encode-side allocation. Output payloads are refcounted [`Bytes`] split
+//! off the pooled buffer, so duplicating a datagram (retransmits, fan-out) is
+//! a pointer bump, not a copy. The name-compression table is a flat arena of
+//! registered suffixes scanned linearly — messages carry a handful of names,
+//! so a linear probe beats hashing every suffix key into a `HashMap`.
 
-use std::collections::HashMap;
-
-use bytes::{BufMut, BytesMut};
+use bytes::{BufMut, Bytes, BytesMut};
 
 use super::error::CodecError;
 use crate::message::{Message, Question};
-use crate::name::Name;
+use crate::name::{Label, Name};
 use crate::rdata::RData;
 use crate::record::Record;
 
@@ -14,35 +20,92 @@ use crate::record::Record;
 const MAX_POINTER_TARGET: usize = 0x3fff;
 
 /// Encodes a message into wire format.
+///
+/// One-shot convenience over [`EncodeBuffer`]; hot paths should hold an
+/// `EncodeBuffer` and call [`EncodeBuffer::encode`] to reuse its storage.
 pub fn encode(msg: &Message) -> Result<Vec<u8>, CodecError> {
-    let mut enc = Encoder::new();
-    enc.message(msg)?;
-    let out = enc.buf.to_vec();
-    if out.len() > u16::MAX as usize {
-        return Err(CodecError::MessageTooLong(out.len()));
-    }
-    Ok(out)
+    Ok(EncodeBuffer::new().encode(msg)?.to_vec())
 }
 
 /// The encoded size of `msg`, computed by encoding it. Exposed so traffic
 /// accounting can size datagrams without holding onto the buffer.
 pub fn encoded_len(msg: &Message) -> Result<usize, CodecError> {
-    encode(msg).map(|b| b.len())
+    EncodeBuffer::new().encoded_len(msg)
 }
 
-struct Encoder {
+/// A suffix registered for compression: `key_len` octets at `key_start` in
+/// the arena (length-prefixed lowercase labels, i.e. wire form), first
+/// written at `offset` in the message being encoded.
+struct SuffixEntry {
+    key_start: u32,
+    key_len: u16,
+    offset: u16,
+}
+
+/// Reusable encoder state: a pooled output buffer plus the per-message
+/// name-compression table.
+///
+/// `encode` resets the compression table, serializes into the pooled
+/// `BytesMut`, and splits the written bytes off as a refcounted [`Bytes`] —
+/// the buffer's remaining capacity is reused for the next message, and the
+/// allocator is only consulted when a pool chunk is exhausted.
+pub struct EncodeBuffer {
     buf: BytesMut,
-    /// Maps a name suffix (as its label sequence, lowercase) to the offset
-    /// where it was first written.
-    offsets: HashMap<Vec<u8>, usize>,
+    /// Wire-form bytes of every registered suffix, appended per name.
+    arena: Vec<u8>,
+    /// Registration-ordered suffix table; scanned linearly on lookup.
+    entries: Vec<SuffixEntry>,
 }
 
-impl Encoder {
-    fn new() -> Self {
-        Encoder {
-            buf: BytesMut::with_capacity(512),
-            offsets: HashMap::new(),
+impl Default for EncodeBuffer {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl EncodeBuffer {
+    /// A fresh buffer. One per run (or per thread) is the intended granularity.
+    pub fn new() -> Self {
+        EncodeBuffer {
+            buf: BytesMut::with_capacity(4096),
+            arena: Vec::with_capacity(256),
+            entries: Vec::with_capacity(16),
         }
+    }
+
+    /// Encodes `msg`, returning the payload as a refcounted [`Bytes`] backed
+    /// by the pooled buffer. Byte-for-byte identical to [`encode`].
+    pub fn encode(&mut self, msg: &Message) -> Result<Bytes, CodecError> {
+        self.arena.clear();
+        self.entries.clear();
+        debug_assert!(self.buf.is_empty());
+        match self.message_checked(msg) {
+            Ok(()) => Ok(self.buf.split().freeze()),
+            Err(e) => {
+                self.buf.clear();
+                Err(e)
+            }
+        }
+    }
+
+    /// The encoded size of `msg` without surrendering the buffer: encodes
+    /// into the pool, records the length, and rewinds. Allocation-free once
+    /// the pool is warm.
+    pub fn encoded_len(&mut self, msg: &Message) -> Result<usize, CodecError> {
+        self.arena.clear();
+        self.entries.clear();
+        debug_assert!(self.buf.is_empty());
+        let r = self.message_checked(msg).map(|()| self.buf.len());
+        self.buf.clear();
+        r
+    }
+
+    fn message_checked(&mut self, msg: &Message) -> Result<(), CodecError> {
+        self.message(msg)?;
+        if self.buf.len() > u16::MAX as usize {
+            return Err(CodecError::MessageTooLong(self.buf.len()));
+        }
+        Ok(())
     }
 
     fn message(&mut self, msg: &Message) -> Result<(), CodecError> {
@@ -204,38 +267,73 @@ impl Encoder {
 
     /// Writes `name`, compressing against previously written suffixes: the
     /// longest already-seen suffix is replaced by a pointer, and every new
-    /// suffix written here is registered for later reuse.
+    /// suffix written here is registered for later reuse. Registration order
+    /// and first-match-wins semantics replicate the original `HashMap`
+    /// encoder exactly, so output bytes are unchanged.
     fn name(&mut self, name: &Name) -> Result<(), CodecError> {
         let labels = name.labels();
+        // Wire length of the full label run (no terminator): each suffix key
+        // is the tail of this run, so lengths are derived by subtraction.
+        let total: usize = labels.iter().map(|l| l.len() + 1).sum();
+        let mut sub = 0usize; // wire offset of label `skip` within the run
+        let mut appended: Option<(usize, usize)> = None; // (arena start, sub at append)
         for (skip, label) in labels.iter().enumerate() {
-            let key = suffix_key(name, skip);
-            if let Some(&off) = self.offsets.get(&key) {
+            let needle_len = total - sub;
+            if let Some(off) = self.find_suffix(&labels[skip..], needle_len) {
                 self.buf.put_u16(0xc000 | off as u16);
                 return Ok(());
             }
             // Register this suffix at the current position (only if the
-            // offset is still pointer-expressible).
+            // offset is still pointer-expressible). The name's wire bytes are
+            // appended to the arena once, on the first registered suffix;
+            // shorter suffixes are sub-slices of the same run.
             let here = self.buf.len();
             if here <= MAX_POINTER_TARGET {
-                self.offsets.insert(key, here);
+                let (arena_start, sub0) = *appended.get_or_insert_with(|| {
+                    let start = self.arena.len();
+                    for l in &labels[skip..] {
+                        self.arena.push(l.len() as u8);
+                        self.arena.extend_from_slice(l.as_bytes());
+                    }
+                    (start, sub)
+                });
+                self.entries.push(SuffixEntry {
+                    key_start: (arena_start + (sub - sub0)) as u32,
+                    key_len: needle_len as u16,
+                    offset: here as u16,
+                });
             }
             self.buf.put_u8(label.len() as u8);
             self.buf.put_slice(label.as_bytes());
+            sub += label.len() + 1;
         }
         self.buf.put_u8(0);
         Ok(())
     }
-}
 
-/// Canonical key for the suffix of `name` starting at label `skip`:
-/// length-prefixed lowercase labels, matching wire form.
-fn suffix_key(name: &Name, skip: usize) -> Vec<u8> {
-    let mut key = Vec::new();
-    for label in &name.labels()[skip..] {
-        key.push(label.len() as u8);
-        key.extend_from_slice(label.as_bytes());
+    /// Finds the registration offset of the suffix `tail` (wire length
+    /// `needle_len`), scanning entries in registration order so the first
+    /// registration wins — the same tie-break the `HashMap` encoder had.
+    fn find_suffix(&self, tail: &[Label], needle_len: usize) -> Option<usize> {
+        'entries: for e in &self.entries {
+            if e.key_len as usize != needle_len {
+                continue;
+            }
+            let mut p = e.key_start as usize;
+            for l in tail {
+                if self.arena[p] as usize != l.len() {
+                    continue 'entries;
+                }
+                p += 1;
+                if &self.arena[p..p + l.len()] != l.as_bytes() {
+                    continue 'entries;
+                }
+                p += l.len();
+            }
+            return Some(e.offset as usize);
+        }
+        None
     }
-    key
 }
 
 #[cfg(test)]
@@ -258,7 +356,7 @@ mod tests {
 
     #[test]
     fn second_occurrence_becomes_pointer() {
-        let mut enc = Encoder::new();
+        let mut enc = EncodeBuffer::new();
         enc.buf.put_slice(&[0u8; 12]); // fake header so offsets are realistic
         let n = Name::parse("cachetest.nl").unwrap();
         enc.name(&n).unwrap();
@@ -271,12 +369,37 @@ mod tests {
 
     #[test]
     fn partial_suffix_is_reused() {
-        let mut enc = Encoder::new();
+        let mut enc = EncodeBuffer::new();
         enc.buf.put_slice(&[0u8; 12]);
         enc.name(&Name::parse("ns1.cachetest.nl").unwrap()).unwrap();
         let before = enc.buf.len();
         enc.name(&Name::parse("ns2.cachetest.nl").unwrap()).unwrap();
         // "ns2" label (4 octets) + pointer (2) = 6.
         assert_eq!(enc.buf.len(), before + 6);
+    }
+
+    #[test]
+    fn reused_buffer_is_byte_identical_to_fresh() {
+        use crate::{MessageBuilder, RData, Record};
+        let q = Message::iterative_query(7, Name::parse("a.cachetest.nl").unwrap(), RecordType::NS);
+        let m = MessageBuilder::respond_to(&q)
+            .answer(Record::new(
+                Name::parse("a.cachetest.nl").unwrap(),
+                60,
+                RData::Ns(Name::parse("ns1.cachetest.nl").unwrap()),
+            ))
+            .build();
+        let mut pooled = EncodeBuffer::new();
+        let one_shot = encode(&m).unwrap();
+        // Several sequential encodes from the same pool must all match the
+        // one-shot encoder bit for bit (compression state fully resets).
+        for _ in 0..3 {
+            assert_eq!(pooled.encode(&m).unwrap().as_ref(), &one_shot[..]);
+        }
+        assert_eq!(pooled.encoded_len(&m).unwrap(), one_shot.len());
+        assert_eq!(
+            pooled.encode(&q).unwrap().as_ref(),
+            &encode(&q).unwrap()[..]
+        );
     }
 }

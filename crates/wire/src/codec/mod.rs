@@ -13,7 +13,7 @@ mod encode;
 mod error;
 
 pub use decode::decode;
-pub use encode::{encode, encoded_len};
+pub use encode::{encode, encoded_len, EncodeBuffer};
 pub use error::CodecError;
 
 use crate::Message;

@@ -124,6 +124,62 @@ fn arb_message() -> impl Strategy<Value = Message> {
         )
 }
 
+/// A message engineered to stress name compression: many names stacked on
+/// one shared suffix (pointer chains), a root-owned record, and a
+/// maximum-length (63-octet) label riding the shared suffix.
+fn arb_compression_message() -> impl Strategy<Value = Message> {
+    (
+        proptest::collection::vec(arb_label(), 1..3),
+        proptest::string::string_regex("[a-z0-9]{63}").unwrap(),
+        proptest::collection::vec(arb_label(), 1..5),
+        any::<u16>(),
+    )
+        .prop_map(|(suffix, big_label, prefixes, id)| {
+            let suffix_name = Name::parse(&suffix.join(".")).unwrap();
+            let rec = |name: Name, rdata: RData| Record {
+                name,
+                class: RecordClass::IN,
+                ttl: 300,
+                rdata,
+            };
+            let mut answers = vec![
+                // Root-owned record pointing into the shared suffix.
+                rec(Name::root(), RData::Ns(suffix_name.clone())),
+                // Max-length label on the shared suffix.
+                rec(
+                    suffix_name.child(&big_label).unwrap(),
+                    RData::Cname(suffix_name.clone()),
+                ),
+            ];
+            // Stack prefixes one label at a time so each name is a strict
+            // superset of the previous — the encoder must chase and emit
+            // pointer chains into earlier names.
+            let mut stacked = suffix_name.clone();
+            for p in prefixes {
+                if let Ok(deeper) = stacked.child(&p) {
+                    answers.push(rec(deeper.clone(), RData::Ptr(stacked)));
+                    stacked = deeper;
+                }
+            }
+            Message {
+                id,
+                is_response: true,
+                opcode: Opcode::Query,
+                authoritative: true,
+                truncated: false,
+                recursion_desired: false,
+                recursion_available: true,
+                authentic_data: false,
+                checking_disabled: false,
+                rcode: Rcode::NoError,
+                questions: vec![Question::new(suffix_name, RecordType::AAAA)],
+                answers,
+                authorities: Vec::new(),
+                additionals: Vec::new(),
+            }
+        })
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(512))]
 
@@ -165,6 +221,28 @@ proptest! {
                 .map(|r| r.name.wire_len() + 10 + 512)
                 .sum::<usize>();
         prop_assert!(bytes.len() <= naive);
+    }
+
+    #[test]
+    fn compression_chains_round_trip(msg in arb_compression_message()) {
+        let bytes = codec::encode(&msg).unwrap();
+        let back = codec::decode(&bytes).unwrap();
+        prop_assert_eq!(back, msg);
+    }
+
+    #[test]
+    fn pooled_encoder_matches_fresh(msgs in proptest::collection::vec(
+        prop_oneof![arb_message(), arb_compression_message()], 1..4)
+    ) {
+        // One warm EncodeBuffer reused across messages must emit exactly
+        // the bytes a fresh per-message encode does.
+        let mut buf = codec::EncodeBuffer::new();
+        for m in &msgs {
+            let pooled = buf.encode(m).unwrap();
+            let fresh = codec::encode(m).unwrap();
+            prop_assert_eq!(&pooled[..], &fresh[..]);
+            prop_assert_eq!(buf.encoded_len(m).unwrap(), fresh.len());
+        }
     }
 
     #[test]

@@ -1,0 +1,88 @@
+//! Determinism regression: a run is a pure function of its configuration
+//! and seed. The hot-path overhaul (decode-once delivery, pooled payload
+//! buffers, dense routing, generation-stamped timers) must not perturb a
+//! single delivery, drop, or timer relative to the behaviour the rest of
+//! the experiment suite was validated against.
+
+use dike::core::{Attack, Report, Scenario};
+use dike::stub::QueryOutcome;
+
+fn fixed_scenario() -> Scenario {
+    Scenario::new()
+        .probes(25)
+        .ttl(1800)
+        .seed(1414)
+        .duration_min(90)
+        .with_attack(Attack::loss(0.9).window_min(30, 30))
+}
+
+/// FNV-1a over every field of every stub-log record — any reordering,
+/// dropped query, or shifted timestamp changes it.
+fn log_digest(report: &Report) -> (usize, u64) {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    let mut push = |v: u64| {
+        for b in v.to_le_bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x100_0000_01b3);
+        }
+    };
+    for r in &report.output.log.records {
+        push(r.vp.probe as u64);
+        push(r.vp.recursive as u64);
+        push(r.recursive.0 as u64);
+        push(r.round as u64);
+        push(r.sent_at.as_nanos());
+        match r.outcome {
+            QueryOutcome::Answer { rcode, aaaa, ttl } => {
+                push(1);
+                push(rcode.to_u8() as u64);
+                match aaaa {
+                    Some(a) => push(u128::from(a) as u64 ^ (u128::from(a) >> 64) as u64),
+                    None => push(0xffff),
+                }
+                push(ttl.map(u64::from).unwrap_or(0xfffe));
+            }
+            QueryOutcome::Timeout => push(2),
+        }
+        push(r.rtt.map(|d| d.as_nanos()).unwrap_or(u64::MAX));
+    }
+    (report.output.log.records.len(), h)
+}
+
+#[test]
+fn fixed_seed_runs_are_bit_identical() {
+    let (n1, d1) = log_digest(&fixed_scenario().run());
+    let (n2, d2) = log_digest(&fixed_scenario().run());
+    assert!(n1 > 0, "scenario produced no records");
+    assert_eq!(n1, n2);
+    assert_eq!(d1, d2, "same seed, different log");
+}
+
+#[test]
+fn decoded_equals_delivered_loss_free() {
+    // No attack, no ambient loss: every datagram that reaches a node was
+    // decoded exactly once on the way in.
+    let report = Scenario::new()
+        .probes(10)
+        .ttl(1800)
+        .seed(99)
+        .duration_min(30)
+        .run();
+    let perf = report.perf();
+    assert!(perf.datagrams_delivered > 0);
+    assert_eq!(perf.datagrams_decoded, perf.datagrams_delivered);
+    assert_eq!(perf.datagrams_undecodable, 0);
+}
+
+/// Pinned digest for the fixed scenario, measured before the hot-path
+/// overhaul. The value depends on the RNG stream, so it is only
+/// meaningful against one `rand` build — run explicitly (`--ignored`)
+/// when validating a hot-path change against a known-good tree built in
+/// the same environment.
+#[test]
+#[ignore = "digest is rand-build-specific; run with --ignored to compare against a pinned tree"]
+fn fixed_seed_log_matches_pinned_digest() {
+    let (n, d) = log_digest(&fixed_scenario().run());
+    assert_eq!(n, 321);
+    assert_eq!(d, 0xcab1_5b65_bd36_2dd0);
+}
