@@ -36,6 +36,32 @@ pub struct Attack {
     pub duration: SimDuration,
 }
 
+/// Why an [`Attack`] (or the fault plan embedding it) was rejected.
+#[derive(Debug, Clone, PartialEq)]
+pub enum AttackError {
+    /// `loss` is outside `[0, 1]` (or not a number).
+    LossOutOfRange(f64),
+    /// `duration` is zero: the attack would install and remove its
+    /// filters at the same instant, silently doing nothing.
+    ZeroDuration,
+    /// No targets: scheduling would silently do nothing.
+    NoTargets,
+}
+
+impl std::fmt::Display for AttackError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            AttackError::LossOutOfRange(l) => {
+                write!(f, "attack loss {l} is outside [0, 1]")
+            }
+            AttackError::ZeroDuration => write!(f, "attack duration is zero"),
+            AttackError::NoTargets => write!(f, "attack has no targets"),
+        }
+    }
+}
+
+impl std::error::Error for AttackError {}
+
 impl Attack {
     /// A complete failure of every target (Experiments A–C).
     pub fn complete_failure(targets: Vec<Addr>, start: SimTime, duration: SimDuration) -> Self {
@@ -63,9 +89,38 @@ impl Attack {
         self.start + self.duration
     }
 
+    /// Checks the parameters: `loss` must be a number in `[0, 1]`, the
+    /// duration non-zero, and there must be at least one target.
+    pub fn validate(&self) -> Result<(), AttackError> {
+        if !self.loss.is_finite() || !(0.0..=1.0).contains(&self.loss) {
+            return Err(AttackError::LossOutOfRange(self.loss));
+        }
+        if self.duration == SimDuration::ZERO {
+            return Err(AttackError::ZeroDuration);
+        }
+        if self.targets.is_empty() {
+            return Err(AttackError::NoTargets);
+        }
+        Ok(())
+    }
+
+    /// Validates, then schedules. The checked entry point: a sweep built
+    /// from config input should reject a bad arm loudly instead of
+    /// silently running a no-op attack.
+    pub fn try_schedule(&self, sim: &mut Simulator) -> Result<(), AttackError> {
+        self.validate()?;
+        self.schedule(sim);
+        Ok(())
+    }
+
     /// Installs the attack into the simulator: a control event sets the
     /// ingress filters at `start`; another clears them at `end`.
+    ///
+    /// Trusted entry point: parameters are debug-asserted, not checked
+    /// (the filter layer clamps loss defensively either way). Use
+    /// [`Attack::try_schedule`] for config-derived attacks.
     pub fn schedule(&self, sim: &mut Simulator) {
+        debug_assert!(self.validate().is_ok(), "invalid attack: {self:?}");
         let targets_on = self.targets.clone();
         let loss = self.loss;
         sim.schedule_control(self.start, move |w| {
@@ -331,6 +386,110 @@ mod tests {
         assert!((seen[1] - 0.6).abs() < 1e-9, "{seen:?}");
         assert!((seen[2] - 0.9).abs() < 1e-9, "{seen:?}");
         assert_eq!(seen[3], 0.0, "{seen:?}");
+    }
+
+    #[test]
+    fn validate_rejects_bad_parameters() {
+        let base = Attack::partial(
+            vec![Addr(1)],
+            0.5,
+            SimTime::ZERO,
+            SimDuration::from_secs(10),
+        );
+        assert_eq!(base.validate(), Ok(()));
+        let mut a = base.clone();
+        a.loss = 1.5;
+        assert_eq!(a.validate(), Err(AttackError::LossOutOfRange(1.5)));
+        a.loss = -0.1;
+        assert_eq!(a.validate(), Err(AttackError::LossOutOfRange(-0.1)));
+        a.loss = f64::NAN;
+        assert!(matches!(a.validate(), Err(AttackError::LossOutOfRange(_))));
+        let mut a = base.clone();
+        a.duration = SimDuration::ZERO;
+        assert_eq!(a.validate(), Err(AttackError::ZeroDuration));
+        let mut a = base.clone();
+        a.targets.clear();
+        assert_eq!(a.validate(), Err(AttackError::NoTargets));
+        // try_schedule refuses without touching the simulator.
+        let mut sim = Simulator::new(9);
+        a = base;
+        a.loss = 2.0;
+        assert!(a.try_schedule(&mut sim).is_err());
+    }
+
+    #[test]
+    fn attack_at_time_zero_filters_the_first_packet() {
+        let mut sim = Simulator::new(10);
+        let target = Addr(7);
+        Attack::complete_failure(vec![target], SimTime::ZERO, SimDuration::from_secs(10))
+            .try_schedule(&mut sim)
+            .unwrap();
+        let seen = std::sync::Arc::new(Mutex::new(f64::NAN));
+        {
+            let seen = seen.clone();
+            // Control events at equal times run FIFO, so this observer
+            // (scheduled after the attack) sees the t=0 filter in place.
+            sim.schedule_control(SimTime::ZERO, move |w| {
+                *seen.lock().unwrap() = w.links().ingress_loss(target);
+            });
+        }
+        sim.run_until_idle();
+        assert_eq!(*seen.lock().unwrap(), 1.0);
+    }
+
+    #[test]
+    fn overlapping_attacks_last_writer_wins_including_the_clear() {
+        // Two overlapping windows on one target: the later set overwrites
+        // the earlier filter, and the earlier attack's end *clears* the
+        // filter outright — attacks compose by overwrite, not by stacking.
+        // Pinned so anyone changing the semantics must come here.
+        let mut sim = Simulator::new(11);
+        let target = Addr(8);
+        let a = Attack::partial(
+            vec![target],
+            0.5,
+            SimTime::ZERO,
+            SimDuration::from_secs(100),
+        );
+        let b = Attack::partial(
+            vec![target],
+            0.9,
+            SimDuration::from_secs(50).after_zero(),
+            SimDuration::from_secs(100),
+        );
+        a.try_schedule(&mut sim).unwrap();
+        b.try_schedule(&mut sim).unwrap();
+        let seen = std::sync::Arc::new(Mutex::new(Vec::new()));
+        for t in [25u64, 75, 125, 175] {
+            let seen = seen.clone();
+            sim.schedule_control(SimDuration::from_secs(t).after_zero(), move |w| {
+                seen.lock()
+                    .unwrap()
+                    .push((t, w.links().ingress_loss(target)));
+            });
+        }
+        sim.run_until_idle();
+        assert_eq!(
+            seen.lock().unwrap().as_slice(),
+            &[(25, 0.5), (75, 0.9), (125, 0.0), (175, 0.0)],
+            "a's end at t=100 clears b's filter too (overwrite semantics)"
+        );
+    }
+
+    #[test]
+    fn attack_window_past_end_of_run_never_fires() {
+        let mut sim = Simulator::new(12);
+        let target = Addr(9);
+        Attack::partial(
+            vec![target],
+            0.9,
+            SimDuration::from_secs(500).after_zero(),
+            SimDuration::from_secs(100),
+        )
+        .try_schedule(&mut sim)
+        .unwrap();
+        sim.run_until(SimDuration::from_secs(100).after_zero());
+        assert_eq!(sim.links_mut().ingress_loss(target), 0.0);
     }
 
     #[test]

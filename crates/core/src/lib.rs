@@ -40,6 +40,8 @@ pub use dike_auth as auth;
 pub use dike_cache as cache;
 pub use dike_experiments as experiments;
 pub use dike_experiments::setup::AttackScope;
+pub use dike_faults as faults;
+pub use dike_faults::{Fault, FaultPlan};
 pub use dike_netsim as netsim;
 pub use dike_resolver as resolver;
 pub use dike_stats as stats;
@@ -116,6 +118,14 @@ impl Attack {
             loss: self.loss,
             scope: self.scope,
         }
+    }
+
+    /// This attack as a one-fault [`FaultPlan`] — the exact faults a
+    /// scenario carrying it will schedule. Random drop is the fault
+    /// engine's compatibility case, so the same plan can be serialized
+    /// ([`FaultPlan::to_json`]) or composed with richer faults.
+    pub fn fault_plan(&self) -> FaultPlan {
+        FaultPlan::new().with(self.plan().fault())
     }
 }
 
@@ -222,6 +232,18 @@ impl Scenario {
     pub fn attack_window_min(mut self, start: u64, duration: u64) -> Self {
         self.attack = self.attack.window_min(start, duration);
         self
+    }
+
+    /// The faults this scenario will schedule, as a [`FaultPlan`]: the
+    /// armed attack's random-drop fault, or an empty plan when no attack
+    /// is armed. The deprecated shims and the typed builder both resolve
+    /// through here, so equality of fault plans is equality of runs.
+    pub fn fault_plan(&self) -> FaultPlan {
+        if self.attack_armed {
+            self.attack.fault_plan()
+        } else {
+            FaultPlan::new()
+        }
     }
 
     /// Overrides the population mix.
@@ -425,6 +447,56 @@ mod tests {
         old.resolve();
         new.resolve();
         assert_eq!(old.setup.attack, new.setup.attack);
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_shims_produce_identical_fault_plans() {
+        // Each shim, alone and combined, must resolve to the very same
+        // FaultPlan as its typed replacement — same faults, same JSON.
+        let cases: Vec<(Scenario, Scenario)> = vec![
+            (
+                Scenario::new().attack(0.5),
+                Scenario::new().with_attack(Attack::loss(0.5)),
+            ),
+            (
+                Scenario::new().attack(1.0).attack_one_ns(),
+                Scenario::new().with_attack(Attack::complete().scope(AttackScope::OneNs)),
+            ),
+            (
+                Scenario::new().attack(0.9).attack_window_min(20, 45),
+                Scenario::new().with_attack(Attack::loss(0.9).window_min(20, 45)),
+            ),
+            (
+                Scenario::new()
+                    .attack_one_ns()
+                    .attack(0.75)
+                    .attack_window_min(30, 20),
+                Scenario::new().with_attack(
+                    Attack::loss(0.75)
+                        .scope(AttackScope::OneNs)
+                        .window_min(30, 20),
+                ),
+            ),
+        ];
+        for (old, new) in cases {
+            let (op, np) = (old.fault_plan(), new.fault_plan());
+            assert_eq!(op, np);
+            assert_eq!(op.to_json(), np.to_json());
+            assert_eq!(op.len(), 1, "one random-drop fault");
+            op.validate().expect("shim-built plan is valid");
+        }
+    }
+
+    #[test]
+    fn unarmed_scenario_has_an_empty_fault_plan() {
+        let plan = Scenario::new().probes(10).fault_plan();
+        assert!(plan.is_empty());
+        // And the armed plan survives the portable JSON round trip.
+        let armed = Scenario::new()
+            .with_attack(Attack::loss(0.9).window_min(60, 60))
+            .fault_plan();
+        assert_eq!(FaultPlan::from_json(&armed.to_json()).unwrap(), armed);
     }
 
     #[test]

@@ -23,6 +23,7 @@ use dike_experiments::ddos::{
     ok_fraction_during_attack, run_ddos_with_options, run_ddos_with_queueing, traffic_multiplier,
     DdosExperiment, DdosOptions, DdosResult, ALL,
 };
+use dike_experiments::degraded::{ok_fraction_between, run_degraded, DegradedParams};
 use dike_experiments::glue;
 use dike_experiments::implications;
 use dike_experiments::production::{run_nl, run_root, NlConfig, RootConfig};
@@ -93,6 +94,7 @@ fn parse_args() -> Args {
                     "fig16",
                     "implications",
                     "queueing",
+                    "degraded",
                     "all",
                 ] {
                     println!("{t}");
@@ -102,7 +104,7 @@ fn parse_args() -> Args {
             "--help" | "-h" => {
                 println!(
                     "usage: repro <target> [--scale X] [--seed N] [--json FILE] [--metrics FILE]\n\
-                     targets: table1-7, fig3-16, implications, queueing, all\n\
+                     targets: table1-7, fig3-16, implications, queueing, degraded, all\n\
                      --metrics collects sim-time telemetry during the DDoS runs and\n\
                      writes the full metric registry (per-node counters, gauges,\n\
                      retry histograms) as JSON, keyed by experiment letter"
@@ -232,6 +234,7 @@ fn main() {
     target!("table7", table7(&mut ctx));
     target!("implications", implications_sweep(&mut ctx));
     target!("queueing", queueing_extension(&mut ctx));
+    target!("degraded", degraded_scenario(&mut ctx));
 
     if !matched {
         die(&format!("unknown target '{t}' (try --help)"));
@@ -969,4 +972,51 @@ fn queueing_extension(ctx: &mut Ctx) {
          queries that survive the random loss additionally wait in the victim's\n\
          queue - the effect the paper explicitly left to future work."
     );
+}
+
+// ---------------------------------------------------------------------
+// Future work (paper §5.1): degraded but not failed
+// ---------------------------------------------------------------------
+
+fn degraded_scenario(ctx: &mut Ctx) {
+    let params = DegradedParams::default();
+    eprintln!(
+        "[repro] degraded-not-failed: {}% bursty loss (burst ~{}), latency x{}, flood load {} at both NSes, minutes {}-{} ...",
+        (params.mean_loss * 100.0) as u32,
+        params.mean_burst as u32,
+        params.latency_factor,
+        params.flood_load,
+        params.start_min,
+        params.start_min + params.duration_min,
+    );
+    let r = run_degraded(params, ctx.scale, ctx.seed);
+    let mut tbl = TextTable::new(
+        "Degraded-not-failed (paper 5.1 future work): bursty loss + latency inflation + queue flood",
+        &["min", "OK", "SERVFAIL", "no answer", "median ms", "p90 ms"],
+    );
+    for (o, l) in r.outcomes.iter().zip(&r.latencies) {
+        let (median, p90) = match l.summary {
+            Some(s) => (format!("{:.0}", s.median), format!("{:.0}", s.p90)),
+            None => ("-".into(), "-".into()),
+        };
+        tbl.row(&[
+            o.start_min.to_string(),
+            pct(o.ok_fraction()),
+            o.servfail.to_string(),
+            o.no_answer.to_string(),
+            median,
+            p90,
+        ]);
+    }
+    ctx.emit(&tbl);
+    let during = ok_fraction_between(&r, params.start_min, params.start_min + params.duration_min);
+    if let Some(d) = during {
+        println!(
+            "unlike the random-drop emulation, the victims stay reachable: {} of\n\
+             queries still succeed during the window, but only after retries pay\n\
+             bursty loss, a {}x latency inflation, and queueing delay.",
+            pct(d),
+            params.latency_factor,
+        );
+    }
 }

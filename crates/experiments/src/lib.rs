@@ -9,6 +9,7 @@
 //! |---|---|
 //! | [`baseline`] | Table 1–3, Fig. 3, Fig. 13 (caching in controlled experiments) |
 //! | [`ddos`] | Table 4, Fig. 6–12, Fig. 14–15, Table 7 (DDoS scenarios A–I) |
+//! | [`degraded`] | §5.1 future work: degraded-but-not-failed (bursty loss + latency + flood) |
 //! | [`software`] | Fig. 16 (BIND vs Unbound retry behaviour) |
 //! | [`glue`] | Table 5, Table 6 (referral vs authoritative TTL precedence) |
 //! | [`production`] | Fig. 4, Fig. 5 (`.nl` and root-DITL trace emulation) |
@@ -26,6 +27,7 @@
 
 pub mod baseline;
 pub mod ddos;
+pub mod degraded;
 pub mod glue;
 pub mod implications;
 pub mod population;

@@ -6,7 +6,8 @@
 use std::sync::Arc;
 
 use dike_attack::Attack;
-use dike_netsim::{trace, QueueConfig, SimDuration, Simulator};
+use dike_faults::{Fault, FaultPlan};
+use dike_netsim::{trace, Addr, QueueConfig, SimDuration, Simulator};
 use dike_stats::server_view::ServerView;
 use dike_stub::ProbeLog;
 use dike_telemetry::{MetricsRegistry, TelemetryConfig};
@@ -34,6 +35,30 @@ pub struct AttackPlan {
     pub loss: f64,
     /// One or both name servers.
     pub scope: AttackScope,
+}
+
+impl AttackPlan {
+    /// The victim addresses this plan targets (the scope resolved against
+    /// the fixed hierarchy layout, see [`crate::topology::ns_addrs`]).
+    pub fn targets(&self) -> Vec<Addr> {
+        let ns = crate::topology::ns_addrs();
+        match self.scope {
+            AttackScope::OneNs => vec![ns[0]],
+            AttackScope::BothNs => ns.to_vec(),
+        }
+    }
+
+    /// This plan as a [`Fault`]: the paper's random-drop attack is the
+    /// compatibility case of the fault engine, so every Table 4 scenario
+    /// is also a serializable [`FaultPlan`].
+    pub fn fault(&self) -> Fault {
+        Fault::random_drop(Attack::partial(
+            self.targets(),
+            self.loss,
+            SimDuration::from_mins(self.start_min).after_zero(),
+            SimDuration::from_mins(self.duration_min),
+        ))
+    }
 }
 
 /// A full experiment description.
@@ -75,6 +100,15 @@ pub struct ExperimentSetup {
     /// comes back in [`ExperimentOutput::metrics`]; auth servers and the
     /// public-farm resolvers get human-readable node labels.
     pub telemetry: Option<TelemetryConfig>,
+    /// Additional faults beyond the classic random-drop attack: node
+    /// crashes/restarts, bursty link degrades, queue floods (see
+    /// `dike-faults`). Scheduled after `attack`, so the two compose.
+    pub faults: Option<FaultPlan>,
+    /// Run the simulator's invariant auditor at the end of the run and
+    /// panic on violations (datagram conservation, timer hygiene,
+    /// crash/restart pairing). Also enabled by the `DIKE_AUDIT`
+    /// environment variable (any value but `0`).
+    pub audit: bool,
 }
 
 impl ExperimentSetup {
@@ -96,8 +130,17 @@ impl ExperimentSetup {
             regional_latency: true,
             queueing: None,
             telemetry: None,
+            faults: None,
+            audit: false,
         }
     }
+}
+
+/// Whether runs should end with an invariant audit: the setup's `audit`
+/// flag, or the `DIKE_AUDIT` environment variable set to anything but
+/// `0`.
+fn audit_enabled(setup: &ExperimentSetup) -> bool {
+    setup.audit || std::env::var("DIKE_AUDIT").is_ok_and(|v| v != "0")
 }
 
 /// Everything a run produces.
@@ -176,17 +219,15 @@ pub fn run_experiment(setup: &ExperimentSetup) -> ExperimentOutput {
     }
 
     if let Some(plan) = setup.attack {
-        let targets = match plan.scope {
-            AttackScope::OneNs => vec![topo.ns[0]],
-            AttackScope::BothNs => topo.ns.to_vec(),
-        };
-        Attack::partial(
-            targets.clone(),
-            plan.loss,
-            SimDuration::from_mins(plan.start_min).after_zero(),
-            SimDuration::from_mins(plan.duration_min),
-        )
-        .schedule(&mut sim);
+        // The classic attack rides through the fault engine as its
+        // compatibility case; plan.targets() matches topo.ns by the
+        // fixed build order.
+        let targets = plan.targets();
+        debug_assert_eq!(targets[0], topo.ns[0]);
+        FaultPlan::new()
+            .with(plan.fault())
+            .schedule(&mut sim)
+            .unwrap_or_else(|(_, e)| panic!("invalid attack plan: {e}"));
         // With queueing enabled, the flood also eats service capacity
         // for the attack's duration.
         if setup.queueing.is_some() {
@@ -216,7 +257,16 @@ pub fn run_experiment(setup: &ExperimentSetup) -> ExperimentOutput {
         }
     }
 
+    if let Some(faults) = &setup.faults {
+        faults
+            .schedule(&mut sim)
+            .unwrap_or_else(|(i, e)| panic!("invalid fault plan (fault {i}): {e}"));
+    }
+
     sim.run_until(setup.total_duration.after_zero());
+    if audit_enabled(setup) {
+        sim.audit().assert_clean();
+    }
     let perf = sim.perf();
     drop(sim); // release the Arc clones the simulator holds
 

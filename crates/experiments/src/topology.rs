@@ -7,7 +7,7 @@ use std::net::Ipv4Addr;
 
 use dike_auth::{AuthServer, CacheTestZone, Zone};
 use dike_cache::CacheConfig;
-use dike_netsim::{Addr, LatencyModel, LinkParams, SimDuration, Simulator};
+use dike_netsim::{Addr, LatencyModel, LinkParams, NodeId, SimDuration, Simulator};
 use dike_resolver::{profiles, RecursiveResolver};
 use dike_stub::{new_shared_log, SharedProbeLog, StubConfig, StubProbe, VpKey};
 use dike_wire::{Name, RData, Record, SoaData};
@@ -26,6 +26,19 @@ pub struct VpMeta {
     pub kind: R1Kind,
     /// The R1's address.
     pub r1: Addr,
+}
+
+/// The deterministic addresses of the two `cachetest.nl` authoritatives.
+/// [`build`] always creates the hierarchy first (root, `nl`, ns1, ns2),
+/// so these hold for every topology regardless of population size —
+/// letting fault plans target the name servers before the world exists.
+pub fn ns_addrs() -> [Addr; 2] {
+    [Simulator::addr_at(2), Simulator::addr_at(3)]
+}
+
+/// The node ids behind [`ns_addrs`], for node-level faults (crashes).
+pub fn ns_node_ids() -> [NodeId; 2] {
+    [NodeId(2), NodeId(3)]
 }
 
 /// Everything the analysis needs to know about the built world.

@@ -1,0 +1,992 @@
+#![warn(missing_docs)]
+
+//! # dike-faults
+//!
+//! Composable, serializable fault plans for the simulator.
+//!
+//! The paper emulates DDoS as one mechanism — random drop at the
+//! authoritatives' ingress (§5.1) — and names richer failure modes
+//! ("degraded but not failed" servers, queueing collapse) as future
+//! work. This crate is that fault layer: a [`FaultPlan`] is a list of
+//! [`Fault`]s, each scheduled through the simulator's event system, so a
+//! fault scenario is data — buildable in code, serializable to JSON for
+//! record/replay, and composable (crash a server *while* its sibling's
+//! link burns and the flood ramps).
+//!
+//! The fault taxonomy (DESIGN.md §5.3):
+//!
+//! * [`Fault::NodeDown`] — crash a node at an instant; optionally restart
+//!   it after a delay, warm (cache survives) or cold (cache wiped — the
+//!   paper's cache-loss sensitivity axis).
+//! * [`Fault::LinkDegrade`] — degraded-but-not-failed: bursty
+//!   Gilbert–Elliott loss plus latency inflation at one address, the
+//!   congestion signature of a real volumetric attack rather than
+//!   memoryless drop.
+//! * [`Fault::Flood`] — queueing collapse: drives the fraction of a
+//!   [`ServiceQueue`](dike_netsim::ServiceQueue)'s capacity consumed by
+//!   attack traffic as a waveform (square / pulse / ramp).
+//! * [`Fault::RandomDrop`] — the paper's original mechanism, embedded as
+//!   a compatibility case so every historical scenario is also a
+//!   `FaultPlan`.
+//!
+//! Everything is validated up front ([`FaultPlan::validate`]) — a plan
+//! either schedules completely or not at all — and scheduling draws no
+//! randomness, so a run with an empty plan is bit-identical to a run
+//! with no plan.
+
+use dike_attack::{Attack, AttackError};
+use dike_netsim::{Addr, DegradeParams, NodeId, QueueConfig, SimDuration, SimTime, Simulator};
+use serde::{Deserialize, Serialize};
+
+/// Restart half of a crash/restart pair: bring the node back `after` the
+/// crash, optionally wiping volatile state.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Restart {
+    /// Downtime: how long after the crash the node comes back.
+    pub after: SimDuration,
+    /// Whether the restart loses cached state (cold) or keeps it (warm).
+    pub cold_cache: bool,
+}
+
+/// The waveform a [`Fault::Flood`] drives the background load with.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum FloodShape {
+    /// Full peak for the whole window (on/off — the paper's emulation
+    /// translated to queue load).
+    Square,
+    /// Booter-style pulsing: `period` per cycle, the first `duty`
+    /// fraction of each cycle at peak, the rest clean.
+    Pulse {
+        /// Cycle length.
+        period: SimDuration,
+        /// Fraction of each cycle spent at peak, in `(0, 1]`.
+        duty: f64,
+    },
+    /// Linear build-up to the peak in `steps` equal stairs.
+    Ramp {
+        /// Stair count (≥ 1).
+        steps: u32,
+    },
+}
+
+/// One fault. See the crate docs for the taxonomy.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Fault {
+    /// Crash `node` at `at`; optionally restart it later.
+    NodeDown {
+        /// The node to crash (auth, resolver, anything).
+        node: NodeId,
+        /// Crash instant.
+        at: SimTime,
+        /// Optional restart; `None` means the node stays down.
+        restart: Option<Restart>,
+    },
+    /// Degraded-but-not-failed: bursty loss + latency inflation toward
+    /// `target` from `start` for `duration`.
+    LinkDegrade {
+        /// The degraded destination address.
+        target: Addr,
+        /// When the degradation begins.
+        start: SimTime,
+        /// How long it lasts.
+        duration: SimDuration,
+        /// Long-run loss fraction in `[0, 1]`.
+        mean_loss: f64,
+        /// Mean loss-burst length in packets (≥ 1); larger = burstier.
+        mean_burst: f64,
+        /// Multiplier on sampled path latency toward the target (≥ 1 in
+        /// any physical scenario; 1.0 = loss only).
+        latency_factor: f64,
+    },
+    /// Queueing collapse: attack traffic consumes `peak_load` of the
+    /// ingress queue's service capacity, shaped by `shape`.
+    Flood {
+        /// The flooded address (must have an ingress queue — see `queue`).
+        target: Addr,
+        /// When the flood begins.
+        start: SimTime,
+        /// How long it lasts.
+        duration: SimDuration,
+        /// Peak fraction of service capacity consumed, in `(0, 1]`.
+        peak_load: f64,
+        /// Load waveform across the window.
+        shape: FloodShape,
+        /// Queue to install in front of `target` when the plan is
+        /// scheduled. `None` reuses a queue installed elsewhere (the
+        /// flood is a no-op against an address with no queue).
+        queue: Option<QueueConfig>,
+    },
+    /// The paper's iptables-style random drop, unchanged.
+    RandomDrop(Attack),
+}
+
+/// Why a [`Fault`] (or the plan containing it) was rejected.
+#[derive(Debug, Clone, PartialEq)]
+pub enum FaultError {
+    /// The embedded [`Attack`] failed its own validation.
+    Attack(AttackError),
+    /// A degrade's `mean_loss` is outside `[0, 1]` (or not a number).
+    DegradeLossOutOfRange(f64),
+    /// A degrade's `mean_burst` is below 1 packet (or not a number).
+    DegradeBurstOutOfRange(f64),
+    /// A degrade's `latency_factor` is below 1 (or not a number): the
+    /// fault layer models congestion, which never speeds a path up.
+    LatencyFactorOutOfRange(f64),
+    /// A flood's `peak_load` is outside `(0, 1]` (or not a number).
+    FloodLoadOutOfRange(f64),
+    /// A windowed fault (`LinkDegrade`, `Flood`) has zero duration and
+    /// would silently do nothing.
+    ZeroDuration(&'static str),
+    /// A restart with zero downtime: the crash and restart would race at
+    /// the same instant.
+    ZeroRestartDelay,
+}
+
+impl std::fmt::Display for FaultError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FaultError::Attack(e) => write!(f, "{e}"),
+            FaultError::DegradeLossOutOfRange(l) => {
+                write!(f, "degrade mean_loss {l} is outside [0, 1]")
+            }
+            FaultError::DegradeBurstOutOfRange(b) => {
+                write!(f, "degrade mean_burst {b} is below 1 packet")
+            }
+            FaultError::LatencyFactorOutOfRange(x) => {
+                write!(f, "latency_factor {x} is below 1")
+            }
+            FaultError::FloodLoadOutOfRange(l) => {
+                write!(f, "flood peak_load {l} is outside (0, 1]")
+            }
+            FaultError::ZeroDuration(kind) => write!(f, "{kind} has zero duration"),
+            FaultError::ZeroRestartDelay => write!(f, "restart delay is zero"),
+        }
+    }
+}
+
+impl std::error::Error for FaultError {}
+
+impl From<AttackError> for FaultError {
+    fn from(e: AttackError) -> Self {
+        FaultError::Attack(e)
+    }
+}
+
+impl Fault {
+    /// A crash with no restart.
+    pub fn node_down(node: NodeId, at: SimTime) -> Fault {
+        Fault::NodeDown {
+            node,
+            at,
+            restart: None,
+        }
+    }
+
+    /// A crash followed by a restart `after` later. `cold_cache` wipes
+    /// volatile state on the way back up.
+    pub fn crash_restart(node: NodeId, at: SimTime, after: SimDuration, cold_cache: bool) -> Fault {
+        Fault::NodeDown {
+            node,
+            at,
+            restart: Some(Restart { after, cold_cache }),
+        }
+    }
+
+    /// A loss-only bursty degrade (latency factor 1).
+    pub fn link_degrade(
+        target: Addr,
+        start: SimTime,
+        duration: SimDuration,
+        mean_loss: f64,
+        mean_burst: f64,
+    ) -> Fault {
+        Fault::LinkDegrade {
+            target,
+            start,
+            duration,
+            mean_loss,
+            mean_burst,
+            latency_factor: 1.0,
+        }
+    }
+
+    /// Adds latency inflation to a [`Fault::LinkDegrade`]; no-op on
+    /// other variants.
+    pub fn with_latency_factor(mut self, factor: f64) -> Fault {
+        if let Fault::LinkDegrade { latency_factor, .. } = &mut self {
+            *latency_factor = factor;
+        }
+        self
+    }
+
+    /// A square-wave flood; installs `queue` in front of the target.
+    pub fn flood(
+        target: Addr,
+        start: SimTime,
+        duration: SimDuration,
+        peak_load: f64,
+        queue: QueueConfig,
+    ) -> Fault {
+        Fault::Flood {
+            target,
+            start,
+            duration,
+            peak_load,
+            shape: FloodShape::Square,
+            queue: Some(queue),
+        }
+    }
+
+    /// Reshapes a [`Fault::Flood`]'s waveform; no-op on other variants.
+    pub fn with_shape(mut self, new_shape: FloodShape) -> Fault {
+        if let Fault::Flood { shape, .. } = &mut self {
+            *shape = new_shape;
+        }
+        self
+    }
+
+    /// Wraps the paper's random-drop attack.
+    pub fn random_drop(attack: Attack) -> Fault {
+        Fault::RandomDrop(attack)
+    }
+
+    /// Checks this fault's parameters.
+    pub fn validate(&self) -> Result<(), FaultError> {
+        match self {
+            Fault::NodeDown { restart, .. } => {
+                if let Some(r) = restart {
+                    if r.after == SimDuration::ZERO {
+                        return Err(FaultError::ZeroRestartDelay);
+                    }
+                }
+                Ok(())
+            }
+            Fault::LinkDegrade {
+                duration,
+                mean_loss,
+                mean_burst,
+                latency_factor,
+                ..
+            } => {
+                if !mean_loss.is_finite() || !(0.0..=1.0).contains(mean_loss) {
+                    return Err(FaultError::DegradeLossOutOfRange(*mean_loss));
+                }
+                if !mean_burst.is_finite() || *mean_burst < 1.0 {
+                    return Err(FaultError::DegradeBurstOutOfRange(*mean_burst));
+                }
+                if !latency_factor.is_finite() || *latency_factor < 1.0 {
+                    return Err(FaultError::LatencyFactorOutOfRange(*latency_factor));
+                }
+                if *duration == SimDuration::ZERO {
+                    return Err(FaultError::ZeroDuration("link degrade"));
+                }
+                Ok(())
+            }
+            Fault::Flood {
+                duration,
+                peak_load,
+                ..
+            } => {
+                if !(peak_load.is_finite() && *peak_load > 0.0 && *peak_load <= 1.0) {
+                    return Err(FaultError::FloodLoadOutOfRange(*peak_load));
+                }
+                if *duration == SimDuration::ZERO {
+                    return Err(FaultError::ZeroDuration("flood"));
+                }
+                Ok(())
+            }
+            Fault::RandomDrop(a) => Ok(a.validate()?),
+        }
+    }
+
+    /// The instant this fault's last scheduled action happens (a fault
+    /// with no restart and no window ends at its start).
+    pub fn end(&self) -> SimTime {
+        match self {
+            Fault::NodeDown { at, restart, .. } => match restart {
+                Some(r) => *at + r.after,
+                None => *at,
+            },
+            Fault::LinkDegrade {
+                start, duration, ..
+            }
+            | Fault::Flood {
+                start, duration, ..
+            } => *start + *duration,
+            Fault::RandomDrop(a) => a.end(),
+        }
+    }
+
+    fn schedule(&self, sim: &mut Simulator) {
+        match self {
+            Fault::NodeDown { node, at, restart } => {
+                sim.schedule_node_down(*at, *node);
+                if let Some(r) = restart {
+                    sim.schedule_node_up(*at + r.after, *node, r.cold_cache);
+                }
+            }
+            Fault::LinkDegrade {
+                target,
+                start,
+                duration,
+                mean_loss,
+                mean_burst,
+                latency_factor,
+            } => {
+                let (t, params) = (
+                    *target,
+                    DegradeParams::bursty_loss(*mean_loss, *mean_burst)
+                        .with_latency_factor(*latency_factor),
+                );
+                sim.schedule_control(*start, move |w| {
+                    w.links_mut().set_degrade(t, params);
+                });
+                let t = *target;
+                sim.schedule_control(*start + *duration, move |w| {
+                    w.links_mut().clear_degrade(t);
+                });
+            }
+            Fault::Flood {
+                target,
+                start,
+                duration,
+                peak_load,
+                shape,
+                queue,
+            } => {
+                if let Some(cfg) = queue {
+                    sim.set_ingress_queue(*target, *cfg);
+                }
+                schedule_flood(sim, *target, *start, *duration, *peak_load, *shape);
+            }
+            Fault::RandomDrop(a) => a.schedule(sim),
+        }
+    }
+}
+
+/// Schedules one background-load change at `at`.
+fn set_load_at(sim: &mut Simulator, target: Addr, at: SimTime, load: f64) {
+    sim.schedule_control(at, move |w| {
+        if let Some(q) = w.queue_mut(target) {
+            q.inject_background_load(load);
+        }
+    });
+}
+
+fn schedule_flood(
+    sim: &mut Simulator,
+    target: Addr,
+    start: SimTime,
+    duration: SimDuration,
+    peak: f64,
+    shape: FloodShape,
+) {
+    let end = start + duration;
+    match shape {
+        FloodShape::Square => {
+            set_load_at(sim, target, start, peak);
+            set_load_at(sim, target, end, 0.0);
+        }
+        FloodShape::Pulse { period, duty } => {
+            let duty = duty.clamp(0.01, 1.0);
+            let on_len = period.mul_f64(duty);
+            let mut t = start;
+            while t < end {
+                set_load_at(sim, target, t, peak);
+                set_load_at(sim, target, (t + on_len).min(end), 0.0);
+                t += period;
+            }
+        }
+        FloodShape::Ramp { steps } => {
+            let steps = steps.max(1);
+            let stair = SimDuration::from_nanos(duration.as_nanos() / steps as u64);
+            for k in 0..steps {
+                let load = peak * (k as f64 + 1.0) / steps as f64;
+                let at = start + SimDuration::from_nanos(stair.as_nanos() * k as u64);
+                set_load_at(sim, target, at, load);
+            }
+            set_load_at(sim, target, end, 0.0);
+        }
+    }
+}
+
+/// A composable fault scenario: any number of faults, scheduled together.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct FaultPlan {
+    /// The faults, in any order (each carries its own times).
+    pub faults: Vec<Fault>,
+}
+
+impl FaultPlan {
+    /// An empty plan (scheduling it is a no-op).
+    pub fn new() -> Self {
+        FaultPlan::default()
+    }
+
+    /// Adds a fault (builder-style).
+    pub fn with(mut self, fault: Fault) -> Self {
+        self.faults.push(fault);
+        self
+    }
+
+    /// Adds a fault in place.
+    pub fn push(&mut self, fault: Fault) -> &mut Self {
+        self.faults.push(fault);
+        self
+    }
+
+    /// Whether the plan contains no faults.
+    pub fn is_empty(&self) -> bool {
+        self.faults.is_empty()
+    }
+
+    /// Number of faults in the plan.
+    pub fn len(&self) -> usize {
+        self.faults.len()
+    }
+
+    /// Validates every fault; the index of the first invalid fault is
+    /// reported alongside its error.
+    pub fn validate(&self) -> Result<(), (usize, FaultError)> {
+        for (i, f) in self.faults.iter().enumerate() {
+            f.validate().map_err(|e| (i, e))?;
+        }
+        Ok(())
+    }
+
+    /// Validates the whole plan, then schedules every fault. All-or-
+    /// nothing: an invalid fault anywhere means nothing is installed.
+    pub fn schedule(&self, sim: &mut Simulator) -> Result<(), (usize, FaultError)> {
+        self.validate()?;
+        for f in &self.faults {
+            f.schedule(sim);
+        }
+        Ok(())
+    }
+
+    /// The instant the last fault's last action happens, if any.
+    pub fn last_end(&self) -> Option<SimTime> {
+        self.faults.iter().map(|f| f.end()).max()
+    }
+}
+
+// ---------------------------------------------------------------------
+// JSON (hand-rolled)
+// ---------------------------------------------------------------------
+//
+// Plans must survive record/replay in stripped-down offline builds where
+// the JSON dependency is stubbed, so — like the telemetry exporter and
+// the netsim trace writer — the wire format is written and parsed by
+// hand. The serde derives above serve full environments; this format is
+// the portable one and is what the tests pin.
+
+impl FaultPlan {
+    /// Serializes the plan to one-line JSON.
+    pub fn to_json(&self) -> String {
+        let faults: Vec<String> = self.faults.iter().map(fault_json).collect();
+        format!("{{\"faults\":[{}]}}", faults.join(","))
+    }
+
+    /// Parses [`FaultPlan::to_json`] output. Returns a description of
+    /// the first problem on malformed input.
+    pub fn from_json(text: &str) -> Result<FaultPlan, String> {
+        let body = strip_wrapped(text.trim(), '{', '}').ok_or("plan is not a JSON object")?;
+        let (key, value) = split_kv(body).ok_or("plan has no fields")?;
+        if key != "faults" {
+            return Err(format!("expected \"faults\", found \"{key}\""));
+        }
+        let list = strip_wrapped(value, '[', ']').ok_or("\"faults\" is not an array")?;
+        let mut faults = Vec::new();
+        for obj in split_top_level(list) {
+            faults.push(fault_from_json(obj)?);
+        }
+        Ok(FaultPlan { faults })
+    }
+}
+
+fn fault_json(f: &Fault) -> String {
+    match f {
+        Fault::NodeDown { node, at, restart } => {
+            let mut s = format!("{{\"kind\":\"node_down\",\"node\":{},\"at_ns\":{}", node.0, at.as_nanos());
+            if let Some(r) = restart {
+                s.push_str(&format!(
+                    ",\"restart_after_ns\":{},\"cold_cache\":{}",
+                    r.after.as_nanos(),
+                    r.cold_cache
+                ));
+            }
+            s.push('}');
+            s
+        }
+        Fault::LinkDegrade {
+            target,
+            start,
+            duration,
+            mean_loss,
+            mean_burst,
+            latency_factor,
+        } => format!(
+            "{{\"kind\":\"link_degrade\",\"target\":{},\"start_ns\":{},\"duration_ns\":{},\"mean_loss\":{},\"mean_burst\":{},\"latency_factor\":{}}}",
+            target.0,
+            start.as_nanos(),
+            duration.as_nanos(),
+            mean_loss,
+            mean_burst,
+            latency_factor
+        ),
+        Fault::Flood {
+            target,
+            start,
+            duration,
+            peak_load,
+            shape,
+            queue,
+        } => {
+            let mut s = format!(
+                "{{\"kind\":\"flood\",\"target\":{},\"start_ns\":{},\"duration_ns\":{},\"peak_load\":{}",
+                target.0,
+                start.as_nanos(),
+                duration.as_nanos(),
+                peak_load
+            );
+            match shape {
+                FloodShape::Square => s.push_str(",\"shape\":\"square\""),
+                FloodShape::Pulse { period, duty } => s.push_str(&format!(
+                    ",\"shape\":\"pulse\",\"period_ns\":{},\"duty\":{}",
+                    period.as_nanos(),
+                    duty
+                )),
+                FloodShape::Ramp { steps } => {
+                    s.push_str(&format!(",\"shape\":\"ramp\",\"steps\":{steps}"))
+                }
+            }
+            if let Some(q) = queue {
+                s.push_str(&format!(
+                    ",\"queue_rate_pps\":{},\"queue_capacity\":{}",
+                    q.rate_pps, q.capacity
+                ));
+            }
+            s.push('}');
+            s
+        }
+        Fault::RandomDrop(a) => {
+            let targets: Vec<String> = a.targets.iter().map(|t| t.0.to_string()).collect();
+            format!(
+                "{{\"kind\":\"random_drop\",\"targets\":[{}],\"loss\":{},\"start_ns\":{},\"duration_ns\":{}}}",
+                targets.join(","),
+                a.loss,
+                a.start.as_nanos(),
+                a.duration.as_nanos()
+            )
+        }
+    }
+}
+
+/// Strips one `open … close` wrapper, returning the interior.
+fn strip_wrapped(s: &str, open: char, close: char) -> Option<&str> {
+    Some(s.trim().strip_prefix(open)?.strip_suffix(close)?.trim())
+}
+
+/// Splits `s` on top-level commas (commas at bracket depth 0, outside
+/// string literals). The format this module writes has no escapes inside
+/// strings, so string state is a simple toggle.
+fn split_top_level(s: &str) -> Vec<&str> {
+    let mut parts = Vec::new();
+    let (mut depth, mut in_str, mut start) = (0i32, false, 0usize);
+    for (i, c) in s.char_indices() {
+        match c {
+            '"' => in_str = !in_str,
+            '{' | '[' if !in_str => depth += 1,
+            '}' | ']' if !in_str => depth -= 1,
+            ',' if !in_str && depth == 0 => {
+                parts.push(s[start..i].trim());
+                start = i + 1;
+            }
+            _ => {}
+        }
+    }
+    let tail = s[start..].trim();
+    if !tail.is_empty() {
+        parts.push(tail);
+    }
+    parts.retain(|p| !p.is_empty());
+    parts
+}
+
+/// Splits one `"key": value` pair.
+fn split_kv(field: &str) -> Option<(&str, &str)> {
+    let (key, value) = field.split_once(':')?;
+    Some((
+        key.trim().strip_prefix('"')?.strip_suffix('"')?,
+        value.trim(),
+    ))
+}
+
+/// The fields of one fault object, as `(key, raw_value)` pairs.
+fn fault_fields(obj: &str) -> Result<Vec<(&str, &str)>, String> {
+    let body = strip_wrapped(obj, '{', '}').ok_or_else(|| format!("not an object: {obj}"))?;
+    split_top_level(body)
+        .into_iter()
+        .map(|f| split_kv(f).ok_or_else(|| format!("bad field: {f}")))
+        .collect()
+}
+
+fn find<'a>(fields: &[(&str, &'a str)], key: &str) -> Result<&'a str, String> {
+    fields
+        .iter()
+        .find(|(k, _)| *k == key)
+        .map(|(_, v)| *v)
+        .ok_or_else(|| format!("missing field \"{key}\""))
+}
+
+fn find_u64(fields: &[(&str, &str)], key: &str) -> Result<u64, String> {
+    find(fields, key)?
+        .parse()
+        .map_err(|_| format!("field \"{key}\" is not an integer"))
+}
+
+fn find_f64(fields: &[(&str, &str)], key: &str) -> Result<f64, String> {
+    find(fields, key)?
+        .parse()
+        .map_err(|_| format!("field \"{key}\" is not a number"))
+}
+
+fn fault_from_json(obj: &str) -> Result<Fault, String> {
+    let fields = fault_fields(obj)?;
+    let kind = find(&fields, "kind").and_then(|v| {
+        v.strip_prefix('"')
+            .and_then(|v| v.strip_suffix('"'))
+            .ok_or_else(|| "\"kind\" is not a string".to_string())
+    })?;
+    match kind {
+        "node_down" => {
+            let node = NodeId(find_u64(&fields, "node")? as u32);
+            let at = SimTime::from_nanos(find_u64(&fields, "at_ns")?);
+            let restart = match find_u64(&fields, "restart_after_ns") {
+                Ok(ns) => Some(Restart {
+                    after: SimDuration::from_nanos(ns),
+                    cold_cache: find(&fields, "cold_cache")? == "true",
+                }),
+                Err(_) => None,
+            };
+            Ok(Fault::NodeDown { node, at, restart })
+        }
+        "link_degrade" => Ok(Fault::LinkDegrade {
+            target: Addr(find_u64(&fields, "target")? as u32),
+            start: SimTime::from_nanos(find_u64(&fields, "start_ns")?),
+            duration: SimDuration::from_nanos(find_u64(&fields, "duration_ns")?),
+            mean_loss: find_f64(&fields, "mean_loss")?,
+            mean_burst: find_f64(&fields, "mean_burst")?,
+            latency_factor: find_f64(&fields, "latency_factor")?,
+        }),
+        "flood" => {
+            let shape = match find(&fields, "shape")? {
+                "\"square\"" => FloodShape::Square,
+                "\"pulse\"" => FloodShape::Pulse {
+                    period: SimDuration::from_nanos(find_u64(&fields, "period_ns")?),
+                    duty: find_f64(&fields, "duty")?,
+                },
+                "\"ramp\"" => FloodShape::Ramp {
+                    steps: find_u64(&fields, "steps")? as u32,
+                },
+                other => return Err(format!("unknown flood shape {other}")),
+            };
+            let queue = match find_f64(&fields, "queue_rate_pps") {
+                Ok(rate_pps) => Some(QueueConfig {
+                    rate_pps,
+                    capacity: find_u64(&fields, "queue_capacity")? as u32,
+                }),
+                Err(_) => None,
+            };
+            Ok(Fault::Flood {
+                target: Addr(find_u64(&fields, "target")? as u32),
+                start: SimTime::from_nanos(find_u64(&fields, "start_ns")?),
+                duration: SimDuration::from_nanos(find_u64(&fields, "duration_ns")?),
+                peak_load: find_f64(&fields, "peak_load")?,
+                shape,
+                queue,
+            })
+        }
+        "random_drop" => {
+            let list = strip_wrapped(find(&fields, "targets")?, '[', ']')
+                .ok_or("\"targets\" is not an array")?;
+            let targets = split_top_level(list)
+                .into_iter()
+                .map(|t| {
+                    t.parse::<u32>()
+                        .map(Addr)
+                        .map_err(|_| format!("bad target {t}"))
+                })
+                .collect::<Result<Vec<_>, _>>()?;
+            Ok(Fault::RandomDrop(Attack {
+                targets,
+                loss: find_f64(&fields, "loss")?,
+                start: SimTime::from_nanos(find_u64(&fields, "start_ns")?),
+                duration: SimDuration::from_nanos(find_u64(&fields, "duration_ns")?),
+            }))
+        }
+        other => Err(format!("unknown fault kind \"{other}\"")),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dike_netsim::{Context, LatencyModel, LinkParams, LinkTable, Node, TimerToken};
+    use dike_wire::{Message, Name, RecordType};
+    use parking_lot::Mutex;
+    use std::sync::Arc;
+
+    fn t(secs: u64) -> SimTime {
+        SimDuration::from_secs(secs).after_zero()
+    }
+
+    fn d(secs: u64) -> SimDuration {
+        SimDuration::from_secs(secs)
+    }
+
+    fn full_plan() -> FaultPlan {
+        FaultPlan::new()
+            .with(Fault::crash_restart(NodeId(3), t(10), d(30), true))
+            .with(Fault::node_down(NodeId(4), t(100)))
+            .with(
+                Fault::link_degrade(Addr(0x0a00_0001), t(5), d(60), 0.4, 25.0)
+                    .with_latency_factor(3.5),
+            )
+            .with(
+                Fault::flood(
+                    Addr(0x0a00_0002),
+                    t(20),
+                    d(40),
+                    0.95,
+                    QueueConfig::small_authoritative(),
+                )
+                .with_shape(FloodShape::Ramp { steps: 4 }),
+            )
+            .with(
+                Fault::flood(
+                    Addr(0x0a00_0003),
+                    t(0),
+                    d(10),
+                    0.5,
+                    QueueConfig {
+                        rate_pps: 500.0,
+                        capacity: 64,
+                    },
+                )
+                .with_shape(FloodShape::Pulse {
+                    period: d(2),
+                    duty: 0.5,
+                }),
+            )
+            .with(Fault::random_drop(Attack::partial(
+                vec![Addr(1), Addr(2)],
+                0.9,
+                t(30),
+                d(30),
+            )))
+    }
+
+    #[test]
+    fn json_round_trip_preserves_every_fault() {
+        let plan = full_plan();
+        let json = plan.to_json();
+        let back = FaultPlan::from_json(&json).unwrap();
+        assert_eq!(plan, back);
+        // And the round-tripped plan serializes identically (stable form).
+        assert_eq!(json, back.to_json());
+    }
+
+    #[test]
+    fn empty_plan_round_trips() {
+        let plan = FaultPlan::new();
+        assert!(plan.is_empty());
+        assert_eq!(FaultPlan::from_json(&plan.to_json()).unwrap(), plan);
+    }
+
+    #[test]
+    fn from_json_rejects_garbage() {
+        assert!(FaultPlan::from_json("").is_err());
+        assert!(FaultPlan::from_json("[]").is_err());
+        assert!(FaultPlan::from_json("{\"faults\":[{}]}").is_err());
+        assert!(FaultPlan::from_json("{\"faults\":[{\"kind\":\"martian\"}]}").is_err());
+        assert!(
+            FaultPlan::from_json("{\"faults\":[{\"kind\":\"node_down\",\"node\":1}]}").is_err(),
+            "missing at_ns"
+        );
+    }
+
+    #[test]
+    fn validation_rejects_bad_faults_with_index() {
+        let plan = FaultPlan::new()
+            .with(Fault::node_down(NodeId(0), t(1)))
+            .with(Fault::link_degrade(Addr(1), t(0), d(10), 1.5, 10.0));
+        match plan.validate() {
+            Err((1, FaultError::DegradeLossOutOfRange(l))) => assert_eq!(l, 1.5),
+            other => panic!("expected index-1 loss error, got {other:?}"),
+        }
+        let bad = [
+            Fault::link_degrade(Addr(1), t(0), d(10), 0.5, 0.2),
+            Fault::link_degrade(Addr(1), t(0), d(10), 0.5, 10.0).with_latency_factor(0.5),
+            Fault::link_degrade(Addr(1), t(0), SimDuration::ZERO, 0.5, 10.0),
+            Fault::flood(
+                Addr(1),
+                t(0),
+                d(10),
+                0.0,
+                QueueConfig::small_authoritative(),
+            ),
+            Fault::flood(
+                Addr(1),
+                t(0),
+                d(10),
+                1.5,
+                QueueConfig::small_authoritative(),
+            ),
+            Fault::crash_restart(NodeId(0), t(1), SimDuration::ZERO, true),
+            Fault::random_drop(Attack::partial(vec![], 0.5, t(0), d(10))),
+        ];
+        for f in bad {
+            assert!(f.validate().is_err(), "{f:?} should be invalid");
+        }
+        // An invalid plan schedules nothing.
+        let mut sim = Simulator::new(1);
+        let invalid = FaultPlan::new().with(Fault::link_degrade(Addr(1), t(0), d(10), 2.0, 5.0));
+        assert!(invalid.schedule(&mut sim).is_err());
+    }
+
+    #[test]
+    fn plan_end_spans_restarts_and_windows() {
+        let plan = full_plan();
+        assert_eq!(plan.last_end(), Some(t(100)));
+        assert_eq!(
+            Fault::crash_restart(NodeId(0), t(10), d(30), false).end(),
+            t(40)
+        );
+    }
+
+    /// A node that answers every query (echo) — enough traffic machinery
+    /// to see faults act end-to-end.
+    struct Echo;
+    impl Node for Echo {
+        fn on_datagram(
+            &mut self,
+            ctx: &mut Context<'_>,
+            src: Addr,
+            msg: &Message,
+            _wire_len: usize,
+        ) {
+            if !msg.is_response {
+                ctx.send(src, &Message::response_to(msg));
+            }
+        }
+        fn on_timer(&mut self, _ctx: &mut Context<'_>, _token: TimerToken) {}
+    }
+
+    /// Sends one query per second and counts replies.
+    struct Chatter {
+        target: Addr,
+        replies: Arc<Mutex<u64>>,
+        remaining: u32,
+    }
+    impl Node for Chatter {
+        fn on_start(&mut self, ctx: &mut Context<'_>) {
+            ctx.set_timer(d(1), TimerToken(0));
+        }
+        fn on_datagram(
+            &mut self,
+            _ctx: &mut Context<'_>,
+            _src: Addr,
+            msg: &Message,
+            _wire_len: usize,
+        ) {
+            if msg.is_response {
+                *self.replies.lock() += 1;
+            }
+        }
+        fn on_timer(&mut self, ctx: &mut Context<'_>, _token: TimerToken) {
+            let q = Message::query(1, Name::parse("x.nl").unwrap(), RecordType::A);
+            ctx.send(self.target, &q);
+            if self.remaining > 0 {
+                self.remaining -= 1;
+                ctx.set_timer(d(1), TimerToken(0));
+            }
+        }
+    }
+
+    fn echo_sim(seed: u64, queries: u32) -> (Simulator, Addr, NodeId, Arc<Mutex<u64>>) {
+        let mut sim = Simulator::new(seed);
+        *sim.links_mut() = LinkTable::new(LinkParams {
+            latency: LatencyModel::Fixed(SimDuration::from_millis(10)),
+            loss: 0.0,
+        });
+        let (echo_id, echo_addr) = sim.add_node(Box::new(Echo));
+        let replies = Arc::new(Mutex::new(0));
+        sim.add_node(Box::new(Chatter {
+            target: echo_addr,
+            replies: replies.clone(),
+            remaining: queries.saturating_sub(1),
+        }));
+        (sim, echo_addr, echo_id, replies)
+    }
+
+    #[test]
+    fn crash_restart_fault_blacks_out_the_middle() {
+        let (mut sim, _, echo_id, replies) = echo_sim(5, 30);
+        FaultPlan::new()
+            .with(Fault::crash_restart(echo_id, t(10), d(10), false))
+            .schedule(&mut sim)
+            .unwrap();
+        sim.run_until_idle();
+        sim.audit().assert_clean();
+        // ~30 queries, ~10 lost during the 10s outage.
+        let got = *replies.lock();
+        assert!((15..=21).contains(&got), "replies={got}");
+    }
+
+    #[test]
+    fn total_degrade_fault_is_a_window_of_loss() {
+        let (mut sim, echo_addr, _, replies) = echo_sim(6, 30);
+        FaultPlan::new()
+            .with(Fault::link_degrade(echo_addr, t(10), d(10), 1.0, 50.0))
+            .schedule(&mut sim)
+            .unwrap();
+        sim.run_until_idle();
+        sim.audit().assert_clean();
+        let got = *replies.lock();
+        assert!((15..=21).contains(&got), "replies={got}");
+    }
+
+    #[test]
+    fn flood_fault_delays_service_through_the_queue() {
+        // Peak load 0.99 on a 1000 pps queue → 100 ms service time, far
+        // above the 20 ms clean round trip. Replies still arrive (it is
+        // degradation, not failure), but the run's clock stretches.
+        let (mut sim, echo_addr, _, replies) = echo_sim(7, 10);
+        FaultPlan::new()
+            .with(Fault::flood(
+                echo_addr,
+                t(0),
+                d(60),
+                0.99,
+                QueueConfig {
+                    rate_pps: 1_000.0,
+                    capacity: 1_000,
+                },
+            ))
+            .schedule(&mut sim)
+            .unwrap();
+        sim.run_until_idle();
+        sim.audit().assert_clean();
+        assert_eq!(*replies.lock(), 10, "flood degrades, does not fail");
+    }
+
+    #[test]
+    fn empty_plan_is_a_scheduling_no_op() {
+        let (mut sim, _, _, replies) = echo_sim(8, 10);
+        FaultPlan::new().schedule(&mut sim).unwrap();
+        sim.run_until_idle();
+        sim.audit().assert_clean();
+        assert_eq!(*replies.lock(), 10);
+    }
+}

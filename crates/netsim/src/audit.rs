@@ -1,0 +1,332 @@
+//! The simulation invariant auditor.
+//!
+//! Fault injection makes it easy to write a plausible-looking scenario
+//! that quietly corrupts the simulator's bookkeeping — a datagram that is
+//! neither delivered nor counted dropped, a timer slot leaked across a
+//! crash, a decode skipped on a rare path. The auditor turns those bugs
+//! into loud failures: [`Simulator::audit`] cross-checks the counters
+//! against the live event queue and reports every violated identity.
+//!
+//! The checked invariants (DESIGN.md §5.3):
+//!
+//! 1. **Datagram conservation** — every datagram ever sent is accounted
+//!    for exactly once:
+//!    `sent = delivered + dropped + no_route + undecodable + in_flight`,
+//!    where *in flight* counts pending [`Event::Deliver`] entries still in
+//!    the queue. (Pending [`Event::DeliverQueued`] entries passed the
+//!    ingress filters and were already counted delivered.)
+//! 2. **Decode-once** — every arrival is decoded exactly once:
+//!    `decoded + undecodable + in_flight = sent`.
+//! 3. **Timer hygiene** — no slot leaks: the number of allocated timer
+//!    slots equals the number of pending [`Event::Timer`] entries (every
+//!    slot is recycled exactly when its event pops, fired, cancelled, or
+//!    crash-suppressed alike).
+//! 4. **Liveness bookkeeping** — restarts never exceed crashes, and the
+//!    per-node up/epoch vectors stay in step with the node registry.
+//!
+//! Auditing is pull-based and read-only: call it whenever you like (it is
+//! O(queue length)), typically after a run drains. The chaos harness
+//! (`tests/chaos.rs`) calls it after every random fault plan; experiments
+//! honor the `DIKE_AUDIT=1` environment variable to assert a clean audit
+//! at the end of every run.
+
+use crate::event::{Event, EventQueue};
+use crate::sim::Simulator;
+
+/// Snapshot of the simulator bookkeeping the audit is computed from.
+/// Produced by `Simulator::audit_internals` (crate-private) so the
+/// auditor never needs mutable or public access to the sim's guts.
+pub(crate) struct AuditInternals<'a> {
+    pub(crate) sent: u64,
+    pub(crate) delivered: u64,
+    pub(crate) dropped: u64,
+    pub(crate) no_route: u64,
+    pub(crate) undecodable: u64,
+    pub(crate) decoded: u64,
+    pub(crate) node_crashes: u64,
+    pub(crate) node_restarts: u64,
+    pub(crate) queue: &'a EventQueue,
+    pub(crate) allocated_timer_slots: u64,
+    pub(crate) nodes_len: usize,
+    pub(crate) node_up_len: usize,
+    pub(crate) node_epoch_len: usize,
+}
+
+/// The result of one audit pass: the raw quantities each invariant was
+/// computed from, plus a human-readable description of every violation.
+/// An empty [`AuditReport::violations`] means all invariants hold.
+#[derive(Debug, Clone, Default)]
+pub struct AuditReport {
+    /// Datagrams that entered the fabric.
+    pub sent: u64,
+    /// Datagrams handed past the ingress filters (includes queue drops,
+    /// which are counted delivered at ingress and broken out separately).
+    pub delivered: u64,
+    /// Datagrams dropped by ambient loss, attack filters, degrades, or a
+    /// downed destination.
+    pub dropped: u64,
+    /// Datagrams whose destination resolved to no node.
+    pub no_route: u64,
+    /// Payloads the codec rejected at ingress.
+    pub undecodable: u64,
+    /// Payloads decoded at ingress.
+    pub decoded: u64,
+    /// Pending [`Event::Deliver`] entries: sent but not yet arrived.
+    pub in_flight: u64,
+    /// Pending [`Event::DeliverQueued`] entries (already counted in
+    /// `delivered`; reported for visibility).
+    pub queued_deliveries: u64,
+    /// Pending [`Event::Timer`] entries in the queue.
+    pub pending_timers: u64,
+    /// Timer slots currently allocated (granted and not yet recycled).
+    pub allocated_timer_slots: u64,
+    /// Crashes applied so far.
+    pub node_crashes: u64,
+    /// Restarts applied so far.
+    pub node_restarts: u64,
+    /// One line per violated invariant; empty when the audit is clean.
+    pub violations: Vec<String>,
+}
+
+impl AuditReport {
+    /// Whether every invariant held.
+    pub fn is_clean(&self) -> bool {
+        self.violations.is_empty()
+    }
+
+    /// Panics with every violation if the audit is not clean. The chaos
+    /// harness and `DIKE_AUDIT=1` experiment runs use this.
+    ///
+    /// # Panics
+    /// Panics when [`AuditReport::is_clean`] is false.
+    pub fn assert_clean(&self) {
+        assert!(
+            self.is_clean(),
+            "sim audit failed:\n  {}",
+            self.violations.join("\n  ")
+        );
+    }
+}
+
+impl std::fmt::Display for AuditReport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "audit: sent={} delivered={} dropped={} no_route={} undecodable={} \
+             in_flight={} pending_timers={} slots={} crashes={} restarts={} -> {}",
+            self.sent,
+            self.delivered,
+            self.dropped,
+            self.no_route,
+            self.undecodable,
+            self.in_flight,
+            self.pending_timers,
+            self.allocated_timer_slots,
+            self.node_crashes,
+            self.node_restarts,
+            if self.is_clean() {
+                "clean".to_string()
+            } else {
+                format!("{} violation(s)", self.violations.len())
+            }
+        )
+    }
+}
+
+impl Simulator {
+    /// Cross-checks the simulator's counters against its live event queue
+    /// and returns the findings. Read-only and callable at any point;
+    /// most callers audit after a run drains (`run_until_idle`) or stops
+    /// at its deadline.
+    pub fn audit(&self) -> AuditReport {
+        let mut report = AuditReport::default();
+        let st = self.audit_internals();
+        report.sent = st.sent;
+        report.delivered = st.delivered;
+        report.dropped = st.dropped;
+        report.no_route = st.no_route;
+        report.undecodable = st.undecodable;
+        report.decoded = st.decoded;
+        report.node_crashes = st.node_crashes;
+        report.node_restarts = st.node_restarts;
+
+        for entry in st.queue.iter() {
+            match &entry.event {
+                Event::Deliver(_) => report.in_flight += 1,
+                Event::DeliverQueued { .. } => report.queued_deliveries += 1,
+                Event::Timer { .. } => report.pending_timers += 1,
+                Event::NodeDown { .. } | Event::NodeUp { .. } | Event::Control(_) => {}
+            }
+        }
+        report.allocated_timer_slots = st.allocated_timer_slots;
+
+        let accounted = report.delivered
+            + report.dropped
+            + report.no_route
+            + report.undecodable
+            + report.in_flight;
+        if report.sent != accounted {
+            report.violations.push(format!(
+                "datagram conservation: sent={} but delivered+dropped+no_route+undecodable+in_flight={}",
+                report.sent, accounted
+            ));
+        }
+        let decode_accounted = report.decoded + report.undecodable + report.in_flight;
+        if report.sent != decode_accounted {
+            report.violations.push(format!(
+                "decode-once: sent={} but decoded+undecodable+in_flight={}",
+                report.sent, decode_accounted
+            ));
+        }
+        if report.allocated_timer_slots != report.pending_timers {
+            report.violations.push(format!(
+                "timer slot leak: {} slots allocated but {} timer events pending",
+                report.allocated_timer_slots, report.pending_timers
+            ));
+        }
+        if report.node_restarts > report.node_crashes {
+            report.violations.push(format!(
+                "liveness: {} restarts exceed {} crashes",
+                report.node_restarts, report.node_crashes
+            ));
+        }
+        if st.node_up_len != st.nodes_len || st.node_epoch_len != st.nodes_len {
+            report.violations.push(format!(
+                "liveness vectors out of step: {} nodes but {} up-flags / {} epochs",
+                st.nodes_len, st.node_up_len, st.node_epoch_len
+            ));
+        }
+        report
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::link::{LatencyModel, LinkParams};
+    use crate::node::{Context, Node, TimerToken};
+    use crate::time::SimDuration;
+    use crate::{Addr, LinkTable, Simulator};
+    use dike_wire::{Message, Name, RecordType};
+
+    struct Echo;
+    impl Node for Echo {
+        fn on_datagram(
+            &mut self,
+            ctx: &mut Context<'_>,
+            src: Addr,
+            msg: &Message,
+            _wire_len: usize,
+        ) {
+            if !msg.is_response {
+                let resp = Message::response_to(msg);
+                ctx.send(src, &resp);
+            }
+        }
+        fn on_timer(&mut self, _ctx: &mut Context<'_>, _token: TimerToken) {}
+    }
+
+    struct Chatter {
+        target: Addr,
+        remaining: u32,
+    }
+    impl Node for Chatter {
+        fn on_start(&mut self, ctx: &mut Context<'_>) {
+            ctx.set_timer(SimDuration::from_millis(50), TimerToken(0));
+        }
+        fn on_datagram(
+            &mut self,
+            _ctx: &mut Context<'_>,
+            _src: Addr,
+            _msg: &Message,
+            _wire_len: usize,
+        ) {
+        }
+        fn on_timer(&mut self, ctx: &mut Context<'_>, _token: TimerToken) {
+            let q = Message::query(
+                self.remaining as u16,
+                Name::parse("x.nl").unwrap(),
+                RecordType::A,
+            );
+            ctx.send(self.target, &q);
+            if self.remaining > 0 {
+                self.remaining -= 1;
+                ctx.set_timer(SimDuration::from_millis(50), TimerToken(0));
+            }
+        }
+    }
+
+    fn lossy_sim(seed: u64, loss: f64) -> Simulator {
+        let mut sim = Simulator::new(seed);
+        *sim.links_mut() = LinkTable::new(LinkParams {
+            latency: LatencyModel::Fixed(SimDuration::from_millis(10)),
+            loss,
+        });
+        sim
+    }
+
+    #[test]
+    fn clean_run_audits_clean() {
+        let mut sim = lossy_sim(1, 0.0);
+        let (_, echo) = sim.add_node(Box::new(Echo));
+        sim.add_node(Box::new(Chatter {
+            target: echo,
+            remaining: 20,
+        }));
+        sim.run_until_idle();
+        let report = sim.audit();
+        report.assert_clean();
+        assert_eq!(report.in_flight, 0);
+        assert_eq!(report.pending_timers, 0);
+        assert_eq!(report.allocated_timer_slots, 0);
+    }
+
+    #[test]
+    fn lossy_run_conserves_datagrams() {
+        let mut sim = lossy_sim(2, 0.4);
+        let (_, echo) = sim.add_node(Box::new(Echo));
+        sim.add_node(Box::new(Chatter {
+            target: echo,
+            remaining: 200,
+        }));
+        sim.run_until_idle();
+        let report = sim.audit();
+        report.assert_clean();
+        assert!(report.dropped > 0, "40% loss should drop something");
+    }
+
+    #[test]
+    fn mid_run_audit_counts_in_flight_and_timers() {
+        let mut sim = lossy_sim(3, 0.0);
+        let (_, echo) = sim.add_node(Box::new(Echo));
+        sim.add_node(Box::new(Chatter {
+            target: echo,
+            remaining: 50,
+        }));
+        // Stop in the middle of the chatter: timers and datagrams pending.
+        sim.run_until(SimDuration::from_millis(125).after_zero());
+        let report = sim.audit();
+        report.assert_clean();
+        assert!(
+            report.pending_timers > 0,
+            "chatter keeps a timer armed: {report}"
+        );
+    }
+
+    #[test]
+    fn crashed_node_run_audits_clean() {
+        let mut sim = lossy_sim(4, 0.0);
+        let (echo_id, echo) = sim.add_node(Box::new(Echo));
+        sim.add_node(Box::new(Chatter {
+            target: echo,
+            remaining: 100,
+        }));
+        sim.schedule_node_down(SimDuration::from_secs(1).after_zero(), echo_id);
+        sim.schedule_node_up(SimDuration::from_secs(3).after_zero(), echo_id, true);
+        sim.run_until_idle();
+        let report = sim.audit();
+        report.assert_clean();
+        assert_eq!(report.node_crashes, 1);
+        assert_eq!(report.node_restarts, 1);
+        assert!(report.dropped > 0, "downtime must drop ingress: {report}");
+    }
+}

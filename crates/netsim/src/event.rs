@@ -38,6 +38,27 @@ pub enum Event {
         token: TimerToken,
         /// Timer id, for cancellation.
         id: u64,
+        /// The node's liveness epoch when the timer was set. A crash bumps
+        /// the epoch, so timers armed before the crash are suppressed when
+        /// they pop — a rebooted server does not inherit its predecessor's
+        /// pending work.
+        epoch: u32,
+    },
+    /// The node crashes: ingress traffic is dropped, pending timers from
+    /// before the crash are suppressed (see [`Event::Timer::epoch`]).
+    NodeDown {
+        /// The node to take down.
+        node: NodeId,
+    },
+    /// The node restarts: [`crate::node::Node::on_restart`] runs first
+    /// (with `cold` saying whether volatile state such as caches is
+    /// wiped), then `on_start` re-arms its initial timers.
+    NodeUp {
+        /// The node to bring back.
+        node: NodeId,
+        /// Whether the restart loses cached state (the paper's cache-loss
+        /// sensitivity axis).
+        cold: bool,
     },
     /// Scheduled world mutation — how attack scenarios flip loss filters
     /// mid-run without a node.
@@ -55,9 +76,13 @@ impl std::fmt::Debug for Event {
                     dgram.src, dgram.dst
                 )
             }
-            Event::Timer { node, token, id } => {
+            Event::Timer {
+                node, token, id, ..
+            } => {
                 write!(f, "Timer(node={node}, token={}, id={id})", token.0)
             }
+            Event::NodeDown { node } => write!(f, "NodeDown({node})"),
+            Event::NodeUp { node, cold } => write!(f, "NodeUp({node}, cold={cold})"),
             Event::Control(_) => write!(f, "Control(..)"),
         }
     }
@@ -111,6 +136,7 @@ mod tests {
                 node: NodeId(0),
                 token: TimerToken(seq),
                 id: seq,
+                epoch: 0,
             },
         }
     }

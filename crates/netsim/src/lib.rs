@@ -24,6 +24,14 @@
 //! * [`trace`] — pluggable observation: every delivered or dropped
 //!   datagram can be fed to a [`trace::TraceSink`] for server-side traffic
 //!   accounting (paper §6).
+//! * Faults — node crash/restart ([`Simulator::schedule_node_down`] /
+//!   [`Simulator::schedule_node_up`], with cold-cache restarts via
+//!   [`Node::on_restart`]) and bursty Gilbert–Elliott link degrades
+//!   ([`GilbertElliott`], [`LinkTable::set_degrade`]) alongside the
+//!   paper's Bernoulli ingress loss. Higher-level fault plans live in the
+//!   `dike-faults` crate.
+//! * [`audit`] — pull-based invariant checker (datagram conservation,
+//!   decode-once, timer hygiene) that fault-heavy runs assert clean.
 //! * Telemetry — attach a [`dike_telemetry::MetricsRegistry`] with
 //!   [`Simulator::attach_telemetry`] and the simulator publishes its
 //!   event/datagram counters plus every node's
@@ -40,6 +48,7 @@
 
 mod addr;
 pub mod anycast;
+pub mod audit;
 mod datagram;
 mod event;
 mod link;
@@ -52,9 +61,10 @@ pub mod trace_io;
 
 pub use addr::{Addr, NodeId};
 pub use anycast::AnycastTable;
+pub use audit::AuditReport;
 pub use datagram::Datagram;
 pub use dike_telemetry as telemetry;
-pub use link::{LatencyModel, LinkParams, LinkTable};
+pub use link::{DegradeParams, GilbertElliott, LatencyModel, LinkParams, LinkTable};
 pub use node::{Context, Node, TimerId, TimerToken};
 pub use queueing::{QueueConfig, ServiceQueue};
 pub use sim::{SimPerf, Simulator};

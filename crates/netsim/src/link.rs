@@ -76,6 +76,135 @@ impl Default for LinkParams {
     }
 }
 
+/// A two-state Gilbert–Elliott loss process: the channel toward a
+/// destination is either *Good* or *Bad*, with independent loss rates in
+/// each state and per-arrival transition probabilities between them.
+///
+/// The paper emulates DDoS as Bernoulli (i.i.d.) random drop; real
+/// resource-exhaustion events produce *bursty* loss — stretches where
+/// nearly everything dies, separated by windows where most packets
+/// survive. The Gilbert–Elliott chain is the standard minimal model of
+/// that burstiness (mean loss alone does not determine resolver retry
+/// behaviour: 50% i.i.d. loss and 50% duty-cycle blackout look identical
+/// on average but very different to a 5-second client timeout).
+///
+/// The chain is stepped once per arriving datagram: first the state
+/// transition is sampled, then the loss draw uses the *post-transition*
+/// state. Both draws come from the run's seeded RNG, so fault runs stay
+/// deterministic.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct GilbertElliott {
+    /// Per-arrival probability of moving Good → Bad.
+    pub p_enter_bad: f64,
+    /// Per-arrival probability of moving Bad → Good.
+    pub p_exit_bad: f64,
+    /// Loss probability while Good (ambient residual loss).
+    pub loss_good: f64,
+    /// Loss probability while Bad (the burst).
+    pub loss_bad: f64,
+}
+
+impl GilbertElliott {
+    /// A bursty process with the given stationary mean loss and mean
+    /// burst length (in arrivals). `mean_loss` is achieved by setting
+    /// `loss_bad = 1` inside bursts and `loss_good = 0` outside, with the
+    /// stationary Bad-state probability equal to `mean_loss`.
+    pub fn bursty(mean_loss: f64, mean_burst_len: f64) -> Self {
+        let mean_loss = mean_loss.clamp(0.0, 1.0);
+        // Stationary P(Bad) = p_enter / (p_enter + p_exit) = mean_loss.
+        // Total loss pins the chain in Bad (p_exit = 0): with any exit
+        // probability the stationary loss could not reach 1.
+        let (p_enter_bad, p_exit_bad) = if mean_loss >= 1.0 {
+            (1.0, 0.0)
+        } else {
+            let p_exit = 1.0 / mean_burst_len.max(1.0);
+            (
+                (p_exit * mean_loss / (1.0 - mean_loss)).clamp(0.0, 1.0),
+                p_exit,
+            )
+        };
+        GilbertElliott {
+            p_enter_bad,
+            p_exit_bad,
+            loss_good: 0.0,
+            loss_bad: 1.0,
+        }
+    }
+
+    /// Steps the chain one arrival: transitions `state` (true = Bad),
+    /// then samples a drop from the post-transition state.
+    pub fn sample_drop(&self, state: &mut bool, rng: &mut SmallRng) -> bool {
+        let flip = if *state {
+            self.p_exit_bad
+        } else {
+            self.p_enter_bad
+        };
+        if flip > 0.0 && rng.random_bool(flip.clamp(0.0, 1.0)) {
+            *state = !*state;
+        }
+        let loss = if *state {
+            self.loss_bad
+        } else {
+            self.loss_good
+        };
+        loss > 0.0 && rng.random_bool(loss.clamp(0.0, 1.0))
+    }
+
+    /// Stationary probability of being in the Bad state.
+    pub fn stationary_bad(&self) -> f64 {
+        let denom = self.p_enter_bad + self.p_exit_bad;
+        if denom <= 0.0 {
+            0.0
+        } else {
+            self.p_enter_bad / denom
+        }
+    }
+
+    /// Long-run mean loss rate of the process.
+    pub fn mean_loss(&self) -> f64 {
+        let pb = self.stationary_bad();
+        pb * self.loss_bad + (1.0 - pb) * self.loss_good
+    }
+}
+
+/// A degraded-but-not-failed condition on every path toward one
+/// destination: bursty Gilbert–Elliott loss plus latency inflation
+/// (congested queues upstream of the target slow what they do not drop).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DegradeParams {
+    /// The loss process.
+    pub ge: GilbertElliott,
+    /// Multiplier on the sampled path latency (≥ 1.0 for inflation;
+    /// values below 1 are allowed but physically dubious). Applied at
+    /// send time, so it affects datagrams launched while the degrade is
+    /// installed.
+    pub latency_factor: f64,
+}
+
+impl DegradeParams {
+    /// Bursty loss at `mean_loss` with no latency inflation.
+    pub fn bursty_loss(mean_loss: f64, mean_burst_len: f64) -> Self {
+        DegradeParams {
+            ge: GilbertElliott::bursty(mean_loss, mean_burst_len),
+            latency_factor: 1.0,
+        }
+    }
+
+    /// Adds latency inflation.
+    pub fn with_latency_factor(mut self, factor: f64) -> Self {
+        self.latency_factor = factor.max(0.0);
+        self
+    }
+}
+
+/// Installed degrade state: the parameters plus the chain's current
+/// state (true = Bad).
+#[derive(Debug, Clone, Copy)]
+struct DegradeEntry {
+    params: DegradeParams,
+    bad: bool,
+}
+
 /// The routing fabric: a default path model, optional per-pair overrides,
 /// and dynamic per-destination ingress loss used to emulate DDoS.
 ///
@@ -90,6 +219,7 @@ pub struct LinkTable {
     overrides: HashMap<(Addr, Addr), LinkParams>,
     per_dst: HashMap<Addr, LinkParams>,
     ingress_loss: HashMap<Addr, f64>,
+    degrade: HashMap<Addr, DegradeEntry>,
 }
 
 impl LinkTable {
@@ -100,6 +230,7 @@ impl LinkTable {
             overrides: HashMap::new(),
             per_dst: HashMap::new(),
             ingress_loss: HashMap::new(),
+            degrade: HashMap::new(),
         }
     }
 
@@ -140,6 +271,43 @@ impl LinkTable {
     /// Current ingress loss rate toward `dst` (0 when unfiltered).
     pub fn ingress_loss(&self, dst: Addr) -> f64 {
         self.ingress_loss.get(&dst).copied().unwrap_or(0.0)
+    }
+
+    /// Installs (or replaces) a Gilbert–Elliott degrade toward `dst`.
+    /// The chain starts in the Good state.
+    pub fn set_degrade(&mut self, dst: Addr, params: DegradeParams) {
+        self.degrade
+            .insert(dst, DegradeEntry { params, bad: false });
+    }
+
+    /// Removes the degrade on `dst` (condition cleared).
+    pub fn clear_degrade(&mut self, dst: Addr) {
+        self.degrade.remove(&dst);
+    }
+
+    /// The degrade parameters installed toward `dst`, if any.
+    pub fn degrade_params(&self, dst: Addr) -> Option<DegradeParams> {
+        self.degrade.get(&dst).map(|e| e.params)
+    }
+
+    /// The latency multiplier currently applied to sends toward `dst`
+    /// (1.0 when no degrade is installed).
+    pub fn latency_factor(&self, dst: Addr) -> f64 {
+        self.degrade
+            .get(&dst)
+            .map(|e| e.params.latency_factor)
+            .unwrap_or(1.0)
+    }
+
+    /// Steps the degrade chain toward `dst` for one arrival and returns
+    /// whether the datagram is lost to the burst process. Draws from
+    /// `rng` only when a degrade is installed, so fault-free runs keep an
+    /// untouched RNG stream.
+    pub fn degrade_drop(&mut self, dst: Addr, rng: &mut SmallRng) -> bool {
+        match self.degrade.get_mut(&dst) {
+            Some(e) => e.params.ge.sample_drop(&mut e.bad, rng),
+            None => false,
+        }
     }
 
     /// Decides the fate of one datagram: `None` if dropped, or
@@ -277,5 +445,73 @@ mod tests {
         let mut t = LinkTable::default();
         t.set_ingress_loss(Addr(9), 7.5);
         assert_eq!(t.ingress_loss(Addr(9)), 1.0);
+    }
+
+    #[test]
+    fn gilbert_elliott_bursty_hits_target_mean_loss() {
+        let ge = GilbertElliott::bursty(0.5, 20.0);
+        assert!((ge.mean_loss() - 0.5).abs() < 1e-9);
+        let mut r = rng();
+        let mut state = false;
+        let n = 100_000;
+        let dropped = (0..n)
+            .filter(|_| ge.sample_drop(&mut state, &mut r))
+            .count();
+        let rate = dropped as f64 / n as f64;
+        assert!((rate - 0.5).abs() < 0.05, "empirical loss {rate}");
+    }
+
+    #[test]
+    fn gilbert_elliott_losses_are_bursty_not_iid() {
+        // With mean burst length 50, drops cluster: the number of
+        // loss-run boundaries is far below what i.i.d. loss at the same
+        // mean rate would produce.
+        let ge = GilbertElliott::bursty(0.3, 50.0);
+        let mut r = rng();
+        let mut state = false;
+        let n = 50_000;
+        let outcomes: Vec<bool> = (0..n).map(|_| ge.sample_drop(&mut state, &mut r)).collect();
+        let transitions = outcomes.windows(2).filter(|w| w[0] != w[1]).count();
+        // i.i.d. at p=0.3 flips outcome with probability 2·p·(1−p)=0.42
+        // per step (~21k transitions over 50k steps); the bursty chain
+        // changes outcome a couple orders of magnitude less often.
+        assert!(
+            transitions < n / 5,
+            "expected clustered losses, saw {transitions} transitions"
+        );
+    }
+
+    #[test]
+    fn degrade_installs_and_clears() {
+        let mut t = LinkTable::default();
+        let dst = Addr(4);
+        assert_eq!(t.latency_factor(dst), 1.0);
+        t.set_degrade(
+            dst,
+            DegradeParams::bursty_loss(1.0, 10.0).with_latency_factor(3.0),
+        );
+        assert_eq!(t.latency_factor(dst), 3.0);
+        let mut r = rng();
+        // Mean loss 1.0 puts the chain permanently in Bad with loss 1.0.
+        for _ in 0..50 {
+            assert!(t.degrade_drop(dst, &mut r));
+        }
+        t.clear_degrade(dst);
+        assert_eq!(t.degrade_params(dst), None);
+        assert!(!t.degrade_drop(dst, &mut r));
+        assert_eq!(t.latency_factor(dst), 1.0);
+    }
+
+    #[test]
+    fn degrade_on_other_destination_draws_no_rng() {
+        // A degrade on one address must not perturb the RNG stream of
+        // traffic toward others (fault-free digest stability).
+        let mut t = LinkTable::default();
+        t.set_degrade(Addr(4), DegradeParams::bursty_loss(0.9, 5.0));
+        let mut r1 = rng();
+        let mut r2 = rng();
+        assert!(!t.degrade_drop(Addr(5), &mut r1));
+        use rand::RngCore;
+        assert_eq!(r1.next_u64(), r2.next_u64(), "RNG advanced for clean dst");
     }
 }

@@ -33,6 +33,17 @@ pub trait Node {
         let _ = ctx;
     }
 
+    /// Called when the node comes back from a crash
+    /// ([`crate::Simulator::schedule_node_up`]), *before* `on_start`
+    /// re-arms its timers. `cold_cache` says whether the restart loses
+    /// volatile state: implementations must drop in-flight work either
+    /// way (the pre-crash timers driving it are suppressed) and
+    /// additionally wipe caches when `cold_cache` is set. The default
+    /// does nothing, which is only correct for stateless nodes.
+    fn on_restart(&mut self, cold_cache: bool) {
+        let _ = cold_cache;
+    }
+
     /// A datagram arrived. `wire_len` is the encoded payload size.
     fn on_datagram(&mut self, ctx: &mut Context<'_>, src: Addr, msg: &Message, wire_len: usize);
 

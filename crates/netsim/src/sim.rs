@@ -51,6 +51,20 @@ struct NetStats {
     queue_drops: u64,
     /// High-water mark of the event-queue depth.
     queue_depth_high_water: u64,
+    /// Node crashes applied ([`Event::NodeDown`] on a live node).
+    node_crashes: u64,
+    /// Node restarts applied ([`Event::NodeUp`] on a downed node).
+    node_restarts: u64,
+    /// Datagrams dropped because the destination node was down. Also
+    /// counted in `datagrams_dropped` (they share the `Dropped`
+    /// disposition); this breaks out the cause.
+    datagrams_dropped_node_down: u64,
+    /// Timers armed before a crash and suppressed at pop because the
+    /// node's liveness epoch had moved on.
+    timers_suppressed_crash: u64,
+    /// Datagrams dropped by an installed Gilbert–Elliott link degrade.
+    /// Also counted in `datagrams_dropped`; this breaks out the cause.
+    datagrams_dropped_degrade: u64,
 }
 
 /// Per-destination-node traffic counters. `offered` counts every
@@ -92,6 +106,12 @@ pub struct World {
     encoder: EncodeBuffer,
     net: NetStats,
     node_net: Vec<NodeNetStats>,
+    /// Liveness per node, dense-indexed like `addr_of`. All nodes start
+    /// up; only [`Event::NodeDown`]/[`Event::NodeUp`] flip this.
+    node_up: Vec<bool>,
+    /// Liveness epoch per node: bumped on every crash so timers armed in
+    /// a previous life are recognized as stale when they pop.
+    node_epoch: Vec<u32>,
 }
 
 impl World {
@@ -204,12 +224,24 @@ impl World {
     }
 
     /// Queues a datagram: samples the path delay now, evaluates loss at
-    /// arrival (see [`Simulator::step`]).
+    /// arrival (see [`Simulator::step`]). An installed link degrade
+    /// stretches the sampled delay by its latency factor — a congested
+    /// path is slow as well as lossy.
     pub(crate) fn send_datagram(&mut self, src: Addr, dst: Addr, payload: Bytes) {
         self.net.datagrams_sent += 1;
-        let delay = self.links.params(src, dst).latency.sample(&mut self.rng);
+        let mut delay = self.links.params(src, dst).latency.sample(&mut self.rng);
+        let factor = self.links.latency_factor(dst);
+        if factor != 1.0 {
+            delay = SimDuration::from_nanos((delay.as_nanos() as f64 * factor) as u64);
+        }
         let at = self.now + delay;
         self.push(at, Event::Deliver(Datagram { src, dst, payload }));
+    }
+
+    /// Whether `node` is currently up. Nodes start up; only scheduled
+    /// [`Event::NodeDown`]/[`Event::NodeUp`] change this.
+    pub fn node_is_up(&self, node: NodeId) -> bool {
+        self.node_up.get(node.0 as usize).copied().unwrap_or(false)
     }
 
     pub(crate) fn set_timer(
@@ -227,7 +259,16 @@ impl World {
         };
         let id = ((self.timer_gens[slot as usize] as u64) << 32) | slot as u64;
         let at = self.now + delay;
-        self.push(at, Event::Timer { node, token, id });
+        let epoch = self.node_epoch[node.0 as usize];
+        self.push(
+            at,
+            Event::Timer {
+                node,
+                token,
+                id,
+                epoch,
+            },
+        );
         TimerId(id)
     }
 
@@ -347,6 +388,8 @@ impl Simulator {
                 encoder: EncodeBuffer::new(),
                 net: NetStats::default(),
                 node_net: Vec::new(),
+                node_up: Vec::new(),
+                node_epoch: Vec::new(),
             },
             telemetry: None,
             wall_nanos: 0,
@@ -436,6 +479,26 @@ impl Simulator {
         reg.record_counter("netsim", None, "bytes_encoded", net.bytes_encoded);
         reg.record_counter("netsim", None, "bytes_decoded", net.bytes_decoded);
         reg.record_counter("netsim", None, "queue_drops", net.queue_drops);
+        reg.record_counter("netsim", None, "node_crashes", net.node_crashes);
+        reg.record_counter("netsim", None, "node_restarts", net.node_restarts);
+        reg.record_counter(
+            "netsim",
+            None,
+            "datagrams_dropped_node_down",
+            net.datagrams_dropped_node_down,
+        );
+        reg.record_counter(
+            "netsim",
+            None,
+            "datagrams_dropped_degrade",
+            net.datagrams_dropped_degrade,
+        );
+        reg.record_counter(
+            "netsim",
+            None,
+            "timers_suppressed_crash",
+            net.timers_suppressed_crash,
+        );
         reg.record_high_water(
             "netsim",
             None,
@@ -482,6 +545,8 @@ impl Simulator {
         self.started.push(false);
         self.world.addr_of.push(addr);
         self.world.node_net.push(NodeNetStats::default());
+        self.world.node_up.push(true);
+        self.world.node_epoch.push(0);
         (id, addr)
     }
 
@@ -534,6 +599,40 @@ impl Simulator {
     /// scenarios use to start and stop loss filters.
     pub fn schedule_control(&mut self, at: SimTime, f: impl FnOnce(&mut World) + Send + 'static) {
         self.world.push(at, Event::Control(Box::new(f)));
+    }
+
+    /// Schedules a crash of `node` at time `at`: from then on its ingress
+    /// traffic is dropped and timers it armed before the crash are
+    /// suppressed. Crashing an already-down node is a no-op.
+    pub fn schedule_node_down(&mut self, at: SimTime, node: NodeId) {
+        assert!(
+            (node.0 as usize) < self.nodes.len(),
+            "cannot crash unknown node {node}"
+        );
+        self.world.push(at, Event::NodeDown { node });
+    }
+
+    /// Schedules a restart of `node` at time `at`. The node's
+    /// [`Node::on_restart`] hook runs with `cold_cache` (wipe volatile
+    /// state or keep it), then `on_start` re-arms its timers. Restarting
+    /// a node that is not down is a no-op.
+    pub fn schedule_node_up(&mut self, at: SimTime, node: NodeId, cold_cache: bool) {
+        assert!(
+            (node.0 as usize) < self.nodes.len(),
+            "cannot restart unknown node {node}"
+        );
+        self.world.push(
+            at,
+            Event::NodeUp {
+                node,
+                cold: cold_cache,
+            },
+        );
+    }
+
+    /// Whether `node` is currently up (see [`World::node_is_up`]).
+    pub fn node_is_up(&self, node: NodeId) -> bool {
+        self.world.node_is_up(node)
     }
 
     /// Borrows a node back out (e.g. to read its final state after the
@@ -596,7 +695,12 @@ impl Simulator {
                 let wire_len = dgram.wire_len();
                 self.deliver_to_node(dgram.src, &msg, wire_len, node, local);
             }
-            Event::Timer { node, token, id } => {
+            Event::Timer {
+                node,
+                token,
+                id,
+                epoch,
+            } => {
                 let (slot, gen) = ((id & 0xffff_ffff) as usize, (id >> 32) as u32);
                 let live = self.world.timer_gens[slot] == gen;
                 // The slot's pending event has left the queue either way:
@@ -607,8 +711,34 @@ impl Simulator {
                     self.world.net.timers_cancelled += 1;
                     return true;
                 }
+                // A timer armed before a crash must not fire into the
+                // node's next life (or while it is down).
+                let nidx = node.0 as usize;
+                if self.world.node_epoch[nidx] != epoch || !self.world.node_up[nidx] {
+                    self.world.net.timers_suppressed_crash += 1;
+                    return true;
+                }
                 self.world.net.timers_fired += 1;
                 self.dispatch_timer(node, token);
+            }
+            Event::NodeDown { node } => {
+                let nidx = node.0 as usize;
+                if self.world.node_up[nidx] {
+                    self.world.node_up[nidx] = false;
+                    // Bump the epoch at crash time: everything armed in
+                    // this life is now stale, whether or not the node
+                    // ever comes back.
+                    self.world.node_epoch[nidx] = self.world.node_epoch[nidx].wrapping_add(1);
+                    self.world.net.node_crashes += 1;
+                }
+            }
+            Event::NodeUp { node, cold } => {
+                let nidx = node.0 as usize;
+                if !self.world.node_up[nidx] {
+                    self.world.node_up[nidx] = true;
+                    self.world.net.node_restarts += 1;
+                    self.restart_node(node, cold);
+                }
             }
             Event::Control(f) => {
                 self.world.net.control_events += 1;
@@ -629,17 +759,38 @@ impl Simulator {
             None => (self.world.node_at(dgram.dst), None),
         };
 
-        // Ingress loss (ambient + attack) is evaluated at arrival, which
-        // matches filtering in front of the target and lets filters that
-        // start mid-flight affect packets already "in the air".
-        let params = self.world.links.params(dgram.src, dgram.dst);
-        let ambient_drop = params.loss > 0.0
-            && rand::RngExt::random_bool(&mut self.world.rng, params.loss.clamp(0.0, 1.0));
-        let mut attack = self.world.links.ingress_loss(dgram.dst);
-        if let Some(site) = site_filter_addr {
-            attack = attack.max(self.world.links.ingress_loss(site));
-        }
-        let attack_drop = attack > 0.0 && rand::RngExt::random_bool(&mut self.world.rng, attack);
+        // A crashed destination drops everything at its ingress. Checked
+        // before the loss filters and without drawing randomness, so a
+        // fault plan that never fires leaves the RNG stream — and hence
+        // the fixed-seed digest — untouched.
+        let node_down = dest.is_some_and(|id| !self.world.node_up[id.0 as usize]);
+
+        // Ingress loss (ambient + attack + bursty degrade) is evaluated at
+        // arrival, which matches filtering in front of the target and lets
+        // filters that start mid-flight affect packets already "in the
+        // air".
+        let (ambient_drop, attack_drop, degrade_drop) = if node_down {
+            (false, false, false)
+        } else {
+            let params = self.world.links.params(dgram.src, dgram.dst);
+            let ambient = params.loss > 0.0
+                && rand::RngExt::random_bool(&mut self.world.rng, params.loss.clamp(0.0, 1.0));
+            let mut attack = self.world.links.ingress_loss(dgram.dst);
+            if let Some(site) = site_filter_addr {
+                attack = attack.max(self.world.links.ingress_loss(site));
+            }
+            let attack = attack > 0.0 && rand::RngExt::random_bool(&mut self.world.rng, attack);
+            // Gilbert–Elliott degrade: its state chain advances per
+            // arrival at the degraded address (RNG is drawn only while a
+            // degrade is installed there). Like the attack filter, an
+            // anycast delivery consults both the VIP and the member site.
+            let World { links, rng, .. } = &mut self.world;
+            let mut degrade = links.degrade_drop(dgram.dst, rng);
+            if let Some(site) = site_filter_addr {
+                degrade |= links.degrade_drop(site, rng);
+            }
+            (ambient, attack, degrade)
+        };
 
         // Decode once, at ingress; sinks, the queueing stage, and the
         // destination node all reuse this one Message (decode-once
@@ -659,7 +810,7 @@ impl Simulator {
             Disposition::Malformed
         } else if dest.is_none() {
             Disposition::NoRoute
-        } else if ambient_drop || attack_drop {
+        } else if node_down || ambient_drop || attack_drop || degrade_drop {
             Disposition::Dropped
         } else {
             Disposition::Delivered
@@ -678,6 +829,11 @@ impl Simulator {
             Disposition::NoRoute => self.world.net.datagrams_no_route += 1,
             Disposition::Dropped => {
                 self.world.net.datagrams_dropped += 1;
+                if node_down {
+                    self.world.net.datagrams_dropped_node_down += 1;
+                } else if degrade_drop {
+                    self.world.net.datagrams_dropped_degrade += 1;
+                }
                 if let Some(id) = dest {
                     self.world.node_net[id.0 as usize].dropped += 1;
                 }
@@ -764,6 +920,25 @@ impl Simulator {
         self.nodes[idx] = Some(node);
     }
 
+    /// Runs the restart sequence on a node that just came back up:
+    /// `on_restart(cold)` first (drop in-flight work, optionally wipe
+    /// caches), then `on_start` to re-arm its initial timers in the new
+    /// epoch.
+    fn restart_node(&mut self, id: NodeId, cold: bool) {
+        let idx = id.0 as usize;
+        let Some(mut node) = self.nodes[idx].take() else {
+            return;
+        };
+        node.on_restart(cold);
+        let addr = self.world.addr_of(id);
+        node.on_start(&mut Context {
+            world: &mut self.world,
+            node: id,
+            addr,
+        });
+        self.nodes[idx] = Some(node);
+    }
+
     fn dispatch_timer(&mut self, id: NodeId, token: TimerToken) {
         let idx = id.0 as usize;
         let Some(mut node) = self.nodes[idx].take() else {
@@ -812,6 +987,28 @@ impl Simulator {
         self.cut_due_snapshots(deadline);
         self.cut_snapshot(deadline);
         self.wall_nanos += t0.elapsed().as_nanos() as u64;
+    }
+
+    /// Read-only view of the bookkeeping the auditor cross-checks
+    /// (see [`crate::audit`]).
+    pub(crate) fn audit_internals(&self) -> crate::audit::AuditInternals<'_> {
+        let net = &self.world.net;
+        crate::audit::AuditInternals {
+            sent: net.datagrams_sent,
+            delivered: net.datagrams_delivered,
+            dropped: net.datagrams_dropped,
+            no_route: net.datagrams_no_route,
+            undecodable: net.datagrams_undecodable,
+            decoded: net.datagrams_decoded,
+            node_crashes: net.node_crashes,
+            node_restarts: net.node_restarts,
+            queue: &self.world.queue,
+            allocated_timer_slots: (self.world.timer_gens.len() - self.world.free_timer_slots.len())
+                as u64,
+            nodes_len: self.nodes.len(),
+            node_up_len: self.world.node_up.len(),
+            node_epoch_len: self.world.node_epoch.len(),
+        }
     }
 
     /// Wall-clock throughput summary of the run so far: the deterministic

@@ -3,23 +3,31 @@
 //! warehouse (ref.\[55\]), which stored the `.nl` authoritative traffic the §4
 //! analysis mined.
 //!
-//! One line per datagram event, self-describing, stream-appendable:
+//! One line per datagram event, self-describing, stream-appendable. The
+//! message travels as its own wire encoding (hex), so a stored trace is
+//! exactly what was on the simulated wire and the JSON layer stays a flat
+//! scalar record:
 //!
 //! ```json
-//! {"at_ns":1000000,"src":"10.0.0.7","dst":"10.0.0.1","disposition":"delivered","msg":{...}}
+//! {"at_ns":1000000,"src":167772167,"dst":167772161,"disposition":"delivered","wire_len":40,"msg_hex":"abcd0100..."}
 //! ```
+//!
+//! Rows are written and parsed by hand (no serde involvement): the format
+//! is a fixed six-field record, and hand-rolling it keeps record/replay
+//! working in stripped-down offline builds where the JSON dependency is
+//! stubbed out — the same trade the telemetry exporter makes.
 
 use std::io::{BufRead, Write};
 
+use dike_wire::codec;
 use dike_wire::Message;
-use serde::{Deserialize, Serialize};
 
 use crate::addr::Addr;
 use crate::time::SimTime;
 use crate::trace::{Disposition, TraceSink};
 
-/// A serializable trace row.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+/// A trace row: one observed datagram, with its payload decoded.
+#[derive(Debug, Clone)]
 pub struct TraceRow {
     /// Arrival time, nanoseconds since run start.
     pub at_ns: u64,
@@ -45,6 +53,88 @@ impl TraceRow {
             _ => Disposition::NoRoute,
         }
     }
+
+    /// Renders the row as one JSON line (no trailing newline). Returns
+    /// `None` if the message fails to encode.
+    pub fn to_json_line(&self) -> Option<String> {
+        let wire = codec::encode(&self.msg).ok()?;
+        let mut hex = String::with_capacity(wire.len() * 2);
+        for b in &wire {
+            use std::fmt::Write as _;
+            let _ = write!(hex, "{b:02x}");
+        }
+        Some(format!(
+            "{{\"at_ns\":{},\"src\":{},\"dst\":{},\"disposition\":\"{}\",\"wire_len\":{},\"msg_hex\":\"{}\"}}",
+            self.at_ns, self.src, self.dst, self.disposition, self.wire_len, hex
+        ))
+    }
+
+    /// Parses one JSON line produced by [`TraceRow::to_json_line`].
+    /// Field order is not significant; unknown fields are ignored.
+    /// Returns `None` for anything that is not a well-formed row (bad
+    /// JSON, missing fields, undecodable `msg_hex`).
+    pub fn from_json_line(line: &str) -> Option<TraceRow> {
+        let body = line.trim().strip_prefix('{')?.strip_suffix('}')?;
+        let mut at_ns = None;
+        let mut src = None;
+        let mut dst = None;
+        let mut disposition = None;
+        let mut wire_len = None;
+        let mut msg = None;
+        for (key, value) in json_fields(body) {
+            match key {
+                "at_ns" => at_ns = value.parse::<u64>().ok(),
+                "src" => src = value.parse::<u32>().ok(),
+                "dst" => dst = value.parse::<u32>().ok(),
+                "wire_len" => wire_len = value.parse::<usize>().ok(),
+                "disposition" => disposition = unquote(value).map(str::to_string),
+                "msg_hex" => {
+                    let wire = hex_bytes(unquote(value)?)?;
+                    msg = codec::decode(&wire).ok();
+                }
+                _ => {}
+            }
+        }
+        Some(TraceRow {
+            at_ns: at_ns?,
+            src: src?,
+            dst: dst?,
+            disposition: disposition?,
+            wire_len: wire_len?,
+            msg: msg?,
+        })
+    }
+}
+
+/// Splits `{...}` body text into `(key, raw_value)` pairs. Values in a
+/// trace row are integers or simple quoted strings (dispositions, hex) —
+/// neither contains commas, quotes-in-quotes, or nesting, so a flat comma
+/// split is exact for the format this module writes.
+fn json_fields(body: &str) -> impl Iterator<Item = (&str, &str)> {
+    body.split(',').filter_map(|field| {
+        let (key, value) = field.split_once(':')?;
+        Some((unquote(key.trim())?, value.trim()))
+    })
+}
+
+/// Strips the surrounding double quotes from a JSON string literal.
+fn unquote(s: &str) -> Option<&str> {
+    s.strip_prefix('"')?.strip_suffix('"')
+}
+
+/// Decodes a lowercase/uppercase hex string.
+fn hex_bytes(s: &str) -> Option<Vec<u8>> {
+    if !s.len().is_multiple_of(2) {
+        return None;
+    }
+    s.as_bytes()
+        .chunks_exact(2)
+        .map(|pair| {
+            let hi = (pair[0] as char).to_digit(16)?;
+            let lo = (pair[1] as char).to_digit(16)?;
+            Some(((hi << 4) | lo) as u8)
+        })
+        .collect()
 }
 
 fn disposition_str(d: Disposition) -> &'static str {
@@ -106,9 +196,10 @@ impl<W: Write + Send> TraceSink for JsonlTraceWriter<W> {
             wire_len,
             msg: msg.clone(),
         };
-        let ok = serde_json::to_writer(&mut self.out, &row)
-            .and_then(|()| self.out.write_all(b"\n").map_err(serde_json::Error::io))
-            .is_ok();
+        let ok = row
+            .to_json_line()
+            .and_then(|line| writeln!(self.out, "{line}").ok())
+            .is_some();
         if !ok {
             self.errors += 1;
         }
@@ -128,9 +219,9 @@ pub fn read_jsonl<R: BufRead>(reader: R) -> (Vec<TraceRow>, usize) {
         if line.trim().is_empty() {
             continue;
         }
-        match serde_json::from_str::<TraceRow>(&line) {
-            Ok(row) => rows.push(row),
-            Err(_) => bad += 1,
+        match TraceRow::from_json_line(&line) {
+            Some(row) => rows.push(row),
+            None => bad += 1,
         }
     }
     (rows, bad)
@@ -158,6 +249,17 @@ mod tests {
 
     fn msg(id: u16) -> Message {
         Message::query(id, Name::parse("7.cachetest.nl").unwrap(), RecordType::AAAA)
+    }
+
+    fn row(at_ns: u64, disposition: &str, id: u16) -> TraceRow {
+        TraceRow {
+            at_ns,
+            src: 2,
+            dst: 3,
+            disposition: disposition.into(),
+            wire_len: 10,
+            msg: msg(id),
+        }
     }
 
     #[test]
@@ -191,24 +293,8 @@ mod tests {
     fn malformed_lines_are_skipped() {
         let text = format!(
             "{}\nnot json\n{}\n",
-            serde_json::to_string(&TraceRow {
-                at_ns: 1,
-                src: 2,
-                dst: 3,
-                disposition: "delivered".into(),
-                wire_len: 10,
-                msg: msg(1),
-            })
-            .unwrap(),
-            serde_json::to_string(&TraceRow {
-                at_ns: 2,
-                src: 2,
-                dst: 3,
-                disposition: "no_route".into(),
-                wire_len: 10,
-                msg: msg(2),
-            })
-            .unwrap()
+            row(1, "delivered", 1).to_json_line().unwrap(),
+            row(2, "no_route", 2).to_json_line().unwrap(),
         );
         let (rows, bad) = read_jsonl(std::io::Cursor::new(text));
         assert_eq!(rows.len(), 2);
@@ -234,5 +320,39 @@ mod tests {
         replay(&rows, &mut counter);
         assert_eq!(counter.delivered, 3);
         assert_eq!(counter.octets, 120);
+    }
+
+    #[test]
+    fn parse_rejects_truncated_and_corrupt_rows() {
+        let good = row(1, "delivered", 7).to_json_line().unwrap();
+        assert!(TraceRow::from_json_line(&good).is_some());
+        // Truncated hex, non-hex payload, missing field, no braces.
+        assert!(TraceRow::from_json_line(&good[..good.len() - 4]).is_none());
+        assert!(TraceRow::from_json_line(
+            "{\"at_ns\":1,\"src\":2,\"dst\":3,\"disposition\":\"delivered\",\"wire_len\":10,\"msg_hex\":\"zz\"}"
+        )
+        .is_none());
+        assert!(TraceRow::from_json_line(
+            "{\"at_ns\":1,\"src\":2,\"dst\":3,\"disposition\":\"delivered\",\"wire_len\":10}"
+        )
+        .is_none());
+        assert!(TraceRow::from_json_line("at_ns: 1").is_none());
+    }
+
+    #[test]
+    fn fields_parse_in_any_order() {
+        let reference = row(99, "dropped", 7).to_json_line().unwrap();
+        let body = reference
+            .strip_prefix('{')
+            .unwrap()
+            .strip_suffix('}')
+            .unwrap();
+        let mut fields: Vec<&str> = body.split(',').collect();
+        fields.reverse();
+        let reordered = format!("{{{}}}", fields.join(","));
+        let parsed = TraceRow::from_json_line(&reordered).unwrap();
+        assert_eq!(parsed.at_ns, 99);
+        assert_eq!(parsed.disposition(), Disposition::Dropped);
+        assert_eq!(parsed.msg, msg(7));
     }
 }

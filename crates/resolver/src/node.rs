@@ -936,6 +936,25 @@ impl Node for RecursiveResolver {
         }
     }
 
+    fn on_restart(&mut self, cold_cache: bool) {
+        // A crash loses every in-flight resolution: waiting clients never
+        // hear back (their own retry timers cover it) and the old life's
+        // retry timers are suppressed by the simulator, so the task table
+        // must not survive into the new life.
+        self.tasks.clear();
+        self.task_by_key.clear();
+        self.by_msg_id.clear();
+        self.failed_until.clear();
+        // Learned server quality (SRTT) is process state too.
+        self.selector = ServerSelector::new();
+        if cold_cache {
+            self.cache.flush_all();
+            self.stats.flushes += 1;
+        }
+        // A warm restart models fast process supervision with a
+        // disk-backed or shared cache (the paper's cache-survival axis).
+    }
+
     fn on_datagram(&mut self, ctx: &mut Context<'_>, src: Addr, msg: &Message, _wire_len: usize) {
         if msg.is_response {
             self.handle_upstream_response(ctx, src, msg);

@@ -10,8 +10,10 @@ pub use dike_auth as auth;
 pub use dike_cache as cache;
 pub use dike_core as core;
 pub use dike_experiments as experiments;
+pub use dike_faults as faults;
 pub use dike_netsim as netsim;
 pub use dike_resolver as resolver;
 pub use dike_stats as stats;
 pub use dike_stub as stub;
+pub use dike_telemetry as telemetry;
 pub use dike_wire as wire;

@@ -1,0 +1,329 @@
+//! Chaos harness: randomly generated [`FaultPlan`]s thrown at live
+//! simulations. Three properties must hold for *every* plan:
+//!
+//! 1. no panic — arbitrary crash/degrade/flood/drop combinations never
+//!    wedge the event loop or trip an internal assertion;
+//! 2. determinism — the same seed and plan twice gives bit-identical
+//!    runs (fault scheduling draws no randomness of its own);
+//! 3. audit-clean — the invariant auditor (datagram conservation, timer
+//!    hygiene, crash/restart pairing) passes at the end of every run.
+//!
+//! The plain `#[test]` loops below are seeded and deterministic, so they
+//! run everywhere. The `proptest!` harness at the bottom adds shrinking
+//! case generation in environments with the real `proptest` crate
+//! (`PROPTEST_CASES` scales both).
+
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+use rand::rngs::SmallRng;
+use rand::{RngExt, SeedableRng};
+
+use dike::experiments::setup::{run_experiment, ExperimentSetup};
+use dike::experiments::topology;
+use dike::faults::{Fault, FaultPlan, FloodShape};
+use dike::netsim::{
+    Addr, Context, LatencyModel, LinkParams, LinkTable, Node, NodeId, QueueConfig, SimDuration,
+    Simulator, TimerToken,
+};
+use dike::wire::{Message, Name, RecordType};
+
+/// Cases per property; `PROPTEST_CASES` (the proptest convention) scales
+/// the plain loops too so CI can crank it up in release builds.
+fn cases() -> u64 {
+    std::env::var("PROPTEST_CASES")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(16)
+}
+
+// ---------------------------------------------------------------------
+// A small deterministic world: echo servers + chatty clients
+// ---------------------------------------------------------------------
+
+struct Echo;
+
+impl Node for Echo {
+    fn on_datagram(&mut self, ctx: &mut Context<'_>, src: Addr, msg: &Message, _len: usize) {
+        if !msg.is_response {
+            ctx.send(src, &Message::response_to(msg));
+        }
+    }
+    fn on_timer(&mut self, _ctx: &mut Context<'_>, _token: TimerToken) {}
+}
+
+struct Chatter {
+    target: Addr,
+    replies: Arc<Mutex<u64>>,
+    remaining: u32,
+}
+
+impl Node for Chatter {
+    fn on_start(&mut self, ctx: &mut Context<'_>) {
+        ctx.set_timer(SimDuration::from_secs(1), TimerToken(0));
+    }
+    fn on_datagram(&mut self, _ctx: &mut Context<'_>, _src: Addr, msg: &Message, _len: usize) {
+        if msg.is_response {
+            *self.replies.lock() += 1;
+        }
+    }
+    fn on_timer(&mut self, ctx: &mut Context<'_>, _token: TimerToken) {
+        let q = Message::query(1, Name::parse("chaos.nl").unwrap(), RecordType::A);
+        ctx.send(self.target, &q);
+        if self.remaining > 0 {
+            self.remaining -= 1;
+            ctx.set_timer(SimDuration::from_secs(1), TimerToken(0));
+        }
+    }
+}
+
+struct ChaosWorld {
+    sim: Simulator,
+    echo_ids: Vec<NodeId>,
+    echo_addrs: Vec<Addr>,
+    replies: Vec<Arc<Mutex<u64>>>,
+}
+
+fn chaos_world(seed: u64, n_echo: usize, n_chat: usize) -> ChaosWorld {
+    let mut sim = Simulator::new(seed);
+    *sim.links_mut() = LinkTable::new(LinkParams {
+        latency: LatencyModel::Fixed(SimDuration::from_millis(10)),
+        loss: 0.0,
+    });
+    let mut echo_ids = Vec::new();
+    let mut echo_addrs = Vec::new();
+    for _ in 0..n_echo {
+        let (id, addr) = sim.add_node(Box::new(Echo));
+        echo_ids.push(id);
+        echo_addrs.push(addr);
+    }
+    let mut replies = Vec::new();
+    for i in 0..n_chat {
+        let counter = Arc::new(Mutex::new(0));
+        sim.add_node(Box::new(Chatter {
+            target: echo_addrs[i % n_echo],
+            replies: counter.clone(),
+            remaining: 119,
+        }));
+        replies.push(counter);
+    }
+    ChaosWorld {
+        sim,
+        echo_ids,
+        echo_addrs,
+        replies,
+    }
+}
+
+// ---------------------------------------------------------------------
+// Random-but-valid plan generation
+// ---------------------------------------------------------------------
+
+fn secs(s: u64) -> SimDuration {
+    SimDuration::from_secs(s)
+}
+
+/// A random valid fault against the given nodes/addresses. Parameters
+/// cover the full legal envelope, including the edges (total loss,
+/// full-capacity floods, 1-packet bursts, restarts landing after the
+/// horizon).
+fn random_fault(rng: &mut SmallRng, nodes: &[NodeId], addrs: &[Addr]) -> Fault {
+    let target = addrs[rng.random_range(0..addrs.len())];
+    let start = secs(rng.random_range(0..90)).after_zero();
+    let duration = secs(rng.random_range(1..=60));
+    match rng.random_range(0..4u32) {
+        0 => {
+            let node = nodes[rng.random_range(0..nodes.len())];
+            let at = secs(rng.random_range(1..=90)).after_zero();
+            if rng.random_bool(0.7) {
+                Fault::crash_restart(
+                    node,
+                    at,
+                    secs(rng.random_range(1..=120)),
+                    rng.random_bool(0.5),
+                )
+            } else {
+                Fault::node_down(node, at)
+            }
+        }
+        1 => Fault::link_degrade(
+            target,
+            start,
+            duration,
+            rng.random_range(0.0..=1.0),
+            rng.random_range(1.0..50.0),
+        )
+        .with_latency_factor(rng.random_range(1.0..8.0)),
+        2 => {
+            let shape = match rng.random_range(0..3u32) {
+                0 => FloodShape::Square,
+                1 => FloodShape::Pulse {
+                    period: secs(rng.random_range(1..=10)),
+                    duty: rng.random_range(0.1..=1.0),
+                },
+                _ => FloodShape::Ramp {
+                    steps: rng.random_range(1..=6),
+                },
+            };
+            Fault::flood(
+                target,
+                start,
+                duration,
+                rng.random_range(0.05..=1.0),
+                QueueConfig {
+                    rate_pps: rng.random_range(200.0..5_000.0),
+                    capacity: rng.random_range(16..=2_048),
+                },
+            )
+            .with_shape(shape)
+        }
+        _ => {
+            let n = rng.random_range(1..=addrs.len());
+            Fault::random_drop(dike::attack::Attack::partial(
+                addrs[..n].to_vec(),
+                rng.random_range(0.0..=1.0),
+                start,
+                duration,
+            ))
+        }
+    }
+}
+
+fn random_plan(rng: &mut SmallRng, nodes: &[NodeId], addrs: &[Addr]) -> FaultPlan {
+    let mut plan = FaultPlan::new();
+    for _ in 0..rng.random_range(0..=4u32) {
+        plan.push(random_fault(rng, nodes, addrs));
+    }
+    plan
+}
+
+// ---------------------------------------------------------------------
+// The property: schedule, run, audit, digest
+// ---------------------------------------------------------------------
+
+fn fnv(h: &mut u64, v: u64) {
+    for b in v.to_le_bytes() {
+        *h ^= b as u64;
+        *h = h.wrapping_mul(0x100_0000_01b3);
+    }
+}
+
+/// One chaos iteration: build a world, throw a random plan at it, run to
+/// the horizon, audit, and digest everything observable.
+fn chaos_iteration(case_seed: u64) -> u64 {
+    let mut rng = SmallRng::seed_from_u64(case_seed ^ 0x9e37_79b9_7f4a_7c15);
+    let mut world = chaos_world(case_seed, 3, 4);
+    let plan = random_plan(&mut rng, &world.echo_ids, &world.echo_addrs);
+    plan.validate().expect("generated plans are valid");
+    // Serialization is total for valid plans: every generated plan must
+    // survive the portable JSON round trip unchanged.
+    assert_eq!(FaultPlan::from_json(&plan.to_json()).unwrap(), plan);
+    plan.schedule(&mut world.sim).expect("plan schedules");
+    world
+        .sim
+        .run_until(SimDuration::from_secs(200).after_zero());
+    let report = world.sim.audit();
+    report.assert_clean();
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for f in [
+        report.sent,
+        report.delivered,
+        report.dropped,
+        report.no_route,
+        report.undecodable,
+        report.node_crashes,
+        report.node_restarts,
+    ] {
+        fnv(&mut h, f);
+    }
+    for r in &world.replies {
+        fnv(&mut h, *r.lock());
+    }
+    h
+}
+
+#[test]
+fn chaos_random_fault_plans_never_panic_and_stay_audit_clean() {
+    for case in 0..cases() {
+        chaos_iteration(case);
+    }
+}
+
+#[test]
+fn chaos_runs_are_deterministic() {
+    for case in 0..cases().min(8) {
+        let a = chaos_iteration(case);
+        let b = chaos_iteration(case);
+        assert_eq!(a, b, "case {case}: same seed+plan, different run");
+    }
+}
+
+#[test]
+fn chaos_invalid_plans_schedule_nothing() {
+    let mut world = chaos_world(3, 2, 2);
+    let plan = FaultPlan::new()
+        .with(Fault::node_down(world.echo_ids[0], secs(5).after_zero()))
+        .with(Fault::link_degrade(
+            world.echo_addrs[0],
+            secs(1).after_zero(),
+            secs(10),
+            1.5, // invalid loss
+            10.0,
+        ));
+    assert!(plan.schedule(&mut world.sim).is_err());
+    // Nothing was installed: the run behaves exactly like a fault-free one.
+    world
+        .sim
+        .run_until(SimDuration::from_secs(200).after_zero());
+    let report = world.sim.audit();
+    report.assert_clean();
+    assert_eq!(report.node_crashes, 0, "all-or-nothing scheduling");
+    assert_eq!(report.dropped, 0);
+}
+
+/// The full paper topology under random fault plans: resolvers, probe
+/// fleets and authoritatives instead of echo toys. Heavier, so fewer
+/// cases; the auditor runs inside `run_experiment` via `setup.audit`.
+#[test]
+fn chaos_full_experiments_are_clean_and_deterministic() {
+    for case in 0..cases().min(3) {
+        let run = || {
+            let mut rng = SmallRng::seed_from_u64(case ^ 0x517c_c1b7_2722_0a95);
+            let ns_nodes = topology::ns_node_ids();
+            let ns_addrs = topology::ns_addrs();
+            let plan = random_plan(&mut rng, &ns_nodes, &ns_addrs);
+            let mut setup = ExperimentSetup::new(12, 300);
+            setup.seed = case;
+            setup.rounds = 4;
+            setup.round_interval = SimDuration::from_mins(10);
+            setup.total_duration = SimDuration::from_mins(45);
+            setup.faults = Some(plan);
+            setup.audit = true;
+            let out = run_experiment(&setup);
+            let mut h = 0xcbf2_9ce4_8422_2325u64;
+            fnv(&mut h, out.log.records.len() as u64);
+            fnv(&mut h, out.log.ok_count() as u64);
+            fnv(&mut h, out.server.total_queries);
+            for r in &out.log.records {
+                fnv(&mut h, r.sent_at.as_nanos());
+                fnv(&mut h, r.rtt.map(|d| d.as_nanos()).unwrap_or(u64::MAX));
+            }
+            h
+        };
+        assert_eq!(run(), run(), "case {case}: experiment not deterministic");
+    }
+}
+
+// ---------------------------------------------------------------------
+// proptest harness (active where the real proptest crate is available;
+// the offline stub compiles this to nothing)
+// ---------------------------------------------------------------------
+
+proptest::proptest! {
+    #[test]
+    fn chaos_proptest_random_plans(case_seed in 0u64..u64::MAX) {
+        let a = chaos_iteration(case_seed);
+        let b = chaos_iteration(case_seed);
+        proptest::prop_assert_eq!(a, b);
+    }
+}
