@@ -1,0 +1,48 @@
+//! Thread-scaling of the streaming sweep engine: the same 8-arm,
+//! 2-replicate grid on one worker vs every core. The engine's contract
+//! is that output is byte-identical either way, so this benchmark is the
+//! pure speedup number — how much wall clock the worker pool buys on a
+//! population-scale grid.
+
+use std::collections::BTreeSet;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use dike_core::{Attack, Scenario, SweepAxis, SweepEngine};
+
+fn base() -> Scenario {
+    Scenario::new()
+        .probes(8)
+        .with_attack(Attack::complete().window_min(20, 20))
+        .duration_min(60)
+        .round_interval_min(10)
+        .seed(42)
+}
+
+fn bench_sweep_scaling(c: &mut Criterion) {
+    let mut g = c.benchmark_group("sweep_scaling");
+    g.sample_size(10);
+    let max = std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(8);
+    for threads in BTreeSet::from([1, max]) {
+        g.bench_with_input(
+            BenchmarkId::new("threads", threads),
+            &threads,
+            |b, &threads| {
+                b.iter(|| {
+                    SweepEngine::new(base())
+                        .axis(SweepAxis::AttackLoss(vec![0.0, 0.5, 0.9, 1.0]))
+                        .axis(SweepAxis::CacheTtlSecs(vec![60, 1800]))
+                        .replicates(2)
+                        .threads(threads)
+                        .run()
+                })
+            },
+        );
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_sweep_scaling);
+criterion_main!(benches);

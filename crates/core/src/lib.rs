@@ -26,7 +26,7 @@
 //! assert!(report.traffic_multiplier().unwrap() > 1.0);
 //! ```
 
-mod sweep;
+pub mod sweep;
 
 use dike_experiments::setup::{run_experiment, AttackPlan, ExperimentSetup};
 use dike_netsim::SimDuration;
@@ -49,7 +49,12 @@ pub use dike_stub as stub;
 pub use dike_telemetry as telemetry;
 pub use dike_telemetry::{MetricsRegistry, TelemetryConfig};
 pub use dike_wire as wire;
-pub use sweep::{LossSweep, SweepPoint};
+#[allow(deprecated)]
+pub use sweep::LossSweep;
+pub use sweep::{
+    ArmSummary, Band, ReplicateSummary, SeedStrategy, SweepAxis, SweepEngine, SweepJob, SweepPoint,
+    SweepResult,
+};
 
 /// A typed attack description for [`Scenario::with_attack`]: loss rate,
 /// scope, and window, in the vocabulary of the paper's Table 4.
@@ -320,24 +325,30 @@ impl Report {
         self.output.log.ok_count() as f64 / total as f64
     }
 
-    /// Mean per-round OK fraction inside the attack window (the whole run
-    /// when there was no attack). `None` when no round with traffic
-    /// overlaps the window — an attack scheduled past the end of the run,
-    /// or a run that produced no queries at all.
+    /// Per-query OK fraction inside the attack window (the whole run
+    /// when there was no attack): total OK answers over total queries
+    /// across the window's rounds, matching the paper's per-query
+    /// Tables. (An earlier version averaged per-round fractions
+    /// unweighted, which over-counted sparse partial rounds.) `None`
+    /// when no round with traffic overlaps the window — an attack
+    /// scheduled past the end of the run, or a run that produced no
+    /// queries at all.
     pub fn ok_fraction_during_attack(&self) -> Option<f64> {
         let (start, end) = match self.attack {
             Some(a) => (a.start_min, a.start_min.saturating_add(a.duration_min)),
             None => (0, u64::MAX),
         };
-        let bins: Vec<_> = self
+        let (ok, total) = self
             .outcomes
             .iter()
-            .filter(|b| b.start_min >= start && b.start_min < end && b.total() > 0)
-            .collect();
-        if bins.is_empty() {
+            .filter(|b| b.start_min >= start && b.start_min < end)
+            .fold((0usize, 0usize), |(ok, total), b| {
+                (ok + b.ok, total + b.total())
+            });
+        if total == 0 {
             return None;
         }
-        Some(bins.iter().map(|b| b.ok_fraction()).sum::<f64>() / bins.len() as f64)
+        Some(ok as f64 / total as f64)
     }
 
     /// The §3.4 cache-miss rate.
@@ -555,6 +566,60 @@ mod tests {
         assert_eq!(report.traffic_multiplier(), None);
         // The OK fraction during the attack is still well-defined.
         assert!(report.ok_fraction_during_attack().is_some());
+    }
+
+    #[test]
+    fn ok_fraction_during_attack_weights_per_query() {
+        use dike_stats::timeseries::OutcomeBin;
+        // A dense round (100 queries, half OK) and a sparse partial round
+        // (2 queries, both OK) inside the same attack window. The old
+        // unweighted mean of per-round fractions said 75%; per-query
+        // weighting says 52/102.
+        let log = dike_stub::ProbeLog::default();
+        let classification = Classifier::default().classify(&log);
+        let report = Report {
+            output: dike_experiments::ExperimentOutput {
+                log,
+                server: dike_stats::server_view::ServerView::new(
+                    [netsim::Addr(1), netsim::Addr(2)],
+                    SimDuration::from_mins(10),
+                ),
+                vps: Vec::new(),
+                google_backends: Vec::new(),
+                public_r1s: Default::default(),
+                n_probes: 0,
+                n_vps: 0,
+                metrics: None,
+                perf: Default::default(),
+            },
+            outcomes: vec![
+                OutcomeBin {
+                    start_min: 60,
+                    ok: 50,
+                    servfail: 25,
+                    no_answer: 25,
+                },
+                OutcomeBin {
+                    start_min: 70,
+                    ok: 2,
+                    servfail: 0,
+                    no_answer: 0,
+                },
+            ],
+            latencies: Vec::new(),
+            classification,
+            attack: Some(AttackPlan {
+                start_min: 60,
+                duration_min: 60,
+                loss: 1.0,
+                scope: AttackScope::BothNs,
+            }),
+        };
+        let got = report
+            .ok_fraction_during_attack()
+            .expect("window has traffic");
+        assert!((got - 52.0 / 102.0).abs() < 1e-12, "weighted: {got}");
+        assert!((got - 0.75).abs() > 0.2, "must not be the unweighted mean");
     }
 
     #[test]

@@ -1,14 +1,765 @@
-//! Parameter sweeps: run many independent scenarios in parallel.
+//! Parameter sweeps: run many independent scenarios in parallel and fold
+//! each one into a compact summary as it finishes.
 //!
 //! Every scenario run is a pure function of its configuration and seed,
 //! so sweeps parallelize perfectly — each arm gets its own simulator on
 //! its own OS thread (crossbeam scoped threads; the simulator itself
 //! stays single-threaded and deterministic).
+//!
+//! [`SweepEngine`] is the population-scale engine: arbitrary axes
+//! ([`SweepAxis`]) span a grid of arms, each arm runs `K` seed
+//! replicates, and every finished [`Report`] is folded *in the worker*
+//! into an [`ArmSummary`]-bound [`ReplicateSummary`] — memory stays
+//! O(arms), never O(arms × full reports). Seeds are derived
+//! deterministically from the base seed, so results (and the CSV/JSON
+//! exports) are byte-identical regardless of worker count.
+//!
+//! ```
+//! use dike_core::{Attack, Scenario, SweepAxis, SweepEngine};
+//!
+//! let base = Scenario::new()
+//!     .probes(30)
+//!     .with_attack(Attack::complete().window_min(40, 40))
+//!     .duration_min(100)
+//!     .seed(7);
+//! let result = SweepEngine::new(base)
+//!     .axis(SweepAxis::AttackLoss(vec![0.5, 1.0]))
+//!     .axis(SweepAxis::CacheTtlSecs(vec![60, 1800]))
+//!     .replicates(2)
+//!     .run();
+//! assert_eq!(result.arms.len(), 4);
+//! let csv = result.to_csv();
+//! assert!(csv.starts_with("arm,loss,ttl_s,"));
+//! ```
 
 use crate::{Report, Scenario};
+use dike_stats::ecdf::Ecdf;
+use dike_stats::quantile::{quantile, LatencySummary};
+
+/// Points kept per replicate when downsampling the latency ECDF.
+const ECDF_POINTS: usize = 32;
+
+/// One axis of a sweep grid: a named list of values, each mapping an arm
+/// coordinate into a mutation of the base [`Scenario`]. Axes compose as
+/// a cross product — two axes of 4 and 3 values span 12 arms.
+#[derive(Debug, Clone)]
+pub enum SweepAxis {
+    /// Attack ingress loss rates (arms this value onto the base attack,
+    /// clamped to `[0, 1]`) — the paper's §5.4 intensity axis.
+    AttackLoss(Vec<f64>),
+    /// Zone TTLs in seconds — the cache-lifetime axis of Tables 4–6.
+    CacheTtlSecs(Vec<u32>),
+    /// Probe round intervals in minutes.
+    ProbeIntervalMin(Vec<u64>),
+    /// Probe population sizes (client-population scaling).
+    Probes(Vec<usize>),
+    /// Share of resolver-farm backends with serve-stale enabled
+    /// (`0.0` = off everywhere, `1.0` = on everywhere).
+    ServeStaleShare(Vec<f64>),
+}
+
+impl SweepAxis {
+    /// The axis name used in CSV headers and JSON keys.
+    pub fn name(&self) -> &'static str {
+        match self {
+            SweepAxis::AttackLoss(_) => "loss",
+            SweepAxis::CacheTtlSecs(_) => "ttl_s",
+            SweepAxis::ProbeIntervalMin(_) => "interval_min",
+            SweepAxis::Probes(_) => "probes",
+            SweepAxis::ServeStaleShare(_) => "serve_stale_share",
+        }
+    }
+
+    /// Number of values on the axis.
+    pub fn len(&self) -> usize {
+        match self {
+            SweepAxis::AttackLoss(v) => v.len(),
+            SweepAxis::CacheTtlSecs(v) => v.len(),
+            SweepAxis::ProbeIntervalMin(v) => v.len(),
+            SweepAxis::Probes(v) => v.len(),
+            SweepAxis::ServeStaleShare(v) => v.len(),
+        }
+    }
+
+    /// True when the axis carries no values.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The label of value `i`, as it appears in exports.
+    pub fn label(&self, i: usize) -> String {
+        match self {
+            SweepAxis::AttackLoss(v) => fmt_f64(v[i]),
+            SweepAxis::CacheTtlSecs(v) => v[i].to_string(),
+            SweepAxis::ProbeIntervalMin(v) => v[i].to_string(),
+            SweepAxis::Probes(v) => v[i].to_string(),
+            SweepAxis::ServeStaleShare(v) => fmt_f64(v[i]),
+        }
+    }
+
+    /// All value labels, in axis order.
+    pub fn labels(&self) -> Vec<String> {
+        (0..self.len()).map(|i| self.label(i)).collect()
+    }
+
+    /// Applies value `i` to a scenario.
+    fn apply(&self, i: usize, s: &mut Scenario) {
+        match self {
+            SweepAxis::AttackLoss(v) => {
+                s.attack.loss = v[i].clamp(0.0, 1.0);
+                s.attack_armed = true;
+            }
+            SweepAxis::CacheTtlSecs(v) => s.setup.ttl = v[i],
+            SweepAxis::ProbeIntervalMin(v) => s.interval_min = v[i].max(1),
+            SweepAxis::Probes(v) => s.setup.n_probes = v[i].max(1),
+            SweepAxis::ServeStaleShare(v) => {
+                s.setup.mix.farm_serve_stale_share = v[i].clamp(0.0, 1.0);
+            }
+        }
+    }
+}
+
+/// How per-run seeds are assigned across the grid. Both strategies are
+/// pure functions of `(base seed, arm, replicate)`, so sweep output
+/// never depends on worker count or scheduling.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum SeedStrategy {
+    /// Replicate `r` uses the same seed in *every* arm (and replicate 0
+    /// uses the base seed verbatim). Arms are compared under identical
+    /// randomness — the paired, common-random-numbers design the paper's
+    /// intensity sweeps imply, and the mode the legacy [`LossSweep`]
+    /// shim relies on for bit-identical behaviour.
+    #[default]
+    Paired,
+    /// Every `(arm, replicate)` cell gets its own derived seed.
+    PerArm,
+}
+
+/// Splitmix64: the standard 64-bit finalizer used to derive independent
+/// per-run seeds from `(base, arm, replicate)`.
+fn splitmix64(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Derives the seed for one `(arm, replicate)` cell from the base seed.
+/// Pure and order-free: the same inputs give the same seed no matter how
+/// many workers run the sweep or in which order cells complete.
+pub fn derive_seed(base: u64, arm: usize, replicate: u32) -> u64 {
+    splitmix64(
+        splitmix64(base ^ (arm as u64).wrapping_mul(0xA24B_AED4_963E_E407)) ^ replicate as u64,
+    )
+}
+
+/// One unit of sweep work: which arm, which replicate, which seed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SweepJob {
+    /// Arm index in row-major axis order (first axis slowest).
+    pub arm: usize,
+    /// Replicate index within the arm.
+    pub replicate: u32,
+    /// The derived simulator seed this cell runs with.
+    pub seed: u64,
+}
+
+/// The compact, memory-bounded record one replicate folds into. Built by
+/// consuming the full [`Report`] (see [`ReplicateSummary::fold`]) so the
+/// report itself never outlives the worker that produced it.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ReplicateSummary {
+    /// The seed this replicate ran with.
+    pub seed: u64,
+    /// Total client queries.
+    pub queries: usize,
+    /// Queries answered OK.
+    pub ok: usize,
+    /// Per-query OK fraction over the whole run.
+    pub ok_fraction: f64,
+    /// Per-query OK fraction inside the attack window.
+    pub ok_during_attack: Option<f64>,
+    /// Offered-load multiplier at the authoritatives during the attack.
+    pub traffic_multiplier: Option<f64>,
+    /// Latency quantiles of answered queries, whole run.
+    pub latency: Option<LatencySummary>,
+    /// Downsampled ECDF of answered-query RTTs in milliseconds.
+    pub latency_ecdf: Vec<(f64, f64)>,
+    /// Queries offered to the authoritatives (retry/traffic counter).
+    pub server_queries: u64,
+    /// Upstream retries, when the base scenario collected telemetry.
+    pub retries: Option<u64>,
+}
+
+impl ReplicateSummary {
+    /// Folds a finished run into its summary. Takes the [`Report`] *by
+    /// value*: once the fold returns, the full log, server view and
+    /// metric registry are gone — this is the type-level guarantee that
+    /// sweep memory is O(arms), not O(arms × reports).
+    pub fn fold(seed: u64, report: Report) -> Self {
+        let queries = report.output.log.records.len();
+        let ok = report.output.log.ok_count();
+        let ok_fraction = if queries == 0 {
+            0.0
+        } else {
+            ok as f64 / queries as f64
+        };
+        let rtts: Vec<f64> = report
+            .output
+            .log
+            .records
+            .iter()
+            .filter(|r| r.outcome.is_ok())
+            .filter_map(|r| r.rtt.map(|d| d.as_millis_f64()))
+            .collect();
+        ReplicateSummary {
+            seed,
+            queries,
+            ok,
+            ok_fraction,
+            ok_during_attack: report.ok_fraction_during_attack(),
+            traffic_multiplier: report.traffic_multiplier(),
+            latency: LatencySummary::of(&rtts),
+            latency_ecdf: Ecdf::of(&rtts).downsample(ECDF_POINTS),
+            server_queries: report.output.server.total_queries,
+            retries: report
+                .metrics()
+                .map(|m| m.counter_sum("resolver", "retries")),
+        }
+    }
+}
+
+/// Replicate spread of one metric: the 10th/50th/90th percentiles across
+/// an arm's replicates (via [`dike_stats::quantile::quantile`]).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Band {
+    /// 10th percentile across replicates.
+    pub lo: f64,
+    /// Median across replicates.
+    pub median: f64,
+    /// 90th percentile across replicates.
+    pub hi: f64,
+}
+
+impl Band {
+    /// The band of `values`, or `None` when empty.
+    pub fn of(values: &[f64]) -> Option<Band> {
+        Some(Band {
+            lo: quantile(values, 0.1)?,
+            median: quantile(values, 0.5)?,
+            hi: quantile(values, 0.9)?,
+        })
+    }
+}
+
+/// One arm's streamed aggregate: its grid coordinates, the per-replicate
+/// summaries, and confidence bands across replicates.
+#[derive(Debug, Clone)]
+pub struct ArmSummary {
+    /// Arm index in row-major axis order.
+    pub arm: usize,
+    /// `(axis name, value label)` pairs identifying the grid cell.
+    pub coords: Vec<(String, String)>,
+    /// The folded replicates, in replicate order.
+    pub replicates: Vec<ReplicateSummary>,
+    /// Whole-run OK fraction across replicates.
+    pub ok_fraction: Option<Band>,
+    /// Attack-window OK fraction across replicates.
+    pub ok_during_attack: Option<Band>,
+    /// Traffic multiplier across replicates.
+    pub traffic_multiplier: Option<Band>,
+    /// Median answered-query latency (ms) across replicates.
+    pub latency_median_ms: Option<Band>,
+}
+
+impl ArmSummary {
+    fn of(arm: usize, coords: Vec<(String, String)>, replicates: Vec<ReplicateSummary>) -> Self {
+        let collect = |f: &dyn Fn(&ReplicateSummary) -> Option<f64>| -> Vec<f64> {
+            replicates.iter().filter_map(f).collect()
+        };
+        let ok: Vec<f64> = collect(&|r| Some(r.ok_fraction));
+        let attack = collect(&|r| r.ok_during_attack);
+        let mult = collect(&|r| r.traffic_multiplier);
+        let lat = collect(&|r| r.latency.map(|s| s.median));
+        ArmSummary {
+            arm,
+            coords,
+            ok_fraction: Band::of(&ok),
+            ok_during_attack: Band::of(&attack),
+            traffic_multiplier: Band::of(&mult),
+            latency_median_ms: Band::of(&lat),
+            replicates,
+        }
+    }
+
+    /// Total client queries across replicates.
+    pub fn queries(&self) -> usize {
+        self.replicates.iter().map(|r| r.queries).sum()
+    }
+
+    /// Total queries offered to the authoritatives across replicates.
+    pub fn server_queries(&self) -> u64 {
+        self.replicates.iter().map(|r| r.server_queries).sum()
+    }
+
+    /// Total upstream retries, when telemetry was collected.
+    pub fn retries(&self) -> Option<u64> {
+        self.replicates
+            .iter()
+            .map(|r| r.retries)
+            .sum::<Option<u64>>()
+    }
+}
+
+/// A finished sweep: the grid spec and one [`ArmSummary`] per arm, in
+/// arm order. [`SweepResult::to_csv`] and [`SweepResult::to_json`] are
+/// deterministic byte-for-byte for a given engine configuration,
+/// regardless of worker count.
+#[derive(Debug, Clone)]
+pub struct SweepResult {
+    /// `(axis name, value labels)` for each axis, in grid order.
+    pub axes: Vec<(String, Vec<String>)>,
+    /// Replicates per arm.
+    pub replicates: u32,
+    /// The base seed the per-cell seeds were derived from.
+    pub seed: u64,
+    /// One summary per arm.
+    pub arms: Vec<ArmSummary>,
+}
+
+/// Formats an `f64` with shortest round-trip precision (stable across
+/// runs and platforms — `Debug` for `f64` is the Grisu/Ryū shortest
+/// representation, also valid JSON).
+fn fmt_f64(x: f64) -> String {
+    format!("{x:?}")
+}
+
+fn fmt_opt(x: Option<f64>) -> String {
+    x.filter(|v| v.is_finite()).map(fmt_f64).unwrap_or_default()
+}
+
+fn json_num(x: f64) -> String {
+    if x.is_finite() {
+        fmt_f64(x)
+    } else {
+        "null".into()
+    }
+}
+
+fn json_band(b: Option<Band>) -> String {
+    match b {
+        Some(b) => format!(
+            "{{\"lo\":{},\"median\":{},\"hi\":{}}}",
+            json_num(b.lo),
+            json_num(b.median),
+            json_num(b.hi)
+        ),
+        None => "null".into(),
+    }
+}
+
+fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+impl SweepResult {
+    /// The grid as CSV: one row per arm, coordinates first, then the
+    /// per-query totals and the p10/p50/p90 replicate bands of each
+    /// headline metric. Empty cells mean "not defined for this arm"
+    /// (e.g. no attack window overlapped a round).
+    pub fn to_csv(&self) -> String {
+        let mut out = String::from("arm");
+        for (name, _) in &self.axes {
+            out.push(',');
+            out.push_str(name);
+        }
+        out.push_str(
+            ",replicates,queries,ok_fraction_p10,ok_fraction_p50,ok_fraction_p90,\
+             ok_during_attack_p10,ok_during_attack_p50,ok_during_attack_p90,\
+             traffic_multiplier_p10,traffic_multiplier_p50,traffic_multiplier_p90,\
+             latency_median_ms_p10,latency_median_ms_p50,latency_median_ms_p90,\
+             server_queries,retries\n",
+        );
+        for arm in &self.arms {
+            out.push_str(&arm.arm.to_string());
+            for (_, v) in &arm.coords {
+                out.push(',');
+                out.push_str(v);
+            }
+            let band3 = |b: Option<Band>| {
+                format!(
+                    "{},{},{}",
+                    fmt_opt(b.map(|b| b.lo)),
+                    fmt_opt(b.map(|b| b.median)),
+                    fmt_opt(b.map(|b| b.hi))
+                )
+            };
+            out.push_str(&format!(
+                ",{},{},{},{},{},{},{},{}\n",
+                arm.replicates.len(),
+                arm.queries(),
+                band3(arm.ok_fraction),
+                band3(arm.ok_during_attack),
+                band3(arm.traffic_multiplier),
+                band3(arm.latency_median_ms),
+                arm.server_queries(),
+                arm.retries().map(|r| r.to_string()).unwrap_or_default(),
+            ));
+        }
+        out
+    }
+
+    /// The full result as JSON (hand-rolled for byte-stable output):
+    /// grid spec, per-arm bands, and per-replicate summaries including
+    /// the downsampled latency ECDFs.
+    pub fn to_json(&self) -> String {
+        let axes: Vec<String> = self
+            .axes
+            .iter()
+            .map(|(name, values)| {
+                let vals: Vec<String> = values.iter().map(|v| json_str(v)).collect();
+                format!(
+                    "{{\"name\":{},\"values\":[{}]}}",
+                    json_str(name),
+                    vals.join(",")
+                )
+            })
+            .collect();
+        let arms: Vec<String> = self
+            .arms
+            .iter()
+            .map(|arm| {
+                let coords: Vec<String> = arm
+                    .coords
+                    .iter()
+                    .map(|(k, v)| format!("{}:{}", json_str(k), json_str(v)))
+                    .collect();
+                let reps: Vec<String> = arm
+                    .replicates
+                    .iter()
+                    .map(|r| {
+                        let ecdf: Vec<String> = r
+                            .latency_ecdf
+                            .iter()
+                            .map(|(v, f)| format!("[{},{}]", json_num(*v), json_num(*f)))
+                            .collect();
+                        let latency = match r.latency {
+                            Some(s) => format!(
+                                "{{\"count\":{},\"median\":{},\"mean\":{},\"p75\":{},\"p90\":{}}}",
+                                s.count,
+                                json_num(s.median),
+                                json_num(s.mean),
+                                json_num(s.p75),
+                                json_num(s.p90)
+                            ),
+                            None => "null".into(),
+                        };
+                        format!(
+                            "{{\"seed\":{},\"queries\":{},\"ok\":{},\"ok_fraction\":{},\
+                             \"ok_during_attack\":{},\"traffic_multiplier\":{},\
+                             \"latency\":{},\"latency_ecdf_ms\":[{}],\
+                             \"server_queries\":{},\"retries\":{}}}",
+                            r.seed,
+                            r.queries,
+                            r.ok,
+                            json_num(r.ok_fraction),
+                            r.ok_during_attack
+                                .map(json_num)
+                                .unwrap_or_else(|| "null".into()),
+                            r.traffic_multiplier
+                                .map(json_num)
+                                .unwrap_or_else(|| "null".into()),
+                            latency,
+                            ecdf.join(","),
+                            r.server_queries,
+                            r.retries
+                                .map(|v| v.to_string())
+                                .unwrap_or_else(|| "null".into()),
+                        )
+                    })
+                    .collect();
+                format!(
+                    "{{\"arm\":{},\"coords\":{{{}}},\"ok_fraction\":{},\
+                     \"ok_during_attack\":{},\"traffic_multiplier\":{},\
+                     \"latency_median_ms\":{},\"replicates\":[{}]}}",
+                    arm.arm,
+                    coords.join(","),
+                    json_band(arm.ok_fraction),
+                    json_band(arm.ok_during_attack),
+                    json_band(arm.traffic_multiplier),
+                    json_band(arm.latency_median_ms),
+                    reps.join(",")
+                )
+            })
+            .collect();
+        format!(
+            "{{\"schema\":\"dike-sweep/1\",\"seed\":{},\"replicates\":{},\
+             \"axes\":[{}],\"arms\":[{}]}}\n",
+            self.seed,
+            self.replicates,
+            axes.join(","),
+            arms.join(",")
+        )
+    }
+}
+
+/// Resolves the worker count: an explicit `threads`, or the machine's
+/// `detected` parallelism (falling back to 8 when detection fails),
+/// capped at the number of jobs. Factored out so the fallback path is
+/// unit-testable without faking `available_parallelism`.
+pub(crate) fn worker_count(threads: usize, jobs: usize, detected: Option<usize>) -> usize {
+    if jobs == 0 {
+        return 0;
+    }
+    let cap = if threads == 0 {
+        detected.unwrap_or(8)
+    } else {
+        threads
+    };
+    cap.max(1).min(jobs)
+}
+
+fn detected_parallelism() -> Option<usize> {
+    std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .ok()
+}
+
+/// The population-scale sweep engine: a base [`Scenario`], a grid of
+/// [`SweepAxis`] values, `K` seed replicates per arm, and a worker pool.
+///
+/// Determinism contract: every `(arm, replicate)` cell's seed is a pure
+/// function of the base seed (see [`derive_seed`] and [`SeedStrategy`]),
+/// cells are folded into pre-assigned slots, and exports iterate arms in
+/// index order — so [`SweepEngine::run`] produces byte-identical
+/// [`SweepResult::to_csv`]/[`SweepResult::to_json`] output for 1 worker
+/// and N workers.
+#[derive(Debug, Clone)]
+pub struct SweepEngine {
+    /// The scenario template every arm mutates.
+    pub base: Scenario,
+    /// The grid axes (cross product; first axis varies slowest).
+    pub axes: Vec<SweepAxis>,
+    /// Seed replicates per arm (≥ 1).
+    pub replicates: u32,
+    /// Worker threads (0 = the machine's available parallelism).
+    pub threads: usize,
+    /// Seed-assignment strategy across the grid.
+    pub seed_strategy: SeedStrategy,
+}
+
+impl SweepEngine {
+    /// An engine over `base` with no axes yet (a single arm).
+    pub fn new(base: Scenario) -> Self {
+        SweepEngine {
+            base,
+            axes: Vec::new(),
+            replicates: 1,
+            threads: 0,
+            seed_strategy: SeedStrategy::default(),
+        }
+    }
+
+    /// Adds a grid axis. Empty axes are rejected — a zero-length axis
+    /// would collapse the whole cross product to nothing.
+    pub fn axis(mut self, axis: SweepAxis) -> Self {
+        assert!(
+            !axis.is_empty(),
+            "sweep axis '{}' has no values",
+            axis.name()
+        );
+        self.axes.push(axis);
+        self
+    }
+
+    /// Seed replicates per arm (clamped to ≥ 1).
+    pub fn replicates(mut self, k: u32) -> Self {
+        self.replicates = k.max(1);
+        self
+    }
+
+    /// Worker threads (0 = available parallelism).
+    pub fn threads(mut self, n: usize) -> Self {
+        self.threads = n;
+        self
+    }
+
+    /// Seed-assignment strategy (default [`SeedStrategy::Paired`]).
+    pub fn seed_strategy(mut self, s: SeedStrategy) -> Self {
+        self.seed_strategy = s;
+        self
+    }
+
+    /// The base seed all cell seeds derive from (the base scenario's).
+    pub fn base_seed(&self) -> u64 {
+        self.base.setup.seed
+    }
+
+    /// Number of arms in the grid (1 with no axes).
+    pub fn arm_count(&self) -> usize {
+        self.axes.iter().map(SweepAxis::len).product()
+    }
+
+    /// The per-axis value indices of `arm` (row-major, first axis
+    /// slowest).
+    pub fn coords_of(&self, mut arm: usize) -> Vec<usize> {
+        let mut idx = vec![0usize; self.axes.len()];
+        for (k, axis) in self.axes.iter().enumerate().rev() {
+            idx[k] = arm % axis.len();
+            arm /= axis.len();
+        }
+        idx
+    }
+
+    /// The seed for one `(arm, replicate)` cell.
+    pub fn job_seed(&self, arm: usize, replicate: u32) -> u64 {
+        let base = self.base_seed();
+        match self.seed_strategy {
+            SeedStrategy::Paired => {
+                if replicate == 0 {
+                    // Replicate 0 runs the base scenario's own seed, so a
+                    // one-replicate paired sweep is bit-identical to
+                    // running the scenarios by hand (and to the legacy
+                    // LossSweep).
+                    base
+                } else {
+                    derive_seed(base, 0, replicate)
+                }
+            }
+            SeedStrategy::PerArm => derive_seed(base, arm + 1, replicate),
+        }
+    }
+
+    /// The fully mutated scenario one cell runs.
+    pub fn scenario_for(&self, arm: usize, replicate: u32) -> Scenario {
+        let mut s = self.base.clone();
+        for (axis, &i) in self.axes.iter().zip(&self.coords_of(arm)) {
+            axis.apply(i, &mut s);
+        }
+        s.setup.seed = self.job_seed(arm, replicate);
+        s
+    }
+
+    /// The `(axis name, value label)` coordinates of `arm`.
+    pub fn coord_labels(&self, arm: usize) -> Vec<(String, String)> {
+        self.axes
+            .iter()
+            .zip(&self.coords_of(arm))
+            .map(|(axis, &i)| (axis.name().to_string(), axis.label(i)))
+            .collect()
+    }
+
+    /// Runs the whole grid, folding each finished [`Report`] through
+    /// `fold` *inside the worker that produced it* — the report never
+    /// crosses a thread boundary and is dropped as soon as the fold
+    /// returns. Returns the folded values as `result[arm][replicate]`.
+    ///
+    /// This is the streaming-aggregation primitive [`SweepEngine::run`]
+    /// builds on; use it directly to keep custom per-run data (the
+    /// legacy [`LossSweep`] keeps the whole report this way).
+    pub fn run_fold<T, F>(&self, fold: F) -> Vec<Vec<T>>
+    where
+        T: Send,
+        F: Fn(&SweepJob, Report) -> T + Sync,
+    {
+        let arms = self.arm_count();
+        let k = self.replicates.max(1) as usize;
+        let jobs = arms * k;
+        if jobs == 0 {
+            return Vec::new();
+        }
+        let workers = worker_count(self.threads, jobs, detected_parallelism());
+
+        let mut slots: Vec<Option<T>> = Vec::with_capacity(jobs);
+        slots.resize_with(jobs, || None);
+        let next = std::sync::atomic::AtomicUsize::new(0);
+        let engine = &self;
+        let fold = &fold;
+
+        crossbeam::thread::scope(|scope| {
+            let mut handles = Vec::with_capacity(workers);
+            for _ in 0..workers {
+                let next = &next;
+                handles.push(scope.spawn(move |_| {
+                    let mut mine = Vec::new();
+                    loop {
+                        let idx = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                        if idx >= jobs {
+                            break;
+                        }
+                        let (arm, rep) = (idx / k, (idx % k) as u32);
+                        let job = SweepJob {
+                            arm,
+                            replicate: rep,
+                            seed: engine.job_seed(arm, rep),
+                        };
+                        let report = engine.scenario_for(arm, rep).run();
+                        // Fold in-worker: `report` dies here, only the
+                        // compact T survives.
+                        mine.push((idx, fold(&job, report)));
+                    }
+                    mine
+                }));
+            }
+            for h in handles {
+                for (idx, value) in h.join().expect("sweep worker panicked") {
+                    slots[idx] = Some(value);
+                }
+            }
+        })
+        .expect("sweep scope panicked");
+
+        let mut flat = slots.into_iter().map(|s| s.expect("every cell folded"));
+        (0..arms)
+            .map(|_| (0..k).map(|_| flat.next().expect("cell")).collect())
+            .collect()
+    }
+
+    /// Runs the grid with the standard streaming fold: each report
+    /// collapses to a [`ReplicateSummary`], each arm to an
+    /// [`ArmSummary`] with replicate confidence bands.
+    pub fn run(&self) -> SweepResult {
+        let folded = self.run_fold(|job, report| ReplicateSummary::fold(job.seed, report));
+        let arms = folded
+            .into_iter()
+            .enumerate()
+            .map(|(arm, reps)| ArmSummary::of(arm, self.coord_labels(arm), reps))
+            .collect();
+        SweepResult {
+            axes: self
+                .axes
+                .iter()
+                .map(|a| (a.name().to_string(), a.labels()))
+                .collect(),
+            replicates: self.replicates.max(1),
+            seed: self.base_seed(),
+            arms,
+        }
+    }
+}
 
 /// A sweep over loss rates — the paper's core experimental axis (§5.4:
 /// "we sweep the space of attack intensities").
+///
+/// Legacy API: retains a full [`Report`] per arm, so memory grows with
+/// the grid. New code should use [`SweepEngine`] with
+/// [`SweepAxis::AttackLoss`], which folds each run into a compact
+/// summary as it finishes.
+#[deprecated(
+    since = "0.1.0",
+    note = "use SweepEngine with SweepAxis::AttackLoss; LossSweep retains a full Report per arm"
+)]
 #[derive(Debug, Clone)]
 pub struct LossSweep {
     /// The scenario template; each arm overrides the attack loss.
@@ -29,6 +780,7 @@ pub struct SweepPoint {
     pub report: Report,
 }
 
+#[allow(deprecated)]
 impl LossSweep {
     /// A sweep of `base` over `loss_rates`.
     pub fn new(base: Scenario, loss_rates: impl IntoIterator<Item = f64>) -> Self {
@@ -41,66 +793,34 @@ impl LossSweep {
 
     /// Runs every arm, in parallel, and returns the points in input
     /// order.
+    ///
+    /// Thin shim over [`SweepEngine`]: one replicate, paired seeds
+    /// (every arm runs the base scenario's seed — replicate 0 of a
+    /// paired sweep — exactly the historical behaviour), with the fold
+    /// keeping the whole report.
     pub fn run(self) -> Vec<SweepPoint> {
-        let n = self.loss_rates.len();
-        if n == 0 {
+        if self.loss_rates.is_empty() {
             return Vec::new();
         }
-        let workers = if self.threads == 0 {
-            let cores = std::thread::available_parallelism()
-                .map(std::num::NonZeroUsize::get)
-                .unwrap_or(8);
-            n.min(cores)
-        } else {
-            self.threads.min(n)
-        };
-
-        let mut slots: Vec<Option<SweepPoint>> = Vec::with_capacity(n);
-        slots.resize_with(n, || None);
-        let jobs: Vec<(usize, f64)> = self.loss_rates.iter().copied().enumerate().collect();
-        let next = std::sync::atomic::AtomicUsize::new(0);
-        let base = &self.base;
-
-        crossbeam::thread::scope(|scope| {
-            let mut handles = Vec::with_capacity(workers);
-            for _ in 0..workers {
-                let next = &next;
-                let jobs = &jobs;
-                handles.push(scope.spawn(move |_| {
-                    let mut mine = Vec::new();
-                    loop {
-                        let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
-                        if i >= jobs.len() {
-                            break;
-                        }
-                        let (idx, loss) = jobs[i];
-                        // Override only the loss; the base's window and
-                        // scope apply to every arm.
-                        let mut arm = base.clone();
-                        arm.attack.loss = loss.clamp(0.0, 1.0);
-                        arm.attack_armed = true;
-                        let report = arm.run();
-                        mine.push((idx, SweepPoint { loss, report }));
-                    }
-                    mine
-                }));
-            }
-            for h in handles {
-                for (idx, point) in h.join().expect("sweep worker panicked") {
-                    slots[idx] = Some(point);
-                }
-            }
-        })
-        .expect("sweep scope panicked");
-
-        slots
+        let loss_rates = self.loss_rates.clone();
+        let engine = SweepEngine::new(self.base)
+            .axis(SweepAxis::AttackLoss(self.loss_rates))
+            .replicates(1)
+            .threads(self.threads)
+            .seed_strategy(SeedStrategy::Paired);
+        engine
+            .run_fold(|job, report| SweepPoint {
+                loss: loss_rates[job.arm],
+                report,
+            })
             .into_iter()
-            .map(|s| s.expect("every arm produced a point"))
+            .map(|mut reps| reps.pop().expect("one replicate per arm"))
             .collect()
     }
 }
 
 #[cfg(test)]
+#[allow(deprecated)]
 mod tests {
     use super::*;
     use crate::Attack;
@@ -112,6 +832,16 @@ mod tests {
             .with_attack(Attack::complete().window_min(40, 40))
             .duration_min(100)
             .seed(77)
+    }
+
+    fn tiny_base() -> Scenario {
+        Scenario::new()
+            .probes(6)
+            .ttl(600)
+            .with_attack(Attack::loss(0.9).window_min(20, 20))
+            .duration_min(40)
+            .round_interval_min(10)
+            .seed(5)
     }
 
     #[test]
@@ -157,5 +887,144 @@ mod tests {
     #[test]
     fn empty_sweep_is_empty() {
         assert!(LossSweep::new(small_base(), []).run().is_empty());
+    }
+
+    #[test]
+    fn loss_sweep_shim_matches_direct_scenario_runs() {
+        // The shim contract: LossSweep over SweepEngine must equal
+        // running each arm by hand with the base seed — same record
+        // counts, same outcome series.
+        let rates = [0.3, 0.9];
+        let points = LossSweep::new(tiny_base(), rates).run();
+        for (p, &loss) in points.iter().zip(&rates) {
+            let mut direct = tiny_base();
+            direct.attack.loss = loss;
+            direct.attack_armed = true;
+            let direct = direct.run();
+            assert_eq!(p.loss, loss);
+            assert_eq!(
+                p.report.output.log.records.len(),
+                direct.output.log.records.len()
+            );
+            assert_eq!(p.report.outcomes, direct.outcomes);
+            assert_eq!(
+                p.report.ok_fraction_during_attack(),
+                direct.ok_fraction_during_attack()
+            );
+        }
+    }
+
+    #[test]
+    fn grid_is_a_cross_product_in_row_major_order() {
+        let engine = SweepEngine::new(tiny_base())
+            .axis(SweepAxis::AttackLoss(vec![0.0, 1.0]))
+            .axis(SweepAxis::CacheTtlSecs(vec![60, 600, 3600]));
+        assert_eq!(engine.arm_count(), 6);
+        assert_eq!(engine.coords_of(0), vec![0, 0]);
+        assert_eq!(engine.coords_of(2), vec![0, 2]);
+        assert_eq!(engine.coords_of(3), vec![1, 0]);
+        assert_eq!(engine.coords_of(5), vec![1, 2]);
+        let labels = engine.coord_labels(4);
+        assert_eq!(labels[0], ("loss".into(), "1.0".into()));
+        assert_eq!(labels[1], ("ttl_s".into(), "600".into()));
+    }
+
+    #[test]
+    fn axes_mutate_the_scenario() {
+        let engine = SweepEngine::new(tiny_base())
+            .axis(SweepAxis::Probes(vec![3, 12]))
+            .axis(SweepAxis::ProbeIntervalMin(vec![5]))
+            .axis(SweepAxis::ServeStaleShare(vec![0.0, 1.0]));
+        let s = engine.scenario_for(3, 0); // probes=12, interval=5, stale=1.0
+        assert_eq!(s.setup.n_probes, 12);
+        assert_eq!(s.interval_min, 5);
+        assert_eq!(s.setup.mix.farm_serve_stale_share, 1.0);
+        let s0 = engine.scenario_for(0, 0);
+        assert_eq!(s0.setup.n_probes, 3);
+        assert_eq!(s0.setup.mix.farm_serve_stale_share, 0.0);
+    }
+
+    #[test]
+    fn seed_derivation_is_pure_and_spreads() {
+        assert_eq!(derive_seed(7, 3, 2), derive_seed(7, 3, 2));
+        assert_ne!(derive_seed(7, 3, 2), derive_seed(7, 3, 3));
+        assert_ne!(derive_seed(7, 3, 2), derive_seed(7, 4, 2));
+        assert_ne!(derive_seed(7, 3, 2), derive_seed(8, 3, 2));
+
+        let paired = SweepEngine::new(tiny_base().seed(11))
+            .axis(SweepAxis::AttackLoss(vec![0.1, 0.9]))
+            .replicates(3);
+        // Paired: replicate 0 is the base seed, in every arm.
+        assert_eq!(paired.job_seed(0, 0), 11);
+        assert_eq!(paired.job_seed(1, 0), 11);
+        assert_eq!(paired.job_seed(0, 1), paired.job_seed(1, 1));
+        assert_ne!(paired.job_seed(0, 0), paired.job_seed(0, 1));
+
+        let per_arm = paired.clone().seed_strategy(SeedStrategy::PerArm);
+        assert_ne!(per_arm.job_seed(0, 0), per_arm.job_seed(1, 0));
+        assert_ne!(per_arm.job_seed(0, 0), per_arm.job_seed(0, 1));
+    }
+
+    #[test]
+    fn worker_count_fallback_defaults_to_eight() {
+        // available_parallelism() can fail (e.g. restricted cgroups);
+        // the engine then assumes 8 workers, capped at the job count.
+        assert_eq!(worker_count(0, 100, None), 8);
+        assert_eq!(worker_count(0, 3, None), 3);
+        assert_eq!(worker_count(0, 100, Some(16)), 16);
+        assert_eq!(worker_count(4, 100, Some(16)), 4);
+        assert_eq!(worker_count(4, 2, Some(16)), 2);
+        assert_eq!(worker_count(0, 0, Some(16)), 0);
+    }
+
+    #[test]
+    fn engine_output_is_identical_across_worker_counts() {
+        let grid = || {
+            SweepEngine::new(tiny_base())
+                .axis(SweepAxis::AttackLoss(vec![0.5, 1.0]))
+                .axis(SweepAxis::CacheTtlSecs(vec![60, 1800]))
+                .replicates(2)
+        };
+        let one = grid().threads(1).run();
+        let many = grid().threads(0).run();
+        assert_eq!(one.to_csv(), many.to_csv());
+        assert_eq!(one.to_json(), many.to_json());
+        assert_eq!(one.arms.len(), 4);
+        for arm in &one.arms {
+            assert_eq!(arm.replicates.len(), 2);
+        }
+    }
+
+    #[test]
+    fn replicate_bands_are_ordered() {
+        let result = SweepEngine::new(tiny_base())
+            .axis(SweepAxis::AttackLoss(vec![0.8]))
+            .replicates(4)
+            .seed_strategy(SeedStrategy::PerArm)
+            .run();
+        let band = result.arms[0].ok_fraction.expect("queries ran");
+        assert!(band.lo <= band.median && band.median <= band.hi);
+        assert!((0.0..=1.0).contains(&band.median));
+    }
+
+    #[test]
+    fn csv_and_json_carry_the_grid_spec() {
+        let result = SweepEngine::new(tiny_base())
+            .axis(SweepAxis::AttackLoss(vec![0.5]))
+            .axis(SweepAxis::ServeStaleShare(vec![0.0, 1.0]))
+            .run();
+        let csv = result.to_csv();
+        let mut lines = csv.lines();
+        assert_eq!(
+            lines
+                .next()
+                .map(|h| h.starts_with("arm,loss,serve_stale_share,")),
+            Some(true)
+        );
+        assert_eq!(lines.count(), 2, "one row per arm");
+        let json = result.to_json();
+        assert!(json.contains("\"schema\":\"dike-sweep/1\""));
+        assert!(json.contains("\"name\":\"serve_stale_share\""));
+        assert!(json.ends_with("}\n"));
     }
 }

@@ -234,23 +234,28 @@ pub fn run_ddos_with_options(
     }
 }
 
-/// Mean OK fraction over the attack window's rounds. `None` when no
-/// round with traffic overlaps the window.
+/// Per-query OK fraction over the attack window's rounds: total OK
+/// answers over total queries, weighting each query once the way the
+/// paper's Tables do (an unweighted mean of per-round fractions would
+/// over-count sparse partial rounds). `None` when no round with traffic
+/// overlaps the window.
 pub fn ok_fraction_during_attack(r: &DdosResult) -> Option<f64> {
     let start = (r.params.ddos_start_min / 10) as usize;
     let end = ((r.params.ddos_start_min + r.params.ddos_duration_min) / 10) as usize;
-    let bins: Vec<_> = r
+    let (ok, total) = r
         .outcomes
         .iter()
         .filter(|b| {
             let i = (b.start_min / 10) as usize;
-            i >= start && i < end && b.total() > 0
+            i >= start && i < end
         })
-        .collect();
-    if bins.is_empty() {
+        .fold((0usize, 0usize), |(ok, total), b| {
+            (ok + b.ok, total + b.total())
+        });
+    if total == 0 {
         return None;
     }
-    Some(bins.iter().map(|b| b.ok_fraction()).sum::<f64>() / bins.len() as f64)
+    Some(ok as f64 / total as f64)
 }
 
 /// The server-side traffic multiplier: mean offered queries per round

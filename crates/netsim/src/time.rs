@@ -120,8 +120,30 @@ impl SimDuration {
     }
 
     /// Scales the span by a factor, saturating.
+    ///
+    /// Non-positive factors clamp to [`SimDuration::ZERO`]; `+∞` and
+    /// finite overflow saturate at the maximum representable span. A NaN
+    /// factor is a caller bug (debug-asserted); release builds treat it
+    /// as a no-op scale rather than silently collapsing the span to zero
+    /// — a zeroed retry timeout is exactly the unpaced-retry storm the
+    /// paper's §6.2 warns against.
     pub fn mul_f64(self, factor: f64) -> Self {
-        SimDuration((self.0 as f64 * factor.max(0.0)) as u64)
+        debug_assert!(!factor.is_nan(), "SimDuration::mul_f64: NaN factor");
+        if factor.is_nan() {
+            return self;
+        }
+        if factor <= 0.0 {
+            return SimDuration::ZERO;
+        }
+        if factor.is_infinite() {
+            return SimDuration(u64::MAX);
+        }
+        let scaled = self.0 as f64 * factor;
+        if scaled >= u64::MAX as f64 {
+            SimDuration(u64::MAX)
+        } else {
+            SimDuration(scaled as u64)
+        }
     }
 }
 
@@ -218,5 +240,52 @@ mod tests {
             SimDuration::from_secs(5)
         );
         assert_eq!(SimDuration::from_secs(1).mul_f64(-1.0), SimDuration::ZERO);
+    }
+
+    #[test]
+    fn mul_f64_clamps_non_positive_to_zero() {
+        assert_eq!(SimDuration::from_secs(7).mul_f64(0.0), SimDuration::ZERO);
+        assert_eq!(
+            SimDuration::from_secs(7).mul_f64(f64::NEG_INFINITY),
+            SimDuration::ZERO
+        );
+    }
+
+    #[test]
+    fn mul_f64_saturates_on_infinity_and_overflow() {
+        assert_eq!(
+            SimDuration::from_secs(1).mul_f64(f64::INFINITY),
+            SimDuration::from_nanos(u64::MAX)
+        );
+        // A finite factor whose product exceeds u64::MAX saturates too.
+        assert_eq!(
+            SimDuration::from_secs(1_000_000).mul_f64(1e30),
+            SimDuration::from_nanos(u64::MAX)
+        );
+        // 0 × ∞ is NaN in float arithmetic; the clamp order makes the
+        // infinite factor win instead of producing a NaN cast.
+        assert_eq!(
+            SimDuration::ZERO.mul_f64(f64::INFINITY),
+            SimDuration::from_nanos(u64::MAX)
+        );
+    }
+
+    // The regression the sweep engine depends on: a NaN factor must never
+    // collapse a timeout to zero. Debug builds assert; release builds
+    // treat the scale as a no-op.
+    #[test]
+    #[cfg(debug_assertions)]
+    #[should_panic(expected = "NaN factor")]
+    fn mul_f64_nan_panics_in_debug() {
+        let _ = SimDuration::from_secs(1).mul_f64(f64::NAN);
+    }
+
+    #[test]
+    #[cfg(not(debug_assertions))]
+    fn mul_f64_nan_is_a_no_op_in_release() {
+        assert_eq!(
+            SimDuration::from_secs(1).mul_f64(f64::NAN),
+            SimDuration::from_secs(1)
+        );
     }
 }

@@ -35,10 +35,21 @@ impl Default for RetryPolicy {
 
 impl RetryPolicy {
     /// The timeout for attempt number `attempt` (0-based).
+    ///
+    /// A mis-set `backoff_factor` (NaN, infinite, zero or negative — and
+    /// anything below 1, which would *shrink* the pacing) falls back to
+    /// constant pacing at `initial_timeout`. The result is always in
+    /// `[min(initial_timeout, max_timeout), max_timeout]`: no
+    /// configuration can produce a zero retry timeout, which would turn
+    /// paced exponential backoff (paper §6.2) into an unpaced retry
+    /// storm at the authoritatives.
     pub fn timeout_for(&self, attempt: u32) -> SimDuration {
-        let scaled = self
-            .initial_timeout
-            .mul_f64(self.backoff_factor.powi(attempt as i32));
+        let factor = if self.backoff_factor.is_finite() {
+            self.backoff_factor.max(1.0)
+        } else {
+            1.0
+        };
+        let scaled = self.initial_timeout.mul_f64(factor.powi(attempt as i32));
         scaled.min(self.max_timeout)
     }
 
@@ -177,6 +188,34 @@ mod tests {
         // Capped at 3 s from attempt 3 on.
         assert_eq!(p.timeout_for(3), SimDuration::from_secs(3));
         assert_eq!(p.timeout_for(6), SimDuration::from_secs(3));
+    }
+
+    #[test]
+    fn mis_set_backoff_factor_never_yields_zero_timeout() {
+        // NaN is the original bug: powi(NaN) = NaN used to cast the
+        // scaled span to 0 ns and turn every retry into an immediate
+        // resend — the unpaced-retry pathology of paper §6.2.
+        for bad in [f64::NAN, f64::INFINITY, f64::NEG_INFINITY, 0.0, -2.0, 0.5] {
+            let p = RetryPolicy {
+                backoff_factor: bad,
+                ..RetryPolicy::default()
+            };
+            for attempt in 0..p.max_attempts {
+                let t = p.timeout_for(attempt);
+                assert!(
+                    t >= p.initial_timeout.min(p.max_timeout),
+                    "backoff_factor {bad}: attempt {attempt} timeout {t} below floor"
+                );
+                assert!(t <= p.max_timeout, "backoff_factor {bad}: {t} over cap");
+            }
+        }
+    }
+
+    #[test]
+    fn huge_attempt_counts_saturate_at_max_timeout() {
+        let p = RetryPolicy::default();
+        // 2^1000 overflows to +∞; the scale saturates and the cap wins.
+        assert_eq!(p.timeout_for(1000), p.max_timeout);
     }
 
     #[test]

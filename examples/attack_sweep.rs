@@ -6,8 +6,14 @@
 //! cargo run --release --example attack_sweep
 //! ```
 
-use dike::core::{Attack, LossSweep, Scenario};
+// LossSweep is deprecated in favour of SweepEngine (see the sweep_grid
+// example); this example stays on it deliberately, as coverage of the
+// legacy shim.
+#[allow(deprecated)]
+use dike::core::LossSweep;
+use dike::core::{Attack, Scenario};
 
+#[allow(deprecated)]
 fn main() {
     let base = Scenario::new()
         .probes(200)

@@ -1,7 +1,9 @@
 #!/usr/bin/env bash
 # Runs the hot-path criterion suites and distills their estimates into a
 # dated baseline file, BENCH_<YYYY-MM-DD>.json, for before/after
-# comparison of simulator-throughput work (see EXPERIMENTS.md).
+# comparison of simulator-throughput work (see EXPERIMENTS.md). CI's
+# bench-regression guard (scripts/bench_guard.py) compares its own quick
+# run against the newest committed baseline.
 #
 # Usage: scripts/bench.sh [quick]
 #   quick — criterion's shortest profile (~seconds); use the default full
@@ -10,7 +12,7 @@ set -euo pipefail
 
 cd "$(dirname "$0")/.."
 
-SUITES=(netsim_core wire_codec cache_ops fig8_partial)
+SUITES=(netsim_core wire_codec cache_ops fig8_partial sweep_scaling)
 EXTRA=()
 if [[ "${1:-}" == "quick" ]]; then
     EXTRA=(--warm-up-time 0.1 --measurement-time 0.2)
@@ -20,37 +22,6 @@ for suite in "${SUITES[@]}"; do
     cargo bench -p dike-bench --bench "$suite" -- "${EXTRA[@]}"
 done
 
-OUT="BENCH_$(date +%F).json"
-
 # criterion leaves per-benchmark point estimates (nanoseconds) in
 # target/criterion/**/new/estimates.json; fold them into one document.
-python3 - "$OUT" <<'EOF'
-import json, pathlib, sys
-
-out = sys.argv[1]
-root = pathlib.Path("target/criterion")
-benches = {}
-for est in sorted(root.glob("**/new/estimates.json")):
-    bench_dir = est.parent.parent
-    sample = bench_dir / "new" / "sample.json"
-    if not sample.exists():
-        continue
-    name = "/".join(bench_dir.relative_to(root).parts)
-    with est.open() as f:
-        e = json.load(f)
-    benches[name] = {
-        "mean_ns": e["mean"]["point_estimate"],
-        "median_ns": e["median"]["point_estimate"],
-        "std_dev_ns": e["std_dev"]["point_estimate"],
-    }
-
-doc = {
-    "schema": "dike-bench-baseline/1",
-    "date": out.removeprefix("BENCH_").removesuffix(".json"),
-    "benches": benches,
-}
-with open(out, "w") as f:
-    json.dump(doc, f, indent=2, sort_keys=True)
-    f.write("\n")
-print(f"wrote {out} ({len(benches)} benchmarks)")
-EOF
+python3 scripts/bench_distill.py "BENCH_$(date +%F).json"

@@ -1,0 +1,66 @@
+#!/usr/bin/env python3
+"""Distill criterion's per-benchmark estimates into one baseline document.
+
+Reads target/criterion/**/new/estimates.json and writes a
+dike-bench-baseline/1 JSON file:
+
+    {"schema": "dike-bench-baseline/1", "date": "...",
+     "benches": {"<suite>/<bench>": {"mean_ns": ..., "median_ns": ...,
+                                     "std_dev_ns": ...}, ...}}
+
+Usage: bench_distill.py OUT.json [--date YYYY-MM-DD]
+Shared by scripts/bench.sh (dated baselines for committing) and the CI
+bench-regression guard (fresh measurement to compare against the
+committed baseline).
+"""
+
+import json
+import pathlib
+import sys
+
+
+def distill(criterion_root: pathlib.Path) -> dict:
+    benches = {}
+    for est in sorted(criterion_root.glob("**/new/estimates.json")):
+        bench_dir = est.parent.parent
+        sample = bench_dir / "new" / "sample.json"
+        if not sample.exists():
+            continue
+        name = "/".join(bench_dir.relative_to(criterion_root).parts)
+        with est.open() as f:
+            e = json.load(f)
+        benches[name] = {
+            "mean_ns": e["mean"]["point_estimate"],
+            "median_ns": e["median"]["point_estimate"],
+            "std_dev_ns": e["std_dev"]["point_estimate"],
+        }
+    return benches
+
+
+def main(argv):
+    if len(argv) < 2:
+        print(__doc__, file=sys.stderr)
+        return 2
+    out = argv[1]
+    date = ""
+    if "--date" in argv:
+        date = argv[argv.index("--date") + 1]
+    else:
+        stem = pathlib.Path(out).name
+        if stem.startswith("BENCH_") and stem.endswith(".json"):
+            date = stem[len("BENCH_") : -len(".json")]
+    benches = distill(pathlib.Path("target/criterion"))
+    doc = {
+        "schema": "dike-bench-baseline/1",
+        "date": date,
+        "benches": benches,
+    }
+    with open(out, "w") as f:
+        json.dump(doc, f, indent=2, sort_keys=True)
+        f.write("\n")
+    print(f"wrote {out} ({len(benches)} benchmarks)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

@@ -1,0 +1,82 @@
+#!/usr/bin/env python3
+"""Bench regression gate: fresh criterion results vs the committed baseline.
+
+    bench_guard.py CURRENT.json [BASELINE.json] [--max-ratio X]
+
+CURRENT is a dike-bench-baseline/1 document (scripts/bench_distill.py).
+BASELINE defaults to the newest committed BENCH_*.json in the repo root.
+The gate fails (exit 1) when any benchmark present in BOTH documents has
+current mean_ns > X * baseline mean_ns (default 5.0 — generous, because
+shared CI runners are noisy and the quick criterion profile is short;
+the gate exists to catch order-of-magnitude regressions like an
+accidentally quadratic hot path, not 10% drift). Benchmarks present on
+only one side are reported but never fail the gate, so adding or
+retiring suites does not require regenerating the baseline in the same
+change.
+"""
+
+import json
+import pathlib
+import sys
+
+
+def load(path):
+    with open(path) as f:
+        doc = json.load(f)
+    if doc.get("schema") != "dike-bench-baseline/1":
+        sys.exit(f"bench_guard: {path}: unexpected schema {doc.get('schema')!r}")
+    return doc["benches"]
+
+
+def main(argv):
+    args = [a for a in argv[1:] if not a.startswith("--")]
+    max_ratio = 5.0
+    if "--max-ratio" in argv:
+        max_ratio = float(argv[argv.index("--max-ratio") + 1])
+    if not args:
+        print(__doc__, file=sys.stderr)
+        return 2
+    current = load(args[0])
+    if len(args) > 1:
+        baseline_path = args[1]
+    else:
+        committed = sorted(pathlib.Path(".").glob("BENCH_*.json"))
+        if not committed:
+            print("bench_guard: no committed BENCH_*.json baseline; nothing to gate")
+            return 0
+        baseline_path = committed[-1]
+    baseline = load(baseline_path)
+
+    shared = sorted(set(current) & set(baseline))
+    only_current = sorted(set(current) - set(baseline))
+    only_baseline = sorted(set(baseline) - set(current))
+    for name in only_current:
+        print(f"  (new, ungated)      {name}")
+    for name in only_baseline:
+        print(f"  (baseline-only)     {name}")
+
+    failures = []
+    for name in shared:
+        cur = current[name]["mean_ns"]
+        base = baseline[name]["mean_ns"]
+        ratio = cur / base if base > 0 else float("inf")
+        verdict = "FAIL" if ratio > max_ratio else "ok"
+        print(f"  {verdict:4} {ratio:8.2f}x  {name}  ({base:.0f} ns -> {cur:.0f} ns)")
+        if ratio > max_ratio:
+            failures.append(name)
+
+    if failures:
+        print(
+            f"bench_guard: {len(failures)} benchmark(s) regressed beyond "
+            f"{max_ratio}x of {baseline_path}: {', '.join(failures)}"
+        )
+        return 1
+    print(
+        f"bench_guard: {len(shared)} shared benchmark(s) within {max_ratio}x "
+        f"of {baseline_path}"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

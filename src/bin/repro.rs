@@ -8,8 +8,15 @@
 //!   table1 table2 table3 table4 table5 table6 table7
 //!   fig3 fig4 fig5 fig6 fig7 fig8 fig9 fig10 fig11 fig12
 //!   fig13 fig14 fig15 fig16
+//!   sweep
 //!   all
 //! ```
+//!
+//! `sweep` runs the population-scale attack-intensity × TTL grid through
+//! [`dike_core::SweepEngine`] (paper Tables 4/5 as a dense grid instead
+//! of the nine lettered experiments); `--csv`/`--grid-json` export the
+//! per-arm summaries. It is deliberately not part of `all` — grids are
+//! sized by `--replicates`/`--scale` and can dwarf the lettered runs.
 //!
 //! `--scale` scales the probe population (1.0 ≈ the paper's 9.2k probes;
 //! the default 0.05 runs every target in a few minutes). Output is the
@@ -37,6 +44,14 @@ struct Args {
     seed: u64,
     json: Option<String>,
     metrics: Option<String>,
+    /// `sweep`: CSV export path for the grid summaries.
+    csv: Option<String>,
+    /// `sweep`: JSON export path for the full sweep result.
+    grid_json: Option<String>,
+    /// `sweep`: worker threads (0 = available parallelism).
+    threads: usize,
+    /// `sweep`: seed replicates per arm.
+    replicates: u32,
 }
 
 fn parse_args() -> Args {
@@ -46,6 +61,10 @@ fn parse_args() -> Args {
         seed: 42,
         json: None,
         metrics: None,
+        csv: None,
+        grid_json: None,
+        threads: 0,
+        replicates: 3,
     };
     let mut it = std::env::args().skip(1);
     let mut positional = Vec::new();
@@ -68,6 +87,24 @@ fn parse_args() -> Args {
             }
             "--metrics" => {
                 args.metrics = Some(it.next().unwrap_or_else(|| die("--metrics needs a path")));
+            }
+            "--csv" => {
+                args.csv = Some(it.next().unwrap_or_else(|| die("--csv needs a path")));
+            }
+            "--grid-json" => {
+                args.grid_json = Some(it.next().unwrap_or_else(|| die("--grid-json needs a path")));
+            }
+            "--threads" => {
+                args.threads = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| die("--threads needs an integer"));
+            }
+            "--replicates" => {
+                args.replicates = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| die("--replicates needs an integer"));
             }
             "--list" => {
                 for t in [
@@ -95,6 +132,7 @@ fn parse_args() -> Args {
                     "implications",
                     "queueing",
                     "degraded",
+                    "sweep",
                     "all",
                 ] {
                     println!("{t}");
@@ -104,10 +142,14 @@ fn parse_args() -> Args {
             "--help" | "-h" => {
                 println!(
                     "usage: repro <target> [--scale X] [--seed N] [--json FILE] [--metrics FILE]\n\
-                     targets: table1-7, fig3-16, implications, queueing, degraded, all\n\
+                     targets: table1-7, fig3-16, implications, queueing, degraded, sweep, all\n\
                      --metrics collects sim-time telemetry during the DDoS runs and\n\
                      writes the full metric registry (per-node counters, gauges,\n\
-                     retry histograms) as JSON, keyed by experiment letter"
+                     retry histograms) as JSON, keyed by experiment letter\n\
+                     sweep-only flags: [--csv FILE] [--grid-json FILE]\n\
+                     [--replicates K] [--threads N] — run the attack-loss x TTL\n\
+                     grid through the SweepEngine and export per-arm summaries\n\
+                     (byte-identical output for any worker count)"
                 );
                 std::process::exit(0);
             }
@@ -235,6 +277,12 @@ fn main() {
     target!("implications", implications_sweep(&mut ctx));
     target!("queueing", queueing_extension(&mut ctx));
     target!("degraded", degraded_scenario(&mut ctx));
+
+    // Not part of `all`: grid size is governed by its own flags.
+    if t == "sweep" {
+        matched = true;
+        sweep_grid(&mut ctx, &args);
+    }
 
     if !matched {
         die(&format!("unknown target '{t}' (try --help)"));
@@ -1018,5 +1066,75 @@ fn degraded_scenario(ctx: &mut Ctx) {
             pct(d),
             params.latency_factor,
         );
+    }
+}
+
+// ---------------------------------------------------------------------
+// Population-scale sweep (paper §5.4 / Tables 4-5 as a dense grid)
+// ---------------------------------------------------------------------
+
+/// Runs the attack-intensity × TTL grid through the streaming
+/// [`dike_core::SweepEngine`]: every arm folds into a compact summary as
+/// it finishes, so memory stays O(arms) however large the grid gets, and
+/// output is byte-identical for any `--threads` value.
+fn sweep_grid(ctx: &mut Ctx, args: &Args) {
+    use dike_core::{Attack, Scenario, SweepAxis, SweepEngine};
+
+    let probes = ((400.0 * ctx.scale) as usize).max(16);
+    let base = Scenario::new()
+        .probes(probes)
+        .with_attack(Attack::complete().window_min(40, 40))
+        .duration_min(100)
+        .seed(ctx.seed);
+    let engine = SweepEngine::new(base)
+        .axis(SweepAxis::AttackLoss(vec![0.0, 0.5, 0.75, 0.9, 1.0]))
+        .axis(SweepAxis::CacheTtlSecs(vec![60, 1800, 3600]))
+        .replicates(args.replicates)
+        .threads(args.threads);
+    eprintln!(
+        "[repro] sweep: {} arms x {} replicates, {probes} probes per arm ...",
+        engine.arm_count(),
+        engine.replicates,
+    );
+    let result = engine.run();
+
+    let mut tbl = TextTable::new(
+        "Sweep: OK fraction during attack over loss x TTL (p50 [p10-p90] across replicates)",
+        &[
+            "arm",
+            "loss",
+            "TTL",
+            "OK during attack",
+            "OK overall",
+            "offered load",
+            "median ms",
+        ],
+    );
+    let band = |b: Option<dike_core::Band>, fmt: &dyn Fn(f64) -> String| match b {
+        Some(b) => format!("{} [{}-{}]", fmt(b.median), fmt(b.lo), fmt(b.hi)),
+        None => "-".into(),
+    };
+    for arm in &result.arms {
+        tbl.row(&[
+            arm.arm.to_string(),
+            arm.coords[0].1.clone(),
+            arm.coords[1].1.clone(),
+            band(arm.ok_during_attack, &|v| pct(v)),
+            band(arm.ok_fraction, &|v| pct(v)),
+            band(arm.traffic_multiplier, &|v| ratio(v)),
+            band(arm.latency_median_ms, &|v| format!("{v:.0}")),
+        ]);
+    }
+    ctx.emit(&tbl);
+
+    if let Some(path) = &args.csv {
+        std::fs::write(path, result.to_csv())
+            .unwrap_or_else(|e| die(&format!("writing {path}: {e}")));
+        eprintln!("[repro] wrote sweep CSV to {path}");
+    }
+    if let Some(path) = &args.grid_json {
+        std::fs::write(path, result.to_json())
+            .unwrap_or_else(|e| die(&format!("writing {path}: {e}")));
+        eprintln!("[repro] wrote sweep JSON to {path}");
     }
 }

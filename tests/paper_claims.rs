@@ -102,11 +102,15 @@ fn claim_caches_ride_out_complete_outage_until_ttl() {
         .iter()
         .filter(|b| b.start_min >= 80 && b.total() > 0)
         .collect();
-    let mean = |v: &[&dike::stats::timeseries::OutcomeBin]| {
-        v.iter().map(|b| b.ok_fraction()).sum::<f64>() / v.len().max(1) as f64
+    // Per-query weighting, matching the fixed ok_fraction_during_attack:
+    // sum ok over sum total, not a mean of per-round fractions.
+    let weighted = |v: &[&dike::stats::timeseries::OutcomeBin]| {
+        let ok: usize = v.iter().map(|b| b.ok).sum();
+        let total: usize = v.iter().map(|b| b.total()).sum();
+        ok as f64 / total.max(1) as f64
     };
-    let protected = mean(&during_cache);
-    let exposed = mean(&after_expiry);
+    let protected = weighted(&during_cache);
+    let exposed = weighted(&after_expiry);
     assert!(
         protected > 0.35,
         "cache-only window success {protected} (paper: 35-70%)"

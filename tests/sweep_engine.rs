@@ -1,0 +1,121 @@
+//! Sweep-engine contract tests: worker-count-independent output,
+//! memory-bounded streaming aggregation, and the legacy `LossSweep`
+//! shim's bit-identity with direct scenario runs.
+
+use dike::core::{Attack, ReplicateSummary, Scenario, SeedStrategy, SweepAxis, SweepEngine};
+
+fn tiny_base() -> Scenario {
+    Scenario::new()
+        .probes(4)
+        .ttl(600)
+        .with_attack(Attack::loss(0.9).window_min(10, 10))
+        .duration_min(30)
+        .round_interval_min(10)
+        .seed(9)
+}
+
+/// The headline determinism contract: a two-axis grid with seed
+/// replicates exports byte-identical CSV and JSON whether it ran on one
+/// worker or on every core the machine has (`threads(0)` resolves to
+/// `available_parallelism`, exercising the detection path end to end).
+#[test]
+fn sweep_exports_are_byte_identical_for_one_and_many_workers() {
+    let grid = || {
+        SweepEngine::new(tiny_base())
+            .axis(SweepAxis::AttackLoss(vec![0.0, 0.75, 1.0]))
+            .axis(SweepAxis::CacheTtlSecs(vec![60, 1800]))
+            .replicates(2)
+    };
+    let serial = grid().threads(1).run();
+    let parallel = grid().threads(0).run();
+    assert_eq!(serial.to_csv(), parallel.to_csv());
+    assert_eq!(serial.to_json(), parallel.to_json());
+
+    // Same again under fully independent per-arm seeds.
+    let serial = grid().seed_strategy(SeedStrategy::PerArm).threads(1).run();
+    let parallel = grid().seed_strategy(SeedStrategy::PerArm).threads(0).run();
+    assert_eq!(serial.to_csv(), parallel.to_csv());
+    assert_eq!(serial.to_json(), parallel.to_json());
+}
+
+/// A 64-arm × 4-replicate grid (256 simulator runs) retains exactly one
+/// compact `ReplicateSummary` per cell — O(arms) memory, never
+/// O(arms × full reports). The fold signature takes `Report` by value,
+/// so retaining it would require an explicit choice; the standard fold
+/// provably drops it (a `ReplicateSummary` holds no log, server view or
+/// registry, just scalars and a downsampled ECDF).
+#[test]
+fn large_grid_retains_only_compact_summaries() {
+    let minimal = Scenario::new()
+        .probes(2)
+        .with_attack(Attack::complete().window_min(10, 10))
+        .duration_min(20)
+        .round_interval_min(10)
+        .seed(3);
+    let result = SweepEngine::new(minimal)
+        .axis(SweepAxis::AttackLoss(vec![
+            0.0, 0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9, 0.95, 0.99, 0.995, 0.999, 0.9999, 1.0,
+        ]))
+        .axis(SweepAxis::CacheTtlSecs(vec![60, 600, 1800, 3600]))
+        .replicates(4)
+        .run();
+
+    assert_eq!(result.arms.len(), 64);
+    for arm in &result.arms {
+        assert_eq!(arm.replicates.len(), 4);
+        for rep in &arm.replicates {
+            assert!(rep.queries > 0, "every cell actually ran");
+            assert!(rep.latency_ecdf.len() <= 32, "ECDF stays downsampled");
+        }
+    }
+    // The whole result stays small enough to be a value type: a rough
+    // upper bound on the retained bytes per cell, far below one report's
+    // query log alone.
+    let cells = result.arms.len() * 4;
+    let per_cell = std::mem::size_of::<ReplicateSummary>() + 32 * 16;
+    assert!(cells * per_cell < 1 << 20, "summaries stay under a MiB");
+}
+
+/// The deprecated `LossSweep` is a shim over `SweepEngine`; its points
+/// must match running each arm's scenario directly (same seed, same
+/// loss), bit for bit in the outcome series.
+#[test]
+#[allow(deprecated)]
+fn loss_sweep_shim_is_identical_to_direct_runs() {
+    use dike::core::LossSweep;
+
+    let rates = [0.0, 0.9, 1.0];
+    let points = LossSweep::new(tiny_base(), rates).run();
+    assert_eq!(points.len(), rates.len());
+    for (p, &loss) in points.iter().zip(&rates) {
+        let direct = tiny_base()
+            .with_attack(Attack::loss(loss).window_min(10, 10))
+            .run();
+        assert_eq!(p.loss, loss);
+        assert_eq!(p.report.outcomes, direct.outcomes);
+        assert_eq!(
+            p.report.output.log.records.len(),
+            direct.output.log.records.len()
+        );
+        assert_eq!(
+            p.report.ok_fraction_during_attack(),
+            direct.ok_fraction_during_attack()
+        );
+    }
+}
+
+/// Replicate seeds are derived, not sequential: paired replicates share
+/// seeds across arms (common random numbers), and replicate 0 is the
+/// base seed itself.
+#[test]
+fn paired_replicates_share_randomness_across_arms() {
+    let engine = SweepEngine::new(tiny_base())
+        .axis(SweepAxis::AttackLoss(vec![0.2, 0.8]))
+        .replicates(3);
+    for rep in 0..3 {
+        assert_eq!(engine.job_seed(0, rep), engine.job_seed(1, rep));
+    }
+    assert_eq!(engine.job_seed(0, 0), 9, "replicate 0 = the base seed");
+    let seeds: std::collections::HashSet<u64> = (0..3).map(|r| engine.job_seed(0, r)).collect();
+    assert_eq!(seeds.len(), 3, "replicates draw distinct seeds");
+}
