@@ -141,11 +141,14 @@ impl AuthServer {
     }
 
     /// The client's advertised maximum response size (EDNS0, or RFC
-    /// 1035's 512 octets without it).
+    /// 1035's 512 octets without it). RFC 6891 §6.2.3: advertised
+    /// values below 512 are treated as exactly 512, so a malformed or
+    /// adversarial tiny advertisement cannot force truncation of every
+    /// response.
     fn payload_limit(query: &Message) -> usize {
         query
             .edns_payload_size()
-            .map(|s| s as usize)
+            .map(|s| (s as usize).max(dike_wire::MAX_UDP_PAYLOAD))
             .unwrap_or(dike_wire::MAX_UDP_PAYLOAD)
     }
 
@@ -433,6 +436,23 @@ mod tests {
         let resp = s.handle_query(SimTime::ZERO, &q);
         assert!(!resp.truncated);
         assert_eq!(resp.answers.len(), 4);
+    }
+
+    #[test]
+    fn tiny_edns_advertisement_is_clamped_to_512() {
+        // RFC 6891 §6.2.3: values below 512 are treated as 512, so an
+        // EDNS query advertising a tiny payload behaves exactly like a
+        // plain 512-octet client — not like a client that can accept
+        // nothing at all.
+        let mut s = server();
+        for tiny in [0u16, 12, 511] {
+            let q = Message::iterative_query(23, name("1414.cachetest.nl"), RecordType::AAAA)
+                .with_edns(tiny);
+            let resp = s.handle_query(SimTime::ZERO, &q);
+            assert!(!resp.truncated, "fits in 512, adv={tiny}");
+            assert_eq!(resp.answers.len(), 1);
+        }
+        assert_eq!(s.stats().truncated, 0);
     }
 
     #[test]

@@ -4,6 +4,7 @@
 use criterion::{criterion_group, criterion_main, Criterion, Throughput};
 
 use dike_bench::fixed_latency_sim;
+use dike_defense::{Defense, DefensePlan, RrlConfig};
 use dike_netsim::{Addr, Context, Node, SimDuration, TimerToken};
 use dike_wire::{Message, Name, RecordType};
 
@@ -60,6 +61,35 @@ fn bench_event_loop(c: &mut Criterion) {
                 target: echo,
                 remaining: ROUND_TRIPS,
             }));
+            sim.run_until_idle();
+            sim.now()
+        })
+    });
+    g.bench_function("rrl_hot_path", |b| {
+        // The same round-trip burst with an RRL defense installed at the
+        // echo ingress, rate high enough that nothing is ever limited:
+        // measures the per-query cost of the defense seam itself
+        // (prefix mask + bucket lookup + refill) against the
+        // query_response_round_trips baseline above.
+        b.iter(|| {
+            let mut sim = fixed_latency_sim(1, 1);
+            let (_, echo) = sim.add_node(Box::new(Echo));
+            sim.add_node(Box::new(Burst {
+                target: echo,
+                remaining: ROUND_TRIPS,
+            }));
+            DefensePlan::new()
+                .with(Defense::rrl(
+                    echo,
+                    RrlConfig {
+                        rate_qps: 1e9,
+                        burst: 1e9,
+                        slip: 2,
+                        prefix_bits: 24,
+                    },
+                ))
+                .schedule(&mut sim)
+                .expect("valid plan");
             sim.run_until_idle();
             sim.now()
         })

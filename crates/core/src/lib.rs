@@ -38,7 +38,10 @@ use dike_stats::timeseries::{outcome_timeseries, OutcomeBin};
 pub use dike_attack as attack;
 pub use dike_auth as auth;
 pub use dike_cache as cache;
+pub use dike_defense as defense;
+pub use dike_defense::{Defense, DefensePlan, RrlConfig};
 pub use dike_experiments as experiments;
+pub use dike_experiments::defense::DefensePreset;
 pub use dike_experiments::setup::AttackScope;
 pub use dike_faults as faults;
 pub use dike_faults::{Fault, FaultPlan};
@@ -134,6 +137,20 @@ impl Attack {
     }
 }
 
+/// How a scenario's server-side defense is specified: not at all, as an
+/// explicit [`DefensePlan`], or as intent ([`DefensePreset`] / bare RRL
+/// rate) that resolves against the attack window and the standard
+/// two-authoritative topology when the scenario runs.
+#[derive(Debug, Clone)]
+enum DefenseSpec {
+    None,
+    Plan(DefensePlan),
+    Preset(DefensePreset),
+    /// RRL at both authoritatives: this sustained rate per source, slip
+    /// 2, armed at attack onset.
+    RrlRate(f64),
+}
+
 /// A declarative scenario: a probe population querying a zone through the
 /// calibrated resolver mix, optionally under attack.
 #[derive(Debug, Clone)]
@@ -146,6 +163,7 @@ pub struct Scenario {
     interval_min: u64,
     attack: Attack,
     attack_armed: bool,
+    defense: DefenseSpec,
 }
 
 impl Scenario {
@@ -159,6 +177,7 @@ impl Scenario {
             interval_min: 10,
             attack: Attack::loss(1.0),
             attack_armed: false,
+            defense: DefenseSpec::None,
         }
     }
 
@@ -251,6 +270,70 @@ impl Scenario {
         }
     }
 
+    /// Installs an explicit server-side [`DefensePlan`] for this run,
+    /// replacing any earlier defense. Composes with the attack: the
+    /// fault engine degrades ingress while the defense layer filters
+    /// what still arrives.
+    pub fn with_defense(mut self, plan: DefensePlan) -> Self {
+        self.defense = DefenseSpec::Plan(plan);
+        self
+    }
+
+    /// Arms one of the §7 defense presets at both authoritatives,
+    /// activating at the attack onset (minute 0 when no attack is
+    /// armed). Replaces any earlier defense.
+    pub fn defense_preset(mut self, preset: DefensePreset) -> Self {
+        self.defense = DefenseSpec::Preset(preset);
+        self
+    }
+
+    /// Arms plain RRL at both authoritatives: `rate_qps` sustained
+    /// responses per second per source address (must be positive), slip
+    /// 2 (every second over-rate query gets a TC=1 nudge to retry over
+    /// TCP), activating at the attack onset. Replaces any earlier
+    /// defense.
+    pub fn rrl_qps(mut self, rate_qps: f64) -> Self {
+        self.defense = DefenseSpec::RrlRate(rate_qps);
+        self
+    }
+
+    /// The defenses this scenario will schedule, as a [`DefensePlan`]:
+    /// intent (preset or RRL rate) resolved against the attack window
+    /// and the standard topology, an explicit plan verbatim, or an
+    /// empty plan when no defense is configured. Like
+    /// [`Scenario::fault_plan`], equality of defense plans is equality
+    /// of the installed defenses.
+    pub fn defense_plan(&self) -> DefensePlan {
+        let onset = || {
+            let start = if self.attack_armed {
+                self.attack.start_min
+            } else {
+                0
+            };
+            SimDuration::from_mins(start).after_zero()
+        };
+        match &self.defense {
+            DefenseSpec::None => DefensePlan::new(),
+            DefenseSpec::Plan(plan) => plan.clone(),
+            DefenseSpec::Preset(preset) => {
+                preset.plan(dike_experiments::topology::ns_addrs(), onset())
+            }
+            DefenseSpec::RrlRate(rate) => {
+                let config = RrlConfig {
+                    // Per-address buckets: simulated sources are dense,
+                    // so /24 aggregation would lump unrelated clients.
+                    prefix_bits: 32,
+                    ..RrlConfig::slip_at(*rate, 2)
+                };
+                let mut plan = DefensePlan::new();
+                for ns in dike_experiments::topology::ns_addrs() {
+                    plan.push(Defense::rrl(ns, config).starting_at(onset()));
+                }
+                plan
+            }
+        }
+    }
+
     /// Overrides the population mix.
     pub fn population(mut self, mix: dike_experiments::PopulationMix) -> Self {
         self.setup.mix = mix;
@@ -274,6 +357,14 @@ impl Scenario {
         if self.attack_armed {
             self.setup.attack = Some(self.attack.plan());
         }
+        // An absent defense stays `None` so the simulator keeps its
+        // defense-free hot path (and the pinned determinism digest).
+        let defense = self.defense_plan();
+        self.setup.defense = if defense.is_empty() {
+            None
+        } else {
+            Some(defense)
+        };
     }
 
     /// Runs the scenario and gathers the derived series.
@@ -500,6 +591,58 @@ mod tests {
     }
 
     #[test]
+    fn defense_intent_resolves_against_the_attack_window() {
+        let s = Scenario::new()
+            .with_attack(Attack::loss(0.9).window_min(60, 60))
+            .defense_preset(DefensePreset::RrlSlip);
+        let plan = s.defense_plan();
+        assert_eq!(plan.len(), 2, "one RRL layer per authoritative");
+        plan.validate().expect("preset plans are valid");
+        assert_eq!(DefensePlan::from_json(&plan.to_json()).unwrap(), plan);
+
+        // The RRL-rate shorthand arms both authoritatives too.
+        let rrl = Scenario::new()
+            .with_attack(Attack::loss(0.9).window_min(30, 30))
+            .rrl_qps(0.2)
+            .defense_plan();
+        assert_eq!(rrl.len(), 2);
+        rrl.validate().expect("rrl_qps plans are valid");
+
+        // No defense configured → empty plan, and the resolved setup
+        // keeps `None` so the simulator stays on its defense-free hot
+        // path (the pinned determinism digest depends on this).
+        assert!(Scenario::new().defense_plan().is_empty());
+        let mut none = Scenario::new().probes(5);
+        none.resolve();
+        assert!(none.setup.defense.is_none());
+        let mut armed = s;
+        armed.resolve();
+        assert_eq!(armed.setup.defense.as_ref().map(|p| p.len()), Some(2));
+    }
+
+    #[test]
+    fn scenario_defense_is_installed_and_counted() {
+        // A near-zero rate (burst 1, one token per ~100 s) rate-limits
+        // most repeat queries, so the netsim defense counters must move.
+        let report = Scenario::new()
+            .probes(12)
+            .ttl(60)
+            .duration_min(60)
+            .with_attack(Attack::loss(0.0).window_min(10, 50))
+            .rrl_qps(0.01)
+            .seed(8)
+            .telemetry(TelemetryConfig::every_mins(10))
+            .run();
+        let m = report.metrics().expect("telemetry on");
+        assert!(m.counter_total("netsim", None, "rrl_limited").unwrap_or(0) > 0);
+        assert!(
+            m.counter_total("netsim", None, "defense_drops")
+                .unwrap_or(0)
+                > 0
+        );
+    }
+
+    #[test]
     fn unarmed_scenario_has_an_empty_fault_plan() {
         let plan = Scenario::new().probes(10).fault_plan();
         assert!(plan.is_empty());
@@ -591,6 +734,7 @@ mod tests {
                 n_vps: 0,
                 metrics: None,
                 perf: Default::default(),
+                spoofed: None,
             },
             outcomes: vec![
                 OutcomeBin {

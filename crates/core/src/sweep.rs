@@ -56,6 +56,13 @@ pub enum SweepAxis {
     /// Share of resolver-farm backends with serve-stale enabled
     /// (`0.0` = off everywhere, `1.0` = on everywhere).
     ServeStaleShare(Vec<f64>),
+    /// Server-side defense presets (§7): each arm arms one preset at
+    /// both authoritatives from the attack onset.
+    DefensePreset(Vec<crate::DefensePreset>),
+    /// RRL sustained rates in responses/sec per source address (slip 2,
+    /// both authoritatives, armed at attack onset) — the defense-tuning
+    /// axis of the §7 tension between protection and collateral damage.
+    RrlRateQps(Vec<f64>),
 }
 
 impl SweepAxis {
@@ -67,6 +74,8 @@ impl SweepAxis {
             SweepAxis::ProbeIntervalMin(_) => "interval_min",
             SweepAxis::Probes(_) => "probes",
             SweepAxis::ServeStaleShare(_) => "serve_stale_share",
+            SweepAxis::DefensePreset(_) => "defense",
+            SweepAxis::RrlRateQps(_) => "rrl_qps",
         }
     }
 
@@ -78,6 +87,8 @@ impl SweepAxis {
             SweepAxis::ProbeIntervalMin(v) => v.len(),
             SweepAxis::Probes(v) => v.len(),
             SweepAxis::ServeStaleShare(v) => v.len(),
+            SweepAxis::DefensePreset(v) => v.len(),
+            SweepAxis::RrlRateQps(v) => v.len(),
         }
     }
 
@@ -94,6 +105,8 @@ impl SweepAxis {
             SweepAxis::ProbeIntervalMin(v) => v[i].to_string(),
             SweepAxis::Probes(v) => v[i].to_string(),
             SweepAxis::ServeStaleShare(v) => fmt_f64(v[i]),
+            SweepAxis::DefensePreset(v) => v[i].label().to_string(),
+            SweepAxis::RrlRateQps(v) => fmt_f64(v[i]),
         }
     }
 
@@ -115,6 +128,8 @@ impl SweepAxis {
             SweepAxis::ServeStaleShare(v) => {
                 s.setup.mix.farm_serve_stale_share = v[i].clamp(0.0, 1.0);
             }
+            SweepAxis::DefensePreset(v) => *s = s.clone().defense_preset(v[i]),
+            SweepAxis::RrlRateQps(v) => *s = s.clone().rrl_qps(v[i]),
         }
     }
 }
@@ -942,6 +957,50 @@ mod tests {
         let s0 = engine.scenario_for(0, 0);
         assert_eq!(s0.setup.n_probes, 3);
         assert_eq!(s0.setup.mix.farm_serve_stale_share, 0.0);
+    }
+
+    #[test]
+    fn defense_axes_mutate_the_scenario() {
+        let engine = SweepEngine::new(tiny_base())
+            .axis(SweepAxis::DefensePreset(vec![
+                crate::DefensePreset::None,
+                crate::DefensePreset::RrlSlip,
+            ]))
+            .axis(SweepAxis::RrlRateQps(vec![0.25]));
+        // The last axis wins (defense axes replace each other, like
+        // repeated with_defense calls).
+        let s = engine.scenario_for(0, 0);
+        let plan = s.defense_plan();
+        assert_eq!(plan.len(), 2, "RRL at both authoritatives");
+        plan.validate().expect("axis-built plan is valid");
+        assert_eq!(
+            engine.coord_labels(3)[0],
+            ("defense".into(), "rrl-slip".into())
+        );
+        assert_eq!(engine.coord_labels(3)[1], ("rrl_qps".into(), "0.25".into()));
+    }
+
+    #[test]
+    fn defense_grid_is_identical_across_worker_counts() {
+        // The acceptance grid: a defense axis crossed with AttackLoss,
+        // byte-identical CSV/JSON for 1 worker and N workers.
+        let grid = || {
+            SweepEngine::new(tiny_base())
+                .axis(SweepAxis::DefensePreset(vec![
+                    crate::DefensePreset::None,
+                    crate::DefensePreset::RrlSlip,
+                ]))
+                .axis(SweepAxis::AttackLoss(vec![0.9]))
+                .replicates(2)
+        };
+        let one = grid().threads(1).run();
+        let many = grid().threads(0).run();
+        assert_eq!(one.to_csv(), many.to_csv());
+        assert_eq!(one.to_json(), many.to_json());
+        assert_eq!(one.arms.len(), 2);
+        let csv = one.to_csv();
+        assert!(csv.lines().next().unwrap().starts_with("arm,defense,loss,"));
+        assert!(csv.contains("rrl-slip"));
     }
 
     #[test]

@@ -1,0 +1,1420 @@
+#![warn(missing_docs)]
+
+//! # dike-defense
+//!
+//! Composable, serializable server-side DDoS defenses for the simulator —
+//! the authoritative operator's half of the arms race the paper measures
+//! from the client side (§7: "server-side defenses change the tension
+//! between serving everyone and staying up").
+//!
+//! A [`DefensePlan`] is a list of [`Defense`]s, validated up front and
+//! scheduled all-or-nothing, exactly like a
+//! [`FaultPlan`](https://docs.rs/dike-faults): a defense scenario is
+//! data — buildable in code, serializable to JSON for record/replay, and
+//! composable with a fault plan (RRL *while* the flood ramps).
+//!
+//! The defense taxonomy (DESIGN.md §5.5):
+//!
+//! * [`Defense::Rrl`] — BIND/NSD-style response-rate limiting: one token
+//!   bucket per source prefix; over-rate queries are dropped, or every
+//!   Nth is answered with a truncated TC=1 response (*slip*) so honest
+//!   clients fail over to TCP-or-elsewhere while spoofed floods gain
+//!   nothing.
+//! * [`Defense::Admission`] — priority scheduling: a weighted-class
+//!   ingress scheduler ([`ClassedQueue`]) with per-class buffers, fed by
+//!   a [`SourceClassifier`] that sorts sources into known-resolver /
+//!   unknown / flagged classes (Rizvi et al.'s admission control).
+//! * [`Defense::ScaleOut`] — anycast scale-out: after a configurable
+//!   detection delay, multiply the target's service capacity and
+//!   optionally join standby replicas into its anycast catchment.
+//!
+//! Everything is deterministic: no defense draws randomness, every
+//! decision is a pure function of sim time, the source address, and the
+//! defense's serializable configuration. An empty plan schedules nothing
+//! and leaves a run bit-identical to a defense-free build.
+
+use std::collections::BTreeMap;
+
+use dike_netsim::{
+    Addr, ClassedQueue, ClassedQueueConfig, IngressDefense, IngressVerdict, NodeId, QueueClass,
+    QueueOutcome, SimDuration, SimTime, Simulator,
+};
+use dike_wire::Message;
+use serde::{Deserialize, Serialize};
+
+// ---------------------------------------------------------------------
+// RRL: per-source-prefix token buckets
+// ---------------------------------------------------------------------
+
+/// Response-rate-limiting parameters (the knobs of BIND's `rate-limit`
+/// block, reduced to what the simulation distinguishes).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RrlConfig {
+    /// Sustained responses per second allowed per source prefix.
+    pub rate_qps: f64,
+    /// Bucket depth in responses: how large a burst a quiet prefix may
+    /// spend at once (≥ 1).
+    pub burst: f64,
+    /// Slip interval: `0` drops every over-rate query silently; `n > 0`
+    /// answers every `n`-th over-rate query with a truncated TC=1
+    /// response instead (BIND's `slip n`).
+    pub slip: u32,
+    /// Aggregation prefix length in bits (BIND's `ipv4-prefix-length`,
+    /// default 24): sources sharing the top `prefix_bits` bits share one
+    /// bucket.
+    pub prefix_bits: u8,
+}
+
+impl RrlConfig {
+    /// Rate limiting with silent drops at `rate_qps` per /24.
+    pub fn drop_at(rate_qps: f64) -> RrlConfig {
+        RrlConfig {
+            rate_qps,
+            burst: rate_qps.max(1.0),
+            slip: 0,
+            prefix_bits: 24,
+        }
+    }
+
+    /// Rate limiting that slips a TC=1 answer every `slip`-th limited
+    /// query (the operationally recommended mode).
+    pub fn slip_at(rate_qps: f64, slip: u32) -> RrlConfig {
+        RrlConfig {
+            slip,
+            ..RrlConfig::drop_at(rate_qps)
+        }
+    }
+
+    fn mask(&self) -> u32 {
+        match self.prefix_bits {
+            0 => 0,
+            b if b >= 32 => u32::MAX,
+            b => u32::MAX << (32 - b),
+        }
+    }
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Bucket {
+    tokens: f64,
+    refilled: SimTime,
+    /// Over-rate queries seen by this bucket, for the slip cadence.
+    limited: u64,
+}
+
+/// What the rate limiter decided about one query.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RrlOutcome {
+    /// Under rate; answer normally.
+    Answer,
+    /// Over rate; drop silently.
+    Drop,
+    /// Over rate; answer truncated (TC=1).
+    Slip,
+}
+
+/// The RRL engine: one token bucket per source prefix, refilled in sim
+/// time. Deterministic — no RNG, and the slip cadence is a per-bucket
+/// counter, not a coin flip.
+#[derive(Debug, Clone)]
+pub struct Rrl {
+    config: RrlConfig,
+    buckets: BTreeMap<u32, Bucket>,
+}
+
+impl Rrl {
+    /// A fresh limiter; every prefix starts with a full bucket.
+    pub fn new(config: RrlConfig) -> Rrl {
+        Rrl {
+            config,
+            buckets: BTreeMap::new(),
+        }
+    }
+
+    /// Accounts one query from `src` at `now` and says what to do with
+    /// the response.
+    pub fn check(&mut self, now: SimTime, src: Addr) -> RrlOutcome {
+        let key = src.0 & self.config.mask();
+        let burst = self.config.burst.max(1.0);
+        let bucket = self.buckets.entry(key).or_insert(Bucket {
+            tokens: burst,
+            refilled: now,
+            limited: 0,
+        });
+        let elapsed = now.since(bucket.refilled).as_secs_f64();
+        bucket.tokens = (bucket.tokens + elapsed * self.config.rate_qps).min(burst);
+        bucket.refilled = now;
+        if bucket.tokens >= 1.0 {
+            bucket.tokens -= 1.0;
+            return RrlOutcome::Answer;
+        }
+        bucket.limited += 1;
+        if self.config.slip > 0 && bucket.limited.is_multiple_of(self.config.slip as u64) {
+            RrlOutcome::Slip
+        } else {
+            RrlOutcome::Drop
+        }
+    }
+
+    /// Number of distinct prefixes that have been rate-limited at least
+    /// once.
+    pub fn limited_prefixes(&self) -> usize {
+        self.buckets.values().filter(|b| b.limited > 0).count()
+    }
+}
+
+// ---------------------------------------------------------------------
+// Source classification
+// ---------------------------------------------------------------------
+
+/// Sorts query sources into the admission scheduler's service classes.
+/// Implementations must be deterministic (no RNG, no wall clock).
+pub trait SourceClassifier: Send {
+    /// The class traffic from `src` is served in.
+    fn classify(&self, src: Addr) -> QueueClass;
+
+    /// Called for every arriving query, *before* any defense layer
+    /// activates, so history-based classifiers can learn the pre-attack
+    /// population. Default no-op.
+    fn observe(&mut self, _now: SimTime, _src: Addr) {}
+}
+
+/// A fixed allowlist/blocklist classifier: listed `known` sources are
+/// served first-class, listed `flagged` sources last, everyone else in
+/// the middle.
+#[derive(Debug, Clone, Default)]
+pub struct StaticClassifier {
+    known: Vec<Addr>,
+    flagged: Vec<Addr>,
+}
+
+impl StaticClassifier {
+    /// Builds the classifier from the two lists (sorted internally, so
+    /// list order does not matter).
+    pub fn new(mut known: Vec<Addr>, mut flagged: Vec<Addr>) -> StaticClassifier {
+        known.sort_unstable();
+        known.dedup();
+        flagged.sort_unstable();
+        flagged.dedup();
+        StaticClassifier { known, flagged }
+    }
+}
+
+impl SourceClassifier for StaticClassifier {
+    fn classify(&self, src: Addr) -> QueueClass {
+        if self.flagged.binary_search(&src).is_ok() {
+            QueueClass::Flagged
+        } else if self.known.binary_search(&src).is_ok() {
+            QueueClass::Known
+        } else {
+            QueueClass::Unknown
+        }
+    }
+}
+
+/// A history-based classifier (Rizvi et al.): sources first seen before
+/// `cutoff` — attack onset, in practice — are *known* resolvers; sources
+/// that appear only after it are *unknown* (spoofed floods land here).
+#[derive(Debug, Clone)]
+pub struct HistoryClassifier {
+    cutoff: SimTime,
+    first_seen: BTreeMap<Addr, SimTime>,
+}
+
+impl HistoryClassifier {
+    /// A classifier that trusts everything it saw before `cutoff`.
+    pub fn new(cutoff: SimTime) -> HistoryClassifier {
+        HistoryClassifier {
+            cutoff,
+            first_seen: BTreeMap::new(),
+        }
+    }
+
+    /// Number of distinct sources observed so far.
+    pub fn seen(&self) -> usize {
+        self.first_seen.len()
+    }
+}
+
+impl SourceClassifier for HistoryClassifier {
+    fn classify(&self, src: Addr) -> QueueClass {
+        match self.first_seen.get(&src) {
+            Some(first) if *first < self.cutoff => QueueClass::Known,
+            _ => QueueClass::Unknown,
+        }
+    }
+
+    fn observe(&mut self, now: SimTime, src: Addr) {
+        self.first_seen.entry(src).or_insert(now);
+    }
+}
+
+/// The serializable description of a classifier — what a [`Defense`]
+/// carries; [`ClassifierKind::build`] turns it into the live object.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum ClassifierKind {
+    /// A [`StaticClassifier`] over explicit lists.
+    Static {
+        /// First-class sources.
+        known: Vec<Addr>,
+        /// Last-class sources.
+        flagged: Vec<Addr>,
+    },
+    /// A [`HistoryClassifier`] trusting sources first seen before
+    /// `cutoff`.
+    History {
+        /// The trust cutoff (attack onset).
+        cutoff: SimTime,
+    },
+}
+
+impl ClassifierKind {
+    /// Instantiates the live classifier.
+    pub fn build(&self) -> Box<dyn SourceClassifier> {
+        match self {
+            ClassifierKind::Static { known, flagged } => {
+                Box::new(StaticClassifier::new(known.clone(), flagged.clone()))
+            }
+            ClassifierKind::History { cutoff } => Box::new(HistoryClassifier::new(*cutoff)),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// The engine: classifier → admission → RRL, in front of one ingress
+// ---------------------------------------------------------------------
+
+struct AdmissionLayer {
+    start: SimTime,
+    queue: ClassedQueue,
+    classifier: Box<dyn SourceClassifier>,
+}
+
+/// The composed defense pipeline installed in front of one server
+/// address. Layers evaluate in the documented order — classifier →
+/// admission → RRL — and each is inert before its activation instant,
+/// so a defense can be armed mid-run without a control event.
+#[derive(Default)]
+pub struct DefenseEngine {
+    rrl: Option<(SimTime, Rrl)>,
+    admission: Option<AdmissionLayer>,
+}
+
+impl DefenseEngine {
+    /// An engine with no layers (passes everything).
+    pub fn new() -> DefenseEngine {
+        DefenseEngine::default()
+    }
+
+    /// Arms the RRL layer from `start`.
+    pub fn with_rrl(mut self, start: SimTime, config: RrlConfig) -> DefenseEngine {
+        self.rrl = Some((start, Rrl::new(config)));
+        self
+    }
+
+    /// Arms the admission layer from `start`.
+    pub fn with_admission(
+        mut self,
+        start: SimTime,
+        queue: ClassedQueueConfig,
+        classifier: Box<dyn SourceClassifier>,
+    ) -> DefenseEngine {
+        self.admission = Some(AdmissionLayer {
+            start,
+            queue: ClassedQueue::new(queue),
+            classifier,
+        });
+        self
+    }
+}
+
+impl IngressDefense for DefenseEngine {
+    fn on_query(&mut self, now: SimTime, src: Addr, msg: &Message) -> IngressVerdict {
+        if msg.is_response {
+            return IngressVerdict::Pass;
+        }
+        let mut delay = None;
+        if let Some(adm) = &mut self.admission {
+            // The classifier watches everything, even before the layer
+            // arms: a history classifier must learn the pre-attack
+            // population to be useful once admission starts shedding.
+            adm.classifier.observe(now, src);
+            if now >= adm.start {
+                let class = adm.classifier.classify(src);
+                match adm.queue.offer(now, class) {
+                    QueueOutcome::Dropped => return IngressVerdict::Shed(class),
+                    QueueOutcome::Enqueued(d) => delay = Some(d),
+                }
+            }
+        }
+        if let Some((start, rrl)) = &mut self.rrl {
+            if now >= *start {
+                match rrl.check(now, src) {
+                    RrlOutcome::Drop => return IngressVerdict::RrlDrop,
+                    RrlOutcome::Slip => return IngressVerdict::RrlSlip,
+                    RrlOutcome::Answer => {}
+                }
+            }
+        }
+        match delay {
+            Some(d) => IngressVerdict::Enqueue(d),
+            None => IngressVerdict::Pass,
+        }
+    }
+
+    fn inject_background_load(&mut self, load: f64) {
+        if let Some(adm) = &mut self.admission {
+            adm.queue.inject_background_load(load);
+        }
+    }
+
+    fn scale_capacity(&mut self, factor: f64) {
+        if let Some(adm) = &mut self.admission {
+            adm.queue.scale_capacity(factor);
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// The plan
+// ---------------------------------------------------------------------
+
+/// One defense. See the crate docs for the taxonomy.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Defense {
+    /// Response-rate limiting at `target` from `start` on.
+    Rrl {
+        /// The defended ingress address.
+        target: Addr,
+        /// When the limiter arms (queries before this pass freely).
+        start: SimTime,
+        /// Bucket parameters.
+        config: RrlConfig,
+    },
+    /// Weighted-class admission control at `target` from `start` on.
+    Admission {
+        /// The defended ingress address.
+        target: Addr,
+        /// When the scheduler arms. The classifier observes traffic
+        /// from t=0 regardless, so history classification works.
+        start: SimTime,
+        /// Per-class rates and buffers.
+        queue: ClassedQueueConfig,
+        /// How sources map to classes.
+        classifier: ClassifierKind,
+    },
+    /// Anycast scale-out: `detection_delay` after `at`, multiply
+    /// `target`'s service capacity and optionally join standby replicas
+    /// into its anycast group.
+    ScaleOut {
+        /// The defended address (a VIP if `join` is non-empty).
+        target: Addr,
+        /// Attack onset, as the operator's monitoring sees it.
+        at: SimTime,
+        /// Time from onset to the provisioning action taking effect.
+        detection_delay: SimDuration,
+        /// Factor (≥ 1) applied to the ingress queue's and the defense
+        /// engine's service rates.
+        capacity_factor: f64,
+        /// Standby replicas appended to the target VIP's catchment.
+        join: Vec<NodeId>,
+    },
+}
+
+/// Why a [`Defense`] (or the plan containing it) was rejected.
+#[derive(Debug, Clone, PartialEq)]
+pub enum DefenseError {
+    /// An RRL `rate_qps` that is zero, negative, or not a number.
+    RrlRateOutOfRange(f64),
+    /// An RRL `burst` below one response (or not a number).
+    RrlBurstOutOfRange(f64),
+    /// An RRL prefix length above 32 bits.
+    PrefixBitsOutOfRange(u8),
+    /// An admission `rate_pps` that is zero, negative, or not a number.
+    AdmissionRateOutOfRange(f64),
+    /// A negative (or non-finite) class weight.
+    WeightOutOfRange(f64),
+    /// All three class weights are zero: the scheduler would shed
+    /// every query, which is an outage, not a defense.
+    ZeroTotalWeight,
+    /// A scale-out `capacity_factor` below 1 (or not a number): scaling
+    /// out never shrinks capacity.
+    ScaleFactorOutOfRange(f64),
+    /// Two defenses install the same layer at the same target; the
+    /// second would silently replace the first.
+    DuplicateLayer(&'static str, Addr),
+}
+
+impl std::fmt::Display for DefenseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DefenseError::RrlRateOutOfRange(r) => {
+                write!(f, "rrl rate_qps {r} is not a positive rate")
+            }
+            DefenseError::RrlBurstOutOfRange(b) => {
+                write!(f, "rrl burst {b} is below 1 response")
+            }
+            DefenseError::PrefixBitsOutOfRange(b) => {
+                write!(f, "rrl prefix_bits {b} exceeds 32")
+            }
+            DefenseError::AdmissionRateOutOfRange(r) => {
+                write!(f, "admission rate_pps {r} is not a positive rate")
+            }
+            DefenseError::WeightOutOfRange(w) => {
+                write!(f, "class weight {w} is negative or not a number")
+            }
+            DefenseError::ZeroTotalWeight => {
+                write!(f, "all class weights are zero")
+            }
+            DefenseError::ScaleFactorOutOfRange(x) => {
+                write!(f, "capacity_factor {x} is below 1")
+            }
+            DefenseError::DuplicateLayer(kind, addr) => {
+                write!(f, "duplicate {kind} layer at {addr:?}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for DefenseError {}
+
+impl Defense {
+    /// RRL armed from t=0.
+    pub fn rrl(target: Addr, config: RrlConfig) -> Defense {
+        Defense::Rrl {
+            target,
+            start: SimTime::ZERO,
+            config,
+        }
+    }
+
+    /// Admission control armed from t=0.
+    pub fn admission(
+        target: Addr,
+        queue: ClassedQueueConfig,
+        classifier: ClassifierKind,
+    ) -> Defense {
+        Defense::Admission {
+            target,
+            start: SimTime::ZERO,
+            queue,
+            classifier,
+        }
+    }
+
+    /// Scale-out with no standby replicas (capacity multiplication
+    /// only).
+    pub fn scale_out(
+        target: Addr,
+        at: SimTime,
+        detection_delay: SimDuration,
+        capacity_factor: f64,
+    ) -> Defense {
+        Defense::ScaleOut {
+            target,
+            at,
+            detection_delay,
+            capacity_factor,
+            join: Vec::new(),
+        }
+    }
+
+    /// Delays a layer's activation; no-op on [`Defense::ScaleOut`]
+    /// (which already has `detection_delay`).
+    pub fn starting_at(mut self, when: SimTime) -> Defense {
+        match &mut self {
+            Defense::Rrl { start, .. } | Defense::Admission { start, .. } => *start = when,
+            Defense::ScaleOut { .. } => {}
+        }
+        self
+    }
+
+    /// Adds standby replicas to a [`Defense::ScaleOut`]; no-op on other
+    /// variants.
+    pub fn joining(mut self, replicas: Vec<NodeId>) -> Defense {
+        if let Defense::ScaleOut { join, .. } = &mut self {
+            *join = replicas;
+        }
+        self
+    }
+
+    /// Checks this defense's parameters.
+    pub fn validate(&self) -> Result<(), DefenseError> {
+        match self {
+            Defense::Rrl { config, .. } => {
+                if !config.rate_qps.is_finite() || config.rate_qps <= 0.0 {
+                    return Err(DefenseError::RrlRateOutOfRange(config.rate_qps));
+                }
+                if !config.burst.is_finite() || config.burst < 1.0 {
+                    return Err(DefenseError::RrlBurstOutOfRange(config.burst));
+                }
+                if config.prefix_bits > 32 {
+                    return Err(DefenseError::PrefixBitsOutOfRange(config.prefix_bits));
+                }
+                Ok(())
+            }
+            Defense::Admission { queue, .. } => {
+                if !queue.rate_pps.is_finite() || queue.rate_pps <= 0.0 {
+                    return Err(DefenseError::AdmissionRateOutOfRange(queue.rate_pps));
+                }
+                for w in queue.weights {
+                    if !w.is_finite() || w < 0.0 {
+                        return Err(DefenseError::WeightOutOfRange(w));
+                    }
+                }
+                if queue.weights.iter().sum::<f64>() <= 0.0 {
+                    return Err(DefenseError::ZeroTotalWeight);
+                }
+                Ok(())
+            }
+            Defense::ScaleOut {
+                capacity_factor, ..
+            } => {
+                if !capacity_factor.is_finite() || *capacity_factor < 1.0 {
+                    return Err(DefenseError::ScaleFactorOutOfRange(*capacity_factor));
+                }
+                Ok(())
+            }
+        }
+    }
+
+    /// The instant this defense's last scheduled action happens. RRL
+    /// and admission are open-ended, so their "end" is their arming
+    /// instant.
+    pub fn end(&self) -> SimTime {
+        match self {
+            Defense::Rrl { start, .. } | Defense::Admission { start, .. } => *start,
+            Defense::ScaleOut {
+                at,
+                detection_delay,
+                ..
+            } => *at + *detection_delay,
+        }
+    }
+
+    fn target(&self) -> Addr {
+        match self {
+            Defense::Rrl { target, .. }
+            | Defense::Admission { target, .. }
+            | Defense::ScaleOut { target, .. } => *target,
+        }
+    }
+}
+
+/// A composable defense scenario: any number of defenses, scheduled
+/// together. RRL and admission layers aimed at the same target compose
+/// into one [`DefenseEngine`].
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct DefensePlan {
+    /// The defenses, in any order (each carries its own times).
+    pub defenses: Vec<Defense>,
+}
+
+impl DefensePlan {
+    /// An empty plan (scheduling it is a no-op).
+    pub fn new() -> Self {
+        DefensePlan::default()
+    }
+
+    /// Adds a defense (builder-style).
+    pub fn with(mut self, defense: Defense) -> Self {
+        self.defenses.push(defense);
+        self
+    }
+
+    /// Adds a defense in place.
+    pub fn push(&mut self, defense: Defense) -> &mut Self {
+        self.defenses.push(defense);
+        self
+    }
+
+    /// Whether the plan contains no defenses.
+    pub fn is_empty(&self) -> bool {
+        self.defenses.is_empty()
+    }
+
+    /// Number of defenses in the plan.
+    pub fn len(&self) -> usize {
+        self.defenses.len()
+    }
+
+    /// Validates every defense (and plan-level coherence: at most one
+    /// RRL and one admission layer per target); the index of the first
+    /// invalid defense is reported alongside its error.
+    pub fn validate(&self) -> Result<(), (usize, DefenseError)> {
+        let mut seen: Vec<(&'static str, Addr)> = Vec::new();
+        for (i, d) in self.defenses.iter().enumerate() {
+            d.validate().map_err(|e| (i, e))?;
+            let layer = match d {
+                Defense::Rrl { .. } => Some("rrl"),
+                Defense::Admission { .. } => Some("admission"),
+                Defense::ScaleOut { .. } => None,
+            };
+            if let Some(kind) = layer {
+                let key = (kind, d.target());
+                if seen.contains(&key) {
+                    return Err((i, DefenseError::DuplicateLayer(kind, d.target())));
+                }
+                seen.push(key);
+            }
+        }
+        Ok(())
+    }
+
+    /// Validates the whole plan, then installs every defense. All-or-
+    /// nothing: an invalid defense anywhere means nothing is installed.
+    pub fn schedule(&self, sim: &mut Simulator) -> Result<(), (usize, DefenseError)> {
+        self.validate()?;
+        // Compose per-target engines first (RRL + admission at one
+        // address share a pipeline), then install them.
+        let mut engines: BTreeMap<Addr, DefenseEngine> = BTreeMap::new();
+        for d in &self.defenses {
+            match d {
+                Defense::Rrl {
+                    target,
+                    start,
+                    config,
+                } => {
+                    engines.entry(*target).or_default().rrl = Some((*start, Rrl::new(*config)));
+                }
+                Defense::Admission {
+                    target,
+                    start,
+                    queue,
+                    classifier,
+                } => {
+                    engines.entry(*target).or_default().admission = Some(AdmissionLayer {
+                        start: *start,
+                        queue: ClassedQueue::new(*queue),
+                        classifier: classifier.build(),
+                    });
+                }
+                Defense::ScaleOut { .. } => {}
+            }
+        }
+        for (addr, engine) in engines {
+            sim.set_ingress_defense(addr, Box::new(engine));
+        }
+        for d in &self.defenses {
+            if let Defense::ScaleOut {
+                target,
+                at,
+                detection_delay,
+                capacity_factor,
+                join,
+            } = d
+            {
+                let (t, factor, join) = (*target, *capacity_factor, join.clone());
+                sim.schedule_control(*at + *detection_delay, move |w| {
+                    w.note_scaleout_activation();
+                    if let Some(q) = w.queue_mut(t) {
+                        q.scale_capacity(factor);
+                    }
+                    if let Some(d) = w.defense_mut(t) {
+                        d.scale_capacity(factor);
+                    }
+                    if !join.is_empty() {
+                        let mut members = w
+                            .anycast_mut()
+                            .members(t)
+                            .map(|m| m.to_vec())
+                            .unwrap_or_default();
+                        for n in join {
+                            if !members.contains(&n) {
+                                members.push(n);
+                            }
+                        }
+                        w.anycast_mut().set_group(t, members);
+                    }
+                });
+            }
+        }
+        Ok(())
+    }
+
+    /// The instant the last defense's last action happens, if any.
+    pub fn last_end(&self) -> Option<SimTime> {
+        self.defenses.iter().map(|d| d.end()).max()
+    }
+}
+
+// ---------------------------------------------------------------------
+// JSON (hand-rolled)
+// ---------------------------------------------------------------------
+//
+// Same contract as `dike-faults`: plans must survive record/replay in
+// stripped-down offline builds where the JSON dependency is stubbed, so
+// the wire format is written and parsed by hand. The serde derives
+// above serve full environments; this format is the portable one and is
+// what the tests pin.
+
+impl DefensePlan {
+    /// Serializes the plan to one-line JSON.
+    pub fn to_json(&self) -> String {
+        let defenses: Vec<String> = self.defenses.iter().map(defense_json).collect();
+        format!("{{\"defenses\":[{}]}}", defenses.join(","))
+    }
+
+    /// Parses [`DefensePlan::to_json`] output. Returns a description of
+    /// the first problem on malformed input.
+    pub fn from_json(text: &str) -> Result<DefensePlan, String> {
+        let body = strip_wrapped(text.trim(), '{', '}').ok_or("plan is not a JSON object")?;
+        let (key, value) = split_kv(body).ok_or("plan has no fields")?;
+        if key != "defenses" {
+            return Err(format!("expected \"defenses\", found \"{key}\""));
+        }
+        let list = strip_wrapped(value, '[', ']').ok_or("\"defenses\" is not an array")?;
+        let mut defenses = Vec::new();
+        for obj in split_top_level(list) {
+            defenses.push(defense_from_json(obj)?);
+        }
+        Ok(DefensePlan { defenses })
+    }
+}
+
+fn join_f64(xs: &[f64]) -> String {
+    xs.iter()
+        .map(|x| x.to_string())
+        .collect::<Vec<_>>()
+        .join(",")
+}
+
+fn join_u64<T: Copy + Into<u64>>(xs: &[T]) -> String {
+    xs.iter()
+        .map(|x| (*x).into().to_string())
+        .collect::<Vec<_>>()
+        .join(",")
+}
+
+fn defense_json(d: &Defense) -> String {
+    match d {
+        Defense::Rrl {
+            target,
+            start,
+            config,
+        } => format!(
+            "{{\"kind\":\"rrl\",\"target\":{},\"start_ns\":{},\"rate_qps\":{},\"burst\":{},\"slip\":{},\"prefix_bits\":{}}}",
+            target.0,
+            start.as_nanos(),
+            config.rate_qps,
+            config.burst,
+            config.slip,
+            config.prefix_bits
+        ),
+        Defense::Admission {
+            target,
+            start,
+            queue,
+            classifier,
+        } => {
+            let mut s = format!(
+                "{{\"kind\":\"admission\",\"target\":{},\"start_ns\":{},\"rate_pps\":{},\"weights\":[{}],\"capacity\":[{}]",
+                target.0,
+                start.as_nanos(),
+                queue.rate_pps,
+                join_f64(&queue.weights),
+                join_u64(&queue.capacity)
+            );
+            match classifier {
+                ClassifierKind::Static { known, flagged } => s.push_str(&format!(
+                    ",\"classifier\":\"static\",\"known\":[{}],\"flagged\":[{}]",
+                    join_u64(&known.iter().map(|a| a.0).collect::<Vec<_>>()),
+                    join_u64(&flagged.iter().map(|a| a.0).collect::<Vec<_>>())
+                )),
+                ClassifierKind::History { cutoff } => s.push_str(&format!(
+                    ",\"classifier\":\"history\",\"cutoff_ns\":{}",
+                    cutoff.as_nanos()
+                )),
+            }
+            s.push('}');
+            s
+        }
+        Defense::ScaleOut {
+            target,
+            at,
+            detection_delay,
+            capacity_factor,
+            join,
+        } => format!(
+            "{{\"kind\":\"scale_out\",\"target\":{},\"at_ns\":{},\"detection_delay_ns\":{},\"capacity_factor\":{},\"join\":[{}]}}",
+            target.0,
+            at.as_nanos(),
+            detection_delay.as_nanos(),
+            capacity_factor,
+            join_u64(&join.iter().map(|n| n.0).collect::<Vec<_>>())
+        ),
+    }
+}
+
+/// Strips one `open … close` wrapper, returning the interior.
+fn strip_wrapped(s: &str, open: char, close: char) -> Option<&str> {
+    Some(s.trim().strip_prefix(open)?.strip_suffix(close)?.trim())
+}
+
+/// Splits `s` on top-level commas (commas at bracket depth 0, outside
+/// string literals). The format this module writes has no escapes inside
+/// strings, so string state is a simple toggle.
+fn split_top_level(s: &str) -> Vec<&str> {
+    let mut parts = Vec::new();
+    let (mut depth, mut in_str, mut start) = (0i32, false, 0usize);
+    for (i, c) in s.char_indices() {
+        match c {
+            '"' => in_str = !in_str,
+            '{' | '[' if !in_str => depth += 1,
+            '}' | ']' if !in_str => depth -= 1,
+            ',' if !in_str && depth == 0 => {
+                parts.push(s[start..i].trim());
+                start = i + 1;
+            }
+            _ => {}
+        }
+    }
+    let tail = s[start..].trim();
+    if !tail.is_empty() {
+        parts.push(tail);
+    }
+    parts.retain(|p| !p.is_empty());
+    parts
+}
+
+/// Splits one `"key": value` pair.
+fn split_kv(field: &str) -> Option<(&str, &str)> {
+    let (key, value) = field.split_once(':')?;
+    Some((
+        key.trim().strip_prefix('"')?.strip_suffix('"')?,
+        value.trim(),
+    ))
+}
+
+/// The fields of one defense object, as `(key, raw_value)` pairs.
+fn defense_fields(obj: &str) -> Result<Vec<(&str, &str)>, String> {
+    let body = strip_wrapped(obj, '{', '}').ok_or_else(|| format!("not an object: {obj}"))?;
+    split_top_level(body)
+        .into_iter()
+        .map(|f| split_kv(f).ok_or_else(|| format!("bad field: {f}")))
+        .collect()
+}
+
+fn find<'a>(fields: &[(&str, &'a str)], key: &str) -> Result<&'a str, String> {
+    fields
+        .iter()
+        .find(|(k, _)| *k == key)
+        .map(|(_, v)| *v)
+        .ok_or_else(|| format!("missing field \"{key}\""))
+}
+
+fn find_u64(fields: &[(&str, &str)], key: &str) -> Result<u64, String> {
+    find(fields, key)?
+        .parse()
+        .map_err(|_| format!("field \"{key}\" is not an integer"))
+}
+
+fn find_f64(fields: &[(&str, &str)], key: &str) -> Result<f64, String> {
+    find(fields, key)?
+        .parse()
+        .map_err(|_| format!("field \"{key}\" is not a number"))
+}
+
+fn find_u64_list(fields: &[(&str, &str)], key: &str) -> Result<Vec<u64>, String> {
+    let list = strip_wrapped(find(fields, key)?, '[', ']')
+        .ok_or_else(|| format!("\"{key}\" is not an array"))?;
+    split_top_level(list)
+        .into_iter()
+        .map(|t| {
+            t.parse::<u64>()
+                .map_err(|_| format!("bad {key} element {t}"))
+        })
+        .collect()
+}
+
+fn find_f64_list(fields: &[(&str, &str)], key: &str) -> Result<Vec<f64>, String> {
+    let list = strip_wrapped(find(fields, key)?, '[', ']')
+        .ok_or_else(|| format!("\"{key}\" is not an array"))?;
+    split_top_level(list)
+        .into_iter()
+        .map(|t| {
+            t.parse::<f64>()
+                .map_err(|_| format!("bad {key} element {t}"))
+        })
+        .collect()
+}
+
+fn fixed<const N: usize, T: Copy + Default>(xs: Vec<T>, key: &str) -> Result<[T; N], String> {
+    if xs.len() != N {
+        return Err(format!("\"{key}\" needs exactly {N} elements"));
+    }
+    let mut out = [T::default(); N];
+    out.copy_from_slice(&xs);
+    Ok(out)
+}
+
+fn defense_from_json(obj: &str) -> Result<Defense, String> {
+    let fields = defense_fields(obj)?;
+    let kind = find(&fields, "kind").and_then(|v| {
+        v.strip_prefix('"')
+            .and_then(|v| v.strip_suffix('"'))
+            .ok_or_else(|| "\"kind\" is not a string".to_string())
+    })?;
+    match kind {
+        "rrl" => Ok(Defense::Rrl {
+            target: Addr(find_u64(&fields, "target")? as u32),
+            start: SimTime::from_nanos(find_u64(&fields, "start_ns")?),
+            config: RrlConfig {
+                rate_qps: find_f64(&fields, "rate_qps")?,
+                burst: find_f64(&fields, "burst")?,
+                slip: find_u64(&fields, "slip")? as u32,
+                prefix_bits: find_u64(&fields, "prefix_bits")? as u8,
+            },
+        }),
+        "admission" => {
+            let classifier = match find(&fields, "classifier")? {
+                "\"static\"" => ClassifierKind::Static {
+                    known: find_u64_list(&fields, "known")?
+                        .into_iter()
+                        .map(|a| Addr(a as u32))
+                        .collect(),
+                    flagged: find_u64_list(&fields, "flagged")?
+                        .into_iter()
+                        .map(|a| Addr(a as u32))
+                        .collect(),
+                },
+                "\"history\"" => ClassifierKind::History {
+                    cutoff: SimTime::from_nanos(find_u64(&fields, "cutoff_ns")?),
+                },
+                other => return Err(format!("unknown classifier {other}")),
+            };
+            Ok(Defense::Admission {
+                target: Addr(find_u64(&fields, "target")? as u32),
+                start: SimTime::from_nanos(find_u64(&fields, "start_ns")?),
+                queue: ClassedQueueConfig {
+                    rate_pps: find_f64(&fields, "rate_pps")?,
+                    weights: fixed::<3, f64>(find_f64_list(&fields, "weights")?, "weights")?,
+                    capacity: fixed::<3, u32>(
+                        find_u64_list(&fields, "capacity")?
+                            .into_iter()
+                            .map(|c| c as u32)
+                            .collect(),
+                        "capacity",
+                    )?,
+                },
+                classifier,
+            })
+        }
+        "scale_out" => Ok(Defense::ScaleOut {
+            target: Addr(find_u64(&fields, "target")? as u32),
+            at: SimTime::from_nanos(find_u64(&fields, "at_ns")?),
+            detection_delay: SimDuration::from_nanos(find_u64(&fields, "detection_delay_ns")?),
+            capacity_factor: find_f64(&fields, "capacity_factor")?,
+            join: find_u64_list(&fields, "join")?
+                .into_iter()
+                .map(|n| NodeId(n as u32))
+                .collect(),
+        }),
+        other => Err(format!("unknown defense kind \"{other}\"")),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dike_netsim::{Context, LatencyModel, LinkParams, LinkTable, Node, TimerToken};
+    use dike_wire::{Message, Name, RecordType};
+    use parking_lot::Mutex;
+    use std::sync::Arc;
+
+    fn t(secs: u64) -> SimTime {
+        SimDuration::from_secs(secs).after_zero()
+    }
+
+    fn d(secs: u64) -> SimDuration {
+        SimDuration::from_secs(secs)
+    }
+
+    fn full_plan() -> DefensePlan {
+        DefensePlan::new()
+            .with(Defense::rrl(Addr(0x0a00_0001), RrlConfig::slip_at(5.0, 2)).starting_at(t(10)))
+            .with(Defense::admission(
+                Addr(0x0a00_0001),
+                ClassedQueueConfig::protective(2_000.0),
+                ClassifierKind::History { cutoff: t(60) },
+            ))
+            .with(Defense::admission(
+                Addr(0x0a00_0002),
+                ClassedQueueConfig {
+                    rate_pps: 500.0,
+                    weights: [4.0, 2.0, 0.0],
+                    capacity: [100, 20, 0],
+                },
+                ClassifierKind::Static {
+                    known: vec![Addr(1), Addr(2)],
+                    flagged: vec![Addr(9)],
+                },
+            ))
+            .with(
+                Defense::scale_out(Addr(0xc612_0001), t(60), d(300), 3.0)
+                    .joining(vec![NodeId(7), NodeId(8)]),
+            )
+    }
+
+    #[test]
+    fn json_round_trip_preserves_every_defense() {
+        let plan = full_plan();
+        let json = plan.to_json();
+        let back = DefensePlan::from_json(&json).unwrap();
+        assert_eq!(plan, back);
+        // And the round-tripped plan serializes identically (stable form).
+        assert_eq!(json, back.to_json());
+    }
+
+    #[test]
+    fn empty_plan_round_trips() {
+        let plan = DefensePlan::new();
+        assert!(plan.is_empty());
+        assert_eq!(DefensePlan::from_json(&plan.to_json()).unwrap(), plan);
+    }
+
+    #[test]
+    fn from_json_rejects_garbage() {
+        assert!(DefensePlan::from_json("").is_err());
+        assert!(DefensePlan::from_json("[]").is_err());
+        assert!(DefensePlan::from_json("{\"defenses\":[{}]}").is_err());
+        assert!(DefensePlan::from_json("{\"defenses\":[{\"kind\":\"martian\"}]}").is_err());
+        assert!(
+            DefensePlan::from_json("{\"defenses\":[{\"kind\":\"rrl\",\"target\":1}]}").is_err(),
+            "missing fields"
+        );
+        assert!(
+            DefensePlan::from_json(
+                "{\"defenses\":[{\"kind\":\"admission\",\"target\":1,\"start_ns\":0,\
+                 \"rate_pps\":10,\"weights\":[1,2],\"capacity\":[1,2,3],\
+                 \"classifier\":\"history\",\"cutoff_ns\":0}]}"
+            )
+            .is_err(),
+            "weights must have 3 elements"
+        );
+    }
+
+    #[test]
+    fn validation_rejects_bad_defenses_with_index() {
+        let plan = DefensePlan::new()
+            .with(Defense::rrl(Addr(1), RrlConfig::drop_at(5.0)))
+            .with(Defense::rrl(Addr(2), RrlConfig::drop_at(0.0)));
+        match plan.validate() {
+            Err((1, DefenseError::RrlRateOutOfRange(r))) => assert_eq!(r, 0.0),
+            other => panic!("expected index-1 rate error, got {other:?}"),
+        }
+        let bad = [
+            Defense::rrl(
+                Addr(1),
+                RrlConfig {
+                    burst: 0.5,
+                    ..RrlConfig::drop_at(5.0)
+                },
+            ),
+            Defense::rrl(
+                Addr(1),
+                RrlConfig {
+                    prefix_bits: 40,
+                    ..RrlConfig::drop_at(5.0)
+                },
+            ),
+            Defense::admission(
+                Addr(1),
+                ClassedQueueConfig::protective(0.0),
+                ClassifierKind::History { cutoff: t(0) },
+            ),
+            Defense::admission(
+                Addr(1),
+                ClassedQueueConfig {
+                    rate_pps: 100.0,
+                    weights: [1.0, -2.0, 1.0],
+                    capacity: [1, 1, 1],
+                },
+                ClassifierKind::History { cutoff: t(0) },
+            ),
+            Defense::admission(
+                Addr(1),
+                ClassedQueueConfig {
+                    rate_pps: 100.0,
+                    weights: [0.0, 0.0, 0.0],
+                    capacity: [1, 1, 1],
+                },
+                ClassifierKind::History { cutoff: t(0) },
+            ),
+            Defense::scale_out(Addr(1), t(0), d(60), 0.5),
+        ];
+        for b in bad {
+            assert!(b.validate().is_err(), "{b:?} should be invalid");
+        }
+        // Duplicate layers at one target are a plan-level error.
+        let dup = DefensePlan::new()
+            .with(Defense::rrl(Addr(1), RrlConfig::drop_at(5.0)))
+            .with(Defense::rrl(Addr(1), RrlConfig::drop_at(9.0)));
+        match dup.validate() {
+            Err((1, DefenseError::DuplicateLayer("rrl", a))) => assert_eq!(a, Addr(1)),
+            other => panic!("expected duplicate-layer error, got {other:?}"),
+        }
+        // An invalid plan schedules nothing.
+        let mut sim = Simulator::new(1);
+        let invalid = DefensePlan::new().with(Defense::rrl(Addr(1), RrlConfig::drop_at(-1.0)));
+        assert!(invalid.schedule(&mut sim).is_err());
+    }
+
+    #[test]
+    fn plan_end_spans_detection_delays() {
+        let plan = full_plan();
+        assert_eq!(plan.last_end(), Some(t(360)));
+    }
+
+    #[test]
+    fn rrl_buckets_refill_in_sim_time() {
+        let mut rrl = Rrl::new(RrlConfig::drop_at(2.0)); // 2 qps, burst 2
+        let src = Addr(0x0a00_0001);
+        // Burst drains the bucket…
+        assert_eq!(rrl.check(t(0), src), RrlOutcome::Answer);
+        assert_eq!(rrl.check(t(0), src), RrlOutcome::Answer);
+        assert_eq!(rrl.check(t(0), src), RrlOutcome::Drop);
+        // …and a second later two tokens are back.
+        assert_eq!(rrl.check(t(1), src), RrlOutcome::Answer);
+        assert_eq!(rrl.check(t(1), src), RrlOutcome::Answer);
+        assert_eq!(rrl.check(t(1), src), RrlOutcome::Drop);
+        assert_eq!(rrl.limited_prefixes(), 1);
+        // A different /24 has its own bucket.
+        assert_eq!(rrl.check(t(1), Addr(0x0a00_0101)), RrlOutcome::Answer);
+    }
+
+    #[test]
+    fn rrl_slip_answers_every_nth_limited_query() {
+        let mut rrl = Rrl::new(RrlConfig::slip_at(1.0, 2));
+        let src = Addr(0x0a00_0001);
+        assert_eq!(rrl.check(t(0), src), RrlOutcome::Answer);
+        let outcomes: Vec<RrlOutcome> = (0..4).map(|_| rrl.check(t(0), src)).collect();
+        assert_eq!(
+            outcomes,
+            [
+                RrlOutcome::Drop,
+                RrlOutcome::Slip,
+                RrlOutcome::Drop,
+                RrlOutcome::Slip
+            ]
+        );
+    }
+
+    #[test]
+    fn rrl_aggregates_by_prefix() {
+        let mut rrl = Rrl::new(RrlConfig::drop_at(1.0));
+        // Two addresses in the same /24 share one bucket.
+        assert_eq!(rrl.check(t(0), Addr(0x0a00_0001)), RrlOutcome::Answer);
+        assert_eq!(rrl.check(t(0), Addr(0x0a00_0002)), RrlOutcome::Drop);
+    }
+
+    #[test]
+    fn history_classifier_trusts_the_pre_attack_population() {
+        let mut c = HistoryClassifier::new(t(60));
+        c.observe(t(10), Addr(1));
+        c.observe(t(70), Addr(2));
+        assert_eq!(c.classify(Addr(1)), QueueClass::Known);
+        assert_eq!(c.classify(Addr(2)), QueueClass::Unknown);
+        assert_eq!(c.classify(Addr(3)), QueueClass::Unknown, "never seen");
+        assert_eq!(c.seen(), 2);
+        // Re-observing after the cutoff must not demote a known source.
+        c.observe(t(80), Addr(1));
+        assert_eq!(c.classify(Addr(1)), QueueClass::Known);
+    }
+
+    #[test]
+    fn static_classifier_routes_all_three_classes() {
+        let c = StaticClassifier::new(vec![Addr(5)], vec![Addr(6)]);
+        assert_eq!(c.classify(Addr(5)), QueueClass::Known);
+        assert_eq!(c.classify(Addr(6)), QueueClass::Flagged);
+        assert_eq!(c.classify(Addr(7)), QueueClass::Unknown);
+    }
+
+    /// A node that answers every query (echo).
+    struct Echo;
+    impl Node for Echo {
+        fn on_datagram(
+            &mut self,
+            ctx: &mut Context<'_>,
+            src: Addr,
+            msg: &Message,
+            _wire_len: usize,
+        ) {
+            if !msg.is_response {
+                ctx.send(src, &Message::response_to(msg));
+            }
+        }
+        fn on_timer(&mut self, _ctx: &mut Context<'_>, _token: TimerToken) {}
+    }
+
+    /// Sends `qps` queries per second and tallies full vs truncated
+    /// replies.
+    struct Chatter {
+        target: Addr,
+        full: Arc<Mutex<u64>>,
+        truncated: Arc<Mutex<u64>>,
+        interval: SimDuration,
+        remaining: u32,
+    }
+    impl Node for Chatter {
+        fn on_start(&mut self, ctx: &mut Context<'_>) {
+            ctx.set_timer(self.interval, TimerToken(0));
+        }
+        fn on_datagram(
+            &mut self,
+            _ctx: &mut Context<'_>,
+            _src: Addr,
+            msg: &Message,
+            _wire_len: usize,
+        ) {
+            if msg.is_response {
+                if msg.truncated {
+                    *self.truncated.lock() += 1;
+                } else {
+                    *self.full.lock() += 1;
+                }
+            }
+        }
+        fn on_timer(&mut self, ctx: &mut Context<'_>, _token: TimerToken) {
+            let q = Message::query(1, Name::parse("x.nl").unwrap(), RecordType::A);
+            ctx.send(self.target, &q);
+            if self.remaining > 0 {
+                self.remaining -= 1;
+                ctx.set_timer(self.interval, TimerToken(0));
+            }
+        }
+    }
+
+    fn defended_sim(
+        seed: u64,
+        qps: u64,
+        queries: u32,
+    ) -> (Simulator, Addr, Arc<Mutex<u64>>, Arc<Mutex<u64>>) {
+        let mut sim = Simulator::new(seed);
+        *sim.links_mut() = LinkTable::new(LinkParams {
+            latency: LatencyModel::Fixed(SimDuration::from_millis(10)),
+            loss: 0.0,
+        });
+        let (_, echo_addr) = sim.add_node(Box::new(Echo));
+        let full = Arc::new(Mutex::new(0));
+        let truncated = Arc::new(Mutex::new(0));
+        sim.add_node(Box::new(Chatter {
+            target: echo_addr,
+            full: full.clone(),
+            truncated: truncated.clone(),
+            interval: SimDuration::from_millis(1000 / qps.max(1)),
+            remaining: queries.saturating_sub(1),
+        }));
+        (sim, echo_addr, full, truncated)
+    }
+
+    #[test]
+    fn rrl_drop_thins_an_over_rate_source() {
+        // 10 qps against a 2 qps limit: roughly 1/5 of queries answered.
+        let (mut sim, addr, full, truncated) = defended_sim(3, 10, 100);
+        DefensePlan::new()
+            .with(Defense::rrl(addr, RrlConfig::drop_at(2.0)))
+            .schedule(&mut sim)
+            .unwrap();
+        sim.run_until_idle();
+        let report = sim.audit();
+        report.assert_clean();
+        let got = *full.lock();
+        assert!((15..=30).contains(&got), "answered={got}");
+        assert_eq!(*truncated.lock(), 0, "drop mode never truncates");
+        assert!(report.rrl_limited > 0);
+        assert_eq!(report.rrl_slipped, 0);
+        assert_eq!(report.defense_drops, report.rrl_limited);
+    }
+
+    #[test]
+    fn rrl_slip_converts_some_drops_into_tc_answers() {
+        let (mut sim, addr, full, truncated) = defended_sim(4, 10, 100);
+        DefensePlan::new()
+            .with(Defense::rrl(addr, RrlConfig::slip_at(2.0, 2)))
+            .schedule(&mut sim)
+            .unwrap();
+        sim.run_until_idle();
+        let report = sim.audit();
+        report.assert_clean();
+        assert!(*full.lock() > 0);
+        let tc = *truncated.lock();
+        assert!(tc > 10, "every 2nd limited query slips: tc={tc}");
+        assert_eq!(report.rrl_slipped, tc);
+        assert!(report.rrl_slipped <= report.rrl_limited);
+    }
+
+    #[test]
+    fn admission_with_zero_flagged_weight_sheds_flagged_sources() {
+        let (mut sim, addr, full, _) = defended_sim(5, 5, 50);
+        // The single chatter is flagged; its class weight is zero.
+        let chatter_addr = Addr(0x0a00_0002);
+        DefensePlan::new()
+            .with(Defense::admission(
+                addr,
+                ClassedQueueConfig {
+                    rate_pps: 1_000.0,
+                    weights: [8.0, 3.0, 0.0],
+                    capacity: [100, 100, 0],
+                },
+                ClassifierKind::Static {
+                    known: vec![],
+                    flagged: vec![chatter_addr],
+                },
+            ))
+            .schedule(&mut sim)
+            .unwrap();
+        sim.run_until_idle();
+        let report = sim.audit();
+        report.assert_clean();
+        assert_eq!(*full.lock(), 0, "flagged class is fully shed");
+        assert_eq!(report.shed_by_class[QueueClass::Flagged.index()], 50);
+    }
+
+    #[test]
+    fn admission_enqueues_known_sources_with_service_delay() {
+        let (mut sim, addr, full, _) = defended_sim(6, 5, 20);
+        let chatter_addr = Addr(0x0a00_0002);
+        DefensePlan::new()
+            .with(Defense::admission(
+                addr,
+                ClassedQueueConfig::protective(1_000.0),
+                ClassifierKind::Static {
+                    known: vec![chatter_addr],
+                    flagged: vec![],
+                },
+            ))
+            .schedule(&mut sim)
+            .unwrap();
+        sim.run_until_idle();
+        let report = sim.audit();
+        report.assert_clean();
+        assert_eq!(*full.lock(), 20, "known class admits everything");
+        assert_eq!(report.defense_drops, 0);
+    }
+
+    #[test]
+    fn empty_plan_is_a_scheduling_no_op() {
+        let (mut sim, _, full, _) = defended_sim(8, 5, 10);
+        DefensePlan::new().schedule(&mut sim).unwrap();
+        sim.run_until_idle();
+        let report = sim.audit();
+        report.assert_clean();
+        assert_eq!(*full.lock(), 10);
+        assert_eq!(report.defense_drops, 0);
+    }
+
+    #[test]
+    fn scale_out_fires_after_the_detection_delay() {
+        let (mut sim, addr, full, _) = defended_sim(9, 5, 10);
+        DefensePlan::new()
+            .with(Defense::scale_out(addr, t(0), d(1), 4.0))
+            .schedule(&mut sim)
+            .unwrap();
+        sim.run_until_idle();
+        let report = sim.audit();
+        report.assert_clean();
+        assert_eq!(*full.lock(), 10);
+        assert_eq!(report.scaleout_activations, 1);
+    }
+}

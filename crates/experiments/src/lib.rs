@@ -9,6 +9,7 @@
 //! |---|---|
 //! | [`baseline`] | Table 1–3, Fig. 3, Fig. 13 (caching in controlled experiments) |
 //! | [`ddos`] | Table 4, Fig. 6–12, Fig. 14–15, Table 7 (DDoS scenarios A–I) |
+//! | [`defense`] | §7: server-side defenses (RRL, admission, scale-out) vs the spoofed flood |
 //! | [`degraded`] | §5.1 future work: degraded-but-not-failed (bursty loss + latency + flood) |
 //! | [`software`] | Fig. 16 (BIND vs Unbound retry behaviour) |
 //! | [`glue`] | Table 5, Table 6 (referral vs authoritative TTL precedence) |
@@ -27,6 +28,7 @@
 
 pub mod baseline;
 pub mod ddos;
+pub mod defense;
 pub mod degraded;
 pub mod glue;
 pub mod implications;

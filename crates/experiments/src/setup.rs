@@ -6,12 +6,14 @@
 use std::sync::Arc;
 
 use dike_attack::Attack;
+use dike_defense::DefensePlan;
 use dike_faults::{Fault, FaultPlan};
 use dike_netsim::{trace, Addr, QueueConfig, SimDuration, Simulator};
 use dike_stats::server_view::ServerView;
 use dike_stub::ProbeLog;
 use dike_telemetry::{MetricsRegistry, TelemetryConfig};
 
+use crate::defense::{install_spoofed_flood, SpoofedFlood, SpoofedStats};
 use crate::population::PopulationMix;
 use crate::topology::{self, BuildConfig, VpMeta};
 
@@ -104,6 +106,16 @@ pub struct ExperimentSetup {
     /// crashes/restarts, bursty link degrades, queue floods (see
     /// `dike-faults`). Scheduled after `attack`, so the two compose.
     pub faults: Option<FaultPlan>,
+    /// Server-side defenses at the authoritatives: RRL, class-based
+    /// admission, anycast scale-out (see `dike-defense`). Installed
+    /// before the run starts so history classifiers observe pre-attack
+    /// traffic; composes with `attack` and `faults`.
+    pub defense: Option<DefensePlan>,
+    /// A deterministic spoofed-source query flood against the two
+    /// cachetest.nl authoritatives — the traffic server-side defenses
+    /// exist to refuse. The fleet's tally comes back in
+    /// [`ExperimentOutput::spoofed`].
+    pub spoofed_flood: Option<SpoofedFlood>,
     /// Run the simulator's invariant auditor at the end of the run and
     /// panic on violations (datagram conservation, timer hygiene,
     /// crash/restart pairing). Also enabled by the `DIKE_AUDIT`
@@ -131,6 +143,8 @@ impl ExperimentSetup {
             queueing: None,
             telemetry: None,
             faults: None,
+            defense: None,
+            spoofed_flood: None,
             audit: false,
         }
     }
@@ -168,6 +182,9 @@ pub struct ExperimentOutput {
     /// wall-clock nanoseconds). Observability only — not part of the
     /// deterministic simulation state.
     pub perf: dike_netsim::SimPerf,
+    /// The spoofed fleet's tally, present when
+    /// [`ExperimentSetup::spoofed_flood`] was set.
+    pub spoofed: Option<SpoofedStats>,
 }
 
 /// Runs one experiment to completion.
@@ -263,6 +280,17 @@ pub fn run_experiment(setup: &ExperimentSetup) -> ExperimentOutput {
             .unwrap_or_else(|(i, e)| panic!("invalid fault plan (fault {i}): {e}"));
     }
 
+    if let Some(defense) = &setup.defense {
+        defense
+            .schedule(&mut sim)
+            .unwrap_or_else(|(i, e)| panic!("invalid defense plan (defense {i}): {e}"));
+    }
+
+    let spoofed_handle = setup
+        .spoofed_flood
+        .as_ref()
+        .map(|flood| install_spoofed_flood(&mut sim, flood, topo.ns));
+
     sim.run_until(setup.total_duration.after_zero());
     if audit_enabled(setup) {
         sim.audit().assert_clean();
@@ -282,6 +310,11 @@ pub fn run_experiment(setup: &ExperimentSetup) -> ExperimentOutput {
             .into_inner()
             .expect("telemetry registry poisoned")
     });
+    let spoofed = spoofed_handle.map(|h| {
+        Arc::try_unwrap(h)
+            .expect("simulator dropped, spoofed tally has one owner")
+            .into_inner()
+    });
     let n_vps = topo.vps.len();
     ExperimentOutput {
         log,
@@ -293,6 +326,7 @@ pub fn run_experiment(setup: &ExperimentSetup) -> ExperimentOutput {
         n_vps,
         metrics,
         perf,
+        spoofed,
     }
 }
 

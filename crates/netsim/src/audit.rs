@@ -45,6 +45,11 @@ pub(crate) struct AuditInternals<'a> {
     pub(crate) decoded: u64,
     pub(crate) node_crashes: u64,
     pub(crate) node_restarts: u64,
+    pub(crate) defense_drops: u64,
+    pub(crate) rrl_limited: u64,
+    pub(crate) rrl_slipped: u64,
+    pub(crate) shed_by_class: [u64; 3],
+    pub(crate) scaleout_activations: u64,
     pub(crate) queue: &'a EventQueue,
     pub(crate) allocated_timer_slots: u64,
     pub(crate) nodes_len: usize,
@@ -76,6 +81,19 @@ pub struct AuditReport {
     /// Pending [`Event::DeliverQueued`] entries (already counted in
     /// `delivered`; reported for visibility).
     pub queued_deliveries: u64,
+    /// Queries an ingress defense kept from its node (already counted in
+    /// `delivered`, like queue drops; broken out here). Must equal the
+    /// sum of the per-cause counters below — invariant 5.
+    pub defense_drops: u64,
+    /// RRL-limited queries (drop + slip actions).
+    pub rrl_limited: u64,
+    /// The subset of `rrl_limited` answered with a TC=1 slip.
+    pub rrl_slipped: u64,
+    /// Admission-scheduler sheds per class `[known, unknown, flagged]`.
+    pub shed_by_class: [u64; 3],
+    /// Scale-out provisioning actions that have fired (informational,
+    /// like `queued_deliveries`; no invariant constrains it).
+    pub scaleout_activations: u64,
     /// Pending [`Event::Timer`] entries in the queue.
     pub pending_timers: u64,
     /// Timer slots currently allocated (granted and not yet recycled).
@@ -149,6 +167,11 @@ impl Simulator {
         report.decoded = st.decoded;
         report.node_crashes = st.node_crashes;
         report.node_restarts = st.node_restarts;
+        report.defense_drops = st.defense_drops;
+        report.rrl_limited = st.rrl_limited;
+        report.rrl_slipped = st.rrl_slipped;
+        report.shed_by_class = st.shed_by_class;
+        report.scaleout_activations = st.scaleout_activations;
 
         for entry in st.queue.iter() {
             match &entry.event {
@@ -194,6 +217,28 @@ impl Simulator {
             report.violations.push(format!(
                 "liveness vectors out of step: {} nodes but {} up-flags / {} epochs",
                 st.nodes_len, st.node_up_len, st.node_epoch_len
+            ));
+        }
+        // Invariant 5: defense drops stay inside the delivered ledger and
+        // are fully attributed — every drop has exactly one cause (RRL or
+        // a per-class shed), and slips are a subset of RRL limits.
+        let defense_attributed = report.rrl_limited + report.shed_by_class.iter().sum::<u64>();
+        if report.defense_drops != defense_attributed {
+            report.violations.push(format!(
+                "defense ledger: {} defense drops but rrl_limited+shed_by_class={}",
+                report.defense_drops, defense_attributed
+            ));
+        }
+        if report.rrl_slipped > report.rrl_limited {
+            report.violations.push(format!(
+                "defense ledger: {} slips exceed {} RRL-limited queries",
+                report.rrl_slipped, report.rrl_limited
+            ));
+        }
+        if report.defense_drops > report.delivered {
+            report.violations.push(format!(
+                "defense ledger: {} defense drops exceed {} delivered",
+                report.defense_drops, report.delivered
             ));
         }
         report

@@ -1,0 +1,64 @@
+//! The ingress-defense hook: where server-side DDoS defenses plug into
+//! the delivery pipeline.
+//!
+//! The mechanisms themselves (RRL token buckets, source classifiers,
+//! weighted-class admission — Rizvi et al.'s layered defenses) live in
+//! the `dike-defense` crate; this module defines only the narrow,
+//! deterministic seam the simulator evaluates for every datagram that
+//! cleared the loss filters: an installed [`IngressDefense`] inspects
+//! the decoded query and returns an [`IngressVerdict`], and the
+//! simulator does the accounting (defense drops stay inside the
+//! datagram-conservation ledger, broken out by cause) and the slip
+//! plumbing (a TC=1 response sent from the server's address).
+//!
+//! Determinism contract: with no defense installed the hot path costs
+//! one branch (`defense_count == 0`) and the run is bit-identical to a
+//! defense-free build; an installed defense must draw no RNG and derive
+//! every decision from sim time, the source address, and its own
+//! serializable configuration.
+
+use dike_wire::Message;
+
+use crate::addr::Addr;
+use crate::queueing::QueueClass;
+use crate::time::{SimDuration, SimTime};
+
+/// What the defense pipeline decided about one arriving query.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum IngressVerdict {
+    /// No layer objected; hand the query onward (an ingress
+    /// [`crate::ServiceQueue`], if installed, still applies).
+    Pass,
+    /// The admission scheduler accepted the query into a class queue;
+    /// deliver after this additional queueing delay. Bypasses any plain
+    /// ingress queue — the defense's scheduler *is* the queue.
+    Enqueue(SimDuration),
+    /// The admission scheduler shed the query: its class's buffer was
+    /// full (or the class is disabled). Counted per class.
+    Shed(QueueClass),
+    /// Rate-limited, silent drop (classic RRL `drop` action).
+    RrlDrop,
+    /// Rate-limited, but answer with a truncated TC=1 response (classic
+    /// RRL `slip` action): honest clients retry or fail over, spoofed
+    /// floods get nothing useful. The simulator synthesizes and sends
+    /// the TC response; the query still never reaches the server node.
+    RrlSlip,
+}
+
+/// A server-side defense pipeline installed in front of one ingress
+/// address. Implementations must be deterministic: no RNG, no wall
+/// clock, decisions purely from `(now, src, msg)` and internal state.
+pub trait IngressDefense: Send {
+    /// Evaluates one query that already cleared the loss filters.
+    fn on_query(&mut self, now: SimTime, src: Addr, msg: &Message) -> IngressVerdict;
+
+    /// Applies a volumetric background load to the defense's internal
+    /// admission queues (mirrors
+    /// [`crate::ServiceQueue::inject_background_load`]); default no-op
+    /// for defenses without an admission layer.
+    fn inject_background_load(&mut self, _load: f64) {}
+
+    /// Multiplies internal service capacity — the scale-out action
+    /// adding replica capacity behind this ingress. Default no-op.
+    fn scale_capacity(&mut self, _factor: f64) {}
+}

@@ -50,6 +50,7 @@ mod addr;
 pub mod anycast;
 pub mod audit;
 mod datagram;
+pub mod defense;
 mod event;
 mod link;
 mod node;
@@ -63,9 +64,13 @@ pub use addr::{Addr, NodeId};
 pub use anycast::AnycastTable;
 pub use audit::AuditReport;
 pub use datagram::Datagram;
+pub use defense::{IngressDefense, IngressVerdict};
 pub use dike_telemetry as telemetry;
 pub use link::{DegradeParams, GilbertElliott, LatencyModel, LinkParams, LinkTable};
 pub use node::{Context, Node, TimerId, TimerToken};
-pub use queueing::{QueueConfig, ServiceQueue};
+pub use queueing::{
+    ClassedQueue, ClassedQueueConfig, QueueClass, QueueConfig, QueueOutcome, ServiceQueue,
+    QUEUE_CLASSES,
+};
 pub use sim::{SimPerf, Simulator};
 pub use time::{SimDuration, SimTime};

@@ -63,6 +63,7 @@ pub struct ServiceQueue {
     /// Statistics.
     accepted: u64,
     dropped: u64,
+    peak_backlog: u32,
 }
 
 impl ServiceQueue {
@@ -74,6 +75,7 @@ impl ServiceQueue {
             background_load: 0.0,
             accepted: 0,
             dropped: 0,
+            peak_backlog: 0,
         }
     }
 
@@ -102,15 +104,26 @@ impl ServiceQueue {
 
     /// Offers one datagram at `now`.
     pub fn offer(&mut self, now: SimTime) -> QueueOutcome {
-        if self.backlog(now) >= self.config.capacity {
+        let backlog = self.backlog(now);
+        if backlog >= self.config.capacity {
             self.dropped += 1;
             return QueueOutcome::Dropped;
         }
+        self.peak_backlog = self.peak_backlog.max(backlog + 1);
         let start = self.busy_until.max(now);
         let done = start + self.service_time();
         self.busy_until = done;
         self.accepted += 1;
         QueueOutcome::Enqueued(done.since(now))
+    }
+
+    /// Multiplies the service rate in place — anycast scale-out adding
+    /// replica capacity behind the same ingress point. Factors below 1
+    /// are rejected (scale-out never removes capacity).
+    pub fn scale_capacity(&mut self, factor: f64) {
+        if factor.is_finite() && factor >= 1.0 {
+            self.config.rate_pps *= factor;
+        }
     }
 
     /// Datagrams accepted so far.
@@ -121,6 +134,138 @@ impl ServiceQueue {
     /// Datagrams tail-dropped so far.
     pub fn dropped(&self) -> u64 {
         self.dropped
+    }
+
+    /// The deepest backlog (including the arrival being admitted) any
+    /// accepted datagram has seen.
+    pub fn peak_backlog(&self) -> u32 {
+        self.peak_backlog
+    }
+}
+
+/// Priority class of one arriving datagram, assigned by a source
+/// classifier (see `dike-defense`). The discriminant indexes per-class
+/// arrays.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum QueueClass {
+    /// A source seen behaving like a resolver before the attack, or on a
+    /// static allowlist.
+    Known,
+    /// Everyone else — new sources, including legitimate first-timers.
+    Unknown,
+    /// Explicitly flagged (suspected attack) sources.
+    Flagged,
+}
+
+/// All classes, in priority order.
+pub const QUEUE_CLASSES: [QueueClass; 3] =
+    [QueueClass::Known, QueueClass::Unknown, QueueClass::Flagged];
+
+impl QueueClass {
+    /// Index into per-class arrays.
+    pub fn index(self) -> usize {
+        match self {
+            QueueClass::Known => 0,
+            QueueClass::Unknown => 1,
+            QueueClass::Flagged => 2,
+        }
+    }
+
+    /// Lower-case label (`known` / `unknown` / `flagged`), used in
+    /// telemetry metric names.
+    pub fn label(self) -> &'static str {
+        match self {
+            QueueClass::Known => "known",
+            QueueClass::Unknown => "unknown",
+            QueueClass::Flagged => "flagged",
+        }
+    }
+}
+
+/// Configuration of a weighted-class admission scheduler: one service
+/// rate split across the three [`QueueClass`]es by weight, with a
+/// per-class buffer. A class with weight 0 is shed outright.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ClassedQueueConfig {
+    /// Total service rate in datagrams per second, shared by all classes.
+    pub rate_pps: f64,
+    /// Relative service weights for `[known, unknown, flagged]`; each
+    /// class gets `rate_pps × weight / Σweights`.
+    pub weights: [f64; 3],
+    /// Per-class buffer capacity (datagrams waiting).
+    pub capacity: [u32; 3],
+}
+
+impl ClassedQueueConfig {
+    /// A protective default: known resolvers get most of the capacity,
+    /// unknown sources a slice, flagged sources a trickle.
+    pub fn protective(rate_pps: f64) -> Self {
+        ClassedQueueConfig {
+            rate_pps,
+            weights: [8.0, 3.0, 1.0],
+            capacity: [1_000, 200, 20],
+        }
+    }
+}
+
+/// A weighted-class admission scheduler: three virtual single-server
+/// queues sharing one configured rate by weight. Arrivals carry a
+/// [`QueueClass`]; a full class sheds (tail-drops) its own arrivals
+/// without touching the others, so a flagged flood cannot displace
+/// known-resolver traffic (Rizvi et al.'s layered-defense scheduling,
+/// deterministic and O(1) per arrival like [`ServiceQueue`]).
+#[derive(Debug, Clone, Copy)]
+pub struct ClassedQueue {
+    queues: [ServiceQueue; 3],
+}
+
+impl ClassedQueue {
+    /// An empty scheduler. Zero-weight classes get a rate of 0 (their
+    /// `ServiceQueue` floors the effective rate at 1/s with capacity 0,
+    /// shedding everything).
+    pub fn new(config: ClassedQueueConfig) -> Self {
+        let total: f64 = config.weights.iter().copied().map(|w| w.max(0.0)).sum();
+        let queues = core::array::from_fn(|i| {
+            let share = if total > 0.0 {
+                config.weights[i].max(0.0) / total
+            } else {
+                0.0
+            };
+            let mut q = QueueConfig {
+                rate_pps: config.rate_pps * share,
+                capacity: config.capacity[i],
+            };
+            if share == 0.0 {
+                q.capacity = 0;
+            }
+            ServiceQueue::new(q)
+        });
+        ClassedQueue { queues }
+    }
+
+    /// Offers one datagram of the given class at `now`.
+    pub fn offer(&mut self, now: SimTime, class: QueueClass) -> QueueOutcome {
+        self.queues[class.index()].offer(now)
+    }
+
+    /// The class's queue, for stats.
+    pub fn class_queue(&self, class: QueueClass) -> &ServiceQueue {
+        &self.queues[class.index()]
+    }
+
+    /// Applies a volumetric background load to every class (the flood
+    /// consumes the shared server, not one class's share).
+    pub fn inject_background_load(&mut self, load: f64) {
+        for q in &mut self.queues {
+            q.inject_background_load(load);
+        }
+    }
+
+    /// Multiplies every class's service rate — scale-out capacity.
+    pub fn scale_capacity(&mut self, factor: f64) {
+        for q in &mut self.queues {
+            q.scale_capacity(factor);
+        }
     }
 }
 
@@ -212,5 +357,80 @@ mod tests {
             QueueOutcome::Enqueued(d) => assert_eq!(d.as_millis(), 10),
             QueueOutcome::Dropped => panic!("accepts"),
         }
+    }
+
+    #[test]
+    fn peak_backlog_tracks_the_deepest_accepted_arrival() {
+        let mut q = ServiceQueue::new(QueueConfig {
+            rate_pps: 1_000.0,
+            capacity: 10,
+        });
+        for _ in 0..20 {
+            let _ = q.offer(at(0));
+        }
+        // 10 accepted (depths 1..=10), the rest tail-dropped.
+        assert_eq!(q.peak_backlog(), 10);
+        assert_eq!(q.accepted(), 10);
+        assert_eq!(q.dropped(), 10);
+        // Draining never lowers the recorded peak.
+        assert_eq!(q.backlog(at(1_000)), 0);
+        assert_eq!(q.peak_backlog(), 10);
+    }
+
+    #[test]
+    fn scale_capacity_speeds_service_and_rejects_shrinkage() {
+        let mut q = ServiceQueue::new(QueueConfig {
+            rate_pps: 1_000.0,
+            capacity: 10,
+        });
+        q.scale_capacity(0.5); // ignored
+        q.scale_capacity(10.0);
+        match q.offer(at(0)) {
+            // 10k/s → 0.1 ms per datagram.
+            QueueOutcome::Enqueued(d) => assert_eq!(d, SimDuration::from_micros(100)),
+            QueueOutcome::Dropped => panic!("accepts"),
+        }
+    }
+
+    #[test]
+    fn classed_queue_isolates_a_flagged_flood() {
+        let mut q = ClassedQueue::new(ClassedQueueConfig {
+            rate_pps: 1_200.0,
+            weights: [8.0, 3.0, 1.0],
+            capacity: [100, 50, 5],
+        });
+        // Saturate the flagged class far beyond its buffer.
+        let mut flagged_drops = 0;
+        for _ in 0..100 {
+            if q.offer(at(0), QueueClass::Flagged) == QueueOutcome::Dropped {
+                flagged_drops += 1;
+            }
+        }
+        assert!(flagged_drops > 90, "flagged class sheds: {flagged_drops}");
+        // Known-resolver traffic is untouched by the flood: an arrival
+        // sees only its own class's (empty) queue.
+        match q.offer(at(0), QueueClass::Known) {
+            QueueOutcome::Enqueued(d) => {
+                // Known share = 1200 × 8/12 = 800/s → 1.25 ms.
+                assert_eq!(d, SimDuration::from_micros(1_250));
+            }
+            QueueOutcome::Dropped => panic!("known class must accept"),
+        }
+        assert_eq!(q.class_queue(QueueClass::Known).accepted(), 1);
+        assert_eq!(q.class_queue(QueueClass::Flagged).dropped(), flagged_drops);
+    }
+
+    #[test]
+    fn zero_weight_class_sheds_everything() {
+        let mut q = ClassedQueue::new(ClassedQueueConfig {
+            rate_pps: 1_000.0,
+            weights: [1.0, 1.0, 0.0],
+            capacity: [10, 10, 10],
+        });
+        assert_eq!(q.offer(at(0), QueueClass::Flagged), QueueOutcome::Dropped);
+        assert!(matches!(
+            q.offer(at(0), QueueClass::Known),
+            QueueOutcome::Enqueued(_)
+        ));
     }
 }

@@ -11,6 +11,7 @@ use rand::SeedableRng;
 use crate::addr::{Addr, NodeId};
 use crate::anycast::AnycastTable;
 use crate::datagram::Datagram;
+use crate::defense::{IngressDefense, IngressVerdict};
 use crate::event::{Event, EventQueue, HeapEntry};
 use crate::link::LinkTable;
 use crate::node::{Context, Node, TimerId, TimerToken};
@@ -65,6 +66,20 @@ struct NetStats {
     /// Datagrams dropped by an installed Gilbert–Elliott link degrade.
     /// Also counted in `datagrams_dropped`; this breaks out the cause.
     datagrams_dropped_degrade: u64,
+    /// Queries an installed ingress defense kept from its node. Like
+    /// `queue_drops`, these were already counted `datagrams_delivered`
+    /// (they passed the loss filters); this is the breakout, and it
+    /// always equals `rrl_limited + shed_known + shed_unknown +
+    /// shed_flagged` (an auditor invariant).
+    defense_drops: u64,
+    /// Queries rate-limited by RRL, drop and slip actions alike.
+    rrl_limited: u64,
+    /// The subset of `rrl_limited` answered with a TC=1 slip response.
+    rrl_slipped: u64,
+    /// Queries shed by the weighted-class admission scheduler, per class.
+    shed_by_class: [u64; 3],
+    /// Scale-out defenses that fired (capacity provisioned).
+    scaleout_activations: u64,
 }
 
 /// Per-destination-node traffic counters. `offered` counts every
@@ -96,6 +111,11 @@ pub struct World {
     /// queues are installed (the common case).
     queues: Vec<Option<ServiceQueue>>,
     queue_count: usize,
+    /// Ingress defense pipelines, dense-indexed like `queues`; the
+    /// `defense_count == 0` fast path keeps the undefended hot path to
+    /// one branch (see [`crate::defense`]).
+    defenses: Vec<Option<Box<dyn IngressDefense>>>,
+    defense_count: usize,
     /// Generation stamp per timer slot. A [`TimerId`] packs `(gen, slot)`;
     /// cancellation bumps the slot's generation so the already-queued event
     /// is recognized as stale when it pops — O(1), no tombstone set.
@@ -162,6 +182,12 @@ impl World {
         &self.anycast
     }
 
+    /// Mutable anycast registry — scale-out defenses grow a group's
+    /// membership mid-run from a control event.
+    pub fn anycast_mut(&mut self) -> &mut AnycastTable {
+        &mut self.anycast
+    }
+
     /// Installs (or replaces) an ingress service queue in front of
     /// `addr` — the paper's future-work queueing model
     /// (see [`crate::queueing`]).
@@ -196,6 +222,52 @@ impl World {
         Self::unicast_index(addr)
             .and_then(|i| self.queues.get_mut(i))
             .and_then(|slot| slot.as_mut())
+    }
+
+    /// Read-only view of an installed ingress queue, for stats.
+    pub fn queue(&self, addr: Addr) -> Option<&ServiceQueue> {
+        Self::unicast_index(addr)
+            .and_then(|i| self.queues.get(i))
+            .and_then(|slot| slot.as_ref())
+    }
+
+    /// Installs (or replaces) an ingress defense pipeline in front of
+    /// `addr` (see [`crate::defense`]). Typically called from a control
+    /// event scheduled by a `dike-defense` `DefensePlan`.
+    pub fn set_ingress_defense(&mut self, addr: Addr, defense: Box<dyn IngressDefense>) {
+        let Some(idx) = Self::unicast_index(addr) else {
+            debug_assert!(false, "ingress defense on non-unicast address {addr}");
+            return;
+        };
+        if idx >= self.defenses.len() {
+            self.defenses.resize_with(idx + 1, || None);
+        }
+        if self.defenses[idx].replace(defense).is_none() {
+            self.defense_count += 1;
+        }
+    }
+
+    /// Removes the ingress defense on `addr`.
+    pub fn clear_ingress_defense(&mut self, addr: Addr) {
+        if let Some(slot) = Self::unicast_index(addr).and_then(|i| self.defenses.get_mut(i)) {
+            if slot.take().is_some() {
+                self.defense_count -= 1;
+            }
+        }
+    }
+
+    /// Mutable access to an installed defense (e.g. for a flood fault to
+    /// consume its admission capacity, or scale-out to grow it).
+    pub fn defense_mut(&mut self, addr: Addr) -> Option<&mut Box<dyn IngressDefense>> {
+        Self::unicast_index(addr)
+            .and_then(|i| self.defenses.get_mut(i))
+            .and_then(|slot| slot.as_mut())
+    }
+
+    /// Records one scale-out activation (replica capacity provisioned);
+    /// called by the defense layer's detection-delay control event.
+    pub fn note_scaleout_activation(&mut self) {
+        self.net.scaleout_activations += 1;
     }
 
     fn push(&mut self, at: SimTime, event: Event) {
@@ -383,6 +455,8 @@ impl Simulator {
                 next_vip: FIRST_VIP,
                 queues: Vec::new(),
                 queue_count: 0,
+                defenses: Vec::new(),
+                defense_count: 0,
                 timer_gens: Vec::new(),
                 free_timer_slots: Vec::new(),
                 encoder: EncodeBuffer::new(),
@@ -499,6 +573,27 @@ impl Simulator {
             "timers_suppressed_crash",
             net.timers_suppressed_crash,
         );
+        reg.record_counter("netsim", None, "defense_drops", net.defense_drops);
+        reg.record_counter("netsim", None, "rrl_limited", net.rrl_limited);
+        reg.record_counter("netsim", None, "rrl_slipped", net.rrl_slipped);
+        for class in crate::queueing::QUEUE_CLASSES {
+            reg.record_counter(
+                "netsim",
+                None,
+                match class {
+                    crate::queueing::QueueClass::Known => "shed_known",
+                    crate::queueing::QueueClass::Unknown => "shed_unknown",
+                    crate::queueing::QueueClass::Flagged => "shed_flagged",
+                },
+                net.shed_by_class[class.index()],
+            );
+        }
+        reg.record_counter(
+            "netsim",
+            None,
+            "scaleout_activations",
+            net.scaleout_activations,
+        );
         reg.record_high_water(
             "netsim",
             None,
@@ -514,6 +609,18 @@ impl Simulator {
                 reg.record_counter("netsim", id, "datagrams_offered", n.offered);
                 reg.record_counter("netsim", id, "datagrams_delivered", n.delivered);
                 reg.record_counter("netsim", id, "datagrams_dropped", n.dropped);
+                // Ingress-queue statistics for the node's unicast address
+                // (queues are keyed by address, dense like nodes).
+                if let Some(Some(q)) = self.world.queues.get(idx) {
+                    reg.record_counter("netsim", id, "queue_accepted", q.accepted());
+                    reg.record_counter("netsim", id, "queue_dropped", q.dropped());
+                    reg.record_high_water(
+                        "netsim",
+                        id,
+                        "queue_peak_backlog",
+                        q.peak_backlog() as f64,
+                    );
+                }
             }
         }
         for (idx, slot) in self.nodes.iter().enumerate() {
@@ -573,6 +680,12 @@ impl Simulator {
     /// (see [`crate::queueing`]).
     pub fn set_ingress_queue(&mut self, addr: Addr, config: QueueConfig) {
         self.world.set_ingress_queue(addr, config);
+    }
+
+    /// Installs an ingress defense pipeline in front of `addr`
+    /// (see [`crate::defense`]).
+    pub fn set_ingress_defense(&mut self, addr: Addr, defense: Box<dyn IngressDefense>) {
+        self.world.set_ingress_defense(addr, defense);
     }
 
     /// Attaches a trace sink; every datagram arrival is reported to it.
@@ -855,6 +968,69 @@ impl Simulator {
             self.world.addr_of(id)
         };
 
+        // Ingress defense pipeline (classifier → admission → RRL; see
+        // `crate::defense` and `dike-defense`). Evaluated in front of the
+        // *site*, like the queue below. `defense_count` keeps the
+        // undefended common case to one branch, and like queue drops,
+        // defense drops happen after the Delivered accounting above —
+        // they stay inside the conservation ledger, broken out by cause.
+        if self.world.defense_count > 0 {
+            let defense_addr = site_filter_addr.unwrap_or(dgram.dst);
+            let now = self.world.now;
+            if let Some(idx) = World::unicast_index(defense_addr) {
+                if let Some(Some(defense)) = self.world.defenses.get_mut(idx) {
+                    match defense.on_query(now, dgram.src, &msg) {
+                        IngressVerdict::Pass => {}
+                        IngressVerdict::Enqueue(delay) => {
+                            // The defense's class scheduler is the queue:
+                            // skip the plain ingress queue below.
+                            if delay > SimDuration::ZERO {
+                                self.world.push(
+                                    now + delay,
+                                    Event::DeliverQueued {
+                                        dgram,
+                                        msg: Box::new(msg),
+                                        node: id,
+                                        local,
+                                    },
+                                );
+                            } else {
+                                self.deliver_to_node(dgram.src, &msg, wire_len, id, local);
+                            }
+                            return;
+                        }
+                        IngressVerdict::Shed(class) => {
+                            self.world.net.defense_drops += 1;
+                            self.world.net.shed_by_class[class.index()] += 1;
+                            self.world.node_net[id.0 as usize].dropped += 1;
+                            return;
+                        }
+                        IngressVerdict::RrlDrop => {
+                            self.world.net.defense_drops += 1;
+                            self.world.net.rrl_limited += 1;
+                            self.world.node_net[id.0 as usize].dropped += 1;
+                            return;
+                        }
+                        IngressVerdict::RrlSlip => {
+                            self.world.net.defense_drops += 1;
+                            self.world.net.rrl_limited += 1;
+                            self.world.net.rrl_slipped += 1;
+                            self.world.node_net[id.0 as usize].dropped += 1;
+                            // The slip response: a minimal TC=1 answer
+                            // from the server's (possibly anycast)
+                            // address, telling honest clients to retry
+                            // or fail over.
+                            let mut resp = Message::response_to(&msg);
+                            resp.truncated = true;
+                            let payload = self.world.encode(&resp);
+                            self.world.send_datagram(local, dgram.src, payload);
+                            return;
+                        }
+                    }
+                }
+            }
+        }
+
         // Ingress service queue (the paper's future-work queueing model):
         // the queue sits in front of the *site*, so anycast looks up the
         // member's unicast address, unicast the destination itself.
@@ -1002,6 +1178,11 @@ impl Simulator {
             decoded: net.datagrams_decoded,
             node_crashes: net.node_crashes,
             node_restarts: net.node_restarts,
+            defense_drops: net.defense_drops,
+            rrl_limited: net.rrl_limited,
+            rrl_slipped: net.rrl_slipped,
+            shed_by_class: net.shed_by_class,
+            scaleout_activations: net.scaleout_activations,
             queue: &self.world.queue,
             allocated_timer_slots: (self.world.timer_gens.len() - self.world.free_timer_slots.len())
                 as u64,

@@ -29,10 +29,13 @@ def load(path):
 
 
 def main(argv):
-    args = [a for a in argv[1:] if not a.startswith("--")]
     max_ratio = 5.0
-    if "--max-ratio" in argv:
-        max_ratio = float(argv[argv.index("--max-ratio") + 1])
+    rest = argv[1:]
+    if "--max-ratio" in rest:
+        i = rest.index("--max-ratio")
+        max_ratio = float(rest[i + 1])
+        del rest[i : i + 2]
+    args = [a for a in rest if not a.startswith("--")]
     if not args:
         print(__doc__, file=sys.stderr)
         return 2

@@ -132,6 +132,7 @@ fn parse_args() -> Args {
                     "implications",
                     "queueing",
                     "degraded",
+                    "defense",
                     "sweep",
                     "all",
                 ] {
@@ -142,7 +143,7 @@ fn parse_args() -> Args {
             "--help" | "-h" => {
                 println!(
                     "usage: repro <target> [--scale X] [--seed N] [--json FILE] [--metrics FILE]\n\
-                     targets: table1-7, fig3-16, implications, queueing, degraded, sweep, all\n\
+                     targets: table1-7, fig3-16, implications, queueing, degraded, defense, sweep, all\n\
                      --metrics collects sim-time telemetry during the DDoS runs and\n\
                      writes the full metric registry (per-node counters, gauges,\n\
                      retry histograms) as JSON, keyed by experiment letter\n\
@@ -277,6 +278,7 @@ fn main() {
     target!("implications", implications_sweep(&mut ctx));
     target!("queueing", queueing_extension(&mut ctx));
     target!("degraded", degraded_scenario(&mut ctx));
+    target!("defense", defense_comparison(&mut ctx));
 
     // Not part of `all`: grid size is governed by its own flags.
     if t == "sweep" {
@@ -1067,6 +1069,74 @@ fn degraded_scenario(ctx: &mut Ctx) {
             params.latency_factor,
         );
     }
+}
+
+// ---------------------------------------------------------------------
+// §7: server-side defenses (beyond the paper's measurements — the
+// defenses the paper discusses, run against its Experiment-H scenario)
+// ---------------------------------------------------------------------
+
+fn defense_comparison(ctx: &mut Ctx) {
+    use dike_experiments::defense::{run_defense_comparison, ALL_PRESETS};
+
+    eprintln!(
+        "[repro] defense: running {} presets under Experiment H + spoofed flood at scale {} ...",
+        ALL_PRESETS.len(),
+        ctx.scale
+    );
+    let cmp = run_defense_comparison(ctx.scale, ctx.seed);
+    let baseline_served = cmp
+        .rows
+        .first()
+        .map(|r| r.spoofed.full_answers)
+        .unwrap_or(0);
+    let mut tbl = TextTable::new(
+        format!(
+            "Defense comparison (paper 7): {}% loss at both NS + {} spoofed sources x {} qps, minutes {}-{}",
+            (cmp.attack.loss * 100.0) as u32,
+            cmp.flood.sources,
+            cmp.flood.qps_per_source,
+            cmp.attack.start_min,
+            cmp.attack.start_min + cmp.attack.duration_min,
+        ),
+        &[
+            "defense",
+            "OK during attack",
+            "spoofed sent",
+            "spoofed served",
+            "served cut",
+            "TC slips",
+            "RRL limited",
+            "shed",
+            "scale-outs",
+        ],
+    );
+    for r in &cmp.rows {
+        let cut = if baseline_served > 0 {
+            pct(1.0 - r.spoofed.full_answers as f64 / baseline_served as f64)
+        } else {
+            "-".into()
+        };
+        tbl.row(&[
+            r.preset.label().to_string(),
+            r.ok_during_attack.map(pct).unwrap_or_else(|| "-".into()),
+            r.spoofed.sent.to_string(),
+            r.spoofed.full_answers.to_string(),
+            cut,
+            r.rrl_slipped.to_string(),
+            r.rrl_limited.to_string(),
+            r.shed.to_string(),
+            r.scaleouts.to_string(),
+        ]);
+    }
+    ctx.emit(&tbl);
+    println!(
+        "the paper's 7 tension, reproduced: RRL starves the spoofed flood but\n\
+         silent drops also hit legitimate resolvers caught by the rate limit;\n\
+         slip-2 (TC=1) preserves them via TCP-style retry, and history-based\n\
+         admission keeps known resolvers first-class while the unknown class\n\
+         (where the spoofed fleet lands) is shed."
+    );
 }
 
 // ---------------------------------------------------------------------

@@ -9,6 +9,7 @@ pub use dike_attack as attack;
 pub use dike_auth as auth;
 pub use dike_cache as cache;
 pub use dike_core as core;
+pub use dike_defense as defense;
 pub use dike_experiments as experiments;
 pub use dike_faults as faults;
 pub use dike_netsim as netsim;

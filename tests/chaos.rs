@@ -1,5 +1,6 @@
-//! Chaos harness: randomly generated [`FaultPlan`]s thrown at live
-//! simulations. Three properties must hold for *every* plan:
+//! Chaos harness: randomly generated [`FaultPlan`]s and [`DefensePlan`]s
+//! thrown at live simulations. Three properties must hold for *every*
+//! plan:
 //!
 //! 1. no panic — arbitrary crash/degrade/flood/drop combinations never
 //!    wedge the event loop or trip an internal assertion;
@@ -19,12 +20,13 @@ use parking_lot::Mutex;
 use rand::rngs::SmallRng;
 use rand::{RngExt, SeedableRng};
 
+use dike::defense::{ClassifierKind, Defense, DefensePlan, RrlConfig};
 use dike::experiments::setup::{run_experiment, ExperimentSetup};
 use dike::experiments::topology;
 use dike::faults::{Fault, FaultPlan, FloodShape};
 use dike::netsim::{
-    Addr, Context, LatencyModel, LinkParams, LinkTable, Node, NodeId, QueueConfig, SimDuration,
-    Simulator, TimerToken,
+    Addr, ClassedQueueConfig, Context, LatencyModel, LinkParams, LinkTable, Node, NodeId,
+    QueueConfig, SimDuration, Simulator, TimerToken,
 };
 use dike::wire::{Message, Name, RecordType};
 
@@ -197,6 +199,68 @@ fn random_plan(rng: &mut SmallRng, nodes: &[NodeId], addrs: &[Addr]) -> FaultPla
     plan
 }
 
+/// A random valid server-side defense plan over the given ingress
+/// addresses: at most one RRL and one admission layer per target (the
+/// plan-level coherence rule) plus optional scale-outs, with parameters
+/// spanning the legal envelope — tiny rates, /0 aggregation, zero-slip
+/// silent drops, single-class weight concentrations.
+fn random_defense_plan(rng: &mut SmallRng, addrs: &[Addr]) -> DefensePlan {
+    let mut plan = DefensePlan::new();
+    for &target in addrs {
+        if rng.random_bool(0.5) {
+            let config = RrlConfig {
+                rate_qps: rng.random_range(0.05..200.0),
+                burst: rng.random_range(1.0..32.0),
+                slip: rng.random_range(0..=4u32),
+                prefix_bits: rng.random_range(0..=32u32) as u8,
+            };
+            let at = secs(rng.random_range(0..90)).after_zero();
+            plan.push(Defense::rrl(target, config).starting_at(at));
+        }
+        if rng.random_bool(0.4) {
+            let mut weights = [
+                rng.random_range(0.0..8.0),
+                rng.random_range(0.0..8.0),
+                rng.random_range(0.0..8.0),
+            ];
+            if weights.iter().sum::<f64>() <= 0.0 {
+                weights[0] = 1.0;
+            }
+            let queue = ClassedQueueConfig {
+                rate_pps: rng.random_range(10.0..5_000.0),
+                weights,
+                capacity: [
+                    rng.random_range(1..=512u32),
+                    rng.random_range(1..=256u32),
+                    rng.random_range(0..=64u32),
+                ],
+            };
+            let classifier = if rng.random_bool(0.5) {
+                let n = rng.random_range(0..=addrs.len());
+                ClassifierKind::Static {
+                    known: addrs[..n].to_vec(),
+                    flagged: addrs[n..].to_vec(),
+                }
+            } else {
+                ClassifierKind::History {
+                    cutoff: secs(rng.random_range(0..120)).after_zero(),
+                }
+            };
+            let at = secs(rng.random_range(0..90)).after_zero();
+            plan.push(Defense::admission(target, queue, classifier).starting_at(at));
+        }
+        if rng.random_bool(0.3) {
+            plan.push(Defense::scale_out(
+                target,
+                secs(rng.random_range(0..90)).after_zero(),
+                secs(rng.random_range(0..=60)),
+                rng.random_range(1.0..16.0),
+            ));
+        }
+    }
+    plan
+}
+
 // ---------------------------------------------------------------------
 // The property: schedule, run, audit, digest
 // ---------------------------------------------------------------------
@@ -242,10 +306,72 @@ fn chaos_iteration(case_seed: u64) -> u64 {
     h
 }
 
+/// One defended chaos iteration: random faults AND a random server-side
+/// defense plan against the same world. On top of the three base
+/// properties, the audit's defense ledger must balance (defense drops =
+/// RRL-limited + shed, every drop inside datagram conservation) no
+/// matter how the layers compose with crashes, floods, and loss.
+fn defended_chaos_iteration(case_seed: u64) -> u64 {
+    let mut rng = SmallRng::seed_from_u64(case_seed ^ 0x2545_f491_4f6c_dd1d);
+    let mut world = chaos_world(case_seed, 3, 4);
+    let faults = random_plan(&mut rng, &world.echo_ids, &world.echo_addrs);
+    let defense = random_defense_plan(&mut rng, &world.echo_addrs);
+    defense
+        .validate()
+        .expect("generated defense plans are valid");
+    assert_eq!(DefensePlan::from_json(&defense.to_json()).unwrap(), defense);
+    faults
+        .schedule(&mut world.sim)
+        .expect("fault plan schedules");
+    defense
+        .schedule(&mut world.sim)
+        .expect("defense plan schedules");
+    world
+        .sim
+        .run_until(SimDuration::from_secs(200).after_zero());
+    let report = world.sim.audit();
+    report.assert_clean();
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for f in [
+        report.sent,
+        report.delivered,
+        report.dropped,
+        report.defense_drops,
+        report.rrl_limited,
+        report.rrl_slipped,
+        report.shed_by_class[0],
+        report.shed_by_class[1],
+        report.shed_by_class[2],
+        report.scaleout_activations,
+    ] {
+        fnv(&mut h, f);
+    }
+    for r in &world.replies {
+        fnv(&mut h, *r.lock());
+    }
+    h
+}
+
 #[test]
 fn chaos_random_fault_plans_never_panic_and_stay_audit_clean() {
     for case in 0..cases() {
         chaos_iteration(case);
+    }
+}
+
+#[test]
+fn chaos_random_defense_plans_never_panic_and_stay_audit_clean() {
+    for case in 0..cases() {
+        defended_chaos_iteration(case);
+    }
+}
+
+#[test]
+fn chaos_defended_runs_are_deterministic() {
+    for case in 0..cases().min(8) {
+        let a = defended_chaos_iteration(case);
+        let b = defended_chaos_iteration(case);
+        assert_eq!(a, b, "case {case}: same seed+plans, different run");
     }
 }
 
@@ -281,9 +407,10 @@ fn chaos_invalid_plans_schedule_nothing() {
     assert_eq!(report.dropped, 0);
 }
 
-/// The full paper topology under random fault plans: resolvers, probe
-/// fleets and authoritatives instead of echo toys. Heavier, so fewer
-/// cases; the auditor runs inside `run_experiment` via `setup.audit`.
+/// The full paper topology under random fault plans AND random defense
+/// plans at the authoritatives: resolvers, probe fleets and real servers
+/// instead of echo toys. Heavier, so fewer cases; the auditor runs
+/// inside `run_experiment` via `setup.audit`.
 #[test]
 fn chaos_full_experiments_are_clean_and_deterministic() {
     for case in 0..cases().min(3) {
@@ -292,12 +419,14 @@ fn chaos_full_experiments_are_clean_and_deterministic() {
             let ns_nodes = topology::ns_node_ids();
             let ns_addrs = topology::ns_addrs();
             let plan = random_plan(&mut rng, &ns_nodes, &ns_addrs);
+            let defense = random_defense_plan(&mut rng, &ns_addrs);
             let mut setup = ExperimentSetup::new(12, 300);
             setup.seed = case;
             setup.rounds = 4;
             setup.round_interval = SimDuration::from_mins(10);
             setup.total_duration = SimDuration::from_mins(45);
             setup.faults = Some(plan);
+            setup.defense = (!defense.is_empty()).then_some(defense);
             setup.audit = true;
             let out = run_experiment(&setup);
             let mut h = 0xcbf2_9ce4_8422_2325u64;
