@@ -1,5 +1,6 @@
 //! The authoritative server node.
 
+use dike_netsim::service::{Clock, Transport};
 use dike_netsim::{Addr, Context, Node, SimDuration, SimTime, TimerToken};
 use dike_wire::{Message, MessageBuilder, Opcode, Question, Rcode};
 
@@ -132,6 +133,8 @@ impl AuthServer {
     /// client to retry elsewhere (or over TCP, which the paper's
     /// UDP-only measurements — and this simulator — do not model).
     pub fn handle_query(&mut self, now: SimTime, query: &Message) -> Message {
+        // NOTE: keep in sync with `serve_datagram`, which encodes once
+        // through the transport instead of calling `encoded_len`.
         let mut resp = self.answer_query(now, query);
         match dike_wire::codec::encoded_len(&resp) {
             Ok(len) if len > Self::payload_limit(query) => self.truncate(&mut resp),
@@ -159,6 +162,48 @@ impl AuthServer {
         resp.authorities.clear();
         resp.additionals.clear();
         self.stats.truncated += 1;
+    }
+
+    /// Serves one datagram through the service seam: answer the query,
+    /// encode once through the transport's pooled buffer, and reuse the
+    /// bytes for both the size-limit check and the send (only the rare
+    /// truncation path re-encodes). This is the whole node-facing fast
+    /// path — [`Node::on_datagram`] delegates here with the simulator's
+    /// [`Context`], and `dike-serve` calls it with a live UDP transport,
+    /// so simulated and live servers answer byte-identically.
+    pub fn serve_datagram<C: Clock + Transport>(&mut self, ctx: &mut C, src: Addr, msg: &Message) {
+        if msg.is_response {
+            return; // authoritatives only answer queries
+        }
+        let now = ctx.now();
+        let mut resp = self.answer_query(now, msg);
+        let wire = ctx.encode(&resp);
+        if wire.len() > Self::payload_limit(msg) {
+            self.truncate(&mut resp);
+            let wire = ctx.encode(&resp);
+            ctx.send_wire(src, wire);
+        } else {
+            ctx.send_wire(src, wire);
+        }
+    }
+
+    /// Zone indices that want periodic rotation, with their intervals.
+    /// The simulator drives these through timers ([`Node::on_start`] /
+    /// [`Node::on_timer`]); a live serve loop tracks deadlines on the
+    /// wall clock and calls [`AuthServer::rotate_zone`].
+    pub fn rotation_schedule(&self) -> Vec<(usize, SimDuration)> {
+        self.zones
+            .iter()
+            .enumerate()
+            .filter_map(|(i, z)| z.rotation_interval().map(|ivl| (i, ivl)))
+            .collect()
+    }
+
+    /// Rotates zone `index` at time `now` (no-op for unknown indices).
+    pub fn rotate_zone(&mut self, index: usize, now: SimTime) {
+        if let Some(zone) = self.zones.get_mut(index) {
+            zone.rotate(now);
+        }
     }
 
     fn answer_query(&mut self, now: SimTime, query: &Message) -> Message {
@@ -252,22 +297,7 @@ impl Node for AuthServer {
     }
 
     fn on_datagram(&mut self, ctx: &mut Context<'_>, src: Addr, msg: &Message, _wire_len: usize) {
-        if msg.is_response {
-            return; // authoritatives only answer queries
-        }
-        let now = ctx.now();
-        let mut resp = self.answer_query(now, msg);
-        // Encode once through the simulator's pooled buffer and reuse the
-        // bytes for both the size-limit check and the send; only the rare
-        // truncation path re-encodes.
-        let wire = ctx.encode(&resp);
-        if wire.len() > Self::payload_limit(msg) {
-            self.truncate(&mut resp);
-            let wire = ctx.encode(&resp);
-            ctx.send_wire(src, wire);
-        } else {
-            ctx.send_wire(src, wire);
-        }
+        self.serve_datagram(ctx, src, msg);
     }
 
     fn on_timer(&mut self, ctx: &mut Context<'_>, token: TimerToken) {

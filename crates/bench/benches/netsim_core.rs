@@ -3,10 +3,13 @@
 
 use criterion::{criterion_group, criterion_main, Criterion, Throughput};
 
+use bytes::Bytes;
+use dike_auth::{AuthServer, CacheTestZone};
 use dike_bench::fixed_latency_sim;
 use dike_defense::{Defense, DefensePlan, RrlConfig};
-use dike_netsim::{Addr, Context, Node, SimDuration, TimerToken};
-use dike_wire::{Message, Name, RecordType};
+use dike_netsim::service::{Clock, Transport};
+use dike_netsim::{Addr, Context, Node, SimDuration, SimTime, TimerToken};
+use dike_wire::{codec::EncodeBuffer, Message, Name, RecordType};
 
 /// Echoes every query.
 struct Echo;
@@ -92,6 +95,65 @@ fn bench_event_loop(c: &mut Criterion) {
                 .expect("valid plan");
             sim.run_until_idle();
             sim.now()
+        })
+    });
+    g.bench_function("serve_encode_path", |b| {
+        // The service seam's per-query cost outside the simulator: drive
+        // AuthServer::serve_datagram (the single request path shared by
+        // Node::on_datagram and the dike-serve socket loop) through an
+        // in-memory Clock + Transport double — answer synthesis, pooled
+        // encode, size-limit check and send, with no event heap or
+        // socket underneath.
+        struct Sink {
+            now: SimTime,
+            local: Addr,
+            enc: EncodeBuffer,
+            sent: u64,
+            octets: u64,
+        }
+        impl Clock for Sink {
+            fn now(&self) -> SimTime {
+                self.now
+            }
+        }
+        impl Transport for Sink {
+            fn self_addr(&self) -> Addr {
+                self.local
+            }
+            fn encode(&mut self, msg: &Message) -> Bytes {
+                self.enc.encode(msg).expect("encodable")
+            }
+            fn send_wire(&mut self, _dst: Addr, payload: Bytes) {
+                self.sent += 1;
+                self.octets += payload.len() as u64;
+            }
+        }
+        let queries: Vec<Message> = (0..ROUND_TRIPS)
+            .map(|i| {
+                Message::query(
+                    i as u16,
+                    Name::parse(&format!("{}.cachetest.nl", i % 97)).unwrap(),
+                    RecordType::AAAA,
+                )
+            })
+            .collect();
+        b.iter(|| {
+            let mut server = AuthServer::new().with_zone(Box::new(CacheTestZone::new(
+                60,
+                &[std::net::Ipv4Addr::new(198, 51, 100, 1)],
+            )));
+            let mut sink = Sink {
+                now: SimDuration::from_secs(1).after_zero(),
+                local: Addr(0x7f00_0001),
+                enc: EncodeBuffer::new(),
+                sent: 0,
+                octets: 0,
+            };
+            for q in &queries {
+                server.serve_datagram(&mut sink, Addr(0x0a00_0002), q);
+            }
+            assert_eq!(sink.sent, ROUND_TRIPS as u64);
+            sink.octets
         })
     });
     g.bench_function("timer_churn", |b| {

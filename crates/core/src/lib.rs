@@ -52,10 +52,8 @@ pub use dike_stub as stub;
 pub use dike_telemetry as telemetry;
 pub use dike_telemetry::{MetricsRegistry, TelemetryConfig};
 pub use dike_wire as wire;
-#[allow(deprecated)]
-pub use sweep::LossSweep;
 pub use sweep::{
-    ArmSummary, Band, ReplicateSummary, SeedStrategy, SweepAxis, SweepEngine, SweepJob, SweepPoint,
+    ArmSummary, Band, ReplicateSummary, SeedStrategy, SweepAxis, SweepEngine, SweepJob,
     SweepResult,
 };
 
@@ -228,40 +226,10 @@ impl Scenario {
         self
     }
 
-    /// Attacks both authoritatives with this ingress loss rate
-    /// (`1.0` = complete failure).
-    #[deprecated(since = "0.1.0", note = "use `with_attack(Attack::loss(..))`")]
-    pub fn attack(mut self, loss: f64) -> Self {
-        self.attack.loss = loss.clamp(0.0, 1.0);
-        self.attack_armed = true;
-        self
-    }
-
-    /// Restricts the attack to one of the two name servers
-    /// (Experiment D's scenario).
-    #[deprecated(
-        since = "0.1.0",
-        note = "use `with_attack(Attack::loss(..).scope(AttackScope::OneNs))`"
-    )]
-    pub fn attack_one_ns(mut self) -> Self {
-        self.attack.scope = AttackScope::OneNs;
-        self
-    }
-
-    /// When the attack starts and how long it lasts, in minutes.
-    #[deprecated(
-        since = "0.1.0",
-        note = "use `with_attack(Attack::loss(..).window_min(start, duration))`"
-    )]
-    pub fn attack_window_min(mut self, start: u64, duration: u64) -> Self {
-        self.attack = self.attack.window_min(start, duration);
-        self
-    }
-
     /// The faults this scenario will schedule, as a [`FaultPlan`]: the
     /// armed attack's random-drop fault, or an empty plan when no attack
-    /// is armed. The deprecated shims and the typed builder both resolve
-    /// through here, so equality of fault plans is equality of runs.
+    /// is armed. Every attack configuration resolves through here, so
+    /// equality of fault plans is equality of runs.
     pub fn fault_plan(&self) -> FaultPlan {
         if self.attack_armed {
             self.attack.fault_plan()
@@ -534,59 +502,22 @@ mod tests {
     }
 
     #[test]
-    #[allow(deprecated)]
-    fn deprecated_shims_match_typed_attack() {
-        let mut old = Scenario::new()
-            .seed(4)
-            .attack_one_ns()
-            .attack(0.5)
-            .attack_window_min(30, 20);
-        let mut new = Scenario::new().seed(4).with_attack(
-            Attack::loss(0.5)
-                .scope(AttackScope::OneNs)
-                .window_min(30, 20),
-        );
-        old.resolve();
-        new.resolve();
-        assert_eq!(old.setup.attack, new.setup.attack);
-    }
-
-    #[test]
-    #[allow(deprecated)]
-    fn deprecated_shims_produce_identical_fault_plans() {
-        // Each shim, alone and combined, must resolve to the very same
-        // FaultPlan as its typed replacement — same faults, same JSON.
-        let cases: Vec<(Scenario, Scenario)> = vec![
-            (
-                Scenario::new().attack(0.5),
-                Scenario::new().with_attack(Attack::loss(0.5)),
-            ),
-            (
-                Scenario::new().attack(1.0).attack_one_ns(),
-                Scenario::new().with_attack(Attack::complete().scope(AttackScope::OneNs)),
-            ),
-            (
-                Scenario::new().attack(0.9).attack_window_min(20, 45),
-                Scenario::new().with_attack(Attack::loss(0.9).window_min(20, 45)),
-            ),
-            (
-                Scenario::new()
-                    .attack_one_ns()
-                    .attack(0.75)
-                    .attack_window_min(30, 20),
-                Scenario::new().with_attack(
-                    Attack::loss(0.75)
-                        .scope(AttackScope::OneNs)
-                        .window_min(30, 20),
-                ),
-            ),
+    fn typed_attacks_produce_valid_single_fault_plans() {
+        // Every attack shape resolves to exactly one valid random-drop
+        // fault, and equal attacks mean equal plans (same JSON too).
+        let cases = [
+            Attack::loss(0.5),
+            Attack::complete().scope(AttackScope::OneNs),
+            Attack::loss(0.9).window_min(20, 45),
+            Attack::loss(0.75).scope(AttackScope::OneNs).window_min(30, 20),
         ];
-        for (old, new) in cases {
-            let (op, np) = (old.fault_plan(), new.fault_plan());
-            assert_eq!(op, np);
-            assert_eq!(op.to_json(), np.to_json());
-            assert_eq!(op.len(), 1, "one random-drop fault");
-            op.validate().expect("shim-built plan is valid");
+        for attack in cases {
+            let a = Scenario::new().with_attack(attack).fault_plan();
+            let b = Scenario::new().with_attack(attack).fault_plan();
+            assert_eq!(a, b);
+            assert_eq!(a.to_json(), b.to_json());
+            assert_eq!(a.len(), 1, "one random-drop fault");
+            a.validate().expect("typed-attack plan is valid");
         }
     }
 

@@ -142,8 +142,8 @@ pub enum SeedStrategy {
     /// Replicate `r` uses the same seed in *every* arm (and replicate 0
     /// uses the base seed verbatim). Arms are compared under identical
     /// randomness — the paired, common-random-numbers design the paper's
-    /// intensity sweeps imply, and the mode the legacy [`LossSweep`]
-    /// shim relies on for bit-identical behaviour.
+    /// intensity sweeps imply. A one-replicate paired sweep is
+    /// bit-identical to running each arm by hand.
     #[default]
     Paired,
     /// Every `(arm, replicate)` cell gets its own derived seed.
@@ -645,8 +645,7 @@ impl SweepEngine {
                 if replicate == 0 {
                     // Replicate 0 runs the base scenario's own seed, so a
                     // one-replicate paired sweep is bit-identical to
-                    // running the scenarios by hand (and to the legacy
-                    // LossSweep).
+                    // running the scenarios by hand.
                     base
                 } else {
                     derive_seed(base, 0, replicate)
@@ -681,8 +680,8 @@ impl SweepEngine {
     /// returns. Returns the folded values as `result[arm][replicate]`.
     ///
     /// This is the streaming-aggregation primitive [`SweepEngine::run`]
-    /// builds on; use it directly to keep custom per-run data (the
-    /// legacy [`LossSweep`] keeps the whole report this way).
+    /// builds on; use it directly to keep custom per-run data (e.g. the
+    /// whole [`Report`], when the grid is small enough to afford it).
     pub fn run_fold<T, F>(&self, fold: F) -> Vec<Vec<T>>
     where
         T: Send,
@@ -764,81 +763,26 @@ impl SweepEngine {
     }
 }
 
-/// A sweep over loss rates — the paper's core experimental axis (§5.4:
-/// "we sweep the space of attack intensities").
-///
-/// Legacy API: retains a full [`Report`] per arm, so memory grows with
-/// the grid. New code should use [`SweepEngine`] with
-/// [`SweepAxis::AttackLoss`], which folds each run into a compact
-/// summary as it finishes.
-#[deprecated(
-    since = "0.1.0",
-    note = "use SweepEngine with SweepAxis::AttackLoss; LossSweep retains a full Report per arm"
-)]
-#[derive(Debug, Clone)]
-pub struct LossSweep {
-    /// The scenario template; each arm overrides the attack loss.
-    pub base: Scenario,
-    /// The loss rates to run.
-    pub loss_rates: Vec<f64>,
-    /// Worker threads (0 = one per arm, capped at the machine's
-    /// available parallelism).
-    pub threads: usize,
-}
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Attack;
 
-/// One sweep arm's outcome.
-#[derive(Debug)]
-pub struct SweepPoint {
-    /// The loss rate this arm ran with.
-    pub loss: f64,
-    /// The full report.
-    pub report: Report,
-}
-
-#[allow(deprecated)]
-impl LossSweep {
-    /// A sweep of `base` over `loss_rates`.
-    pub fn new(base: Scenario, loss_rates: impl IntoIterator<Item = f64>) -> Self {
-        LossSweep {
-            base,
-            loss_rates: loss_rates.into_iter().collect(),
-            threads: 0,
-        }
-    }
-
-    /// Runs every arm, in parallel, and returns the points in input
-    /// order.
-    ///
-    /// Thin shim over [`SweepEngine`]: one replicate, paired seeds
-    /// (every arm runs the base scenario's seed — replicate 0 of a
-    /// paired sweep — exactly the historical behaviour), with the fold
-    /// keeping the whole report.
-    pub fn run(self) -> Vec<SweepPoint> {
-        if self.loss_rates.is_empty() {
-            return Vec::new();
-        }
-        let loss_rates = self.loss_rates.clone();
-        let engine = SweepEngine::new(self.base)
-            .axis(SweepAxis::AttackLoss(self.loss_rates))
+    /// Sweeps `base` over loss rates keeping the full [`Report`] per
+    /// arm — the `run_fold` idiom for custom per-run data (what the
+    /// removed `LossSweep` wrapper used to package).
+    fn sweep_reports(base: Scenario, rates: &[f64], threads: usize) -> Vec<(f64, Report)> {
+        let rates = rates.to_vec();
+        SweepEngine::new(base)
+            .axis(SweepAxis::AttackLoss(rates.clone()))
             .replicates(1)
-            .threads(self.threads)
-            .seed_strategy(SeedStrategy::Paired);
-        engine
-            .run_fold(|job, report| SweepPoint {
-                loss: loss_rates[job.arm],
-                report,
-            })
+            .threads(threads)
+            .seed_strategy(SeedStrategy::Paired)
+            .run_fold(|job, report| (rates[job.arm], report))
             .into_iter()
             .map(|mut reps| reps.pop().expect("one replicate per arm"))
             .collect()
     }
-}
-
-#[cfg(test)]
-#[allow(deprecated)]
-mod tests {
-    use super::*;
-    use crate::Attack;
 
     fn small_base() -> Scenario {
         Scenario::new()
@@ -861,12 +805,12 @@ mod tests {
 
     #[test]
     fn sweep_reproduces_the_intensity_gradient() {
-        let points = LossSweep::new(small_base(), [0.0, 0.5, 0.9, 1.0]).run();
+        let points = sweep_reports(small_base(), &[0.0, 0.5, 0.9, 1.0], 0);
         assert_eq!(points.len(), 4);
         let ok: Vec<f64> = points
             .iter()
-            .map(|p| {
-                p.report
+            .map(|(_, report)| {
+                report
                     .ok_fraction_during_attack()
                     .expect("window has rounds")
             })
@@ -882,48 +826,45 @@ mod tests {
     fn parallel_and_serial_sweeps_agree() {
         // Determinism survives the thread pool: the same arms produce the
         // same results regardless of scheduling.
-        let parallel = LossSweep::new(small_base(), [0.25, 0.75]).run();
-        let mut serial = LossSweep::new(small_base(), [0.25, 0.75]);
-        serial.threads = 1;
-        let serial = serial.run();
-        for (p, s) in parallel.iter().zip(&serial) {
-            assert_eq!(p.loss, s.loss);
+        let parallel = sweep_reports(small_base(), &[0.25, 0.75], 0);
+        let serial = sweep_reports(small_base(), &[0.25, 0.75], 1);
+        for ((pl, pr), (sl, sr)) in parallel.iter().zip(&serial) {
+            assert_eq!(pl, sl);
+            assert_eq!(pr.output.log.records.len(), sr.output.log.records.len());
             assert_eq!(
-                p.report.output.log.records.len(),
-                s.report.output.log.records.len()
-            );
-            assert_eq!(
-                p.report.ok_fraction_during_attack(),
-                s.report.ok_fraction_during_attack()
+                pr.ok_fraction_during_attack(),
+                sr.ok_fraction_during_attack()
             );
         }
     }
 
     #[test]
-    fn empty_sweep_is_empty() {
-        assert!(LossSweep::new(small_base(), []).run().is_empty());
+    #[should_panic(expected = "has no values")]
+    fn empty_axis_is_rejected() {
+        let _ = SweepEngine::new(small_base()).axis(SweepAxis::AttackLoss(Vec::new()));
     }
 
     #[test]
-    fn loss_sweep_shim_matches_direct_scenario_runs() {
-        // The shim contract: LossSweep over SweepEngine must equal
-        // running each arm by hand with the base seed — same record
+    fn paired_single_replicate_sweep_matches_direct_scenario_runs() {
+        // The paired-seed contract: replicate 0 of every arm runs the
+        // base scenario's own seed, so a one-replicate paired sweep is
+        // bit-identical to running each arm by hand — same record
         // counts, same outcome series.
         let rates = [0.3, 0.9];
-        let points = LossSweep::new(tiny_base(), rates).run();
-        for (p, &loss) in points.iter().zip(&rates) {
+        let points = sweep_reports(tiny_base(), &rates, 0);
+        for ((arm_loss, report), &loss) in points.iter().zip(&rates) {
             let mut direct = tiny_base();
             direct.attack.loss = loss;
             direct.attack_armed = true;
             let direct = direct.run();
-            assert_eq!(p.loss, loss);
+            assert_eq!(*arm_loss, loss);
             assert_eq!(
-                p.report.output.log.records.len(),
+                report.output.log.records.len(),
                 direct.output.log.records.len()
             );
-            assert_eq!(p.report.outcomes, direct.outcomes);
+            assert_eq!(report.outcomes, direct.outcomes);
             assert_eq!(
-                p.report.ok_fraction_during_attack(),
+                report.ok_fraction_during_attack(),
                 direct.ok_fraction_during_attack()
             );
         }

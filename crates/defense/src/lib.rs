@@ -333,7 +333,7 @@ impl IngressDefense for DefenseEngine {
         if msg.is_response {
             return IngressVerdict::Pass;
         }
-        let mut delay = None;
+        let mut queued = None;
         if let Some(adm) = &mut self.admission {
             // The classifier watches everything, even before the layer
             // arms: a history classifier must learn the pre-attack
@@ -343,7 +343,7 @@ impl IngressDefense for DefenseEngine {
                 let class = adm.classifier.classify(src);
                 match adm.queue.offer(now, class) {
                     QueueOutcome::Dropped => return IngressVerdict::Shed(class),
-                    QueueOutcome::Enqueued(d) => delay = Some(d),
+                    QueueOutcome::Enqueued(d) => queued = Some((d, class)),
                 }
             }
         }
@@ -356,8 +356,8 @@ impl IngressDefense for DefenseEngine {
                 }
             }
         }
-        match delay {
-            Some(d) => IngressVerdict::Enqueue(d),
+        match queued {
+            Some((delay, class)) => IngressVerdict::Enqueue { delay, class },
             None => IngressVerdict::Pass,
         }
     }
@@ -661,12 +661,13 @@ impl DefensePlan {
         Ok(())
     }
 
-    /// Validates the whole plan, then installs every defense. All-or-
-    /// nothing: an invalid defense anywhere means nothing is installed.
-    pub fn schedule(&self, sim: &mut Simulator) -> Result<(), (usize, DefenseError)> {
-        self.validate()?;
-        // Compose per-target engines first (RRL + admission at one
-        // address share a pipeline), then install them.
+    /// Composes the plan's per-target [`DefenseEngine`]s (RRL +
+    /// admission at one address share a pipeline). This is the piece of
+    /// [`DefensePlan::schedule`] that is world-agnostic: the simulator
+    /// installs the engines behind ingress gates, and `dike-serve`
+    /// mounts the same engines in front of live sockets. ScaleOut
+    /// defenses are control-plane actions and produce no engine.
+    pub fn build_engines(&self) -> BTreeMap<Addr, DefenseEngine> {
         let mut engines: BTreeMap<Addr, DefenseEngine> = BTreeMap::new();
         for d in &self.defenses {
             match d {
@@ -692,7 +693,14 @@ impl DefensePlan {
                 Defense::ScaleOut { .. } => {}
             }
         }
-        for (addr, engine) in engines {
+        engines
+    }
+
+    /// Validates the whole plan, then installs every defense. All-or-
+    /// nothing: an invalid defense anywhere means nothing is installed.
+    pub fn schedule(&self, sim: &mut Simulator) -> Result<(), (usize, DefenseError)> {
+        self.validate()?;
+        for (addr, engine) in self.build_engines() {
             sim.set_ingress_defense(addr, Box::new(engine));
         }
         for d in &self.defenses {

@@ -3,13 +3,16 @@
 //!
 //! The mechanisms themselves (RRL token buckets, source classifiers,
 //! weighted-class admission — Rizvi et al.'s layered defenses) live in
-//! the `dike-defense` crate; this module defines only the narrow,
-//! deterministic seam the simulator evaluates for every datagram that
-//! cleared the loss filters: an installed [`IngressDefense`] inspects
-//! the decoded query and returns an [`IngressVerdict`], and the
-//! simulator does the accounting (defense drops stay inside the
-//! datagram-conservation ledger, broken out by cause) and the slip
-//! plumbing (a TC=1 response sent from the server's address).
+//! the `dike-defense` crate; this module defines the narrow,
+//! deterministic seam in front of a server: an installed
+//! [`IngressDefense`] inspects the decoded query and returns an
+//! [`IngressVerdict`], and the [`IngressGate`] wrapping it owns the
+//! accounting — the per-cause [`DefenseLedger`], the per-class
+//! queue-delay histograms — and the slip synthesis (a TC=1 response
+//! from the server's address). The gate's caller (the simulator's
+//! delivery pipeline, or a live socket loop in `dike-serve`) only obeys
+//! the returned [`GateAction`]; it never interprets verdicts itself, so
+//! simulated and live servers cannot drift in how defenses count.
 //!
 //! Determinism contract: with no defense installed the hot path costs
 //! one branch (`defense_count == 0`) and the run is bit-identical to a
@@ -17,10 +20,11 @@
 //! every decision from sim time, the source address, and its own
 //! serializable configuration.
 
+use dike_telemetry::Histogram;
 use dike_wire::Message;
 
 use crate::addr::Addr;
-use crate::queueing::QueueClass;
+use crate::queueing::{QueueClass, QUEUE_CLASSES};
 use crate::time::{SimDuration, SimTime};
 
 /// What the defense pipeline decided about one arriving query.
@@ -32,7 +36,13 @@ pub enum IngressVerdict {
     /// The admission scheduler accepted the query into a class queue;
     /// deliver after this additional queueing delay. Bypasses any plain
     /// ingress queue — the defense's scheduler *is* the queue.
-    Enqueue(SimDuration),
+    Enqueue {
+        /// Queueing delay before the query reaches the server.
+        delay: SimDuration,
+        /// The class whose queue it waited in (feeds the gate's
+        /// per-class delay histograms).
+        class: QueueClass,
+    },
     /// The admission scheduler shed the query: its class's buffer was
     /// full (or the class is disabled). Counted per class.
     Shed(QueueClass),
@@ -40,8 +50,8 @@ pub enum IngressVerdict {
     RrlDrop,
     /// Rate-limited, but answer with a truncated TC=1 response (classic
     /// RRL `slip` action): honest clients retry or fail over, spoofed
-    /// floods get nothing useful. The simulator synthesizes and sends
-    /// the TC response; the query still never reaches the server node.
+    /// floods get nothing useful. The gate synthesizes the TC response;
+    /// the query still never reaches the server node.
     RrlSlip,
 }
 
@@ -61,4 +71,213 @@ pub trait IngressDefense: Send {
     /// Multiplies internal service capacity — the scale-out action
     /// adding replica capacity behind this ingress. Default no-op.
     fn scale_capacity(&mut self, _factor: f64) {}
+}
+
+/// Cumulative per-cause drop accounting for one gate (or, summed, for a
+/// whole run). The auditor invariant holds per gate and in the sum:
+/// `defense_drops == rrl_limited + shed_by_class.iter().sum()`.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct DefenseLedger {
+    /// Queries the defense kept from its server, all causes.
+    pub defense_drops: u64,
+    /// Queries rate-limited by RRL, drop and slip actions alike.
+    pub rrl_limited: u64,
+    /// The subset of `rrl_limited` answered with a TC=1 slip response.
+    pub rrl_slipped: u64,
+    /// Queries shed by the admission scheduler, per class
+    /// `[known, unknown, flagged]`.
+    pub shed_by_class: [u64; QUEUE_CLASSES.len()],
+}
+
+impl DefenseLedger {
+    /// Adds another ledger's counts into this one.
+    pub fn merge(&mut self, other: &DefenseLedger) {
+        self.defense_drops += other.defense_drops;
+        self.rrl_limited += other.rrl_limited;
+        self.rrl_slipped += other.rrl_slipped;
+        for (a, b) in self.shed_by_class.iter_mut().zip(&other.shed_by_class) {
+            *a += b;
+        }
+    }
+}
+
+/// What the caller of [`IngressGate::on_query`] must do with the query.
+/// All accounting already happened inside the gate; the caller only
+/// moves (or stops) the datagram.
+#[derive(Debug)]
+pub enum GateAction {
+    /// Hand the query onward immediately (any plain ingress queue still
+    /// applies).
+    Deliver,
+    /// The admission scheduler accepted it: deliver after this delay,
+    /// bypassing any plain ingress queue.
+    DeliverAfter(SimDuration),
+    /// The query stops here. If `slip` is set, send that synthesized
+    /// TC=1 response back to the source from the server's address.
+    Drop {
+        /// The RRL slip response to send, when the verdict was
+        /// [`IngressVerdict::RrlSlip`].
+        slip: Option<Message>,
+    },
+}
+
+/// The ingress hook of the service seam (DESIGN.md §5.6): wraps one
+/// [`IngressDefense`] and owns its verdict accounting — the
+/// [`DefenseLedger`] and the per-class queue-delay histograms — plus
+/// the TC=1 slip synthesis. The simulator installs one per defended
+/// address; `dike-serve` runs one in front of each live socket. Both
+/// obey the returned [`GateAction`] and never touch the counters,
+/// which is what keeps simulated and live defense ledgers comparable
+/// query-for-query.
+pub struct IngressGate {
+    defense: Box<dyn IngressDefense>,
+    ledger: DefenseLedger,
+    queue_delay: [Histogram; QUEUE_CLASSES.len()],
+}
+
+impl IngressGate {
+    /// A gate around `defense` with zeroed accounting.
+    pub fn new(defense: Box<dyn IngressDefense>) -> Self {
+        IngressGate {
+            defense,
+            ledger: DefenseLedger::default(),
+            queue_delay: [Histogram::new(), Histogram::new(), Histogram::new()],
+        }
+    }
+
+    /// Runs one query through the defense, does the accounting, and
+    /// says what the caller must do with it.
+    pub fn on_query(&mut self, now: SimTime, src: Addr, msg: &Message) -> GateAction {
+        match self.defense.on_query(now, src, msg) {
+            IngressVerdict::Pass => GateAction::Deliver,
+            IngressVerdict::Enqueue { delay, class } => {
+                self.queue_delay[class.index()].observe(delay.as_nanos());
+                GateAction::DeliverAfter(delay)
+            }
+            IngressVerdict::Shed(class) => {
+                self.ledger.defense_drops += 1;
+                self.ledger.shed_by_class[class.index()] += 1;
+                GateAction::Drop { slip: None }
+            }
+            IngressVerdict::RrlDrop => {
+                self.ledger.defense_drops += 1;
+                self.ledger.rrl_limited += 1;
+                GateAction::Drop { slip: None }
+            }
+            IngressVerdict::RrlSlip => {
+                self.ledger.defense_drops += 1;
+                self.ledger.rrl_limited += 1;
+                self.ledger.rrl_slipped += 1;
+                // The slip response: a minimal TC=1 answer telling honest
+                // clients to retry or fail over. Synthesized here so the
+                // sim and a live server send byte-identical slips.
+                let mut resp = Message::response_to(msg);
+                resp.truncated = true;
+                GateAction::Drop { slip: Some(resp) }
+            }
+        }
+    }
+
+    /// This gate's cumulative drop accounting.
+    pub fn ledger(&self) -> &DefenseLedger {
+        &self.ledger
+    }
+
+    /// Queueing delays observed for `class`, in nanoseconds.
+    pub fn queue_delay(&self, class: QueueClass) -> &Histogram {
+        &self.queue_delay[class.index()]
+    }
+
+    /// All three per-class delay histograms, indexed like
+    /// [`QUEUE_CLASSES`].
+    pub fn queue_delays(&self) -> &[Histogram; QUEUE_CLASSES.len()] {
+        &self.queue_delay
+    }
+
+    /// Passes a volumetric background load to the wrapped defense.
+    pub fn inject_background_load(&mut self, load: f64) {
+        self.defense.inject_background_load(load);
+    }
+
+    /// Passes a capacity multiplication to the wrapped defense.
+    pub fn scale_capacity(&mut self, factor: f64) {
+        self.defense.scale_capacity(factor);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dike_wire::{Name, RecordType};
+
+    /// Scripted defense: returns a fixed verdict sequence.
+    struct Script(Vec<IngressVerdict>);
+    impl IngressDefense for Script {
+        fn on_query(&mut self, _now: SimTime, _src: Addr, _msg: &Message) -> IngressVerdict {
+            self.0.remove(0)
+        }
+    }
+
+    fn query() -> Message {
+        Message::query(9, Name::parse("q.nl").unwrap(), RecordType::A)
+    }
+
+    #[test]
+    fn gate_accounts_every_verdict_and_holds_the_invariant() {
+        let mut gate = IngressGate::new(Box::new(Script(vec![
+            IngressVerdict::Pass,
+            IngressVerdict::Enqueue {
+                delay: SimDuration::from_millis(3),
+                class: QueueClass::Known,
+            },
+            IngressVerdict::Shed(QueueClass::Flagged),
+            IngressVerdict::RrlDrop,
+            IngressVerdict::RrlSlip,
+        ])));
+        let q = query();
+        let src = Addr(0x0a00_0002);
+        let mut actions = Vec::new();
+        for _ in 0..5 {
+            actions.push(gate.on_query(SimTime::ZERO, src, &q));
+        }
+        assert!(matches!(actions[0], GateAction::Deliver));
+        assert!(
+            matches!(actions[1], GateAction::DeliverAfter(d) if d == SimDuration::from_millis(3))
+        );
+        assert!(matches!(actions[2], GateAction::Drop { slip: None }));
+        assert!(matches!(actions[3], GateAction::Drop { slip: None }));
+        let GateAction::Drop { slip: Some(slip) } = &actions[4] else {
+            panic!("slip verdict must carry a response");
+        };
+        assert!(slip.truncated && slip.is_response && slip.id == 9);
+
+        let l = gate.ledger();
+        assert_eq!(l.defense_drops, 3);
+        assert_eq!(l.rrl_limited, 2);
+        assert_eq!(l.rrl_slipped, 1);
+        assert_eq!(l.shed_by_class, [0, 0, 1]);
+        assert_eq!(
+            l.defense_drops,
+            l.rrl_limited + l.shed_by_class.iter().sum::<u64>()
+        );
+        assert_eq!(gate.queue_delay(QueueClass::Known).count(), 1);
+        assert_eq!(gate.queue_delay(QueueClass::Unknown).count(), 0);
+    }
+
+    #[test]
+    fn ledger_merge_sums_fields() {
+        let a = DefenseLedger {
+            defense_drops: 3,
+            rrl_limited: 2,
+            rrl_slipped: 1,
+            shed_by_class: [1, 0, 0],
+        };
+        let mut b = DefenseLedger::default();
+        b.merge(&a);
+        b.merge(&a);
+        assert_eq!(b.defense_drops, 6);
+        assert_eq!(b.rrl_limited, 4);
+        assert_eq!(b.rrl_slipped, 2);
+        assert_eq!(b.shed_by_class, [2, 0, 0]);
+    }
 }

@@ -32,6 +32,10 @@
 //!   `dike-faults` crate.
 //! * [`audit`] — pull-based invariant checker (datagram conservation,
 //!   decode-once, timer hygiene) that fault-heavy runs assert clean.
+//! * [`service`] — the node-facing service seam ([`Clock`] +
+//!   [`Transport`] + the [`IngressGate`] hook): server logic written
+//!   against it runs unchanged in the simulator and on live UDP
+//!   sockets (the `dike-serve` crate).
 //! * Telemetry — attach a [`dike_telemetry::MetricsRegistry`] with
 //!   [`Simulator::attach_telemetry`] and the simulator publishes its
 //!   event/datagram counters plus every node's
@@ -55,6 +59,7 @@ mod event;
 mod link;
 mod node;
 pub mod queueing;
+pub mod service;
 mod sim;
 mod time;
 pub mod trace;
@@ -64,7 +69,8 @@ pub use addr::{Addr, NodeId};
 pub use anycast::AnycastTable;
 pub use audit::AuditReport;
 pub use datagram::Datagram;
-pub use defense::{IngressDefense, IngressVerdict};
+pub use defense::{DefenseLedger, GateAction, IngressDefense, IngressGate, IngressVerdict};
+pub use service::{Clock, Transport};
 pub use dike_telemetry as telemetry;
 pub use link::{DegradeParams, GilbertElliott, LatencyModel, LinkParams, LinkTable};
 pub use node::{Context, Node, TimerId, TimerToken};

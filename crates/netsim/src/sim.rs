@@ -2,7 +2,7 @@
 //! and control events mutate.
 
 use bytes::Bytes;
-use dike_telemetry::{NodePublisher, SharedRegistry, TelemetryConfig};
+use dike_telemetry::{Histogram, NodePublisher, SharedRegistry, TelemetryConfig};
 use dike_wire::codec::EncodeBuffer;
 use dike_wire::Message;
 use rand::rngs::SmallRng;
@@ -11,7 +11,7 @@ use rand::SeedableRng;
 use crate::addr::{Addr, NodeId};
 use crate::anycast::AnycastTable;
 use crate::datagram::Datagram;
-use crate::defense::{IngressDefense, IngressVerdict};
+use crate::defense::{DefenseLedger, GateAction, IngressDefense, IngressGate};
 use crate::event::{Event, EventQueue, HeapEntry};
 use crate::link::LinkTable;
 use crate::node::{Context, Node, TimerId, TimerToken};
@@ -66,20 +66,27 @@ struct NetStats {
     /// Datagrams dropped by an installed Gilbert–Elliott link degrade.
     /// Also counted in `datagrams_dropped`; this breaks out the cause.
     datagrams_dropped_degrade: u64,
-    /// Queries an installed ingress defense kept from its node. Like
-    /// `queue_drops`, these were already counted `datagrams_delivered`
-    /// (they passed the loss filters); this is the breakout, and it
-    /// always equals `rrl_limited + shed_known + shed_unknown +
-    /// shed_flagged` (an auditor invariant).
-    defense_drops: u64,
-    /// Queries rate-limited by RRL, drop and slip actions alike.
-    rrl_limited: u64,
-    /// The subset of `rrl_limited` answered with a TC=1 slip response.
-    rrl_slipped: u64,
-    /// Queries shed by the weighted-class admission scheduler, per class.
-    shed_by_class: [u64; 3],
     /// Scale-out defenses that fired (capacity provisioned).
     scaleout_activations: u64,
+}
+
+/// Defense accounting inherited from gates that were replaced or
+/// cleared mid-run. Folded in so `World::defense_ledger` and the
+/// per-class delay histograms stay cumulative across gate swaps —
+/// the datagram-conservation audit depends on nothing vanishing.
+#[derive(Debug, Default)]
+struct RetiredDefenseStats {
+    ledger: DefenseLedger,
+    queue_delay: [Histogram; 3],
+}
+
+impl RetiredDefenseStats {
+    fn absorb(&mut self, gate: &IngressGate) {
+        self.ledger.merge(gate.ledger());
+        for (mine, theirs) in self.queue_delay.iter_mut().zip(gate.queue_delays()) {
+            mine.merge(theirs);
+        }
+    }
 }
 
 /// Per-destination-node traffic counters. `offered` counts every
@@ -111,11 +118,16 @@ pub struct World {
     /// queues are installed (the common case).
     queues: Vec<Option<ServiceQueue>>,
     queue_count: usize,
-    /// Ingress defense pipelines, dense-indexed like `queues`; the
+    /// Ingress defense gates, dense-indexed like `queues`; the
     /// `defense_count == 0` fast path keeps the undefended hot path to
-    /// one branch (see [`crate::defense`]).
-    defenses: Vec<Option<Box<dyn IngressDefense>>>,
+    /// one branch (see [`crate::defense`]). Each [`IngressGate`] owns
+    /// its own verdict accounting; removed gates fold their ledger and
+    /// histograms into `retired_defense` so run totals survive
+    /// mid-run gate replacement.
+    defenses: Vec<Option<IngressGate>>,
     defense_count: usize,
+    /// Accounting folded out of gates that were replaced or cleared.
+    retired_defense: RetiredDefenseStats,
     /// Generation stamp per timer slot. A [`TimerId`] packs `(gen, slot)`;
     /// cancellation bumps the slot's generation so the already-queued event
     /// is recognized as stale when it pops — O(1), no tombstone set.
@@ -242,26 +254,59 @@ impl World {
         if idx >= self.defenses.len() {
             self.defenses.resize_with(idx + 1, || None);
         }
-        if self.defenses[idx].replace(defense).is_none() {
-            self.defense_count += 1;
+        match self.defenses[idx].replace(IngressGate::new(defense)) {
+            Some(old) => self.retired_defense.absorb(&old),
+            None => self.defense_count += 1,
         }
     }
 
-    /// Removes the ingress defense on `addr`.
+    /// Removes the ingress defense on `addr`, folding its accounting
+    /// into the run totals.
     pub fn clear_ingress_defense(&mut self, addr: Addr) {
         if let Some(slot) = Self::unicast_index(addr).and_then(|i| self.defenses.get_mut(i)) {
-            if slot.take().is_some() {
+            if let Some(old) = slot.take() {
+                self.retired_defense.absorb(&old);
                 self.defense_count -= 1;
             }
         }
     }
 
-    /// Mutable access to an installed defense (e.g. for a flood fault to
-    /// consume its admission capacity, or scale-out to grow it).
-    pub fn defense_mut(&mut self, addr: Addr) -> Option<&mut Box<dyn IngressDefense>> {
+    /// Mutable access to an installed defense gate (e.g. for a flood
+    /// fault to consume its admission capacity, or scale-out to grow it).
+    pub fn defense_mut(&mut self, addr: Addr) -> Option<&mut IngressGate> {
         Self::unicast_index(addr)
             .and_then(|i| self.defenses.get_mut(i))
             .and_then(|slot| slot.as_mut())
+    }
+
+    /// Read-only view of the defense gate installed on `addr`.
+    pub fn ingress_gate(&self, addr: Addr) -> Option<&IngressGate> {
+        Self::unicast_index(addr)
+            .and_then(|i| self.defenses.get(i))
+            .and_then(|slot| slot.as_ref())
+    }
+
+    /// Run-wide defense drop accounting: every active gate's ledger plus
+    /// everything folded out of replaced or cleared gates.
+    pub fn defense_ledger(&self) -> DefenseLedger {
+        let mut total = self.retired_defense.ledger;
+        for gate in self.defenses.iter().flatten() {
+            total.merge(gate.ledger());
+        }
+        total
+    }
+
+    /// Run-wide per-class queue-delay histograms (nanoseconds), merged
+    /// across active and retired gates; indexed like
+    /// [`crate::queueing::QUEUE_CLASSES`].
+    pub fn defense_queue_delays(&self) -> [Histogram; 3] {
+        let mut merged = self.retired_defense.queue_delay.clone();
+        for gate in self.defenses.iter().flatten() {
+            for (mine, theirs) in merged.iter_mut().zip(gate.queue_delays()) {
+                mine.merge(theirs);
+            }
+        }
+        merged
     }
 
     /// Records one scale-out activation (replica capacity provisioned);
@@ -457,6 +502,7 @@ impl Simulator {
                 queue_count: 0,
                 defenses: Vec::new(),
                 defense_count: 0,
+                retired_defense: RetiredDefenseStats::default(),
                 timer_gens: Vec::new(),
                 free_timer_slots: Vec::new(),
                 encoder: EncodeBuffer::new(),
@@ -573,9 +619,13 @@ impl Simulator {
             "timers_suppressed_crash",
             net.timers_suppressed_crash,
         );
-        reg.record_counter("netsim", None, "defense_drops", net.defense_drops);
-        reg.record_counter("netsim", None, "rrl_limited", net.rrl_limited);
-        reg.record_counter("netsim", None, "rrl_slipped", net.rrl_slipped);
+        // Defense accounting lives in the gates (plus the retired fold),
+        // not in NetStats: sum it at the snapshot boundary.
+        let ledger = self.world.defense_ledger();
+        reg.record_counter("netsim", None, "defense_drops", ledger.defense_drops);
+        reg.record_counter("netsim", None, "rrl_limited", ledger.rrl_limited);
+        reg.record_counter("netsim", None, "rrl_slipped", ledger.rrl_slipped);
+        let delays = self.world.defense_queue_delays();
         for class in crate::queueing::QUEUE_CLASSES {
             reg.record_counter(
                 "netsim",
@@ -585,8 +635,22 @@ impl Simulator {
                     crate::queueing::QueueClass::Unknown => "shed_unknown",
                     crate::queueing::QueueClass::Flagged => "shed_flagged",
                 },
-                net.shed_by_class[class.index()],
+                ledger.shed_by_class[class.index()],
             );
+            // Skip empty histograms so defense-free runs keep their
+            // exact pre-gate snapshot shape.
+            if delays[class.index()].count() > 0 {
+                reg.record_histogram(
+                    "netsim",
+                    None,
+                    match class {
+                        crate::queueing::QueueClass::Known => "defense_queue_delay_known",
+                        crate::queueing::QueueClass::Unknown => "defense_queue_delay_unknown",
+                        crate::queueing::QueueClass::Flagged => "defense_queue_delay_flagged",
+                    },
+                    &delays[class.index()],
+                );
+            }
         }
         reg.record_counter(
             "netsim",
@@ -706,6 +770,13 @@ impl Simulator {
     /// The world, for wiring up scenarios before or between runs.
     pub fn world_mut(&mut self) -> &mut World {
         &mut self.world
+    }
+
+    /// Run-wide defense drop accounting (active gates plus anything
+    /// folded out of replaced ones) — what the sim/live parity test
+    /// compares against a live server's gate ledger.
+    pub fn defense_ledger(&self) -> DefenseLedger {
+        self.world.defense_ledger()
     }
 
     /// Schedules `f` to mutate the world at time `at` — the hook attack
@@ -977,56 +1048,41 @@ impl Simulator {
         if self.world.defense_count > 0 {
             let defense_addr = site_filter_addr.unwrap_or(dgram.dst);
             let now = self.world.now;
-            if let Some(idx) = World::unicast_index(defense_addr) {
-                if let Some(Some(defense)) = self.world.defenses.get_mut(idx) {
-                    match defense.on_query(now, dgram.src, &msg) {
-                        IngressVerdict::Pass => {}
-                        IngressVerdict::Enqueue(delay) => {
-                            // The defense's class scheduler is the queue:
-                            // skip the plain ingress queue below.
-                            if delay > SimDuration::ZERO {
-                                self.world.push(
-                                    now + delay,
-                                    Event::DeliverQueued {
-                                        dgram,
-                                        msg: Box::new(msg),
-                                        node: id,
-                                        local,
-                                    },
-                                );
-                            } else {
-                                self.deliver_to_node(dgram.src, &msg, wire_len, id, local);
-                            }
-                            return;
-                        }
-                        IngressVerdict::Shed(class) => {
-                            self.world.net.defense_drops += 1;
-                            self.world.net.shed_by_class[class.index()] += 1;
-                            self.world.node_net[id.0 as usize].dropped += 1;
-                            return;
-                        }
-                        IngressVerdict::RrlDrop => {
-                            self.world.net.defense_drops += 1;
-                            self.world.net.rrl_limited += 1;
-                            self.world.node_net[id.0 as usize].dropped += 1;
-                            return;
-                        }
-                        IngressVerdict::RrlSlip => {
-                            self.world.net.defense_drops += 1;
-                            self.world.net.rrl_limited += 1;
-                            self.world.net.rrl_slipped += 1;
-                            self.world.node_net[id.0 as usize].dropped += 1;
-                            // The slip response: a minimal TC=1 answer
-                            // from the server's (possibly anycast)
-                            // address, telling honest clients to retry
-                            // or fail over.
-                            let mut resp = Message::response_to(&msg);
-                            resp.truncated = true;
-                            let payload = self.world.encode(&resp);
-                            self.world.send_datagram(local, dgram.src, payload);
-                            return;
-                        }
+            let action = World::unicast_index(defense_addr)
+                .and_then(|idx| self.world.defenses.get_mut(idx))
+                .and_then(|slot| slot.as_mut())
+                .map(|gate| gate.on_query(now, dgram.src, &msg));
+            match action {
+                None | Some(GateAction::Deliver) => {}
+                Some(GateAction::DeliverAfter(delay)) => {
+                    // The defense's class scheduler is the queue:
+                    // skip the plain ingress queue below.
+                    if delay > SimDuration::ZERO {
+                        self.world.push(
+                            now + delay,
+                            Event::DeliverQueued {
+                                dgram,
+                                msg: Box::new(msg),
+                                node: id,
+                                local,
+                            },
+                        );
+                    } else {
+                        self.deliver_to_node(dgram.src, &msg, wire_len, id, local);
                     }
+                    return;
+                }
+                Some(GateAction::Drop { slip }) => {
+                    // The gate already did the per-cause accounting; the
+                    // pipeline only records the per-node drop and, for an
+                    // RRL slip, sends the synthesized TC=1 response from
+                    // the server's (possibly anycast) address.
+                    self.world.node_net[id.0 as usize].dropped += 1;
+                    if let Some(resp) = slip {
+                        let payload = self.world.encode(&resp);
+                        self.world.send_datagram(local, dgram.src, payload);
+                    }
+                    return;
                 }
             }
         }
@@ -1169,6 +1225,7 @@ impl Simulator {
     /// (see [`crate::audit`]).
     pub(crate) fn audit_internals(&self) -> crate::audit::AuditInternals<'_> {
         let net = &self.world.net;
+        let ledger = self.world.defense_ledger();
         crate::audit::AuditInternals {
             sent: net.datagrams_sent,
             delivered: net.datagrams_delivered,
@@ -1178,10 +1235,10 @@ impl Simulator {
             decoded: net.datagrams_decoded,
             node_crashes: net.node_crashes,
             node_restarts: net.node_restarts,
-            defense_drops: net.defense_drops,
-            rrl_limited: net.rrl_limited,
-            rrl_slipped: net.rrl_slipped,
-            shed_by_class: net.shed_by_class,
+            defense_drops: ledger.defense_drops,
+            rrl_limited: ledger.rrl_limited,
+            rrl_slipped: ledger.rrl_slipped,
+            shed_by_class: ledger.shed_by_class,
             scaleout_activations: net.scaleout_activations,
             queue: &self.world.queue,
             allocated_timer_slots: (self.world.timer_gens.len() - self.world.free_timer_slots.len())
@@ -1508,5 +1565,64 @@ mod tests {
     #[test]
     fn telemetry_snapshots_are_deterministic_across_runs() {
         assert_eq!(telemetry_run(9).to_json(), telemetry_run(9).to_json());
+    }
+
+    /// An admission-style defense that delays every query by a fixed
+    /// amount in one class.
+    struct DelayAll(SimDuration, crate::queueing::QueueClass);
+
+    impl crate::defense::IngressDefense for DelayAll {
+        fn on_query(
+            &mut self,
+            _now: SimTime,
+            _src: Addr,
+            _msg: &Message,
+        ) -> crate::defense::IngressVerdict {
+            crate::defense::IngressVerdict::Enqueue {
+                delay: self.0,
+                class: self.1,
+            }
+        }
+    }
+
+    #[test]
+    fn queue_delay_histograms_reach_the_telemetry_cuts() {
+        use crate::queueing::QueueClass;
+
+        let mut sim = Simulator::new(11);
+        fixed_fabric(&mut sim, 10);
+        let (_, echo_addr) = sim.add_node(Box::new(Echo));
+        sim.add_node(Box::new(Pinger {
+            target: echo_addr,
+            sent_at: None,
+            rtt: None,
+        }));
+        sim.set_ingress_defense(
+            echo_addr,
+            Box::new(DelayAll(SimDuration::from_millis(3), QueueClass::Known)),
+        );
+        let reg = dike_telemetry::shared_registry();
+        sim.attach_telemetry(reg.clone(), dike_telemetry::TelemetryConfig::every_secs(1));
+        sim.run_until(SimDuration::from_secs(2).after_zero());
+        drop(sim);
+        let reg = std::sync::Arc::try_unwrap(reg)
+            .expect("simulator dropped its registry handle")
+            .into_inner()
+            .expect("registry not poisoned");
+
+        // The delayed class publishes a histogram row; the classes that
+        // saw no traffic stay absent so defense-free snapshot shapes are
+        // unchanged.
+        let known = reg
+            .histogram("netsim", None, "defense_queue_delay_known")
+            .expect("known-class delay histogram is published");
+        assert_eq!(known.count, 1, "one query was enqueued");
+        assert_eq!(known.sum, SimDuration::from_millis(3).as_nanos());
+        for absent in ["defense_queue_delay_unknown", "defense_queue_delay_flagged"] {
+            assert!(
+                reg.histogram("netsim", None, absent).is_none(),
+                "{absent} must not appear without samples"
+            );
+        }
     }
 }

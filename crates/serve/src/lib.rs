@@ -1,0 +1,520 @@
+#![warn(missing_docs)]
+
+//! # dike-serve
+//!
+//! The second implementation of the service seam (DESIGN.md §5.6): the
+//! same [`AuthServer`] and [`DefensePlan`] layers that run inside the
+//! simulator, mounted on real UDP sockets via `std::net`.
+//!
+//! The simulator implements [`Clock`] and [`Transport`] with virtual
+//! time and the event heap; this crate implements them with a monotonic
+//! wall-clock anchor ([`WallClock`]) and a bound [`UdpSocket`]
+//! ([`LiveContext`]). Server logic — query answering, truncation, the
+//! [`IngressGate`] defense accounting — is written once against the
+//! seam and does not know which world it is in, which is what makes the
+//! loopback parity test possible: the same queries against the same
+//! zone and plan produce byte-identical answers and matching defense
+//! ledgers in both modes.
+//!
+//! Threading model: one thread per UDP socket (queries are independent;
+//! the socket thread owns the encode buffer and takes the server/gate
+//! locks per datagram), plus an optional telemetry thread that
+//! publishes live snapshots — to a JSON file, a trivial HTTP endpoint,
+//! or both — on a fixed interval.
+
+use std::io::{ErrorKind, Read, Write};
+use std::net::{IpAddr, SocketAddr, TcpListener, TcpStream, UdpSocket};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use bytes::Bytes;
+use dike_auth::{AuthServer, AuthStats};
+use dike_defense::DefensePlan;
+use dike_netsim::service::{Clock, Transport};
+use dike_netsim::{
+    Addr, DefenseLedger, GateAction, IngressGate, Node, QueueClass, SimDuration, SimTime,
+    QUEUE_CLASSES,
+};
+use dike_telemetry::{MetricsRegistry, NodePublisher};
+use dike_wire::codec::{self, EncodeBuffer};
+use dike_wire::Message;
+
+/// How long the socket thread blocks in `recv_from` before re-checking
+/// the shutdown flag and due zone rotations.
+const POLL_INTERVAL: Duration = Duration::from_millis(25);
+
+/// A monotonic wall clock mapped onto [`SimTime`]: nanoseconds since
+/// the server started. Node logic written against [`Clock`] sees the
+/// same type and the same "time starts at zero" convention in both
+/// worlds.
+#[derive(Debug, Clone, Copy)]
+pub struct WallClock {
+    epoch: Instant,
+}
+
+impl WallClock {
+    /// A clock whose zero is now.
+    pub fn new() -> Self {
+        WallClock {
+            epoch: Instant::now(),
+        }
+    }
+}
+
+impl Default for WallClock {
+    fn default() -> Self {
+        WallClock::new()
+    }
+}
+
+impl Clock for WallClock {
+    fn now(&self) -> SimTime {
+        SimTime::from_nanos(self.epoch.elapsed().as_nanos() as u64)
+    }
+}
+
+/// The seam address of a socket peer: the IPv4 address as a `u32` (the
+/// low 32 bits for IPv6). Ports are deliberately dropped — the seam's
+/// [`Addr`] is what RRL prefix aggregation and classifiers key on, and
+/// those operate on hosts, not flows.
+pub fn addr_of_peer(peer: SocketAddr) -> Addr {
+    match peer.ip() {
+        IpAddr::V4(ip) => Addr(u32::from(ip)),
+        IpAddr::V6(ip) => {
+            let o = ip.octets();
+            Addr(u32::from_be_bytes([o[12], o[13], o[14], o[15]]))
+        }
+    }
+}
+
+/// The live implementation of the service seam, built per datagram: a
+/// wall clock, the serving socket, and the peer the current query came
+/// from. [`Transport::send_wire`] replies to that peer — the only
+/// destination a single-socket authoritative ever sends to.
+pub struct LiveContext<'a> {
+    clock: WallClock,
+    socket: &'a UdpSocket,
+    peer: SocketAddr,
+    local: Addr,
+    enc: &'a mut EncodeBuffer,
+    send_errors: &'a mut u64,
+}
+
+impl Clock for LiveContext<'_> {
+    fn now(&self) -> SimTime {
+        self.clock.now()
+    }
+}
+
+impl Transport for LiveContext<'_> {
+    fn self_addr(&self) -> Addr {
+        self.local
+    }
+
+    fn encode(&mut self, msg: &Message) -> Bytes {
+        self.enc.encode(msg).expect("server response encodes")
+    }
+
+    fn send_wire(&mut self, dst: Addr, payload: Bytes) {
+        debug_assert_eq!(
+            dst,
+            addr_of_peer(self.peer),
+            "a live authoritative only replies to the querying peer"
+        );
+        if self.socket.send_to(&payload, self.peer).is_err() {
+            *self.send_errors += 1;
+        }
+    }
+}
+
+/// Socket-loop counters, next to (not inside) the [`AuthServer`] stats:
+/// these count datagrams the server logic never saw.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ServeStats {
+    /// Datagrams read off the socket.
+    pub datagrams_received: u64,
+    /// Datagrams that failed to decode as DNS messages.
+    pub undecodable: u64,
+    /// Replies (including RRL slips) the OS refused to send.
+    pub send_errors: u64,
+}
+
+/// Configuration for [`LiveServer::start`].
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// UDP address to serve on (port 0 picks an ephemeral port).
+    pub bind: SocketAddr,
+    /// Defense layers to mount in front of the socket. The plan is
+    /// validated, its engines composed exactly as the simulator would
+    /// ([`DefensePlan::build_engines`]), and the first target's engine
+    /// installed behind an [`IngressGate`] — a live instance serves one
+    /// ingress. ScaleOut defenses are control-plane actions and are
+    /// ignored in live mode.
+    pub plan: Option<DefensePlan>,
+    /// Interval between telemetry snapshots.
+    pub telemetry_every: Duration,
+    /// If set, each snapshot rewrites this file with the full registry
+    /// as JSON.
+    pub telemetry_json: Option<PathBuf>,
+    /// If set, a TCP listener on this address answers every connection
+    /// with an HTTP/1.0 response carrying the latest snapshot JSON.
+    pub telemetry_http: Option<SocketAddr>,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            bind: "127.0.0.1:0".parse().expect("literal socket addr"),
+            plan: None,
+            telemetry_every: Duration::from_secs(10),
+            telemetry_json: None,
+            telemetry_http: None,
+        }
+    }
+}
+
+/// Shared state between the socket, telemetry, and caller threads.
+struct Shared {
+    server: Mutex<AuthServer>,
+    gate: Mutex<Option<IngressGate>>,
+    registry: Mutex<MetricsRegistry>,
+    stats: Mutex<ServeStats>,
+    clock: WallClock,
+}
+
+/// A running live server: one UDP socket thread, an optional telemetry
+/// thread, and accessors mirroring the simulator's post-run views so
+/// tests can compare the two worlds. Dropping the handle stops the
+/// server.
+pub struct LiveServer {
+    local_addr: SocketAddr,
+    shared: Arc<Shared>,
+    shutdown: Arc<AtomicBool>,
+    threads: Vec<JoinHandle<()>>,
+}
+
+impl LiveServer {
+    /// Binds the socket, mounts the defense plan, and starts serving
+    /// `server`'s zones. Returns once the socket is live.
+    pub fn start(config: ServeConfig, server: AuthServer) -> std::io::Result<LiveServer> {
+        let socket = UdpSocket::bind(config.bind)?;
+        socket.set_read_timeout(Some(POLL_INTERVAL))?;
+        let local_addr = socket.local_addr()?;
+
+        let gate = match &config.plan {
+            Some(plan) => {
+                plan.validate().map_err(|(i, e)| {
+                    std::io::Error::new(ErrorKind::InvalidInput, format!("defense {i}: {e}"))
+                })?;
+                plan.build_engines()
+                    .into_values()
+                    .next()
+                    .map(|engine| IngressGate::new(Box::new(engine)))
+            }
+            None => None,
+        };
+
+        let rotations = server.rotation_schedule();
+        let shared = Arc::new(Shared {
+            server: Mutex::new(server),
+            gate: Mutex::new(gate),
+            registry: Mutex::new(MetricsRegistry::new()),
+            stats: Mutex::new(ServeStats::default()),
+            clock: WallClock::new(),
+        });
+        let shutdown = Arc::new(AtomicBool::new(false));
+
+        let mut threads = Vec::new();
+        {
+            let shared = Arc::clone(&shared);
+            let shutdown = Arc::clone(&shutdown);
+            let local = addr_of_peer(local_addr);
+            threads.push(std::thread::spawn(move || {
+                socket_loop(&socket, local, &shared, &shutdown, rotations);
+            }));
+        }
+        if config.telemetry_json.is_some() || config.telemetry_http.is_some() {
+            let listener = match &config.telemetry_http {
+                Some(addr) => {
+                    let l = TcpListener::bind(addr)?;
+                    l.set_nonblocking(true)?;
+                    Some(l)
+                }
+                None => None,
+            };
+            let shared = Arc::clone(&shared);
+            let shutdown = Arc::clone(&shutdown);
+            let every = config.telemetry_every;
+            let json_path = config.telemetry_json.clone();
+            threads.push(std::thread::spawn(move || {
+                telemetry_loop(&shared, &shutdown, every, json_path, listener);
+            }));
+        }
+
+        Ok(LiveServer {
+            local_addr,
+            shared,
+            shutdown,
+            threads,
+        })
+    }
+
+    /// The bound UDP address (useful with port 0).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.local_addr
+    }
+
+    /// Socket-loop counters so far.
+    pub fn stats(&self) -> ServeStats {
+        *self.shared.stats.lock().expect("stats lock")
+    }
+
+    /// The authoritative server's cumulative counters.
+    pub fn auth_stats(&self) -> AuthStats {
+        *self.shared.server.lock().expect("server lock").stats()
+    }
+
+    /// The ingress gate's drop accounting — the same [`DefenseLedger`]
+    /// shape `Simulator::defense_ledger` returns, which is what the
+    /// parity test compares. Zeroed when no plan is mounted.
+    pub fn defense_ledger(&self) -> DefenseLedger {
+        self.shared
+            .gate
+            .lock()
+            .expect("gate lock")
+            .as_ref()
+            .map(|g| *g.ledger())
+            .unwrap_or_default()
+    }
+
+    /// Publishes a snapshot now and returns the registry as JSON — the
+    /// same document the telemetry file/endpoint carries.
+    pub fn telemetry_json(&self) -> String {
+        publish_snapshot(&self.shared)
+    }
+
+    /// Stops the threads and returns the final socket-loop counters.
+    pub fn stop(mut self) -> ServeStats {
+        self.shutdown.store(true, Ordering::Relaxed);
+        for t in self.threads.drain(..) {
+            let _ = t.join();
+        }
+        self.stats()
+    }
+}
+
+impl Drop for LiveServer {
+    fn drop(&mut self) {
+        self.shutdown.store(true, Ordering::Relaxed);
+        for t in self.threads.drain(..) {
+            let _ = t.join();
+        }
+    }
+}
+
+/// The per-socket serve loop: decode, run the ingress gate, serve
+/// through the seam. Mirrors the simulator's delivery pipeline — the
+/// gate did all defense accounting, the loop only obeys the
+/// [`GateAction`].
+fn socket_loop(
+    socket: &UdpSocket,
+    local: Addr,
+    shared: &Shared,
+    shutdown: &AtomicBool,
+    rotations: Vec<(usize, SimDuration)>,
+) {
+    let mut enc = EncodeBuffer::new();
+    let mut buf = [0u8; 4096];
+    let mut send_errors: u64 = 0;
+    let mut due: Vec<(usize, SimDuration, SimTime)> = rotations
+        .into_iter()
+        .map(|(i, ivl)| (i, ivl, SimTime::ZERO + ivl))
+        .collect();
+    while !shutdown.load(Ordering::Relaxed) {
+        let now = shared.clock.now();
+        for r in &mut due {
+            // Zone rotation, driven by the wall clock the way the
+            // simulator drives it by timer events.
+            while now >= r.2 {
+                shared.server.lock().expect("server lock").rotate_zone(r.0, now);
+                r.2 = r.2 + r.1;
+            }
+        }
+        let (len, peer) = match socket.recv_from(&mut buf) {
+            Ok(hit) => hit,
+            Err(e) if matches!(e.kind(), ErrorKind::WouldBlock | ErrorKind::TimedOut) => continue,
+            Err(_) => continue,
+        };
+        {
+            let mut stats = shared.stats.lock().expect("stats lock");
+            stats.datagrams_received += 1;
+            stats.send_errors = send_errors;
+        }
+        let Ok(msg) = codec::decode(&buf[..len]) else {
+            shared.stats.lock().expect("stats lock").undecodable += 1;
+            continue;
+        };
+        let src = addr_of_peer(peer);
+        let now = shared.clock.now();
+        let action = shared
+            .gate
+            .lock()
+            .expect("gate lock")
+            .as_mut()
+            .map(|gate| gate.on_query(now, src, &msg));
+        match action {
+            Some(GateAction::Drop { slip }) => {
+                if let Some(resp) = slip {
+                    let payload = enc.encode(&resp).expect("slip response encodes");
+                    if socket.send_to(&payload, peer).is_err() {
+                        send_errors += 1;
+                    }
+                }
+                continue;
+            }
+            // An accepted-with-delay query is served immediately: the
+            // queueing delay is recorded in the gate's histograms, but a
+            // single-socket loop does not hold the reply back (the
+            // simulator models the wait; a live thread sleeping would
+            // head-of-line-block every later query instead).
+            Some(GateAction::DeliverAfter(_)) | Some(GateAction::Deliver) | None => {}
+        }
+        let mut ctx = LiveContext {
+            clock: shared.clock,
+            socket,
+            peer,
+            local,
+            enc: &mut enc,
+            send_errors: &mut send_errors,
+        };
+        shared
+            .server
+            .lock()
+            .expect("server lock")
+            .serve_datagram(&mut ctx, src, &msg);
+    }
+    shared.stats.lock().expect("stats lock").send_errors = send_errors;
+}
+
+/// Publishes one telemetry snapshot (socket stats, auth counters, gate
+/// ledger and per-class delay histograms — the same metric names the
+/// simulator's standard cuts use) and returns the registry as JSON.
+fn publish_snapshot(shared: &Shared) -> String {
+    let mut reg = shared.registry.lock().expect("registry lock");
+    let now = shared.clock.now();
+    {
+        let stats = shared.stats.lock().expect("stats lock");
+        reg.record_counter("serve", None, "datagrams_received", stats.datagrams_received);
+        reg.record_counter("serve", None, "undecodable", stats.undecodable);
+        reg.record_counter("serve", None, "send_errors", stats.send_errors);
+    }
+    {
+        let server = shared.server.lock().expect("server lock");
+        server.publish_metrics(&mut NodePublisher::new(&mut reg, 0));
+    }
+    {
+        let gate = shared.gate.lock().expect("gate lock");
+        if let Some(gate) = &*gate {
+            let ledger = gate.ledger();
+            reg.record_counter("serve", None, "defense_drops", ledger.defense_drops);
+            reg.record_counter("serve", None, "rrl_limited", ledger.rrl_limited);
+            reg.record_counter("serve", None, "rrl_slipped", ledger.rrl_slipped);
+            for class in QUEUE_CLASSES {
+                reg.record_counter(
+                    "serve",
+                    None,
+                    match class {
+                        QueueClass::Known => "shed_known",
+                        QueueClass::Unknown => "shed_unknown",
+                        QueueClass::Flagged => "shed_flagged",
+                    },
+                    ledger.shed_by_class[class.index()],
+                );
+                let h = gate.queue_delay(class);
+                if h.count() > 0 {
+                    reg.record_histogram(
+                        "serve",
+                        None,
+                        match class {
+                            QueueClass::Known => "defense_queue_delay_known",
+                            QueueClass::Unknown => "defense_queue_delay_unknown",
+                            QueueClass::Flagged => "defense_queue_delay_flagged",
+                        },
+                        h,
+                    );
+                }
+            }
+        }
+    }
+    reg.snapshot(now.as_nanos());
+    reg.to_json()
+}
+
+/// The telemetry loop: snapshot on the interval, rewrite the JSON file,
+/// and drain any pending HTTP connections with the latest document.
+fn telemetry_loop(
+    shared: &Shared,
+    shutdown: &AtomicBool,
+    every: Duration,
+    json_path: Option<PathBuf>,
+    listener: Option<TcpListener>,
+) {
+    let mut next = Instant::now() + every;
+    let mut latest = publish_snapshot(shared);
+    while !shutdown.load(Ordering::Relaxed) {
+        std::thread::sleep(POLL_INTERVAL);
+        if Instant::now() >= next {
+            next += every;
+            latest = publish_snapshot(shared);
+            if let Some(path) = &json_path {
+                let _ = std::fs::write(path, &latest);
+            }
+        }
+        if let Some(listener) = &listener {
+            while let Ok((stream, _)) = listener.accept() {
+                serve_http_snapshot(stream, &latest);
+            }
+        }
+    }
+    if let Some(path) = &json_path {
+        let _ = std::fs::write(path, publish_snapshot(shared));
+    }
+}
+
+/// Answers one telemetry connection: read whatever request arrived,
+/// reply HTTP/1.0 with the JSON body, close.
+fn serve_http_snapshot(mut stream: TcpStream, body: &str) {
+    let _ = stream.set_read_timeout(Some(POLL_INTERVAL));
+    let mut scratch = [0u8; 1024];
+    let _ = stream.read(&mut scratch);
+    let _ = write!(
+        stream,
+        "HTTP/1.0 200 OK\r\nContent-Type: application/json\r\nContent-Length: {}\r\n\r\n{}",
+        body.len(),
+        body
+    );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn wall_clock_is_monotonic_from_zero() {
+        let clock = WallClock::new();
+        let a = clock.now();
+        let b = clock.now();
+        assert!(b >= a);
+    }
+
+    #[test]
+    fn peer_addr_drops_the_port() {
+        let a: SocketAddr = "10.0.0.7:5353".parse().unwrap();
+        let b: SocketAddr = "10.0.0.7:9".parse().unwrap();
+        assert_eq!(addr_of_peer(a), addr_of_peer(b));
+        assert_eq!(addr_of_peer(a), Addr(0x0a00_0007));
+    }
+}

@@ -1,0 +1,201 @@
+//! Sim/live parity: the same zone and defense plan, driven once through
+//! the simulator and once through a `dike-serve` socket on 127.0.0.1,
+//! must produce byte-identical answers and matching defense ledgers.
+//!
+//! This is the acceptance test of the service seam (DESIGN.md §5.6):
+//! the server logic and the ingress gate are the same code in both
+//! worlds, so any divergence here means one side grew a hidden
+//! dependency on its world.
+
+use std::net::UdpSocket;
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
+
+use dike_auth::{AuthServer, CacheTestZone};
+use dike_defense::{Defense, DefensePlan, RrlConfig};
+use dike_netsim::{
+    Addr, Context, DefenseLedger, LatencyModel, LinkParams, LinkTable, Node, SimDuration, Simulator,
+};
+use dike_serve::{LiveServer, ServeConfig};
+use dike_wire::{codec, Message, Name, RecordType};
+use std::net::Ipv4Addr;
+
+const QUERY_COUNT: u16 = 6;
+
+fn zone() -> CacheTestZone {
+    CacheTestZone::new(60, &[Ipv4Addr::new(198, 51, 100, 1)])
+}
+
+fn query(id: u16) -> Message {
+    Message::query(id, Name::parse("1414.cachetest.nl").unwrap(), RecordType::AAAA)
+}
+
+/// RRL tight enough that of six rapid queries from one source, exactly
+/// two are answered and four slip as TC=1 — and slow enough to refill
+/// (0.01 tokens/s) that the outcome is identical whether the six
+/// queries take microseconds (live loopback) or simulated milliseconds.
+fn rrl_config() -> RrlConfig {
+    RrlConfig {
+        rate_qps: 0.01,
+        burst: 2.0,
+        slip: 1,
+        prefix_bits: 24,
+    }
+}
+
+/// Sim client: fires the fixed query sequence at t=0 and records every
+/// response it gets back.
+struct RecordingClient {
+    server: Addr,
+    replies: Arc<Mutex<Vec<Message>>>,
+}
+
+impl Node for RecordingClient {
+    fn on_start(&mut self, ctx: &mut Context<'_>) {
+        for id in 1..=QUERY_COUNT {
+            ctx.send(self.server, &query(id));
+        }
+    }
+
+    fn on_datagram(&mut self, _ctx: &mut Context<'_>, _src: Addr, msg: &Message, _len: usize) {
+        if msg.is_response {
+            self.replies.lock().expect("replies lock").push(msg.clone());
+        }
+    }
+
+    fn on_timer(&mut self, _ctx: &mut Context<'_>, _token: dike_netsim::TimerToken) {}
+}
+
+/// Runs the scenario in the simulator: returns each response re-encoded
+/// to wire bytes (keyed by DNS id) plus the run's defense ledger.
+fn run_sim(plan: Option<&DefensePlan>) -> (Vec<(u16, Vec<u8>)>, DefenseLedger) {
+    let mut sim = Simulator::new(7);
+    *sim.links_mut() = LinkTable::new(LinkParams {
+        latency: LatencyModel::Fixed(SimDuration::from_millis(5)),
+        loss: 0.0,
+    });
+    let (_, auth_addr) = sim.add_node(Box::new(AuthServer::new().with_zone(Box::new(zone()))));
+    if let Some(plan) = plan {
+        // Re-target the plan at the sim server's address; the live side
+        // mounts the first engine regardless of target.
+        let mut retargeted = DefensePlan::new();
+        for d in &plan.defenses {
+            let Defense::Rrl { start, config, .. } = d else {
+                panic!("parity scenario only uses RRL");
+            };
+            retargeted.push(Defense::Rrl {
+                target: auth_addr,
+                start: *start,
+                config: *config,
+            });
+        }
+        retargeted.schedule(&mut sim).expect("valid plan");
+    }
+    let replies = Arc::new(Mutex::new(Vec::new()));
+    sim.add_node(Box::new(RecordingClient {
+        server: auth_addr,
+        replies: replies.clone(),
+    }));
+    sim.run_until(SimDuration::from_secs(10).after_zero());
+    let ledger = sim.defense_ledger();
+    drop(sim);
+    let replies = replies.lock().expect("replies lock");
+    let wires = replies
+        .iter()
+        .map(|m| (m.id, codec::encode(m).expect("response re-encodes")))
+        .collect();
+    (wires, ledger)
+}
+
+/// Runs the scenario against a live server in lock-step (send one
+/// query, wait for its reply) so arrival order matches the simulator's
+/// deterministic delivery order.
+fn run_live(plan: Option<DefensePlan>) -> (Vec<(u16, Vec<u8>)>, DefenseLedger) {
+    let server = AuthServer::new().with_zone(Box::new(zone()));
+    let handle = LiveServer::start(
+        ServeConfig {
+            plan,
+            ..ServeConfig::default()
+        },
+        server,
+    )
+    .expect("bind loopback");
+    let client = UdpSocket::bind("127.0.0.1:0").expect("bind client");
+    client
+        .set_read_timeout(Some(Duration::from_secs(5)))
+        .expect("read timeout");
+    client.connect(handle.local_addr()).expect("connect");
+
+    let mut wires = Vec::new();
+    let mut buf = [0u8; 4096];
+    for id in 1..=QUERY_COUNT {
+        let q = codec::encode(&query(id)).expect("query encodes");
+        client.send(&q).expect("send query");
+        let len = client.recv(&mut buf).unwrap_or_else(|e| {
+            panic!("no reply to query {id} within 5s (every query must be answered or slipped): {e}")
+        });
+        let resp = codec::decode(&buf[..len]).expect("reply decodes");
+        assert_eq!(resp.id, id, "replies arrive lock-step");
+        wires.push((id, buf[..len].to_vec()));
+    }
+    let ledger = handle.defense_ledger();
+    handle.stop();
+    (wires, ledger)
+}
+
+fn assert_same_wires(sim: &[(u16, Vec<u8>)], live: &[(u16, Vec<u8>)]) {
+    assert_eq!(sim.len(), live.len(), "same number of responses");
+    for (id, live_bytes) in live {
+        let sim_bytes = sim
+            .iter()
+            .find(|(sid, _)| sid == id)
+            .map(|(_, b)| b)
+            .unwrap_or_else(|| panic!("sim produced no response for id {id}"));
+        assert_eq!(
+            sim_bytes, live_bytes,
+            "response bytes for id {id} differ between sim and live"
+        );
+    }
+}
+
+#[test]
+fn undefended_answers_are_byte_identical() {
+    let (sim_wires, sim_ledger) = run_sim(None);
+    let (live_wires, live_ledger) = run_live(None);
+    assert_eq!(sim_wires.len(), QUERY_COUNT as usize);
+    assert_same_wires(&sim_wires, &live_wires);
+    assert_eq!(sim_ledger, DefenseLedger::default());
+    assert_eq!(live_ledger, DefenseLedger::default());
+}
+
+#[test]
+fn rrl_slip_parity_including_ledgers() {
+    let plan = DefensePlan::new().with(Defense::rrl(Addr(0), rrl_config()));
+    let (sim_wires, sim_ledger) = run_sim(Some(&plan));
+    let (live_wires, live_ledger) = run_live(Some(plan));
+
+    // Every query gets a reply (slip=1 answers every limited query).
+    assert_eq!(sim_wires.len(), QUERY_COUNT as usize);
+    assert_same_wires(&sim_wires, &live_wires);
+
+    // The first two spend the burst; the rest are TC=1 slips.
+    for (id, bytes) in &live_wires {
+        let msg = codec::decode(bytes).expect("decodes");
+        if *id <= 2 {
+            assert!(!msg.truncated, "query {id} answered in full");
+            assert!(!msg.answers.is_empty());
+        } else {
+            assert!(msg.truncated, "query {id} slipped as TC=1");
+            assert!(msg.answers.is_empty());
+        }
+    }
+
+    let expected = DefenseLedger {
+        defense_drops: 4,
+        rrl_limited: 4,
+        rrl_slipped: 4,
+        shed_by_class: [0, 0, 0],
+    };
+    assert_eq!(sim_ledger, expected, "sim ledger");
+    assert_eq!(live_ledger, expected, "live ledger");
+}

@@ -209,6 +209,25 @@ impl Histogram {
             .collect()
     }
 
+    /// Adds every sample of `other` into this histogram (bin-wise; the
+    /// drivers use it to aggregate per-gate distributions into one
+    /// run-wide row at snapshot boundaries).
+    pub fn merge(&mut self, other: &Histogram) {
+        for (a, b) in self.bins.iter_mut().zip(&other.bins) {
+            *a += b;
+        }
+        self.count += other.count;
+        self.sum = self.sum.saturating_add(other.sum);
+        if other.count > 0 {
+            if other.min < self.min {
+                self.min = other.min;
+            }
+            if other.max > self.max {
+                self.max = other.max;
+            }
+        }
+    }
+
     /// A frozen copy suitable for storing in a snapshot series.
     pub fn snapshot(&self) -> HistogramSnapshot {
         HistogramSnapshot {
@@ -289,6 +308,25 @@ mod tests {
         assert_eq!(h.quantile(0.5), Some(2));
         // The largest sample (1000) lives in bin [512, 1024).
         assert_eq!(h.quantile(1.0), Some(512));
+    }
+
+    #[test]
+    fn histogram_merge_is_samplewise_union() {
+        let mut a = Histogram::new();
+        a.observe(1);
+        a.observe(100);
+        let mut b = Histogram::new();
+        b.observe(0);
+        b.observe(7);
+        a.merge(&b);
+        assert_eq!(a.count(), 4);
+        assert_eq!(a.sum(), 108);
+        assert_eq!(a.min(), Some(0));
+        assert_eq!(a.max(), Some(100));
+        // Merging an empty histogram changes nothing (min stays valid).
+        let before = a.clone();
+        a.merge(&Histogram::new());
+        assert_eq!(a, before);
     }
 
     #[test]

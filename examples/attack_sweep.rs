@@ -1,19 +1,13 @@
 //! Sweep attack intensity in parallel — the paper's §5.4 experiment
-//! design ("we sweep the space of attack intensities") as four lines of
-//! code on the high-level API.
+//! design ("we sweep the space of attack intensities") as a handful of
+//! lines on the [`SweepEngine`].
 //!
 //! ```text
 //! cargo run --release --example attack_sweep
 //! ```
 
-// LossSweep is deprecated in favour of SweepEngine (see the sweep_grid
-// example); this example stays on it deliberately, as coverage of the
-// legacy shim.
-#[allow(deprecated)]
-use dike::core::LossSweep;
-use dike::core::{Attack, Scenario};
+use dike::core::{Attack, Scenario, SeedStrategy, SweepAxis, SweepEngine};
 
-#[allow(deprecated)]
 fn main() {
     let base = Scenario::new()
         .probes(200)
@@ -22,17 +16,25 @@ fn main() {
         .duration_min(150)
         .seed(42);
 
-    let rates = [0.0, 0.25, 0.5, 0.75, 0.9, 0.95, 1.0];
+    let rates = vec![0.0, 0.25, 0.5, 0.75, 0.9, 0.95, 1.0];
     println!("running {} scenario arms in parallel ...\n", rates.len());
-    let points = LossSweep::new(base, rates).run();
+    let loss_of = rates.clone();
+    let mut points: Vec<_> = SweepEngine::new(base)
+        .axis(SweepAxis::AttackLoss(rates))
+        .replicates(1)
+        .seed_strategy(SeedStrategy::Paired)
+        .run_fold(move |job, report| (loss_of[job.arm], report))
+        .into_iter()
+        .flatten()
+        .collect();
+    points.sort_by(|a, b| a.0.total_cmp(&b.0));
 
     println!(
         "{:>6} {:>18} {:>18} {:>14}",
         "loss", "OK during attack", "server load mult", "p90 latency"
     );
-    for p in &points {
-        let p90 = p
-            .report
+    for (loss, report) in &points {
+        let p90 = report
             .latencies
             .iter()
             .filter(|b| b.start_min >= 60 && b.start_min < 120)
@@ -40,9 +42,9 @@ fn main() {
             .fold(0.0f64, f64::max);
         println!(
             "{:>5.0}% {:>17.1}% {:>17.1}x {:>11.0}ms",
-            p.loss * 100.0,
-            p.report.ok_fraction_during_attack().unwrap_or(f64::NAN) * 100.0,
-            p.report.traffic_multiplier().unwrap_or(f64::NAN),
+            loss * 100.0,
+            report.ok_fraction_during_attack().unwrap_or(f64::NAN) * 100.0,
+            report.traffic_multiplier().unwrap_or(f64::NAN),
             p90
         );
     }

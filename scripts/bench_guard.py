@@ -2,6 +2,7 @@
 """Bench regression gate: fresh criterion results vs the committed baseline.
 
     bench_guard.py CURRENT.json [BASELINE.json] [--max-ratio X]
+                   [--require suite/bench]...
 
 CURRENT is a dike-bench-baseline/1 document (scripts/bench_distill.py).
 BASELINE defaults to the newest committed BENCH_*.json in the repo root.
@@ -13,6 +14,11 @@ accidentally quadratic hot path, not 10% drift). Benchmarks present on
 only one side are reported but never fail the gate, so adding or
 retiring suites does not require regenerating the baseline in the same
 change.
+
+`--require suite/bench` (repeatable) asserts the named benchmark exists
+in CURRENT — a coverage guard so a bench arm silently dropped from a
+suite (renamed, cfg'd out, harness change) fails CI instead of
+vanishing from the ungated "new" list.
 """
 
 import json
@@ -30,16 +36,28 @@ def load(path):
 
 def main(argv):
     max_ratio = 5.0
+    required = []
     rest = argv[1:]
     if "--max-ratio" in rest:
         i = rest.index("--max-ratio")
         max_ratio = float(rest[i + 1])
+        del rest[i : i + 2]
+    while "--require" in rest:
+        i = rest.index("--require")
+        required.append(rest[i + 1])
         del rest[i : i + 2]
     args = [a for a in rest if not a.startswith("--")]
     if not args:
         print(__doc__, file=sys.stderr)
         return 2
     current = load(args[0])
+    missing = sorted(set(required) - set(current))
+    if missing:
+        print(
+            f"bench_guard: required benchmark(s) absent from {args[0]}: "
+            f"{', '.join(missing)}"
+        )
+        return 1
     if len(args) > 1:
         baseline_path = args[1]
     else:

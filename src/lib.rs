@@ -14,6 +14,7 @@ pub use dike_experiments as experiments;
 pub use dike_faults as faults;
 pub use dike_netsim as netsim;
 pub use dike_resolver as resolver;
+pub use dike_serve as serve;
 pub use dike_stats as stats;
 pub use dike_stub as stub;
 pub use dike_telemetry as telemetry;

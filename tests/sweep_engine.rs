@@ -1,6 +1,6 @@
 //! Sweep-engine contract tests: worker-count-independent output,
-//! memory-bounded streaming aggregation, and the legacy `LossSweep`
-//! shim's bit-identity with direct scenario runs.
+//! memory-bounded streaming aggregation, and paired-seed bit-identity
+//! with direct scenario runs.
 
 use dike::core::{Attack, ReplicateSummary, Scenario, SeedStrategy, SweepAxis, SweepEngine};
 
@@ -76,29 +76,30 @@ fn large_grid_retains_only_compact_summaries() {
     assert!(cells * per_cell < 1 << 20, "summaries stay under a MiB");
 }
 
-/// The deprecated `LossSweep` is a shim over `SweepEngine`; its points
-/// must match running each arm's scenario directly (same seed, same
-/// loss), bit for bit in the outcome series.
+/// A one-replicate paired sweep (replicate 0 runs the base seed
+/// verbatim) must match running each arm's scenario directly — same
+/// seed, same loss, bit for bit in the outcome series.
 #[test]
-#[allow(deprecated)]
-fn loss_sweep_shim_is_identical_to_direct_runs() {
-    use dike::core::LossSweep;
-
-    let rates = [0.0, 0.9, 1.0];
-    let points = LossSweep::new(tiny_base(), rates).run();
+fn paired_sweep_is_identical_to_direct_runs() {
+    let rates = vec![0.0, 0.9, 1.0];
+    let points = SweepEngine::new(tiny_base())
+        .axis(SweepAxis::AttackLoss(rates.clone()))
+        .replicates(1)
+        .seed_strategy(SeedStrategy::Paired)
+        .run_fold(|_job, report| report);
     assert_eq!(points.len(), rates.len());
-    for (p, &loss) in points.iter().zip(&rates) {
+    for (reps, &loss) in points.iter().zip(&rates) {
+        let report = &reps[0];
         let direct = tiny_base()
             .with_attack(Attack::loss(loss).window_min(10, 10))
             .run();
-        assert_eq!(p.loss, loss);
-        assert_eq!(p.report.outcomes, direct.outcomes);
+        assert_eq!(report.outcomes, direct.outcomes);
         assert_eq!(
-            p.report.output.log.records.len(),
+            report.output.log.records.len(),
             direct.output.log.records.len()
         );
         assert_eq!(
-            p.report.ok_fraction_during_attack(),
+            report.ok_fraction_during_attack(),
             direct.ok_fraction_during_attack()
         );
     }
