@@ -122,11 +122,8 @@ impl CacheTestZone {
         {
             return None;
         }
-        let label = &name.labels()[0];
-        std::str::from_utf8(label.as_bytes())
-            .ok()?
-            .parse::<u16>()
-            .ok()
+        let label = name.labels().next()?;
+        std::str::from_utf8(label).ok()?.parse::<u16>().ok()
     }
 }
 

@@ -189,6 +189,91 @@ fn bench_event_loop(c: &mut Criterion) {
             sim.now()
         })
     });
+    g.bench_function("timer_wheel_churn", |b| {
+        // Deep staggered churn across wheel levels: 512 nodes arming
+        // timers at delays that span the wheel hierarchy (sub-slot to
+        // tens of seconds), with every third arm cancelled before it
+        // fires. Exercises the cascade ladder and tombstone reclamation
+        // that the flat 10 ms `timer_churn` above never touches.
+        struct LadderTicker {
+            step: u32,
+            pending_cancel: Option<dike_netsim::TimerId>,
+        }
+        impl Node for LadderTicker {
+            fn on_start(&mut self, ctx: &mut Context<'_>) {
+                ctx.set_timer(SimDuration::from_micros(50), TimerToken(0));
+            }
+            fn on_datagram(&mut self, _ctx: &mut Context<'_>, _src: Addr, _msg: &Message, _l: usize) {
+            }
+            fn on_timer(&mut self, ctx: &mut Context<'_>, _t: TimerToken) {
+                if let Some(id) = self.pending_cancel.take() {
+                    ctx.cancel_timer(id);
+                }
+                if self.step >= 8 {
+                    return;
+                }
+                // Delays walk the wheel ladder: 50 µs, 400 µs, 3.2 ms,
+                // 25.6 ms, 205 ms, 1.6 s, 13 s, 105 s.
+                let delay = SimDuration::from_micros(50u64 << (3 * (self.step % 8)));
+                ctx.set_timer(delay, TimerToken(0));
+                // A decoy armed and cancelled on the next pop: cancellation load.
+                let decoy = ctx.set_timer(delay + SimDuration::from_secs(300), TimerToken(1));
+                self.pending_cancel = Some(decoy);
+                self.step += 1;
+            }
+        }
+        b.iter(|| {
+            let mut sim = fixed_latency_sim(3, 1);
+            for _ in 0..512 {
+                sim.add_node(Box::new(LadderTicker {
+                    step: 0,
+                    pending_cancel: None,
+                }));
+            }
+            sim.run_until_idle();
+            sim.now()
+        })
+    });
+    g.bench_function("batched_delivery", |b| {
+        // Fan-in: 100 clients fire one query per round at the *same
+        // instant* into one echo node over a fixed-latency fabric, so
+        // every round is a 100-datagram same-instant burst at the echo
+        // ingress — the shape the simulator's batched delivery path
+        // collapses into one node checkout.
+        struct SyncedPinger {
+            target: Addr,
+            rounds: u32,
+        }
+        impl Node for SyncedPinger {
+            fn on_start(&mut self, ctx: &mut Context<'_>) {
+                ctx.set_timer(SimDuration::from_millis(5), TimerToken(0));
+            }
+            fn on_datagram(&mut self, _ctx: &mut Context<'_>, _src: Addr, _msg: &Message, _l: usize) {
+            }
+            fn on_timer(&mut self, ctx: &mut Context<'_>, _t: TimerToken) {
+                ctx.send(
+                    self.target,
+                    &Message::query(7, Name::parse("x.nl").unwrap(), RecordType::A),
+                );
+                if self.rounds > 0 {
+                    self.rounds -= 1;
+                    ctx.set_timer(SimDuration::from_millis(5), TimerToken(0));
+                }
+            }
+        }
+        b.iter(|| {
+            let mut sim = fixed_latency_sim(4, 1);
+            let (_, echo) = sim.add_node(Box::new(Echo));
+            for _ in 0..100 {
+                sim.add_node(Box::new(SyncedPinger {
+                    target: echo,
+                    rounds: 19,
+                }));
+            }
+            sim.run_until_idle();
+            sim.now()
+        })
+    });
     g.finish();
 }
 

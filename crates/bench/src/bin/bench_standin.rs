@@ -1,0 +1,426 @@
+//! Offline stand-in for the `netsim_core` criterion suite.
+//!
+//! The development container has no registry access, so `cargo bench`
+//! links a type-check stub of criterion that runs each routine once and
+//! records no statistics. This binary re-implements the `netsim_core`
+//! bench bodies with a plain wall-clock harness — `--reps` repetitions
+//! per arm, per-element nanoseconds like the criterion suite's
+//! `Throughput::Elements` estimates — and writes a
+//! `dike-bench-baseline/1` document with *real* per-rep dispersion
+//! (mean / median / std-dev across repetitions), so the committed
+//! baseline's `std_dev_ns` means something to `bench_guard.py`.
+//!
+//! Usage: `cargo run --release -p dike-bench --bin bench-standin -- \
+//!         OUT.json [--reps N] [--date YYYY-MM-DD]`
+//!
+//! Keys mirror the criterion suite (`netsim_core/<arm>`), so the output
+//! is directly comparable to (and interchangeable with) a
+//! `scripts/bench_distill.py` document.
+
+use std::time::Instant;
+
+use bytes::Bytes;
+use dike_auth::{AuthServer, CacheTestZone};
+use dike_bench::fixed_latency_sim;
+use dike_defense::{Defense, DefensePlan, RrlConfig};
+use dike_netsim::service::{Clock, Transport};
+use dike_netsim::{Addr, Context, Node, SimDuration, SimTime, TimerToken};
+use dike_wire::{codec::EncodeBuffer, Message, Name, RecordType};
+
+/// Elements per iteration, matching the criterion group's
+/// `Throughput::Elements`.
+const ROUND_TRIPS: u32 = 2_000;
+
+/// Echoes every query (the criterion suite's `Echo`).
+struct Echo;
+impl Node for Echo {
+    fn on_datagram(&mut self, ctx: &mut Context<'_>, src: Addr, msg: &Message, _l: usize) {
+        if !msg.is_response {
+            ctx.send(src, &Message::response_to(msg));
+        }
+    }
+    fn on_timer(&mut self, _ctx: &mut Context<'_>, _t: TimerToken) {}
+}
+
+/// Sends `count` queries back-to-back (next query on each response).
+struct Burst {
+    target: Addr,
+    remaining: u32,
+}
+impl Node for Burst {
+    fn on_start(&mut self, ctx: &mut Context<'_>) {
+        ctx.set_timer(SimDuration::from_millis(1), TimerToken(0));
+    }
+    fn on_datagram(&mut self, ctx: &mut Context<'_>, _src: Addr, msg: &Message, _l: usize) {
+        if msg.is_response && self.remaining > 0 {
+            self.remaining -= 1;
+            ctx.send(
+                self.target,
+                &Message::query(
+                    self.remaining as u16,
+                    Name::parse("x.nl").unwrap(),
+                    RecordType::A,
+                ),
+            );
+        }
+    }
+    fn on_timer(&mut self, ctx: &mut Context<'_>, _t: TimerToken) {
+        ctx.send(
+            self.target,
+            &Message::query(0, Name::parse("x.nl").unwrap(), RecordType::A),
+        );
+    }
+}
+
+fn round_trips_iter() -> SimTime {
+    let mut sim = fixed_latency_sim(1, 1);
+    let (_, echo) = sim.add_node(Box::new(Echo));
+    sim.add_node(Box::new(Burst {
+        target: echo,
+        remaining: ROUND_TRIPS,
+    }));
+    sim.run_until_idle();
+    sim.now()
+}
+
+fn rrl_hot_path_iter() -> SimTime {
+    let mut sim = fixed_latency_sim(1, 1);
+    let (_, echo) = sim.add_node(Box::new(Echo));
+    sim.add_node(Box::new(Burst {
+        target: echo,
+        remaining: ROUND_TRIPS,
+    }));
+    DefensePlan::new()
+        .with(Defense::rrl(
+            echo,
+            RrlConfig {
+                rate_qps: 1e9,
+                burst: 1e9,
+                slip: 2,
+                prefix_bits: 24,
+            },
+        ))
+        .schedule(&mut sim)
+        .expect("valid plan");
+    sim.run_until_idle();
+    sim.now()
+}
+
+fn serve_encode_path_iter(queries: &[Message]) -> u64 {
+    struct Sink {
+        now: SimTime,
+        local: Addr,
+        enc: EncodeBuffer,
+        sent: u64,
+        octets: u64,
+    }
+    impl Clock for Sink {
+        fn now(&self) -> SimTime {
+            self.now
+        }
+    }
+    impl Transport for Sink {
+        fn self_addr(&self) -> Addr {
+            self.local
+        }
+        fn encode(&mut self, msg: &Message) -> Bytes {
+            self.enc.encode(msg).expect("encodable")
+        }
+        fn send_wire(&mut self, _dst: Addr, payload: Bytes) {
+            self.sent += 1;
+            self.octets += payload.len() as u64;
+        }
+    }
+    let mut server = AuthServer::new().with_zone(Box::new(CacheTestZone::new(
+        60,
+        &[std::net::Ipv4Addr::new(198, 51, 100, 1)],
+    )));
+    let mut sink = Sink {
+        now: SimDuration::from_secs(1).after_zero(),
+        local: Addr(0x7f00_0001),
+        enc: EncodeBuffer::new(),
+        sent: 0,
+        octets: 0,
+    };
+    for q in queries {
+        server.serve_datagram(&mut sink, Addr(0x0a00_0002), q);
+    }
+    assert_eq!(sink.sent, ROUND_TRIPS as u64);
+    sink.octets
+}
+
+/// 1000 nodes each setting and firing 4 timers (the criterion suite's
+/// `timer_churn`).
+struct Ticker {
+    left: u8,
+}
+impl Node for Ticker {
+    fn on_start(&mut self, ctx: &mut Context<'_>) {
+        ctx.set_timer(SimDuration::from_millis(10), TimerToken(0));
+    }
+    fn on_datagram(&mut self, _ctx: &mut Context<'_>, _src: Addr, _msg: &Message, _l: usize) {}
+    fn on_timer(&mut self, ctx: &mut Context<'_>, _t: TimerToken) {
+        if self.left > 0 {
+            self.left -= 1;
+            ctx.set_timer(SimDuration::from_millis(10), TimerToken(0));
+        }
+    }
+}
+
+fn timer_churn_iter() -> SimTime {
+    let mut sim = fixed_latency_sim(2, 1);
+    for _ in 0..1000 {
+        sim.add_node(Box::new(Ticker { left: 3 }));
+    }
+    sim.run_until_idle();
+    sim.now()
+}
+
+/// Deep staggered churn across wheel levels: 512 nodes arming timers at
+/// delays that span the wheel hierarchy (sub-slot to tens of seconds),
+/// with every third arm cancelled before it fires (the criterion
+/// suite's `timer_wheel_churn`).
+struct LadderTicker {
+    step: u32,
+    pending_cancel: Option<dike_netsim::TimerId>,
+}
+impl Node for LadderTicker {
+    fn on_start(&mut self, ctx: &mut Context<'_>) {
+        ctx.set_timer(SimDuration::from_micros(50), TimerToken(0));
+    }
+    fn on_datagram(&mut self, _ctx: &mut Context<'_>, _src: Addr, _msg: &Message, _l: usize) {}
+    fn on_timer(&mut self, ctx: &mut Context<'_>, _t: TimerToken) {
+        if let Some(id) = self.pending_cancel.take() {
+            ctx.cancel_timer(id);
+        }
+        if self.step >= 8 {
+            return;
+        }
+        // Delays walk the wheel ladder: 50 µs, 400 µs, 3.2 ms, 25.6 ms,
+        // 205 ms, 1.6 s, 13 s, 105 s.
+        let delay = SimDuration::from_micros(50u64 << (3 * (self.step % 8)));
+        ctx.set_timer(delay, TimerToken(0));
+        // A decoy armed and cancelled on the next pop: cancellation load.
+        let decoy = ctx.set_timer(delay + SimDuration::from_secs(300), TimerToken(1));
+        self.pending_cancel = Some(decoy);
+        self.step += 1;
+    }
+}
+
+fn timer_wheel_churn_iter() -> SimTime {
+    let mut sim = fixed_latency_sim(3, 1);
+    for _ in 0..512 {
+        sim.add_node(Box::new(LadderTicker {
+            step: 0,
+            pending_cancel: None,
+        }));
+    }
+    sim.run_until_idle();
+    sim.now()
+}
+
+/// Fan-in: 100 clients fire one query per round at the *same instant*
+/// into one echo node over a fixed-latency fabric, so every round is a
+/// 100-datagram same-instant burst at the echo ingress — the shape the
+/// simulator's batched delivery path collapses into one node checkout
+/// (the criterion suite's `batched_delivery`).
+struct SyncedPinger {
+    target: Addr,
+    rounds: u32,
+}
+impl Node for SyncedPinger {
+    fn on_start(&mut self, ctx: &mut Context<'_>) {
+        ctx.set_timer(SimDuration::from_millis(5), TimerToken(0));
+    }
+    fn on_datagram(&mut self, _ctx: &mut Context<'_>, _src: Addr, _msg: &Message, _l: usize) {}
+    fn on_timer(&mut self, ctx: &mut Context<'_>, _t: TimerToken) {
+        ctx.send(
+            self.target,
+            &Message::query(7, Name::parse("x.nl").unwrap(), RecordType::A),
+        );
+        if self.rounds > 0 {
+            self.rounds -= 1;
+            ctx.set_timer(SimDuration::from_millis(5), TimerToken(0));
+        }
+    }
+}
+
+fn batched_delivery_iter() -> SimTime {
+    let mut sim = fixed_latency_sim(4, 1);
+    let (_, echo) = sim.add_node(Box::new(Echo));
+    for _ in 0..100 {
+        sim.add_node(Box::new(SyncedPinger {
+            target: echo,
+            rounds: 19,
+        }));
+    }
+    sim.run_until_idle();
+    sim.now()
+}
+
+/// Per-element nanoseconds of one timed call.
+fn time_per_element<R>(f: impl FnOnce() -> R) -> f64 {
+    let t0 = Instant::now();
+    let r = f();
+    let dt = t0.elapsed().as_nanos() as f64;
+    std::hint::black_box(r);
+    dt / ROUND_TRIPS as f64
+}
+
+struct ArmStats {
+    mean: f64,
+    median: f64,
+    std_dev: f64,
+    min: f64,
+}
+
+/// Mean / median / sample-std-dev over the per-rep values.
+fn stats(mut vals: Vec<f64>) -> ArmStats {
+    vals.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    let n = vals.len();
+    let mean = vals.iter().sum::<f64>() / n as f64;
+    let median = if n % 2 == 1 {
+        vals[n / 2]
+    } else {
+        (vals[n / 2 - 1] + vals[n / 2]) / 2.0
+    };
+    let var = if n > 1 {
+        vals.iter().map(|v| (v - mean).powi(2)).sum::<f64>() / (n - 1) as f64
+    } else {
+        0.0
+    };
+    ArmStats {
+        mean,
+        median,
+        std_dev: var.sqrt(),
+        min: vals[0],
+    }
+}
+
+fn fmt_f64(x: f64) -> String {
+    // Round to 0.1 ns: honest precision for a wall-clock harness, and
+    // stable-looking diffs in the committed baseline.
+    format!("{:.1}", (x * 10.0).round() / 10.0)
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut out_path = None;
+    let mut reps = 9usize;
+    let mut date = String::new();
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--reps" => {
+                reps = args[i + 1].parse().expect("--reps N");
+                i += 2;
+            }
+            "--date" => {
+                date = args[i + 1].clone();
+                i += 2;
+            }
+            other => {
+                out_path = Some(other.to_string());
+                i += 1;
+            }
+        }
+    }
+    let Some(out_path) = out_path else {
+        eprintln!("usage: bench-standin OUT.json [--reps N] [--date YYYY-MM-DD]");
+        std::process::exit(2);
+    };
+    if date.is_empty() {
+        let stem = std::path::Path::new(&out_path)
+            .file_name()
+            .and_then(|s| s.to_str())
+            .unwrap_or("");
+        if let Some(d) = stem
+            .strip_prefix("BENCH_")
+            .and_then(|s| s.strip_suffix(".json"))
+        {
+            date = d.to_string();
+        }
+    }
+    let reps = reps.max(2);
+
+    let serve_queries: Vec<Message> = (0..ROUND_TRIPS)
+        .map(|i| {
+            Message::query(
+                i as u16,
+                Name::parse(&format!("{}.cachetest.nl", i % 97)).unwrap(),
+                RecordType::AAAA,
+            )
+        })
+        .collect();
+
+    type ArmFn<'a> = Box<dyn Fn() -> f64 + 'a>;
+    let arms: Vec<(&str, ArmFn)> = vec![
+        (
+            "netsim_core/query_response_round_trips",
+            Box::new(|| time_per_element(round_trips_iter)),
+        ),
+        (
+            "netsim_core/rrl_hot_path",
+            Box::new(|| time_per_element(rrl_hot_path_iter)),
+        ),
+        (
+            "netsim_core/serve_encode_path",
+            Box::new(|| time_per_element(|| serve_encode_path_iter(&serve_queries))),
+        ),
+        (
+            "netsim_core/timer_churn",
+            Box::new(|| time_per_element(timer_churn_iter)),
+        ),
+        (
+            "netsim_core/timer_wheel_churn",
+            Box::new(|| time_per_element(timer_wheel_churn_iter)),
+        ),
+        (
+            "netsim_core/batched_delivery",
+            Box::new(|| time_per_element(batched_delivery_iter)),
+        ),
+    ];
+
+    let mut rows = Vec::new();
+    for (name, run) in &arms {
+        // One untimed warm-up per arm.
+        let _ = run();
+        let vals: Vec<f64> = (0..reps).map(|_| run()).collect();
+        let s = stats(vals);
+        eprintln!(
+            "{name}: mean {} ns/elem (median {}, std {}, min {} over {reps} reps)",
+            fmt_f64(s.mean),
+            fmt_f64(s.median),
+            fmt_f64(s.std_dev),
+            fmt_f64(s.min),
+        );
+        rows.push((name.to_string(), s));
+    }
+    rows.sort_by(|a, b| a.0.cmp(&b.0));
+
+    // dike-bench-baseline/1, hand-rolled to match bench_distill.py's
+    // shape (indent 2, sorted keys).
+    let mut json = String::from("{\n");
+    json.push_str("  \"benches\": {\n");
+    for (i, (name, s)) in rows.iter().enumerate() {
+        json.push_str(&format!(
+            "    \"{name}\": {{\n      \"mean_ns\": {},\n      \"median_ns\": {},\n      \"min_ns\": {},\n      \"std_dev_ns\": {}\n    }}{}\n",
+            fmt_f64(s.mean),
+            fmt_f64(s.median),
+            fmt_f64(s.min),
+            fmt_f64(s.std_dev),
+            if i + 1 < rows.len() { "," } else { "" },
+        ));
+    }
+    json.push_str("  },\n");
+    json.push_str(&format!("  \"date\": \"{date}\",\n"));
+    json.push_str(&format!(
+        "  \"recorded_with\": \"bench-standin offline harness ({reps} reps per arm, \
+         per-element ns over {ROUND_TRIPS} elements, mean/median/min/std-dev across reps; \
+         keys mirror the netsim_core criterion suite)\",\n"
+    ));
+    json.push_str("  \"schema\": \"dike-bench-baseline/1\"\n");
+    json.push_str("}\n");
+    std::fs::write(&out_path, json).expect("write baseline");
+    println!("wrote {out_path} ({} benchmarks)", rows.len());
+}

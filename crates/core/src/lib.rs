@@ -41,7 +41,7 @@ pub use dike_cache as cache;
 pub use dike_defense as defense;
 pub use dike_defense::{Defense, DefensePlan, RrlConfig};
 pub use dike_experiments as experiments;
-pub use dike_experiments::defense::DefensePreset;
+pub use dike_experiments::defense::{DefensePreset, LateResolverWave, SpoofedFlood, SpoofedStats};
 pub use dike_experiments::setup::AttackScope;
 pub use dike_faults as faults;
 pub use dike_faults::{Fault, FaultPlan};
@@ -54,7 +54,7 @@ pub use dike_telemetry::{MetricsRegistry, TelemetryConfig};
 pub use dike_wire as wire;
 pub use sweep::{
     ArmSummary, Band, ReplicateSummary, SeedStrategy, SweepAxis, SweepEngine, SweepJob,
-    SweepResult,
+    SweepResult, LATE_RESOLVER_QPS,
 };
 
 /// A typed attack description for [`Scenario::with_attack`]: loss rate,
@@ -162,6 +162,12 @@ pub struct Scenario {
     attack: Attack,
     attack_armed: bool,
     defense: DefenseSpec,
+    /// Spoofed-flood intent as `(sources, qps_per_source)`, aligned with
+    /// the attack window when the scenario runs.
+    spoofed: Option<(usize, f64)>,
+    /// Late-resolver-wave intent as `(arrivals_per_min,
+    /// qps_per_resolver)`, aligned with the attack window.
+    late_wave: Option<(f64, f64)>,
 }
 
 impl Scenario {
@@ -176,6 +182,8 @@ impl Scenario {
             attack: Attack::loss(1.0),
             attack_armed: false,
             defense: DefenseSpec::None,
+            spoofed: None,
+            late_wave: None,
         }
     }
 
@@ -302,6 +310,30 @@ impl Scenario {
         }
     }
 
+    /// Adds a deterministic spoofed-source flood against the two
+    /// authoritatives, aligned with the attack window (the default
+    /// minutes 60–120 when no attack is armed): `sources` timer-paced
+    /// sender nodes at `qps_per_source` each. The fleet's tally comes
+    /// back via [`Report::spoofed_stats`].
+    pub fn spoofed_flood(mut self, sources: usize, qps_per_source: f64) -> Self {
+        self.spoofed = Some((sources, qps_per_source));
+        self
+    }
+
+    /// Adds a wave of *legitimate* resolvers that first appear after the
+    /// attack onset, arriving at `arrivals_per_min` spread over the
+    /// attack window and each querying at `qps_per_resolver` until the
+    /// window closes. History-based classifiers (cutoff = onset) have
+    /// never seen them, so they land in the unknown class with the
+    /// flood — the false-positive population. Keep `qps_per_resolver`
+    /// well under the RRL presets' rate (0.1 qps) so what refuses them
+    /// is classification, not volume. Tally via
+    /// [`Report::late_resolver_stats`].
+    pub fn late_resolvers(mut self, arrivals_per_min: f64, qps_per_resolver: f64) -> Self {
+        self.late_wave = Some((arrivals_per_min, qps_per_resolver));
+        self
+    }
+
     /// Overrides the population mix.
     pub fn population(mut self, mix: dike_experiments::PopulationMix) -> Self {
         self.setup.mix = mix;
@@ -333,6 +365,23 @@ impl Scenario {
         } else {
             Some(defense)
         };
+        // Both fleets align with the attack window (the default window
+        // when no attack is armed — the fleets still need an onset).
+        if let Some((sources, qps)) = self.spoofed {
+            self.setup.spoofed_flood = Some(dike_experiments::defense::SpoofedFlood::aligned_with(
+                &self.attack.plan(),
+                sources,
+                qps,
+            ));
+        }
+        if let Some((arrivals_per_min, qps_per_resolver)) = self.late_wave {
+            self.setup.late_wave = Some(LateResolverWave {
+                arrivals_per_min,
+                qps_per_resolver,
+                start_min: self.attack.start_min,
+                window_min: self.attack.duration_min,
+            });
+        }
     }
 
     /// Runs the scenario and gathers the derived series.
@@ -454,6 +503,22 @@ impl Report {
     /// asked for [`Scenario::telemetry`].
     pub fn metrics(&self) -> Option<&MetricsRegistry> {
         self.output.metrics.as_ref()
+    }
+
+    /// The spoofed fleet's tally, when [`Scenario::spoofed_flood`] was
+    /// configured.
+    pub fn spoofed_stats(&self) -> Option<SpoofedStats> {
+        self.output.spoofed
+    }
+
+    /// The late legitimate wave's tally, when
+    /// [`Scenario::late_resolvers`] was configured. Its
+    /// [`SpoofedStats::served_fraction`] is the complement of the
+    /// history classifier's false-positive cost: every unanswered query
+    /// here came from a legitimate source the defense refused (or queue
+    /// contention the flood caused).
+    pub fn late_resolver_stats(&self) -> Option<SpoofedStats> {
+        self.output.late
     }
 
     /// Hot-path throughput counters for the run: events popped, datagrams
@@ -666,6 +731,7 @@ mod tests {
                 metrics: None,
                 perf: Default::default(),
                 spoofed: None,
+                late: None,
             },
             outcomes: vec![
                 OutcomeBin {

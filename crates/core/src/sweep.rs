@@ -63,7 +63,20 @@ pub enum SweepAxis {
     /// both authoritatives, armed at attack onset) — the defense-tuning
     /// axis of the §7 tension between protection and collateral damage.
     RrlRateQps(Vec<f64>),
+    /// New-resolver arrival rates (legitimate resolvers per minute first
+    /// seen after the attack onset, see [`crate::Scenario::late_resolvers`]).
+    /// Crossed with [`SweepAxis::DefensePreset`], this is the
+    /// history-classifier false-positive grid: every arrival postdates
+    /// the history cutoff, so admission defenses misfile the whole wave
+    /// as unknown. Each resolver queries once per 30 s — far below the
+    /// presets' RRL rate, so only classification can refuse it.
+    LateArrivalsPerMin(Vec<f64>),
 }
+
+/// Query pacing of one late-wave resolver on the
+/// [`SweepAxis::LateArrivalsPerMin`] axis: one query per 30 seconds
+/// (0.033 qps, under every preset's RRL rate of 0.1 qps).
+pub const LATE_RESOLVER_QPS: f64 = 1.0 / 30.0;
 
 impl SweepAxis {
     /// The axis name used in CSV headers and JSON keys.
@@ -76,6 +89,7 @@ impl SweepAxis {
             SweepAxis::ServeStaleShare(_) => "serve_stale_share",
             SweepAxis::DefensePreset(_) => "defense",
             SweepAxis::RrlRateQps(_) => "rrl_qps",
+            SweepAxis::LateArrivalsPerMin(_) => "late_per_min",
         }
     }
 
@@ -89,6 +103,7 @@ impl SweepAxis {
             SweepAxis::ServeStaleShare(v) => v.len(),
             SweepAxis::DefensePreset(v) => v.len(),
             SweepAxis::RrlRateQps(v) => v.len(),
+            SweepAxis::LateArrivalsPerMin(v) => v.len(),
         }
     }
 
@@ -107,6 +122,7 @@ impl SweepAxis {
             SweepAxis::ServeStaleShare(v) => fmt_f64(v[i]),
             SweepAxis::DefensePreset(v) => v[i].label().to_string(),
             SweepAxis::RrlRateQps(v) => fmt_f64(v[i]),
+            SweepAxis::LateArrivalsPerMin(v) => fmt_f64(v[i]),
         }
     }
 
@@ -130,6 +146,9 @@ impl SweepAxis {
             }
             SweepAxis::DefensePreset(v) => *s = s.clone().defense_preset(v[i]),
             SweepAxis::RrlRateQps(v) => *s = s.clone().rrl_qps(v[i]),
+            SweepAxis::LateArrivalsPerMin(v) => {
+                *s = s.clone().late_resolvers(v[i], LATE_RESOLVER_QPS);
+            }
         }
     }
 }

@@ -162,6 +162,73 @@ pub(crate) fn install_spoofed_flood(
 }
 
 // ---------------------------------------------------------------------
+// The late-resolver wave (history-classifier false positives)
+// ---------------------------------------------------------------------
+
+/// A wave of *legitimate* resolvers that first appear after the attack
+/// onset — the history classifier's blind spot. `ClassifierKind::History`
+/// whitelists sources seen before its cutoff (the onset); a resolver that
+/// sends its first query afterwards is indistinguishable from a spoofed
+/// source and lands in the unknown class, sharing its thin admission
+/// slice with the flood. This fleet measures that false-positive cost:
+/// timer-paced, slow (well under every RRL rate), deterministic sources
+/// arriving at a steady rate through the attack window.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct LateResolverWave {
+    /// New resolvers arriving per minute, spread evenly over the window.
+    pub arrivals_per_min: f64,
+    /// Sustained queries per second per resolver once arrived. Keep this
+    /// far below the presets' RRL rate so rate limiting never triggers:
+    /// what refuses these sources is classification, not volume.
+    pub qps_per_resolver: f64,
+    /// Minutes after start when the first resolver arrives (the attack
+    /// onset, so every arrival postdates the history cutoff).
+    pub start_min: u64,
+    /// Arrival window in minutes (the attack duration); each resolver
+    /// queries from its arrival until the window closes.
+    pub window_min: u64,
+}
+
+impl LateResolverWave {
+    /// Number of resolver nodes the wave installs.
+    pub fn count(&self) -> usize {
+        (self.arrivals_per_min * self.window_min as f64).ceil() as usize
+    }
+}
+
+/// Adds the wave to a built world, reusing the timer-paced source node:
+/// on the wire a late legitimate resolver and a slow spoofed source are
+/// the same traffic — which is exactly why history classification
+/// cannot tell them apart. Returns the shared tally.
+pub(crate) fn install_late_wave(
+    sim: &mut Simulator,
+    wave: &LateResolverWave,
+    targets: [Addr; 2],
+) -> Arc<Mutex<SpoofedStats>> {
+    let stats = Arc::new(Mutex::new(SpoofedStats::default()));
+    let n = wave.count();
+    let interval = SimDuration::from_secs_f64(1.0 / wave.qps_per_resolver.max(0.001));
+    let end = SimDuration::from_mins(wave.start_min + wave.window_min).after_zero();
+    for i in 0..n {
+        let arrival = SimDuration::from_secs_f64(
+            wave.start_min as f64 * 60.0 + i as f64 * 60.0 / wave.arrivals_per_min.max(0.001),
+        );
+        sim.add_node(Box::new(SpoofedSource {
+            targets,
+            first_fire: arrival,
+            interval,
+            end,
+            // Distinct probe-name space from the flood (50_000..), so the
+            // server-side view can tell the fleets apart if it cares.
+            query_id: 40_000u16.wrapping_add(i as u16),
+            next_target: i % 2,
+            stats: stats.clone(),
+        }));
+    }
+    stats
+}
+
+// ---------------------------------------------------------------------
 // Defense presets
 // ---------------------------------------------------------------------
 

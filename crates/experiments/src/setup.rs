@@ -13,7 +13,9 @@ use dike_stats::server_view::ServerView;
 use dike_stub::ProbeLog;
 use dike_telemetry::{MetricsRegistry, TelemetryConfig};
 
-use crate::defense::{install_spoofed_flood, SpoofedFlood, SpoofedStats};
+use crate::defense::{
+    install_late_wave, install_spoofed_flood, LateResolverWave, SpoofedFlood, SpoofedStats,
+};
 use crate::population::PopulationMix;
 use crate::topology::{self, BuildConfig, VpMeta};
 
@@ -116,6 +118,10 @@ pub struct ExperimentSetup {
     /// exist to refuse. The fleet's tally comes back in
     /// [`ExperimentOutput::spoofed`].
     pub spoofed_flood: Option<SpoofedFlood>,
+    /// A wave of legitimate resolvers that first appear after the attack
+    /// onset — the population history-based classifiers misfile as
+    /// unknown. Tally in [`ExperimentOutput::late`].
+    pub late_wave: Option<LateResolverWave>,
     /// Run the simulator's invariant auditor at the end of the run and
     /// panic on violations (datagram conservation, timer hygiene,
     /// crash/restart pairing). Also enabled by the `DIKE_AUDIT`
@@ -145,6 +151,7 @@ impl ExperimentSetup {
             faults: None,
             defense: None,
             spoofed_flood: None,
+            late_wave: None,
             audit: false,
         }
     }
@@ -185,6 +192,9 @@ pub struct ExperimentOutput {
     /// The spoofed fleet's tally, present when
     /// [`ExperimentSetup::spoofed_flood`] was set.
     pub spoofed: Option<SpoofedStats>,
+    /// The late legitimate wave's tally, present when
+    /// [`ExperimentSetup::late_wave`] was set.
+    pub late: Option<SpoofedStats>,
 }
 
 /// Runs one experiment to completion.
@@ -291,6 +301,11 @@ pub fn run_experiment(setup: &ExperimentSetup) -> ExperimentOutput {
         .as_ref()
         .map(|flood| install_spoofed_flood(&mut sim, flood, topo.ns));
 
+    let late_handle = setup
+        .late_wave
+        .as_ref()
+        .map(|wave| install_late_wave(&mut sim, wave, topo.ns));
+
     sim.run_until(setup.total_duration.after_zero());
     if audit_enabled(setup) {
         sim.audit().assert_clean();
@@ -315,6 +330,11 @@ pub fn run_experiment(setup: &ExperimentSetup) -> ExperimentOutput {
             .expect("simulator dropped, spoofed tally has one owner")
             .into_inner()
     });
+    let late = late_handle.map(|h| {
+        Arc::try_unwrap(h)
+            .expect("simulator dropped, late-wave tally has one owner")
+            .into_inner()
+    });
     let n_vps = topo.vps.len();
     ExperimentOutput {
         log,
@@ -327,6 +347,7 @@ pub fn run_experiment(setup: &ExperimentSetup) -> ExperimentOutput {
         metrics,
         perf,
         spoofed,
+        late,
     }
 }
 

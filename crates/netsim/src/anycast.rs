@@ -50,6 +50,10 @@ impl AnycastTable {
     /// `(src, vip)`, like stable BGP routing; different sources spread
     /// over sites.
     pub fn catchment(&self, vip: Addr, src: Addr) -> Option<NodeId> {
+        // Fast path: runs without anycast skip the hash on every datagram.
+        if self.groups.is_empty() {
+            return None;
+        }
         let members = self.groups.get(&vip)?;
         let h = mix(src.0 as u64 ^ ((vip.0 as u64) << 32));
         Some(members[(h % members.len() as u64) as usize])

@@ -23,6 +23,11 @@
 //!    crash-suppressed alike).
 //! 4. **Liveness bookkeeping** — restarts never exceed crashes, and the
 //!    per-node up/epoch vectors stay in step with the node registry.
+//! 5. **Defense ledger** — defense drops are fully attributed by cause.
+//! 6. **Wheel-slot conservation** — walking the event wheel finds
+//!    exactly `len()` entries, every slot entry files under the
+//!    level/slot its time dictates, and the ready run is sorted (see
+//!    [`crate::event::EventWheel::audit`]).
 //!
 //! Auditing is pull-based and read-only: call it whenever you like (it is
 //! O(queue length)), typically after a run drains. The chaos harness
@@ -96,6 +101,14 @@ pub struct AuditReport {
     pub scaleout_activations: u64,
     /// Pending [`Event::Timer`] entries in the queue.
     pub pending_timers: u64,
+    /// Entries pending in the event wheel, per its incremental count.
+    pub wheel_len: u64,
+    /// Entries found by exhaustively walking the wheel's ready run and
+    /// slots; invariant 6 requires this to equal `wheel_len`.
+    pub wheel_scanned: u64,
+    /// Wheel entries filed in a slot their time does not map to (or a
+    /// ready run out of `(time, seq)` order); invariant 6 requires 0.
+    pub wheel_misplaced: u64,
     /// Timer slots currently allocated (granted and not yet recycled).
     pub allocated_timer_slots: u64,
     /// Crashes applied so far.
@@ -182,6 +195,10 @@ impl Simulator {
             }
         }
         report.allocated_timer_slots = st.allocated_timer_slots;
+        let wheel = st.queue.audit();
+        report.wheel_len = wheel.len;
+        report.wheel_scanned = wheel.scanned;
+        report.wheel_misplaced = wheel.misplaced;
 
         let accounted = report.delivered
             + report.dropped
@@ -239,6 +256,14 @@ impl Simulator {
             report.violations.push(format!(
                 "defense ledger: {} defense drops exceed {} delivered",
                 report.defense_drops, report.delivered
+            ));
+        }
+        // Invariant 6: the wheel's incremental length matches an
+        // exhaustive walk, and every entry sits where its time says.
+        if report.wheel_scanned != report.wheel_len || report.wheel_misplaced != 0 {
+            report.violations.push(format!(
+                "wheel-slot conservation: len={} but scan found {} ({} misplaced)",
+                report.wheel_len, report.wheel_scanned, report.wheel_misplaced
             ));
         }
         report

@@ -247,6 +247,11 @@ impl LinkTable {
 
     /// The parameters governing `src → dst`.
     pub fn params(&self, src: Addr, dst: Addr) -> LinkParams {
+        // Fast path: most fabrics install no overrides at all, and the
+        // emptiness check skips two hash lookups on every datagram.
+        if self.overrides.is_empty() && self.per_dst.is_empty() {
+            return self.default;
+        }
         if let Some(p) = self.overrides.get(&(src, dst)) {
             *p
         } else if let Some(p) = self.per_dst.get(&dst) {
@@ -270,6 +275,9 @@ impl LinkTable {
 
     /// Current ingress loss rate toward `dst` (0 when unfiltered).
     pub fn ingress_loss(&self, dst: Addr) -> f64 {
+        if self.ingress_loss.is_empty() {
+            return 0.0;
+        }
         self.ingress_loss.get(&dst).copied().unwrap_or(0.0)
     }
 
@@ -293,6 +301,9 @@ impl LinkTable {
     /// The latency multiplier currently applied to sends toward `dst`
     /// (1.0 when no degrade is installed).
     pub fn latency_factor(&self, dst: Addr) -> f64 {
+        if self.degrade.is_empty() {
+            return 1.0;
+        }
         self.degrade
             .get(&dst)
             .map(|e| e.params.latency_factor)
@@ -304,6 +315,9 @@ impl LinkTable {
     /// `rng` only when a degrade is installed, so fault-free runs keep an
     /// untouched RNG stream.
     pub fn degrade_drop(&mut self, dst: Addr, rng: &mut SmallRng) -> bool {
+        if self.degrade.is_empty() {
+            return false;
+        }
         match self.degrade.get_mut(&dst) {
             Some(e) => e.params.ge.sample_drop(&mut e.bad, rng),
             None => false,

@@ -19,6 +19,17 @@ pub struct TimerId(pub(crate) u64);
 
 /// A simulated host. Nodes are single-threaded state machines driven by
 /// datagram arrivals and timer expirations — nothing else.
+///
+/// # Batched delivery is unobservable
+///
+/// The simulator may hand a node several same-instant datagrams as one
+/// batch (keeping the node checked out of the registry across the run
+/// instead of re-fetching it per datagram). The contract: a batch is
+/// *exactly* the sequence of [`Node::on_datagram`] calls, in the same
+/// arrival order, with the same `Context` view (time, RNG stream, send
+/// ordering), that unbatched delivery would have produced.
+/// Implementations must not try to detect batch edges — there is nothing
+/// to observe, and nothing in this trait will ever expose one.
 pub trait Node {
     /// Optional downcast hook so experiments can inspect concrete node
     /// state (cache dumps, statistics) after a run. Nodes that want to be
@@ -58,6 +69,105 @@ pub trait Node {
     /// the time series.
     fn publish_metrics(&self, out: &mut dike_telemetry::NodePublisher<'_>) {
         let _ = out;
+    }
+}
+
+/// Struct-of-arrays per-node hot state: liveness, epochs, routing, and
+/// traffic counters, each in its own dense vector indexed by node id.
+/// The delivery loop touches these on every datagram; keeping them out
+/// of the `Vec<Option<Box<dyn Node>>>` registry means the bookkeeping
+/// never pointer-chases through a trait object it does not need.
+#[derive(Debug, Default)]
+pub(crate) struct NodeHotState {
+    /// Unicast address per node.
+    pub(crate) addr: Vec<Addr>,
+    /// Liveness per node. All nodes start up; only scheduled
+    /// NodeDown/NodeUp events flip this.
+    pub(crate) up: Vec<bool>,
+    /// Liveness epoch per node: bumped on every crash so timers armed in
+    /// a previous life are recognized as stale when they pop.
+    pub(crate) epoch: Vec<u32>,
+    /// Datagrams whose destination resolved to the node, counted
+    /// *before* loss filters (the paper's server-view accounting).
+    pub(crate) offered: Vec<u64>,
+    /// Datagrams handed to the node.
+    pub(crate) delivered: Vec<u64>,
+    /// Datagrams dropped at the node's ingress (loss, crash, queue,
+    /// defense).
+    pub(crate) dropped: Vec<u64>,
+}
+
+impl NodeHotState {
+    /// Registers one node with the given unicast address.
+    pub(crate) fn push(&mut self, addr: Addr) {
+        self.addr.push(addr);
+        self.up.push(true);
+        self.epoch.push(0);
+        self.offered.push(0);
+        self.delivered.push(0);
+        self.dropped.push(0);
+    }
+
+    /// Registered node count.
+    pub(crate) fn len(&self) -> usize {
+        self.addr.len()
+    }
+}
+
+/// Generation-stamped timer-slot allocator. A grant id packs
+/// `(generation << 32) | slot`; cancellation bumps the slot's generation
+/// so the already-queued event is recognized as stale when it pops —
+/// O(1), no tombstone set. Slots recycle when their event pops.
+#[derive(Debug, Default)]
+pub(crate) struct TimerSlab {
+    gens: Vec<u32>,
+    free: Vec<u32>,
+}
+
+impl TimerSlab {
+    /// Allocates a slot and returns its packed grant id.
+    pub(crate) fn grant(&mut self) -> u64 {
+        let slot = match self.free.pop() {
+            Some(s) => s,
+            None => {
+                // Checked cast: a silent `as u32` here would alias slot 0's
+                // generation stamps once >4B timers were ever live at once.
+                let slot = u32::try_from(self.gens.len()).unwrap_or_else(|_| {
+                    panic!(
+                        "timer slot space exhausted: {} timers live at once \
+                         exceeds the u32 slot range packed into TimerId",
+                        self.gens.len()
+                    )
+                });
+                self.gens.push(0);
+                slot
+            }
+        };
+        ((self.gens[slot as usize] as u64) << 32) | slot as u64
+    }
+
+    /// Invalidates a grant if it is still current; stale handles (timer
+    /// already fired, double cancel) are no-ops.
+    pub(crate) fn cancel(&mut self, id: u64) {
+        let (slot, gen) = ((id & 0xffff_ffff) as usize, (id >> 32) as u32);
+        if self.gens.get(slot) == Some(&gen) {
+            self.gens[slot] = gen.wrapping_add(1);
+        }
+    }
+
+    /// Recycles a slot when its queued event pops. Returns whether the
+    /// grant was still live (not cancelled since it was armed).
+    pub(crate) fn retire(&mut self, id: u64) -> bool {
+        let (slot, gen) = ((id & 0xffff_ffff) as usize, (id >> 32) as u32);
+        let live = self.gens[slot] == gen;
+        self.gens[slot] = gen.wrapping_add(1);
+        self.free.push(slot as u32);
+        live
+    }
+
+    /// Slots currently granted and not yet recycled.
+    pub(crate) fn allocated(&self) -> u64 {
+        (self.gens.len() - self.free.len()) as u64
     }
 }
 

@@ -60,6 +60,12 @@ pub struct ServiceQueue {
     /// Fraction of the service rate consumed by background (attack)
     /// traffic; effective rate = rate × (1 − load).
     background_load: f64,
+    /// Cached effective per-datagram service time. Only the rate and the
+    /// background load determine it, so it is recomputed on those three
+    /// mutation paths (`new`, `inject_background_load`, `scale_capacity`)
+    /// instead of rebuilding the same division on every offer and
+    /// backlog probe.
+    service_time: SimDuration,
     /// Statistics.
     accepted: u64,
     dropped: u64,
@@ -73,6 +79,7 @@ impl ServiceQueue {
             config,
             busy_until: SimTime::ZERO,
             background_load: 0.0,
+            service_time: Self::effective_service_time(config.rate_pps, 0.0),
             accepted: 0,
             dropped: 0,
             peak_backlog: 0,
@@ -83,12 +90,18 @@ impl ServiceQueue {
     /// (0 = none, 0.9 = only 10% of the rate serves real queries).
     pub fn inject_background_load(&mut self, load: f64) {
         self.background_load = load.clamp(0.0, 0.999);
+        self.service_time =
+            Self::effective_service_time(self.config.rate_pps, self.background_load);
+    }
+
+    fn effective_service_time(rate_pps: f64, background_load: f64) -> SimDuration {
+        let effective = rate_pps * (1.0 - background_load);
+        SimDuration::from_secs_f64(1.0 / effective.max(1.0))
     }
 
     /// The effective per-datagram service time.
     fn service_time(&self) -> SimDuration {
-        let effective = self.config.rate_pps * (1.0 - self.background_load);
-        SimDuration::from_secs_f64(1.0 / effective.max(1.0))
+        self.service_time
     }
 
     /// Current backlog, in datagrams, at `now`.
@@ -123,6 +136,8 @@ impl ServiceQueue {
     pub fn scale_capacity(&mut self, factor: f64) {
         if factor.is_finite() && factor >= 1.0 {
             self.config.rate_pps *= factor;
+            self.service_time =
+                Self::effective_service_time(self.config.rate_pps, self.background_load);
         }
     }
 

@@ -14,7 +14,7 @@ use crate::datagram::Datagram;
 use crate::defense::{DefenseLedger, GateAction, IngressDefense, IngressGate};
 use crate::event::{Event, EventQueue, HeapEntry};
 use crate::link::LinkTable;
-use crate::node::{Context, Node, TimerId, TimerToken};
+use crate::node::{Context, Node, NodeHotState, TimerId, TimerSlab, TimerToken};
 use crate::queueing::{QueueConfig, QueueOutcome, ServiceQueue};
 use crate::time::{SimDuration, SimTime};
 use crate::trace::{Disposition, SharedSink};
@@ -89,17 +89,6 @@ impl RetiredDefenseStats {
     }
 }
 
-/// Per-destination-node traffic counters. `offered` counts every
-/// datagram whose destination resolves to the node — *before* loss
-/// filters — matching the server-view accounting the paper uses for
-/// Fig. 10 (traffic offered to an authoritative under attack).
-#[derive(Debug, Clone, Copy, Default)]
-struct NodeNetStats {
-    offered: u64,
-    delivered: u64,
-    dropped: u64,
-}
-
 /// Everything in the simulation except the nodes themselves. Split out so
 /// a node can be taken off the registry and run against `&mut World`
 /// without borrow gymnastics.
@@ -110,7 +99,6 @@ pub struct World {
     links: LinkTable,
     rng: SmallRng,
     sinks: Vec<SharedSink>,
-    addr_of: Vec<Addr>,
     anycast: AnycastTable,
     next_vip: u32,
     /// Ingress queues, dense-indexed like nodes (`addr - FIRST_ADDR`).
@@ -128,22 +116,17 @@ pub struct World {
     defense_count: usize,
     /// Accounting folded out of gates that were replaced or cleared.
     retired_defense: RetiredDefenseStats,
-    /// Generation stamp per timer slot. A [`TimerId`] packs `(gen, slot)`;
+    /// Generation-stamped timer slots. A [`TimerId`] packs `(gen, slot)`;
     /// cancellation bumps the slot's generation so the already-queued event
     /// is recognized as stale when it pops — O(1), no tombstone set.
-    timer_gens: Vec<u32>,
-    free_timer_slots: Vec<u32>,
+    timers: TimerSlab,
     /// Pooled wire encoder: one per run, so steady-state sends are
     /// allocation-free and payloads are refcounted slices of pool chunks.
     encoder: EncodeBuffer,
     net: NetStats,
-    node_net: Vec<NodeNetStats>,
-    /// Liveness per node, dense-indexed like `addr_of`. All nodes start
-    /// up; only [`Event::NodeDown`]/[`Event::NodeUp`] flip this.
-    node_up: Vec<bool>,
-    /// Liveness epoch per node: bumped on every crash so timers armed in
-    /// a previous life are recognized as stale when they pop.
-    node_epoch: Vec<u32>,
+    /// Struct-of-arrays per-node hot state: address, liveness, epoch,
+    /// and traffic counters, dense-indexed by node id.
+    nodes: NodeHotState,
 }
 
 impl World {
@@ -169,7 +152,7 @@ impl World {
 
     /// The address of `node`.
     pub fn addr_of(&self, node: NodeId) -> Addr {
-        self.addr_of[node.0 as usize]
+        self.nodes.addr[node.0 as usize]
     }
 
     /// The node behind `addr`, if any (unicast only; anycast addresses
@@ -178,7 +161,7 @@ impl World {
     /// a map lookup.
     pub fn node_at(&self, addr: Addr) -> Option<NodeId> {
         let idx = addr.0.wrapping_sub(FIRST_ADDR);
-        ((idx as usize) < self.addr_of.len()).then_some(NodeId(idx))
+        ((idx as usize) < self.nodes.len()).then_some(NodeId(idx))
     }
 
     /// Dense index for per-address state (queues): `addr - FIRST_ADDR`
@@ -358,7 +341,7 @@ impl World {
     /// Whether `node` is currently up. Nodes start up; only scheduled
     /// [`Event::NodeDown`]/[`Event::NodeUp`] change this.
     pub fn node_is_up(&self, node: NodeId) -> bool {
-        self.node_up.get(node.0 as usize).copied().unwrap_or(false)
+        self.nodes.up.get(node.0 as usize).copied().unwrap_or(false)
     }
 
     pub(crate) fn set_timer(
@@ -367,16 +350,9 @@ impl World {
         delay: SimDuration,
         token: TimerToken,
     ) -> TimerId {
-        let slot = match self.free_timer_slots.pop() {
-            Some(s) => s,
-            None => {
-                self.timer_gens.push(0);
-                (self.timer_gens.len() - 1) as u32
-            }
-        };
-        let id = ((self.timer_gens[slot as usize] as u64) << 32) | slot as u64;
+        let id = self.timers.grant();
         let at = self.now + delay;
-        let epoch = self.node_epoch[node.0 as usize];
+        let epoch = self.nodes.epoch[node.0 as usize];
         self.push(
             at,
             Event::Timer {
@@ -390,12 +366,7 @@ impl World {
     }
 
     pub(crate) fn cancel_timer(&mut self, id: TimerId) {
-        let (slot, gen) = ((id.0 & 0xffff_ffff) as usize, (id.0 >> 32) as u32);
-        // Bump the generation only if this grant is still current; stale
-        // handles (timer already fired, double cancel) are no-ops.
-        if self.timer_gens.get(slot) == Some(&gen) {
-            self.timer_gens[slot] = gen.wrapping_add(1);
-        }
+        self.timers.cancel(id.0);
     }
 
     fn observe(
@@ -433,6 +404,9 @@ pub struct Simulator {
     started: Vec<bool>,
     world: World,
     telemetry: Option<Telemetry>,
+    /// Reusable buffer for same-instant delivery batches (see
+    /// [`Simulator::deliver_batch`]); drained after every use.
+    batch: Vec<Datagram>,
     /// Wall-clock nanoseconds spent inside the run methods. Kept out of
     /// [`NetStats`]/telemetry (those must stay deterministic); surfaced
     /// through [`Simulator::perf`].
@@ -495,7 +469,6 @@ impl Simulator {
                 links: LinkTable::default(),
                 rng: SmallRng::seed_from_u64(seed),
                 sinks: Vec::new(),
-                addr_of: Vec::new(),
                 anycast: AnycastTable::new(),
                 next_vip: FIRST_VIP,
                 queues: Vec::new(),
@@ -503,15 +476,13 @@ impl Simulator {
                 defenses: Vec::new(),
                 defense_count: 0,
                 retired_defense: RetiredDefenseStats::default(),
-                timer_gens: Vec::new(),
-                free_timer_slots: Vec::new(),
+                timers: TimerSlab::default(),
                 encoder: EncodeBuffer::new(),
                 net: NetStats::default(),
-                node_net: Vec::new(),
-                node_up: Vec::new(),
-                node_epoch: Vec::new(),
+                nodes: NodeHotState::default(),
             },
             telemetry: None,
+            batch: Vec::new(),
             wall_nanos: 0,
         }
     }
@@ -665,14 +636,25 @@ impl Simulator {
             net.queue_depth_high_water as f64,
         );
         if tel.per_node_net {
-            for (idx, n) in self.world.node_net.iter().enumerate() {
-                if n.offered == 0 {
+            for idx in 0..self.world.nodes.len() {
+                let offered = self.world.nodes.offered[idx];
+                if offered == 0 {
                     continue;
                 }
                 let id = Some(idx as u32);
-                reg.record_counter("netsim", id, "datagrams_offered", n.offered);
-                reg.record_counter("netsim", id, "datagrams_delivered", n.delivered);
-                reg.record_counter("netsim", id, "datagrams_dropped", n.dropped);
+                reg.record_counter("netsim", id, "datagrams_offered", offered);
+                reg.record_counter(
+                    "netsim",
+                    id,
+                    "datagrams_delivered",
+                    self.world.nodes.delivered[idx],
+                );
+                reg.record_counter(
+                    "netsim",
+                    id,
+                    "datagrams_dropped",
+                    self.world.nodes.dropped[idx],
+                );
                 // Ingress-queue statistics for the node's unicast address
                 // (queues are keyed by address, dense like nodes).
                 if let Some(Some(q)) = self.world.queues.get(idx) {
@@ -714,10 +696,7 @@ impl Simulator {
         let addr = Addr(FIRST_ADDR + id.0);
         self.nodes.push(Some(node));
         self.started.push(false);
-        self.world.addr_of.push(addr);
-        self.world.node_net.push(NodeNetStats::default());
-        self.world.node_up.push(true);
-        self.world.node_epoch.push(0);
+        self.world.nodes.push(addr);
         (id, addr)
     }
 
@@ -869,7 +848,30 @@ impl Simulator {
         self.world.now = entry.at;
         self.world.net.events_popped += 1;
         match entry.event {
-            Event::Deliver(dgram) => self.deliver(dgram),
+            Event::Deliver(dgram) => {
+                // Collect the run of consecutive same-instant deliveries
+                // to the same ingress address into one batch. Each popped
+                // entry counts exactly as it would have under one-at-a-
+                // time stepping; processing order is untouched (pop_if
+                // only takes the queue front).
+                let at = entry.at;
+                let dst = dgram.dst;
+                let mut batch = std::mem::take(&mut self.batch);
+                batch.push(dgram);
+                while let Some(e) = self
+                    .world
+                    .queue
+                    .pop_if(at, |ev| matches!(ev, Event::Deliver(d) if d.dst == dst))
+                {
+                    self.world.net.events_popped += 1;
+                    let Event::Deliver(d) = e.event else {
+                        unreachable!("pop_if predicate admits only Deliver events")
+                    };
+                    batch.push(d);
+                }
+                self.deliver_batch(&mut batch);
+                self.batch = batch;
+            }
             Event::DeliverQueued {
                 dgram,
                 msg,
@@ -885,12 +887,9 @@ impl Simulator {
                 id,
                 epoch,
             } => {
-                let (slot, gen) = ((id & 0xffff_ffff) as usize, (id >> 32) as u32);
-                let live = self.world.timer_gens[slot] == gen;
                 // The slot's pending event has left the queue either way:
                 // invalidate the outstanding handle and recycle the slot.
-                self.world.timer_gens[slot] = gen.wrapping_add(1);
-                self.world.free_timer_slots.push(slot as u32);
+                let live = self.world.timers.retire(id);
                 if !live {
                     self.world.net.timers_cancelled += 1;
                     return true;
@@ -898,7 +897,7 @@ impl Simulator {
                 // A timer armed before a crash must not fire into the
                 // node's next life (or while it is down).
                 let nidx = node.0 as usize;
-                if self.world.node_epoch[nidx] != epoch || !self.world.node_up[nidx] {
+                if self.world.nodes.epoch[nidx] != epoch || !self.world.nodes.up[nidx] {
                     self.world.net.timers_suppressed_crash += 1;
                     return true;
                 }
@@ -907,19 +906,19 @@ impl Simulator {
             }
             Event::NodeDown { node } => {
                 let nidx = node.0 as usize;
-                if self.world.node_up[nidx] {
-                    self.world.node_up[nidx] = false;
+                if self.world.nodes.up[nidx] {
+                    self.world.nodes.up[nidx] = false;
                     // Bump the epoch at crash time: everything armed in
                     // this life is now stale, whether or not the node
                     // ever comes back.
-                    self.world.node_epoch[nidx] = self.world.node_epoch[nidx].wrapping_add(1);
+                    self.world.nodes.epoch[nidx] = self.world.nodes.epoch[nidx].wrapping_add(1);
                     self.world.net.node_crashes += 1;
                 }
             }
             Event::NodeUp { node, cold } => {
                 let nidx = node.0 as usize;
-                if !self.world.node_up[nidx] {
-                    self.world.node_up[nidx] = true;
+                if !self.world.nodes.up[nidx] {
+                    self.world.nodes.up[nidx] = true;
                     self.world.net.node_restarts += 1;
                     self.restart_node(node, cold);
                 }
@@ -932,7 +931,31 @@ impl Simulator {
         true
     }
 
-    fn deliver(&mut self, dgram: Datagram) {
+    /// Delivers a batch of same-instant datagrams headed for the same
+    /// ingress address. Each datagram runs the full per-datagram ingress
+    /// pipeline *sequentially, in arrival order* — filters, decode,
+    /// sinks, gate, and queue all draw RNG and allocate event seqs in
+    /// exactly the unbatched order, which is what keeps the fixed-seed
+    /// digest byte-identical. What batching hoists is the node hand-off:
+    /// the destination's `Box<dyn Node>` is checked out of the registry
+    /// once and kept out across the whole run instead of being re-fetched
+    /// per datagram (see the batched-delivery contract on [`Node`]).
+    fn deliver_batch(&mut self, batch: &mut Vec<Datagram>) {
+        let mut checkout: Option<(NodeId, Box<dyn Node>)> = None;
+        for dgram in batch.drain(..) {
+            self.deliver(dgram, &mut checkout);
+        }
+        self.put_back(checkout);
+    }
+
+    /// Returns a checked-out node to the registry.
+    fn put_back(&mut self, checkout: Option<(NodeId, Box<dyn Node>)>) {
+        if let Some((id, node)) = checkout {
+            self.nodes[id.0 as usize] = Some(node);
+        }
+    }
+
+    fn deliver(&mut self, dgram: Datagram, checkout: &mut Option<(NodeId, Box<dyn Node>)>) {
         let wire_len = dgram.wire_len();
 
         // Anycast resolves to a member site first; the attack filter of
@@ -947,7 +970,7 @@ impl Simulator {
         // before the loss filters and without drawing randomness, so a
         // fault plan that never fires leaves the RNG stream — and hence
         // the fixed-seed digest — untouched.
-        let node_down = dest.is_some_and(|id| !self.world.node_up[id.0 as usize]);
+        let node_down = dest.is_some_and(|id| !self.world.nodes.up[id.0 as usize]);
 
         // Ingress loss (ambient + attack + bursty degrade) is evaluated at
         // arrival, which matches filtering in front of the target and lets
@@ -1005,7 +1028,7 @@ impl Simulator {
             if disposition != Disposition::Malformed {
                 // Offered counts before the loss filters — the same ingress
                 // accounting the trace sinks use for the paper's server view.
-                self.world.node_net[id.0 as usize].offered += 1;
+                self.world.nodes.offered[id.0 as usize] += 1;
             }
         }
         match disposition {
@@ -1019,7 +1042,7 @@ impl Simulator {
                     self.world.net.datagrams_dropped_degrade += 1;
                 }
                 if let Some(id) = dest {
-                    self.world.node_net[id.0 as usize].dropped += 1;
+                    self.world.nodes.dropped[id.0 as usize] += 1;
                 }
             }
             Disposition::Delivered => self.world.net.datagrams_delivered += 1,
@@ -1068,7 +1091,7 @@ impl Simulator {
                             },
                         );
                     } else {
-                        self.deliver_to_node(dgram.src, &msg, wire_len, id, local);
+                        self.hand_to_node(dgram.src, &msg, wire_len, id, local, checkout);
                     }
                     return;
                 }
@@ -1077,7 +1100,7 @@ impl Simulator {
                     // pipeline only records the per-node drop and, for an
                     // RRL slip, sends the synthesized TC=1 response from
                     // the server's (possibly anycast) address.
-                    self.world.node_net[id.0 as usize].dropped += 1;
+                    self.world.nodes.dropped[id.0 as usize] += 1;
                     if let Some(resp) = slip {
                         let payload = self.world.encode(&resp);
                         self.world.send_datagram(local, dgram.src, payload);
@@ -1102,7 +1125,7 @@ impl Simulator {
                         // sinks can distinguish. Simplest faithful model:
                         // count it as a drop at the ingress.
                         self.world.net.queue_drops += 1;
-                        self.world.node_net[id.0 as usize].dropped += 1;
+                        self.world.nodes.dropped[id.0 as usize] += 1;
                         return;
                     }
                     QueueOutcome::Enqueued(delay) if delay > SimDuration::ZERO => {
@@ -1121,24 +1144,36 @@ impl Simulator {
                 }
             }
         }
-        self.deliver_to_node(dgram.src, &msg, wire_len, id, local);
+        self.hand_to_node(dgram.src, &msg, wire_len, id, local, checkout);
     }
 
-    /// Hands a datagram that has cleared every ingress stage to its node.
-    /// Takes the message decoded at ingress — this path never re-decodes.
-    fn deliver_to_node(
+    /// Hands a datagram that has cleared every ingress stage to its node,
+    /// through the batch checkout: the node's `Box` stays out of the
+    /// registry between same-destination hand-offs. Takes the message
+    /// decoded at ingress — this path never re-decodes.
+    fn hand_to_node(
         &mut self,
         src: Addr,
         msg: &Message,
         wire_len: usize,
         id: NodeId,
         local: Addr,
+        checkout: &mut Option<(NodeId, Box<dyn Node>)>,
     ) {
-        self.world.node_net[id.0 as usize].delivered += 1;
-        let idx = id.0 as usize;
-        let Some(mut node) = self.nodes[idx].take() else {
-            return; // node is mid-dispatch; cannot happen single-threaded
-        };
+        self.world.nodes.delivered[id.0 as usize] += 1;
+        match checkout {
+            Some((held, _)) if *held == id => {}
+            _ => {
+                // Holding a different node (anycast catchments can spread
+                // one batch across members): swap it back first.
+                self.put_back(checkout.take());
+                let Some(node) = self.nodes[id.0 as usize].take() else {
+                    return; // node is mid-dispatch; cannot happen single-threaded
+                };
+                *checkout = Some((id, node));
+            }
+        }
+        let (_, node) = checkout.as_mut().expect("node just checked out");
         node.on_datagram(
             &mut Context {
                 world: &mut self.world,
@@ -1149,7 +1184,21 @@ impl Simulator {
             msg,
             wire_len,
         );
-        self.nodes[idx] = Some(node);
+    }
+
+    /// Single-datagram hand-off (the queued-delivery path): a checkout
+    /// that lives for exactly one dispatch.
+    fn deliver_to_node(
+        &mut self,
+        src: Addr,
+        msg: &Message,
+        wire_len: usize,
+        id: NodeId,
+        local: Addr,
+    ) {
+        let mut checkout = None;
+        self.hand_to_node(src, msg, wire_len, id, local, &mut checkout);
+        self.put_back(checkout);
     }
 
     /// Runs the restart sequence on a node that just came back up:
@@ -1207,8 +1256,8 @@ impl Simulator {
     pub fn run_until(&mut self, deadline: SimTime) {
         let t0 = std::time::Instant::now();
         self.start_pending();
-        while let Some(entry) = self.world.queue.peek() {
-            if entry.at > deadline {
+        while let Some(at) = self.world.queue.next_at() {
+            if at > deadline {
                 break;
             }
             self.step();
@@ -1241,11 +1290,10 @@ impl Simulator {
             shed_by_class: ledger.shed_by_class,
             scaleout_activations: net.scaleout_activations,
             queue: &self.world.queue,
-            allocated_timer_slots: (self.world.timer_gens.len() - self.world.free_timer_slots.len())
-                as u64,
+            allocated_timer_slots: self.world.timers.allocated(),
             nodes_len: self.nodes.len(),
-            node_up_len: self.world.node_up.len(),
-            node_epoch_len: self.world.node_epoch.len(),
+            node_up_len: self.world.nodes.up.len(),
+            node_epoch_len: self.world.nodes.epoch.len(),
         }
     }
 

@@ -45,14 +45,11 @@ pub fn classify_server_query(msg: &Message) -> Option<ServerQueryType> {
         return None;
     }
     let q = msg.question()?;
-    let first_label = q.name.labels().first();
-    let numeric_pid = first_label.and_then(|l| {
-        std::str::from_utf8(l.as_bytes())
-            .ok()
-            .and_then(|s| s.parse::<u16>().ok())
-    });
+    let first_label = q.name.labels().next();
+    let numeric_pid = first_label
+        .and_then(|l| std::str::from_utf8(l).ok().and_then(|s| s.parse::<u16>().ok()));
     let looks_like_ns = first_label
-        .map(|l| l.as_bytes().starts_with(b"ns"))
+        .map(|l| l.starts_with(b"ns"))
         .unwrap_or(false);
     Some(match (q.qtype, numeric_pid, looks_like_ns) {
         (RecordType::NS, _, _) => ServerQueryType::Ns,

@@ -4,7 +4,7 @@ use std::net::{Ipv4Addr, Ipv6Addr};
 
 use super::error::CodecError;
 use crate::message::{Message, Question};
-use crate::name::{Label, Name};
+use crate::name::{Name, NameBuilder};
 use crate::rdata::{RData, SoaData};
 use crate::record::Record;
 use crate::types::{Opcode, Rcode, RecordClass, RecordType};
@@ -187,7 +187,7 @@ impl<'a> Decoder<'a> {
     /// The cursor always advances past the name's in-place representation,
     /// regardless of how many pointers were followed.
     fn name(&mut self) -> Result<Name, CodecError> {
-        let mut labels = Vec::new();
+        let mut name = NameBuilder::new();
         let mut cursor = self.pos;
         // Where the in-place name ends; set when the first pointer is met.
         let mut resume: Option<usize> = None;
@@ -224,14 +224,14 @@ impl<'a> Decoder<'a> {
                     let start = cursor + 1;
                     let end = start + l;
                     let bytes = self.bytes.get(start..end).ok_or(CodecError::Truncated)?;
-                    labels.push(Label::new(bytes)?);
+                    name.push_label(bytes)?;
                     cursor = end;
                 }
             }
         }
 
         self.pos = resume.unwrap_or(cursor);
-        Ok(Name::from_labels(labels)?)
+        Ok(name.finish())
     }
 
     fn u8(&mut self) -> Result<u8, CodecError> {

@@ -12,7 +12,7 @@ use bytes::{BufMut, Bytes, BytesMut};
 
 use super::error::CodecError;
 use crate::message::{Message, Question};
-use crate::name::{Label, Name};
+use crate::name::Name;
 use crate::rdata::RData;
 use crate::record::Record;
 
@@ -79,6 +79,11 @@ impl EncodeBuffer {
         self.arena.clear();
         self.entries.clear();
         debug_assert!(self.buf.is_empty());
+        // `split()` may have surrendered the pool's allocation (the stub
+        // `bytes` takes the whole buffer); one sized reserve up front
+        // beats growing from zero capacity during the write. With the
+        // real crate the pool retains capacity and this is a no-op.
+        self.buf.reserve(512);
         match self.message_checked(msg) {
             Ok(()) => Ok(self.buf.split().freeze()),
             Err(e) => {
@@ -257,11 +262,9 @@ impl EncodeBuffer {
 
     /// Writes `name` without compression (types whose RDATA names must
     /// not be compressed, per RFC 3597's reading of RFC 2782 et al.).
+    /// The name's stored wire run is already the bytes to emit.
     fn name_uncompressed(&mut self, name: &Name) {
-        for label in name.labels() {
-            self.buf.put_u8(label.len() as u8);
-            self.buf.put_slice(label.as_bytes());
-        }
+        self.buf.put_slice(name.as_wire_run());
         self.buf.put_u8(0);
     }
 
@@ -269,68 +272,55 @@ impl EncodeBuffer {
     /// longest already-seen suffix is replaced by a pointer, and every new
     /// suffix written here is registered for later reuse. Registration order
     /// and first-match-wins semantics replicate the original `HashMap`
-    /// encoder exactly, so output bytes are unchanged.
+    /// encoder exactly, so output bytes are unchanged. Suffix keys are
+    /// tails of the name's stored wire run, so lookup is one `memcmp` per
+    /// candidate entry.
     fn name(&mut self, name: &Name) -> Result<(), CodecError> {
-        let labels = name.labels();
-        // Wire length of the full label run (no terminator): each suffix key
-        // is the tail of this run, so lengths are derived by subtraction.
-        let total: usize = labels.iter().map(|l| l.len() + 1).sum();
-        let mut sub = 0usize; // wire offset of label `skip` within the run
+        let run = name.as_wire_run();
+        let mut sub = 0usize; // wire offset of the current suffix in the run
         let mut appended: Option<(usize, usize)> = None; // (arena start, sub at append)
-        for (skip, label) in labels.iter().enumerate() {
-            let needle_len = total - sub;
-            if let Some(off) = self.find_suffix(&labels[skip..], needle_len) {
+        while sub < run.len() {
+            let needle = &run[sub..];
+            if let Some(off) = self.find_suffix(needle) {
                 self.buf.put_u16(0xc000 | off as u16);
                 return Ok(());
             }
             // Register this suffix at the current position (only if the
-            // offset is still pointer-expressible). The name's wire bytes are
-            // appended to the arena once, on the first registered suffix;
-            // shorter suffixes are sub-slices of the same run.
+            // offset is still pointer-expressible). The run's remaining
+            // bytes are appended to the arena once, on the first registered
+            // suffix; shorter suffixes are sub-slices of the same stretch.
             let here = self.buf.len();
             if here <= MAX_POINTER_TARGET {
                 let (arena_start, sub0) = *appended.get_or_insert_with(|| {
                     let start = self.arena.len();
-                    for l in &labels[skip..] {
-                        self.arena.push(l.len() as u8);
-                        self.arena.extend_from_slice(l.as_bytes());
-                    }
+                    self.arena.extend_from_slice(needle);
                     (start, sub)
                 });
                 self.entries.push(SuffixEntry {
                     key_start: (arena_start + (sub - sub0)) as u32,
-                    key_len: needle_len as u16,
+                    key_len: needle.len() as u16,
                     offset: here as u16,
                 });
             }
-            self.buf.put_u8(label.len() as u8);
-            self.buf.put_slice(label.as_bytes());
-            sub += label.len() + 1;
+            let step = 1 + run[sub] as usize;
+            self.buf.put_slice(&run[sub..sub + step]);
+            sub += step;
         }
         self.buf.put_u8(0);
         Ok(())
     }
 
-    /// Finds the registration offset of the suffix `tail` (wire length
-    /// `needle_len`), scanning entries in registration order so the first
+    /// Finds the registration offset of the suffix whose wire-run bytes
+    /// equal `needle`, scanning entries in registration order so the first
     /// registration wins — the same tie-break the `HashMap` encoder had.
-    fn find_suffix(&self, tail: &[Label], needle_len: usize) -> Option<usize> {
-        'entries: for e in &self.entries {
-            if e.key_len as usize != needle_len {
-                continue;
+    fn find_suffix(&self, needle: &[u8]) -> Option<usize> {
+        for e in &self.entries {
+            let start = e.key_start as usize;
+            if e.key_len as usize == needle.len()
+                && &self.arena[start..start + needle.len()] == needle
+            {
+                return Some(e.offset as usize);
             }
-            let mut p = e.key_start as usize;
-            for l in tail {
-                if self.arena[p] as usize != l.len() {
-                    continue 'entries;
-                }
-                p += 1;
-                if &self.arena[p..p + l.len()] != l.as_bytes() {
-                    continue 'entries;
-                }
-                p += l.len();
-            }
-            return Some(e.offset as usize);
         }
         None
     }

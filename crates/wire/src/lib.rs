@@ -39,7 +39,7 @@ mod record;
 mod types;
 
 pub use message::{Message, MessageBuilder, Question};
-pub use name::{Label, Name, NameError, MAX_LABEL_LEN, MAX_NAME_LEN};
+pub use name::{Name, NameBuilder, NameError, MAX_LABEL_LEN, MAX_NAME_LEN};
 pub use rdata::{RData, SoaData};
 pub use record::Record;
 pub use types::{Opcode, Rcode, RecordClass, RecordType};

@@ -5,12 +5,27 @@
 # bench-regression guard (scripts/bench_guard.py) compares its own quick
 # run against the newest committed baseline.
 #
-# Usage: scripts/bench.sh [quick]
-#   quick — criterion's shortest profile (~seconds); use the default full
-#           profile when recording a baseline to commit.
+# Usage: scripts/bench.sh [quick|standin [REPS]]
+#   quick   — criterion's shortest profile (~seconds); use the default
+#             full profile when recording a baseline to commit.
+#   standin — offline wall-clock harness (bench-standin binary) for the
+#             netsim_core arms only. Unlike the criterion stub that an
+#             offline build links, this records REAL per-rep dispersion:
+#             mean/median/std-dev over REPS (default 9) repetitions land
+#             in the baseline's std_dev_ns, so bench_guard comparisons
+#             against the committed file reflect measured noise, not a
+#             hard-coded zero. Use when recording a baseline without
+#             registry access to the real criterion crate.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
+
+if [[ "${1:-}" == "standin" ]]; then
+    REPS="${2:-9}"
+    cargo build --release -p dike-bench --bin bench-standin
+    target/release/bench-standin "BENCH_$(date +%F).json" --reps "$REPS"
+    exit 0
+fi
 
 SUITES=(netsim_core wire_codec cache_ops fig8_partial sweep_scaling)
 EXTRA=()
