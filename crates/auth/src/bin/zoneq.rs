@@ -1,30 +1,58 @@
 //! `zoneq` — a dig-style query tool for zone files.
 //!
 //! ```text
-//! zoneq <zonefile> <name> [type]
+//! zoneq <zonefile> <name> [type] [+tcp] [+bufsize=N]
 //! zoneq --check <zonefile>
 //! ```
 //!
 //! Loads a master file and answers the query exactly as the simulated
 //! authoritative server would (authoritative answers, referrals,
-//! NXDOMAIN/NODATA with the SOA), printing a dig-like summary. With
-//! `--check`, parses the zone and prints its canonical form instead —
-//! a quick lint for hand-written zones.
+//! NXDOMAIN/NODATA with the SOA), printing a dig-like summary. The
+//! default path is UDP semantics: answers larger than the advertised
+//! EDNS size (`+bufsize=N`, default 4096) come back truncated with
+//! `TC=1`. With `+tcp`, a truncated answer is retried through the
+//! server's stream path (RFC 7766: no size limit), exactly as a
+//! resolver falls back after a slip. With `--check`, parses the zone
+//! and prints its canonical form instead — a quick lint for
+//! hand-written zones.
 
 use dike_auth::{zonefile, AuthServer};
-use dike_netsim::SimTime;
+use dike_netsim::{Addr, SimTime};
 use dike_wire::{Message, Name, RecordType};
 
+fn usage() -> ! {
+    eprintln!(
+        "usage: zoneq <zonefile> <name> [type] [+tcp] [+bufsize=N] | zoneq --check <zonefile>"
+    );
+    std::process::exit(2);
+}
+
 fn main() {
-    let args: Vec<String> = std::env::args().skip(1).collect();
-    match args.as_slice() {
-        [flag, path] if flag == "--check" => check(path),
-        [path, name] => query(path, name, "A"),
-        [path, name, qtype] => query(path, name, qtype),
-        _ => {
-            eprintln!("usage: zoneq <zonefile> <name> [type] | zoneq --check <zonefile>");
-            std::process::exit(2);
+    let mut tcp = false;
+    let mut bufsize: u16 = 4096;
+    let mut positional: Vec<String> = Vec::new();
+    for arg in std::env::args().skip(1) {
+        if let Some(opt) = arg.strip_prefix('+') {
+            if opt == "tcp" {
+                tcp = true;
+            } else if let Some(v) = opt.strip_prefix("bufsize=") {
+                bufsize = v.parse().unwrap_or_else(|e| {
+                    eprintln!("zoneq: bad +bufsize: {e}");
+                    std::process::exit(2);
+                });
+            } else {
+                eprintln!("zoneq: unknown option +{opt}");
+                usage();
+            }
+        } else {
+            positional.push(arg);
         }
+    }
+    match positional.as_slice() {
+        [flag, path] if flag == "--check" => check(path),
+        [path, name] => query(path, name, "A", tcp, bufsize),
+        [path, name, qtype] => query(path, name, qtype, tcp, bufsize),
+        _ => usage(),
     }
 }
 
@@ -50,7 +78,7 @@ fn check(path: &str) {
     print!("{}", zone.to_zonefile());
 }
 
-fn query(path: &str, name: &str, qtype: &str) {
+fn query(path: &str, name: &str, qtype: &str, tcp: bool, bufsize: u16) {
     let zone = load(path);
     let qname = Name::parse(name).unwrap_or_else(|e| {
         eprintln!("zoneq: bad name {name}: {e}");
@@ -74,8 +102,18 @@ fn query(path: &str, name: &str, qtype: &str) {
     };
 
     let mut server = AuthServer::new().with_zone(Box::new(zone));
-    let q = Message::iterative_query(0x5a51, qname.clone(), qtype).with_edns(4096);
-    let resp = server.handle_query(SimTime::ZERO, &q);
+    let q = Message::iterative_query(0x5a51, qname.clone(), qtype).with_edns(bufsize);
+    let mut resp = server.handle_query(SimTime::ZERO, &q);
+    let mut via = "UDP";
+    if resp.truncated && tcp {
+        // The TC=1 fallback a resolver would take: same question, stream
+        // semantics, no payload limit.
+        println!(";; Truncated, retrying over TCP (RFC 7766)");
+        resp = server
+            .answer_stream(SimTime::ZERO, Addr(0), &q)
+            .expect("queries always get a stream answer");
+        via = "TCP";
+    }
 
     println!(
         ";; ->>HEADER<<- opcode: QUERY, status: {}, id: {}",
@@ -110,5 +148,5 @@ fn query(path: &str, name: &str, qtype: &str) {
         }
     }
     let size = dike_wire::codec::encoded_len(&resp).unwrap_or(0);
-    println!("\n;; MSG SIZE  rcvd: {size}");
+    println!("\n;; MSG SIZE  rcvd: {size} ({via})");
 }

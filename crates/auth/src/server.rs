@@ -79,6 +79,10 @@ pub struct AuthServer {
     zones: Vec<Box<dyn ZoneProvider>>,
     queries_handled: u64,
     stats: AuthStats,
+    /// RFC 7873 server-cookie secret. When set, responses to queries
+    /// carrying a client cookie get the server half minted in — the
+    /// other side of the `IngressGate` cookie-validation exemption.
+    cookie_secret: Option<u64>,
 }
 
 /// Timer tokens: rotation timer per zone index.
@@ -91,7 +95,20 @@ impl AuthServer {
             zones: Vec::new(),
             queries_handled: 0,
             stats: AuthStats::default(),
+            cookie_secret: None,
         }
+    }
+
+    /// Builder-style RFC 7873 cookie secret. Must match the secret the
+    /// ingress defense validates with, or exemptions never fire.
+    pub fn with_cookie_secret(mut self, secret: u64) -> Self {
+        self.cookie_secret = Some(secret);
+        self
+    }
+
+    /// Sets or clears the cookie secret.
+    pub fn set_cookie_secret(&mut self, secret: Option<u64>) {
+        self.cookie_secret = secret;
     }
 
     /// Adds a zone to serve.
@@ -177,14 +194,52 @@ impl AuthServer {
         }
         let now = ctx.now();
         let mut resp = self.answer_query(now, msg);
+        self.mint_cookie(src, msg, &mut resp);
         let wire = ctx.encode(&resp);
         if wire.len() > Self::payload_limit(msg) {
             self.truncate(&mut resp);
+            // RFC 7873 §5.2: even a truncated response carries the
+            // server cookie, so the client's TCP retry (or UDP retry
+            // through a cookie-validating limiter) is already exempt.
+            self.mint_cookie(src, msg, &mut resp);
             let wire = ctx.encode(&resp);
             ctx.send_wire(src, wire);
         } else {
             ctx.send_wire(src, wire);
         }
+    }
+
+    /// Answers one query received over a stream transport (TCP). No
+    /// truncation: RFC 7766 lifts the UDP payload limit, which is the
+    /// whole point of falling back after TC=1. Returns `None` for
+    /// responses (authoritatives only answer queries).
+    pub fn answer_stream(&mut self, now: SimTime, src: Addr, query: &Message) -> Option<Message> {
+        if query.is_response {
+            return None;
+        }
+        let mut resp = self.answer_query(now, query);
+        self.mint_cookie(src, query, &mut resp);
+        Some(resp)
+    }
+
+    /// Completes the cookie in `resp` when a secret is configured and
+    /// `query` carried a client cookie. A no-op otherwise, so servers
+    /// without the knob answer byte-identically to before.
+    fn mint_cookie(&self, src: Addr, query: &Message, resp: &mut Message) {
+        let Some(secret) = self.cookie_secret else {
+            return;
+        };
+        let Some(c) = dike_wire::cookie::cookie_of(query) else {
+            return;
+        };
+        let full = dike_wire::Cookie {
+            client: c.client,
+            server: Some(dike_wire::cookie::server_cookie(&c.client, src.0, secret).to_vec()),
+        };
+        let size = query
+            .edns_payload_size()
+            .unwrap_or(dike_wire::MAX_UDP_PAYLOAD as u16);
+        dike_wire::cookie::set_cookie(resp, size, &full);
     }
 
     /// Zone indices that want periodic rotation, with their intervals.
@@ -298,6 +353,23 @@ impl Node for AuthServer {
 
     fn on_datagram(&mut self, ctx: &mut Context<'_>, src: Addr, msg: &Message, _wire_len: usize) {
         self.serve_datagram(ctx, src, msg);
+    }
+
+    fn on_tcp_message(
+        &mut self,
+        ctx: &mut Context<'_>,
+        conn: dike_netsim::TcpConnId,
+        peer: Addr,
+        msg: &Message,
+        _wire_len: usize,
+    ) {
+        // TCP service shares the zone logic with the datagram path but
+        // never truncates; the client closes when satisfied, and the
+        // listener's idle reaper covers clients that don't.
+        let now = ctx.now();
+        if let Some(resp) = self.answer_stream(now, peer, msg) {
+            ctx.tcp_send(conn, &resp);
+        }
     }
 
     fn on_timer(&mut self, ctx: &mut Context<'_>, token: TimerToken) {
@@ -531,6 +603,52 @@ mod tests {
         assert_eq!(st.nxdomain, 1);
         assert_eq!(st.errors, 1);
         assert_eq!(st.truncated, 0);
+    }
+
+    #[test]
+    fn answer_stream_never_truncates() {
+        let origin = name("big.test");
+        let mut z = Zone::new(origin.clone(), 3600, default_soa(&origin));
+        for i in 0..4 {
+            z.add(Record::new(
+                name("fat.big.test"),
+                60,
+                RData::Txt(vec![vec![b'a' + i as u8; 200]]),
+            ));
+        }
+        let mut s = AuthServer::new().with_zone(Box::new(z));
+        let q = Message::iterative_query(31, name("fat.big.test"), RecordType::TXT);
+        // The same query truncates over UDP (no EDNS, > 512 octets)…
+        let udp = s.handle_query(SimTime::ZERO, &q);
+        assert!(udp.truncated);
+        // …but streams whole over TCP.
+        let tcp = s
+            .answer_stream(SimTime::ZERO, dike_netsim::Addr(0x0a00_0007), &q)
+            .unwrap();
+        assert!(!tcp.truncated);
+        assert_eq!(tcp.answers.len(), 4);
+        assert_eq!(s.stats().truncated, 1, "only the UDP path truncated");
+    }
+
+    #[test]
+    fn cookie_secret_mints_the_server_half() {
+        use dike_wire::cookie;
+        let mut s = server().with_cookie_secret(0x5eed);
+        let src = dike_netsim::Addr(0x0a00_0009);
+        let client = cookie::client_cookie_for(src.0, 0x0a00_0001);
+        let mut q = Message::iterative_query(32, name("1414.cachetest.nl"), RecordType::AAAA)
+            .with_edns(1232);
+        cookie::set_cookie(&mut q, 1232, &dike_wire::Cookie::client_only(client));
+        let resp = s.answer_stream(SimTime::ZERO, src, &q).unwrap();
+        let minted = cookie::cookie_of(&resp).expect("cookie echoed");
+        assert_eq!(minted.client, client);
+        assert!(cookie::validate(&minted, src.0, 0x5eed));
+        assert!(!cookie::validate(&minted, src.0 + 1, 0x5eed), "addr-bound");
+
+        // Without a secret the response carries no cookie at all.
+        let mut plain = server();
+        let resp = plain.answer_stream(SimTime::ZERO, src, &q).unwrap();
+        assert!(cookie::cookie_of(&resp).is_none());
     }
 
     #[test]

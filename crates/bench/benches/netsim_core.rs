@@ -156,6 +156,100 @@ fn bench_event_loop(c: &mut Criterion) {
             sink.octets
         })
     });
+    g.bench_function("tcp_fallback_path", |b| {
+        // The full connection-oriented round trip a resolver takes after
+        // a TC=1 slip: dial (SYN + handshake RTT + per-connection cost),
+        // send the query on open, get the stream answer, hang up, redial.
+        // Measures the transport's lifecycle machinery — connection
+        // table, framed delivery, FIN teardown — against the one-datagram
+        // query_response_round_trips baseline.
+        struct TcpDialer {
+            target: Addr,
+            remaining: u32,
+        }
+        impl Node for TcpDialer {
+            fn on_start(&mut self, ctx: &mut Context<'_>) {
+                ctx.set_timer(SimDuration::from_millis(1), TimerToken(0));
+            }
+            fn on_datagram(
+                &mut self,
+                _ctx: &mut Context<'_>,
+                _src: Addr,
+                _msg: &Message,
+                _l: usize,
+            ) {
+            }
+            fn on_timer(&mut self, ctx: &mut Context<'_>, _t: TimerToken) {
+                ctx.tcp_connect(self.target);
+            }
+            fn on_tcp_connected(
+                &mut self,
+                ctx: &mut Context<'_>,
+                conn: dike_netsim::TcpConnId,
+                _peer: Addr,
+            ) {
+                ctx.tcp_send(
+                    conn,
+                    &Message::query(
+                        self.remaining as u16,
+                        Name::parse("x.nl").unwrap(),
+                        RecordType::A,
+                    ),
+                );
+            }
+            fn on_tcp_message(
+                &mut self,
+                ctx: &mut Context<'_>,
+                conn: dike_netsim::TcpConnId,
+                _peer: Addr,
+                msg: &Message,
+                _l: usize,
+            ) {
+                if msg.is_response {
+                    ctx.tcp_close(conn);
+                    if self.remaining > 0 {
+                        self.remaining -= 1;
+                        ctx.tcp_connect(self.target);
+                    }
+                }
+            }
+        }
+        struct TcpEcho;
+        impl Node for TcpEcho {
+            fn on_datagram(
+                &mut self,
+                _ctx: &mut Context<'_>,
+                _src: Addr,
+                _msg: &Message,
+                _l: usize,
+            ) {
+            }
+            fn on_tcp_message(
+                &mut self,
+                ctx: &mut Context<'_>,
+                conn: dike_netsim::TcpConnId,
+                _peer: Addr,
+                msg: &Message,
+                _l: usize,
+            ) {
+                if !msg.is_response {
+                    ctx.tcp_send(conn, &Message::response_to(msg));
+                }
+            }
+            fn on_timer(&mut self, _ctx: &mut Context<'_>, _t: TimerToken) {}
+        }
+        b.iter(|| {
+            let mut sim = fixed_latency_sim(5, 1);
+            let (_, echo) = sim.add_node(Box::new(TcpEcho));
+            sim.set_tcp_listener(echo, dike_netsim::TcpConfig::default());
+            sim.add_node(Box::new(TcpDialer {
+                target: echo,
+                remaining: ROUND_TRIPS,
+            }));
+            sim.run_until_idle();
+            sim.now()
+        })
+    });
     g.bench_function("timer_churn", |b| {
         b.iter(|| {
             // 1000 nodes each setting and firing 4 timers.
@@ -203,7 +297,13 @@ fn bench_event_loop(c: &mut Criterion) {
             fn on_start(&mut self, ctx: &mut Context<'_>) {
                 ctx.set_timer(SimDuration::from_micros(50), TimerToken(0));
             }
-            fn on_datagram(&mut self, _ctx: &mut Context<'_>, _src: Addr, _msg: &Message, _l: usize) {
+            fn on_datagram(
+                &mut self,
+                _ctx: &mut Context<'_>,
+                _src: Addr,
+                _msg: &Message,
+                _l: usize,
+            ) {
             }
             fn on_timer(&mut self, ctx: &mut Context<'_>, _t: TimerToken) {
                 if let Some(id) = self.pending_cancel.take() {
@@ -248,7 +348,13 @@ fn bench_event_loop(c: &mut Criterion) {
             fn on_start(&mut self, ctx: &mut Context<'_>) {
                 ctx.set_timer(SimDuration::from_millis(5), TimerToken(0));
             }
-            fn on_datagram(&mut self, _ctx: &mut Context<'_>, _src: Addr, _msg: &Message, _l: usize) {
+            fn on_datagram(
+                &mut self,
+                _ctx: &mut Context<'_>,
+                _src: Addr,
+                _msg: &Message,
+                _l: usize,
+            ) {
             }
             fn on_timer(&mut self, ctx: &mut Context<'_>, _t: TimerToken) {
                 ctx.send(

@@ -41,11 +41,13 @@ pub use dike_cache as cache;
 pub use dike_defense as defense;
 pub use dike_defense::{Defense, DefensePlan, RrlConfig};
 pub use dike_experiments as experiments;
+pub use dike_experiments::cookies::{CookieArm, CookieComparison, CookieRow, TcpExhaustion};
 pub use dike_experiments::defense::{DefensePreset, LateResolverWave, SpoofedFlood, SpoofedStats};
 pub use dike_experiments::setup::AttackScope;
 pub use dike_faults as faults;
 pub use dike_faults::{Fault, FaultPlan};
 pub use dike_netsim as netsim;
+pub use dike_netsim::TcpConfig;
 pub use dike_resolver as resolver;
 pub use dike_stats as stats;
 pub use dike_stub as stub;
@@ -54,7 +56,7 @@ pub use dike_telemetry::{MetricsRegistry, TelemetryConfig};
 pub use dike_wire as wire;
 pub use sweep::{
     ArmSummary, Band, ReplicateSummary, SeedStrategy, SweepAxis, SweepEngine, SweepJob,
-    SweepResult, LATE_RESOLVER_QPS,
+    SweepResult, LATE_RESOLVER_QPS, SWEEP_COOKIE_SECRET,
 };
 
 /// A typed attack description for [`Scenario::with_attack`]: loss rate,
@@ -288,7 +290,7 @@ impl Scenario {
             };
             SimDuration::from_mins(start).after_zero()
         };
-        match &self.defense {
+        let mut plan = match &self.defense {
             DefenseSpec::None => DefensePlan::new(),
             DefenseSpec::Plan(plan) => plan.clone(),
             DefenseSpec::Preset(preset) => {
@@ -307,7 +309,48 @@ impl Scenario {
                 }
                 plan
             }
+        };
+        // Cookie exemptions ride on whatever gate the plan installs: one
+        // layer per authoritative that has an RRL or admission gate (the
+        // exemption is meaningless — and rejected by validation —
+        // without one).
+        if let Some(secret) = self.setup.cookie_secret {
+            for ns in dike_experiments::topology::ns_addrs() {
+                let gated = plan.defenses.iter().any(|d| {
+                    matches!(d,
+                        Defense::Rrl { target, .. } | Defense::Admission { target, .. }
+                            if *target == ns)
+                });
+                if gated {
+                    plan.push(Defense::cookie(ns, secret));
+                }
+            }
         }
+        plan
+    }
+
+    /// Arms the RFC 7766 TC=1 → TCP fallback path: TCP listeners at all
+    /// four hierarchy servers with a connection table of `capacity`
+    /// slots (default handshake cost and idle reaping), and a TCP retry
+    /// path at every recursive. Without this, a TC=1 slip is a dead
+    /// end — the resolver falls back to its UDP retry schedule.
+    pub fn tcp_fallback(mut self, capacity: usize) -> Self {
+        self.setup.tcp = Some(TcpConfig {
+            table_capacity: capacity.max(1),
+            ..TcpConfig::default()
+        });
+        self
+    }
+
+    /// Arms RFC 7873 DNS cookies end to end: authoritatives mint server
+    /// cookies with `secret`, every recursive attaches cookies upstream,
+    /// and — for each authoritative where the resolved defense plan has
+    /// an RRL or admission gate — a cookie-validation exemption layer is
+    /// appended so return-routable clients bypass the limiter. Without a
+    /// gate the cookie exchange still runs but exempts nothing.
+    pub fn cookies(mut self, secret: u64) -> Self {
+        self.setup.cookie_secret = Some(secret);
+        self
     }
 
     /// Adds a deterministic spoofed-source flood against the two
@@ -574,7 +617,9 @@ mod tests {
             Attack::loss(0.5),
             Attack::complete().scope(AttackScope::OneNs),
             Attack::loss(0.9).window_min(20, 45),
-            Attack::loss(0.75).scope(AttackScope::OneNs).window_min(30, 20),
+            Attack::loss(0.75)
+                .scope(AttackScope::OneNs)
+                .window_min(30, 20),
         ];
         for attack in cases {
             let a = Scenario::new().with_attack(attack).fault_plan();
@@ -614,6 +659,51 @@ mod tests {
         let mut armed = s;
         armed.resolve();
         assert_eq!(armed.setup.defense.as_ref().map(|p| p.len()), Some(2));
+    }
+
+    #[test]
+    fn cookie_intent_rides_on_the_plan_gates() {
+        // With an RRL gate at both authoritatives, cookies() appends one
+        // exemption layer per gate — and the combined plan validates.
+        let s = Scenario::new()
+            .with_attack(Attack::loss(0.9).window_min(60, 60))
+            .rrl_qps(0.05)
+            .cookies(0xc00c_1e5);
+        let plan = s.defense_plan();
+        assert_eq!(plan.len(), 4, "2 RRL gates + 2 cookie exemptions");
+        plan.validate().expect("gated cookie plans are valid");
+        assert_eq!(DefensePlan::from_json(&plan.to_json()).unwrap(), plan);
+
+        // Without a gate there is nothing to exempt from: no cookie
+        // layers, so the plan stays empty (and the setup stays on the
+        // defense-free hot path) while the end-to-end cookie exchange
+        // still arms via the setup field.
+        let mut bare = Scenario::new().probes(5).cookies(0xc00c_1e5);
+        assert!(bare.defense_plan().is_empty());
+        bare.resolve();
+        assert!(bare.setup.defense.is_none());
+        assert_eq!(bare.setup.cookie_secret, Some(0xc00c_1e5));
+    }
+
+    #[test]
+    fn tcp_fallback_builder_arms_the_setup() {
+        let mut s = Scenario::new().probes(5).tcp_fallback(8);
+        s.resolve();
+        let tcp = s.setup.tcp.expect("tcp armed");
+        assert_eq!(tcp.table_capacity, 8);
+        // Capacity is clamped to at least one slot.
+        assert_eq!(
+            Scenario::new()
+                .tcp_fallback(0)
+                .setup
+                .tcp
+                .unwrap()
+                .table_capacity,
+            1
+        );
+        // And the default world stays TCP-free (the pinned digest
+        // depends on this).
+        assert!(Scenario::new().setup.tcp.is_none());
     }
 
     #[test]
@@ -732,6 +822,7 @@ mod tests {
                 perf: Default::default(),
                 spoofed: None,
                 late: None,
+                exhaustion: None,
             },
             outcomes: vec![
                 OutcomeBin {

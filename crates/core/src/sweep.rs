@@ -71,12 +71,29 @@ pub enum SweepAxis {
     /// as unknown. Each resolver queries once per 30 s — far below the
     /// presets' RRL rate, so only classification can refuse it.
     LateArrivalsPerMin(Vec<f64>),
+    /// TCP connection-table capacities at the hierarchy servers. Each
+    /// arm arms the TC=1 → TCP fallback path (see
+    /// [`crate::Scenario::tcp_fallback`]) with this many slots per
+    /// server — crossed with an RRL-slip defense axis, this is the
+    /// slip-recovery headroom grid: how many concurrent TCP retries the
+    /// server survives before shedding handshakes with RST.
+    TcpTableCapacity(Vec<usize>),
+    /// RFC 7873 DNS cookies on or off (see [`crate::Scenario::cookies`];
+    /// the on-arms use [`SWEEP_COOKIE_SECRET`]). Crossed with a defense
+    /// axis, the on-arm exempts cookie-validated resolvers from the
+    /// gate while spoofed sources stay limited.
+    CookieMode(Vec<bool>),
 }
 
 /// Query pacing of one late-wave resolver on the
 /// [`SweepAxis::LateArrivalsPerMin`] axis: one query per 30 seconds
 /// (0.033 qps, under every preset's RRL rate of 0.1 qps).
 pub const LATE_RESOLVER_QPS: f64 = 1.0 / 30.0;
+
+/// The cookie secret [`SweepAxis::CookieMode`]'s on-arms share (the
+/// `repro cookies` comparison secret, so sweep arms and the comparison
+/// table mint identical cookies).
+pub const SWEEP_COOKIE_SECRET: u64 = dike_experiments::cookies::COOKIE_SECRET;
 
 impl SweepAxis {
     /// The axis name used in CSV headers and JSON keys.
@@ -90,6 +107,8 @@ impl SweepAxis {
             SweepAxis::DefensePreset(_) => "defense",
             SweepAxis::RrlRateQps(_) => "rrl_qps",
             SweepAxis::LateArrivalsPerMin(_) => "late_per_min",
+            SweepAxis::TcpTableCapacity(_) => "tcp_table",
+            SweepAxis::CookieMode(_) => "cookies",
         }
     }
 
@@ -104,6 +123,8 @@ impl SweepAxis {
             SweepAxis::DefensePreset(v) => v.len(),
             SweepAxis::RrlRateQps(v) => v.len(),
             SweepAxis::LateArrivalsPerMin(v) => v.len(),
+            SweepAxis::TcpTableCapacity(v) => v.len(),
+            SweepAxis::CookieMode(v) => v.len(),
         }
     }
 
@@ -123,6 +144,8 @@ impl SweepAxis {
             SweepAxis::DefensePreset(v) => v[i].label().to_string(),
             SweepAxis::RrlRateQps(v) => fmt_f64(v[i]),
             SweepAxis::LateArrivalsPerMin(v) => fmt_f64(v[i]),
+            SweepAxis::TcpTableCapacity(v) => v[i].to_string(),
+            SweepAxis::CookieMode(v) => if v[i] { "on" } else { "off" }.to_string(),
         }
     }
 
@@ -148,6 +171,14 @@ impl SweepAxis {
             SweepAxis::RrlRateQps(v) => *s = s.clone().rrl_qps(v[i]),
             SweepAxis::LateArrivalsPerMin(v) => {
                 *s = s.clone().late_resolvers(v[i], LATE_RESOLVER_QPS);
+            }
+            SweepAxis::TcpTableCapacity(v) => *s = s.clone().tcp_fallback(v[i]),
+            SweepAxis::CookieMode(v) => {
+                if v[i] {
+                    *s = s.clone().cookies(SWEEP_COOKIE_SECRET);
+                } else {
+                    s.setup.cookie_secret = None;
+                }
             }
         }
     }
@@ -938,6 +969,37 @@ mod tests {
             ("defense".into(), "rrl-slip".into())
         );
         assert_eq!(engine.coord_labels(3)[1], ("rrl_qps".into(), "0.25".into()));
+    }
+
+    #[test]
+    fn tcp_and_cookie_axes_mutate_the_scenario() {
+        let engine = SweepEngine::new(tiny_base().rrl_qps(0.05))
+            .axis(SweepAxis::TcpTableCapacity(vec![4, 64]))
+            .axis(SweepAxis::CookieMode(vec![false, true]));
+        assert_eq!(engine.arm_count(), 4);
+
+        // Arm 0: table of 4, cookies off.
+        let s0 = engine.scenario_for(0, 0);
+        assert_eq!(s0.setup.tcp.unwrap().table_capacity, 4);
+        assert!(s0.setup.cookie_secret.is_none());
+        assert_eq!(s0.defense_plan().len(), 2, "just the RRL gates");
+
+        // Arm 3: table of 64, cookies on — exemption layers appended to
+        // the base scenario's RRL gates.
+        let s3 = engine.scenario_for(3, 0);
+        assert_eq!(s3.setup.tcp.unwrap().table_capacity, 64);
+        assert_eq!(s3.setup.cookie_secret, Some(SWEEP_COOKIE_SECRET));
+        let plan = s3.defense_plan();
+        assert_eq!(plan.len(), 4, "RRL gates + cookie exemptions");
+        plan.validate().expect("axis-built cookie plan is valid");
+
+        assert_eq!(
+            engine.coord_labels(3),
+            vec![
+                ("tcp_table".into(), "64".into()),
+                ("cookies".into(), "on".into())
+            ]
+        );
     }
 
     #[test]

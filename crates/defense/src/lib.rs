@@ -27,6 +27,11 @@
 //! * [`Defense::ScaleOut`] — anycast scale-out: after a configurable
 //!   detection delay, multiply the target's service capacity and
 //!   optionally join standby replicas into its anycast catchment.
+//! * [`Defense::Cookie`] — RFC 7873 DNS-cookie validation on the same
+//!   ingress gate: queries carrying a full cookie that validates under
+//!   the secret bypass RRL and admission entirely. Return routability
+//!   is proven, so the source cannot be a spoofed flood — rate
+//!   limiting real resolvers becomes unnecessary.
 //!
 //! Everything is deterministic: no defense draws randomness, every
 //! decision is a pure function of sim time, the source address, and the
@@ -403,6 +408,18 @@ pub enum Defense {
         /// How sources map to classes.
         classifier: ClassifierKind,
     },
+    /// RFC 7873 cookie validation at `target`: queries carrying a full
+    /// cookie valid under `secret` skip the RRL and admission layers.
+    /// Requires an [`Defense::Rrl`] or [`Defense::Admission`] at the
+    /// same target in the same plan — the exemption lives on that gate
+    /// and is meaningless without one.
+    Cookie {
+        /// The defended ingress address.
+        target: Addr,
+        /// The server-cookie secret; must match what the authoritative
+        /// server mints with, or no exemption ever fires.
+        secret: u64,
+    },
     /// Anycast scale-out: `detection_delay` after `at`, multiply
     /// `target`'s service capacity and optionally join standby replicas
     /// into its anycast group.
@@ -443,6 +460,9 @@ pub enum DefenseError {
     /// Two defenses install the same layer at the same target; the
     /// second would silently replace the first.
     DuplicateLayer(&'static str, Addr),
+    /// A cookie defense whose target has no RRL or admission layer in
+    /// the plan: there is no gate to carry the exemption.
+    CookieWithoutGate(Addr),
 }
 
 impl std::fmt::Display for DefenseError {
@@ -471,6 +491,12 @@ impl std::fmt::Display for DefenseError {
             }
             DefenseError::DuplicateLayer(kind, addr) => {
                 write!(f, "duplicate {kind} layer at {addr:?}")
+            }
+            DefenseError::CookieWithoutGate(addr) => {
+                write!(
+                    f,
+                    "cookie defense at {addr:?} has no rrl/admission layer to exempt from"
+                )
             }
         }
     }
@@ -502,6 +528,12 @@ impl Defense {
         }
     }
 
+    /// Cookie validation under `secret` (pair with [`Defense::rrl`] or
+    /// [`Defense::admission`] at the same target).
+    pub fn cookie(target: Addr, secret: u64) -> Defense {
+        Defense::Cookie { target, secret }
+    }
+
     /// Scale-out with no standby replicas (capacity multiplication
     /// only).
     pub fn scale_out(
@@ -524,7 +556,7 @@ impl Defense {
     pub fn starting_at(mut self, when: SimTime) -> Defense {
         match &mut self {
             Defense::Rrl { start, .. } | Defense::Admission { start, .. } => *start = when,
-            Defense::ScaleOut { .. } => {}
+            Defense::ScaleOut { .. } | Defense::Cookie { .. } => {}
         }
         self
     }
@@ -575,6 +607,9 @@ impl Defense {
                 }
                 Ok(())
             }
+            // Any secret is a valid secret; the gate requirement is a
+            // plan-level check (DefensePlan::validate).
+            Defense::Cookie { .. } => Ok(()),
         }
     }
 
@@ -584,6 +619,7 @@ impl Defense {
     pub fn end(&self) -> SimTime {
         match self {
             Defense::Rrl { start, .. } | Defense::Admission { start, .. } => *start,
+            Defense::Cookie { .. } => SimTime::ZERO,
             Defense::ScaleOut {
                 at,
                 detection_delay,
@@ -596,6 +632,7 @@ impl Defense {
         match self {
             Defense::Rrl { target, .. }
             | Defense::Admission { target, .. }
+            | Defense::Cookie { target, .. }
             | Defense::ScaleOut { target, .. } => *target,
         }
     }
@@ -648,6 +685,7 @@ impl DefensePlan {
             let layer = match d {
                 Defense::Rrl { .. } => Some("rrl"),
                 Defense::Admission { .. } => Some("admission"),
+                Defense::Cookie { .. } => Some("cookie"),
                 Defense::ScaleOut { .. } => None,
             };
             if let Some(kind) = layer {
@@ -656,6 +694,18 @@ impl DefensePlan {
                     return Err((i, DefenseError::DuplicateLayer(kind, d.target())));
                 }
                 seen.push(key);
+            }
+        }
+        // A cookie exemption needs a gate to exempt from; list order
+        // does not matter (the gate may come later in the plan).
+        for (i, d) in self.defenses.iter().enumerate() {
+            if let Defense::Cookie { target, .. } = d {
+                let gated = seen
+                    .iter()
+                    .any(|(k, a)| a == target && (*k == "rrl" || *k == "admission"));
+                if !gated {
+                    return Err((i, DefenseError::CookieWithoutGate(*target)));
+                }
             }
         }
         Ok(())
@@ -690,7 +740,10 @@ impl DefensePlan {
                         classifier: classifier.build(),
                     });
                 }
-                Defense::ScaleOut { .. } => {}
+                // Cookie exemptions live on the ingress gate, not the
+                // engine; scale-out is control-plane. Neither builds an
+                // engine layer.
+                Defense::Cookie { .. } | Defense::ScaleOut { .. } => {}
             }
         }
         engines
@@ -704,6 +757,11 @@ impl DefensePlan {
             sim.set_ingress_defense(addr, Box::new(engine));
         }
         for d in &self.defenses {
+            if let Defense::Cookie { target, secret } = d {
+                // The engines above installed the gate; validation
+                // guarantees one exists for this target.
+                sim.set_ingress_cookie_secret(*target, Some(*secret));
+            }
             if let Defense::ScaleOut {
                 target,
                 at,
@@ -837,6 +895,10 @@ fn defense_json(d: &Defense) -> String {
             s.push('}');
             s
         }
+        Defense::Cookie { target, secret } => format!(
+            "{{\"kind\":\"cookie\",\"target\":{},\"secret\":{}}}",
+            target.0, secret
+        ),
         Defense::ScaleOut {
             target,
             at,
@@ -1008,6 +1070,10 @@ fn defense_from_json(obj: &str) -> Result<Defense, String> {
                 classifier,
             })
         }
+        "cookie" => Ok(Defense::Cookie {
+            target: Addr(find_u64(&fields, "target")? as u32),
+            secret: find_u64(&fields, "secret")?,
+        }),
         "scale_out" => Ok(Defense::ScaleOut {
             target: Addr(find_u64(&fields, "target")? as u32),
             at: SimTime::from_nanos(find_u64(&fields, "at_ns")?),
@@ -1062,6 +1128,7 @@ mod tests {
                 Defense::scale_out(Addr(0xc612_0001), t(60), d(300), 3.0)
                     .joining(vec![NodeId(7), NodeId(8)]),
             )
+            .with(Defense::cookie(Addr(0x0a00_0001), 0x5eed_c001))
     }
 
     #[test]
@@ -1166,6 +1233,30 @@ mod tests {
         let mut sim = Simulator::new(1);
         let invalid = DefensePlan::new().with(Defense::rrl(Addr(1), RrlConfig::drop_at(-1.0)));
         assert!(invalid.schedule(&mut sim).is_err());
+    }
+
+    #[test]
+    fn cookie_without_a_gate_is_rejected() {
+        let lone = DefensePlan::new().with(Defense::cookie(Addr(1), 7));
+        match lone.validate() {
+            Err((0, DefenseError::CookieWithoutGate(a))) => assert_eq!(a, Addr(1)),
+            other => panic!("expected cookie-without-gate error, got {other:?}"),
+        }
+        // A gate at a *different* target does not satisfy the check.
+        let elsewhere = DefensePlan::new()
+            .with(Defense::rrl(Addr(2), RrlConfig::drop_at(5.0)))
+            .with(Defense::cookie(Addr(1), 7));
+        assert!(elsewhere.validate().is_err());
+        // The gate may come later in the plan than the cookie.
+        let reordered =
+            DefensePlan::new()
+                .with(Defense::cookie(Addr(1), 7))
+                .with(Defense::admission(
+                    Addr(1),
+                    ClassedQueueConfig::protective(1_000.0),
+                    ClassifierKind::History { cutoff: t(60) },
+                ));
+        assert!(reordered.validate().is_ok());
     }
 
     #[test]
@@ -1350,6 +1441,83 @@ mod tests {
         assert!(tc > 10, "every 2nd limited query slips: tc={tc}");
         assert_eq!(report.rrl_slipped, tc);
         assert!(report.rrl_slipped <= report.rrl_limited);
+    }
+
+    /// Like `Chatter` but every query carries a complete, valid DNS
+    /// cookie for `target` minted with `secret`.
+    struct CookieChatter {
+        target: Addr,
+        secret: u64,
+        full: Arc<Mutex<u64>>,
+        interval: SimDuration,
+        remaining: u32,
+    }
+    impl Node for CookieChatter {
+        fn on_start(&mut self, ctx: &mut Context<'_>) {
+            ctx.set_timer(self.interval, TimerToken(0));
+        }
+        fn on_datagram(
+            &mut self,
+            _ctx: &mut Context<'_>,
+            _src: Addr,
+            msg: &Message,
+            _wire_len: usize,
+        ) {
+            if msg.is_response && !msg.truncated {
+                *self.full.lock() += 1;
+            }
+        }
+        fn on_timer(&mut self, ctx: &mut Context<'_>, _token: TimerToken) {
+            let mut q = Message::query(1, Name::parse("x.nl").unwrap(), RecordType::A);
+            let client = dike_wire::cookie::client_cookie_for(ctx.self_addr().0, self.target.0);
+            let server = dike_wire::cookie::server_cookie(&client, ctx.self_addr().0, self.secret);
+            dike_wire::cookie::set_cookie(
+                &mut q,
+                1232,
+                &dike_wire::Cookie {
+                    client,
+                    server: Some(server.to_vec()),
+                },
+            );
+            ctx.send(self.target, &q);
+            if self.remaining > 0 {
+                self.remaining -= 1;
+                ctx.set_timer(self.interval, TimerToken(0));
+            }
+        }
+    }
+
+    #[test]
+    fn valid_cookies_are_exempt_from_rrl() {
+        let secret = 0xfeed_beef;
+        let mut sim = Simulator::new(11);
+        *sim.links_mut() = LinkTable::new(LinkParams {
+            latency: LatencyModel::Fixed(SimDuration::from_millis(10)),
+            loss: 0.0,
+        });
+        let (_, echo_addr) = sim.add_node(Box::new(Echo));
+        let full = Arc::new(Mutex::new(0));
+        // 10 qps against a 2 qps limit would thin an ordinary source to
+        // ~1/5 (see rrl_drop_thins_an_over_rate_source); a cookie-bearing
+        // source sails through untouched.
+        sim.add_node(Box::new(CookieChatter {
+            target: echo_addr,
+            secret,
+            full: full.clone(),
+            interval: SimDuration::from_millis(100),
+            remaining: 99,
+        }));
+        DefensePlan::new()
+            .with(Defense::rrl(echo_addr, RrlConfig::drop_at(2.0)))
+            .with(Defense::cookie(echo_addr, secret))
+            .schedule(&mut sim)
+            .unwrap();
+        sim.run_until_idle();
+        let report = sim.audit();
+        report.assert_clean();
+        assert_eq!(*full.lock(), 100, "every cookie query is answered");
+        assert_eq!(report.rrl_limited, 0);
+        assert_eq!(sim.defense_ledger().cookie_exempt, 100);
     }
 
     #[test]

@@ -1,0 +1,482 @@
+//! TCP fallback and DNS cookies under the Table-4 flood: making the
+//! slip path honest, and attackable.
+//!
+//! The §7 comparison treats an RRL slip (a TC=1 answer) as a free pass:
+//! the paper's resolvers "retry over TCP" by assumption. This module
+//! closes the loop with the simulated connection transport — slips only
+//! help if the resolver actually dials, pays the handshake RTT, and the
+//! server has a connection slot free — and adds the RFC 7873 cookie
+//! alternative, where a validated cookie exempts a legitimate resolver
+//! from RRL entirely so no retry is needed at all.
+//!
+//! Three defended arms bracket the design space, with an undefended
+//! baseline and a connection-table exhaustion variant to make the TCP
+//! path's own attack surface measurable:
+//!
+//! * `rrl-drop` — silent drops; legitimate resolvers caught by the
+//!   limiter lose queries (the §7 collateral).
+//! * `rrl-slip+tcp` — TC=1 slips plus a real TC=1 → TCP retry path at
+//!   every resolver; recovery costs a handshake and a connection slot.
+//! * `rrl-slip+tcp` under SYN-hogging — the same arm while hog nodes
+//!   keep the authoritatives' connection tables full: handshakes are
+//!   shed with RST (graceful — UDP service is untouched), so slipped
+//!   queries go back to being losses.
+//! * `cookies` — drop-mode RRL with a cookie exemption: resolvers that
+//!   learned a server cookie bypass the limiter, spoofed sources (which
+//!   cannot complete the cookie exchange) are suppressed entirely.
+
+use std::sync::Arc;
+
+use dike_defense::{Defense, DefensePlan, RrlConfig};
+use dike_netsim::{
+    Addr, Context, Node, SimDuration, SimTime, Simulator, TcpConfig, TcpConnId, TimerToken,
+};
+use dike_stats::timeseries::outcome_timeseries;
+use dike_telemetry::TelemetryConfig;
+use parking_lot::Mutex;
+use serde::{Deserialize, Serialize};
+
+use crate::defense::{SpoofedFlood, SpoofedStats};
+use crate::setup::{run_experiment, AttackPlan, AttackScope, ExperimentSetup};
+
+/// The cookie secret the comparison arms share between the
+/// authoritatives (minting) and the ingress gates (validation).
+pub const COOKIE_SECRET: u64 = 0x7873_c00c_1e5e_c4e7;
+
+// ---------------------------------------------------------------------
+// The connection-table exhaustion attack
+// ---------------------------------------------------------------------
+
+/// A TCP connection-table exhaustion attack: hog nodes dial the
+/// authoritatives and hold every connection they win until the server's
+/// idle reaper closes it, re-dialing continuously. With
+/// `conns_per_sec × idle_timeout ≥ table_capacity` the table stays full
+/// and legitimate TCP retries are shed with RST.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TcpExhaustion {
+    /// Sustained connection attempts per second per target.
+    pub conns_per_sec: f64,
+    /// Minutes after start when the hogs begin dialing.
+    pub start_min: u64,
+    /// Attack duration in minutes.
+    pub duration_min: u64,
+}
+
+impl TcpExhaustion {
+    /// An exhaustion attack aligned with an attack window.
+    pub fn aligned_with(attack: &AttackPlan, conns_per_sec: f64) -> TcpExhaustion {
+        TcpExhaustion {
+            conns_per_sec,
+            start_min: attack.start_min,
+            duration_min: attack.duration_min,
+        }
+    }
+}
+
+/// What the hog fleet saw.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ExhaustionStats {
+    /// Connections dialed.
+    pub dialed: u64,
+    /// Handshakes that completed (slots won and held).
+    pub established: u64,
+    /// Dials refused or torn down with RST (table full, or the server's
+    /// crash handling).
+    pub refused: u64,
+}
+
+/// One hog: timer-paced dials against a single target, holding every
+/// established connection (the server's idle reaper is the only thing
+/// that frees the slot). Deterministic — no RNG.
+struct TcpHog {
+    target: Addr,
+    first_fire: SimDuration,
+    interval: SimDuration,
+    end: SimTime,
+    stats: Arc<Mutex<ExhaustionStats>>,
+}
+
+impl Node for TcpHog {
+    fn on_start(&mut self, ctx: &mut Context<'_>) {
+        ctx.set_timer(self.first_fire, TimerToken(0));
+    }
+
+    fn on_datagram(
+        &mut self,
+        _ctx: &mut Context<'_>,
+        _src: Addr,
+        _msg: &dike_wire::Message,
+        _len: usize,
+    ) {
+        // Hogs never send datagrams, so nothing legitimate arrives here.
+    }
+
+    fn on_timer(&mut self, ctx: &mut Context<'_>, _token: TimerToken) {
+        if ctx.now() >= self.end {
+            return;
+        }
+        ctx.tcp_connect(self.target);
+        self.stats.lock().dialed += 1;
+        ctx.set_timer(self.interval, TimerToken(0));
+    }
+
+    fn on_tcp_connected(&mut self, _ctx: &mut Context<'_>, _conn: TcpConnId, _peer: Addr) {
+        // Hold the slot: never send, never close.
+        self.stats.lock().established += 1;
+    }
+
+    fn on_tcp_closed(&mut self, _ctx: &mut Context<'_>, _conn: TcpConnId, reset: bool) {
+        if reset {
+            self.stats.lock().refused += 1;
+        }
+    }
+}
+
+/// Adds the hog fleet (one node per target) to a built world. Returns
+/// the shared tally; callers unwrap it after the simulator is dropped.
+pub(crate) fn install_tcp_exhaustion(
+    sim: &mut Simulator,
+    exhaustion: &TcpExhaustion,
+    targets: [Addr; 2],
+) -> Arc<Mutex<ExhaustionStats>> {
+    let stats = Arc::new(Mutex::new(ExhaustionStats::default()));
+    let start = SimDuration::from_mins(exhaustion.start_min);
+    let end = (start + SimDuration::from_mins(exhaustion.duration_min)).after_zero();
+    let interval = SimDuration::from_secs_f64(1.0 / exhaustion.conns_per_sec.max(0.001));
+    for (i, target) in targets.into_iter().enumerate() {
+        // Stagger the two hogs by half an interval so their dials
+        // interleave instead of pulsing together.
+        let stagger = SimDuration::from_nanos(interval.as_nanos() * i as u64 / 2);
+        sim.add_node(Box::new(TcpHog {
+            target,
+            first_fire: start + stagger,
+            interval,
+            end,
+            stats: stats.clone(),
+        }));
+    }
+    stats
+}
+
+// ---------------------------------------------------------------------
+// The comparison arms
+// ---------------------------------------------------------------------
+
+/// One arm of the `repro cookies` comparison.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum CookieArm {
+    /// No defense — the legit-success and amplification baseline.
+    Undefended,
+    /// Silent-drop RRL (the §7 collateral case).
+    RrlDrop,
+    /// Slip-2 RRL plus a real resolver TCP-retry path and listeners at
+    /// the authoritatives.
+    SlipTcp,
+    /// [`CookieArm::SlipTcp`] while hog nodes keep the connection
+    /// tables full.
+    SlipTcpExhausted,
+    /// Drop-mode RRL with an RFC 7873 cookie exemption.
+    Cookies,
+}
+
+/// All arms, in comparison-table order.
+pub const ALL_ARMS: [CookieArm; 5] = [
+    CookieArm::Undefended,
+    CookieArm::RrlDrop,
+    CookieArm::SlipTcp,
+    CookieArm::SlipTcpExhausted,
+    CookieArm::Cookies,
+];
+
+impl CookieArm {
+    /// The comparison-table label.
+    pub fn label(self) -> &'static str {
+        match self {
+            CookieArm::Undefended => "undefended",
+            CookieArm::RrlDrop => "rrl-drop",
+            CookieArm::SlipTcp => "rrl-slip+tcp",
+            CookieArm::SlipTcpExhausted => "rrl-slip+tcp (hogged)",
+            CookieArm::Cookies => "rrl-drop+cookies",
+        }
+    }
+}
+
+/// One row of the cookie comparison table.
+#[derive(Debug, Clone)]
+pub struct CookieRow {
+    /// Which arm.
+    pub arm: CookieArm,
+    /// Legitimate-client OK fraction during the attack window
+    /// (per-query weighted).
+    pub ok_during_attack: Option<f64>,
+    /// The spoofed fleet's tally.
+    pub spoofed: SpoofedStats,
+    /// RRL-limited queries (drop + slip).
+    pub rrl_limited: u64,
+    /// Limited queries answered TC=1.
+    pub rrl_slipped: u64,
+    /// Queries that bypassed the gate on a validated cookie.
+    pub cookie_exempt: u64,
+    /// TC=1 answers that triggered a resolver TCP retry.
+    pub tcp_fallbacks: u64,
+    /// TCP retries that produced a full answer.
+    pub tcp_answers: u64,
+    /// TCP retries that timed out or were reset.
+    pub tcp_failures: u64,
+    /// Connections the transport opened (handshakes completed).
+    pub tcp_opened: u64,
+    /// Handshakes the servers shed with RST (table full).
+    pub syn_refused: u64,
+    /// The hog fleet's tally, on the exhaustion arm.
+    pub exhaustion: Option<ExhaustionStats>,
+}
+
+/// The full three-way comparison (plus baseline and exhaustion arms).
+#[derive(Debug, Clone)]
+pub struct CookieComparison {
+    /// The scenario's attack (Experiment H's 90% loss window).
+    pub attack: AttackPlan,
+    /// The spoofed flood all arms share.
+    pub flood: SpoofedFlood,
+    /// The table capacity the TCP arms run with.
+    pub tcp: TcpConfig,
+    /// One row per [`ALL_ARMS`] entry, in order.
+    pub rows: Vec<CookieRow>,
+}
+
+/// The Experiment-H-style scenario every arm runs under, mirroring
+/// [`crate::defense::defense_setup`] so rows are comparable across the
+/// two repro targets.
+pub fn cookie_setup(arm: CookieArm, scale: f64, seed: u64) -> ExperimentSetup {
+    let attack = AttackPlan {
+        start_min: 60,
+        duration_min: 60,
+        loss: 0.9,
+        scope: AttackScope::BothNs,
+    };
+    let onset = SimDuration::from_mins(attack.start_min).after_zero();
+    let ns = crate::topology::ns_addrs();
+    let n_probes = ((9_200.0 * scale).round() as usize).max(10);
+    let mut setup = ExperimentSetup::new(n_probes, 1800);
+    setup.seed = seed;
+    setup.round_interval = SimDuration::from_mins(10);
+    setup.rounds = 18;
+    setup.total_duration = SimDuration::from_mins(180);
+    setup.first_round_spread = SimDuration::from_mins(8);
+    setup.round_jitter = SimDuration::from_mins(4);
+    setup.attack = Some(attack);
+    setup.spoofed_flood = Some(SpoofedFlood::aligned_with(&attack, 24, 10.0));
+    setup.telemetry = Some(TelemetryConfig::every_mins(10));
+
+    // Much tighter than the §7 presets' 0.1 qps: this comparison needs
+    // the collateral the paper worries about — legitimate aggregating
+    // resolvers caught by the limiter — so the drop/slip/cookie contrast
+    // is visible. At 0.002 qps a prefix gets its burst token and then
+    // roughly one answer every eight minutes; every recursive serving
+    // more than one client trips it during the attack.
+    let rrl = |slip: u32| {
+        let cfg = RrlConfig {
+            rate_qps: 0.002,
+            burst: 1.0,
+            slip,
+            prefix_bits: 32,
+        };
+        let mut plan = DefensePlan::new();
+        for t in ns {
+            plan.push(Defense::rrl(t, cfg).starting_at(onset));
+        }
+        plan
+    };
+    match arm {
+        CookieArm::Undefended => {}
+        CookieArm::RrlDrop => setup.defense = Some(rrl(0)),
+        CookieArm::SlipTcp | CookieArm::SlipTcpExhausted => {
+            setup.defense = Some(rrl(2));
+            setup.tcp = Some(TcpConfig::default());
+            if arm == CookieArm::SlipTcpExhausted {
+                // 30 dials/sec against a 64-slot table with a 10 s idle
+                // reaper: the hogs re-fill slots ~5× faster than the
+                // reaper frees them.
+                setup.tcp_exhaustion = Some(TcpExhaustion::aligned_with(&attack, 30.0));
+            }
+        }
+        CookieArm::Cookies => {
+            let mut plan = rrl(0);
+            for t in ns {
+                plan.push(Defense::cookie(t, COOKIE_SECRET));
+            }
+            setup.defense = Some(plan);
+            setup.cookie_secret = Some(COOKIE_SECRET);
+        }
+    }
+    setup
+}
+
+/// Runs one arm and derives its comparison row.
+pub fn run_cookie_case(arm: CookieArm, scale: f64, seed: u64) -> CookieRow {
+    let setup = cookie_setup(arm, scale, seed);
+    let attack = setup.attack.expect("cookie_setup always attacks");
+    let out = run_experiment(&setup);
+
+    let bins = outcome_timeseries(&out.log, SimDuration::from_mins(10));
+    let (ok, total) = bins
+        .iter()
+        .filter(|b| {
+            b.start_min >= attack.start_min && b.start_min < attack.start_min + attack.duration_min
+        })
+        .fold((0usize, 0usize), |(ok, total), b| {
+            (ok + b.ok, total + b.total())
+        });
+    let ok_during_attack = (total > 0).then(|| ok as f64 / total as f64);
+
+    let reg = out.metrics.as_ref().expect("cookie_setup sets telemetry");
+    let counter = |name: &str| reg.counter_total("netsim", None, name).unwrap_or(0);
+    CookieRow {
+        arm,
+        ok_during_attack,
+        spoofed: out.spoofed.unwrap_or_default(),
+        rrl_limited: counter("rrl_limited"),
+        rrl_slipped: counter("rrl_slipped"),
+        cookie_exempt: counter("cookie_exempt"),
+        tcp_fallbacks: reg.counter_sum("resolver", "tcp_fallbacks"),
+        tcp_answers: reg.counter_sum("resolver", "tcp_answers"),
+        tcp_failures: reg.counter_sum("resolver", "tcp_failures"),
+        tcp_opened: counter("tcp_conns_opened"),
+        syn_refused: counter("tcp_syn_refused"),
+        exhaustion: out.exhaustion,
+    }
+}
+
+/// Runs every arm under the identical scenario and seed.
+pub fn run_cookie_comparison(scale: f64, seed: u64) -> CookieComparison {
+    let probe = cookie_setup(CookieArm::SlipTcp, scale, seed);
+    CookieComparison {
+        attack: probe.attack.unwrap(),
+        flood: probe.spoofed_flood.unwrap(),
+        tcp: probe.tcp.unwrap(),
+        rows: ALL_ARMS
+            .into_iter()
+            .map(|arm| run_cookie_case(arm, scale, seed))
+            .collect(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn arm_setups_are_internally_consistent() {
+        for arm in ALL_ARMS {
+            let setup = cookie_setup(arm, 0.01, 7);
+            if let Some(plan) = &setup.defense {
+                plan.validate().expect("arm plans validate");
+            }
+            match arm {
+                CookieArm::Undefended => assert!(setup.defense.is_none()),
+                CookieArm::RrlDrop => assert!(setup.tcp.is_none()),
+                CookieArm::SlipTcp => {
+                    assert!(setup.tcp.is_some());
+                    assert!(setup.tcp_exhaustion.is_none());
+                }
+                CookieArm::SlipTcpExhausted => {
+                    assert!(setup.tcp.is_some());
+                    assert!(setup.tcp_exhaustion.is_some());
+                }
+                CookieArm::Cookies => {
+                    assert_eq!(setup.cookie_secret, Some(COOKIE_SECRET));
+                    assert!(setup.tcp.is_none());
+                }
+            }
+        }
+    }
+
+    /// The acceptance contract at reduced scale, all three ways:
+    ///
+    /// * slip+TCP recovers legitimate success relative to silent drops
+    ///   while the connection table has headroom;
+    /// * exhaustion degrades the TCP path (refused handshakes, failed
+    ///   retries) without touching UDP service;
+    /// * cookies hold legitimate success at the undefended level while
+    ///   suppressing the spoofed fleet's served volume entirely.
+    #[test]
+    #[ignore = "debugging aid: dumps every arm's row"]
+    fn dump_rows() {
+        for arm in ALL_ARMS {
+            let row = run_cookie_case(arm, 0.012, 29);
+            println!("{:?}", row);
+        }
+    }
+
+    #[test]
+    fn three_way_comparison_meets_the_acceptance_contract() {
+        let cmp = run_cookie_comparison(0.012, 29);
+        let row = |arm: CookieArm| {
+            cmp.rows
+                .iter()
+                .find(|r| r.arm == arm)
+                .expect("all arms present")
+        };
+        let undefended = row(CookieArm::Undefended);
+        let drop = row(CookieArm::RrlDrop);
+        let slip = row(CookieArm::SlipTcp);
+        let hogged = row(CookieArm::SlipTcpExhausted);
+        let cookies = row(CookieArm::Cookies);
+        let ok = |r: &CookieRow| r.ok_during_attack.expect("attack rounds have traffic");
+
+        // The TCP path actually runs: slips trigger dials, dials earn
+        // full answers, and legit success beats silent drops.
+        assert!(slip.tcp_fallbacks > 0, "slips must trigger TCP retries");
+        assert!(slip.tcp_answers > 0, "TCP retries must earn answers");
+        assert!(
+            ok(slip) > ok(drop),
+            "slip+TCP recovers what drops lose: {} vs {}",
+            ok(slip),
+            ok(drop)
+        );
+
+        // Exhaustion: the hogs keep the table full, so handshakes shed
+        // and TCP recovery degrades — but UDP service is no worse than
+        // the same arm without hogs would leave it (the drop floor).
+        assert!(hogged.syn_refused > 0, "full tables shed SYNs with RST");
+        assert!(
+            hogged.exhaustion.expect("hog fleet ran").refused > 0,
+            "hogs themselves get refused once the table is full"
+        );
+        assert!(
+            hogged.tcp_answers < slip.tcp_answers,
+            "exhaustion must cut TCP recovery: {} vs {}",
+            hogged.tcp_answers,
+            slip.tcp_answers
+        );
+        assert!(
+            ok(hogged) >= ok(drop) - 0.02,
+            "UDP service survives exhaustion: {} vs drop floor {}",
+            ok(hogged),
+            ok(drop)
+        );
+
+        // Cookies: legitimate success within half a point of undefended,
+        // spoofed served volume suppressed to the gate's floor (every
+        // fresh bucket spends its one burst token before limiting, so
+        // literal zero is impossible by construction — ≥99.5% of the
+        // undefended served volume must be refused).
+        assert!(
+            ok(cookies) >= ok(undefended) - 0.005,
+            "cookies keep legit success at the undefended level: {} vs {}",
+            ok(cookies),
+            ok(undefended)
+        );
+        assert!(cookies.cookie_exempt > 0, "the exemption must fire");
+        assert!(
+            undefended.spoofed.full_answers > 0,
+            "undefended server amplifies"
+        );
+        assert!(
+            (cookies.spoofed.full_answers as f64) < 0.005 * undefended.spoofed.full_answers as f64,
+            "spoofed sources cannot complete the cookie exchange: {} vs {}",
+            cookies.spoofed.full_answers,
+            undefended.spoofed.full_answers
+        );
+    }
+}

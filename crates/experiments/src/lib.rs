@@ -27,6 +27,7 @@
 //! ```
 
 pub mod baseline;
+pub mod cookies;
 pub mod ddos;
 pub mod defense;
 pub mod degraded;

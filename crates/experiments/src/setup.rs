@@ -13,6 +13,7 @@ use dike_stats::server_view::ServerView;
 use dike_stub::ProbeLog;
 use dike_telemetry::{MetricsRegistry, TelemetryConfig};
 
+use crate::cookies::{install_tcp_exhaustion, ExhaustionStats, TcpExhaustion};
 use crate::defense::{
     install_late_wave, install_spoofed_flood, LateResolverWave, SpoofedFlood, SpoofedStats,
 };
@@ -122,6 +123,20 @@ pub struct ExperimentSetup {
     /// onset — the population history-based classifiers misfile as
     /// unknown. Tally in [`ExperimentOutput::late`].
     pub late_wave: Option<LateResolverWave>,
+    /// Install TCP listeners (with this config) at all four hierarchy
+    /// servers and give every recursive an RFC 7766 TC=1 → TCP retry
+    /// path. `None` keeps the pure-UDP world (and its pinned digest).
+    pub tcp: Option<dike_netsim::TcpConfig>,
+    /// Arm RFC 7873 DNS cookies end to end: authoritatives mint server
+    /// cookies with this secret and every recursive attaches cookies to
+    /// upstream queries. Pair with a `Defense::cookie` layer in
+    /// [`ExperimentSetup::defense`] to exempt cookie-validated queries
+    /// from RRL.
+    pub cookie_secret: Option<u64>,
+    /// A TCP connection-table exhaustion attack against the two
+    /// cachetest.nl authoritatives: hog nodes that open connections and
+    /// hold them. Tally in [`ExperimentOutput::exhaustion`].
+    pub tcp_exhaustion: Option<TcpExhaustion>,
     /// Run the simulator's invariant auditor at the end of the run and
     /// panic on violations (datagram conservation, timer hygiene,
     /// crash/restart pairing). Also enabled by the `DIKE_AUDIT`
@@ -152,6 +167,9 @@ impl ExperimentSetup {
             defense: None,
             spoofed_flood: None,
             late_wave: None,
+            tcp: None,
+            cookie_secret: None,
+            tcp_exhaustion: None,
             audit: false,
         }
     }
@@ -195,6 +213,9 @@ pub struct ExperimentOutput {
     /// The late legitimate wave's tally, present when
     /// [`ExperimentSetup::late_wave`] was set.
     pub late: Option<SpoofedStats>,
+    /// The connection-hog fleet's tally, present when
+    /// [`ExperimentSetup::tcp_exhaustion`] was set.
+    pub exhaustion: Option<ExhaustionStats>,
 }
 
 /// Runs one experiment to completion.
@@ -210,8 +231,19 @@ pub fn run_experiment(setup: &ExperimentSetup) -> ExperimentOutput {
         rounds: setup.rounds,
         population_seed: setup.population_seed,
         regional_latency: setup.regional_latency,
+        resolver_tcp_fallback: setup.tcp.is_some(),
+        cookie_secret: setup.cookie_secret,
     };
     let topo = topology::build(&mut sim, &build);
+
+    // The TCP fallback path needs listeners at every hierarchy server;
+    // installing none keeps the pure-UDP world (and its pinned digest)
+    // untouched.
+    if let Some(tcp_cfg) = setup.tcp {
+        for addr in [topo.root, topo.nl, topo.ns[0], topo.ns[1]] {
+            sim.set_tcp_listener(addr, tcp_cfg);
+        }
+    }
 
     // Optional telemetry: snapshot every node's counters on sim-time
     // boundaries; label the servers the analysis will look up by name.
@@ -306,6 +338,11 @@ pub fn run_experiment(setup: &ExperimentSetup) -> ExperimentOutput {
         .as_ref()
         .map(|wave| install_late_wave(&mut sim, wave, topo.ns));
 
+    let exhaustion_handle = setup
+        .tcp_exhaustion
+        .as_ref()
+        .map(|ex| install_tcp_exhaustion(&mut sim, ex, topo.ns));
+
     sim.run_until(setup.total_duration.after_zero());
     if audit_enabled(setup) {
         sim.audit().assert_clean();
@@ -335,6 +372,11 @@ pub fn run_experiment(setup: &ExperimentSetup) -> ExperimentOutput {
             .expect("simulator dropped, late-wave tally has one owner")
             .into_inner()
     });
+    let exhaustion = exhaustion_handle.map(|h| {
+        Arc::try_unwrap(h)
+            .expect("simulator dropped, hog tally has one owner")
+            .into_inner()
+    });
     let n_vps = topo.vps.len();
     ExperimentOutput {
         log,
@@ -348,6 +390,7 @@ pub fn run_experiment(setup: &ExperimentSetup) -> ExperimentOutput {
         perf,
         spoofed,
         late,
+        exhaustion,
     }
 }
 

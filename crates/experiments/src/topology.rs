@@ -89,6 +89,18 @@ pub struct BuildConfig {
     /// spread, paper §3.2), installed as per-pair link overrides between
     /// the probe and its recursives.
     pub regional_latency: bool,
+    /// Give every recursive resolver an RFC 7766 TCP-retry path: a TC=1
+    /// answer (an RRL slip) re-asks the same server over a simulated
+    /// connection instead of burning a UDP retry. Off by default — the
+    /// TCP machinery draws no randomness and schedules no events until a
+    /// resolver actually dials, so the UDP-only digest is unchanged.
+    pub resolver_tcp_fallback: bool,
+    /// Arm RFC 7873 DNS cookies end to end: the authoritatives mint
+    /// server cookies with this secret, and every recursive attaches its
+    /// (learned or client-only) cookie to upstream queries. Gate-side
+    /// exemption is separate — a `Defense::cookie` layer with the same
+    /// secret.
+    pub cookie_secret: Option<u64>,
 }
 
 fn v4(addr: Addr) -> Ipv4Addr {
@@ -112,6 +124,17 @@ fn soa_for(origin: &Name) -> SoaData {
 /// Adds the three-level hierarchy (root, `nl`, two `cachetest.nl`
 /// servers) as the first four nodes. Returns `(root, nl, [ns1, ns2])`.
 pub fn add_hierarchy(sim: &mut Simulator, ttl: u32) -> (Addr, Addr, [Addr; 2]) {
+    add_hierarchy_with(sim, ttl, None)
+}
+
+/// [`add_hierarchy`] with RFC 7873 cookie minting armed at every server
+/// when `cookie_secret` is set (a no-op for queries without a client
+/// cookie, so UDP-only runs stay byte-identical).
+pub fn add_hierarchy_with(
+    sim: &mut Simulator,
+    ttl: u32,
+    cookie_secret: Option<u64>,
+) -> (Addr, Addr, [Addr; 2]) {
     let base = sim.next_addr().0;
     let root_addr = Addr(base);
     let nl_addr = Addr(base + 1);
@@ -150,14 +173,20 @@ pub fn add_hierarchy(sim: &mut Simulator, ttl: u32) -> (Addr, Addr, [Addr; 2]) {
         nl_zone.add(Record::new(ns, 3_600, RData::A(v4(*a))));
     }
 
-    let (_, root) = sim.add_node(Box::new(AuthServer::new().with_zone(Box::new(root_zone))));
-    let (_, nl_a) = sim.add_node(Box::new(AuthServer::new().with_zone(Box::new(nl_zone))));
-    let (_, ns1) = sim.add_node(Box::new(AuthServer::new().with_zone(Box::new(
-        CacheTestZone::new(ttl, &[v4(ns1_addr), v4(ns2_addr)]),
-    ))));
-    let (_, ns2) = sim.add_node(Box::new(AuthServer::new().with_zone(Box::new(
-        CacheTestZone::new(ttl, &[v4(ns1_addr), v4(ns2_addr)]),
-    ))));
+    let auth = || match cookie_secret {
+        Some(s) => AuthServer::new().with_cookie_secret(s),
+        None => AuthServer::new(),
+    };
+    let (_, root) = sim.add_node(Box::new(auth().with_zone(Box::new(root_zone))));
+    let (_, nl_a) = sim.add_node(Box::new(auth().with_zone(Box::new(nl_zone))));
+    let (_, ns1) = sim.add_node(Box::new(auth().with_zone(Box::new(CacheTestZone::new(
+        ttl,
+        &[v4(ns1_addr), v4(ns2_addr)],
+    )))));
+    let (_, ns2) = sim.add_node(Box::new(auth().with_zone(Box::new(CacheTestZone::new(
+        ttl,
+        &[v4(ns1_addr), v4(ns2_addr)],
+    )))));
     debug_assert_eq!(
         (root, nl_a, ns1, ns2),
         (root_addr, nl_addr, ns1_addr, ns2_addr)
@@ -168,8 +197,20 @@ pub fn add_hierarchy(sim: &mut Simulator, ttl: u32) -> (Addr, Addr, [Addr; 2]) {
 /// Builds the whole measurement world into `sim`.
 pub fn build(sim: &mut Simulator, cfg: &BuildConfig) -> Topology {
     let mut rng = SmallRng::seed_from_u64(cfg.population_seed);
-    let (root, nl, ns) = add_hierarchy(sim, cfg.ttl);
+    let (root, nl, ns) = add_hierarchy_with(sim, cfg.ttl, cfg.cookie_secret);
     let roots = vec![root];
+
+    // Transport knobs applied uniformly to every recursive in the
+    // population (no-ops in config → identical behavior when off).
+    let transport = |mut rc: dike_resolver::ResolverConfig| {
+        if cfg.resolver_tcp_fallback {
+            rc.tcp_fallback = Some(dike_resolver::TcpFallbackPolicy::default());
+        }
+        if cfg.cookie_secret.is_some() {
+            rc.use_cookies = true;
+        }
+        rc
+    };
 
     // --- Public farms: backends first (iterative), then frontends. ---
     let mut google_backends = Vec::new();
@@ -185,14 +226,14 @@ pub fn build(sim: &mut Simulator, cfg: &BuildConfig) -> Topology {
             if serve_stale {
                 rc = profiles::with_serve_stale(rc);
             }
-            let (_, addr) = sim.add_node(Box::new(RecursiveResolver::new(rc)));
+            let (_, addr) = sim.add_node(Box::new(RecursiveResolver::new(transport(rc))));
             backends.push(addr);
         }
         let mut frontends = Vec::new();
         for _ in 0..cfg.mix.farm_frontends {
-            let (_, addr) = sim.add_node(Box::new(RecursiveResolver::new(
+            let (_, addr) = sim.add_node(Box::new(RecursiveResolver::new(transport(
                 profiles::farm_frontend(backends.clone()),
-            )));
+            ))));
             frontends.push(addr);
         }
         if farm == 0 {
@@ -230,7 +271,7 @@ pub fn build(sim: &mut Simulator, cfg: &BuildConfig) -> Topology {
         if rng.random_range(0.0..1.0) < cfg.mix.isp_flush_share {
             rc.flush_interval = Some(SimDuration::from_secs(rng.random_range(1_800..3_600)));
         }
-        let (_, addr) = sim.add_node(Box::new(RecursiveResolver::new(rc)));
+        let (_, addr) = sim.add_node(Box::new(RecursiveResolver::new(transport(rc))));
         isp_addrs.push(addr);
     }
 
@@ -241,8 +282,8 @@ pub fn build(sim: &mut Simulator, cfg: &BuildConfig) -> Topology {
         .max(1.0) as usize;
     let mut capper_addrs = Vec::with_capacity(capper_count);
     for _ in 0..capper_count {
-        let (_, addr) = sim.add_node(Box::new(RecursiveResolver::new(profiles::ttl_capper(
-            roots.clone(),
+        let (_, addr) = sim.add_node(Box::new(RecursiveResolver::new(transport(
+            profiles::ttl_capper(roots.clone()),
         ))));
         capper_addrs.push(addr);
     }
@@ -291,9 +332,9 @@ pub fn build(sim: &mut Simulator, cfg: &BuildConfig) -> Topology {
                         upstreams.push(up);
                     }
                     upstreams.dedup();
-                    let (_, addr) = sim.add_node(Box::new(RecursiveResolver::new(
+                    let (_, addr) = sim.add_node(Box::new(RecursiveResolver::new(transport(
                         profiles::home_router(upstreams),
-                    )));
+                    ))));
                     addr
                 }
             };
@@ -375,6 +416,8 @@ mod tests {
             rounds: 3,
             population_seed: 7,
             regional_latency: true,
+            resolver_tcp_fallback: false,
+            cookie_secret: None,
         }
     }
 

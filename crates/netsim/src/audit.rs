@@ -28,6 +28,10 @@
 //!    exactly `len()` entries, every slot entry files under the
 //!    level/slot its time dictates, and the ready run is sorted (see
 //!    [`crate::event::EventWheel::audit`]).
+//! 7. **Connection conservation** — every TCP connection ever dialed is
+//!    accounted for exactly once:
+//!    `opened = closed + reset + live` (see [`crate::tcp`]), with
+//!    refused SYNs a subset of resets.
 //!
 //! Auditing is pull-based and read-only: call it whenever you like (it is
 //! O(queue length)), typically after a run drains. The chaos harness
@@ -55,6 +59,8 @@ pub(crate) struct AuditInternals<'a> {
     pub(crate) rrl_slipped: u64,
     pub(crate) shed_by_class: [u64; 3],
     pub(crate) scaleout_activations: u64,
+    pub(crate) tcp: crate::tcp::TcpStats,
+    pub(crate) tcp_live: u64,
     pub(crate) queue: &'a EventQueue,
     pub(crate) allocated_timer_slots: u64,
     pub(crate) nodes_len: usize,
@@ -99,6 +105,14 @@ pub struct AuditReport {
     /// Scale-out provisioning actions that have fired (informational,
     /// like `queued_deliveries`; no invariant constrains it).
     pub scaleout_activations: u64,
+    /// Cumulative TCP transport counters — invariant 7 checks
+    /// `opened == closed + reset + live`.
+    pub tcp: crate::tcp::TcpStats,
+    /// TCP connections currently live (any state).
+    pub tcp_live: u64,
+    /// Pending TCP transport events (SYNs, deliveries, FINs, idle
+    /// probes) in the queue; informational.
+    pub pending_tcp: u64,
     /// Pending [`Event::Timer`] entries in the queue.
     pub pending_timers: u64,
     /// Entries pending in the event wheel, per its incremental count.
@@ -185,12 +199,19 @@ impl Simulator {
         report.rrl_slipped = st.rrl_slipped;
         report.shed_by_class = st.shed_by_class;
         report.scaleout_activations = st.scaleout_activations;
+        report.tcp = st.tcp;
+        report.tcp_live = st.tcp_live;
 
         for entry in st.queue.iter() {
             match &entry.event {
                 Event::Deliver(_) => report.in_flight += 1,
                 Event::DeliverQueued { .. } => report.queued_deliveries += 1,
                 Event::Timer { .. } => report.pending_timers += 1,
+                Event::TcpSyn { .. }
+                | Event::TcpOpen { .. }
+                | Event::TcpMsg { .. }
+                | Event::TcpFin { .. }
+                | Event::TcpIdle { .. } => report.pending_tcp += 1,
                 Event::NodeDown { .. } | Event::NodeUp { .. } | Event::Control(_) => {}
             }
         }
@@ -264,6 +285,21 @@ impl Simulator {
             report.violations.push(format!(
                 "wheel-slot conservation: len={} but scan found {} ({} misplaced)",
                 report.wheel_len, report.wheel_scanned, report.wheel_misplaced
+            ));
+        }
+        // Invariant 7: connection conservation — every dialed connection
+        // is closed, reset, or still live, exactly once.
+        let conn_accounted = report.tcp.closed + report.tcp.reset + report.tcp_live;
+        if report.tcp.opened != conn_accounted {
+            report.violations.push(format!(
+                "connection conservation: opened={} but closed+reset+live={}",
+                report.tcp.opened, conn_accounted
+            ));
+        }
+        if report.tcp.syn_refused > report.tcp.reset {
+            report.violations.push(format!(
+                "connection conservation: {} refused SYNs exceed {} resets",
+                report.tcp.syn_refused, report.tcp.reset
             ));
         }
         report

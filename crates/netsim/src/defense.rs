@@ -87,6 +87,11 @@ pub struct DefenseLedger {
     /// Queries shed by the admission scheduler, per class
     /// `[known, unknown, flagged]`.
     pub shed_by_class: [u64; QUEUE_CLASSES.len()],
+    /// Queries that bypassed the defense entirely because they carried a
+    /// valid RFC 7873 server cookie (return-routable source — see
+    /// [`IngressGate::with_cookie_secret`]). Not a drop: these were
+    /// delivered.
+    pub cookie_exempt: u64,
 }
 
 impl DefenseLedger {
@@ -98,6 +103,7 @@ impl DefenseLedger {
         for (a, b) in self.shed_by_class.iter_mut().zip(&other.shed_by_class) {
             *a += b;
         }
+        self.cookie_exempt += other.cookie_exempt;
     }
 }
 
@@ -133,6 +139,12 @@ pub struct IngressGate {
     defense: Box<dyn IngressDefense>,
     ledger: DefenseLedger,
     queue_delay: [Histogram; QUEUE_CLASSES.len()],
+    /// RFC 7873 server-cookie secret. When set, a query carrying a full
+    /// cookie that validates for its source address bypasses the defense
+    /// entirely (the source is return-routable, so rate-limiting it
+    /// defends against nothing), and slip responses complete the
+    /// client's cookie so its next query is exempt.
+    cookie_secret: Option<u64>,
 }
 
 impl IngressGate {
@@ -142,12 +154,41 @@ impl IngressGate {
             defense,
             ledger: DefenseLedger::default(),
             queue_delay: [Histogram::new(), Histogram::new(), Histogram::new()],
+            cookie_secret: None,
         }
+    }
+
+    /// Enables the RFC 7873 cookie-validation exemption: queries whose
+    /// cookie validates under `secret` for their source address skip the
+    /// wrapped defense (counted in [`DefenseLedger::cookie_exempt`]).
+    pub fn with_cookie_secret(mut self, secret: u64) -> Self {
+        self.cookie_secret = Some(secret);
+        self
+    }
+
+    /// Sets or clears the cookie-exemption secret on an installed gate.
+    pub fn set_cookie_secret(&mut self, secret: Option<u64>) {
+        self.cookie_secret = secret;
+    }
+
+    /// The configured cookie secret, if any.
+    pub fn cookie_secret(&self) -> Option<u64> {
+        self.cookie_secret
     }
 
     /// Runs one query through the defense, does the accounting, and
     /// says what the caller must do with it.
     pub fn on_query(&mut self, now: SimTime, src: Addr, msg: &Message) -> GateAction {
+        if let Some(secret) = self.cookie_secret {
+            if !msg.is_response {
+                if let Some(c) = dike_wire::cookie::cookie_of(msg) {
+                    if dike_wire::cookie::validate(&c, src.0, secret) {
+                        self.ledger.cookie_exempt += 1;
+                        return GateAction::Deliver;
+                    }
+                }
+            }
+        }
         match self.defense.on_query(now, src, msg) {
             IngressVerdict::Pass => GateAction::Deliver,
             IngressVerdict::Enqueue { delay, class } => {
@@ -173,6 +214,34 @@ impl IngressGate {
                 // sim and a live server send byte-identical slips.
                 let mut resp = Message::response_to(msg);
                 resp.truncated = true;
+                // Echo the client's OPT — EDNS size, cookie, every other
+                // option — so a fallback-capable client can tell the TCP
+                // retry is sanctioned (RFC 6891 §6.1.1: respond with OPT
+                // when the query carried one).
+                if let Some(opt) = msg
+                    .additionals
+                    .iter()
+                    .find(|r| r.rtype() == dike_wire::RecordType::OPT)
+                {
+                    resp.additionals.push(opt.clone());
+                    // Holding the secret, complete the cookie: the slip
+                    // doubles as the cookie handshake, and the client's
+                    // *next* query bypasses RRL (RFC 7873 §5.2.3).
+                    if let (Some(secret), Some(c)) =
+                        (self.cookie_secret, dike_wire::cookie::cookie_of(msg))
+                    {
+                        let full = dike_wire::Cookie {
+                            client: c.client,
+                            server: Some(
+                                dike_wire::cookie::server_cookie(&c.client, src.0, secret).to_vec(),
+                            ),
+                        };
+                        let size = msg
+                            .edns_payload_size()
+                            .unwrap_or(dike_wire::MAX_UDP_PAYLOAD as u16);
+                        dike_wire::cookie::set_cookie(&mut resp, size, &full);
+                    }
+                }
                 GateAction::Drop { slip: Some(resp) }
             }
         }
@@ -324,6 +393,7 @@ mod tests {
             rrl_limited: 2,
             rrl_slipped: 1,
             shed_by_class: [1, 0, 0],
+            cookie_exempt: 5,
         };
         let mut b = DefenseLedger::default();
         b.merge(&a);
@@ -332,5 +402,103 @@ mod tests {
         assert_eq!(b.rrl_limited, 4);
         assert_eq!(b.rrl_slipped, 2);
         assert_eq!(b.shed_by_class, [2, 0, 0]);
+        assert_eq!(b.cookie_exempt, 10);
+    }
+
+    #[test]
+    fn valid_cookie_bypasses_the_defense_entirely() {
+        use dike_wire::cookie;
+
+        const SECRET: u64 = 0x5eed;
+        let src = Addr(0x0a00_0007);
+        // A defense that would drop everything.
+        let mut gate = IngressGate::new(Box::new(Script(vec![IngressVerdict::RrlDrop; 3])))
+            .with_cookie_secret(SECRET);
+
+        // Full, valid cookie: exempt — the scripted RrlDrop is never
+        // consulted.
+        let mut exempt = query().with_edns(1232);
+        let client = cookie::client_cookie_for(src.0, 0x0a00_0001);
+        let full = cookie::Cookie {
+            client,
+            server: Some(cookie::server_cookie(&client, src.0, SECRET).to_vec()),
+        };
+        cookie::set_cookie(&mut exempt, 1232, &full);
+        assert!(matches!(
+            gate.on_query(SimTime::ZERO, src, &exempt),
+            GateAction::Deliver
+        ));
+        assert_eq!(gate.ledger().cookie_exempt, 1);
+        assert_eq!(gate.ledger().defense_drops, 0);
+
+        // Client-only cookie: not return-routable proof, defense applies.
+        let mut first_contact = query().with_edns(1232);
+        cookie::set_cookie(
+            &mut first_contact,
+            1232,
+            &cookie::Cookie::client_only(client),
+        );
+        assert!(matches!(
+            gate.on_query(SimTime::ZERO, src, &first_contact),
+            GateAction::Drop { slip: None }
+        ));
+
+        // Valid cookie from the *wrong* source address: spoofed, defense
+        // applies.
+        assert!(matches!(
+            gate.on_query(SimTime::ZERO, Addr(0x0a00_0008), &exempt),
+            GateAction::Drop { slip: None }
+        ));
+        assert_eq!(gate.ledger().cookie_exempt, 1);
+        assert_eq!(gate.ledger().defense_drops, 2);
+    }
+
+    #[test]
+    fn slip_echoes_the_clients_opt_and_completes_the_cookie() {
+        use dike_wire::cookie;
+
+        const SECRET: u64 = 0x1414;
+        let src = Addr(0x0a00_0009);
+        let mut gate = IngressGate::new(Box::new(Script(vec![IngressVerdict::RrlSlip])))
+            .with_cookie_secret(SECRET);
+
+        let mut q = Message::query(
+            0x1414,
+            Name::parse("1414.cachetest.nl").unwrap(),
+            RecordType::AAAA,
+        )
+        .with_edns(1232);
+        let client = cookie::client_cookie_for(src.0, 0x0a00_0001);
+        cookie::set_cookie(&mut q, 1232, &cookie::Cookie::client_only(client));
+
+        let GateAction::Drop { slip: Some(slip) } = gate.on_query(SimTime::ZERO, src, &q) else {
+            panic!("slip verdict must carry a response");
+        };
+        assert!(slip.truncated && slip.is_response);
+        assert_eq!(
+            slip.edns_payload_size(),
+            Some(1232),
+            "slip echoes the client's advertised payload size"
+        );
+        let echoed = cookie::cookie_of(&slip).expect("slip carries the cookie");
+        assert_eq!(echoed.client, client);
+        assert!(
+            cookie::validate(&echoed, src.0, SECRET),
+            "the slip completes the cookie so the next query is exempt"
+        );
+
+        // Regression pin: the slip's exact wire bytes. The sim and a live
+        // server synthesize slips through this one code path; these bytes
+        // are what a resolver's TCP-fallback (and cookie learning) logic
+        // keys off, so they must not drift silently.
+        let wire = dike_wire::codec::encode(&slip).unwrap();
+        let hex: String = wire.iter().map(|b| format!("{b:02x}")).collect();
+        assert_eq!(
+            hex,
+            // id=1414 · QR|TC|RD · one question (1414.cachetest.nl AAAA)
+            // · OPT size=1232 · COOKIE option: 8B client + 8B server.
+            "141483000001000000000001043134313409636163686574657374026e6c00001c000100002904d0\
+             000000000014000a0010cab79114c96e2ed259fc40d5765e3f00"
+        );
     }
 }

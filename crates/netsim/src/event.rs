@@ -82,6 +82,53 @@ pub enum Event {
     /// Scheduled world mutation — how attack scenarios flip loss filters
     /// mid-run without a node.
     Control(Box<dyn FnOnce(&mut World) + Send>),
+    /// A TCP SYN reaches the dialed address: the listener accepts (table
+    /// slot allocated, SYN-ACK scheduled), refuses (RST back), or — when
+    /// the server is down — stays silent. See [`crate::tcp`].
+    TcpSyn {
+        /// Connection id (see [`crate::tcp::TcpConnId`]).
+        conn: u64,
+    },
+    /// The SYN-ACK reaches the client: the connection is established and
+    /// [`crate::node::Node::on_tcp_connected`] runs.
+    TcpOpen {
+        /// Connection id.
+        conn: u64,
+    },
+    /// A message delivered over an established connection (already
+    /// encoded once for size accounting; TCP is modeled reliable, so no
+    /// loss filter applies — see DESIGN.md §5.8).
+    TcpMsg {
+        /// Connection id.
+        conn: u64,
+        /// The message, decoded exactly once at send time.
+        msg: Box<dike_wire::Message>,
+        /// Encoded payload size.
+        wire_len: usize,
+        /// Direction: client→server (true) or server→client (false).
+        to_server: bool,
+    },
+    /// A teardown notification (FIN or RST) reaching the surviving peer;
+    /// the connection record is already gone. `epoch` guards against
+    /// notifying a node that crashed and restarted in the meantime.
+    TcpFin {
+        /// Connection id (for the peer's bookkeeping only).
+        conn: u64,
+        /// The node to notify via `on_tcp_closed`.
+        notify: NodeId,
+        /// `notify`'s liveness epoch when the teardown was initiated.
+        epoch: u32,
+        /// RST (peer crashed / listener refused) vs graceful FIN.
+        reset: bool,
+    },
+    /// Idle-timeout probe: closes the connection iff no activity has been
+    /// recorded since `stamp` (each activity re-arms a fresh probe).
+    TcpIdle {
+        /// Connection id.
+        conn: u64,
+        /// The `last_activity` value this probe was armed against.
+        stamp: SimTime,
+    },
 }
 
 impl std::fmt::Debug for Event {
@@ -103,6 +150,18 @@ impl std::fmt::Debug for Event {
             Event::NodeDown { node } => write!(f, "NodeDown({node})"),
             Event::NodeUp { node, cold } => write!(f, "NodeUp({node}, cold={cold})"),
             Event::Control(_) => write!(f, "Control(..)"),
+            Event::TcpSyn { conn } => write!(f, "TcpSyn(conn={conn})"),
+            Event::TcpOpen { conn } => write!(f, "TcpOpen(conn={conn})"),
+            Event::TcpMsg {
+                conn, to_server, ..
+            } => write!(f, "TcpMsg(conn={conn}, to_server={to_server})"),
+            Event::TcpFin {
+                conn,
+                notify,
+                reset,
+                ..
+            } => write!(f, "TcpFin(conn={conn}, notify={notify}, reset={reset})"),
+            Event::TcpIdle { conn, .. } => write!(f, "TcpIdle(conn={conn})"),
         }
     }
 }
@@ -234,7 +293,11 @@ impl EventWheel {
             // Almost always the back: seqs grow monotonically, so a
             // same-window push during dispatch lands after everything
             // already queued for this window.
-            if self.ready.back().map_or(true, |last| (last.at, last.seq) <= key) {
+            if self
+                .ready
+                .back()
+                .map_or(true, |last| (last.at, last.seq) <= key)
+            {
                 self.ready.push_back(entry);
             } else {
                 let idx = self.ready.partition_point(|e| (e.at, e.seq) <= key);
@@ -320,8 +383,8 @@ impl EventWheel {
                 self.occupied[level] &= !(1u64 << idx);
                 // Cursor: digits above `level` keep, digit := idx, lower
                 // digits zero — the start of the drained slot's span.
-                self.cursor = ((((self.cursor >> shift) >> LEVEL_BITS) << LEVEL_BITS) | idx)
-                    << shift;
+                self.cursor =
+                    ((((self.cursor >> shift) >> LEVEL_BITS) << LEVEL_BITS) | idx) << shift;
                 let mut scratch = std::mem::take(&mut self.scratch);
                 scratch.append(&mut self.slots[level * SLOTS + idx as usize]);
                 if level == 0 {
@@ -456,7 +519,10 @@ mod tests {
         let delays_ns: Vec<u64> = (0..30).map(|i| 1u64 << (i + 10)).collect();
         let mut q = EventQueue::new();
         for (seq, &d) in delays_ns.iter().enumerate().rev() {
-            q.push(timer_entry(SimDuration::from_nanos(d).after_zero(), seq as u64));
+            q.push(timer_entry(
+                SimDuration::from_nanos(d).after_zero(),
+                seq as u64,
+            ));
         }
         let popped: Vec<u64> = std::iter::from_fn(|| q.pop())
             .map(|e| e.at.as_nanos())
@@ -473,10 +539,7 @@ mod tests {
         // the caller, and the caller may schedule sooner work).
         let mut q = EventQueue::new();
         q.push(timer_entry(SimDuration::from_millis(10).after_zero(), 0));
-        assert_eq!(
-            q.next_at(),
-            Some(SimDuration::from_millis(10).after_zero())
-        );
+        assert_eq!(q.next_at(), Some(SimDuration::from_millis(10).after_zero()));
         q.push(timer_entry(SimDuration::from_millis(3).after_zero(), 1));
         let order: Vec<u64> = std::iter::from_fn(|| q.pop()).map(|e| e.seq).collect();
         assert_eq!(order, vec![1, 0]);
@@ -506,7 +569,9 @@ mod tests {
         let mut seq = 0u64;
         let mut rng = 0x1234_5678_9abc_def0u64;
         let mut next = move || {
-            rng = rng.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            rng = rng
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             rng >> 33
         };
         let mut now = SimTime::ZERO;

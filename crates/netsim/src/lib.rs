@@ -61,6 +61,7 @@ mod node;
 pub mod queueing;
 pub mod service;
 mod sim;
+pub mod tcp;
 mod time;
 pub mod trace;
 pub mod trace_io;
@@ -70,7 +71,6 @@ pub use anycast::AnycastTable;
 pub use audit::AuditReport;
 pub use datagram::Datagram;
 pub use defense::{DefenseLedger, GateAction, IngressDefense, IngressGate, IngressVerdict};
-pub use service::{Clock, Transport};
 pub use dike_telemetry as telemetry;
 pub use link::{DegradeParams, GilbertElliott, LatencyModel, LinkParams, LinkTable};
 pub use node::{Context, Node, TimerId, TimerToken};
@@ -78,5 +78,7 @@ pub use queueing::{
     ClassedQueue, ClassedQueueConfig, QueueClass, QueueConfig, QueueOutcome, ServiceQueue,
     QUEUE_CLASSES,
 };
+pub use service::{Clock, Transport};
 pub use sim::{SimPerf, Simulator};
+pub use tcp::{TcpConfig, TcpConnId, TcpStats};
 pub use time::{SimDuration, SimTime};

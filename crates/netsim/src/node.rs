@@ -61,6 +61,35 @@ pub trait Node {
     /// A previously set (and not cancelled) timer fired.
     fn on_timer(&mut self, ctx: &mut Context<'_>, token: TimerToken);
 
+    /// A connection this node dialed with [`Context::tcp_connect`]
+    /// completed its handshake; the node may now [`Context::tcp_send`].
+    /// Default: no-op (UDP-only nodes never see TCP events).
+    fn on_tcp_connected(&mut self, ctx: &mut Context<'_>, conn: crate::tcp::TcpConnId, peer: Addr) {
+        let _ = (ctx, conn, peer);
+    }
+
+    /// A message arrived over an established connection. `peer` is the
+    /// remote address; `wire_len` is the encoded payload size (TCP
+    /// responses are never truncated, so it may exceed any UDP limit).
+    fn on_tcp_message(
+        &mut self,
+        ctx: &mut Context<'_>,
+        conn: crate::tcp::TcpConnId,
+        peer: Addr,
+        msg: &Message,
+        wire_len: usize,
+    ) {
+        let _ = (ctx, conn, peer, msg, wire_len);
+    }
+
+    /// The peer closed (or reset) a connection this node was party to.
+    /// `reset` distinguishes RST (refused handshake, peer crash) from a
+    /// graceful FIN (peer close, idle timeout). The node that *initiates*
+    /// a close never gets this hook — only the surviving peer does.
+    fn on_tcp_closed(&mut self, ctx: &mut Context<'_>, conn: crate::tcp::TcpConnId, reset: bool) {
+        let _ = (ctx, conn, reset);
+    }
+
     /// Publishes the node's current metric values into the attached
     /// telemetry registry. Called by the simulator at every sim-time
     /// snapshot boundary (never between events, never from wall clock).
@@ -239,5 +268,33 @@ impl<'a> Context<'a> {
     /// keep runs reproducible.
     pub fn rng(&mut self) -> &mut SmallRng {
         self.world.rng()
+    }
+
+    /// Opens a TCP connection to `dst` (a unicast listener address). The
+    /// SYN is in flight after this returns; the handshake completes at
+    /// [`Node::on_tcp_connected`] one RTT later, or fails via
+    /// [`Node::on_tcp_closed`] with `reset` when the listener refuses
+    /// (no listener, or connection table full). A dialed connection the
+    /// handshake never completes for must still be closed by this node
+    /// (connect-timeout path) — the simulator does not time out SYNs.
+    pub fn tcp_connect(&mut self, dst: Addr) -> crate::tcp::TcpConnId {
+        self.world.tcp_connect(self.node, self.addr, dst)
+    }
+
+    /// Sends `msg` over an established connection. Encoded once for size
+    /// accounting; delivery is reliable (no loss filter — see DESIGN.md
+    /// §5.8) after the sampled path delay plus, client→server, the
+    /// listener's per-connection service cost. Sending on a connection
+    /// that is gone or not yet established is a silent no-op, like
+    /// writing to a socket racing a close.
+    pub fn tcp_send(&mut self, conn: crate::tcp::TcpConnId, msg: &Message) {
+        self.world.tcp_send(self.node, conn, msg);
+    }
+
+    /// Closes a connection this node is party to. The peer learns via
+    /// [`Node::on_tcp_closed`] one path delay later; this node gets no
+    /// callback. Closing an already-gone connection is a no-op.
+    pub fn tcp_close(&mut self, conn: crate::tcp::TcpConnId) {
+        self.world.tcp_close(self.node, conn);
     }
 }

@@ -16,6 +16,7 @@ use crate::event::{Event, EventQueue, HeapEntry};
 use crate::link::LinkTable;
 use crate::node::{Context, Node, NodeHotState, TimerId, TimerSlab, TimerToken};
 use crate::queueing::{QueueConfig, QueueOutcome, ServiceQueue};
+use crate::tcp::{TcpConfig, TcpConn, TcpConnId, TcpConnState, TcpListener, TcpStats, TcpWorld};
 use crate::time::{SimDuration, SimTime};
 use crate::trace::{Disposition, SharedSink};
 
@@ -127,6 +128,10 @@ pub struct World {
     /// Struct-of-arrays per-node hot state: address, liveness, epoch,
     /// and traffic counters, dense-indexed by node id.
     nodes: NodeHotState,
+    /// Connection-oriented transport state (see [`crate::tcp`]). Empty
+    /// and untouched — no RNG, no events — until a listener is installed
+    /// or a node dials.
+    tcp: TcpWorld,
 }
 
 impl World {
@@ -254,6 +259,17 @@ impl World {
         }
     }
 
+    /// Sets (or clears) the RFC 7873 cookie-exemption secret on the
+    /// defense gate installed at `addr` (see
+    /// [`IngressGate::with_cookie_secret`]). Debug-asserts when no gate
+    /// is installed — defense plans install engines before secrets.
+    pub fn set_ingress_cookie_secret(&mut self, addr: Addr, secret: Option<u64>) {
+        match self.defense_mut(addr) {
+            Some(gate) => gate.set_cookie_secret(secret),
+            None => debug_assert!(false, "cookie secret on undefended address {addr}"),
+        }
+    }
+
     /// Mutable access to an installed defense gate (e.g. for a flood
     /// fault to consume its admission capacity, or scale-out to grow it).
     pub fn defense_mut(&mut self, addr: Addr) -> Option<&mut IngressGate> {
@@ -323,19 +339,253 @@ impl World {
         payload
     }
 
-    /// Queues a datagram: samples the path delay now, evaluates loss at
-    /// arrival (see [`Simulator::step`]). An installed link degrade
-    /// stretches the sampled delay by its latency factor — a congested
-    /// path is slow as well as lossy.
-    pub(crate) fn send_datagram(&mut self, src: Addr, dst: Addr, payload: Bytes) {
-        self.net.datagrams_sent += 1;
+    /// Samples the one-way path delay `src → dst`: the link's latency
+    /// model, stretched by any installed degrade's latency factor at the
+    /// destination — a congested path is slow as well as lossy.
+    fn path_delay(&mut self, src: Addr, dst: Addr) -> SimDuration {
         let mut delay = self.links.params(src, dst).latency.sample(&mut self.rng);
         let factor = self.links.latency_factor(dst);
         if factor != 1.0 {
             delay = SimDuration::from_nanos((delay.as_nanos() as f64 * factor) as u64);
         }
+        delay
+    }
+
+    /// Queues a datagram: samples the path delay now, evaluates loss at
+    /// arrival (see [`Simulator::step`]).
+    pub(crate) fn send_datagram(&mut self, src: Addr, dst: Addr, payload: Bytes) {
+        self.net.datagrams_sent += 1;
+        let delay = self.path_delay(src, dst);
         let at = self.now + delay;
         self.push(at, Event::Deliver(Datagram { src, dst, payload }));
+    }
+
+    /// Installs (or replaces) a TCP listener on `addr` (see
+    /// [`crate::tcp`]): the node behind it starts accepting connections,
+    /// bounded by `config.table_capacity`. Reinstalling keeps
+    /// currently-established connections — occupancy is recomputed from
+    /// the live table, not reset.
+    pub fn set_tcp_listener(&mut self, addr: Addr, config: TcpConfig) {
+        let Some(idx) = Self::unicast_index(addr) else {
+            debug_assert!(false, "tcp listener on non-unicast address {addr}");
+            return;
+        };
+        if idx >= self.tcp.listeners.len() {
+            self.tcp.listeners.resize_with(idx + 1, || None);
+        }
+        let open = self
+            .tcp
+            .conns
+            .values()
+            .filter(|c| c.state == TcpConnState::Established && c.server_addr == addr)
+            .count();
+        if self.tcp.listeners[idx]
+            .replace(TcpListener { config, open })
+            .is_none()
+        {
+            self.tcp.listener_count += 1;
+        }
+    }
+
+    /// The listener installed on `addr`, if any.
+    fn tcp_listener(&self, addr: Addr) -> Option<&TcpListener> {
+        Self::unicast_index(addr)
+            .and_then(|i| self.tcp.listeners.get(i))
+            .and_then(|slot| slot.as_ref())
+    }
+
+    /// Cumulative transport counters (see [`crate::tcp::TcpStats`]).
+    pub fn tcp_stats(&self) -> TcpStats {
+        self.tcp.stats
+    }
+
+    /// Connections currently live in any state (the auditor's `live`
+    /// term in `opened == closed + reset + live`).
+    pub fn tcp_conns_live(&self) -> u64 {
+        self.tcp.live()
+    }
+
+    /// Established connections currently holding a slot in `addr`'s
+    /// listener table. `None` when no listener is installed there.
+    pub fn tcp_listener_open(&self, addr: Addr) -> Option<usize> {
+        self.tcp_listener(addr).map(|l| l.open)
+    }
+
+    /// Dials `dst` from `client` (see [`Context::tcp_connect`]).
+    pub(crate) fn tcp_connect(
+        &mut self,
+        client: NodeId,
+        client_addr: Addr,
+        dst: Addr,
+    ) -> TcpConnId {
+        let id = self.tcp.next_conn;
+        self.tcp.next_conn += 1;
+        self.tcp.stats.opened += 1;
+        // Unicast only: TCP listeners bind one address, so a VIP dial
+        // resolves to no server and the SYN vanishes (dark address).
+        let server = self.node_at(dst);
+        self.tcp.conns.insert(
+            id,
+            TcpConn {
+                client,
+                client_addr,
+                server,
+                server_addr: dst,
+                state: TcpConnState::SynSent,
+                last_activity: self.now,
+            },
+        );
+        let live = self.tcp.live();
+        if live > self.tcp.stats.live_high_water {
+            self.tcp.stats.live_high_water = live;
+        }
+        let delay = self.path_delay(client_addr, dst);
+        let at = self.now + delay;
+        self.push(at, Event::TcpSyn { conn: id });
+        TcpConnId(id)
+    }
+
+    /// Sends over an established connection (see [`Context::tcp_send`]).
+    pub(crate) fn tcp_send(&mut self, from: NodeId, conn: TcpConnId, msg: &Message) {
+        let Some(c) = self.tcp.conns.get(&conn.0) else {
+            return;
+        };
+        if c.state != TcpConnState::Established {
+            return;
+        }
+        let to_server = from == c.client;
+        let (src, dst) = if to_server {
+            (c.client_addr, c.server_addr)
+        } else {
+            (c.server_addr, c.client_addr)
+        };
+        let server_addr = c.server_addr;
+        // Encode once for size accounting; the decoded message travels in
+        // the event (TCP never re-decodes — stream framing is abstracted).
+        let wire_len = self.encode(msg).len();
+        let mut delay = self.path_delay(src, dst);
+        if to_server {
+            // The listener's per-connection service cost: connection
+            // handling is more expensive than a stateless datagram.
+            if let Some(l) = self.tcp_listener(server_addr) {
+                delay = delay + l.config.per_conn_cost;
+            }
+        }
+        let at = self.now + delay;
+        self.push(
+            at,
+            Event::TcpMsg {
+                conn: conn.0,
+                msg: Box::new(msg.clone()),
+                wire_len,
+                to_server,
+            },
+        );
+    }
+
+    /// Closes a connection from `from`'s side (see
+    /// [`Context::tcp_close`]). The surviving peer is notified with a
+    /// FIN; the closer gets no callback.
+    pub(crate) fn tcp_close(&mut self, from: NodeId, conn: TcpConnId) {
+        let Some(c) = self.remove_conn(conn.0) else {
+            return;
+        };
+        self.tcp.stats.closed += 1;
+        if c.state != TcpConnState::Established {
+            // Abandoned handshake: the server never learned of it (its
+            // accept either never happened or is in flight and will find
+            // no record), so there is no one to notify.
+            return;
+        }
+        let closer_is_client = from == c.client;
+        let (peer, src, dst) = if closer_is_client {
+            (c.server, c.client_addr, c.server_addr)
+        } else {
+            (Some(c.client), c.server_addr, c.client_addr)
+        };
+        let Some(peer) = peer else { return };
+        if !self.nodes.up[peer.0 as usize] {
+            return;
+        }
+        let epoch = self.nodes.epoch[peer.0 as usize];
+        let delay = self.path_delay(src, dst);
+        let at = self.now + delay;
+        self.push(
+            at,
+            Event::TcpFin {
+                conn: conn.0,
+                notify: peer,
+                epoch,
+                reset: false,
+            },
+        );
+    }
+
+    /// Removes a connection record, releasing its listener table slot
+    /// when it was established. All teardown paths (close, RST, crash,
+    /// idle reap) funnel through here so occupancy can never leak.
+    fn remove_conn(&mut self, id: u64) -> Option<TcpConn> {
+        let c = self.tcp.conns.remove(&id)?;
+        if c.state == TcpConnState::Established {
+            if let Some(l) = Self::unicast_index(c.server_addr)
+                .and_then(|i| self.tcp.listeners.get_mut(i))
+                .and_then(|slot| slot.as_mut())
+            {
+                l.open = l.open.saturating_sub(1);
+            }
+        }
+        Some(c)
+    }
+
+    /// Severs every connection `node` is party to (crash teardown):
+    /// records are removed and counted reset, and each established
+    /// peer still up is notified with an RST after the usual path delay.
+    /// Deterministic — connections iterate in id order — and a no-op
+    /// (zero RNG draws) when the run has no connections.
+    fn reset_conns_of(&mut self, node: NodeId) {
+        if self.tcp.conns.is_empty() {
+            return;
+        }
+        let ids: Vec<u64> = self
+            .tcp
+            .conns
+            .iter()
+            .filter(|(_, c)| c.client == node || c.server == Some(node))
+            .map(|(id, _)| *id)
+            .collect();
+        for id in ids {
+            let c = self
+                .remove_conn(id)
+                .expect("collected from the table above");
+            self.tcp.stats.reset += 1;
+            if c.state != TcpConnState::Established {
+                // A SynSent record has no peer state to tear down: either
+                // the server never saw the SYN, or the crashed node *is*
+                // the server and the dialer's connect timeout handles it.
+                continue;
+            }
+            let (peer, src, dst) = if c.client == node {
+                (c.server, c.client_addr, c.server_addr)
+            } else {
+                (Some(c.client), c.server_addr, c.client_addr)
+            };
+            let Some(peer) = peer else { continue };
+            if peer == node || !self.nodes.up[peer.0 as usize] {
+                continue;
+            }
+            let epoch = self.nodes.epoch[peer.0 as usize];
+            let delay = self.path_delay(src, dst);
+            let at = self.now + delay;
+            self.push(
+                at,
+                Event::TcpFin {
+                    conn: id,
+                    notify: peer,
+                    epoch,
+                    reset: true,
+                },
+            );
+        }
     }
 
     /// Whether `node` is currently up. Nodes start up; only scheduled
@@ -480,6 +730,7 @@ impl Simulator {
                 encoder: EncodeBuffer::new(),
                 net: NetStats::default(),
                 nodes: NodeHotState::default(),
+                tcp: TcpWorld::default(),
             },
             telemetry: None,
             batch: Vec::new(),
@@ -596,6 +847,11 @@ impl Simulator {
         reg.record_counter("netsim", None, "defense_drops", ledger.defense_drops);
         reg.record_counter("netsim", None, "rrl_limited", ledger.rrl_limited);
         reg.record_counter("netsim", None, "rrl_slipped", ledger.rrl_slipped);
+        // Published only once a cookie exemption has fired, so runs
+        // without cookie validation keep their exact snapshot shape.
+        if ledger.cookie_exempt > 0 {
+            reg.record_counter("netsim", None, "cookie_exempt", ledger.cookie_exempt);
+        }
         let delays = self.world.defense_queue_delays();
         for class in crate::queueing::QUEUE_CLASSES {
             reg.record_counter(
@@ -629,6 +885,23 @@ impl Simulator {
             "scaleout_activations",
             net.scaleout_activations,
         );
+        // TCP transport counters: published only when the run actually
+        // has TCP (a listener or a dial), so UDP-only runs keep their
+        // exact snapshot shape.
+        if self.world.tcp.active() {
+            let tcp = &self.world.tcp.stats;
+            reg.record_counter("netsim", None, "tcp_conns_opened", tcp.opened);
+            reg.record_counter("netsim", None, "tcp_conns_closed", tcp.closed);
+            reg.record_counter("netsim", None, "tcp_conns_reset", tcp.reset);
+            reg.record_counter("netsim", None, "tcp_syn_refused", tcp.syn_refused);
+            reg.record_counter("netsim", None, "tcp_messages", tcp.messages);
+            reg.record_high_water(
+                "netsim",
+                None,
+                "tcp_conns_live_high_water",
+                tcp.live_high_water as f64,
+            );
+        }
         reg.record_high_water(
             "netsim",
             None,
@@ -729,6 +1002,30 @@ impl Simulator {
     /// (see [`crate::defense`]).
     pub fn set_ingress_defense(&mut self, addr: Addr, defense: Box<dyn IngressDefense>) {
         self.world.set_ingress_defense(addr, defense);
+    }
+
+    /// Arms (or clears) RFC 7873 cookie validation on the ingress gate
+    /// already installed at `addr` (see
+    /// [`crate::defense::IngressGate::set_cookie_secret`]).
+    pub fn set_ingress_cookie_secret(&mut self, addr: Addr, secret: Option<u64>) {
+        self.world.set_ingress_cookie_secret(addr, secret);
+    }
+
+    /// Installs a TCP listener on `addr` (see [`crate::tcp`]): the node
+    /// behind it starts accepting connections, bounded by the config's
+    /// table capacity.
+    pub fn set_tcp_listener(&mut self, addr: Addr, config: TcpConfig) {
+        self.world.set_tcp_listener(addr, config);
+    }
+
+    /// Cumulative TCP transport counters.
+    pub fn tcp_stats(&self) -> TcpStats {
+        self.world.tcp_stats()
+    }
+
+    /// TCP connections currently live (any state).
+    pub fn tcp_conns_live(&self) -> u64 {
+        self.world.tcp_conns_live()
     }
 
     /// Attaches a trace sink; every datagram arrival is reported to it.
@@ -913,6 +1210,10 @@ impl Simulator {
                     // ever comes back.
                     self.world.nodes.epoch[nidx] = self.world.nodes.epoch[nidx].wrapping_add(1);
                     self.world.net.node_crashes += 1;
+                    // Sever every TCP connection the crashed node was
+                    // party to (RST to surviving peers). A no-op — zero
+                    // RNG draws — in runs without connections.
+                    self.world.reset_conns_of(node);
                 }
             }
             Event::NodeUp { node, cold } => {
@@ -927,8 +1228,200 @@ impl Simulator {
                 self.world.net.control_events += 1;
                 f(&mut self.world)
             }
+            Event::TcpSyn { conn } => self.tcp_syn(conn),
+            Event::TcpOpen { conn } => self.tcp_open(conn),
+            Event::TcpMsg {
+                conn,
+                msg,
+                wire_len,
+                to_server,
+            } => self.tcp_msg(conn, &msg, wire_len, to_server),
+            Event::TcpFin {
+                conn,
+                notify,
+                epoch,
+                reset,
+            } => self.tcp_fin(conn, notify, epoch, reset),
+            Event::TcpIdle { conn, stamp } => self.tcp_idle(conn, stamp),
         }
         true
+    }
+
+    /// SYN arrival at the dialed address: accept (table slot allocated,
+    /// SYN-ACK back), refuse with RST (no listener, or table full), or —
+    /// when the server node is down — silence, leaving the dialer to its
+    /// own connect timeout.
+    fn tcp_syn(&mut self, conn: u64) {
+        let Some(c) = self.world.tcp.conns.get(&conn) else {
+            return; // dialer already gave up
+        };
+        let (client, client_addr, server, server_addr) =
+            (c.client, c.client_addr, c.server, c.server_addr);
+        let server_up = server.is_some_and(|s| self.world.nodes.up[s.0 as usize]);
+        if !server_up {
+            // Silent drop, like a SYN into a null-routed prefix. The
+            // record stays SynSent; the dialer owns cleanup.
+            return;
+        }
+        let accepted_idle_timeout = World::unicast_index(server_addr)
+            .and_then(|i| self.world.tcp.listeners.get_mut(i))
+            .and_then(|slot| slot.as_mut())
+            .and_then(|l| {
+                (l.open < l.config.table_capacity).then(|| {
+                    l.open += 1;
+                    l.config.idle_timeout
+                })
+            });
+        let now = self.world.now;
+        match accepted_idle_timeout {
+            Some(idle_timeout) => {
+                let c = self
+                    .world
+                    .tcp
+                    .conns
+                    .get_mut(&conn)
+                    .expect("present: looked up above");
+                c.state = TcpConnState::Established;
+                c.last_activity = now;
+                let delay = self.world.path_delay(server_addr, client_addr);
+                self.world.push(now + delay, Event::TcpOpen { conn });
+                self.world
+                    .push(now + idle_timeout, Event::TcpIdle { conn, stamp: now });
+            }
+            None => {
+                // Graceful shed: RST the handshake, keep serving UDP.
+                // The SynSent record never held a table slot.
+                self.world.tcp.stats.syn_refused += 1;
+                self.world.tcp.stats.reset += 1;
+                self.world.remove_conn(conn);
+                if self.world.nodes.up[client.0 as usize] {
+                    let epoch = self.world.nodes.epoch[client.0 as usize];
+                    let delay = self.world.path_delay(server_addr, client_addr);
+                    self.world.push(
+                        now + delay,
+                        Event::TcpFin {
+                            conn,
+                            notify: client,
+                            epoch,
+                            reset: true,
+                        },
+                    );
+                }
+            }
+        }
+    }
+
+    /// SYN-ACK arrival at the dialer: the handshake is complete.
+    fn tcp_open(&mut self, conn: u64) {
+        let Some(c) = self.world.tcp.conns.get(&conn) else {
+            return; // torn down while the SYN-ACK was in flight
+        };
+        if c.state != TcpConnState::Established {
+            return;
+        }
+        let (client, server_addr) = (c.client, c.server_addr);
+        if !self.world.nodes.up[client.0 as usize] {
+            return; // crash teardown raced this event out of the queue
+        }
+        self.dispatch_tcp(client, |node, ctx| {
+            node.on_tcp_connected(ctx, TcpConnId(conn), server_addr)
+        });
+    }
+
+    /// Message delivery over an established connection.
+    fn tcp_msg(&mut self, conn: u64, msg: &Message, wire_len: usize, to_server: bool) {
+        let now = self.world.now;
+        let Some(c) = self.world.tcp.conns.get_mut(&conn) else {
+            return; // connection torn down with the message in flight
+        };
+        if c.state != TcpConnState::Established {
+            return;
+        }
+        c.last_activity = now;
+        let (target, peer_addr, server_addr) = if to_server {
+            (c.server, c.client_addr, c.server_addr)
+        } else {
+            (Some(c.client), c.server_addr, c.server_addr)
+        };
+        let Some(target) = target else { return };
+        self.world.tcp.stats.messages += 1;
+        // Re-arm the idle probe against this fresh activity stamp.
+        if let Some(idle) = self
+            .world
+            .tcp_listener(server_addr)
+            .map(|l| l.config.idle_timeout)
+        {
+            self.world
+                .push(now + idle, Event::TcpIdle { conn, stamp: now });
+        }
+        if !self.world.nodes.up[target.0 as usize] {
+            return; // crash teardown races: conn removal is same-instant
+        }
+        self.dispatch_tcp(target, |node, ctx| {
+            node.on_tcp_message(ctx, TcpConnId(conn), peer_addr, msg, wire_len)
+        });
+    }
+
+    /// Teardown notification (FIN/RST) reaching the surviving peer.
+    fn tcp_fin(&mut self, conn: u64, notify: NodeId, epoch: u32, reset: bool) {
+        let nidx = notify.0 as usize;
+        if !self.world.nodes.up[nidx] || self.world.nodes.epoch[nidx] != epoch {
+            return; // the peer crashed (or restarted) in the meantime
+        }
+        self.dispatch_tcp(notify, |node, ctx| {
+            node.on_tcp_closed(ctx, TcpConnId(conn), reset)
+        });
+    }
+
+    /// Idle-timeout probe: reaps the connection iff nothing moved since
+    /// the probe was armed (later activity re-armed a fresher probe).
+    fn tcp_idle(&mut self, conn: u64, stamp: SimTime) {
+        let Some(c) = self.world.tcp.conns.get(&conn) else {
+            return;
+        };
+        if c.state != TcpConnState::Established || c.last_activity != stamp {
+            return;
+        }
+        let (client, client_addr, server_addr) = (c.client, c.client_addr, c.server_addr);
+        self.world
+            .remove_conn(conn)
+            .expect("present: looked up above");
+        self.world.tcp.stats.closed += 1;
+        // FIN to the client; the reaping server initiated the close and
+        // gets no callback, per the Node::on_tcp_closed contract.
+        if self.world.nodes.up[client.0 as usize] {
+            let epoch = self.world.nodes.epoch[client.0 as usize];
+            let now = self.world.now;
+            let delay = self.world.path_delay(server_addr, client_addr);
+            self.world.push(
+                now + delay,
+                Event::TcpFin {
+                    conn,
+                    notify: client,
+                    epoch,
+                    reset: false,
+                },
+            );
+        }
+    }
+
+    /// Checks a node out of the registry, runs a TCP hook against the
+    /// world, and puts it back — the `dispatch_timer` pattern.
+    fn dispatch_tcp(&mut self, id: NodeId, f: impl FnOnce(&mut Box<dyn Node>, &mut Context<'_>)) {
+        let idx = id.0 as usize;
+        let Some(mut node) = self.nodes[idx].take() else {
+            return;
+        };
+        let addr = self.world.addr_of(id);
+        f(
+            &mut node,
+            &mut Context {
+                world: &mut self.world,
+                node: id,
+                addr,
+            },
+        );
+        self.nodes[idx] = Some(node);
     }
 
     /// Delivers a batch of same-instant datagrams headed for the same
@@ -1289,6 +1782,8 @@ impl Simulator {
             rrl_slipped: ledger.rrl_slipped,
             shed_by_class: ledger.shed_by_class,
             scaleout_activations: net.scaleout_activations,
+            tcp: self.world.tcp.stats,
+            tcp_live: self.world.tcp.live(),
             queue: &self.world.queue,
             allocated_timer_slots: self.world.timers.allocated(),
             nodes_len: self.nodes.len(),
@@ -1672,5 +2167,297 @@ mod tests {
                 "{absent} must not appear without samples"
             );
         }
+    }
+
+    /// A TCP-capable echo: answers stream queries in place, over the
+    /// same connection.
+    struct TcpEcho;
+
+    impl Node for TcpEcho {
+        fn on_datagram(
+            &mut self,
+            ctx: &mut Context<'_>,
+            src: Addr,
+            msg: &Message,
+            _wire_len: usize,
+        ) {
+            if !msg.is_response {
+                let resp = Message::response_to(msg);
+                ctx.send(src, &resp);
+            }
+        }
+
+        fn on_timer(&mut self, _ctx: &mut Context<'_>, _token: TimerToken) {}
+
+        fn on_tcp_message(
+            &mut self,
+            ctx: &mut Context<'_>,
+            conn: crate::tcp::TcpConnId,
+            _peer: Addr,
+            msg: &Message,
+            _wire_len: usize,
+        ) {
+            if !msg.is_response {
+                let resp = Message::response_to(msg);
+                ctx.tcp_send(conn, &resp);
+            }
+        }
+    }
+
+    /// Dials `target` at start, sends one query when connected, and logs
+    /// `(event, sim-millis)` pairs for the test to assert on.
+    struct TcpClient {
+        target: Addr,
+        close_after_reply: bool,
+        log: std::sync::Arc<parking_lot::Mutex<Vec<(String, u64)>>>,
+    }
+
+    impl TcpClient {
+        fn log(&self, ctx: &Context<'_>, what: &str) {
+            self.log
+                .lock()
+                .push((what.to_string(), ctx.now().as_nanos() / 1_000_000));
+        }
+    }
+
+    impl Node for TcpClient {
+        fn on_start(&mut self, ctx: &mut Context<'_>) {
+            ctx.tcp_connect(self.target);
+        }
+
+        fn on_datagram(
+            &mut self,
+            _ctx: &mut Context<'_>,
+            _src: Addr,
+            _msg: &Message,
+            _wire_len: usize,
+        ) {
+        }
+
+        fn on_timer(&mut self, _ctx: &mut Context<'_>, _token: TimerToken) {}
+
+        fn on_tcp_connected(
+            &mut self,
+            ctx: &mut Context<'_>,
+            conn: crate::tcp::TcpConnId,
+            _peer: Addr,
+        ) {
+            self.log(ctx, "connected");
+            let q = Message::query(9, Name::parse("tcp.nl").unwrap(), RecordType::A);
+            ctx.tcp_send(conn, &q);
+        }
+
+        fn on_tcp_message(
+            &mut self,
+            ctx: &mut Context<'_>,
+            conn: crate::tcp::TcpConnId,
+            _peer: Addr,
+            msg: &Message,
+            _wire_len: usize,
+        ) {
+            assert!(msg.is_response);
+            self.log(ctx, "reply");
+            if self.close_after_reply {
+                ctx.tcp_close(conn);
+            }
+        }
+
+        fn on_tcp_closed(
+            &mut self,
+            ctx: &mut Context<'_>,
+            _conn: crate::tcp::TcpConnId,
+            reset: bool,
+        ) {
+            self.log(ctx, if reset { "reset" } else { "fin" });
+        }
+    }
+
+    fn tcp_log() -> std::sync::Arc<parking_lot::Mutex<Vec<(String, u64)>>> {
+        std::sync::Arc::new(parking_lot::Mutex::new(Vec::new()))
+    }
+
+    #[test]
+    fn tcp_handshake_costs_one_rtt_and_per_conn_cost_applies() {
+        let mut sim = Simulator::new(21);
+        fixed_fabric(&mut sim, 10);
+        let (_, server_addr) = sim.add_node(Box::new(TcpEcho));
+        sim.set_tcp_listener(
+            server_addr,
+            crate::tcp::TcpConfig {
+                per_conn_cost: SimDuration::from_millis(5),
+                ..Default::default()
+            },
+        );
+        let log = tcp_log();
+        sim.add_node(Box::new(TcpClient {
+            target: server_addr,
+            close_after_reply: true,
+            log: log.clone(),
+        }));
+        sim.run_until_idle();
+        // SYN 10ms + SYN-ACK 10ms = connected at 20; query 10ms + 5ms
+        // per-connection cost + reply 10ms = 45.
+        assert_eq!(
+            *log.lock(),
+            vec![("connected".to_string(), 20), ("reply".to_string(), 45)]
+        );
+        let stats = sim.tcp_stats();
+        assert_eq!(stats.opened, 1);
+        assert_eq!(stats.closed, 1);
+        assert_eq!(stats.reset, 0);
+        assert_eq!(stats.messages, 2);
+        assert_eq!(sim.tcp_conns_live(), 0);
+        sim.audit().assert_clean();
+    }
+
+    #[test]
+    fn tcp_dial_without_listener_is_reset() {
+        let mut sim = Simulator::new(22);
+        fixed_fabric(&mut sim, 10);
+        let (_, server_addr) = sim.add_node(Box::new(TcpEcho));
+        // No listener installed: a live node refuses like a closed port.
+        let log = tcp_log();
+        sim.add_node(Box::new(TcpClient {
+            target: server_addr,
+            close_after_reply: false,
+            log: log.clone(),
+        }));
+        sim.run_until_idle();
+        assert_eq!(*log.lock(), vec![("reset".to_string(), 20)]);
+        let stats = sim.tcp_stats();
+        assert_eq!((stats.opened, stats.reset, stats.syn_refused), (1, 1, 1));
+        assert_eq!(sim.tcp_conns_live(), 0);
+        sim.audit().assert_clean();
+    }
+
+    #[test]
+    fn tcp_table_full_sheds_handshakes_but_udp_still_served() {
+        let mut sim = Simulator::new(23);
+        fixed_fabric(&mut sim, 10);
+        let (_, server_addr) = sim.add_node(Box::new(TcpEcho));
+        sim.set_tcp_listener(
+            server_addr,
+            crate::tcp::TcpConfig {
+                table_capacity: 1,
+                per_conn_cost: SimDuration::ZERO,
+                // Long idle timeout: the first connection holds its slot
+                // (the client never closes) while the second dials.
+                idle_timeout: SimDuration::from_secs(60),
+            },
+        );
+        let holder = tcp_log();
+        sim.add_node(Box::new(TcpClient {
+            target: server_addr,
+            close_after_reply: false, // holds the only table slot
+            log: holder.clone(),
+        }));
+        let shed = tcp_log();
+        sim.add_node(Box::new(TcpClient {
+            target: server_addr,
+            close_after_reply: false,
+            log: shed.clone(),
+        }));
+        // A plain UDP client must sail through the whole time.
+        sim.add_node(Box::new(Pinger {
+            target: server_addr,
+            sent_at: None,
+            rtt: None,
+        }));
+        sim.run_until(SimDuration::from_secs(30).after_zero());
+        let stats = sim.tcp_stats();
+        assert_eq!(stats.syn_refused, 1, "second handshake shed with RST");
+        // Same-instant SYNs race deterministically: exactly one of the
+        // two dialers connected, the other saw a reset.
+        let connected = |l: &std::sync::Arc<parking_lot::Mutex<Vec<(String, u64)>>>| {
+            l.lock().iter().any(|(e, _)| e == "connected")
+        };
+        let was_reset = |l: &std::sync::Arc<parking_lot::Mutex<Vec<(String, u64)>>>| {
+            l.lock().iter().any(|(e, _)| e == "reset")
+        };
+        assert!(connected(&holder) ^ connected(&shed));
+        assert!(was_reset(&holder) ^ was_reset(&shed));
+        // UDP round-tripped: delivered query + response.
+        assert!(sim.perf().datagrams_delivered >= 2, "UDP must keep flowing");
+        sim.audit().assert_clean();
+    }
+
+    #[test]
+    fn tcp_idle_timeout_reaps_and_releases_the_table_slot() {
+        let mut sim = Simulator::new(24);
+        fixed_fabric(&mut sim, 10);
+        let (_, server_addr) = sim.add_node(Box::new(TcpEcho));
+        sim.set_tcp_listener(
+            server_addr,
+            crate::tcp::TcpConfig {
+                table_capacity: 4,
+                per_conn_cost: SimDuration::ZERO,
+                idle_timeout: SimDuration::from_secs(2),
+            },
+        );
+        let log = tcp_log();
+        sim.add_node(Box::new(TcpClient {
+            target: server_addr,
+            close_after_reply: false, // lingers until the server reaps it
+            log: log.clone(),
+        }));
+        sim.run_until_idle();
+        let entries = log.lock().clone();
+        assert_eq!(entries.len(), 3, "connected, reply, fin: {entries:?}");
+        assert_eq!(entries[2].0, "fin", "idle reap is a graceful close");
+        // Last activity is the reply reaching the client at t=40ms;
+        // reaped 2s later, plus one path delay for the FIN.
+        assert_eq!(entries[2].1, 2050);
+        assert_eq!(sim.world_mut().tcp_listener_open(server_addr), Some(0));
+        let stats = sim.tcp_stats();
+        assert_eq!((stats.opened, stats.closed, stats.reset), (1, 1, 0));
+        sim.audit().assert_clean();
+    }
+
+    #[test]
+    fn tcp_server_crash_resets_connections_and_conserves() {
+        let mut sim = Simulator::new(25);
+        fixed_fabric(&mut sim, 10);
+        let (server_id, server_addr) = sim.add_node(Box::new(TcpEcho));
+        sim.set_tcp_listener(
+            server_addr,
+            crate::tcp::TcpConfig {
+                idle_timeout: SimDuration::from_secs(60),
+                ..Default::default()
+            },
+        );
+        let log = tcp_log();
+        sim.add_node(Box::new(TcpClient {
+            target: server_addr,
+            close_after_reply: false,
+            log: log.clone(),
+        }));
+        sim.schedule_node_down(SimDuration::from_secs(1).after_zero(), server_id);
+        sim.run_until(SimDuration::from_secs(5).after_zero());
+        let entries = log.lock().clone();
+        assert_eq!(
+            entries.last().map(|(e, at)| (e.as_str(), *at)),
+            Some(("reset", 1010)),
+            "crash severs the connection with an RST: {entries:?}"
+        );
+        let stats = sim.tcp_stats();
+        assert_eq!((stats.opened, stats.closed, stats.reset), (1, 0, 1));
+        assert_eq!(sim.tcp_conns_live(), 0);
+        sim.audit().assert_clean();
+    }
+
+    #[test]
+    fn udp_only_runs_never_touch_tcp_state() {
+        let mut sim = Simulator::new(26);
+        fixed_fabric(&mut sim, 10);
+        let (_, echo_addr) = sim.add_node(Box::new(Echo));
+        sim.add_node(Box::new(Pinger {
+            target: echo_addr,
+            sent_at: None,
+            rtt: None,
+        }));
+        sim.run_until_idle();
+        assert_eq!(sim.tcp_stats(), crate::tcp::TcpStats::default());
+        assert_eq!(sim.tcp_conns_live(), 0);
+        sim.audit().assert_clean();
     }
 }

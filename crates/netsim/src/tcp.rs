@@ -1,0 +1,153 @@
+//! Minimal connection-oriented transport: handshake RTT, per-connection
+//! server cost, and a bounded per-listener connection table that is a
+//! first-class attackable resource.
+//!
+//! The model is deliberately small (see DESIGN.md §5.8):
+//!
+//! * A connection is dialed with [`crate::Context::tcp_connect`]; the SYN
+//!   travels one sampled path delay to the listener, which either accepts
+//!   (table slot allocated, SYN-ACK back — the dialer's
+//!   `on_tcp_connected` fires one more delay later), refuses with an RST
+//!   when it has no listener or the table is full (`on_tcp_closed` with
+//!   `reset`), or — when the server node is down — says nothing at all,
+//!   leaving the dialer to its own connect timeout.
+//! * Established connections carry [`dike_wire::Message`]s reliably (no
+//!   loss filter: TCP's retransmission is abstracted away, which is the
+//!   honest first-order model for loss rates the handshake survives).
+//!   Client→server messages additionally pay the listener's
+//!   per-connection service cost, the knob that makes a busy TCP path
+//!   slower than UDP.
+//! * Each listener bounds concurrently-open connections
+//!   ([`TcpConfig::table_capacity`]) and reaps idle ones
+//!   ([`TcpConfig::idle_timeout`]). A flood of held-open connections
+//!   therefore exhausts the table and new handshakes shed with RST while
+//!   UDP service continues untouched — the degradation mode the
+//!   `repro cookies` exhaustion arm measures.
+//! * Conservation: every dialed connection is eventually counted exactly
+//!   once as closed (graceful) or reset (RST/crash), or is still live;
+//!   the sim auditor checks `opened == closed + reset + live`.
+//!
+//! No RNG is drawn and no event is scheduled unless some node actually
+//! dials, so UDP-only runs — including the pinned fixed-seed digest —
+//! are byte-identical with this module compiled in.
+
+use std::collections::BTreeMap;
+
+use crate::addr::{Addr, NodeId};
+use crate::time::{SimDuration, SimTime};
+
+/// Handle to a simulated TCP connection. Ids are allocated monotonically
+/// and never reused, so a stale handle (connection already torn down)
+/// simply fails the table lookup instead of aliasing a new connection.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct TcpConnId(pub u64);
+
+/// Listener parameters: the attackable resource bounds.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TcpConfig {
+    /// Maximum concurrently-established connections; SYNs beyond this are
+    /// refused with RST (graceful shed — UDP service is unaffected).
+    pub table_capacity: usize,
+    /// Per-message server-side service cost added to client→server
+    /// delivery: connection handling is more expensive than a stateless
+    /// datagram.
+    pub per_conn_cost: SimDuration,
+    /// Idle reap: a connection with no traffic for this long is closed
+    /// by the server (FIN to the client).
+    pub idle_timeout: SimDuration,
+}
+
+impl Default for TcpConfig {
+    fn default() -> TcpConfig {
+        TcpConfig {
+            table_capacity: 64,
+            per_conn_cost: SimDuration::from_micros(200),
+            idle_timeout: SimDuration::from_secs(10),
+        }
+    }
+}
+
+/// Cumulative transport counters, reported by
+/// [`crate::Simulator::tcp_stats`] and audited for conservation.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct TcpStats {
+    /// Connections dialed (every `tcp_connect`, whether or not the
+    /// handshake ever completes).
+    pub opened: u64,
+    /// Graceful closes (either side's `tcp_close`, or idle reap).
+    pub closed: u64,
+    /// Abortive teardowns: refused SYNs and connections severed by a
+    /// node crash.
+    pub reset: u64,
+    /// SYNs refused because the listener was absent or its table full.
+    /// (Each refused SYN is also counted in `reset`.)
+    pub syn_refused: u64,
+    /// Messages delivered over established connections (both directions).
+    pub messages: u64,
+    /// High-water mark of concurrently-live connections.
+    pub live_high_water: u64,
+}
+
+/// Connection lifecycle. `SynSent` connections occupy no table slot —
+/// only established ones consume the listener's capacity.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum TcpConnState {
+    /// SYN in flight (or silently dropped at a down server); the dialer
+    /// owns cleanup via its connect timeout.
+    SynSent,
+    /// Handshake accepted; a table slot is held until teardown.
+    Established,
+}
+
+/// One live connection record. Lives in a `BTreeMap` keyed by id so
+/// crash teardown iterates deterministically.
+#[derive(Debug)]
+pub(crate) struct TcpConn {
+    pub(crate) client: NodeId,
+    pub(crate) client_addr: Addr,
+    /// Dialed listener node; `None` when the address routes nowhere
+    /// (the SYN then vanishes, like dialing a dark address).
+    pub(crate) server: Option<NodeId>,
+    pub(crate) server_addr: Addr,
+    pub(crate) state: TcpConnState,
+    /// Stamped at establish and on every delivered message; the idle
+    /// probe closes the connection only when its armed stamp still
+    /// matches.
+    pub(crate) last_activity: SimTime,
+}
+
+/// Per-listener state: configuration plus current table occupancy.
+#[derive(Debug)]
+pub(crate) struct TcpListener {
+    pub(crate) config: TcpConfig,
+    /// Established connections currently holding a table slot.
+    pub(crate) open: usize,
+}
+
+/// All transport state hanging off the `World`. Empty (and untouched on
+/// the hot path) until the first listener or dial.
+#[derive(Debug, Default)]
+pub(crate) struct TcpWorld {
+    /// Listeners, dense-indexed like nodes (`addr - FIRST_ADDR`).
+    pub(crate) listeners: Vec<Option<TcpListener>>,
+    pub(crate) listener_count: usize,
+    /// Live connections by id; `BTreeMap` for deterministic iteration
+    /// when a crash severs every connection a node is party to.
+    pub(crate) conns: BTreeMap<u64, TcpConn>,
+    pub(crate) next_conn: u64,
+    pub(crate) stats: TcpStats,
+}
+
+impl TcpWorld {
+    /// Whether any TCP activity exists (listeners installed or
+    /// connections ever dialed) — gates snapshot publication so
+    /// UDP-only runs keep their exact metric shape.
+    pub(crate) fn active(&self) -> bool {
+        self.listener_count > 0 || self.stats.opened > 0
+    }
+
+    /// Connections currently live (any state).
+    pub(crate) fn live(&self) -> u64 {
+        self.conns.len() as u64
+    }
+}

@@ -59,6 +59,32 @@ impl RetryPolicy {
     }
 }
 
+/// RFC 7766 TCP fallback: how a truncated (TC=1) UDP answer is retried
+/// over TCP. TCP retries pace themselves — their timeouts are distinct
+/// from the UDP [`RetryPolicy`] and a TCP attempt does not consume a
+/// UDP attempt from the task's budget.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TcpFallbackPolicy {
+    /// How long to wait for the handshake to complete before giving up
+    /// on the connection and resuming UDP retries. The simulator never
+    /// times out a SYN on its own: this timer is the dialer's
+    /// responsibility, and it also covers SYNs silently dropped by a
+    /// dead or unreachable server.
+    pub connect_timeout: SimDuration,
+    /// How long to wait for the response once the query has been sent
+    /// over the established connection.
+    pub response_timeout: SimDuration,
+}
+
+impl Default for TcpFallbackPolicy {
+    fn default() -> Self {
+        TcpFallbackPolicy {
+            connect_timeout: SimDuration::from_secs(2),
+            response_timeout: SimDuration::from_secs(4),
+        }
+    }
+}
+
 /// How the next upstream/authoritative server is chosen per attempt.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum SelectionPolicy {
@@ -130,6 +156,16 @@ pub struct ResolverConfig {
     /// question get an immediate SERVFAIL instead of triggering a new
     /// resolution — damping the retry storm of paper §6. Zero disables.
     pub servfail_ttl: SimDuration,
+    /// RFC 7766 TCP fallback on truncated answers. `None` (the default)
+    /// keeps the resolver UDP-only, which is what the paper measures —
+    /// a slipped TC=1 then counts as a lost answer unless another
+    /// server's UDP retry succeeds.
+    pub tcp_fallback: Option<TcpFallbackPolicy>,
+    /// RFC 7873 DNS cookies: attach a deterministic client cookie to
+    /// every upstream query and learn the server half from responses. A
+    /// cookie-validating ingress defense then exempts this resolver
+    /// from rate limiting (return routability proven).
+    pub use_cookies: bool,
 }
 
 impl ResolverConfig {
@@ -148,6 +184,8 @@ impl ResolverConfig {
             max_pending: 10_000,
             flush_interval: None,
             servfail_ttl: SimDuration::from_secs(5),
+            tcp_fallback: None,
+            use_cookies: false,
         }
     }
 
@@ -166,6 +204,8 @@ impl ResolverConfig {
             max_pending: 10_000,
             flush_interval: None,
             servfail_ttl: SimDuration::from_secs(5),
+            tcp_fallback: None,
+            use_cookies: false,
         }
     }
 }

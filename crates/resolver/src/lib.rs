@@ -29,6 +29,6 @@ pub mod profiles;
 mod selector;
 mod task;
 
-pub use config::{ResolverConfig, ResolverMode, RetryPolicy, SelectionPolicy};
+pub use config::{ResolverConfig, ResolverMode, RetryPolicy, SelectionPolicy, TcpFallbackPolicy};
 pub use node::{RecursiveResolver, ResolverStats};
 pub use selector::ServerSelector;

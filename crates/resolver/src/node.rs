@@ -3,12 +3,12 @@
 use std::collections::HashMap;
 
 use dike_cache::{CacheAnswer, CacheKey, FragmentedCache, NegativeKind, TrustLevel};
-use dike_netsim::{Addr, Context, Node, SimTime, TimerToken};
+use dike_netsim::{Addr, Context, Node, SimTime, TcpConnId, TimerToken};
 use dike_wire::{Message, Name, Question, RData, Rcode, Record, RecordType};
 
 use crate::config::{ResolverConfig, ResolverMode};
 use crate::selector::ServerSelector;
-use crate::task::{Outstanding, Task, Waiter};
+use crate::task::{Outstanding, Task, TcpAttempt, Waiter};
 
 /// Running counters, readable after a run through a shared stats handle
 /// or by borrowing the node back from the simulator.
@@ -49,6 +49,15 @@ pub struct ResolverStats {
     /// referral adopted, a CNAME chased, a deeper delegation found) —
     /// the per-round backoff state resets and selection starts over.
     pub backoff_resets: u64,
+    /// Truncated UDP answers retried over TCP (RFC 7766 fallback; zero
+    /// unless [`ResolverConfig::tcp_fallback`] is set).
+    pub tcp_fallbacks: u64,
+    /// TCP retries that produced an answer.
+    pub tcp_answers: u64,
+    /// TCP retries that failed — connect or response timeout, refused
+    /// handshake (RST), or the server closing mid-exchange. The task
+    /// falls back to its UDP retry schedule.
+    pub tcp_failures: u64,
 }
 
 /// A recursive DNS resolver node (iterative or forwarding — see
@@ -62,6 +71,13 @@ pub struct RecursiveResolver {
     /// RFC 2308 §7 failure cache: question → do-not-retry-before.
     failed_until: HashMap<CacheKey, SimTime>,
     by_msg_id: HashMap<u16, u64>,
+    /// In-flight TCP retries: connection id → task id. TCP responses
+    /// are matched by connection, not by `by_msg_id` (no spoofing on an
+    /// established connection).
+    tcp_by_conn: HashMap<u64, u64>,
+    /// RFC 7873: server cookies learned from upstream responses, keyed
+    /// by server address. Only populated when `use_cookies` is on.
+    server_cookies: HashMap<Addr, dike_wire::Cookie>,
     next_task_id: u64,
     next_msg_id: u16,
     stats: ResolverStats,
@@ -82,6 +98,8 @@ impl RecursiveResolver {
             task_by_key: HashMap::new(),
             failed_until: HashMap::new(),
             by_msg_id: HashMap::new(),
+            tcp_by_conn: HashMap::new(),
+            server_cookies: HashMap::new(),
             next_task_id: 0,
             next_msg_id: 1,
             stats: ResolverStats::default(),
@@ -317,6 +335,7 @@ impl RecursiveResolver {
             zone_depth,
             last_server: None,
             outstanding: None,
+            tcp: None,
             awaiting_glue: false,
         };
         self.tasks.insert(id, task);
@@ -423,6 +442,14 @@ impl RecursiveResolver {
             Message::iterative_query(msg_id, q.name, q.qtype)
         }
         .with_edns(dike_wire::EDNS_UDP_PAYLOAD);
+
+        let query = if self.config.use_cookies {
+            let mut query = query;
+            self.attach_cookie(ctx.self_addr(), server, &mut query);
+            query
+        } else {
+            query
+        };
 
         let task = self.tasks.get_mut(&tid).expect("task vanished");
 
@@ -588,11 +615,50 @@ impl RecursiveResolver {
         }
     }
 
+    /// Attaches this resolver's cookie for `server`: the learned full
+    /// cookie once a response has supplied the server half, otherwise
+    /// the deterministic client-only cookie (RFC 7873 §6).
+    fn attach_cookie(&self, self_addr: Addr, server: Addr, query: &mut Message) {
+        let cookie = self
+            .server_cookies
+            .get(&server)
+            .cloned()
+            .unwrap_or_else(|| {
+                dike_wire::Cookie::client_only(dike_wire::cookie::client_cookie_for(
+                    self_addr.0,
+                    server.0,
+                ))
+            });
+        dike_wire::cookie::set_cookie(query, dike_wire::EDNS_UDP_PAYLOAD, &cookie);
+    }
+
+    /// Learns the server half of a cookie from an upstream response —
+    /// including slipped TC=1 responses, whose completed cookie is what
+    /// lets the *retry* sail past the rate limiter.
+    fn learn_cookie(&mut self, self_addr: Addr, server: Addr, msg: &Message) {
+        if !self.config.use_cookies {
+            return;
+        }
+        if let Some(c) = dike_wire::cookie::cookie_of(msg) {
+            // Only believe a full cookie echoing our own client half.
+            if c.is_full()
+                && c.client == dike_wire::cookie::client_cookie_for(self_addr.0, server.0)
+            {
+                self.server_cookies.insert(server, c);
+            }
+        }
+    }
+
     fn remove_task(&mut self, tid: u64) -> Option<Task> {
         let task = self.tasks.remove(&tid)?;
         self.task_by_key.remove(&task.key);
         if let Some(out) = &task.outstanding {
             self.by_msg_id.remove(&out.msg_id);
+        }
+        if let Some(t) = &task.tcp {
+            // The connection itself is closed by whichever path cleared
+            // the attempt; this is only the map hygiene backstop.
+            self.tcp_by_conn.remove(&t.conn.0);
         }
         // Every finished task contributes its retry count (sends beyond
         // the first) to the distribution, successes and failures alike.
@@ -634,15 +700,37 @@ impl RecursiveResolver {
         let task = self.tasks.get_mut(&tid).expect("task vanished");
         task.outstanding = None;
 
-        if !msg.rcode.is_conclusive() {
-            // SERVFAIL/REFUSED: treat like a dead server and move on.
+        self.learn_cookie(ctx.self_addr(), src, msg);
+
+        if msg.truncated {
+            if self.config.tcp_fallback.is_some() {
+                // RFC 7766: re-ask the same server over TCP. The TCP
+                // attempt has its own timeouts and does not consume a
+                // UDP attempt from the retry budget.
+                self.start_tcp_retry(ctx, tid, src);
+                return;
+            }
+            // TC without TCP fallback (the paper measures UDP only):
+            // retry another server and hope for a smaller answer path.
             self.send_next(ctx, tid);
             return;
         }
 
-        if msg.truncated {
-            // TC without TCP fallback (the paper measures UDP only):
-            // retry another server and hope for a smaller answer path.
+        self.process_upstream_answer(ctx, tid, src, msg);
+    }
+
+    /// The post-transport part of upstream-response handling, shared by
+    /// the UDP and TCP paths: rcode triage, referral chasing, negative
+    /// caching, CNAME chasing, completion.
+    fn process_upstream_answer(
+        &mut self,
+        ctx: &mut Context<'_>,
+        tid: u64,
+        src: Addr,
+        msg: &Message,
+    ) {
+        if !msg.rcode.is_conclusive() {
+            // SERVFAIL/REFUSED: treat like a dead server and move on.
             self.send_next(ctx, tid);
             return;
         }
@@ -702,6 +790,64 @@ impl RecursiveResolver {
             self.chase_cname(ctx, tid, cname_rec);
             return;
         }
+        self.send_next(ctx, tid);
+    }
+
+    // ------------------------------------------------------------------
+    // TCP fallback (RFC 7766)
+    // ------------------------------------------------------------------
+
+    /// Dials `server` over TCP to re-ask the task's current question
+    /// after a truncated UDP answer. The connect timer doubles as the
+    /// cleanup path for SYNs the server silently drops.
+    fn start_tcp_retry(&mut self, ctx: &mut Context<'_>, tid: u64, server: Addr) {
+        let policy = self.config.tcp_fallback.expect("caller checked");
+        let Some(task) = self.tasks.get(&tid) else {
+            return;
+        };
+        let (name, qtype) = (task.current_name.clone(), task.key.rtype);
+        self.stats.tcp_fallbacks += 1;
+        let msg_id = self.alloc_msg_id();
+        let recursion_desired = matches!(self.config.mode, ResolverMode::Forwarding { .. });
+        let mut query = if recursion_desired {
+            Message::query(msg_id, name, qtype)
+        } else {
+            Message::iterative_query(msg_id, name, qtype)
+        }
+        .with_edns(dike_wire::EDNS_UDP_PAYLOAD);
+        if self.config.use_cookies {
+            self.attach_cookie(ctx.self_addr(), server, &mut query);
+        }
+        let conn = ctx.tcp_connect(server);
+        let timer = ctx.set_timer(policy.connect_timeout, TimerToken(tid | TCP_TOKEN_BIT));
+        self.tcp_by_conn.insert(conn.0, tid);
+        let task = self.tasks.get_mut(&tid).expect("task exists");
+        task.tcp = Some(TcpAttempt {
+            conn,
+            server,
+            msg_id,
+            sent_at: ctx.now(),
+            timer,
+            query,
+        });
+    }
+
+    /// A TCP attempt's connect or response timer fired: abandon the
+    /// connection and resume the UDP retry schedule.
+    fn on_tcp_timeout(&mut self, ctx: &mut Context<'_>, tid: u64) {
+        let Some(task) = self.tasks.get_mut(&tid) else {
+            return;
+        };
+        let Some(att) = task.tcp.take() else {
+            return; // stale timer from a finished attempt
+        };
+        self.tcp_by_conn.remove(&att.conn.0);
+        // Our own close: covers both a SYN that never completed (the
+        // simulator never times out SYNs — the dialer owns cleanup) and
+        // an established connection whose answer never came.
+        ctx.tcp_close(att.conn);
+        self.stats.tcp_failures += 1;
+        self.selector.record_timeout(att.server);
         self.send_next(ctx, tid);
     }
 
@@ -925,6 +1071,11 @@ impl RecursiveResolver {
 /// timers use the task id, which starts at 0 and can never reach this.
 const FLUSH_TOKEN: u64 = u64::MAX;
 
+/// High-bit marker distinguishing TCP-attempt timers from UDP retry
+/// timers (task ids allocate from 0 and can never reach bit 63).
+/// `FLUSH_TOKEN` has this bit set too, so it must be checked first.
+const TCP_TOKEN_BIT: u64 = 1 << 63;
+
 impl Node for RecursiveResolver {
     fn as_any(&self) -> Option<&dyn std::any::Any> {
         Some(self)
@@ -944,6 +1095,10 @@ impl Node for RecursiveResolver {
         self.tasks.clear();
         self.task_by_key.clear();
         self.by_msg_id.clear();
+        // In-flight TCP retries die with the process; the simulator
+        // resets the connections themselves on the crash.
+        self.tcp_by_conn.clear();
+        self.server_cookies.clear();
         self.failed_until.clear();
         // Learned server quality (SRTT) is process state too.
         self.selector = ServerSelector::new();
@@ -973,6 +1128,10 @@ impl Node for RecursiveResolver {
             }
             return;
         }
+        if token.0 & TCP_TOKEN_BIT != 0 {
+            self.on_tcp_timeout(ctx, token.0 & !TCP_TOKEN_BIT);
+            return;
+        }
         let tid = token.0;
         let Some(task) = self.tasks.get_mut(&tid) else {
             return; // task already finished
@@ -997,6 +1156,108 @@ impl Node for RecursiveResolver {
         self.send_next(ctx, tid);
     }
 
+    fn on_tcp_connected(&mut self, ctx: &mut Context<'_>, conn: TcpConnId, _peer: Addr) {
+        let Some(&tid) = self.tcp_by_conn.get(&conn.0) else {
+            // The task finished or gave up before the handshake landed;
+            // we still own the connection, so close it.
+            ctx.tcp_close(conn);
+            return;
+        };
+        let Some(task) = self.tasks.get_mut(&tid) else {
+            self.tcp_by_conn.remove(&conn.0);
+            ctx.tcp_close(conn);
+            return;
+        };
+        let Some(att) = task.tcp.as_mut() else {
+            self.tcp_by_conn.remove(&conn.0);
+            ctx.tcp_close(conn);
+            return;
+        };
+        if att.conn != conn {
+            return;
+        }
+        // Handshake complete: swap the connect timer for the response
+        // timer and put the query on the wire.
+        ctx.cancel_timer(att.timer);
+        let policy = self.config.tcp_fallback.expect("attempt exists");
+        att.timer = ctx.set_timer(policy.response_timeout, TimerToken(tid | TCP_TOKEN_BIT));
+        let query = att.query.clone();
+        ctx.tcp_send(conn, &query);
+    }
+
+    fn on_tcp_message(
+        &mut self,
+        ctx: &mut Context<'_>,
+        conn: TcpConnId,
+        _peer: Addr,
+        msg: &Message,
+        _wire_len: usize,
+    ) {
+        let Some(&tid) = self.tcp_by_conn.get(&conn.0) else {
+            return;
+        };
+        let Some(task) = self.tasks.get_mut(&tid) else {
+            self.tcp_by_conn.remove(&conn.0);
+            ctx.tcp_close(conn);
+            return;
+        };
+        {
+            let Some(att) = task.tcp.as_ref() else {
+                return;
+            };
+            if att.conn != conn || att.msg_id != msg.id || !msg.is_response {
+                return;
+            }
+            // The question must echo what we asked, same as over UDP.
+            if msg
+                .question()
+                .map(|q| q.name != task.current_name || q.qtype != task.key.rtype)
+                .unwrap_or(true)
+            {
+                return;
+            }
+        }
+        let att = task.tcp.take().expect("checked above");
+        ctx.cancel_timer(att.timer);
+        self.tcp_by_conn.remove(&conn.0);
+        // One query per connection: answer in hand, hang up.
+        ctx.tcp_close(conn);
+        self.stats.tcp_answers += 1;
+        let rtt = ctx.now() - att.sent_at;
+        self.selector.record_success(att.server, rtt);
+        self.learn_cookie(ctx.self_addr(), att.server, msg);
+        if msg.truncated {
+            // Truncation over TCP is nonsense; treat the server as
+            // broken and resume UDP retries elsewhere.
+            self.send_next(ctx, tid);
+            return;
+        }
+        self.process_upstream_answer(ctx, tid, att.server, msg);
+    }
+
+    fn on_tcp_closed(&mut self, ctx: &mut Context<'_>, conn: TcpConnId, _reset: bool) {
+        // The peer hung up (RST on a refused handshake, a crash, an idle
+        // reap, or a close before the answer). Our own closes never land
+        // here — the initiator gets no callback.
+        let Some(tid) = self.tcp_by_conn.remove(&conn.0) else {
+            return;
+        };
+        let Some(task) = self.tasks.get_mut(&tid) else {
+            return;
+        };
+        let Some(att) = task.tcp.as_ref() else {
+            return;
+        };
+        if att.conn != conn {
+            return;
+        }
+        let att = task.tcp.take().expect("checked above");
+        ctx.cancel_timer(att.timer);
+        self.stats.tcp_failures += 1;
+        self.selector.record_timeout(att.server);
+        self.send_next(ctx, tid);
+    }
+
     fn publish_metrics(&self, out: &mut dike_telemetry::NodePublisher<'_>) {
         let s = &self.stats;
         out.counter("resolver", "client_queries", s.client_queries);
@@ -1014,6 +1275,13 @@ impl Node for RecursiveResolver {
         out.counter("resolver", "shed", s.shed);
         out.counter("resolver", "server_switches", s.server_switches);
         out.counter("resolver", "backoff_resets", s.backoff_resets);
+        // Published only when the fallback is configured, so UDP-only
+        // runs keep their exact metric shape.
+        if self.config.tcp_fallback.is_some() {
+            out.counter("resolver", "tcp_fallbacks", s.tcp_fallbacks);
+            out.counter("resolver", "tcp_answers", s.tcp_answers);
+            out.counter("resolver", "tcp_failures", s.tcp_failures);
+        }
         out.gauge("resolver", "in_flight_tasks", self.tasks.len() as f64);
         out.histogram("resolver", "retries_per_task", &self.retry_histogram);
         let c = self.cache.stats();

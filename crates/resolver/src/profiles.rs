@@ -39,6 +39,8 @@ pub fn bind_like(roots: Vec<Addr>) -> ResolverConfig {
         max_pending: 10_000,
         flush_interval: None,
         servfail_ttl: SimDuration::from_secs(5),
+        tcp_fallback: None,
+        use_cookies: false,
     }
 }
 
@@ -64,6 +66,8 @@ pub fn unbound_like(roots: Vec<Addr>) -> ResolverConfig {
         max_pending: 10_000,
         flush_interval: None,
         servfail_ttl: SimDuration::from_secs(5),
+        tcp_fallback: None,
+        use_cookies: false,
     }
 }
 
@@ -107,6 +111,8 @@ pub fn farm_frontend(backends: Vec<Addr>) -> ResolverConfig {
         max_pending: 10_000,
         flush_interval: None,
         servfail_ttl: SimDuration::from_secs(2),
+        tcp_fallback: None,
+        use_cookies: false,
     }
 }
 
@@ -144,6 +150,8 @@ pub fn home_router(upstreams: Vec<Addr>) -> ResolverConfig {
         max_pending: 10_000,
         flush_interval: None,
         servfail_ttl: SimDuration::from_secs(5),
+        tcp_fallback: None,
+        use_cookies: false,
     }
 }
 
@@ -168,6 +176,8 @@ pub fn isp_forwarder(upstreams: Vec<Addr>) -> ResolverConfig {
         max_pending: 10_000,
         flush_interval: None,
         servfail_ttl: SimDuration::from_secs(5),
+        tcp_fallback: None,
+        use_cookies: false,
     }
 }
 

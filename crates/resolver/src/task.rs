@@ -28,6 +28,24 @@ pub(crate) struct Outstanding {
     pub timer: dike_netsim::TimerId,
 }
 
+/// A TCP retry in flight after a truncated UDP answer (RFC 7766).
+#[derive(Debug, Clone)]
+pub(crate) struct TcpAttempt {
+    /// The simulated connection handle.
+    pub conn: dike_netsim::TcpConnId,
+    /// The server being re-asked (the one that sent TC=1).
+    pub server: Addr,
+    /// Our message id on the TCP query.
+    pub msg_id: u16,
+    /// When the connection was dialed (TCP RTT samples include the
+    /// handshake — the honest cost of the fallback).
+    pub sent_at: SimTime,
+    /// The connect- or response-timeout timer currently armed.
+    pub timer: dike_netsim::TimerId,
+    /// The query to replay once the handshake completes.
+    pub query: dike_wire::Message,
+}
+
 /// One in-flight resolution: a question being resolved on behalf of zero
 /// or more waiters (zero for infrastructure queries).
 #[derive(Debug)]
@@ -65,6 +83,9 @@ pub(crate) struct Task {
     pub last_server: Option<Addr>,
     /// The in-flight upstream query, if any.
     pub outstanding: Option<Outstanding>,
+    /// The in-flight TCP retry, if any (mutually exclusive with
+    /// `outstanding`: TC=1 clears the UDP attempt before dialing).
+    pub tcp: Option<TcpAttempt>,
     /// Set while the task is parked waiting for a mandatory glue fetch
     /// (a glueless referral); a timer resumes it.
     pub awaiting_glue: bool,

@@ -18,9 +18,19 @@
 //!
 //! Threading model: one thread per UDP socket (queries are independent;
 //! the socket thread owns the encode buffer and takes the server/gate
-//! locks per datagram), plus an optional telemetry thread that
-//! publishes live snapshots — to a JSON file, a trivial HTTP endpoint,
-//! or both — on a fixed interval.
+//! locks per datagram), an optional TCP accept thread plus one thread
+//! per DNS-over-TCP connection (RFC 7766 two-byte length framing,
+//! served through [`AuthServer::answer_stream`] — the same seam the
+//! simulator's `on_tcp_message` path uses, so stream answers match the
+//! sim byte for byte), and an optional telemetry thread that publishes
+//! live snapshots — to a JSON file, a trivial HTTP endpoint, or both —
+//! on a fixed interval.
+//!
+//! Like the simulator, the TCP path bypasses the [`IngressGate`]: RRL
+//! and its kin police the spoofable datagram ingress, while a completed
+//! TCP handshake already proves return-routability. That asymmetry is
+//! the mechanism behind the paper's TC=1 slip recovery, so the live
+//! server preserves it.
 
 use std::io::{ErrorKind, Read, Write};
 use std::net::{IpAddr, SocketAddr, TcpListener, TcpStream, UdpSocket};
@@ -140,6 +150,10 @@ pub struct ServeStats {
     pub undecodable: u64,
     /// Replies (including RRL slips) the OS refused to send.
     pub send_errors: u64,
+    /// DNS-over-TCP connections accepted.
+    pub tcp_connections: u64,
+    /// Queries answered over TCP (RFC 7766 framed).
+    pub tcp_queries: u64,
 }
 
 /// Configuration for [`LiveServer::start`].
@@ -154,6 +168,17 @@ pub struct ServeConfig {
     /// ingress. ScaleOut defenses are control-plane actions and are
     /// ignored in live mode.
     pub plan: Option<DefensePlan>,
+    /// If set, a DNS-over-TCP listener on this address serves the same
+    /// zones through [`AuthServer::answer_stream`] with RFC 7766
+    /// two-byte length framing. TCP answers skip truncation and bypass
+    /// the ingress gate, mirroring the simulator's stream path — this
+    /// is where a resolver lands after a TC=1 slip.
+    pub tcp_bind: Option<SocketAddr>,
+    /// RFC 7873 cookie secret, applied to both sides of the seam: the
+    /// [`AuthServer`] mints server cookies into responses, and the
+    /// ingress gate (when a plan is mounted) exempts queries whose
+    /// cookie validates. Overrides any secret already set on either.
+    pub cookie_secret: Option<u64>,
     /// Interval between telemetry snapshots.
     pub telemetry_every: Duration,
     /// If set, each snapshot rewrites this file with the full registry
@@ -169,6 +194,8 @@ impl Default for ServeConfig {
         ServeConfig {
             bind: "127.0.0.1:0".parse().expect("literal socket addr"),
             plan: None,
+            tcp_bind: None,
+            cookie_secret: None,
             telemetry_every: Duration::from_secs(10),
             telemetry_json: None,
             telemetry_http: None,
@@ -191,20 +218,21 @@ struct Shared {
 /// server.
 pub struct LiveServer {
     local_addr: SocketAddr,
+    tcp_local_addr: Option<SocketAddr>,
     shared: Arc<Shared>,
     shutdown: Arc<AtomicBool>,
     threads: Vec<JoinHandle<()>>,
 }
 
 impl LiveServer {
-    /// Binds the socket, mounts the defense plan, and starts serving
-    /// `server`'s zones. Returns once the socket is live.
-    pub fn start(config: ServeConfig, server: AuthServer) -> std::io::Result<LiveServer> {
+    /// Binds the socket(s), mounts the defense plan, and starts serving
+    /// `server`'s zones. Returns once every listener is live.
+    pub fn start(config: ServeConfig, mut server: AuthServer) -> std::io::Result<LiveServer> {
         let socket = UdpSocket::bind(config.bind)?;
         socket.set_read_timeout(Some(POLL_INTERVAL))?;
         let local_addr = socket.local_addr()?;
 
-        let gate = match &config.plan {
+        let mut gate = match &config.plan {
             Some(plan) => {
                 plan.validate().map_err(|(i, e)| {
                     std::io::Error::new(ErrorKind::InvalidInput, format!("defense {i}: {e}"))
@@ -216,6 +244,24 @@ impl LiveServer {
             }
             None => None,
         };
+        if let Some(secret) = config.cookie_secret {
+            // One knob arms both halves of the RFC 7873 handshake: the
+            // server mints, the gate validates and exempts.
+            server.set_cookie_secret(Some(secret));
+            if let Some(gate) = &mut gate {
+                gate.set_cookie_secret(Some(secret));
+            }
+        }
+
+        let tcp_listener = match &config.tcp_bind {
+            Some(addr) => {
+                let l = TcpListener::bind(addr)?;
+                l.set_nonblocking(true)?;
+                Some(l)
+            }
+            None => None,
+        };
+        let tcp_local_addr = tcp_listener.as_ref().map(|l| l.local_addr()).transpose()?;
 
         let rotations = server.rotation_schedule();
         let shared = Arc::new(Shared {
@@ -234,6 +280,13 @@ impl LiveServer {
             let local = addr_of_peer(local_addr);
             threads.push(std::thread::spawn(move || {
                 socket_loop(&socket, local, &shared, &shutdown, rotations);
+            }));
+        }
+        if let Some(listener) = tcp_listener {
+            let shared = Arc::clone(&shared);
+            let shutdown = Arc::clone(&shutdown);
+            threads.push(std::thread::spawn(move || {
+                tcp_accept_loop(&listener, &shared, &shutdown);
             }));
         }
         if config.telemetry_json.is_some() || config.telemetry_http.is_some() {
@@ -256,6 +309,7 @@ impl LiveServer {
 
         Ok(LiveServer {
             local_addr,
+            tcp_local_addr,
             shared,
             shutdown,
             threads,
@@ -265,6 +319,12 @@ impl LiveServer {
     /// The bound UDP address (useful with port 0).
     pub fn local_addr(&self) -> SocketAddr {
         self.local_addr
+    }
+
+    /// The bound DNS-over-TCP address, when `tcp_bind` was configured
+    /// (useful with port 0).
+    pub fn tcp_local_addr(&self) -> Option<SocketAddr> {
+        self.tcp_local_addr
     }
 
     /// Socket-loop counters so far.
@@ -339,7 +399,11 @@ fn socket_loop(
             // Zone rotation, driven by the wall clock the way the
             // simulator drives it by timer events.
             while now >= r.2 {
-                shared.server.lock().expect("server lock").rotate_zone(r.0, now);
+                shared
+                    .server
+                    .lock()
+                    .expect("server lock")
+                    .rotate_zone(r.0, now);
                 r.2 = r.2 + r.1;
             }
         }
@@ -399,6 +463,116 @@ fn socket_loop(
     shared.stats.lock().expect("stats lock").send_errors = send_errors;
 }
 
+/// The DNS-over-TCP accept loop: poll the nonblocking listener, spawn a
+/// thread per connection, and join them all before exiting so `stop()`
+/// leaves no thread behind.
+fn tcp_accept_loop(listener: &TcpListener, shared: &Arc<Shared>, shutdown: &Arc<AtomicBool>) {
+    let mut conns: Vec<JoinHandle<()>> = Vec::new();
+    while !shutdown.load(Ordering::Relaxed) {
+        match listener.accept() {
+            Ok((stream, peer)) => {
+                shared.stats.lock().expect("stats lock").tcp_connections += 1;
+                let shared = Arc::clone(shared);
+                let shutdown = Arc::clone(shutdown);
+                conns.push(std::thread::spawn(move || {
+                    tcp_conn_loop(stream, peer, &shared, &shutdown);
+                }));
+            }
+            Err(e) if e.kind() == ErrorKind::WouldBlock => {
+                std::thread::sleep(POLL_INTERVAL);
+            }
+            Err(_) => std::thread::sleep(POLL_INTERVAL),
+        }
+    }
+    for t in conns {
+        let _ = t.join();
+    }
+}
+
+/// Reads exactly `buf.len()` bytes, riding out read timeouts while the
+/// server is up. `Ok(false)` means a clean stop: the peer closed before
+/// sending anything, or shutdown was requested.
+fn read_full(
+    stream: &mut TcpStream,
+    buf: &mut [u8],
+    shutdown: &AtomicBool,
+) -> std::io::Result<bool> {
+    let mut filled = 0;
+    while filled < buf.len() {
+        if shutdown.load(Ordering::Relaxed) {
+            return Ok(false);
+        }
+        match stream.read(&mut buf[filled..]) {
+            Ok(0) => {
+                return if filled == 0 {
+                    Ok(false) // clean close between messages
+                } else {
+                    Err(std::io::Error::new(
+                        ErrorKind::UnexpectedEof,
+                        "peer closed mid-message",
+                    ))
+                };
+            }
+            Ok(n) => filled += n,
+            Err(e) if matches!(e.kind(), ErrorKind::WouldBlock | ErrorKind::TimedOut) => continue,
+            Err(e) => return Err(e),
+        }
+    }
+    Ok(true)
+}
+
+/// One DNS-over-TCP connection: RFC 7766 framing (two-byte big-endian
+/// length before every message, both directions), answered through
+/// [`AuthServer::answer_stream`] — no truncation, no ingress gate, the
+/// same semantics as the simulator's `on_tcp_message` path. Serves any
+/// number of queries until the peer closes or errors.
+fn tcp_conn_loop(mut stream: TcpStream, peer: SocketAddr, shared: &Shared, shutdown: &AtomicBool) {
+    if stream.set_read_timeout(Some(POLL_INTERVAL)).is_err() {
+        return;
+    }
+    let _ = stream.set_nodelay(true);
+    let src = addr_of_peer(peer);
+    let mut enc = EncodeBuffer::new();
+    let mut len_prefix = [0u8; 2];
+    let mut body = Vec::new();
+    loop {
+        match read_full(&mut stream, &mut len_prefix, shutdown) {
+            Ok(true) => {}
+            Ok(false) | Err(_) => return,
+        }
+        let len = u16::from_be_bytes(len_prefix) as usize;
+        body.resize(len, 0);
+        match read_full(&mut stream, &mut body, shutdown) {
+            Ok(true) => {}
+            Ok(false) | Err(_) => return,
+        }
+        let Ok(msg) = codec::decode(&body) else {
+            shared.stats.lock().expect("stats lock").undecodable += 1;
+            continue;
+        };
+        let now = shared.clock.now();
+        let resp = shared
+            .server
+            .lock()
+            .expect("server lock")
+            .answer_stream(now, src, &msg);
+        let Some(resp) = resp else { continue };
+        let payload = enc.encode(&resp).expect("stream response encodes");
+        debug_assert!(
+            payload.len() <= u16::MAX as usize,
+            "DNS message fits a frame"
+        );
+        let frame_len = (payload.len() as u16).to_be_bytes();
+        // Counted before the write so a caller that has the reply in
+        // hand never observes a stale counter.
+        shared.stats.lock().expect("stats lock").tcp_queries += 1;
+        if stream.write_all(&frame_len).is_err() || stream.write_all(&payload).is_err() {
+            shared.stats.lock().expect("stats lock").send_errors += 1;
+            return;
+        }
+    }
+}
+
 /// Publishes one telemetry snapshot (socket stats, auth counters, gate
 /// ledger and per-class delay histograms — the same metric names the
 /// simulator's standard cuts use) and returns the registry as JSON.
@@ -407,9 +581,16 @@ fn publish_snapshot(shared: &Shared) -> String {
     let now = shared.clock.now();
     {
         let stats = shared.stats.lock().expect("stats lock");
-        reg.record_counter("serve", None, "datagrams_received", stats.datagrams_received);
+        reg.record_counter(
+            "serve",
+            None,
+            "datagrams_received",
+            stats.datagrams_received,
+        );
         reg.record_counter("serve", None, "undecodable", stats.undecodable);
         reg.record_counter("serve", None, "send_errors", stats.send_errors);
+        reg.record_counter("serve", None, "tcp_connections", stats.tcp_connections);
+        reg.record_counter("serve", None, "tcp_queries", stats.tcp_queries);
     }
     {
         let server = shared.server.lock().expect("server lock");
@@ -422,6 +603,7 @@ fn publish_snapshot(shared: &Shared) -> String {
             reg.record_counter("serve", None, "defense_drops", ledger.defense_drops);
             reg.record_counter("serve", None, "rrl_limited", ledger.rrl_limited);
             reg.record_counter("serve", None, "rrl_slipped", ledger.rrl_slipped);
+            reg.record_counter("serve", None, "cookie_exempt", ledger.cookie_exempt);
             for class in QUEUE_CLASSES {
                 reg.record_counter(
                     "serve",

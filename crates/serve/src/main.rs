@@ -2,7 +2,8 @@
 //! socket. See EXPERIMENTS.md for a quickstart.
 //!
 //! ```text
-//! dike-serve [--bind ADDR:PORT] [--plan FILE.json]
+//! dike-serve [--bind ADDR:PORT] [--tcp-bind ADDR:PORT]
+//!            [--plan FILE.json] [--cookie-secret HEX]
 //!            [--zonefile FILE] [--cachetest-ttl SECS]
 //!            [--telemetry-json FILE] [--telemetry-http ADDR:PORT]
 //!            [--every-secs N]
@@ -11,7 +12,11 @@
 //! With no zone flags the server hosts the paper's `cachetest.nl`
 //! measurement zone. `--plan` mounts the same hand-rolled JSON
 //! `DefensePlan` format the simulator's experiments use
-//! (`DefensePlan::to_json`). Runs until killed.
+//! (`DefensePlan::to_json`). `--tcp-bind` adds a DNS-over-TCP listener
+//! (RFC 7766 framing) sharing the same zones — where resolvers land
+//! after a TC=1 slip. `--cookie-secret` arms RFC 7873 cookies: the
+//! server mints them and the mounted plan's gate exempts queries whose
+//! cookie validates. Runs until killed.
 
 use std::net::{Ipv4Addr, SocketAddr};
 use std::path::PathBuf;
@@ -24,7 +29,8 @@ use dike_serve::{LiveServer, ServeConfig};
 
 fn usage() -> ! {
     eprintln!(
-        "usage: dike-serve [--bind ADDR:PORT] [--plan FILE.json] \
+        "usage: dike-serve [--bind ADDR:PORT] [--tcp-bind ADDR:PORT] \
+         [--plan FILE.json] [--cookie-secret HEX] \
          [--zonefile FILE] [--cachetest-ttl SECS] \
          [--telemetry-json FILE] [--telemetry-http ADDR:PORT] [--every-secs N]"
     );
@@ -46,22 +52,36 @@ fn main() {
 
     let mut args = std::env::args().skip(1);
     while let Some(flag) = args.next() {
-        let mut value = |name: &str| args.next().unwrap_or_else(|| {
-            eprintln!("dike-serve: {name} needs a value");
-            usage()
-        });
+        let mut value = |name: &str| {
+            args.next().unwrap_or_else(|| {
+                eprintln!("dike-serve: {name} needs a value");
+                usage()
+            })
+        };
         match flag.as_str() {
             "--bind" => {
                 config.bind = value("--bind")
                     .parse::<SocketAddr>()
                     .unwrap_or_else(|e| fail("--bind", e));
             }
+            "--tcp-bind" => {
+                config.tcp_bind = Some(
+                    value("--tcp-bind")
+                        .parse::<SocketAddr>()
+                        .unwrap_or_else(|e| fail("--tcp-bind", e)),
+                );
+            }
+            "--cookie-secret" => {
+                let raw = value("--cookie-secret");
+                let digits = raw.strip_prefix("0x").unwrap_or(&raw);
+                config.cookie_secret = Some(
+                    u64::from_str_radix(digits, 16).unwrap_or_else(|e| fail("--cookie-secret", e)),
+                );
+            }
             "--plan" => {
                 let path = value("--plan");
-                let text =
-                    std::fs::read_to_string(&path).unwrap_or_else(|e| fail("--plan", e));
-                let plan =
-                    DefensePlan::from_json(&text).unwrap_or_else(|e| fail("--plan", e));
+                let text = std::fs::read_to_string(&path).unwrap_or_else(|e| fail("--plan", e));
+                let plan = DefensePlan::from_json(&text).unwrap_or_else(|e| fail("--plan", e));
                 config.plan = Some(plan);
             }
             "--zonefile" => zonefiles.push(PathBuf::from(value("--zonefile"))),
@@ -109,9 +129,11 @@ fn main() {
         }
     }
 
-    let handle =
-        LiveServer::start(config, server).unwrap_or_else(|e| fail("failed to start", e));
+    let handle = LiveServer::start(config, server).unwrap_or_else(|e| fail("failed to start", e));
     eprintln!("dike-serve: listening on udp://{}", handle.local_addr());
+    if let Some(tcp) = handle.tcp_local_addr() {
+        eprintln!("dike-serve: listening on tcp://{tcp}");
+    }
     loop {
         std::thread::sleep(Duration::from_secs(3600));
     }

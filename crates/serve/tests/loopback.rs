@@ -7,7 +7,8 @@
 //! worlds, so any divergence here means one side grew a hidden
 //! dependency on its world.
 
-use std::net::UdpSocket;
+use std::io::{Read as _, Write as _};
+use std::net::{TcpStream, UdpSocket};
 use std::sync::{Arc, Mutex};
 use std::time::Duration;
 
@@ -27,7 +28,11 @@ fn zone() -> CacheTestZone {
 }
 
 fn query(id: u16) -> Message {
-    Message::query(id, Name::parse("1414.cachetest.nl").unwrap(), RecordType::AAAA)
+    Message::query(
+        id,
+        Name::parse("1414.cachetest.nl").unwrap(),
+        RecordType::AAAA,
+    )
 }
 
 /// RRL tight enough that of six rapid queries from one source, exactly
@@ -132,7 +137,9 @@ fn run_live(plan: Option<DefensePlan>) -> (Vec<(u16, Vec<u8>)>, DefenseLedger) {
         let q = codec::encode(&query(id)).expect("query encodes");
         client.send(&q).expect("send query");
         let len = client.recv(&mut buf).unwrap_or_else(|e| {
-            panic!("no reply to query {id} within 5s (every query must be answered or slipped): {e}")
+            panic!(
+                "no reply to query {id} within 5s (every query must be answered or slipped): {e}"
+            )
         });
         let resp = codec::decode(&buf[..len]).expect("reply decodes");
         assert_eq!(resp.id, id, "replies arrive lock-step");
@@ -194,8 +201,177 @@ fn rrl_slip_parity_including_ledgers() {
         defense_drops: 4,
         rrl_limited: 4,
         rrl_slipped: 4,
+        cookie_exempt: 0,
         shed_by_class: [0, 0, 0],
     };
     assert_eq!(sim_ledger, expected, "sim ledger");
     assert_eq!(live_ledger, expected, "live ledger");
+}
+
+/// Sends one RFC 7766 length-framed query over an open TCP stream and
+/// returns the framed reply's bytes.
+fn tcp_exchange(stream: &mut TcpStream, q: &Message) -> Vec<u8> {
+    let wire = codec::encode(q).expect("query encodes");
+    let frame = (wire.len() as u16).to_be_bytes();
+    stream.write_all(&frame).expect("send frame length");
+    stream.write_all(&wire).expect("send query");
+    let mut len = [0u8; 2];
+    stream.read_exact(&mut len).expect("reply frame length");
+    let mut body = vec![0u8; u16::from_be_bytes(len) as usize];
+    stream.read_exact(&mut body).expect("reply body");
+    body
+}
+
+/// Sends one UDP query and returns the reply's bytes.
+fn udp_exchange(client: &UdpSocket, q: &Message) -> Vec<u8> {
+    let wire = codec::encode(q).expect("query encodes");
+    client.send(&wire).expect("send query");
+    let mut buf = [0u8; 4096];
+    let len = client.recv(&mut buf).expect("reply within timeout");
+    buf[..len].to_vec()
+}
+
+fn udp_client(handle: &LiveServer) -> UdpSocket {
+    let client = UdpSocket::bind("127.0.0.1:0").expect("bind client");
+    client
+        .set_read_timeout(Some(Duration::from_secs(5)))
+        .expect("read timeout");
+    client.connect(handle.local_addr()).expect("connect");
+    client
+}
+
+/// The TCP pin: the same query over UDP and over the RFC 7766 stream
+/// must produce byte-identical answers on an undefended server — and
+/// when a tight RRL gate slips UDP queries as TC=1, the TCP path (which
+/// a completed handshake exempts from the gate, exactly as in the
+/// simulator) still returns that same full answer.
+#[test]
+fn tcp_answers_match_udp_and_bypass_the_gate() {
+    // Phase 1: undefended parity, byte for byte.
+    let handle = LiveServer::start(
+        ServeConfig {
+            tcp_bind: Some("127.0.0.1:0".parse().unwrap()),
+            ..ServeConfig::default()
+        },
+        AuthServer::new().with_zone(Box::new(zone())),
+    )
+    .expect("bind loopback");
+    let tcp_addr = handle.tcp_local_addr().expect("tcp listener is live");
+    let client = udp_client(&handle);
+    let udp_bytes = udp_exchange(&client, &query(1));
+    let mut stream = TcpStream::connect(tcp_addr).expect("tcp connect");
+    stream
+        .set_read_timeout(Some(Duration::from_secs(5)))
+        .expect("read timeout");
+    let tcp_bytes = tcp_exchange(&mut stream, &query(1));
+    assert_eq!(
+        udp_bytes, tcp_bytes,
+        "UDP and TCP answers to the same query must be byte-identical"
+    );
+    drop(stream);
+    let stats = handle.stop();
+    assert_eq!(stats.tcp_connections, 1);
+    assert_eq!(stats.tcp_queries, 1);
+
+    // Phase 2: a gate that slips UDP does not touch the stream path.
+    let plan = DefensePlan::new().with(Defense::rrl(Addr(0), rrl_config()));
+    let handle = LiveServer::start(
+        ServeConfig {
+            plan: Some(plan),
+            tcp_bind: Some("127.0.0.1:0".parse().unwrap()),
+            ..ServeConfig::default()
+        },
+        AuthServer::new().with_zone(Box::new(zone())),
+    )
+    .expect("bind loopback");
+    let tcp_addr = handle.tcp_local_addr().expect("tcp listener is live");
+    let client = udp_client(&handle);
+    let full_udp = udp_exchange(&client, &query(1)); // burst token 1
+    udp_exchange(&client, &query(2)); // burst token 2
+    let slipped = codec::decode(&udp_exchange(&client, &query(3))).expect("slip decodes");
+    assert!(slipped.truncated, "third rapid UDP query slips as TC=1");
+    assert!(slipped.answers.is_empty());
+
+    // The TC=1 retry: same question over TCP gets the full answer the
+    // gate was withholding, byte-identical (modulo DNS id) to the
+    // pre-limit UDP answer.
+    let mut stream = TcpStream::connect(tcp_addr).expect("tcp connect");
+    stream
+        .set_read_timeout(Some(Duration::from_secs(5)))
+        .expect("read timeout");
+    let retry_bytes = tcp_exchange(&mut stream, &query(1));
+    assert_eq!(
+        retry_bytes, full_udp,
+        "the TCP retry recovers the exact answer UDP was slipping"
+    );
+    drop(stream);
+
+    let ledger = handle.defense_ledger();
+    assert_eq!(ledger.rrl_limited, 1, "only the UDP slip hit the gate");
+    handle.stop();
+}
+
+/// RFC 7873 end to end on real sockets: a gate that slips everyone
+/// else lets the client whose cookie validates sail straight through —
+/// and the slip itself is what hands the client that cookie.
+#[test]
+fn cookie_exempt_client_sails_past_the_slipping_gate() {
+    use dike_wire::cookie;
+    const SECRET: u64 = 0xd1ce_7873;
+    let plan = DefensePlan::new().with(Defense::rrl(Addr(0), rrl_config()));
+    let handle = LiveServer::start(
+        ServeConfig {
+            plan: Some(plan),
+            cookie_secret: Some(SECRET),
+            ..ServeConfig::default()
+        },
+        AuthServer::new().with_zone(Box::new(zone())),
+    )
+    .expect("bind loopback");
+    let client = udp_client(&handle);
+    let src = 0x7f00_0001; // 127.0.0.1 as the gate keys it
+
+    // Two plain queries spend the burst.
+    for id in 1..=2u16 {
+        let resp = codec::decode(&udp_exchange(&client, &query(id))).expect("decodes");
+        assert!(!resp.truncated, "query {id} answered in full");
+    }
+
+    // Query 3 carries a client-only cookie. It is rate-limited — a
+    // client cookie alone proves nothing — but the TC=1 slip comes back
+    // with the server half minted in: the slip IS the cookie handshake.
+    let mut q3 = query(3);
+    let client_cookie = cookie::client_cookie_for(src, src);
+    cookie::set_cookie(&mut q3, 1232, &cookie::Cookie::client_only(client_cookie));
+    let slip = codec::decode(&udp_exchange(&client, &q3)).expect("slip decodes");
+    assert!(slip.truncated, "query 3 slipped as TC=1");
+    let learned = cookie::cookie_of(&slip).expect("slip completes the cookie");
+    assert!(
+        cookie::validate(&learned, src, SECRET),
+        "the slipped cookie validates for our source"
+    );
+
+    // Query 4 presents the full cookie: exempt, answered in full while
+    // the bucket is still empty.
+    let mut q4 = query(4);
+    cookie::set_cookie(&mut q4, 1232, &learned);
+    let exempt = codec::decode(&udp_exchange(&client, &q4)).expect("decodes");
+    assert!(!exempt.truncated, "cookie-bearing query bypasses the gate");
+    assert!(!exempt.answers.is_empty());
+
+    // Query 5, plain again, still slips: the exemption is per-cookie,
+    // not a hole in the gate.
+    let still = codec::decode(&udp_exchange(&client, &query(5))).expect("decodes");
+    assert!(still.truncated, "cookieless query still slips");
+
+    let ledger = handle.defense_ledger();
+    let expected = DefenseLedger {
+        defense_drops: 2,
+        rrl_limited: 2,
+        rrl_slipped: 2,
+        cookie_exempt: 1,
+        shed_by_class: [0, 0, 0],
+    };
+    assert_eq!(ledger, expected, "gate ledger");
+    handle.stop();
 }

@@ -46,11 +46,12 @@ pub fn classify_server_query(msg: &Message) -> Option<ServerQueryType> {
     }
     let q = msg.question()?;
     let first_label = q.name.labels().next();
-    let numeric_pid = first_label
-        .and_then(|l| std::str::from_utf8(l).ok().and_then(|s| s.parse::<u16>().ok()));
-    let looks_like_ns = first_label
-        .map(|l| l.starts_with(b"ns"))
-        .unwrap_or(false);
+    let numeric_pid = first_label.and_then(|l| {
+        std::str::from_utf8(l)
+            .ok()
+            .and_then(|s| s.parse::<u16>().ok())
+    });
+    let looks_like_ns = first_label.map(|l| l.starts_with(b"ns")).unwrap_or(false);
     Some(match (q.qtype, numeric_pid, looks_like_ns) {
         (RecordType::NS, _, _) => ServerQueryType::Ns,
         (RecordType::AAAA, Some(pid), _) => ServerQueryType::AaaaForPid { pid },

@@ -32,12 +32,14 @@
 //! ```
 
 pub mod codec;
+pub mod cookie;
 mod message;
 mod name;
 mod rdata;
 mod record;
 mod types;
 
+pub use cookie::Cookie;
 pub use message::{Message, MessageBuilder, Question};
 pub use name::{Name, NameBuilder, NameError, MAX_LABEL_LEN, MAX_NAME_LEN};
 pub use rdata::{RData, SoaData};

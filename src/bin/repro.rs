@@ -133,6 +133,7 @@ fn parse_args() -> Args {
                     "queueing",
                     "degraded",
                     "defense",
+                    "cookies",
                     "sweep",
                     "falsepos",
                     "all",
@@ -144,7 +145,7 @@ fn parse_args() -> Args {
             "--help" | "-h" => {
                 println!(
                     "usage: repro <target> [--scale X] [--seed N] [--json FILE] [--metrics FILE]\n\
-                     targets: table1-7, fig3-16, implications, queueing, degraded, defense, sweep, falsepos, all\n\
+                     targets: table1-7, fig3-16, implications, queueing, degraded, defense, cookies, sweep, falsepos, all\n\
                      --metrics collects sim-time telemetry during the DDoS runs and\n\
                      writes the full metric registry (per-node counters, gauges,\n\
                      retry histograms) as JSON, keyed by experiment letter\n\
@@ -280,6 +281,7 @@ fn main() {
     target!("queueing", queueing_extension(&mut ctx));
     target!("degraded", degraded_scenario(&mut ctx));
     target!("defense", defense_comparison(&mut ctx));
+    target!("cookies", cookies_comparison(&mut ctx));
 
     // Not part of `all`: grid size is governed by its own flags.
     if t == "sweep" {
@@ -1141,6 +1143,81 @@ fn defense_comparison(ctx: &mut Ctx) {
          slip-2 (TC=1) preserves them via TCP-style retry, and history-based\n\
          admission keeps known resolvers first-class while the unknown class\n\
          (where the spoofed fleet lands) is shed."
+    );
+}
+
+fn cookies_comparison(ctx: &mut Ctx) {
+    use dike_experiments::cookies::{run_cookie_comparison, ALL_ARMS};
+
+    eprintln!(
+        "[repro] cookies: running {} arms under Experiment H + spoofed flood at scale {} ...",
+        ALL_ARMS.len(),
+        ctx.scale
+    );
+    let cmp = run_cookie_comparison(ctx.scale, ctx.seed);
+    let baseline_served = cmp
+        .rows
+        .first()
+        .map(|r| r.spoofed.full_answers)
+        .unwrap_or(0);
+    let mut tbl = TextTable::new(
+        format!(
+            "TCP fallback + DNS cookies: {}% loss at both NS + {} spoofed sources x {} qps, \
+             minutes {}-{}, TCP table {} slots",
+            (cmp.attack.loss * 100.0) as u32,
+            cmp.flood.sources,
+            cmp.flood.qps_per_source,
+            cmp.attack.start_min,
+            cmp.attack.start_min + cmp.attack.duration_min,
+            cmp.tcp.table_capacity,
+        ),
+        &[
+            "arm",
+            "OK during attack",
+            "spoofed served",
+            "served cut",
+            "TC slips",
+            "cookie exempt",
+            "TCP retries",
+            "TCP answered",
+            "TCP failed",
+            "SYNs refused",
+        ],
+    );
+    for r in &cmp.rows {
+        let cut = if baseline_served > 0 {
+            pct(1.0 - r.spoofed.full_answers as f64 / baseline_served as f64)
+        } else {
+            "-".into()
+        };
+        tbl.row(&[
+            r.arm.label().to_string(),
+            r.ok_during_attack.map(pct).unwrap_or_else(|| "-".into()),
+            r.spoofed.full_answers.to_string(),
+            cut,
+            r.rrl_slipped.to_string(),
+            r.cookie_exempt.to_string(),
+            r.tcp_fallbacks.to_string(),
+            r.tcp_answers.to_string(),
+            r.tcp_failures.to_string(),
+            r.syn_refused.to_string(),
+        ]);
+    }
+    ctx.emit(&tbl);
+    if let Some(ex) = cmp.rows.iter().find_map(|r| r.exhaustion) {
+        println!(
+            "connection-table exhaustion (hogged arm): {} dials, {} slots won and held, \
+             {} refused with RST",
+            ex.dialed, ex.established, ex.refused
+        );
+    }
+    println!(
+        "the slip path, made honest: a TC=1 slip only helps a resolver that\n\
+         can complete a TCP handshake, so slip recovery lasts exactly as long\n\
+         as the connection table has headroom — hog the table and slipped\n\
+         queries go back to being losses (while UDP service stays intact).\n\
+         RFC 7873 cookies sidestep the retry entirely: validated resolvers\n\
+         bypass the limiter, spoofed sources never validate."
     );
 }
 

@@ -26,7 +26,7 @@ use dike::experiments::topology;
 use dike::faults::{Fault, FaultPlan, FloodShape};
 use dike::netsim::{
     Addr, ClassedQueueConfig, Context, LatencyModel, LinkParams, LinkTable, Node, NodeId,
-    QueueConfig, SimDuration, Simulator, TimerToken,
+    QueueConfig, SimDuration, Simulator, TcpConfig, TcpConnId, TimerToken,
 };
 use dike::wire::{Message, Name, RecordType};
 
@@ -49,6 +49,18 @@ impl Node for Echo {
     fn on_datagram(&mut self, ctx: &mut Context<'_>, src: Addr, msg: &Message, _len: usize) {
         if !msg.is_response {
             ctx.send(src, &Message::response_to(msg));
+        }
+    }
+    fn on_tcp_message(
+        &mut self,
+        ctx: &mut Context<'_>,
+        conn: TcpConnId,
+        _peer: Addr,
+        msg: &Message,
+        _len: usize,
+    ) {
+        if !msg.is_response {
+            ctx.tcp_send(conn, &Message::response_to(msg));
         }
     }
     fn on_timer(&mut self, _ctx: &mut Context<'_>, _token: TimerToken) {}
@@ -75,6 +87,54 @@ impl Node for Chatter {
         if self.remaining > 0 {
             self.remaining -= 1;
             ctx.set_timer(SimDuration::from_secs(1), TimerToken(0));
+        }
+    }
+}
+
+/// A client that talks to its echo server over TCP: dial once a second,
+/// send the query when the handshake completes, hang up on the reply.
+/// Every lifecycle edge the transport has — refused SYN, crash-severed
+/// connection, idle reap — shows up in its counters, so faults landing
+/// mid-handshake are observable, not just survivable.
+struct TcpChatter {
+    target: Addr,
+    replies: Arc<Mutex<u64>>,
+    resets: Arc<Mutex<u64>>,
+    remaining: u32,
+}
+
+impl Node for TcpChatter {
+    fn on_start(&mut self, ctx: &mut Context<'_>) {
+        ctx.set_timer(SimDuration::from_secs(1), TimerToken(0));
+    }
+    fn on_datagram(&mut self, _ctx: &mut Context<'_>, _src: Addr, _msg: &Message, _len: usize) {}
+    fn on_timer(&mut self, ctx: &mut Context<'_>, _token: TimerToken) {
+        ctx.tcp_connect(self.target);
+        if self.remaining > 0 {
+            self.remaining -= 1;
+            ctx.set_timer(SimDuration::from_secs(1), TimerToken(0));
+        }
+    }
+    fn on_tcp_connected(&mut self, ctx: &mut Context<'_>, conn: TcpConnId, _peer: Addr) {
+        let q = Message::query(1, Name::parse("chaos.nl").unwrap(), RecordType::A);
+        ctx.tcp_send(conn, &q);
+    }
+    fn on_tcp_message(
+        &mut self,
+        ctx: &mut Context<'_>,
+        conn: TcpConnId,
+        _peer: Addr,
+        msg: &Message,
+        _len: usize,
+    ) {
+        if msg.is_response {
+            *self.replies.lock() += 1;
+            ctx.tcp_close(conn);
+        }
+    }
+    fn on_tcp_closed(&mut self, _ctx: &mut Context<'_>, _conn: TcpConnId, reset: bool) {
+        if reset {
+            *self.resets.lock() += 1;
         }
     }
 }
@@ -350,6 +410,133 @@ fn defended_chaos_iteration(case_seed: u64) -> u64 {
         fnv(&mut h, *r.lock());
     }
     h
+}
+
+/// One TCP chaos iteration: the echo world grows TCP listeners with a
+/// deliberately tiny connection table (capacity 2 for 4 dialers, so
+/// RST-on-full fires constantly) and a fleet of [`TcpChatter`]s, then a
+/// random fault plan whose crash/degrade times are biased to land
+/// *inside* the ~20 ms handshake window after each whole-second dial
+/// tick. The audit's connection-conservation invariant
+/// (`opened = closed + reset + live`) must hold however the faults cut
+/// the handshakes, and the whole run must digest identically on replay.
+/// Returns `(digest, resets)` so the sweep can check the abortive path
+/// was actually exercised, not just survived.
+fn tcp_chaos_iteration(case_seed: u64) -> (u64, u64) {
+    let mut rng = SmallRng::seed_from_u64(case_seed ^ 0x94d0_49bb_1331_11eb);
+    let mut world = chaos_world(case_seed, 3, 4);
+    for &addr in &world.echo_addrs {
+        world.sim.set_tcp_listener(
+            addr,
+            TcpConfig {
+                table_capacity: 2,
+                ..TcpConfig::default()
+            },
+        );
+    }
+    let mut tcp_replies = Vec::new();
+    let mut tcp_resets = Vec::new();
+    for i in 0..4 {
+        let replies = Arc::new(Mutex::new(0));
+        let resets = Arc::new(Mutex::new(0));
+        world.sim.add_node(Box::new(TcpChatter {
+            target: world.echo_addrs[i % world.echo_addrs.len()],
+            replies: replies.clone(),
+            resets: resets.clone(),
+            remaining: 119,
+        }));
+        tcp_replies.push(replies);
+        tcp_resets.push(resets);
+    }
+
+    // Faults aimed at the handshake: dials fire at t = 1s, 2s, … and the
+    // 10 ms link latency puts the SYN and the open callback inside the
+    // next ~20 ms, so crashes/degrades starting a few ms past a tick cut
+    // connections in SynSent or just-established states.
+    let mut faults = FaultPlan::new();
+    for _ in 0..rng.random_range(1..=3u32) {
+        let tick = rng.random_range(1..90u64);
+        let at = SimDuration::from_millis(tick * 1_000 + rng.random_range(0..30u64));
+        if rng.random_bool(0.6) {
+            let node = world.echo_ids[rng.random_range(0..world.echo_ids.len())];
+            faults.push(Fault::crash_restart(
+                node,
+                at.after_zero(),
+                secs(rng.random_range(1..=30)),
+                rng.random_bool(0.5),
+            ));
+        } else {
+            let target = world.echo_addrs[rng.random_range(0..world.echo_addrs.len())];
+            faults.push(
+                Fault::link_degrade(
+                    target,
+                    at.after_zero(),
+                    secs(rng.random_range(1..=30)),
+                    rng.random_range(0.2..=1.0),
+                    rng.random_range(1.0..20.0),
+                )
+                .with_latency_factor(rng.random_range(1.0..8.0)),
+            );
+        }
+    }
+    faults.validate().expect("generated plans are valid");
+    faults.schedule(&mut world.sim).expect("plan schedules");
+    world
+        .sim
+        .run_until(SimDuration::from_secs(200).after_zero());
+    let report = world.sim.audit();
+    report.assert_clean();
+    // Connection conservation, restated explicitly: every dial is
+    // accounted for as a graceful close, an abortive reset, or a
+    // still-live connection — mid-handshake casualties included.
+    assert_eq!(
+        report.tcp.opened,
+        report.tcp.closed + report.tcp.reset + report.tcp_live,
+        "case {case_seed}: TCP connections leaked or double-counted"
+    );
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for f in [
+        report.sent,
+        report.delivered,
+        report.tcp.opened,
+        report.tcp.closed,
+        report.tcp.reset,
+        report.tcp.syn_refused,
+        report.tcp.messages,
+        report.tcp_live,
+        report.node_crashes,
+        report.node_restarts,
+    ] {
+        fnv(&mut h, f);
+    }
+    for r in tcp_replies.iter().chain(&world.replies) {
+        fnv(&mut h, *r.lock());
+    }
+    for r in &tcp_resets {
+        fnv(&mut h, *r.lock());
+    }
+    (h, report.tcp.reset)
+}
+
+#[test]
+fn chaos_tcp_midhandshake_faults_conserve_connections() {
+    let mut total_resets = 0;
+    for case in 0..cases() {
+        total_resets += tcp_chaos_iteration(case).1;
+    }
+    // The sweep must actually exercise the abortive path (the tiny
+    // table plus mid-handshake crashes guarantee refusals and severed
+    // connections); a sweep with zero resets means the faults missed.
+    assert!(total_resets > 0, "no run ever took the RST path");
+}
+
+#[test]
+fn chaos_tcp_runs_are_deterministic() {
+    for case in 0..cases().min(8) {
+        let a = tcp_chaos_iteration(case);
+        let b = tcp_chaos_iteration(case);
+        assert_eq!(a, b, "case {case}: same seed+plan, different run");
+    }
 }
 
 #[test]

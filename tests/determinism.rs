@@ -186,7 +186,10 @@ fn batched_fan_in_delivery_order_matches_pinned_digest() {
         push(id as u64);
     }
     drop(push);
-    assert_eq!(h, BATCHED_FAN_IN_DIGEST, "batched delivery reordered fan-in");
+    assert_eq!(
+        h, BATCHED_FAN_IN_DIGEST,
+        "batched delivery reordered fan-in"
+    );
 }
 
 /// Digest of the fan-in delivery sequence above. The analytic

@@ -23,6 +23,8 @@ fn run(waveform: Waveform, loss: f64, seed: u64) -> f64 {
             rounds: 15,
             population_seed: 7,
             regional_latency: true,
+            resolver_tcp_fallback: false,
+            cookie_secret: None,
         },
     );
     Attack::partial(
