@@ -15,12 +15,18 @@
 //! * [`CacheTestZone`] — the paper's measurement zone (§3.2): synthesizes
 //!   a unique AAAA answer per probe id with the serial / probe-id / TTL
 //!   encoded in the address, and rotates the serial every 10 minutes.
+//! * [`nxns`] — NXNSAttack zone builders: a malicious zone whose
+//!   referrals list configurably many glueless, out-of-bailiwick NS
+//!   names under a victim zone, and the victim zone that absorbs the
+//!   amplified infrastructure-query load.
 
 mod cachetest;
+pub mod nxns;
 mod server;
 mod zone;
 pub mod zonefile;
 
 pub use cachetest::{decode_probe_aaaa, probe_aaaa, CacheTestZone, ProbePayload, AAAA_PREFIX};
+pub use nxns::NxnsZoneConfig;
 pub use server::{AuthServer, AuthStats, ZoneProvider};
 pub use zone::{Zone, ZoneAnswer};

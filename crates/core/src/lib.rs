@@ -43,6 +43,7 @@ pub use dike_defense::{Defense, DefensePlan, RrlConfig};
 pub use dike_experiments as experiments;
 pub use dike_experiments::cookies::{CookieArm, CookieComparison, CookieRow, TcpExhaustion};
 pub use dike_experiments::defense::{DefensePreset, LateResolverWave, SpoofedFlood, SpoofedStats};
+pub use dike_experiments::nxns::{NxnsArm, NxnsAttack, NxnsComparison, NxnsRow, NxnsStats};
 pub use dike_experiments::setup::AttackScope;
 pub use dike_faults as faults;
 pub use dike_faults::{Fault, FaultPlan};
@@ -353,6 +354,25 @@ impl Scenario {
         self
     }
 
+    /// Arms the NXNSAttack: the malicious `attack` and victim `victim`
+    /// zones join the hierarchy and a dedicated attack client cycles
+    /// fresh delegation cuts through its own recursive. The client's
+    /// tally comes back via [`Report::nxns_stats`]; the victim's load is
+    /// visible through [`Scenario::telemetry`] as the
+    /// `auth:nxns-victim` node's `queries` counter.
+    pub fn nxns(mut self, attack: NxnsAttack) -> Self {
+        self.setup.nxns = Some(attack);
+        self
+    }
+
+    /// Arms MaxFetch(k), the NXNSAttack mitigation, at every recursive
+    /// in the population: at most `k` NS-address fetches per referral
+    /// (clamped to at least 1 — benign delegations need some fetches).
+    pub fn max_fetch(mut self, k: u32) -> Self {
+        self.setup.resolver_max_fetch = Some(k.max(1));
+        self
+    }
+
     /// Adds a deterministic spoofed-source flood against the two
     /// authoritatives, aligned with the attack window (the default
     /// minutes 60–120 when no attack is armed): `sources` timer-paced
@@ -554,6 +574,12 @@ impl Report {
         self.output.spoofed
     }
 
+    /// The NXNS attack client's tally, when [`Scenario::nxns`] was
+    /// configured.
+    pub fn nxns_stats(&self) -> Option<NxnsStats> {
+        self.output.nxns
+    }
+
     /// The late legitimate wave's tally, when
     /// [`Scenario::late_resolvers`] was configured. Its
     /// [`SpoofedStats::served_fraction`] is the complement of the
@@ -707,6 +733,26 @@ mod tests {
     }
 
     #[test]
+    fn nxns_builders_arm_the_setup() {
+        let mut s = Scenario::new()
+            .probes(5)
+            .nxns(NxnsAttack::with_fanout(32))
+            .max_fetch(2);
+        s.resolve();
+        assert_eq!(s.setup.nxns.expect("nxns armed").zone.fanout, 32);
+        assert_eq!(s.setup.resolver_max_fetch, Some(2));
+        // k is clamped to at least one fetch per referral.
+        assert_eq!(
+            Scenario::new().max_fetch(0).setup.resolver_max_fetch,
+            Some(1)
+        );
+        // And the default world stays NXNS-free with the fan-out
+        // uncapped (the pinned digest depends on this).
+        assert!(Scenario::new().setup.nxns.is_none());
+        assert!(Scenario::new().setup.resolver_max_fetch.is_none());
+    }
+
+    #[test]
     fn scenario_defense_is_installed_and_counted() {
         // A near-zero rate (burst 1, one token per ~100 s) rate-limits
         // most repeat queries, so the netsim defense counters must move.
@@ -823,6 +869,7 @@ mod tests {
                 spoofed: None,
                 late: None,
                 exhaustion: None,
+                nxns: None,
             },
             outcomes: vec![
                 OutcomeBin {

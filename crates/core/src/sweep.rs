@@ -83,6 +83,14 @@ pub enum SweepAxis {
     /// axis, the on-arm exempts cookie-validated resolvers from the
     /// gate while spoofed sources stay limited.
     CookieMode(Vec<bool>),
+    /// NXNSAttack NS fan-outs per malicious referral (see
+    /// [`crate::Scenario::nxns`]). Each arm arms the attack with this
+    /// fan-out; crossed with [`SweepAxis::MaxFetchK`], this is the
+    /// amplification-vs-mitigation grid.
+    NxnsFanout(Vec<usize>),
+    /// MaxFetch(k) values: each arm caps every recursive's NS-address
+    /// fetches per referral at this k (see [`crate::Scenario::max_fetch`]).
+    MaxFetchK(Vec<u32>),
 }
 
 /// Query pacing of one late-wave resolver on the
@@ -109,6 +117,8 @@ impl SweepAxis {
             SweepAxis::LateArrivalsPerMin(_) => "late_per_min",
             SweepAxis::TcpTableCapacity(_) => "tcp_table",
             SweepAxis::CookieMode(_) => "cookies",
+            SweepAxis::NxnsFanout(_) => "nxns_fanout",
+            SweepAxis::MaxFetchK(_) => "max_fetch_k",
         }
     }
 
@@ -125,6 +135,8 @@ impl SweepAxis {
             SweepAxis::LateArrivalsPerMin(v) => v.len(),
             SweepAxis::TcpTableCapacity(v) => v.len(),
             SweepAxis::CookieMode(v) => v.len(),
+            SweepAxis::NxnsFanout(v) => v.len(),
+            SweepAxis::MaxFetchK(v) => v.len(),
         }
     }
 
@@ -146,6 +158,8 @@ impl SweepAxis {
             SweepAxis::LateArrivalsPerMin(v) => fmt_f64(v[i]),
             SweepAxis::TcpTableCapacity(v) => v[i].to_string(),
             SweepAxis::CookieMode(v) => if v[i] { "on" } else { "off" }.to_string(),
+            SweepAxis::NxnsFanout(v) => v[i].to_string(),
+            SweepAxis::MaxFetchK(v) => v[i].to_string(),
         }
     }
 
@@ -180,6 +194,12 @@ impl SweepAxis {
                     s.setup.cookie_secret = None;
                 }
             }
+            SweepAxis::NxnsFanout(v) => {
+                let mut attack = s.setup.nxns.unwrap_or_default();
+                attack.zone.fanout = v[i];
+                s.setup.nxns = Some(attack);
+            }
+            SweepAxis::MaxFetchK(v) => *s = s.clone().max_fetch(v[i]),
         }
     }
 }
@@ -998,6 +1018,32 @@ mod tests {
             vec![
                 ("tcp_table".into(), "64".into()),
                 ("cookies".into(), "on".into())
+            ]
+        );
+    }
+
+    #[test]
+    fn nxns_axes_mutate_the_scenario() {
+        let engine = SweepEngine::new(tiny_base())
+            .axis(SweepAxis::NxnsFanout(vec![10, 40]))
+            .axis(SweepAxis::MaxFetchK(vec![2, 5]));
+        assert_eq!(engine.arm_count(), 4);
+
+        // Arm 0: fan-out 10, MaxFetch(2).
+        let s0 = engine.scenario_for(0, 0);
+        assert_eq!(s0.setup.nxns.expect("attack armed").zone.fanout, 10);
+        assert_eq!(s0.setup.resolver_max_fetch, Some(2));
+
+        // Arm 3: fan-out 40, MaxFetch(5).
+        let s3 = engine.scenario_for(3, 0);
+        assert_eq!(s3.setup.nxns.expect("attack armed").zone.fanout, 40);
+        assert_eq!(s3.setup.resolver_max_fetch, Some(5));
+
+        assert_eq!(
+            engine.coord_labels(3),
+            vec![
+                ("nxns_fanout".into(), "40".into()),
+                ("max_fetch_k".into(), "5".into())
             ]
         );
     }

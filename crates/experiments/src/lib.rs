@@ -13,6 +13,7 @@
 //! | [`degraded`] | §5.1 future work: degraded-but-not-failed (bursty loss + latency + flood) |
 //! | [`software`] | Fig. 16 (BIND vs Unbound retry behaviour) |
 //! | [`glue`] | Table 5, Table 6 (referral vs authoritative TTL precedence) |
+//! | [`nxns`] | NXNSAttack recursive amplification and the MaxFetch(k) mitigation |
 //! | [`production`] | Fig. 4, Fig. 5 (`.nl` and root-DITL trace emulation) |
 //! | [`implications`] | §8's root-vs-Dyn contrast as a controlled anycast sweep |
 //!
@@ -33,6 +34,7 @@ pub mod defense;
 pub mod degraded;
 pub mod glue;
 pub mod implications;
+pub mod nxns;
 pub mod population;
 pub mod production;
 pub mod public_resolvers;

@@ -17,6 +17,7 @@ use crate::cookies::{install_tcp_exhaustion, ExhaustionStats, TcpExhaustion};
 use crate::defense::{
     install_late_wave, install_spoofed_flood, LateResolverWave, SpoofedFlood, SpoofedStats,
 };
+use crate::nxns::{install_nxns, NxnsAttack, NxnsStats};
 use crate::population::PopulationMix;
 use crate::topology::{self, BuildConfig, VpMeta};
 
@@ -137,6 +138,15 @@ pub struct ExperimentSetup {
     /// cachetest.nl authoritatives: hog nodes that open connections and
     /// hold them. Tally in [`ExperimentOutput::exhaustion`].
     pub tcp_exhaustion: Option<TcpExhaustion>,
+    /// Arm the NXNSAttack: a malicious `attack` zone and a victim
+    /// `victim` zone join the hierarchy, and a dedicated attack client
+    /// cycles fresh delegation cuts through its own recursive. Tally in
+    /// [`ExperimentOutput::nxns`].
+    pub nxns: Option<NxnsAttack>,
+    /// MaxFetch(k), the NXNSAttack mitigation, applied to every
+    /// recursive in the population (see
+    /// [`crate::topology::BuildConfig::resolver_max_fetch`]).
+    pub resolver_max_fetch: Option<u32>,
     /// Run the simulator's invariant auditor at the end of the run and
     /// panic on violations (datagram conservation, timer hygiene,
     /// crash/restart pairing). Also enabled by the `DIKE_AUDIT`
@@ -170,6 +180,8 @@ impl ExperimentSetup {
             tcp: None,
             cookie_secret: None,
             tcp_exhaustion: None,
+            nxns: None,
+            resolver_max_fetch: None,
             audit: false,
         }
     }
@@ -216,6 +228,9 @@ pub struct ExperimentOutput {
     /// The connection-hog fleet's tally, present when
     /// [`ExperimentSetup::tcp_exhaustion`] was set.
     pub exhaustion: Option<ExhaustionStats>,
+    /// The NXNS attack client's tally, present when
+    /// [`ExperimentSetup::nxns`] was set.
+    pub nxns: Option<NxnsStats>,
 }
 
 /// Runs one experiment to completion.
@@ -233,6 +248,8 @@ pub fn run_experiment(setup: &ExperimentSetup) -> ExperimentOutput {
         regional_latency: setup.regional_latency,
         resolver_tcp_fallback: setup.tcp.is_some(),
         cookie_secret: setup.cookie_secret,
+        resolver_max_fetch: setup.resolver_max_fetch,
+        nxns: setup.nxns.map(|a| a.zone),
     };
     let topo = topology::build(&mut sim, &build);
 
@@ -259,6 +276,11 @@ pub fn run_experiment(setup: &ExperimentSetup) -> ExperimentOutput {
         }
         for r1 in &topo.public_r1s {
             sim.label_addr(*r1, "resolver:public-frontend");
+        }
+        if let Some(nx) = &topo.nxns {
+            sim.label_addr(nx.attacker, "auth:nxns-attacker");
+            sim.label_addr(nx.victim, "auth:nxns-victim");
+            sim.label_addr(nx.resolver, "resolver:nxns-attack");
         }
         reg
     });
@@ -343,6 +365,11 @@ pub fn run_experiment(setup: &ExperimentSetup) -> ExperimentOutput {
         .as_ref()
         .map(|ex| install_tcp_exhaustion(&mut sim, ex, topo.ns));
 
+    let nxns_handle = setup.nxns.as_ref().map(|attack| {
+        let nx = topo.nxns.expect("BuildConfig armed the NXNS world");
+        install_nxns(&mut sim, attack, nx.resolver)
+    });
+
     sim.run_until(setup.total_duration.after_zero());
     if audit_enabled(setup) {
         sim.audit().assert_clean();
@@ -377,6 +404,11 @@ pub fn run_experiment(setup: &ExperimentSetup) -> ExperimentOutput {
             .expect("simulator dropped, hog tally has one owner")
             .into_inner()
     });
+    let nxns = nxns_handle.map(|h| {
+        Arc::try_unwrap(h)
+            .expect("simulator dropped, nxns tally has one owner")
+            .into_inner()
+    });
     let n_vps = topo.vps.len();
     ExperimentOutput {
         log,
@@ -391,6 +423,7 @@ pub fn run_experiment(setup: &ExperimentSetup) -> ExperimentOutput {
         spoofed,
         late,
         exhaustion,
+        nxns,
     }
 }
 

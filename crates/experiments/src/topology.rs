@@ -5,7 +5,7 @@
 use std::collections::HashSet;
 use std::net::Ipv4Addr;
 
-use dike_auth::{AuthServer, CacheTestZone, Zone};
+use dike_auth::{nxns, AuthServer, CacheTestZone, NxnsZoneConfig, Zone};
 use dike_cache::CacheConfig;
 use dike_netsim::{Addr, LatencyModel, LinkParams, NodeId, SimDuration, Simulator};
 use dike_resolver::{profiles, RecursiveResolver};
@@ -41,6 +41,20 @@ pub fn ns_node_ids() -> [NodeId; 2] {
     [NodeId(2), NodeId(3)]
 }
 
+/// Addresses of the NXNSAttack cast, present when [`BuildConfig::nxns`]
+/// is set. Like [`ns_addrs`], these are deterministic: the attacker and
+/// victim authoritatives are always nodes 4 and 5, the dedicated attack
+/// recursive node 6.
+#[derive(Debug, Clone, Copy)]
+pub struct NxnsAddrs {
+    /// The attacker's authoritative (serves the malicious `attack` zone).
+    pub attacker: Addr,
+    /// The victim's authoritative (absorbs the amplified NS fetches).
+    pub victim: Addr,
+    /// The recursive resolver the attack client queries.
+    pub resolver: Addr,
+}
+
 /// Everything the analysis needs to know about the built world.
 #[derive(Debug)]
 pub struct Topology {
@@ -62,6 +76,8 @@ pub struct Topology {
     pub public_r1s: HashSet<Addr>,
     /// Probes actually created.
     pub n_probes: usize,
+    /// The NXNSAttack cast, when [`BuildConfig::nxns`] armed it.
+    pub nxns: Option<NxnsAddrs>,
 }
 
 /// Topology build parameters.
@@ -101,6 +117,16 @@ pub struct BuildConfig {
     /// exemption is separate — a `Defense::cookie` layer with the same
     /// secret.
     pub cookie_secret: Option<u64>,
+    /// MaxFetch(k), the NXNSAttack mitigation, applied population-wide:
+    /// cap every recursive's NS-address fetches per referral. `None`
+    /// leaves the fan-out uncapped (the paper-era default).
+    pub resolver_max_fetch: Option<u32>,
+    /// Arm the NXNSAttack world: an attacker authoritative serving a
+    /// malicious delegation zone (`attack`), a victim authoritative
+    /// (`victim`) absorbing the amplified NS-address fetches — both
+    /// delegated from the root — and a dedicated attack recursive.
+    /// `None` builds the classic world (and keeps its pinned digest).
+    pub nxns: Option<NxnsZoneConfig>,
 }
 
 fn v4(addr: Addr) -> Ipv4Addr {
@@ -135,6 +161,20 @@ pub fn add_hierarchy_with(
     ttl: u32,
     cookie_secret: Option<u64>,
 ) -> (Addr, Addr, [Addr; 2]) {
+    let (root, nl, ns, _) = hierarchy(sim, ttl, cookie_secret, None);
+    (root, nl, ns)
+}
+
+/// The full hierarchy builder: the classic four servers, plus — when an
+/// NXNS zone config is given — the attacker and victim authoritatives
+/// delegated from the root as the TLDs `attack` and `victim`. Returns
+/// their addresses as the fourth element.
+fn hierarchy(
+    sim: &mut Simulator,
+    ttl: u32,
+    cookie_secret: Option<u64>,
+    nxns_cfg: Option<&NxnsZoneConfig>,
+) -> (Addr, Addr, [Addr; 2], Option<(Addr, Addr)>) {
     let base = sim.next_addr().0;
     let root_addr = Addr(base);
     let nl_addr = Addr(base + 1);
@@ -154,6 +194,19 @@ pub fn add_hierarchy_with(
         86_400,
         RData::A(v4(nl_addr)),
     ));
+
+    // The NXNS cast: two extra TLDs delegated straight from the root,
+    // each served by its own authoritative at a deterministic address.
+    let nxns_attack = Name::parse("attack").expect("static");
+    let nxns_victim = Name::parse("victim").expect("static");
+    let (attacker_addr, victim_addr) = (Addr(base + 4), Addr(base + 5));
+    if nxns_cfg.is_some() {
+        for (tld, addr) in [(&nxns_attack, attacker_addr), (&nxns_victim, victim_addr)] {
+            let ns = tld.child("ns").expect("static");
+            root_zone.add(Record::new((*tld).clone(), 86_400, RData::Ns(ns.clone())));
+            root_zone.add(Record::new(ns, 86_400, RData::A(v4(addr))));
+        }
+    }
 
     let mut nl_zone = Zone::new(nl.clone(), 3_600, soa_for(&nl));
     nl_zone.add(Record::new(
@@ -191,13 +244,28 @@ pub fn add_hierarchy_with(
         (root, nl_a, ns1, ns2),
         (root_addr, nl_addr, ns1_addr, ns2_addr)
     );
-    (root, nl_a, [ns1, ns2])
+    let nxns_addrs = nxns_cfg.map(|zcfg| {
+        let (_, atk) = sim.add_node(Box::new(auth().with_zone(Box::new(nxns::attacker_zone(
+            &nxns_attack,
+            &nxns_victim,
+            v4(attacker_addr),
+            zcfg,
+        )))));
+        let (_, vic) = sim.add_node(Box::new(auth().with_zone(Box::new(nxns::victim_zone(
+            &nxns_victim,
+            v4(victim_addr),
+            ttl,
+        )))));
+        debug_assert_eq!((atk, vic), (attacker_addr, victim_addr));
+        (atk, vic)
+    });
+    (root, nl_a, [ns1, ns2], nxns_addrs)
 }
 
 /// Builds the whole measurement world into `sim`.
 pub fn build(sim: &mut Simulator, cfg: &BuildConfig) -> Topology {
     let mut rng = SmallRng::seed_from_u64(cfg.population_seed);
-    let (root, nl, ns) = add_hierarchy_with(sim, cfg.ttl, cfg.cookie_secret);
+    let (root, nl, ns, nxns_auths) = hierarchy(sim, cfg.ttl, cfg.cookie_secret, cfg.nxns.as_ref());
     let roots = vec![root];
 
     // Transport knobs applied uniformly to every recursive in the
@@ -209,8 +277,25 @@ pub fn build(sim: &mut Simulator, cfg: &BuildConfig) -> Topology {
         if cfg.cookie_secret.is_some() {
             rc.use_cookies = true;
         }
+        if let Some(k) = cfg.resolver_max_fetch {
+            rc.max_fetch = Some(k);
+        }
         rc
     };
+
+    // The NXNS attack client gets a dedicated recursive, built through
+    // the same transport knobs as the population — so MaxFetch(k)
+    // applies to it exactly like to everyone else.
+    let nxns_cast = nxns_auths.map(|(attacker, victim)| {
+        let (_, resolver) = sim.add_node(Box::new(RecursiveResolver::new(transport(
+            profiles::unbound_like(roots.clone()),
+        ))));
+        NxnsAddrs {
+            attacker,
+            victim,
+            resolver,
+        }
+    });
 
     // --- Public farms: backends first (iterative), then frontends. ---
     let mut google_backends = Vec::new();
@@ -398,6 +483,7 @@ pub fn build(sim: &mut Simulator, cfg: &BuildConfig) -> Topology {
         other_public_backends,
         public_r1s,
         n_probes: cfg.n_probes,
+        nxns: nxns_cast,
     }
 }
 
@@ -418,6 +504,8 @@ mod tests {
             regional_latency: true,
             resolver_tcp_fallback: false,
             cookie_secret: None,
+            resolver_max_fetch: None,
+            nxns: None,
         }
     }
 
@@ -442,6 +530,21 @@ mod tests {
         let k1: Vec<_> = t1.vps.iter().map(|v| (v.vp, v.kind)).collect();
         let k2: Vec<_> = t2.vps.iter().map(|v| (v.vp, v.kind)).collect();
         assert_eq!(k1, k2, "population depends only on population_seed");
+    }
+
+    #[test]
+    fn nxns_world_gets_deterministic_addresses() {
+        let mut sim = Simulator::new(1);
+        let mut cfg = small_cfg(20);
+        cfg.nxns = Some(NxnsZoneConfig::default());
+        let topo = build(&mut sim, &cfg);
+        let nx = topo.nxns.expect("nxns armed");
+        assert_eq!(nx.attacker, Simulator::addr_at(4));
+        assert_eq!(nx.victim, Simulator::addr_at(5));
+        assert_eq!(nx.resolver, Simulator::addr_at(6));
+        // The classic world stays exactly as it was.
+        let mut plain = Simulator::new(1);
+        assert!(build(&mut plain, &small_cfg(20)).nxns.is_none());
     }
 
     #[test]

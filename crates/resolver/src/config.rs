@@ -166,6 +166,15 @@ pub struct ResolverConfig {
     /// cookie-validating ingress defense then exempts this resolver
     /// from rate limiting (return routability proven).
     pub use_cookies: bool,
+    /// NXNSAttack mitigation, MaxFetch(k): cap on NS-address
+    /// (infrastructure) fetches spawned per referral. A malicious
+    /// delegation listing N glueless out-of-bailiwick NS names otherwise
+    /// turns one client query into up to 2N infra queries against the
+    /// zone hosting those names. Fetches beyond the cap are dropped and
+    /// counted (`max_fetch_exceeded`). `None` (the default) leaves the
+    /// fan-out uncapped — the vulnerable behaviour the paper-era
+    /// resolvers shipped.
+    pub max_fetch: Option<u32>,
 }
 
 impl ResolverConfig {
@@ -186,6 +195,7 @@ impl ResolverConfig {
             servfail_ttl: SimDuration::from_secs(5),
             tcp_fallback: None,
             use_cookies: false,
+            max_fetch: None,
         }
     }
 
@@ -206,6 +216,7 @@ impl ResolverConfig {
             servfail_ttl: SimDuration::from_secs(5),
             tcp_fallback: None,
             use_cookies: false,
+            max_fetch: None,
         }
     }
 }

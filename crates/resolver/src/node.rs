@@ -58,6 +58,14 @@ pub struct ResolverStats {
     /// handshake (RST), or the server closing mid-exchange. The task
     /// falls back to its UDP retry schedule.
     pub tcp_failures: u64,
+    /// Referrals whose NS-address (infrastructure) fan-out was cut at
+    /// [`ResolverConfig::max_fetch`] — the MaxFetch(k) NXNSAttack
+    /// mitigation firing. Zero unless the knob is set.
+    pub max_fetch_exceeded: u64,
+    /// Tasks failed with SERVFAIL after exhausting their glue-wait
+    /// budget: a referral whose NS names never resolved to any address
+    /// (e.g. an NXNS-style permanently glueless delegation).
+    pub glue_wait_exhausted: u64,
 }
 
 /// A recursive DNS resolver node (iterative or forwarding — see
@@ -337,6 +345,7 @@ impl RecursiveResolver {
             outstanding: None,
             tcp: None,
             awaiting_glue: false,
+            glue_waits: 0,
         };
         self.tasks.insert(id, task);
         self.task_by_key.insert(key, id);
@@ -899,11 +908,28 @@ impl RecursiveResolver {
 
     /// Parks a glueless-referral task until its glue fetch has had a
     /// moment to complete, then resumes via the task's timer token.
+    ///
+    /// Bounded: a referral whose NS names never resolve would otherwise
+    /// loop park → re-ask parent → park forever (the parent keeps
+    /// handing back the same glueless delegation, so the retry budget
+    /// never advances). After `MAX_GLUE_WAITS` parks the task fails
+    /// with SERVFAIL and `glue_wait_exhausted` counts it.
     fn park_for_glue(&mut self, ctx: &mut Context<'_>, tid: u64) {
-        if let Some(task) = self.tasks.get_mut(&tid) {
-            task.awaiting_glue = true;
-            ctx.set_timer(dike_netsim::SimDuration::from_millis(250), TimerToken(tid));
+        /// ≈ 750 ms of glue waiting at 250 ms per park — enough for any
+        /// resolvable NS name to land, several client-visible seconds
+        /// short of a downstream timeout.
+        const MAX_GLUE_WAITS: u32 = 3;
+        let Some(task) = self.tasks.get_mut(&tid) else {
+            return;
+        };
+        if task.glue_waits >= MAX_GLUE_WAITS {
+            self.stats.glue_wait_exhausted += 1;
+            self.fail_task(ctx, tid);
+            return;
         }
+        task.glue_waits += 1;
+        task.awaiting_glue = true;
+        ctx.set_timer(dike_netsim::SimDuration::from_millis(250), TimerToken(tid));
     }
 
     fn handle_referral(&mut self, ctx: &mut Context<'_>, tid: u64, _src: Addr, msg: &Message) {
@@ -937,22 +963,36 @@ impl RecursiveResolver {
         }
         self.stats.referrals += 1;
 
-        // Glue must sit inside the referred zone to be believed.
+        let ns_names: Vec<Name> = {
+            let mut names: Vec<Name> = ns_records
+                .iter()
+                .filter_map(|r| r.rdata.target_name().cloned())
+                .collect();
+            // A referral listing the same NS name twice must not double
+            // its infrastructure fan-out (free amplification for a
+            // malicious zone).
+            names.sort();
+            names.dedup();
+            names
+        };
+
+        // Glue must sit inside the referred zone AND belong to a name
+        // some NS record actually delegates to. Without the membership
+        // check, any in-bailiwick A/AAAA additional could steer
+        // `task.servers` toward addresses no NS record ever named.
         let glue: Vec<Record> = msg
             .additionals
             .iter()
             .filter(|r| {
-                matches!(r.rdata, RData::A(_) | RData::Aaaa(_)) && r.name.is_subdomain_of(&ns_owner)
+                matches!(r.rdata, RData::A(_) | RData::Aaaa(_))
+                    && r.name.is_subdomain_of(&ns_owner)
+                    && ns_names.contains(&r.name)
             })
             .cloned()
             .collect();
 
         let backend = task.backend;
         let depth = task.depth;
-        let ns_names: Vec<Name> = ns_records
-            .iter()
-            .filter_map(|r| r.rdata.target_name().cloned())
-            .collect();
 
         // Cache the delegation and its glue with referral (glue) trust,
         // so authoritative data the resolver already holds wins
@@ -997,7 +1037,7 @@ impl RecursiveResolver {
         // recursion.
         if depth == 0 {
             let glued: std::collections::HashSet<&Name> = glue.iter().map(|g| &g.name).collect();
-            let infra: Vec<(Name, RecordType)> = ns_names
+            let mut infra: Vec<(Name, RecordType)> = ns_names
                 .iter()
                 .flat_map(|n| {
                     let mut v = Vec::new();
@@ -1010,6 +1050,17 @@ impl RecursiveResolver {
                     v
                 })
                 .collect();
+            // MaxFetch(k), the NXNSAttack mitigation: at most k
+            // NS-address fetches per referral. A benign delegation
+            // (2–3 NS names) never reaches the cap; a malicious
+            // fan-out-N one is cut here instead of flooding the zone
+            // hosting its NS names.
+            if let Some(k) = self.config.max_fetch {
+                if infra.len() > k as usize {
+                    infra.truncate(k as usize);
+                    self.stats.max_fetch_exceeded += 1;
+                }
+            }
             for (name, rtype) in infra {
                 // Glue-trust data steers resolution but does not satisfy
                 // the infrastructure lookup: real resolvers re-validate
@@ -1282,6 +1333,10 @@ impl Node for RecursiveResolver {
             out.counter("resolver", "tcp_answers", s.tcp_answers);
             out.counter("resolver", "tcp_failures", s.tcp_failures);
         }
+        if self.config.max_fetch.is_some() {
+            out.counter("resolver", "max_fetch_exceeded", s.max_fetch_exceeded);
+        }
+        out.counter("resolver", "glue_wait_exhausted", s.glue_wait_exhausted);
         out.gauge("resolver", "in_flight_tasks", self.tasks.len() as f64);
         out.histogram("resolver", "retries_per_task", &self.retry_histogram);
         let c = self.cache.stats();

@@ -41,6 +41,7 @@ pub fn bind_like(roots: Vec<Addr>) -> ResolverConfig {
         servfail_ttl: SimDuration::from_secs(5),
         tcp_fallback: None,
         use_cookies: false,
+        max_fetch: None,
     }
 }
 
@@ -68,6 +69,7 @@ pub fn unbound_like(roots: Vec<Addr>) -> ResolverConfig {
         servfail_ttl: SimDuration::from_secs(5),
         tcp_fallback: None,
         use_cookies: false,
+        max_fetch: None,
     }
 }
 
@@ -113,6 +115,7 @@ pub fn farm_frontend(backends: Vec<Addr>) -> ResolverConfig {
         servfail_ttl: SimDuration::from_secs(2),
         tcp_fallback: None,
         use_cookies: false,
+        max_fetch: None,
     }
 }
 
@@ -152,6 +155,7 @@ pub fn home_router(upstreams: Vec<Addr>) -> ResolverConfig {
         servfail_ttl: SimDuration::from_secs(5),
         tcp_fallback: None,
         use_cookies: false,
+        max_fetch: None,
     }
 }
 
@@ -178,6 +182,7 @@ pub fn isp_forwarder(upstreams: Vec<Addr>) -> ResolverConfig {
         servfail_ttl: SimDuration::from_secs(5),
         tcp_fallback: None,
         use_cookies: false,
+        max_fetch: None,
     }
 }
 

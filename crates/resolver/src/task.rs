@@ -89,4 +89,9 @@ pub(crate) struct Task {
     /// Set while the task is parked waiting for a mandatory glue fetch
     /// (a glueless referral); a timer resumes it.
     pub awaiting_glue: bool,
+    /// How many times this task has parked for glue. A permanently
+    /// glueless referral (NS names that never resolve) would otherwise
+    /// loop park → re-ask parent → park forever; the resolver caps this
+    /// and fails the task with SERVFAIL.
+    pub glue_waits: u32,
 }

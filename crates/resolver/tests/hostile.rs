@@ -181,6 +181,235 @@ fn out_of_bailiwick_referrals_are_rejected() {
     assert!(r.stats().failures >= 1);
 }
 
+/// A hostile parent: refers every query into its child zone, but the
+/// additional-section glue it attaches belongs to a name *no NS record
+/// delegates to* — in bailiwick, yet unrelated to the delegation. A
+/// resolver that adopts it is steered to an attacker address without a
+/// single forged NS.
+struct DecoyGlueAuth {
+    /// The child zone the referral delegates (under this server's own
+    /// zone, so bailiwick checks pass).
+    child: Name,
+    /// The in-bailiwick owner of the decoy glue (NOT an NS target).
+    decoy: Name,
+    /// Where the decoy glue points.
+    attacker: Addr,
+}
+
+impl Node for DecoyGlueAuth {
+    fn on_datagram(&mut self, ctx: &mut Context<'_>, src: Addr, msg: &Message, _l: usize) {
+        if msg.is_response {
+            return;
+        }
+        let b = MessageBuilder::respond_to(msg)
+            .authority(Record::new(
+                self.child.clone(),
+                3_600,
+                RData::Ns(name("ns.elsewhere.example")),
+            ))
+            .additional(Record::new(
+                self.decoy.clone(),
+                3_600,
+                RData::A(std::net::Ipv4Addr::from(self.attacker.0)),
+            ));
+        ctx.send(src, &b.build());
+    }
+    fn on_timer(&mut self, _ctx: &mut Context<'_>, _t: TimerToken) {}
+}
+
+/// An attacker endpoint that answers anything sent to it — reaching it
+/// at all is the failure.
+struct AnsweringAttacker {
+    hits: Arc<Mutex<u64>>,
+}
+
+impl Node for AnsweringAttacker {
+    fn on_datagram(&mut self, ctx: &mut Context<'_>, src: Addr, msg: &Message, _l: usize) {
+        if msg.is_response {
+            return;
+        }
+        *self.hits.lock() += 1;
+        let qname = msg.questions.first().map(|q| q.name.clone()).unwrap();
+        let b = MessageBuilder::respond_to(msg)
+            .authoritative()
+            .answer(Record::new(
+                qname,
+                86_400,
+                RData::A(std::net::Ipv4Addr::new(6, 6, 6, 6)),
+            ));
+        ctx.send(src, &b.build());
+    }
+    fn on_timer(&mut self, _ctx: &mut Context<'_>, _t: TimerToken) {}
+}
+
+#[test]
+fn glue_not_matching_an_ns_target_never_steers_the_resolver() {
+    // Regression: the glue filter used to require only in-bailiwick
+    // ownership, so a referral could carry an unrelated in-bailiwick
+    // A record and have the resolver adopt it as the child's address.
+    let mut sim = Simulator::new(69);
+    *sim.links_mut() = LinkTable::new(LinkParams {
+        latency: LatencyModel::Fixed(SimDuration::from_millis(5)),
+        loss: 0.0,
+    });
+    let hits = Arc::new(Mutex::new(0u64));
+    let (_, attacker) = sim.add_node(Box::new(AnsweringAttacker { hits: hits.clone() }));
+    let (_, parent) = sim.add_node(Box::new(DecoyGlueAuth {
+        child: name("sub.cachetest.nl"),
+        decoy: name("decoy.sub.cachetest.nl"),
+        attacker,
+    }));
+    let (resolver_id, resolver) =
+        sim.add_node(Box::new(RecursiveResolver::new(profiles::bind_like(vec![
+            parent,
+        ]))));
+    let answer = Arc::new(Mutex::new(None));
+    sim.add_node(Box::new(Client {
+        resolver,
+        victim: name("www.sub.cachetest.nl"),
+        answer: answer.clone(),
+    }));
+    sim.run_until(SimDuration::from_secs(60).after_zero());
+
+    // The decoy address was never contacted for the client question and
+    // its planted answer never reached the client. (The NS target's own
+    // infra A lookup may legitimately traverse the parent, but the task
+    // must not be *steered* to the decoy address.)
+    assert_eq!(*hits.lock(), 0, "decoy glue steered queries to attacker");
+    assert!(answer.lock().is_none(), "no attacker answer accepted");
+    let node = sim.node(resolver_id).unwrap();
+    let r = node
+        .as_any()
+        .unwrap()
+        .downcast_ref::<RecursiveResolver>()
+        .unwrap();
+    // The referral WAS followed (it is well-formed) — it just yields no
+    // usable glue, so the task parks for glue and eventually fails.
+    assert!(r.stats().referrals >= 1);
+    assert!(r.stats().glue_wait_exhausted >= 1, "{:?}", r.stats());
+}
+
+/// A parent that always answers with the same permanently glueless
+/// referral: the NS target lives under a zone that never resolves.
+struct GluelessReferralAuth {
+    child: Name,
+    /// NS targets for the child, possibly listing duplicates.
+    targets: Vec<Name>,
+}
+
+impl Node for GluelessReferralAuth {
+    fn on_datagram(&mut self, ctx: &mut Context<'_>, src: Addr, msg: &Message, _l: usize) {
+        if msg.is_response {
+            return;
+        }
+        let mut b = MessageBuilder::respond_to(msg);
+        for t in &self.targets {
+            b = b.authority(Record::new(self.child.clone(), 3_600, RData::Ns(t.clone())));
+        }
+        ctx.send(src, &b.build());
+    }
+    fn on_timer(&mut self, _ctx: &mut Context<'_>, _t: TimerToken) {}
+}
+
+#[test]
+fn permanently_glueless_referral_fails_with_servfail_not_forever() {
+    // Regression: a glueless referral whose NS names never resolve used
+    // to loop park → re-ask parent → park, forever. The glue-wait budget
+    // caps it: the task fails with SERVFAIL and the counter moves.
+    let mut sim = Simulator::new(70);
+    *sim.links_mut() = LinkTable::new(LinkParams {
+        latency: LatencyModel::Fixed(SimDuration::from_millis(5)),
+        loss: 0.0,
+    });
+    let (_, parent) = sim.add_node(Box::new(GluelessReferralAuth {
+        child: name("sub.cachetest.nl"),
+        targets: vec![name("ns.nowhere.example")],
+    }));
+    let (resolver_id, resolver) =
+        sim.add_node(Box::new(RecursiveResolver::new(profiles::bind_like(vec![
+            parent,
+        ]))));
+    let got_servfail = Arc::new(Mutex::new(false));
+    struct ServfailClient {
+        resolver: Addr,
+        flag: Arc<Mutex<bool>>,
+    }
+    impl Node for ServfailClient {
+        fn on_start(&mut self, ctx: &mut Context<'_>) {
+            ctx.set_timer(SimDuration::from_secs(1), TimerToken(0));
+        }
+        fn on_datagram(&mut self, _ctx: &mut Context<'_>, _src: Addr, msg: &Message, _l: usize) {
+            if msg.is_response && msg.rcode == Rcode::ServFail {
+                *self.flag.lock() = true;
+            }
+        }
+        fn on_timer(&mut self, ctx: &mut Context<'_>, _t: TimerToken) {
+            ctx.send(
+                self.resolver,
+                &Message::query(3, name("www.sub.cachetest.nl"), RecordType::A),
+            );
+        }
+    }
+    sim.add_node(Box::new(ServfailClient {
+        resolver,
+        flag: got_servfail.clone(),
+    }));
+    sim.run_until(SimDuration::from_secs(90).after_zero());
+
+    let node = sim.node(resolver_id).unwrap();
+    let r = node
+        .as_any()
+        .unwrap()
+        .downcast_ref::<RecursiveResolver>()
+        .unwrap();
+    assert!(r.stats().glue_wait_exhausted >= 1, "{:?}", r.stats());
+    assert!(r.stats().failures >= 1, "task failed cleanly");
+    assert!(*got_servfail.lock(), "client saw SERVFAIL, not silence");
+}
+
+#[test]
+fn duplicate_ns_names_in_a_referral_spawn_one_infra_fetch() {
+    // A referral listing the same NS name twice must not double the
+    // resolver's infrastructure fan-out (free amplification otherwise).
+    let infra_for = |targets: Vec<Name>, seed: u64| {
+        let mut sim = Simulator::new(seed);
+        *sim.links_mut() = LinkTable::new(LinkParams {
+            latency: LatencyModel::Fixed(SimDuration::from_millis(5)),
+            loss: 0.0,
+        });
+        let (_, parent) = sim.add_node(Box::new(GluelessReferralAuth {
+            child: name("sub.cachetest.nl"),
+            targets,
+        }));
+        // bind-like: infra A only, so one unique NS name = one fetch.
+        let (resolver_id, resolver) =
+            sim.add_node(Box::new(RecursiveResolver::new(profiles::bind_like(vec![
+                parent,
+            ]))));
+        let answer = Arc::new(Mutex::new(None));
+        sim.add_node(Box::new(Client {
+            resolver,
+            victim: name("www.sub.cachetest.nl"),
+            answer,
+        }));
+        sim.run_until(SimDuration::from_secs(30).after_zero());
+        let node = sim.node(resolver_id).unwrap();
+        node.as_any()
+            .unwrap()
+            .downcast_ref::<RecursiveResolver>()
+            .unwrap()
+            .stats()
+            .infra_tasks
+    };
+    let once = infra_for(vec![name("ns.nowhere.example")], 71);
+    let twice = infra_for(
+        vec![name("ns.nowhere.example"), name("ns.nowhere.example")],
+        71,
+    );
+    assert!(once >= 1, "glueless referral spawns the mandatory fetch");
+    assert_eq!(twice, once, "duplicate NS names deduplicate");
+}
+
 /// Responses whose question section does not match the outstanding query
 /// are dropped even when they come from the right server with the right
 /// id (a confused or malicious server).

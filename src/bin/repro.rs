@@ -134,6 +134,7 @@ fn parse_args() -> Args {
                     "degraded",
                     "defense",
                     "cookies",
+                    "nxns",
                     "sweep",
                     "falsepos",
                     "all",
@@ -145,7 +146,7 @@ fn parse_args() -> Args {
             "--help" | "-h" => {
                 println!(
                     "usage: repro <target> [--scale X] [--seed N] [--json FILE] [--metrics FILE]\n\
-                     targets: table1-7, fig3-16, implications, queueing, degraded, defense, cookies, sweep, falsepos, all\n\
+                     targets: table1-7, fig3-16, implications, queueing, degraded, defense, cookies, nxns, sweep, falsepos, all\n\
                      --metrics collects sim-time telemetry during the DDoS runs and\n\
                      writes the full metric registry (per-node counters, gauges,\n\
                      retry histograms) as JSON, keyed by experiment letter\n\
@@ -282,6 +283,7 @@ fn main() {
     target!("degraded", degraded_scenario(&mut ctx));
     target!("defense", defense_comparison(&mut ctx));
     target!("cookies", cookies_comparison(&mut ctx));
+    target!("nxns", nxns_comparison(&mut ctx));
 
     // Not part of `all`: grid size is governed by its own flags.
     if t == "sweep" {
@@ -1218,6 +1220,54 @@ fn cookies_comparison(ctx: &mut Ctx) {
          queries go back to being losses (while UDP service stays intact).\n\
          RFC 7873 cookies sidestep the retry entirely: validated resolvers\n\
          bypass the limiter, spoofed sources never validate."
+    );
+}
+
+fn nxns_comparison(ctx: &mut Ctx) {
+    use dike_experiments::nxns::{run_nxns_comparison, ALL_NXNS_ARMS};
+
+    eprintln!(
+        "[repro] nxns: running {} arms of the NXNSAttack amplification comparison at scale {} ...",
+        ALL_NXNS_ARMS.len(),
+        ctx.scale
+    );
+    let cmp = run_nxns_comparison(ctx.scale, ctx.seed);
+    let mut tbl = TextTable::new(
+        format!(
+            "NXNSAttack amplification: fan-out {} glueless NS per referral, \
+             {} attack queries (one fresh cut each)",
+            cmp.attack.zone.fanout, cmp.attack.queries,
+        ),
+        &[
+            "arm",
+            "client queries",
+            "victim queries",
+            "amplification",
+            "attacker queries",
+            "fetch caps hit",
+            "glue waits exhausted",
+        ],
+    );
+    for r in &cmp.rows {
+        tbl.row(&[
+            r.arm.label().to_string(),
+            r.client.queries_sent.to_string(),
+            r.victim_queries.to_string(),
+            format!("{:.1}x", r.amplification),
+            r.attacker_queries.to_string(),
+            r.max_fetch_exceeded.to_string(),
+            r.glue_wait_exhausted.to_string(),
+        ]);
+    }
+    ctx.emit(&tbl);
+    println!(
+        "one attack query draws a referral with N glueless out-of-bailiwick\n\
+         NS names, and the resolver fetches A+AAAA for each — up to 2N\n\
+         victim-bound queries per client query. MaxFetch(k) caps the fetches\n\
+         per referral at k, so the victim sees at most k no matter how wide\n\
+         the malicious referral is; the attack query itself still fails\n\
+         (SERVFAIL after the glue-wait budget), costing the attacker nothing\n\
+         less but the victim nearly everything."
     );
 }
 

@@ -25,6 +25,8 @@ fn run(waveform: Waveform, loss: f64, seed: u64) -> f64 {
             regional_latency: true,
             resolver_tcp_fallback: false,
             cookie_secret: None,
+            resolver_max_fetch: None,
+            nxns: None,
         },
     );
     Attack::partial(
