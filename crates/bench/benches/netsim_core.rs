@@ -380,6 +380,14 @@ fn bench_event_loop(c: &mut Criterion) {
             sim.now()
         })
     });
+    g.bench_function("sharded_round_trips", |b| {
+        // The query/response burst cut into two shards over a 1 ms
+        // (= lookahead) fabric, so every round trip crosses two
+        // conservative windows: prices the sharded engine's barrier
+        // loop and envelope exchange against the single-threaded
+        // query_response_round_trips baseline.
+        b.iter(|| dike_bench::sharded_round_trips_iter(ROUND_TRIPS))
+    });
     g.finish();
 }
 

@@ -379,6 +379,10 @@ fn main() {
             "netsim_core/batched_delivery",
             Box::new(|| time_per_element(batched_delivery_iter)),
         ),
+        (
+            "netsim_core/sharded_round_trips",
+            Box::new(|| time_per_element(|| dike_bench::sharded_round_trips_iter(ROUND_TRIPS))),
+        ),
     ];
 
     let mut rows = Vec::new();

@@ -411,6 +411,18 @@ impl Scenario {
         self
     }
 
+    /// Cuts the run across `k` parallel shard worker threads (see
+    /// `dike_experiments::shard`). `0` or `1` keeps the single-threaded
+    /// engine and its pinned digest; higher counts give one digest that
+    /// is independent of `k`, but some features (TCP, cookies,
+    /// telemetry, the auxiliary fleets) reject sharded runs. The
+    /// [`SweepEngine`] shrinks its own worker pool so `workers × k`
+    /// stays within the machine's parallelism.
+    pub fn shards(mut self, k: usize) -> Self {
+        self.setup.shards = k.max(1);
+        self
+    }
+
     /// Reconciles stored intent (duration, pacing, attack) into the
     /// underlying [`ExperimentSetup`]. Called once by [`Scenario::run`].
     fn resolve(&mut self) {

@@ -615,6 +615,25 @@ pub(crate) fn worker_count(threads: usize, jobs: usize, detected: Option<usize>)
     cap.max(1).min(jobs)
 }
 
+/// Worker count for a sweep whose *jobs* are themselves parallel: a
+/// scenario with `shards` shard workers occupies `shards` threads, so
+/// the sweep pool shrinks to keep `workers × shards` within the budget
+/// [`worker_count`] resolved. Without this, a `--threads 0` sweep of
+/// sharded scenarios oversubscribes the machine `shards`-fold (and a
+/// 4-core box sweeping 4-shard runs would spawn 16 hot threads).
+pub(crate) fn sharded_worker_count(
+    threads: usize,
+    jobs: usize,
+    shards: usize,
+    detected: Option<usize>,
+) -> usize {
+    let budget = worker_count(threads, jobs, detected);
+    if budget == 0 {
+        return 0;
+    }
+    (budget / shards.max(1)).max(1)
+}
+
 fn detected_parallelism() -> Option<usize> {
     std::thread::available_parallelism()
         .map(std::num::NonZeroUsize::get)
@@ -763,7 +782,12 @@ impl SweepEngine {
         if jobs == 0 {
             return Vec::new();
         }
-        let workers = worker_count(self.threads, jobs, detected_parallelism());
+        let workers = sharded_worker_count(
+            self.threads,
+            jobs,
+            self.base.setup.shards,
+            detected_parallelism(),
+        );
 
         let mut slots: Vec<Option<T>> = Vec::with_capacity(jobs);
         slots.resize_with(jobs, || None);
@@ -1102,6 +1126,22 @@ mod tests {
         assert_eq!(worker_count(4, 100, Some(16)), 4);
         assert_eq!(worker_count(4, 2, Some(16)), 2);
         assert_eq!(worker_count(0, 0, Some(16)), 0);
+    }
+
+    #[test]
+    fn sharded_jobs_shrink_the_worker_pool() {
+        // workers × shards stays within the resolved budget.
+        assert_eq!(sharded_worker_count(0, 100, 4, Some(16)), 4);
+        assert_eq!(sharded_worker_count(0, 100, 3, Some(16)), 5);
+        assert_eq!(sharded_worker_count(8, 100, 4, Some(16)), 2);
+        // Single-threaded jobs (shards 0 or 1) change nothing.
+        assert_eq!(sharded_worker_count(0, 100, 0, Some(16)), 16);
+        assert_eq!(sharded_worker_count(0, 100, 1, Some(16)), 16);
+        // Never starves: one worker survives any shard count…
+        assert_eq!(sharded_worker_count(0, 100, 64, Some(16)), 1);
+        assert_eq!(sharded_worker_count(0, 100, 4, None), 2);
+        // …and no jobs still means no workers.
+        assert_eq!(sharded_worker_count(0, 0, 4, Some(16)), 0);
     }
 
     #[test]

@@ -39,8 +39,10 @@ pub mod population;
 pub mod production;
 pub mod public_resolvers;
 pub mod setup;
+pub mod shard;
 pub mod software;
 pub mod topology;
 
 pub use population::PopulationMix;
 pub use setup::{AttackPlan, AttackScope, ExperimentOutput, ExperimentSetup};
+pub use shard::run_experiment_sharded;

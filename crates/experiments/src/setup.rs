@@ -152,6 +152,15 @@ pub struct ExperimentSetup {
     /// crash/restart pairing). Also enabled by the `DIKE_AUDIT`
     /// environment variable (any value but `0`).
     pub audit: bool,
+    /// Cut the world into this many shards and run them on parallel
+    /// worker threads (see [`crate::shard`]). `0` or `1` keeps the
+    /// single-threaded engine and its pinned digest; `>= 2` switches to
+    /// the sharded engine, whose outcome is identical for every shard
+    /// count but *not* to the single-threaded engine's (per-node RNG
+    /// streams and the cross-shard latency floor). Several features are
+    /// not yet shard-aware and are rejected — see
+    /// [`crate::shard::run_experiment_sharded`].
+    pub shards: usize,
 }
 
 impl ExperimentSetup {
@@ -183,6 +192,7 @@ impl ExperimentSetup {
             nxns: None,
             resolver_max_fetch: None,
             audit: false,
+            shards: 1,
         }
     }
 }
@@ -190,7 +200,7 @@ impl ExperimentSetup {
 /// Whether runs should end with an invariant audit: the setup's `audit`
 /// flag, or the `DIKE_AUDIT` environment variable set to anything but
 /// `0`.
-fn audit_enabled(setup: &ExperimentSetup) -> bool {
+pub(crate) fn audit_enabled(setup: &ExperimentSetup) -> bool {
     setup.audit || std::env::var("DIKE_AUDIT").is_ok_and(|v| v != "0")
 }
 
@@ -233,8 +243,13 @@ pub struct ExperimentOutput {
     pub nxns: Option<NxnsStats>,
 }
 
-/// Runs one experiment to completion.
+/// Runs one experiment to completion. With [`ExperimentSetup::shards`]
+/// `>= 2` the run goes through the sharded parallel engine instead (see
+/// [`crate::shard`]).
 pub fn run_experiment(setup: &ExperimentSetup) -> ExperimentOutput {
+    if setup.shards >= 2 {
+        return crate::shard::run_experiment_sharded(setup);
+    }
     let mut sim = Simulator::new(setup.seed);
     let build = BuildConfig {
         n_probes: setup.n_probes,

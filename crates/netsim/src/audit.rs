@@ -10,13 +10,15 @@
 //! The checked invariants (DESIGN.md §5.3):
 //!
 //! 1. **Datagram conservation** — every datagram ever sent is accounted
-//!    for exactly once:
-//!    `sent = delivered + dropped + no_route + undecodable + in_flight`,
-//!    where *in flight* counts pending [`Event::Deliver`] entries still in
-//!    the queue. (Pending [`Event::DeliverQueued`] entries passed the
+//!    for exactly once: `sent + xshard_in = delivered + dropped +
+//!    no_route + undecodable + in_flight + xshard_out`, where *in
+//!    flight* counts pending [`Event::Deliver`] entries still in the
+//!    queue and the `xshard` terms (0 outside a sharded world, see
+//!    [`crate::shard`]) account for datagrams crossing shard
+//!    boundaries. (Pending [`Event::DeliverQueued`] entries passed the
 //!    ingress filters and were already counted delivered.)
 //! 2. **Decode-once** — every arrival is decoded exactly once:
-//!    `decoded + undecodable + in_flight = sent`.
+//!    `decoded + undecodable + in_flight + xshard_out = sent + xshard_in`.
 //! 3. **Timer hygiene** — no slot leaks: the number of allocated timer
 //!    slots equals the number of pending [`Event::Timer`] entries (every
 //!    slot is recycled exactly when its event pops, fired, cancelled, or
@@ -47,6 +49,8 @@ use crate::sim::Simulator;
 /// auditor never needs mutable or public access to the sim's guts.
 pub(crate) struct AuditInternals<'a> {
     pub(crate) sent: u64,
+    pub(crate) xshard_out: u64,
+    pub(crate) xshard_in: u64,
     pub(crate) delivered: u64,
     pub(crate) dropped: u64,
     pub(crate) no_route: u64,
@@ -75,6 +79,14 @@ pub(crate) struct AuditInternals<'a> {
 pub struct AuditReport {
     /// Datagrams that entered the fabric.
     pub sent: u64,
+    /// Datagrams this shard handed to another shard's ingress (always 0
+    /// in a plain world). Conservation treats them as leaving this
+    /// ledger; the sharded auditor ([`crate::shard::ShardedSim::audit`])
+    /// checks they arrive exactly once on the owning shard.
+    pub xshard_out: u64,
+    /// Datagrams injected from other shards (always 0 in a plain world);
+    /// they enter this ledger at injection, like a local send.
+    pub xshard_in: u64,
     /// Datagrams handed past the ingress filters (includes queue drops,
     /// which are counted delivered at ingress and broken out separately).
     pub delivered: u64,
@@ -187,6 +199,8 @@ impl Simulator {
         let mut report = AuditReport::default();
         let st = self.audit_internals();
         report.sent = st.sent;
+        report.xshard_out = st.xshard_out;
+        report.xshard_in = st.xshard_in;
         report.delivered = st.delivered;
         report.dropped = st.dropped;
         report.no_route = st.no_route;
@@ -221,22 +235,29 @@ impl Simulator {
         report.wheel_scanned = wheel.scanned;
         report.wheel_misplaced = wheel.misplaced;
 
+        // Cross-shard terms extend both identities symmetrically: what a
+        // shard hands out (`xshard_out`) leaves its ledger, what it is
+        // handed (`xshard_in`) enters it. Both are 0 in a plain world,
+        // collapsing to the original formulas.
         let accounted = report.delivered
             + report.dropped
             + report.no_route
             + report.undecodable
-            + report.in_flight;
-        if report.sent != accounted {
+            + report.in_flight
+            + report.xshard_out;
+        if report.sent + report.xshard_in != accounted {
             report.violations.push(format!(
-                "datagram conservation: sent={} but delivered+dropped+no_route+undecodable+in_flight={}",
-                report.sent, accounted
+                "datagram conservation: sent+xshard_in={} but delivered+dropped+no_route+undecodable+in_flight+xshard_out={}",
+                report.sent + report.xshard_in, accounted
             ));
         }
-        let decode_accounted = report.decoded + report.undecodable + report.in_flight;
-        if report.sent != decode_accounted {
+        let decode_accounted =
+            report.decoded + report.undecodable + report.in_flight + report.xshard_out;
+        if report.sent + report.xshard_in != decode_accounted {
             report.violations.push(format!(
-                "decode-once: sent={} but decoded+undecodable+in_flight={}",
-                report.sent, decode_accounted
+                "decode-once: sent+xshard_in={} but decoded+undecodable+in_flight+xshard_out={}",
+                report.sent + report.xshard_in,
+                decode_accounted
             ));
         }
         if report.allocated_timer_slots != report.pending_timers {

@@ -60,6 +60,7 @@ mod link;
 mod node;
 pub mod queueing;
 pub mod service;
+pub mod shard;
 mod sim;
 pub mod tcp;
 mod time;
@@ -79,6 +80,9 @@ pub use queueing::{
     QUEUE_CLASSES,
 };
 pub use service::{Clock, Transport};
+pub use shard::{
+    even_starts, Envelope, ShardAuditReport, ShardConfig, ShardedSim, DEFAULT_LOOKAHEAD,
+};
 pub use sim::{SimPerf, Simulator};
 pub use tcp::{TcpConfig, TcpConnId, TcpStats};
 pub use time::{SimDuration, SimTime};

@@ -30,7 +30,13 @@ pub struct TimerId(pub(crate) u64);
 /// ordering), that unbatched delivery would have produced.
 /// Implementations must not try to detect batch edges — there is nothing
 /// to observe, and nothing in this trait will ever expose one.
-pub trait Node {
+///
+/// `Send` is a supertrait: the sharded engine ([`crate::shard`]) moves
+/// each shard's node registry onto its own worker thread. Nodes still
+/// run strictly single-threaded — one shard, one thread, one event at a
+/// time — so no implementation needs interior synchronization; shared
+/// handles (logs, sinks) just have to be `Arc`-based rather than `Rc`.
+pub trait Node: Send {
     /// Optional downcast hook so experiments can inspect concrete node
     /// state (cache dumps, statistics) after a run. Nodes that want to be
     /// inspectable return `Some(self)`.
@@ -265,9 +271,12 @@ impl<'a> Context<'a> {
     }
 
     /// The simulation's RNG. All node randomness must come from here to
-    /// keep runs reproducible.
+    /// keep runs reproducible. In a sharded world this is the node's
+    /// *own* stream (seeded from the global node index), so draw order
+    /// depends only on the node's event order — not on which shard, or
+    /// how many shards, the world was cut into.
     pub fn rng(&mut self) -> &mut SmallRng {
-        self.world.rng()
+        self.world.rng_for(self.node)
     }
 
     /// Opens a TCP connection to `dst` (a unicast listener address). The

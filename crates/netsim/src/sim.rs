@@ -16,12 +16,13 @@ use crate::event::{Event, EventQueue, HeapEntry};
 use crate::link::LinkTable;
 use crate::node::{Context, Node, NodeHotState, TimerId, TimerSlab, TimerToken};
 use crate::queueing::{QueueConfig, QueueOutcome, ServiceQueue};
+use crate::shard::{Envelope, ShardConfig};
 use crate::tcp::{TcpConfig, TcpConn, TcpConnId, TcpConnState, TcpListener, TcpStats, TcpWorld};
 use crate::time::{SimDuration, SimTime};
 use crate::trace::{Disposition, SharedSink};
 
 /// First address handed out by [`Simulator::add_node`]: `10.0.0.1`.
-const FIRST_ADDR: u32 = 0x0a00_0001;
+pub(crate) const FIRST_ADDR: u32 = 0x0a00_0001;
 
 /// First anycast VIP handed out by [`Simulator::add_anycast_group`]:
 /// `198.18.0.1` (benchmarking range, far from the unicast pool).
@@ -90,6 +91,48 @@ impl RetiredDefenseStats {
     }
 }
 
+/// Per-shard engine state, present only in worlds created through
+/// [`Simulator::new_sharded`]. Holds everything the sharded engine adds
+/// on top of a plain world: the shard layout, the per-node RNG streams,
+/// the cross-shard outboxes, and the envelope ledger the auditor checks.
+pub(crate) struct ShardState {
+    /// This shard's index.
+    pub(crate) id: usize,
+    /// First raw unicast address of every shard, ascending.
+    pub(crate) starts: Vec<u32>,
+    /// Propagation floor = conservative lookahead; every one-way delay
+    /// is clamped up to this, local and cross-shard alike.
+    pub(crate) floor: SimDuration,
+    /// World seed, kept so nodes added later derive their stream from
+    /// `(seed, global node index)`.
+    pub(crate) seed: u64,
+    /// One RNG stream per *local* node, seeded from the node's global
+    /// index so the stream is shard-layout-independent.
+    pub(crate) rngs: Vec<SmallRng>,
+    /// Outgoing cross-shard envelopes, one bin per destination shard;
+    /// drained by the barrier loop at every window boundary.
+    pub(crate) outbox: Vec<Vec<Envelope>>,
+    /// Datagrams handed to another shard (counted at send).
+    pub(crate) xshard_out: u64,
+    /// Datagrams injected from another shard (counted at injection).
+    pub(crate) xshard_in: u64,
+}
+
+impl ShardState {
+    /// Which shard owns `addr`. Anycast VIPs resolve locally (anycast is
+    /// not supported sharded; the gate lives in the experiment driver),
+    /// as do addresses below the first shard's start.
+    fn shard_of(&self, addr: Addr) -> usize {
+        if addr.0 >= FIRST_VIP {
+            return self.id;
+        }
+        match self.starts.partition_point(|s| *s <= addr.0) {
+            0 => 0,
+            n => n - 1,
+        }
+    }
+}
+
 /// Everything in the simulation except the nodes themselves. Split out so
 /// a node can be taken off the registry and run against `&mut World`
 /// without borrow gymnastics.
@@ -99,6 +142,12 @@ pub struct World {
     seq: u64,
     links: LinkTable,
     rng: SmallRng,
+    /// First unicast address owned by this world: [`FIRST_ADDR`] for a
+    /// plain world, the shard's slice start for a sharded one.
+    first_addr: u32,
+    /// Sharded-engine state; `None` in a plain (legacy) world, which
+    /// keeps every legacy code path — and the pinned digest — untouched.
+    shard: Option<Box<ShardState>>,
     sinks: Vec<SharedSink>,
     anycast: AnycastTable,
     next_vip: u32,
@@ -155,6 +204,17 @@ impl World {
         &mut self.rng
     }
 
+    /// The RNG stream for `node`: the world RNG in a plain world, the
+    /// node's own per-node stream in a sharded one (see
+    /// [`crate::shard`] — per-node streams are what make the outcome
+    /// independent of the shard count).
+    pub(crate) fn rng_for(&mut self, node: NodeId) -> &mut SmallRng {
+        match self.shard.as_deref_mut() {
+            Some(s) => &mut s.rngs[node.0 as usize],
+            None => &mut self.rng,
+        }
+    }
+
     /// The address of `node`.
     pub fn addr_of(&self, node: NodeId) -> Addr {
         self.nodes.addr[node.0 as usize]
@@ -165,16 +225,16 @@ impl World {
     /// are assigned densely from `FIRST_ADDR`, so this is arithmetic, not
     /// a map lookup.
     pub fn node_at(&self, addr: Addr) -> Option<NodeId> {
-        let idx = addr.0.wrapping_sub(FIRST_ADDR);
+        let idx = addr.0.wrapping_sub(self.first_addr);
         ((idx as usize) < self.nodes.len()).then_some(NodeId(idx))
     }
 
-    /// Dense index for per-address state (queues): `addr - FIRST_ADDR`
-    /// when `addr` is in the unicast pool.
-    fn unicast_index(addr: Addr) -> Option<usize> {
-        (FIRST_ADDR..FIRST_VIP)
+    /// Dense index for per-address state (queues): `addr - first_addr`
+    /// when `addr` is in this world's slice of the unicast pool.
+    fn unicast_index(&self, addr: Addr) -> Option<usize> {
+        (self.first_addr..FIRST_VIP)
             .contains(&addr.0)
-            .then_some((addr.0 - FIRST_ADDR) as usize)
+            .then_some((addr.0 - self.first_addr) as usize)
     }
 
     /// The anycast registry.
@@ -192,7 +252,7 @@ impl World {
     /// `addr` — the paper's future-work queueing model
     /// (see [`crate::queueing`]).
     pub fn set_ingress_queue(&mut self, addr: Addr, config: QueueConfig) {
-        let Some(idx) = Self::unicast_index(addr) else {
+        let Some(idx) = self.unicast_index(addr) else {
             debug_assert!(false, "ingress queue on non-unicast address {addr}");
             return;
         };
@@ -209,7 +269,10 @@ impl World {
 
     /// Removes the ingress queue on `addr`.
     pub fn clear_ingress_queue(&mut self, addr: Addr) {
-        if let Some(slot) = Self::unicast_index(addr).and_then(|i| self.queues.get_mut(i)) {
+        if let Some(slot) = self
+            .unicast_index(addr)
+            .and_then(|i| self.queues.get_mut(i))
+        {
             if slot.take().is_some() {
                 self.queue_count -= 1;
             }
@@ -219,14 +282,14 @@ impl World {
     /// Mutable access to an installed queue (e.g. to inject background
     /// attack load mid-run from a control event).
     pub fn queue_mut(&mut self, addr: Addr) -> Option<&mut ServiceQueue> {
-        Self::unicast_index(addr)
+        self.unicast_index(addr)
             .and_then(|i| self.queues.get_mut(i))
             .and_then(|slot| slot.as_mut())
     }
 
     /// Read-only view of an installed ingress queue, for stats.
     pub fn queue(&self, addr: Addr) -> Option<&ServiceQueue> {
-        Self::unicast_index(addr)
+        self.unicast_index(addr)
             .and_then(|i| self.queues.get(i))
             .and_then(|slot| slot.as_ref())
     }
@@ -235,7 +298,7 @@ impl World {
     /// `addr` (see [`crate::defense`]). Typically called from a control
     /// event scheduled by a `dike-defense` `DefensePlan`.
     pub fn set_ingress_defense(&mut self, addr: Addr, defense: Box<dyn IngressDefense>) {
-        let Some(idx) = Self::unicast_index(addr) else {
+        let Some(idx) = self.unicast_index(addr) else {
             debug_assert!(false, "ingress defense on non-unicast address {addr}");
             return;
         };
@@ -251,7 +314,10 @@ impl World {
     /// Removes the ingress defense on `addr`, folding its accounting
     /// into the run totals.
     pub fn clear_ingress_defense(&mut self, addr: Addr) {
-        if let Some(slot) = Self::unicast_index(addr).and_then(|i| self.defenses.get_mut(i)) {
+        if let Some(slot) = self
+            .unicast_index(addr)
+            .and_then(|i| self.defenses.get_mut(i))
+        {
             if let Some(old) = slot.take() {
                 self.retired_defense.absorb(&old);
                 self.defense_count -= 1;
@@ -273,14 +339,14 @@ impl World {
     /// Mutable access to an installed defense gate (e.g. for a flood
     /// fault to consume its admission capacity, or scale-out to grow it).
     pub fn defense_mut(&mut self, addr: Addr) -> Option<&mut IngressGate> {
-        Self::unicast_index(addr)
+        self.unicast_index(addr)
             .and_then(|i| self.defenses.get_mut(i))
             .and_then(|slot| slot.as_mut())
     }
 
     /// Read-only view of the defense gate installed on `addr`.
     pub fn ingress_gate(&self, addr: Addr) -> Option<&IngressGate> {
-        Self::unicast_index(addr)
+        self.unicast_index(addr)
             .and_then(|i| self.defenses.get(i))
             .and_then(|slot| slot.as_ref())
     }
@@ -342,21 +408,66 @@ impl World {
     /// Samples the one-way path delay `src → dst`: the link's latency
     /// model, stretched by any installed degrade's latency factor at the
     /// destination — a congested path is slow as well as lossy.
+    ///
+    /// In a sharded world the sample comes from the *sender's* per-node
+    /// stream and is clamped up to the propagation floor (the
+    /// conservative lookahead), uniformly for local and cross-shard
+    /// paths — see [`crate::shard`].
     fn path_delay(&mut self, src: Addr, dst: Addr) -> SimDuration {
-        let mut delay = self.links.params(src, dst).latency.sample(&mut self.rng);
-        let factor = self.links.latency_factor(dst);
+        let World {
+            links,
+            rng,
+            shard,
+            first_addr,
+            ..
+        } = self;
+        let (rng, floor) = match shard.as_deref_mut() {
+            Some(s) => {
+                let floor = s.floor;
+                let idx = src.0.wrapping_sub(*first_addr) as usize;
+                let r = match s.rngs.get_mut(idx) {
+                    Some(r) => r,
+                    // Non-node senders (anycast VIP replies) are gated
+                    // out of sharded runs; fall back defensively.
+                    None => rng,
+                };
+                (r, Some(floor))
+            }
+            None => (rng, None),
+        };
+        let mut delay = links.params(src, dst).latency.sample(rng);
+        let factor = links.latency_factor(dst);
         if factor != 1.0 {
             delay = SimDuration::from_nanos((delay.as_nanos() as f64 * factor) as u64);
         }
-        delay
+        match floor {
+            Some(f) => delay.max(f),
+            None => delay,
+        }
     }
 
     /// Queues a datagram: samples the path delay now, evaluates loss at
-    /// arrival (see [`Simulator::step`]).
+    /// arrival (see [`Simulator::step`]). In a sharded world a datagram
+    /// whose destination lives on another shard is parked in that
+    /// shard's outbox instead (counted `xshard_out`), to be exchanged at
+    /// the next window barrier.
     pub(crate) fn send_datagram(&mut self, src: Addr, dst: Addr, payload: Bytes) {
         self.net.datagrams_sent += 1;
         let delay = self.path_delay(src, dst);
         let at = self.now + delay;
+        if let Some(s) = self.shard.as_deref_mut() {
+            let target = s.shard_of(dst);
+            if target != s.id {
+                s.xshard_out += 1;
+                s.outbox[target].push(Envelope {
+                    at,
+                    src,
+                    dst,
+                    payload,
+                });
+                return;
+            }
+        }
         self.push(at, Event::Deliver(Datagram { src, dst, payload }));
     }
 
@@ -366,7 +477,7 @@ impl World {
     /// currently-established connections — occupancy is recomputed from
     /// the live table, not reset.
     pub fn set_tcp_listener(&mut self, addr: Addr, config: TcpConfig) {
-        let Some(idx) = Self::unicast_index(addr) else {
+        let Some(idx) = self.unicast_index(addr) else {
             debug_assert!(false, "tcp listener on non-unicast address {addr}");
             return;
         };
@@ -389,7 +500,7 @@ impl World {
 
     /// The listener installed on `addr`, if any.
     fn tcp_listener(&self, addr: Addr) -> Option<&TcpListener> {
-        Self::unicast_index(addr)
+        self.unicast_index(addr)
             .and_then(|i| self.tcp.listeners.get(i))
             .and_then(|slot| slot.as_ref())
     }
@@ -527,7 +638,8 @@ impl World {
     fn remove_conn(&mut self, id: u64) -> Option<TcpConn> {
         let c = self.tcp.conns.remove(&id)?;
         if c.state == TcpConnState::Established {
-            if let Some(l) = Self::unicast_index(c.server_addr)
+            if let Some(l) = self
+                .unicast_index(c.server_addr)
                 .and_then(|i| self.tcp.listeners.get_mut(i))
                 .and_then(|slot| slot.as_mut())
             {
@@ -718,6 +830,8 @@ impl Simulator {
                 seq: 0,
                 links: LinkTable::default(),
                 rng: SmallRng::seed_from_u64(seed),
+                first_addr: FIRST_ADDR,
+                shard: None,
                 sinks: Vec::new(),
                 anycast: AnycastTable::new(),
                 next_vip: FIRST_VIP,
@@ -954,7 +1068,7 @@ impl Simulator {
     /// Topology builders use this to write addresses into zone glue before
     /// the owning nodes exist.
     pub fn next_addr(&self) -> Addr {
-        Addr(FIRST_ADDR + self.nodes.len() as u32)
+        Addr(self.world.first_addr + self.nodes.len() as u32)
     }
 
     /// The address assigned to the `index`-th added node (assignment is
@@ -963,13 +1077,22 @@ impl Simulator {
         Addr(FIRST_ADDR + index as u32)
     }
 
-    /// Registers a node and assigns it the next address.
+    /// Registers a node and assigns it the next address. In a sharded
+    /// world the node also gets its own RNG stream, seeded from the
+    /// world seed and the node's *global* index so the stream does not
+    /// depend on how the world was cut.
     pub fn add_node(&mut self, node: Box<dyn Node>) -> (NodeId, Addr) {
         let id = NodeId(self.nodes.len() as u32);
-        let addr = Addr(FIRST_ADDR + id.0);
+        let addr = Addr(self.world.first_addr + id.0);
         self.nodes.push(Some(node));
         self.started.push(false);
         self.world.nodes.push(addr);
+        if let Some(s) = self.world.shard.as_deref_mut() {
+            let global = (addr.0 - FIRST_ADDR) as u64;
+            s.rngs.push(SmallRng::seed_from_u64(crate::shard::mix_seed(
+                s.seed, global,
+            )));
+        }
         (id, addr)
     }
 
@@ -1110,7 +1233,7 @@ impl Simulator {
 
     /// Ensures every node has had `on_start` called. Invoked automatically
     /// by the run methods; idempotent per node.
-    fn start_pending(&mut self) {
+    pub(crate) fn start_pending(&mut self) {
         for idx in 0..self.nodes.len() {
             if self.started[idx] {
                 continue;
@@ -1263,7 +1386,9 @@ impl Simulator {
             // record stays SynSent; the dialer owns cleanup.
             return;
         }
-        let accepted_idle_timeout = World::unicast_index(server_addr)
+        let accepted_idle_timeout = self
+            .world
+            .unicast_index(server_addr)
             .and_then(|i| self.world.tcp.listeners.get_mut(i))
             .and_then(|slot| slot.as_mut())
             .and_then(|l| {
@@ -1472,19 +1597,39 @@ impl Simulator {
         let (ambient_drop, attack_drop, degrade_drop) = if node_down {
             (false, false, false)
         } else {
-            let params = self.world.links.params(dgram.src, dgram.dst);
-            let ambient = params.loss > 0.0
-                && rand::RngExt::random_bool(&mut self.world.rng, params.loss.clamp(0.0, 1.0));
-            let mut attack = self.world.links.ingress_loss(dgram.dst);
+            // Arrival-side randomness comes from the destination node's
+            // stream in a sharded world (the world RNG otherwise), so
+            // the draw order is the node's own arrival order — which is
+            // what keeps the outcome independent of the shard count.
+            let World {
+                links,
+                rng,
+                shard,
+                first_addr,
+                ..
+            } = &mut self.world;
+            let rng: &mut SmallRng = match shard.as_deref_mut() {
+                Some(s) => {
+                    let idx = dgram.dst.0.wrapping_sub(*first_addr) as usize;
+                    match s.rngs.get_mut(idx) {
+                        Some(r) => r,
+                        None => rng,
+                    }
+                }
+                None => rng,
+            };
+            let params = links.params(dgram.src, dgram.dst);
+            let ambient =
+                params.loss > 0.0 && rand::RngExt::random_bool(rng, params.loss.clamp(0.0, 1.0));
+            let mut attack = links.ingress_loss(dgram.dst);
             if let Some(site) = site_filter_addr {
-                attack = attack.max(self.world.links.ingress_loss(site));
+                attack = attack.max(links.ingress_loss(site));
             }
-            let attack = attack > 0.0 && rand::RngExt::random_bool(&mut self.world.rng, attack);
+            let attack = attack > 0.0 && rand::RngExt::random_bool(rng, attack);
             // Gilbert–Elliott degrade: its state chain advances per
             // arrival at the degraded address (RNG is drawn only while a
             // degrade is installed there). Like the attack filter, an
             // anycast delivery consults both the VIP and the member site.
-            let World { links, rng, .. } = &mut self.world;
             let mut degrade = links.degrade_drop(dgram.dst, rng);
             if let Some(site) = site_filter_addr {
                 degrade |= links.degrade_drop(site, rng);
@@ -1564,7 +1709,9 @@ impl Simulator {
         if self.world.defense_count > 0 {
             let defense_addr = site_filter_addr.unwrap_or(dgram.dst);
             let now = self.world.now;
-            let action = World::unicast_index(defense_addr)
+            let action = self
+                .world
+                .unicast_index(defense_addr)
                 .and_then(|idx| self.world.defenses.get_mut(idx))
                 .and_then(|slot| slot.as_mut())
                 .map(|gate| gate.on_query(now, dgram.src, &msg));
@@ -1763,13 +1910,153 @@ impl Simulator {
         self.wall_nanos += t0.elapsed().as_nanos() as u64;
     }
 
+    /// A fresh simulator for one shard of a sharded world (see
+    /// [`crate::shard`]): it owns the slice of the global node space
+    /// starting at `cfg.starts[cfg.id]`, gives every node its own RNG
+    /// stream, clamps all one-way delays to `cfg.floor`, and parks
+    /// datagrams bound for other shards in per-destination outboxes.
+    ///
+    /// # Panics
+    /// Panics on an inconsistent config (id out of range, unsorted
+    /// starts, zero floor).
+    pub fn new_sharded(seed: u64, cfg: ShardConfig) -> Self {
+        let k = cfg.starts.len();
+        assert!(cfg.id < k, "shard id {} out of range 0..{k}", cfg.id);
+        assert!(
+            cfg.starts.windows(2).all(|w| w[0] < w[1]) && cfg.starts[0] == FIRST_ADDR,
+            "shard starts must ascend from FIRST_ADDR"
+        );
+        assert!(
+            cfg.floor > SimDuration::ZERO,
+            "the propagation floor (lookahead) must be positive"
+        );
+        let mut sim = Simulator::new(seed);
+        sim.world.first_addr = cfg.starts[cfg.id];
+        sim.world.shard = Some(Box::new(ShardState {
+            id: cfg.id,
+            starts: cfg.starts,
+            floor: cfg.floor,
+            seed,
+            rngs: Vec::new(),
+            outbox: (0..k).map(|_| Vec::new()).collect(),
+            xshard_out: 0,
+            xshard_in: 0,
+        }));
+        sim
+    }
+
+    /// `(id, shard count, floor)` when this simulator is a shard of a
+    /// sharded world; `None` for a plain simulator.
+    pub(crate) fn shard_params(&self) -> Option<(usize, usize, SimDuration)> {
+        self.world
+            .shard
+            .as_deref()
+            .map(|s| (s.id, s.starts.len(), s.floor))
+    }
+
+    /// Time of the earliest pending event, if any — what a shard
+    /// publishes at the window barrier.
+    pub(crate) fn next_event_at(&mut self) -> Option<SimTime> {
+        self.world.queue.next_at()
+    }
+
+    /// Runs every pending event strictly before `end` (the half-open
+    /// conservative window `[_, end)`). Unlike [`Simulator::run_until`]
+    /// this neither advances the clock to `end` nor cuts telemetry
+    /// snapshots — the barrier loop calls it once per window and
+    /// [`Simulator::finish_window_run`] closes the run out.
+    pub(crate) fn run_window(&mut self, end: SimTime) {
+        self.start_pending();
+        while let Some(at) = self.world.queue.next_at() {
+            if at >= end {
+                break;
+            }
+            self.step();
+        }
+    }
+
+    /// Closes out a windowed run: advances the clock to `deadline` like
+    /// [`Simulator::run_until`] does after its loop.
+    pub(crate) fn finish_window_run(&mut self, deadline: SimTime) {
+        if self.world.now < deadline {
+            self.world.now = deadline;
+        }
+    }
+
+    /// Takes the accumulated cross-shard outboxes (one bin per
+    /// destination shard), leaving them empty.
+    ///
+    /// # Panics
+    /// Panics on a plain (non-sharded) simulator.
+    pub(crate) fn take_outboxes(&mut self) -> Vec<Vec<Envelope>> {
+        let s = self
+            .world
+            .shard
+            .as_deref_mut()
+            .expect("take_outboxes on a non-sharded simulator");
+        s.outbox.iter_mut().map(std::mem::take).collect()
+    }
+
+    /// Injects envelopes received from other shards, already merged in
+    /// the fixed cross-shard order. Arrival times must not be in this
+    /// shard's past — the conservative window guarantees it.
+    pub(crate) fn inject_envelopes(&mut self, envelopes: Vec<Envelope>) {
+        if let Some(s) = self.world.shard.as_deref_mut() {
+            s.xshard_in += envelopes.len() as u64;
+        }
+        for env in envelopes {
+            debug_assert!(
+                env.at >= self.world.now,
+                "cross-shard envelope arrived in the past: {} < {}",
+                env.at,
+                self.world.now
+            );
+            self.world.push(
+                env.at,
+                Event::Deliver(Datagram {
+                    src: env.src,
+                    dst: env.dst,
+                    payload: env.payload,
+                }),
+            );
+        }
+    }
+
+    /// Tears a *never-run* simulator apart into its nodes and fabric —
+    /// the staging step of sharded experiment setup: build the full
+    /// topology into one plain simulator, dismantle it, and deal the
+    /// node slices out to per-shard simulators.
+    ///
+    /// # Panics
+    /// Panics if the simulator has already started (processed events or
+    /// run `on_start` hooks) — a running world cannot be repartitioned.
+    pub fn dismantle(self) -> (Vec<Box<dyn Node>>, LinkTable) {
+        assert!(
+            self.world.net.events_popped == 0 && self.started.iter().all(|s| !s),
+            "dismantle requires an unstarted simulator"
+        );
+        let nodes = self
+            .nodes
+            .into_iter()
+            .map(|slot| slot.expect("node missing from an unstarted registry"))
+            .collect();
+        (nodes, self.world.links)
+    }
+
     /// Read-only view of the bookkeeping the auditor cross-checks
     /// (see [`crate::audit`]).
     pub(crate) fn audit_internals(&self) -> crate::audit::AuditInternals<'_> {
         let net = &self.world.net;
         let ledger = self.world.defense_ledger();
+        let (xshard_out, xshard_in) = self
+            .world
+            .shard
+            .as_deref()
+            .map_or((0, 0), |s| (s.xshard_out, s.xshard_in));
         crate::audit::AuditInternals {
             sent: net.datagrams_sent,
+            xshard_out,
+            xshard_in,
             delivered: net.datagrams_delivered,
             dropped: net.datagrams_dropped,
             no_route: net.datagrams_no_route,

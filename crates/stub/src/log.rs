@@ -117,6 +117,17 @@ impl ProbeLog {
         vps.dedup();
         vps.len()
     }
+
+    /// Sorts the records into the canonical `(vp, round, sent_at)`
+    /// order. A sharded run appends from several shard threads, so raw
+    /// append order depends on thread scheduling even though the record
+    /// *set* is deterministic; canonical order is what digests and
+    /// exports compare. Stable, so a vantage point's same-instant
+    /// retries keep their relative order.
+    pub fn canonicalize(&mut self) {
+        self.records
+            .sort_by_key(|r| (r.vp, r.round, r.sent_at, r.rtt.is_some(), r.rtt));
+    }
 }
 
 /// Shared handle type used by probes.

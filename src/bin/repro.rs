@@ -52,6 +52,9 @@ struct Args {
     threads: usize,
     /// `sweep`: seed replicates per arm.
     replicates: u32,
+    /// `scale`/`sweep`: shard workers per run (0 = the `scale` target's
+    /// built-in 1/2/4 ladder; single-threaded for `sweep`).
+    shards: usize,
 }
 
 fn parse_args() -> Args {
@@ -65,6 +68,7 @@ fn parse_args() -> Args {
         grid_json: None,
         threads: 0,
         replicates: 3,
+        shards: 0,
     };
     let mut it = std::env::args().skip(1);
     let mut positional = Vec::new();
@@ -106,6 +110,12 @@ fn parse_args() -> Args {
                     .and_then(|v| v.parse().ok())
                     .unwrap_or_else(|| die("--replicates needs an integer"));
             }
+            "--shards" => {
+                args.shards = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| die("--shards needs an integer"));
+            }
             "--list" => {
                 for t in [
                     "table1",
@@ -137,6 +147,7 @@ fn parse_args() -> Args {
                     "nxns",
                     "sweep",
                     "falsepos",
+                    "scale",
                     "all",
                 ] {
                     println!("{t}");
@@ -153,7 +164,11 @@ fn parse_args() -> Args {
                      sweep-only flags: [--csv FILE] [--grid-json FILE]\n\
                      [--replicates K] [--threads N] — run the attack-loss x TTL\n\
                      grid through the SweepEngine and export per-arm summaries\n\
-                     (byte-identical output for any worker count)"
+                     (byte-identical output for any worker count)\n\
+                     scale: run one large population through the sharded\n\
+                     parallel engine; [--shards K] runs exactly K shards\n\
+                     (default: a 1/2/4 ladder with a digest cross-check);\n\
+                     --scale sizes the population against the paper's 9.2k"
                 );
                 std::process::exit(0);
             }
@@ -293,6 +308,10 @@ fn main() {
     if t == "falsepos" {
         matched = true;
         false_positive_sweep(&mut ctx, &args);
+    }
+    if t == "scale" {
+        matched = true;
+        scale_benchmark(&mut ctx, &args);
     }
 
     if !matched {
@@ -1288,6 +1307,7 @@ fn sweep_grid(ctx: &mut Ctx, args: &Args) {
         .with_attack(Attack::complete().window_min(40, 40))
         .duration_min(100)
         .seed(ctx.seed);
+    let base = base.shards(args.shards.max(1));
     let engine = SweepEngine::new(base)
         .axis(SweepAxis::AttackLoss(vec![0.0, 0.5, 0.75, 0.9, 1.0]))
         .axis(SweepAxis::CacheTtlSecs(vec![60, 1800, 3600]))
@@ -1453,4 +1473,106 @@ fn false_positive_sweep(ctx: &mut Ctx, args: &Args) {
          resolvers that merely arrived late are indistinguishable from the flood\n\
          by arrival time alone, so their service degrades with the flood's."
     );
+}
+
+// ---------------------------------------------------------------------
+// Sharded scale-out benchmark (ROADMAP: one scenario across all cores)
+// ---------------------------------------------------------------------
+
+/// FNV-1a over the canonical record stream — the cross-shard-count
+/// identity check the `scale` rows print.
+fn scale_log_digest(log: &dike_stub::ProbeLog) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    let mut push = |v: u64| {
+        for b in v.to_le_bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x100_0000_01b3);
+        }
+    };
+    for r in &log.records {
+        push(r.vp.probe as u64);
+        push(r.vp.recursive as u64);
+        push(r.recursive.0 as u64);
+        push(r.round as u64);
+        push(r.sent_at.as_nanos());
+        push(r.outcome.is_ok() as u64);
+        push(r.outcome.is_timeout() as u64);
+        push(r.rtt.map_or(u64::MAX, |d| d.as_nanos()));
+    }
+    h
+}
+
+/// One large population under a partial attack, run through the sharded
+/// parallel engine at each requested shard count. `--scale` sizes the
+/// population against the paper's 9.2k probes (so `--scale 0.5` is ~10×
+/// the default lettered runs), and every row of the table must print
+/// the same digest — the shard count changes wall-clock only, never the
+/// outcome. `DIKE_AUDIT=1` additionally asserts the cross-shard
+/// conservation ledger after every run.
+fn scale_benchmark(ctx: &mut Ctx, args: &Args) {
+    use dike_experiments::setup::{AttackPlan, AttackScope};
+    use dike_experiments::{run_experiment_sharded, ExperimentSetup};
+    use dike_netsim::SimDuration;
+
+    let probes = ((9_200.0 * ctx.scale) as usize).max(40);
+    let shard_counts: Vec<usize> = if args.shards > 0 {
+        vec![args.shards]
+    } else {
+        vec![1, 2, 4]
+    };
+    let cores = std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
+    eprintln!(
+        "[repro] scale: {probes} probes, 70 sim-minutes, 90% loss at both NS, \
+         shard counts {shard_counts:?} ({cores} core(s) available) ..."
+    );
+
+    let mut tbl = TextTable::new(
+        format!(
+            "Sharded scale-out: {probes} probes on {cores} core(s); equal digests = equal runs"
+        ),
+        &[
+            "shards", "VPs", "records", "events", "wall s", "events/s", "digest",
+        ],
+    );
+    let mut digests: Vec<u64> = Vec::new();
+    for &k in &shard_counts {
+        let mut setup = ExperimentSetup::new(probes, 1800);
+        setup.seed = ctx.seed;
+        setup.round_interval = SimDuration::from_mins(10);
+        setup.rounds = 6;
+        setup.total_duration = SimDuration::from_mins(70);
+        setup.attack = Some(AttackPlan {
+            start_min: 20,
+            duration_min: 40,
+            loss: 0.9,
+            scope: AttackScope::BothNs,
+        });
+        setup.shards = k;
+        let started = std::time::Instant::now();
+        let out = run_experiment_sharded(&setup);
+        let wall = started.elapsed();
+        let digest = scale_log_digest(&out.log);
+        digests.push(digest);
+        let events = out.perf.events_popped;
+        tbl.row(&[
+            k.to_string(),
+            out.n_vps.to_string(),
+            out.log.records.len().to_string(),
+            events.to_string(),
+            format!("{:.2}", wall.as_secs_f64()),
+            format!("{:.0}", events as f64 / wall.as_secs_f64().max(1e-9)),
+            format!("{digest:016x}"),
+        ]);
+    }
+    ctx.emit(&tbl);
+    assert!(
+        digests.windows(2).all(|w| w[0] == w[1]),
+        "shard counts disagreed: {digests:x?}"
+    );
+    if shard_counts.len() > 1 {
+        println!(
+            "all shard counts produced digest {:016x} — outcome is shard-count-independent",
+            digests[0]
+        );
+    }
 }

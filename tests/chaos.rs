@@ -21,6 +21,7 @@ use rand::rngs::SmallRng;
 use rand::{RngExt, SeedableRng};
 
 use dike::defense::{ClassifierKind, Defense, DefensePlan, RrlConfig};
+use dike::experiments::run_experiment_sharded;
 use dike::experiments::setup::{run_experiment, ExperimentSetup};
 use dike::experiments::topology;
 use dike::faults::{Fault, FaultPlan, FloodShape};
@@ -259,12 +260,62 @@ fn random_plan(rng: &mut SmallRng, nodes: &[NodeId], addrs: &[Addr]) -> FaultPla
     plan
 }
 
+/// A random fault from the envelope the sharded driver supports:
+/// crash/restart, link degrade, and random-drop attacks. Queue floods
+/// are gated off the parallel engine, so they are excluded here.
+fn random_sharded_fault(rng: &mut SmallRng, nodes: &[NodeId], addrs: &[Addr]) -> Fault {
+    let target = addrs[rng.random_range(0..addrs.len())];
+    let start = secs(rng.random_range(0..90)).after_zero();
+    let duration = secs(rng.random_range(1..=60));
+    match rng.random_range(0..3u32) {
+        0 => {
+            let node = nodes[rng.random_range(0..nodes.len())];
+            let at = secs(rng.random_range(1..=90)).after_zero();
+            if rng.random_bool(0.7) {
+                Fault::crash_restart(
+                    node,
+                    at,
+                    secs(rng.random_range(1..=120)),
+                    rng.random_bool(0.5),
+                )
+            } else {
+                Fault::node_down(node, at)
+            }
+        }
+        1 => Fault::link_degrade(
+            target,
+            start,
+            duration,
+            rng.random_range(0.0..=1.0),
+            rng.random_range(1.0..50.0),
+        )
+        .with_latency_factor(rng.random_range(1.0..8.0)),
+        _ => {
+            let n = rng.random_range(1..=addrs.len());
+            Fault::random_drop(dike::attack::Attack::partial(
+                addrs[..n].to_vec(),
+                rng.random_range(0.0..=1.0),
+                start,
+                duration,
+            ))
+        }
+    }
+}
+
 /// A random valid server-side defense plan over the given ingress
 /// addresses: at most one RRL and one admission layer per target (the
 /// plan-level coherence rule) plus optional scale-outs, with parameters
 /// spanning the legal envelope — tiny rates, /0 aggregation, zero-slip
 /// silent drops, single-class weight concentrations.
 fn random_defense_plan(rng: &mut SmallRng, addrs: &[Addr]) -> DefensePlan {
+    random_defense_plan_with(rng, addrs, true)
+}
+
+/// Like [`random_defense_plan`], with scale-outs optional: the sharded
+/// driver gates anycast scale-out (catchments resolve at delivery time,
+/// which would need cross-shard VIP tables), so sharded chaos runs draw
+/// from the RRL + admission surface only.
+fn random_defense_plan_with(rng: &mut SmallRng, addrs: &[Addr], scale_out: bool) -> DefensePlan {
     let mut plan = DefensePlan::new();
     for &target in addrs {
         if rng.random_bool(0.5) {
@@ -309,7 +360,7 @@ fn random_defense_plan(rng: &mut SmallRng, addrs: &[Addr]) -> DefensePlan {
             let at = secs(rng.random_range(0..90)).after_zero();
             plan.push(Defense::admission(target, queue, classifier).starting_at(at));
         }
-        if rng.random_bool(0.3) {
+        if scale_out && rng.random_bool(0.3) {
             plan.push(Defense::scale_out(
                 target,
                 secs(rng.random_range(0..90)).after_zero(),
@@ -627,6 +678,52 @@ fn chaos_full_experiments_are_clean_and_deterministic() {
             h
         };
         assert_eq!(run(), run(), "case {case}: experiment not deterministic");
+    }
+}
+
+/// The chaos property on the *sharded* engine: the full paper topology
+/// under random shard-supported faults (crash/restart, link degrades,
+/// random drops) and random RRL/admission defenses, cut into K shards.
+/// Every run keeps the cross-shard datagram-conservation audit clean
+/// (`setup.audit` arms the per-window ledger check plus the end-of-run
+/// posted-equals-drained pairwise matrix), and the digest is a pure
+/// function of `(setup, seed)` — identical across shard counts.
+#[test]
+fn chaos_sharded_experiments_are_clean_and_shard_count_invariant() {
+    for case in 0..cases().min(3) {
+        let run = |shards: usize| {
+            let mut rng = SmallRng::seed_from_u64(case ^ 0x6a09_e667_f3bc_c908);
+            let ns_nodes = topology::ns_node_ids();
+            let ns_addrs = topology::ns_addrs();
+            let mut plan = FaultPlan::new();
+            for _ in 0..rng.random_range(0..=3u32) {
+                plan.push(random_sharded_fault(&mut rng, &ns_nodes, &ns_addrs));
+            }
+            let defense = random_defense_plan_with(&mut rng, &ns_addrs, false);
+            let mut setup = ExperimentSetup::new(12, 300);
+            setup.seed = case;
+            setup.rounds = 4;
+            setup.round_interval = SimDuration::from_mins(10);
+            setup.total_duration = SimDuration::from_mins(45);
+            setup.faults = Some(plan);
+            setup.defense = (!defense.is_empty()).then_some(defense);
+            setup.audit = true;
+            setup.shards = shards;
+            let out = run_experiment_sharded(&setup);
+            let mut h = 0xcbf2_9ce4_8422_2325u64;
+            fnv(&mut h, out.log.records.len() as u64);
+            fnv(&mut h, out.log.ok_count() as u64);
+            fnv(&mut h, out.server.total_queries);
+            for r in &out.log.records {
+                fnv(&mut h, r.sent_at.as_nanos());
+                fnv(&mut h, r.rtt.map(|d| d.as_nanos()).unwrap_or(u64::MAX));
+            }
+            h
+        };
+        let base = run(1);
+        for k in [2usize, 4] {
+            assert_eq!(run(k), base, "case {case}: shards = {k} diverged");
+        }
     }
 }
 

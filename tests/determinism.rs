@@ -106,17 +106,18 @@ fn batched_fan_in_delivery_order_matches_pinned_digest() {
         TimerToken,
     };
     use dike::wire::{Message, Name, RecordType};
-    use std::cell::RefCell;
-    use std::rc::Rc;
+    use parking_lot::Mutex;
+    use std::sync::Arc;
 
+    // `Node: Send` (the sharded engine moves node registries onto worker
+    // threads), so the shared log is Arc<Mutex>, not Rc<RefCell> —
+    // uncontended here, the run is single-threaded.
     struct Recorder {
-        seen: Rc<RefCell<Vec<(u64, u32, u16)>>>,
+        seen: Arc<Mutex<Vec<(u64, u32, u16)>>>,
     }
     impl Node for Recorder {
         fn on_datagram(&mut self, ctx: &mut Context<'_>, src: Addr, msg: &Message, _l: usize) {
-            self.seen
-                .borrow_mut()
-                .push((ctx.now().as_nanos(), src.0, msg.id));
+            self.seen.lock().push((ctx.now().as_nanos(), src.0, msg.id));
         }
         fn on_timer(&mut self, _ctx: &mut Context<'_>, _t: TimerToken) {}
     }
@@ -148,7 +149,7 @@ fn batched_fan_in_delivery_order_matches_pinned_digest() {
         latency: LatencyModel::Fixed(SimDuration::from_millis(1)),
         loss: 0.0,
     });
-    let seen = Rc::new(RefCell::new(Vec::new()));
+    let seen = Arc::new(Mutex::new(Vec::new()));
     let (_, sink) = sim.add_node(Box::new(Recorder { seen: seen.clone() }));
     for i in 0..64u16 {
         sim.add_node(Box::new(Pinger {
@@ -159,7 +160,7 @@ fn batched_fan_in_delivery_order_matches_pinned_digest() {
     }
     sim.run_until_idle();
 
-    let seen = seen.borrow();
+    let seen = seen.lock();
     assert_eq!(seen.len(), 64 * 8, "every fan-in datagram delivered");
     // Analytic check: this IS the sequential (unbatched) order. Round k
     // timers were armed in node-insertion order, so within each instant

@@ -1,0 +1,161 @@
+//! Sharded-engine regressions: the parallel engine's outcome is a pure
+//! function of `(setup, seed)` — independent of the shard count and of
+//! thread scheduling — and `shards(1)` through the scenario builder
+//! still routes to the single-threaded engine, so its pinned digest
+//! never moves.
+
+use dike::core::{Attack, Report, Scenario};
+use dike::defense::{Defense, DefensePlan};
+use dike::experiments::setup::{AttackPlan, AttackScope};
+use dike::experiments::{run_experiment_sharded, ExperimentOutput, ExperimentSetup};
+use dike::faults::{Fault, FaultPlan};
+use dike::netsim::{NodeId, SimDuration};
+
+/// FNV-1a over the full record stream (field-for-field the digest in
+/// `tests/determinism.rs`).
+fn digest(out: &ExperimentOutput) -> (usize, u64) {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    let mut push = |v: u64| {
+        for b in v.to_le_bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x100_0000_01b3);
+        }
+    };
+    for r in &out.log.records {
+        push(r.vp.probe as u64);
+        push(r.vp.recursive as u64);
+        push(r.recursive.0 as u64);
+        push(r.round as u64);
+        push(r.sent_at.as_nanos());
+        push(r.outcome.is_ok() as u64);
+        push(r.outcome.is_servfail() as u64);
+        push(r.outcome.is_timeout() as u64);
+        push(r.rtt.map_or(u64::MAX, |d| d.as_nanos()));
+    }
+    (out.log.records.len(), h)
+}
+
+fn report_digest(report: &Report) -> (usize, u64) {
+    digest(&report.output)
+}
+
+/// The `tests/determinism.rs` fixed scenario, with an explicit shard
+/// count.
+fn fixed_scenario(shards: usize) -> Scenario {
+    Scenario::new()
+        .probes(25)
+        .ttl(1800)
+        .seed(1414)
+        .duration_min(90)
+        .with_attack(Attack::loss(0.9).window_min(30, 30))
+        .shards(shards)
+}
+
+/// A full-topology setup for driving `run_experiment_sharded` directly:
+/// partial attack at both authoritatives, audit always on.
+fn sharded_setup(shards: usize) -> ExperimentSetup {
+    let mut setup = ExperimentSetup::new(20, 1800);
+    setup.seed = 2026;
+    setup.round_interval = SimDuration::from_mins(10);
+    setup.rounds = 6;
+    setup.total_duration = SimDuration::from_mins(70);
+    setup.attack = Some(AttackPlan {
+        start_min: 20,
+        duration_min: 40,
+        loss: 0.9,
+        scope: AttackScope::BothNs,
+    });
+    setup.audit = true;
+    setup.shards = shards;
+    setup
+}
+
+/// `shards(1)` is the identity: it routes to the single-threaded engine,
+/// so the digest equals the default run's bit for bit (and the pinned
+/// `fixed_seed_log_matches_pinned_digest` value still governs it).
+#[test]
+fn one_shard_is_the_single_threaded_engine() {
+    let base = report_digest(&fixed_scenario(1).run());
+    let plain = report_digest(
+        &Scenario::new()
+            .probes(25)
+            .ttl(1800)
+            .seed(1414)
+            .duration_min(90)
+            .with_attack(Attack::loss(0.9).window_min(30, 30))
+            .run(),
+    );
+    assert!(base.0 > 0);
+    assert_eq!(base, plain, "shards(1) must not change the engine");
+}
+
+/// The headline invariant: K ∈ {1, 2, 4, 8} shard cuts of the full
+/// experiment topology produce byte-identical logs.
+#[test]
+fn shard_count_never_changes_the_outcome() {
+    let base = digest(&run_experiment_sharded(&sharded_setup(1)));
+    assert!(base.0 > 0, "the run produced records");
+    for k in [2usize, 4, 8] {
+        let out = run_experiment_sharded(&sharded_setup(k));
+        assert_eq!(digest(&out), base, "shards = {k} diverged");
+    }
+}
+
+/// The scenario builder's `shards(k)` reaches the same engine: two
+/// builder runs at different counts agree with each other.
+#[test]
+fn scenario_builder_shards_agree_across_counts() {
+    let two = report_digest(&fixed_scenario(2).run());
+    let four = report_digest(&fixed_scenario(4).run());
+    assert!(two.0 > 0);
+    assert_eq!(two, four, "builder shard counts diverged");
+}
+
+/// Run-twice determinism with the full supported fault + defense
+/// surface armed: a resolver crash/restart (owner-shard local fault), a
+/// bursty link degrade with latency inflation (replicated to every
+/// sender shard), the classic random-drop attack, and RRL at both
+/// authoritatives (shard 0) — twice, byte-identical, audits clean.
+#[test]
+fn faulted_defended_sharded_run_is_deterministic() {
+    let run = || {
+        let mut setup = sharded_setup(4);
+        let ns = dike::experiments::topology::ns_addrs();
+        // Node 10 is deep in the resolver population (the hierarchy is
+        // nodes 0–3); crash it mid-attack and bring it back cold.
+        setup.faults = Some(
+            FaultPlan::new()
+                .with(Fault::crash_restart(
+                    NodeId(10),
+                    SimDuration::from_mins(25).after_zero(),
+                    SimDuration::from_mins(10),
+                    true,
+                ))
+                .with(
+                    Fault::link_degrade(
+                        ns[1],
+                        SimDuration::from_mins(30).after_zero(),
+                        SimDuration::from_mins(20),
+                        0.5,
+                        8.0,
+                    )
+                    .with_latency_factor(2.0),
+                ),
+        );
+        let rrl = dike::defense::RrlConfig {
+            rate_qps: 5.0,
+            burst: 10.0,
+            slip: 0,
+            prefix_bits: 24,
+        };
+        setup.defense = Some(
+            DefensePlan::new()
+                .with(Defense::rrl(ns[0], rrl))
+                .with(Defense::rrl(ns[1], rrl)),
+        );
+        digest(&run_experiment_sharded(&setup))
+    };
+    let first = run();
+    assert!(first.0 > 0);
+    assert_eq!(first, run(), "same setup, same seed, different log");
+}
